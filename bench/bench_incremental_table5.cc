@@ -1,0 +1,135 @@
+// Reproduces Fig. 15 / Table 5 of the paper: the Incremental Linear
+// Testing (IL) use case — linear chains of diameter 5..10, bound by a
+// user (IL-1), a retailer (IL-2) or unbound (IL-3) — across all six
+// systems, with arithmetic means per query family and per chain length.
+//
+// The reproduction targets: S2RDF's runtime rises only mildly with the
+// diameter (ExtVP prunes each step), the MR systems pay one more job per
+// added pattern, and the unbound IL-3 family stresses everyone.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "bench/engine_suite.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace s2rdf::bench {
+namespace {
+
+int Main() {
+  std::printf(
+      "== Table 5 / Fig. 15: WatDiv Incremental Linear Testing ==\n\n");
+  double sf = EnvDouble("S2RDF_BENCH_SF", 1.0);
+  double mr_overhead = EnvDouble("S2RDF_BENCH_MR_OVERHEAD_MS", 2000.0);
+  int rounds = EnvInt("S2RDF_BENCH_ROUNDS", 2);
+
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = sf;
+  auto suite = EngineSuite::Create(watdiv::Generate(gen), mr_overhead);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "%s\n", suite.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "dataset: WatDiv-like SF %.2f, %llu triples; %d template rounds;\n"
+      "MR job overhead modeled at %.0f ms/job\n\n",
+      sf, static_cast<unsigned long long>((*suite)->graph().NumTriples()),
+      rounds, mr_overhead);
+
+  std::vector<std::string> headers = {"query", "rows"};
+  for (const std::string& name : EngineSuite::EngineNames()) {
+    headers.push_back(name);
+  }
+  TablePrinter table(headers);
+  // AM per family (IL-1/2/3) and per diameter (AM-5..AM-10).
+  std::map<std::string, CategoryMeans> by_family;
+  std::map<std::string, CategoryMeans> by_length;
+
+  for (const watdiv::QueryTemplate& tmpl :
+       watdiv::IncrementalLinearQueries()) {
+    std::map<std::string, double> totals;
+    uint64_t rows = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::string query = InstantiateFor(tmpl, sf, round);
+      for (const std::string& name : EngineSuite::EngineNames()) {
+        auto outcome = (*suite)->Run(name, query);
+        if (!outcome.ok()) {
+          std::fprintf(stderr, "%s on %s: %s\n", name.c_str(),
+                       tmpl.name.c_str(),
+                       outcome.status().ToString().c_str());
+          continue;
+        }
+        totals[name] += outcome->modeled_ms;
+        if (name == "S2RDF-ExtVP") rows = outcome->rows;
+      }
+    }
+    std::string length = tmpl.name.substr(tmpl.name.rfind('-') + 1);
+    std::vector<std::string> cells = {tmpl.name, FormatCount(rows)};
+    for (const std::string& name : EngineSuite::EngineNames()) {
+      double am = totals[name] / rounds;
+      by_family[name].Add(tmpl.category, am);
+      by_length[name].Add("AM-" + length, am);
+      cells.push_back(FormatMs(am));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+
+  std::printf("\nArithmetic means per query family:\n");
+  TablePrinter family_table({"engine", "AM-IL-1", "AM-IL-2", "AM-IL-3"});
+  for (const std::string& name : EngineSuite::EngineNames()) {
+    std::map<std::string, double> am;
+    for (const auto& [key, value] : by_family[name].Means()) am[key] = value;
+    family_table.AddRow({name, FormatMs(am["IL-1"]), FormatMs(am["IL-2"]),
+                         FormatMs(am["IL-3"])});
+  }
+  family_table.Print();
+
+  std::printf("\nArithmetic means per chain length:\n");
+  std::vector<std::string> len_headers = {"engine"};
+  for (int k = 5; k <= 10; ++k) {
+    len_headers.push_back("AM-" + std::to_string(k));
+  }
+  TablePrinter length_table(len_headers);
+  for (const std::string& name : EngineSuite::EngineNames()) {
+    std::map<std::string, double> am;
+    for (const auto& [key, value] : by_length[name].Means()) am[key] = value;
+    std::vector<std::string> cells = {name};
+    for (int k = 5; k <= 10; ++k) {
+      cells.push_back(FormatMs(am["AM-" + std::to_string(k)]));
+    }
+    length_table.AddRow(std::move(cells));
+  }
+  length_table.Print();
+
+  // Fig. 15 rendering: growth with the diameter for the two extremes.
+  for (const char* engine : {"S2RDF-ExtVP", "SHARD-MR"}) {
+    std::map<std::string, double> am;
+    for (const auto& [key, value] : by_length[engine].Means()) {
+      am[key] = value;
+    }
+    std::vector<std::pair<std::string, double>> series;
+    for (int k = 5; k <= 10; ++k) {
+      std::string key = "AM-" + std::to_string(k);
+      series.emplace_back("diameter " + std::to_string(k), am[key]);
+    }
+    PrintBarChart(
+        std::string("Fig. 15 (") + engine + " vs chain diameter):", series,
+        "ms", /*log_scale=*/false);
+  }
+
+  std::printf(
+      "\nPaper reference (SF10000): S2RDF answers IL-1/IL-2 in 12-41 s\n"
+      "while SHARD needs 13-28 min and grows linearly with the diameter;\n"
+      "only S2RDF, Sempala and PigSPARQL finish all unbound IL-3 queries.\n"
+      "Expected shape: per added pattern, MR systems pay ~one more job;\n"
+      "S2RDF's growth stays sub-linear thanks to ExtVP input pruning.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2rdf::bench
+
+int main() { return s2rdf::bench::Main(); }

@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) for the engine and storage
+// primitives that every measured query path is built from: scans, hash
+// joins, semi joins (the ExtVP build primitive), distinct, columnar
+// encodings and the external sort of the MapReduce runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "engine/operators.h"
+#include "engine/parallel_join.h"
+#include "engine/table.h"
+#include "mapreduce/external_sort.h"
+#include "storage/encoding.h"
+#include "storage/table_file.h"
+
+namespace s2rdf {
+namespace {
+
+engine::Table MakeTwoColumnTable(size_t rows, uint64_t seed,
+                                 uint32_t key_space) {
+  SplitMix64 rng(seed);
+  engine::Table t({"s", "o"});
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({static_cast<uint32_t>(rng.Uniform(key_space)),
+                 static_cast<uint32_t>(rng.Uniform(key_space))});
+  }
+  return t;
+}
+
+void BM_ScanSelectProject(benchmark::State& state) {
+  engine::Table t = MakeTwoColumnTable(
+      static_cast<size_t>(state.range(0)), 1, 1000);
+  engine::ScanSpec spec;
+  spec.conditions.emplace_back(0, 7);
+  spec.projections.emplace_back(1, "o");
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    benchmark::DoNotOptimize(engine::ScanSelectProject(t, spec, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanSelectProject)->Range(1 << 10, 1 << 18);
+
+void BM_HashJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  engine::Table left =
+      MakeTwoColumnTable(rows, 1, static_cast<uint32_t>(rows));
+  engine::Table right =
+      MakeTwoColumnTable(rows, 2, static_cast<uint32_t>(rows))
+          .WithColumnNames({"o", "x"});
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    benchmark::DoNotOptimize(engine::HashJoin(left, right, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_HashJoin)->Range(1 << 10, 1 << 16);
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  engine::Table left =
+      MakeTwoColumnTable(rows, 1, static_cast<uint32_t>(rows));
+  engine::Table right =
+      MakeTwoColumnTable(rows, 2, static_cast<uint32_t>(rows))
+          .WithColumnNames({"o", "x"});
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    ctx.num_partitions = 8;
+    benchmark::DoNotOptimize(engine::ParallelHashJoin(left, right, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_ParallelHashJoin)->Range(1 << 12, 1 << 16);
+
+void BM_SemiJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  engine::Table left =
+      MakeTwoColumnTable(rows, 1, static_cast<uint32_t>(rows));
+  engine::Table right =
+      MakeTwoColumnTable(rows / 4 + 1, 2, static_cast<uint32_t>(rows));
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    benchmark::DoNotOptimize(engine::SemiJoin(left, 1, right, 0, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SemiJoin)->Range(1 << 10, 1 << 18);
+
+void BM_SortMergeJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  engine::Table left =
+      MakeTwoColumnTable(rows, 1, static_cast<uint32_t>(rows));
+  engine::Table right =
+      MakeTwoColumnTable(rows, 2, static_cast<uint32_t>(rows))
+          .WithColumnNames({"o", "x"});
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    benchmark::DoNotOptimize(engine::SortMergeJoin(left, right, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 2);
+}
+BENCHMARK(BM_SortMergeJoin)->Range(1 << 10, 1 << 16);
+
+void BM_Distinct(benchmark::State& state) {
+  engine::Table t = MakeTwoColumnTable(
+      static_cast<size_t>(state.range(0)), 3, 256);
+  for (auto _ : state) {
+    engine::ExecContext ctx;
+    benchmark::DoNotOptimize(engine::Distinct(t, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Distinct)->Range(1 << 10, 1 << 16);
+
+void BM_EncodeColumnSorted(benchmark::State& state) {
+  std::vector<uint32_t> column;
+  for (uint32_t i = 0; i < state.range(0); ++i) column.push_back(i * 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::EncodeColumn(column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeColumnSorted)->Range(1 << 10, 1 << 18);
+
+void BM_DecodeColumn(benchmark::State& state) {
+  SplitMix64 rng(4);
+  std::vector<uint32_t> column;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    column.push_back(static_cast<uint32_t>(rng.Uniform(100000)));
+  }
+  std::string block = storage::EncodeColumn(column);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::DecodeColumn(block, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeColumn)->Range(1 << 10, 1 << 18);
+
+void BM_TableSerialize(benchmark::State& state) {
+  engine::Table t = MakeTwoColumnTable(
+      static_cast<size_t>(state.range(0)), 5, 10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::SerializeTable(t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableSerialize)->Range(1 << 10, 1 << 16);
+
+void BM_ExternalSort(benchmark::State& state) {
+  ScopedTempDir dir;
+  SplitMix64 rng(6);
+  std::vector<mapreduce::Record> records;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    records.push_back({{static_cast<uint32_t>(rng.Uniform(1000))},
+                       {static_cast<uint32_t>(i)}});
+  }
+  std::string in = dir.path() + "/in.rec";
+  (void)mapreduce::WriteRecordFile(in, records);
+  std::string out = dir.path() + "/out.rec";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapreduce::SortRecordFile(in, out, dir.path(), 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExternalSort)->Range(1 << 10, 1 << 15);
+
+}  // namespace
+}  // namespace s2rdf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+#include "bench/engine_suite.h"
+
+#include <chrono>
+
+namespace s2rdf::bench {
+
+namespace {
+
+// Duplicates a graph (Graph is move-only; the suite needs two owners:
+// S2RDF owns one copy, the baseline engines reference the other).
+rdf::Graph CopyGraph(const rdf::Graph& graph) {
+  rdf::Graph copy;
+  const rdf::Dictionary& dict = graph.dictionary();
+  for (const rdf::Triple& t : graph.triples()) {
+    copy.AddCanonical(dict.Decode(t.subject), dict.Decode(t.predicate),
+                      dict.Decode(t.object));
+  }
+  return copy;
+}
+
+}  // namespace
+
+const std::vector<std::string>& EngineSuite::EngineNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "S2RDF-ExtVP", "S2RDF-VP", "Sempala-PT",
+      "H2RDF-Index", "PigSPARQL-MR", "SHARD-MR",
+  };
+  return *names;
+}
+
+StatusOr<std::unique_ptr<EngineSuite>> EngineSuite::Create(
+    rdf::Graph graph, double mr_job_overhead_ms) {
+  auto suite = std::unique_ptr<EngineSuite>(new EngineSuite());
+  suite->mr_job_overhead_ms_ = mr_job_overhead_ms;
+  suite->graph_ = std::move(graph);
+
+  core::S2RdfOptions s2rdf_options;
+  S2RDF_ASSIGN_OR_RETURN(
+      suite->s2rdf_,
+      core::S2Rdf::Create(CopyGraph(suite->graph_), s2rdf_options));
+
+  baselines::SempalaOptions sempala_options;
+  S2RDF_ASSIGN_OR_RETURN(
+      suite->sempala_,
+      baselines::SempalaEngine::Create(&suite->graph_, sempala_options));
+
+  baselines::H2RdfOptions h2rdf_options;
+  // Adaptive bound: queries whose largest pattern exceeds 5% of the
+  // dataset take the distributed path (H2RDF+'s cost-model behaviour).
+  h2rdf_options.centralized_input_limit =
+      std::max<uint64_t>(1000, suite->graph_.NumTriples() / 20);
+  h2rdf_options.mr.work_dir = suite->mr_dir_->path();
+  h2rdf_options.mr.planner = baselines::MrPlanner::kMultiJoin;
+  suite->h2rdf_ = std::make_unique<baselines::H2RdfEngine>(&suite->graph_,
+                                                           h2rdf_options);
+
+  baselines::MrEngineOptions shard_options;
+  shard_options.work_dir = suite->mr_dir_->path();
+  shard_options.planner = baselines::MrPlanner::kClauseIteration;
+  suite->shard_ = std::make_unique<baselines::MrSparqlEngine>(
+      &suite->graph_, shard_options);
+
+  baselines::MrEngineOptions pig_options = shard_options;
+  pig_options.planner = baselines::MrPlanner::kMultiJoin;
+  suite->pigsparql_ = std::make_unique<baselines::MrSparqlEngine>(
+      &suite->graph_, pig_options);
+  return suite;
+}
+
+StatusOr<RunOutcome> EngineSuite::Run(const std::string& name,
+                                      const std::string& query) {
+  RunOutcome outcome;
+  if (name == "S2RDF-ExtVP" || name == "S2RDF-VP") {
+    core::Layout layout =
+        name == "S2RDF-ExtVP" ? core::Layout::kExtVp : core::Layout::kVp;
+    S2RDF_ASSIGN_OR_RETURN(core::QueryResult result,
+                           s2rdf_->Execute(query, layout));
+    outcome.measured_ms = result.millis;
+    outcome.modeled_ms = result.millis;
+    outcome.rows = result.table.NumRows();
+    return outcome;
+  }
+  if (name == "Sempala-PT") {
+    auto result = sempala_->Execute(query);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kUnimplemented) {
+        outcome.supported = false;
+        return outcome;
+      }
+      return result.status();
+    }
+    outcome.measured_ms = result->wall_ms;
+    outcome.modeled_ms = result->wall_ms;
+    outcome.rows = result->table.NumRows();
+    return outcome;
+  }
+  if (name == "H2RDF-Index") {
+    auto result = h2rdf_->Execute(query);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kUnimplemented) {
+        outcome.supported = false;
+        return outcome;
+      }
+      return result.status();
+    }
+    outcome.measured_ms = result->wall_ms;
+    outcome.mr_jobs = result->jobs;
+    outcome.modeled_ms = result->wall_ms +
+                         static_cast<double>(result->jobs) *
+                             mr_job_overhead_ms_;
+    outcome.rows = result->table.NumRows();
+    return outcome;
+  }
+  if (name == "PigSPARQL-MR" || name == "SHARD-MR") {
+    baselines::MrSparqlEngine* engine =
+        name == "SHARD-MR" ? shard_.get() : pigsparql_.get();
+    auto result = engine->Execute(query);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kUnimplemented) {
+        outcome.supported = false;
+        return outcome;
+      }
+      return result.status();
+    }
+    outcome.measured_ms = result->wall_ms;
+    outcome.mr_jobs = result->jobs;
+    outcome.modeled_ms = result->wall_ms +
+                         static_cast<double>(result->jobs) *
+                             mr_job_overhead_ms_;
+    outcome.rows = result->table.NumRows();
+    return outcome;
+  }
+  return InvalidArgumentError("unknown engine: " + name);
+}
+
+}  // namespace s2rdf::bench

@@ -1,0 +1,71 @@
+#ifndef S2RDF_BENCH_ENGINE_SUITE_H_
+#define S2RDF_BENCH_ENGINE_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/h2rdf_engine.h"
+#include "baselines/mr_sparql_engine.h"
+#include "baselines/sempala_engine.h"
+#include "common/file_util.h"
+#include "common/status.h"
+#include "core/s2rdf.h"
+#include "rdf/graph.h"
+
+// The six systems compared in the paper's Figs. 14/15 (Tables 4/5),
+// instantiated over one dataset:
+//
+//   S2RDF-ExtVP   — the paper's system
+//   S2RDF-VP      — same engine, plain vertical partitioning
+//   Sempala-PT    — property-table engine (Impala analogue)
+//   H2RDF-Index   — adaptive permutation-index engine (HBase analogue)
+//   PigSPARQL-MR  — multi-join MapReduce
+//   SHARD-MR      — clause-iteration MapReduce
+//
+// MapReduce cluster job-launch latency has no laptop equivalent, so MR
+// runtimes are reported as measured wall-clock plus `jobs x
+// mr_job_overhead_ms` (default 2000 ms per job, configurable through
+// S2RDF_BENCH_MR_OVERHEAD_MS; the paper's cluster showed 20-60 s per
+// job). Centralized engines report raw wall-clock.
+
+namespace s2rdf::bench {
+
+struct RunOutcome {
+  double modeled_ms = 0.0;   // Wall + modeled job overhead.
+  double measured_ms = 0.0;  // Raw wall-clock.
+  uint64_t rows = 0;
+  uint64_t mr_jobs = 0;
+  bool supported = true;  // False when an engine cannot run the query.
+};
+
+class EngineSuite {
+ public:
+  // Builds all six engines over `graph` (moved in).
+  static StatusOr<std::unique_ptr<EngineSuite>> Create(
+      rdf::Graph graph, double mr_job_overhead_ms);
+
+  static const std::vector<std::string>& EngineNames();
+
+  // Runs `query` on engine `name`.
+  StatusOr<RunOutcome> Run(const std::string& name, const std::string& query);
+
+  core::S2Rdf& s2rdf() { return *s2rdf_; }
+  const rdf::Graph& graph() const { return graph_; }
+
+ private:
+  EngineSuite() : mr_dir_(std::make_unique<ScopedTempDir>()) {}
+
+  rdf::Graph graph_;
+  double mr_job_overhead_ms_ = 2000.0;
+  std::unique_ptr<core::S2Rdf> s2rdf_;
+  std::unique_ptr<baselines::SempalaEngine> sempala_;
+  std::unique_ptr<baselines::H2RdfEngine> h2rdf_;
+  std::unique_ptr<ScopedTempDir> mr_dir_;
+  std::unique_ptr<baselines::MrSparqlEngine> shard_;
+  std::unique_ptr<baselines::MrSparqlEngine> pigsparql_;
+};
+
+}  // namespace s2rdf::bench
+
+#endif  // S2RDF_BENCH_ENGINE_SUITE_H_

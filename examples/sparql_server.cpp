@@ -1,0 +1,98 @@
+// SPARQL Protocol endpoint over an S2RDF store.
+//
+//   ./sparql_server [--port N] [--watdiv SF | --open <dir> | data.nt]
+//
+// Then:
+//   curl 'http://127.0.0.1:8890/sparql?query=SELECT...'   (URL-encoded)
+//   curl -X POST http://127.0.0.1:8890/sparql \
+//        --data-urlencode 'query=SELECT * WHERE { ?s ?p ?o } LIMIT 3'
+//   curl -H 'Accept: text/csv' ...
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+#include "core/s2rdf.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "server/sparql_endpoint.h"
+#include "watdiv/generator.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 8890;
+  double watdiv_sf = -1.0;
+  std::string open_dir;
+  std::string data_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--watdiv") == 0 && i + 1 < argc) {
+      watdiv_sf = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--open") == 0 && i + 1 < argc) {
+      open_dir = argv[++i];
+    } else {
+      data_path = argv[i];
+    }
+  }
+
+  s2rdf::StatusOr<std::unique_ptr<s2rdf::core::S2Rdf>> db =
+      s2rdf::InvalidArgumentError("uninitialized");
+  if (!open_dir.empty()) {
+    db = s2rdf::core::S2Rdf::Open(open_dir);
+  } else {
+    s2rdf::rdf::Graph graph;
+    if (watdiv_sf > 0) {
+      s2rdf::watdiv::GeneratorOptions gen;
+      gen.scale_factor = watdiv_sf;
+      graph = s2rdf::watdiv::Generate(gen);
+    } else if (!data_path.empty()) {
+      s2rdf::Status load =
+          s2rdf::EndsWith(data_path, ".ttl")
+              ? s2rdf::rdf::LoadTurtleFile(data_path, &graph)
+              : s2rdf::rdf::LoadNTriplesFile(data_path, &graph);
+      if (!load.ok()) {
+        std::fprintf(stderr, "%s\n", load.ToString().c_str());
+        return 1;
+      }
+    } else {
+      std::printf("no input given; serving WatDiv-like SF 0.1 dataset\n");
+      s2rdf::watdiv::GeneratorOptions gen;
+      gen.scale_factor = 0.1;
+      graph = s2rdf::watdiv::Generate(gen);
+    }
+    std::printf("loaded %zu triples; building layouts...\n",
+                graph.NumTriples());
+    db = s2rdf::core::S2Rdf::Create(std::move(graph), {});
+  }
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  s2rdf::server::SparqlEndpoint endpoint(db->get());
+  auto bound = endpoint.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SPARQL endpoint at http://127.0.0.1:%d/sparql (Ctrl-C to "
+              "stop)\n",
+              *bound);
+  // Make the banner visible immediately even when stdout is redirected
+  // (scripts wait for it before issuing requests).
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) pause();
+  std::printf("\nshutting down\n");
+  endpoint.Stop();
+  return 0;
+}

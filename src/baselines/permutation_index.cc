@@ -1,0 +1,135 @@
+#include "baselines/permutation_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace s2rdf::baselines {
+
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+
+// Component order of each permutation, as (first, second, third)
+// accessors into a Triple.
+struct Order {
+  TermId Triple::*first;
+  TermId Triple::*second;
+  TermId Triple::*third;
+};
+
+constexpr Order kOrders[6] = {
+    {&Triple::subject, &Triple::predicate, &Triple::object},    // SPO
+    {&Triple::subject, &Triple::object, &Triple::predicate},    // SOP
+    {&Triple::predicate, &Triple::subject, &Triple::object},    // PSO
+    {&Triple::predicate, &Triple::object, &Triple::subject},    // POS
+    {&Triple::object, &Triple::subject, &Triple::predicate},    // OSP
+    {&Triple::object, &Triple::predicate, &Triple::subject},    // OPS
+};
+
+// The bound prefix of `pattern` under permutation `perm`:
+// (first, second, third) with nullopt once a variable is hit.
+struct Prefix {
+  std::optional<TermId> first;
+  std::optional<TermId> second;
+  std::optional<TermId> third;
+};
+
+Prefix PrefixFor(const IndexPattern& pattern, Permutation perm) {
+  auto get = [&](TermId Triple::*member) -> std::optional<TermId> {
+    if (member == &Triple::subject) return pattern.subject;
+    if (member == &Triple::predicate) return pattern.predicate;
+    return pattern.object;
+  };
+  const Order& order = kOrders[static_cast<int>(perm)];
+  Prefix prefix;
+  prefix.first = get(order.first);
+  if (prefix.first.has_value()) {
+    prefix.second = get(order.second);
+    if (prefix.second.has_value()) prefix.third = get(order.third);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+Permutation PermutationIndexStore::ChoosePermutation(
+    const IndexPattern& pattern) {
+  const bool s = pattern.subject.has_value();
+  const bool p = pattern.predicate.has_value();
+  const bool o = pattern.object.has_value();
+  if (s && p) return Permutation::kSpo;  // Also covers s&p&o.
+  if (s && o) return Permutation::kSop;
+  if (p && o) return Permutation::kPos;
+  if (s) return Permutation::kSpo;
+  if (p) return Permutation::kPso;
+  if (o) return Permutation::kOsp;
+  return Permutation::kSpo;
+}
+
+PermutationIndexStore::PermutationIndexStore(const rdf::Graph& graph) {
+  // Dedup (RDF graphs are sets).
+  std::vector<Triple> triples;
+  std::unordered_set<Triple, rdf::TripleHash> seen;
+  triples.reserve(graph.NumTriples());
+  for (const Triple& t : graph.triples()) {
+    if (seen.insert(t).second) triples.push_back(t);
+  }
+  num_triples_ = triples.size();
+  for (int i = 0; i < 6; ++i) {
+    const Order& order = kOrders[i];
+    indexes_[i] = triples;
+    std::sort(indexes_[i].begin(), indexes_[i].end(),
+              [&order](const Triple& a, const Triple& b) {
+                if (a.*(order.first) != b.*(order.first)) {
+                  return a.*(order.first) < b.*(order.first);
+                }
+                if (a.*(order.second) != b.*(order.second)) {
+                  return a.*(order.second) < b.*(order.second);
+                }
+                return a.*(order.third) < b.*(order.third);
+              });
+  }
+}
+
+std::span<const rdf::Triple> PermutationIndexStore::Scan(
+    const IndexPattern& pattern) const {
+  Permutation perm = ChoosePermutation(pattern);
+  const Order& order = kOrders[static_cast<int>(perm)];
+  const std::vector<Triple>& index = indexes_[static_cast<int>(perm)];
+  Prefix prefix = PrefixFor(pattern, perm);
+
+  // Compare by the bound prefix only.
+  auto less = [&](const Triple& t, const Prefix& pre) {
+    if (!pre.first.has_value()) return false;
+    if (t.*(order.first) != *pre.first) return t.*(order.first) < *pre.first;
+    if (!pre.second.has_value()) return false;
+    if (t.*(order.second) != *pre.second) {
+      return t.*(order.second) < *pre.second;
+    }
+    if (!pre.third.has_value()) return false;
+    return t.*(order.third) < *pre.third;
+  };
+  auto greater = [&](const Prefix& pre, const Triple& t) {
+    if (!pre.first.has_value()) return false;
+    if (t.*(order.first) != *pre.first) return *pre.first < t.*(order.first);
+    if (!pre.second.has_value()) return false;
+    if (t.*(order.second) != *pre.second) {
+      return *pre.second < t.*(order.second);
+    }
+    if (!pre.third.has_value()) return false;
+    return *pre.third < t.*(order.third);
+  };
+
+  auto begin = std::lower_bound(index.begin(), index.end(), prefix, less);
+  auto end = std::upper_bound(begin, index.end(), prefix, greater);
+  return {index.data() + (begin - index.begin()),
+          static_cast<size_t>(end - begin)};
+}
+
+uint64_t PermutationIndexStore::CountMatches(
+    const IndexPattern& pattern) const {
+  return Scan(pattern).size();
+}
+
+}  // namespace s2rdf::baselines

@@ -1,0 +1,61 @@
+#ifndef S2RDF_BASELINES_PERMUTATION_INDEX_H_
+#define S2RDF_BASELINES_PERMUTATION_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+
+// Sextuple clustered triple indexes (SPO/SOP/PSO/POS/OSP/OPS), the
+// storage scheme of Hexastore, RDF-3X and — as sorted HBase row keys —
+// H2RDF+. Any triple pattern with bound positions maps to a contiguous
+// range of exactly one permutation, reachable by binary search; this is
+// the baselines' stand-in for HBase range scans / Virtuoso's indexes.
+
+namespace s2rdf::baselines {
+
+enum class Permutation { kSpo, kSop, kPso, kPos, kOsp, kOps };
+
+// A triple pattern with optional bound positions (nullopt = variable).
+struct IndexPattern {
+  std::optional<rdf::TermId> subject;
+  std::optional<rdf::TermId> predicate;
+  std::optional<rdf::TermId> object;
+
+  int BoundCount() const {
+    return (subject.has_value() ? 1 : 0) + (predicate.has_value() ? 1 : 0) +
+           (object.has_value() ? 1 : 0);
+  }
+};
+
+class PermutationIndexStore {
+ public:
+  // Builds all six sorted permutations of the (deduplicated) graph.
+  explicit PermutationIndexStore(const rdf::Graph& graph);
+
+  // The contiguous range of triples matching `pattern`, served from the
+  // best permutation for its bound positions.
+  std::span<const rdf::Triple> Scan(const IndexPattern& pattern) const;
+
+  // Exact cardinality of `pattern` (range width) — H2RDF+'s aggregated
+  // index statistics provide the same quantity.
+  uint64_t CountMatches(const IndexPattern& pattern) const;
+
+  // Which permutation Scan would use.
+  static Permutation ChoosePermutation(const IndexPattern& pattern);
+
+  uint64_t num_triples() const { return num_triples_; }
+  // Total tuples across all six permutations (store size accounting).
+  uint64_t TotalIndexTuples() const { return num_triples_ * 6; }
+
+ private:
+  std::vector<rdf::Triple> indexes_[6];
+  uint64_t num_triples_ = 0;
+};
+
+}  // namespace s2rdf::baselines
+
+#endif  // S2RDF_BASELINES_PERMUTATION_INDEX_H_

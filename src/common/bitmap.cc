@@ -1,0 +1,34 @@
+#include "common/bitmap.h"
+
+#include <bit>
+
+namespace s2rdf {
+
+Bitmap::Bitmap(size_t size_bits, bool initially_set)
+    : size_bits_(size_bits),
+      words_((size_bits + 63) / 64, initially_set ? ~0ull : 0ull) {
+  if (initially_set && size_bits % 64 != 0 && !words_.empty()) {
+    // Mask off the bits past size_bits so CountSetBits stays exact.
+    words_.back() = (1ull << (size_bits % 64)) - 1;
+  }
+}
+
+uint64_t Bitmap::CountSetBits() const {
+  uint64_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<uint64_t>(std::popcount(word));
+  }
+  return count;
+}
+
+void Bitmap::IntersectWith(const Bitmap& other) {
+  S2RDF_CHECK(size_bits_ == other.size_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitmap::UnionWith(const Bitmap& other) {
+  S2RDF_CHECK(size_bits_ == other.size_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+}  // namespace s2rdf

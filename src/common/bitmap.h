@@ -1,0 +1,61 @@
+#ifndef S2RDF_COMMON_BITMAP_H_
+#define S2RDF_COMMON_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+// Fixed-size bitset used by the bit-vector ExtVP representation (the
+// paper's future-work Sec. 8: "a more compact bit vector representation"
+// of the semi-join reductions). A bitmap over the rows of a VP table
+// marks which rows survive a semi-join; intersecting bitmaps realizes
+// the paper's proposed "unification strategy" that considers the
+// intersection of all correlations of a triple pattern at once.
+
+namespace s2rdf {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  // Creates a bitmap of `size_bits` bits, all set when `initially_set`.
+  explicit Bitmap(size_t size_bits, bool initially_set = false);
+
+  size_t size_bits() const { return size_bits_; }
+
+  void Set(size_t i) {
+    S2RDF_DCHECK(i < size_bits_);
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+  void Clear(size_t i) {
+    S2RDF_DCHECK(i < size_bits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  bool Test(size_t i) const {
+    S2RDF_DCHECK(i < size_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Number of set bits.
+  uint64_t CountSetBits() const;
+
+  // this &= other. Sizes must match.
+  void IntersectWith(const Bitmap& other);
+  // this |= other. Sizes must match.
+  void UnionWith(const Bitmap& other);
+
+  // Physical footprint of the bit words.
+  uint64_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.size_bits_ == b.size_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t size_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_BITMAP_H_

@@ -1,0 +1,29 @@
+#ifndef S2RDF_COMMON_CHECK_H_
+#define S2RDF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal assertion macros for programmer-error invariants (never for
+// recoverable conditions such as malformed user input — those use Status).
+
+// Aborts the process with a diagnostic if `cond` is false.
+#define S2RDF_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "S2RDF_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+// Like S2RDF_CHECK but compiled out in release (NDEBUG) builds.
+#ifdef NDEBUG
+#define S2RDF_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define S2RDF_DCHECK(cond) S2RDF_CHECK(cond)
+#endif
+
+#endif  // S2RDF_COMMON_CHECK_H_

@@ -1,0 +1,55 @@
+#ifndef S2RDF_COMMON_FILE_UTIL_H_
+#define S2RDF_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Thin POSIX file helpers. The project avoids <filesystem> (per the style
+// guide) and only needs flat directories of binary files.
+
+namespace s2rdf {
+
+// Writes `data` to `path`, truncating any existing file.
+Status WriteFile(const std::string& path, const std::string& data);
+
+// Reads the entire file at `path` into `*data`.
+Status ReadFile(const std::string& path, std::string* data);
+
+// Creates directory `path` (and missing parents). Succeeds if it exists.
+Status MakeDirs(const std::string& path);
+
+// Removes a single file; OK if it does not exist.
+Status RemoveFile(const std::string& path);
+
+// True if `path` exists (file or directory).
+bool PathExists(const std::string& path);
+
+// Returns the size in bytes of the file at `path`, or 0 if unreadable.
+uint64_t FileSizeBytes(const std::string& path);
+
+// Lists regular files directly inside `dir` (names only, unsorted).
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+// Creates a unique temp directory under TMPDIR (default /tmp) and removes
+// it — including contained files — on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir();
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  // Empty on creation failure.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_FILE_UTIL_H_

@@ -1,0 +1,41 @@
+#ifndef S2RDF_COMMON_HASH_H_
+#define S2RDF_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+// Hashing helpers used by the engine's hash joins, the storage checksums
+// and the partitioner of the mini MapReduce runtime.
+
+namespace s2rdf {
+
+// 64-bit FNV-1a over arbitrary bytes. Stable across platforms, used for
+// file checksums and as a string hash.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Mixes a 64-bit value (splitmix64 finalizer). Good avalanche for
+// partitioning dictionary ids.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines a hash with another value, boost-style.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (MixHash64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_HASH_H_

@@ -1,0 +1,31 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace s2rdf {
+
+uint64_t SplitMix64::Zipf(uint64_t n, double s) {
+  S2RDF_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Simple inverse-CDF approximation over the harmonic-like integral.
+  // H(x) = integral of x^-s: exact enough for workload skew modelling.
+  if (s == 1.0) s = 1.0000001;  // Avoid the log singularity.
+  const double exp1 = 1.0 - s;
+  const double hmax = (std::pow(static_cast<double>(n) + 0.5, exp1) -
+                       std::pow(0.5, exp1)) /
+                      exp1;
+  while (true) {
+    const double u = UniformDouble() * hmax + std::pow(0.5, exp1) / exp1;
+    const double x = std::pow(u * exp1, 1.0 / exp1);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    // Accept with probability proportional to the true mass; a single
+    // acceptance test keeps the distribution close to Zipf(s).
+    const double ratio = std::pow(static_cast<double>(k), -s) /
+                         std::pow(x < 0.5 ? 0.5 : x, -s);
+    if (UniformDouble() <= ratio) return k - 1;
+  }
+}
+
+}  // namespace s2rdf

@@ -1,0 +1,55 @@
+#ifndef S2RDF_COMMON_RANDOM_H_
+#define S2RDF_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+// Deterministic pseudo-random number generation for the WatDiv-style data
+// generator and the property tests. splitmix64 is fast, has a full 2^64
+// period per seed and is reproducible across platforms, which matters
+// because generated datasets are referenced by (scale factor, seed) in
+// EXPERIMENTS.md.
+
+namespace s2rdf {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  // Returns the next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Returns a uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    S2RDF_DCHECK(bound > 0);
+    // Modulo bias is negligible for bound << 2^64 and irrelevant for a
+    // synthetic-data generator.
+    return Next() % bound;
+  }
+
+  // Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Returns true with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Returns a Zipf-distributed integer in [0, n) with exponent `s`,
+  // using rejection-inversion (Hörmann & Derflinger). Used to model the
+  // skewed popularity distributions WatDiv assigns to social predicates.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_RANDOM_H_

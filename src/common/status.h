@@ -1,0 +1,133 @@
+#ifndef S2RDF_COMMON_STATUS_H_
+#define S2RDF_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+// Error handling primitives for the S2RDF library.
+//
+// The library does not use exceptions on its API surface. Fallible
+// operations return `Status`, or `StatusOr<T>` when they also produce a
+// value. Both types are cheap to move and carry a machine-readable code
+// plus a human-readable message.
+
+namespace s2rdf {
+
+// Machine-readable error categories, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+// The result of a fallible operation that produces no value.
+//
+// Example:
+//   Status s = catalog.Save(path);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "code: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring the code enum.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status IoError(std::string message);
+
+// The result of a fallible operation that produces a `T` on success.
+//
+// Example:
+//   StatusOr<Table> t = LoadTable(path);
+//   if (!t.ok()) return t.status();
+//   Use(*t);
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both
+  // work, matching absl::StatusOr ergonomics.
+  StatusOr(T value) : rep_(std::move(value)) {}
+  StatusOr(Status status) : rep_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Requires `!ok()` to return a meaningful error; returns OK otherwise.
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  // Requires `ok()`.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &std::get<T>(rep_); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace s2rdf
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define S2RDF_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::s2rdf::Status s2rdf_status_tmp_ = (expr);    \
+    if (!s2rdf_status_tmp_.ok()) return s2rdf_status_tmp_; \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors and otherwise
+// assigning the value to `lhs`. `lhs` may include a declaration.
+#define S2RDF_ASSIGN_OR_RETURN(lhs, expr)                 \
+  S2RDF_ASSIGN_OR_RETURN_IMPL_(                           \
+      S2RDF_STATUS_CONCAT_(s2rdf_statusor_, __LINE__), lhs, expr)
+#define S2RDF_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+#define S2RDF_STATUS_CONCAT_(a, b) S2RDF_STATUS_CONCAT_IMPL_(a, b)
+#define S2RDF_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // S2RDF_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef S2RDF_COMMON_STRINGS_H_
+#define S2RDF_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Small string utilities shared across the library.
+
+namespace s2rdf {
+
+// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+// Returns `input` without leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parses a decimal integer/floating literal. Returns false if `text` is
+// not entirely consumed by the parse.
+bool ParseInt64(std::string_view text, long long* value);
+bool ParseDouble(std::string_view text, double* value);
+
+// Replaces every occurrence of `from` in `text` with `to`.
+std::string StrReplaceAll(std::string_view text, std::string_view from,
+                          std::string_view to);
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_STRINGS_H_

@@ -1,0 +1,346 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace s2rdf::core {
+
+namespace {
+
+using engine::PlanNode;
+using engine::PlanPtr;
+using sparql::GraphPattern;
+using sparql::PatternTerm;
+using sparql::TriplePattern;
+
+// Number of bound (non-variable) positions — the primary join-order key
+// of Algorithm 4 ("patterns with more bound values are executed first").
+int BoundCount(const TriplePattern& tp) {
+  int n = 0;
+  if (!tp.subject.is_variable()) ++n;
+  if (!tp.predicate.is_variable()) ++n;
+  if (!tp.object.is_variable()) ++n;
+  return n;
+}
+
+bool SharesVariable(const TriplePattern& tp,
+                    const std::unordered_set<std::string>& vars) {
+  for (const std::string& v : tp.Variables()) {
+    if (vars.contains(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<PlanPtr> QueryCompiler::ScanForPattern(
+    const TriplePattern& tp, const TableChoice& choice) const {
+  std::vector<std::pair<std::string, std::string>> selections;
+  std::vector<std::pair<std::string, std::string>> equal_selections;
+  std::vector<std::pair<std::string, std::string>> projections;
+
+  // Position -> base column name. VP/ExtVP tables have columns (s, o)
+  // with the predicate implied; the triples table has (s, p, o).
+  struct Position {
+    const PatternTerm* term;
+    const char* column;
+    bool in_table;
+  };
+  const Position positions[3] = {
+      {&tp.subject, "s", true},
+      {&tp.predicate, "p", choice.is_triples_table},
+      {&tp.object, "o", true},
+  };
+
+  std::unordered_set<std::string> seen_vars;
+  std::vector<std::pair<std::string, std::string>> var_first_column;
+  for (const Position& pos : positions) {
+    if (!pos.in_table) continue;  // Bound predicate implied by the table.
+    if (pos.term->is_variable()) {
+      // Repeated variable inside one pattern -> equal-column selection.
+      bool repeated = false;
+      for (const auto& [var, column] : var_first_column) {
+        if (var == pos.term->value) {
+          equal_selections.emplace_back(column, pos.column);
+          repeated = true;
+          break;
+        }
+      }
+      if (!repeated) {
+        var_first_column.emplace_back(pos.term->value, pos.column);
+        projections.emplace_back(pos.column, pos.term->value);
+      }
+    } else {
+      selections.emplace_back(pos.column, pos.term->value);
+    }
+  }
+
+  engine::PlanPtr scan =
+      PlanNode::Scan(choice.table_name, std::move(selections),
+                     std::move(projections), std::move(equal_selections));
+  if (choice.row_filter != nullptr) {
+    scan->row_filter = choice.row_filter;
+    scan->row_filter_label = choice.row_filter_label;
+  }
+  return scan;
+}
+
+StatusOr<PlanPtr> QueryCompiler::CompileBgp(
+    const std::vector<TriplePattern>& bgp,
+    const std::vector<const engine::Expr*>& filters) const {
+  if (bgp.empty()) {
+    return InvalidArgumentError("empty basic graph pattern");
+  }
+
+  // Algorithm 1 per pattern.
+  std::vector<TableChoice> choices;
+  choices.reserve(bgp.size());
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    S2RDF_ASSIGN_OR_RETURN(
+        TableChoice choice,
+        SelectTable(i, bgp, options_.layout, options_.use_statistics_shortcut,
+                    catalog_, dict_, options_.bitmap_store));
+    if (choice.empty_result) {
+      // Statistics prove emptiness: return an empty relation with the
+      // BGP's variables as schema (Algorithm 3, line 4).
+      std::unordered_set<std::string> seen;
+      std::vector<std::string> columns;
+      for (const TriplePattern& tp : bgp) {
+        for (const std::string& v : tp.Variables()) {
+          if (seen.insert(v).second) columns.push_back(v);
+        }
+      }
+      return PlanNode::Empty(std::move(columns));
+    }
+    choices.push_back(std::move(choice));
+  }
+
+  // Join order: Algorithm 3 keeps the pattern order; Algorithm 4 orders
+  // by bound values, then by selected-table size, avoiding cross joins.
+  std::vector<size_t> order;
+  if (!options_.optimize_join_order) {
+    for (size_t i = 0; i < bgp.size(); ++i) order.push_back(i);
+  } else {
+    std::vector<size_t> remaining;
+    for (size_t i = 0; i < bgp.size(); ++i) remaining.push_back(i);
+    std::unordered_set<std::string> bound_vars;
+    while (!remaining.empty()) {
+      // Candidates: patterns connected to the joined prefix (all
+      // patterns for the first pick or if none connects).
+      std::vector<size_t> connected;
+      for (size_t idx : remaining) {
+        if (bound_vars.empty() || SharesVariable(bgp[idx], bound_vars)) {
+          connected.push_back(idx);
+        }
+      }
+      if (connected.empty()) connected = remaining;  // Forced cross join.
+      size_t best = connected[0];
+      for (size_t idx : connected) {
+        int bc_best = BoundCount(bgp[best]);
+        int bc_idx = BoundCount(bgp[idx]);
+        if (bc_idx > bc_best ||
+            (bc_idx == bc_best && choices[idx].rows < choices[best].rows)) {
+          best = idx;
+        }
+      }
+      order.push_back(best);
+      remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+      for (const std::string& v : bgp[best].Variables()) {
+        bound_vars.insert(v);
+      }
+    }
+  }
+
+  // Fold the joins, pushing each FILTER down to the first point where
+  // all of its variables are bound.
+  std::vector<const engine::Expr*> pending(filters.begin(), filters.end());
+  std::unordered_set<std::string> bound;
+  auto apply_ready_filters = [&](PlanPtr plan) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      bool ready = true;
+      for (const std::string& v : (*it)->ReferencedVariables()) {
+        if (!bound.contains(v)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        plan = PlanNode::FilterNode(std::move(plan), (*it)->Clone());
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return plan;
+  };
+
+  PlanPtr plan;
+  for (size_t idx : order) {
+    S2RDF_ASSIGN_OR_RETURN(PlanPtr scan,
+                           ScanForPattern(bgp[idx], choices[idx]));
+    plan = plan == nullptr ? std::move(scan)
+                           : PlanNode::Join(std::move(plan), std::move(scan));
+    for (const std::string& v : bgp[idx].Variables()) bound.insert(v);
+    plan = apply_ready_filters(std::move(plan));
+  }
+  // Filters that never became ready (variables not bound by this BGP)
+  // still apply — on rows where they evaluate to error they drop the
+  // row, matching FILTER semantics over the group.
+  for (const engine::Expr* filter : pending) {
+    plan = PlanNode::FilterNode(std::move(plan), filter->Clone());
+  }
+  return plan;
+}
+
+StatusOr<PlanPtr> QueryCompiler::CompileGroup(
+    const GraphPattern& pattern) const {
+  PlanPtr plan;
+
+  // Filter pushdown: a group-level FILTER whose variables are all bound
+  // by this group's BGP can run inside the BGP join pipeline. Filters
+  // referencing UNION- or OPTIONAL-bound variables stay at group level.
+  std::vector<const engine::Expr*> pushable;
+  std::vector<const engine::Expr*> group_level;
+  if (options_.push_filters && !pattern.triples.empty()) {
+    std::unordered_set<std::string> bgp_vars;
+    for (const TriplePattern& tp : pattern.triples) {
+      for (const std::string& v : tp.Variables()) bgp_vars.insert(v);
+    }
+    for (const engine::ExprPtr& filter : pattern.filters) {
+      bool covered = true;
+      for (const std::string& v : filter->ReferencedVariables()) {
+        if (!bgp_vars.contains(v)) {
+          covered = false;
+          break;
+        }
+      }
+      (covered ? pushable : group_level).push_back(filter.get());
+    }
+  } else {
+    for (const engine::ExprPtr& filter : pattern.filters) {
+      group_level.push_back(filter.get());
+    }
+  }
+
+  if (!pattern.triples.empty()) {
+    S2RDF_ASSIGN_OR_RETURN(plan, CompileBgp(pattern.triples, pushable));
+  }
+
+  // UNION chains join with the rest of the group.
+  for (const auto& chain : pattern.unions) {
+    PlanPtr union_plan;
+    for (const GraphPattern& alt : chain) {
+      S2RDF_ASSIGN_OR_RETURN(PlanPtr alt_plan, CompileGroup(alt));
+      union_plan = union_plan == nullptr
+                       ? std::move(alt_plan)
+                       : PlanNode::Union(std::move(union_plan),
+                                         std::move(alt_plan));
+    }
+    plan = plan == nullptr
+               ? std::move(union_plan)
+               : PlanNode::Join(std::move(plan), std::move(union_plan));
+  }
+
+  // VALUES blocks join their inline rows with the rest of the group.
+  for (const sparql::InlineData& data : pattern.values) {
+    engine::PlanPtr inline_plan =
+        PlanNode::InlineDataNode(data.variables, data.rows);
+    plan = plan == nullptr
+               ? std::move(inline_plan)
+               : PlanNode::Join(std::move(plan), std::move(inline_plan));
+  }
+
+  // SPARQL 1.1 subqueries join with the rest of the group; only their
+  // projected variables are visible.
+  for (const auto& sub : pattern.subqueries) {
+    S2RDF_ASSIGN_OR_RETURN(PlanPtr sub_plan, Compile(*sub));
+    plan = plan == nullptr
+               ? std::move(sub_plan)
+               : PlanNode::Join(std::move(plan), std::move(sub_plan));
+  }
+
+  if (plan == nullptr) {
+    return InvalidArgumentError("group graph pattern has no triple patterns");
+  }
+
+  // OPTIONAL -> left outer join. Filters directly inside the optional
+  // group become the join condition (they may reference outer
+  // variables), per the SPARQL LeftJoin(P1, P2, C) semantics.
+  for (const GraphPattern& optional : pattern.optionals) {
+    PlanPtr opt_plan;
+    engine::ExprPtr condition;
+    if (optional.unions.empty() && optional.optionals.empty()) {
+      // Plain optional BGP: its filters become the join condition so
+      // they can reference outer variables.
+      S2RDF_ASSIGN_OR_RETURN(opt_plan, CompileBgp(optional.triples));
+      for (const engine::ExprPtr& f : optional.filters) {
+        condition = condition == nullptr
+                        ? f->Clone()
+                        : engine::Expr::And(std::move(condition), f->Clone());
+      }
+    } else {
+      // Nested structure: compile the whole group; its filters then only
+      // see variables bound inside the optional part.
+      S2RDF_ASSIGN_OR_RETURN(opt_plan, CompileGroup(optional));
+    }
+    plan = PlanNode::LeftJoin(std::move(plan), std::move(opt_plan),
+                              std::move(condition));
+  }
+
+  for (const engine::Expr* filter : group_level) {
+    plan = PlanNode::FilterNode(std::move(plan), filter->Clone());
+  }
+  return plan;
+}
+
+StatusOr<PlanPtr> QueryCompiler::Compile(const sparql::Query& query) const {
+  S2RDF_ASSIGN_OR_RETURN(PlanPtr plan, CompileGroup(query.where));
+
+  if (query.is_ask) {
+    // ASK: any single solution answers the query.
+    return PlanNode::SliceNode(std::move(plan), 0, 1);
+  }
+
+  // SPARQL 1.1 aggregation: GROUP BY and/or aggregate select items.
+  const bool is_aggregate =
+      !query.aggregates.empty() || !query.group_by.empty();
+  if (is_aggregate) {
+    if (query.select_all) {
+      return InvalidArgumentError(
+          "SELECT * cannot be combined with aggregates/GROUP BY");
+    }
+    // Every plain projected variable must be a grouping key.
+    for (const std::string& name : query.projection) {
+      bool is_alias = false;
+      for (const engine::AggregateSpec& spec : query.aggregates) {
+        if (spec.output_name == name) is_alias = true;
+      }
+      if (is_alias) continue;
+      if (std::find(query.group_by.begin(), query.group_by.end(), name) ==
+          query.group_by.end()) {
+        return InvalidArgumentError(
+            "variable ?" + name +
+            " must appear in GROUP BY or inside an aggregate");
+      }
+    }
+    plan = PlanNode::AggregateNode(std::move(plan), query.group_by,
+                                   query.aggregates);
+  }
+
+  std::vector<std::string> projection =
+      query.select_all ? query.where.AllVariables() : query.projection;
+  plan = PlanNode::ProjectNode(std::move(plan), std::move(projection));
+
+  if (query.distinct) plan = PlanNode::DistinctNode(std::move(plan));
+  if (!query.order_by.empty()) {
+    plan = PlanNode::OrderByNode(std::move(plan), query.order_by);
+  }
+  if (query.offset > 0 || query.limit != engine::kNoLimit) {
+    plan = PlanNode::SliceNode(std::move(plan), query.offset, query.limit);
+  }
+  return plan;
+}
+
+}  // namespace s2rdf::core

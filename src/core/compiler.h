@@ -1,0 +1,70 @@
+#ifndef S2RDF_CORE_COMPILER_H_
+#define S2RDF_CORE_COMPILER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/table_selection.h"
+#include "engine/plan.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "storage/catalog.h"
+
+// SPARQL -> relational plan compiler (Sec. 6 of the paper):
+//   Algorithm 2 (TP2SQL)      — a triple pattern over its selected table
+//   Algorithm 3 (BGP2SQL)     — join in pattern order
+//   Algorithm 4 (BGP2SQL_opt) — statistics-driven join ordering
+// plus the mapping of FILTER / OPTIONAL / UNION / DISTINCT / ORDER BY /
+// LIMIT / OFFSET onto the engine's operators.
+
+namespace s2rdf::core {
+
+struct CompilerOptions {
+  Layout layout = Layout::kExtVp;
+  // Algorithm 4 (true) vs Algorithm 3 (false).
+  bool optimize_join_order = true;
+  // Allow the statistics-only empty-result shortcut (SF = 0 tables).
+  bool use_statistics_shortcut = true;
+  // Apply FILTERs as soon as their variables are bound inside the BGP
+  // join pipeline instead of after the whole group (the "filter
+  // pushing" of Sec. 6).
+  bool push_filters = true;
+  // EXPLAIN ANALYZE: record per-operator rows and timings in
+  // QueryResult::profile.
+  bool collect_profile = false;
+  // Required for Layout::kExtVpBitmap; must outlive the compiler.
+  const ExtVpBitmapStore* bitmap_store = nullptr;
+};
+
+class QueryCompiler {
+ public:
+  // `catalog` and `dict` must outlive the compiler.
+  QueryCompiler(const storage::Catalog* catalog, const rdf::Dictionary* dict,
+                CompilerOptions options)
+      : catalog_(*catalog), dict_(*dict), options_(options) {}
+
+  // Compiles a parsed query to an executable plan.
+  StatusOr<engine::PlanPtr> Compile(const sparql::Query& query) const;
+
+  // Compiles a bare BGP (used by tests and baseline engines). `filters`
+  // are FILTER expressions to interleave into the join pipeline as soon
+  // as their variables are bound (pushdown); any filter whose variables
+  // are never fully bound is applied last.
+  StatusOr<engine::PlanPtr> CompileBgp(
+      const std::vector<sparql::TriplePattern>& bgp,
+      const std::vector<const engine::Expr*>& filters = {}) const;
+
+ private:
+  StatusOr<engine::PlanPtr> CompileGroup(
+      const sparql::GraphPattern& pattern) const;
+  StatusOr<engine::PlanPtr> ScanForPattern(const sparql::TriplePattern& tp,
+                                           const TableChoice& choice) const;
+
+  const storage::Catalog& catalog_;
+  const rdf::Dictionary& dict_;
+  CompilerOptions options_;
+};
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_COMPILER_H_

@@ -1,0 +1,48 @@
+#ifndef S2RDF_CORE_LAYOUT_NAMES_H_
+#define S2RDF_CORE_LAYOUT_NAMES_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+
+// Catalog naming scheme for the relational layouts of Sec. 4/5:
+//   triples                       — the triples table TT(s, p, o)
+//   vp_<pred>_<id>                — VP_p(s, o)
+//   extvp_ss_<p1>_<id1>__<p2>_<id2> — ExtVP^SS_p1|p2, likewise os / so
+//   pt / pt_aux_<pred>_<id>       — property table + auxiliary tables
+// The human-readable predicate fragment makes the generated SQL of the
+// examples legible; the numeric id guarantees uniqueness.
+
+namespace s2rdf::core {
+
+// The three precomputed correlation directions (OO is intentionally not
+// precomputed — Sec. 5.2 discusses why).
+enum class Correlation { kSS, kOS, kSO };
+
+inline const char* CorrelationName(Correlation c) {
+  switch (c) {
+    case Correlation::kSS:
+      return "ss";
+    case Correlation::kOS:
+      return "os";
+    case Correlation::kSO:
+      return "so";
+  }
+  return "??";
+}
+
+// Short readable fragment of a predicate term ("<http://x/ns#follows>"
+// -> "follows"), sanitized to [a-z0-9_], max 24 chars.
+std::string PredicateFragment(const std::string& canonical_term);
+
+std::string TriplesTableName();
+std::string VpTableName(const rdf::Dictionary& dict, rdf::TermId predicate);
+std::string ExtVpTableName(const rdf::Dictionary& dict, Correlation corr,
+                           rdf::TermId p1, rdf::TermId p2);
+std::string PropertyTableName();
+std::string PropertyAuxTableName(const rdf::Dictionary& dict,
+                                 rdf::TermId predicate);
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_LAYOUT_NAMES_H_

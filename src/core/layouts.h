@@ -1,0 +1,124 @@
+#ifndef S2RDF_CORE_LAYOUTS_H_
+#define S2RDF_CORE_LAYOUTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/layout_names.h"
+#include "engine/table.h"
+#include "rdf/graph.h"
+#include "storage/catalog.h"
+
+// Builders for the relational RDF layouts of Secs. 4 and 5:
+// triples table (4.1), vertical partitioning (4.2), property tables
+// (4.3) and the paper's contribution, ExtVP (5). Each builder registers
+// its tables — and, crucially for ExtVP, the statistics of tables it
+// decides *not* to materialize — in a storage::Catalog.
+
+namespace s2rdf::core {
+
+// Deduplicated (s, o) rows per predicate, in first-appearance order.
+// All layout builders consume this shared row stream, which guarantees
+// that row indices agree across them — the bit-vector ExtVP store
+// (extvp_bitmap.h) relies on its bitmaps matching the VP tables row for
+// row.
+struct VpRowData {
+  std::vector<rdf::TermId> predicates;
+  std::unordered_map<rdf::TermId,
+                     std::vector<std::pair<rdf::TermId, rdf::TermId>>>
+      rows;
+};
+
+VpRowData CollectVpRows(const rdf::Graph& graph);
+
+// --- Triples table (Sec. 4.1) -----------------------------------------
+
+// Builds TT(s, p, o) and registers it as "triples".
+Status BuildTriplesTable(const rdf::Graph& graph, storage::Catalog* catalog);
+
+// --- Vertical partitioning (Sec. 4.2) ----------------------------------
+
+// Builds VP_p(s, o) for every predicate p.
+Status BuildVpLayout(const rdf::Graph& graph, storage::Catalog* catalog);
+
+// --- ExtVP (Sec. 5) -----------------------------------------------------
+
+struct ExtVpOptions {
+  // Materialize only tables with SF < sf_threshold (Sec. 5.3). The
+  // default 1.0 materializes every table with 0 < SF < 1, i.e. "no
+  // threshold" in the paper's terminology (tables equal to VP are never
+  // stored).
+  double sf_threshold = 1.0;
+  // Correlation directions to precompute. OO is never precomputed.
+  bool build_ss = true;
+  bool build_os = true;
+  bool build_so = true;
+};
+
+struct ExtVpBuildStats {
+  // Number of (correlation, p1, p2) combinations examined.
+  uint64_t tables_considered = 0;
+  uint64_t tables_materialized = 0;
+  uint64_t tables_empty = 0;     // SF = 0 (not stored; stats only).
+  uint64_t tables_equal_vp = 0;  // SF = 1 (not stored; VP used instead).
+  uint64_t tables_pruned = 0;    // 0 < SF < 1 but SF >= threshold.
+  uint64_t tuples_materialized = 0;
+  double build_seconds = 0.0;
+};
+
+// Builds the ExtVP semi-join reduction tables over an existing VP layout
+// (BuildVpLayout must have run on the same catalog). Registers stats for
+// every non-empty combination; materializes those within the threshold.
+// A combination with no stats entry is empty (SF = 0) — the query
+// compiler uses this for the statistics-only empty-result shortcut.
+StatusOr<ExtVpBuildStats> BuildExtVpLayout(const rdf::Graph& graph,
+                                           const ExtVpOptions& options,
+                                           storage::Catalog* catalog);
+
+// --- Lazy ("pay as you go") ExtVP ---------------------------------------
+
+// Computes and registers the single reduction ExtVP_corr_p1|p2 from the
+// catalog's VP tables — the "pay as you go" alternative Sec. 7 sketches:
+// no load-time precomputation; each reduction is materialized the first
+// time a query needs it and reused afterwards. Registers a stats entry
+// in every case (including empty and SF = 1 reductions, which are not
+// materialized), mirroring the eager builder's conventions. The
+// `sf_threshold` prunes materialization exactly like the eager build.
+Status MaterializeExtVpPair(const rdf::Dictionary& dict, Correlation corr,
+                            rdf::TermId p1, rdf::TermId p2,
+                            double sf_threshold, storage::Catalog* catalog);
+
+// --- Property tables (Sec. 4.3) -----------------------------------------
+
+enum class PropertyTableStrategy {
+  // Multi-valued predicates duplicate rows (cross product per subject),
+  // exactly as in the paper's Table 1. Correct but can explode; used for
+  // small graphs and for reproducing Fig. 7.
+  kDuplication,
+  // Multi-valued predicates are moved to auxiliary two-column tables and
+  // joined back in — the other strategy Sec. 4.3 names. Bounded size;
+  // used for the Sempala-analogue baseline at benchmark scale.
+  kAuxiliaryTables,
+};
+
+struct PropertyTableBuildStats {
+  uint64_t pt_rows = 0;
+  uint64_t aux_tables = 0;
+  uint64_t aux_tuples = 0;
+  std::vector<rdf::TermId> single_valued;  // Predicates inline in the PT.
+  std::vector<rdf::TermId> multi_valued;   // Predicates in aux tables.
+};
+
+// Builds the unified property table "pt" whose columns are "s" plus one
+// column per inlined predicate (column name = VP table name of that
+// predicate, so lookups are uniform). Missing values are kNullTermId.
+StatusOr<PropertyTableBuildStats> BuildPropertyTable(
+    const rdf::Graph& graph, PropertyTableStrategy strategy,
+    storage::Catalog* catalog);
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_LAYOUTS_H_

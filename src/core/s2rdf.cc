@@ -1,0 +1,318 @@
+#include "core/s2rdf.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "common/file_util.h"
+#include "sparql/parser.h"
+
+namespace s2rdf::core {
+
+StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
+                                               const S2RdfOptions& options) {
+  auto db = std::unique_ptr<S2Rdf>(
+      new S2Rdf(std::move(graph), options.storage_dir,
+                options.num_partitions, options.parallel_execution));
+
+  auto start = std::chrono::steady_clock::now();
+  if (options.build_triples_table) {
+    S2RDF_RETURN_IF_ERROR(BuildTriplesTable(db->graph_, &db->catalog_));
+  }
+  S2RDF_RETURN_IF_ERROR(BuildVpLayout(db->graph_, &db->catalog_));
+  db->load_stats_.vp_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  db->sf_threshold_ = options.sf_threshold;
+  if (options.lazy_extvp) {
+    // "Pay as you go": no precomputation; only register the correlation
+    // markers so Algorithm 1 consults ExtVP statistics.
+    db->lazy_extvp_ = true;
+    db->catalog_.PutStatsOnly("meta_extvp_ss", 1, 1.0);
+    db->catalog_.PutStatsOnly("meta_extvp_os", 1, 1.0);
+    db->catalog_.PutStatsOnly("meta_extvp_so", 1, 1.0);
+  } else if (options.build_extvp) {
+    ExtVpOptions extvp = options.extvp;
+    extvp.sf_threshold = options.sf_threshold;
+    S2RDF_ASSIGN_OR_RETURN(
+        db->load_stats_.extvp_stats,
+        BuildExtVpLayout(db->graph_, extvp, &db->catalog_));
+    db->load_stats_.extvp_seconds =
+        db->load_stats_.extvp_stats.build_seconds;
+  }
+  if (options.build_extvp_bitmaps) {
+    ExtVpOptions extvp = options.extvp;
+    extvp.sf_threshold = options.sf_threshold;
+    S2RDF_ASSIGN_OR_RETURN(db->bitmap_store_,
+                           ExtVpBitmapStore::Build(db->graph_, extvp));
+  }
+  if (!options.storage_dir.empty()) {
+    S2RDF_RETURN_IF_ERROR(db->catalog_.SaveManifest());
+    S2RDF_RETURN_IF_ERROR(
+        WriteFile(options.storage_dir + "/dictionary.bin",
+                  db->graph_.dictionary().Serialize()));
+  }
+  db->catalog_.SetMemoryBudget(options.memory_budget_bytes);
+  db->catalog_.EvictToBudget();
+  return db;
+}
+
+StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Open(const std::string& storage_dir,
+                                             int num_partitions) {
+  if (storage_dir.empty()) {
+    return InvalidArgumentError("Open requires a storage directory");
+  }
+  std::string blob;
+  S2RDF_RETURN_IF_ERROR(ReadFile(storage_dir + "/dictionary.bin", &blob));
+  S2RDF_ASSIGN_OR_RETURN(rdf::Dictionary dict,
+                         rdf::Dictionary::Deserialize(blob));
+  // The reopened instance carries the dictionary but no triple list;
+  // queries execute against the persisted tables.
+  rdf::Graph graph;
+  graph.dictionary() = std::move(dict);
+  auto db = std::unique_ptr<S2Rdf>(
+      new S2Rdf(std::move(graph), storage_dir, num_partitions));
+  S2RDF_RETURN_IF_ERROR(db->catalog_.LoadManifest());
+  return db;
+}
+
+StatusOr<QueryResult> S2Rdf::Execute(std::string_view sparql_text,
+                                     Layout layout) {
+  CompilerOptions options;
+  options.layout = layout;
+  return ExecuteWithOptions(sparql_text, options);
+}
+
+StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
+    std::string_view sparql_text, const CompilerOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  S2RDF_ASSIGN_OR_RETURN(sparql::Query query,
+                         sparql::ParseQuery(sparql_text));
+  if (lazy_extvp_ && options.layout == Layout::kExtVp) {
+    S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(query.where));
+  }
+  CompilerOptions effective = options;
+  if (effective.layout == Layout::kExtVpBitmap) {
+    if (bitmap_store_ == nullptr) {
+      return FailedPreconditionError(
+          "Layout::kExtVpBitmap requires S2RdfOptions.build_extvp_bitmaps");
+    }
+    effective.bitmap_store = bitmap_store_.get();
+  }
+  if (query.form == sparql::QueryForm::kConstruct ||
+      query.form == sparql::QueryForm::kDescribe) {
+    return ExecuteGraphForm(query, effective);
+  }
+  QueryCompiler compiler(&catalog_, &graph_.dictionary(), effective);
+  S2RDF_ASSIGN_OR_RETURN(engine::PlanPtr plan, compiler.Compile(query));
+
+  engine::ExecContext ctx;
+  ctx.num_partitions = num_partitions_;
+  ctx.parallel_execution = parallel_execution_;
+  ctx.collect_profile = options.collect_profile;
+  S2RDF_ASSIGN_OR_RETURN(
+      engine::Table table,
+      engine::ExecutePlan(*plan, catalog_.AsProvider(), &graph_.dictionary(),
+                          &ctx));
+  ctx.metrics.output_tuples = table.NumRows();
+
+  QueryResult result;
+  // Timing covers parse + compile + execute; the debug renderings below
+  // are excluded (they are inspection aids, not part of the query path).
+  result.millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  result.is_ask = query.is_ask;
+  result.ask_result = query.is_ask && table.NumRows() > 0;
+  if (options.collect_profile) {
+    char line[256];
+    for (const engine::OperatorProfile& op : ctx.profile) {
+      std::snprintf(line, sizeof(line), "%*s%s  rows=%llu  %.3f ms\n",
+                    op.depth * 2, "", op.label.c_str(),
+                    static_cast<unsigned long long>(op.output_rows),
+                    op.millis);
+      result.profile += line;
+    }
+  }
+  result.sql = plan->ToSql();
+  result.plan = plan->ToString();
+  result.table = std::move(table);
+  result.metrics = ctx.metrics;
+  // Enforce the memory budget between queries (pointers handed to the
+  // executor are no longer live here).
+  catalog_.EvictToBudget();
+  return result;
+}
+
+StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
+    const sparql::Query& query, const CompilerOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  const rdf::Dictionary& dict = graph_.dictionary();
+  engine::ExecContext ctx;
+  ctx.num_partitions = num_partitions_;
+  ctx.parallel_execution = parallel_execution_;
+
+  // Solutions of the WHERE clause (all variables projected; the parser
+  // sets select_all for graph forms). DESCRIBE without a WHERE clause
+  // skips this.
+  engine::Table solutions(std::vector<std::string>{});
+  if (!query.where.triples.empty() || !query.where.unions.empty() ||
+      !query.where.subqueries.empty() || !query.where.values.empty()) {
+    QueryCompiler compiler(&catalog_, &dict, options);
+    S2RDF_ASSIGN_OR_RETURN(engine::PlanPtr plan, compiler.Compile(query));
+    S2RDF_ASSIGN_OR_RETURN(
+        solutions, engine::ExecutePlan(*plan, catalog_.AsProvider(),
+                                       &graph_.dictionary(), &ctx));
+  }
+
+  // Collect output statements, deduplicated (graphs are sets).
+  std::set<std::string> statements;
+
+  if (query.form == sparql::QueryForm::kConstruct) {
+    for (size_t r = 0; r < solutions.NumRows(); ++r) {
+      for (const sparql::TriplePattern& tp : query.construct_template) {
+        std::string parts[3];
+        bool ok = true;
+        const sparql::PatternTerm* terms[3] = {&tp.subject, &tp.predicate,
+                                               &tp.object};
+        for (int i = 0; i < 3 && ok; ++i) {
+          if (!terms[i]->is_variable()) {
+            parts[i] = terms[i]->value;
+            continue;
+          }
+          int col = solutions.ColumnIndex(terms[i]->value);
+          if (col < 0) {
+            ok = false;  // Template variable not bound by WHERE.
+            break;
+          }
+          rdf::TermId id = solutions.At(r, static_cast<size_t>(col));
+          if (id == engine::kNullTermId) {
+            ok = false;  // Unbound (OPTIONAL): skip this triple.
+            break;
+          }
+          parts[i] = dict.Decode(id);
+        }
+        // Well-formedness: literals cannot be subjects/predicates,
+        // blank nodes cannot be predicates.
+        if (ok && (parts[0].front() == '"' || parts[1].front() != '<')) {
+          ok = false;
+        }
+        if (ok) {
+          statements.insert(parts[0] + " " + parts[1] + " " + parts[2] +
+                            " .");
+        }
+      }
+    }
+  } else {
+    // DESCRIBE: resolve targets to term ids, then emit every statement
+    // with the target as subject (a simple concise bounded description).
+    std::set<rdf::TermId> targets;
+    for (const sparql::PatternTerm& target : query.describe_targets) {
+      if (!target.is_variable()) {
+        std::optional<rdf::TermId> id = dict.Find(target.value);
+        if (id.has_value()) targets.insert(*id);
+        continue;
+      }
+      int col = solutions.ColumnIndex(target.value);
+      if (col < 0) {
+        return InvalidArgumentError("DESCRIBE variable ?" + target.value +
+                                    " is not bound by the WHERE clause");
+      }
+      for (size_t r = 0; r < solutions.NumRows(); ++r) {
+        rdf::TermId id = solutions.At(r, static_cast<size_t>(col));
+        if (id != engine::kNullTermId) targets.insert(id);
+      }
+    }
+    S2RDF_ASSIGN_OR_RETURN(const engine::Table* triples,
+                           catalog_.GetTable(TriplesTableName()));
+    ctx.metrics.input_tuples += triples->NumRows();
+    for (size_t r = 0; r < triples->NumRows(); ++r) {
+      if (!targets.contains(triples->At(r, 0))) continue;
+      statements.insert(dict.Decode(triples->At(r, 0)) + " " +
+                        dict.Decode(triples->At(r, 1)) + " " +
+                        dict.Decode(triples->At(r, 2)) + " .");
+    }
+  }
+
+  QueryResult result;
+  result.is_graph = true;
+  for (const std::string& statement : statements) {
+    result.graph_ntriples += statement + "\n";
+  }
+  ctx.metrics.output_tuples = statements.size();
+  result.metrics = ctx.metrics;
+  result.millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  catalog_.EvictToBudget();
+  return result;
+}
+
+Status S2Rdf::LazyMaterializeFor(const sparql::GraphPattern& pattern) {
+  const rdf::Dictionary& dict = graph_.dictionary();
+  const auto& bgp = pattern.triples;
+  auto same_var = [](const sparql::PatternTerm& a,
+                     const sparql::PatternTerm& b) {
+    return a.is_variable() && b.is_variable() && a.value == b.value;
+  };
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    if (bgp[i].predicate.is_variable()) continue;
+    std::optional<rdf::TermId> p1 = dict.Find(bgp[i].predicate.value);
+    if (!p1.has_value()) continue;
+    for (size_t j = 0; j < bgp.size(); ++j) {
+      if (i == j || bgp[j].predicate.is_variable()) continue;
+      std::optional<rdf::TermId> p2 = dict.Find(bgp[j].predicate.value);
+      if (!p2.has_value()) continue;
+      struct Case {
+        bool applies;
+        Correlation corr;
+      };
+      const Case cases[3] = {
+          {same_var(bgp[i].subject, bgp[j].subject), Correlation::kSS},
+          {same_var(bgp[i].subject, bgp[j].object), Correlation::kSO},
+          {same_var(bgp[i].object, bgp[j].subject), Correlation::kOS},
+      };
+      for (const Case& c : cases) {
+        if (!c.applies) continue;
+        if (c.corr == Correlation::kSS && *p1 == *p2) continue;
+        if (catalog_.Has(ExtVpTableName(dict, c.corr, *p1, *p2))) continue;
+        ++lazy_pairs_computed_;
+        S2RDF_RETURN_IF_ERROR(MaterializeExtVpPair(
+            dict, c.corr, *p1, *p2, sf_threshold_, &catalog_));
+      }
+    }
+  }
+  for (const sparql::GraphPattern& opt : pattern.optionals) {
+    S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(opt));
+  }
+  for (const auto& chain : pattern.unions) {
+    for (const sparql::GraphPattern& alt : chain) {
+      S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(alt));
+    }
+  }
+  for (const auto& sub : pattern.subqueries) {
+    S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(sub->where));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<std::string>> S2Rdf::DecodeRows(
+    const engine::Table& table) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.NumRows());
+  const rdf::Dictionary& dict = graph_.dictionary();
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.NumColumns());
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      rdf::TermId id = table.At(r, c);
+      row.push_back(id == engine::kNullTermId ? "" : dict.Decode(id));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace s2rdf::core

@@ -1,0 +1,156 @@
+#ifndef S2RDF_CORE_S2RDF_H_
+#define S2RDF_CORE_S2RDF_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compiler.h"
+#include "core/extvp_bitmap.h"
+#include "core/layouts.h"
+#include "engine/exec_context.h"
+#include "engine/table.h"
+#include "rdf/graph.h"
+#include "storage/catalog.h"
+
+// The S2RDF system facade: loads an RDF graph, builds the relational
+// layouts (triples table, VP, ExtVP with an optional SF threshold), and
+// executes SPARQL queries over a chosen layout, reporting both results
+// and the execution metrics the paper argues about (input size, join
+// comparisons, shuffle volume).
+//
+// Example:
+//   rdf::Graph g;
+//   rdf::ParseNTriples(data, &g);
+//   S2RDF_ASSIGN_OR_RETURN(auto db, core::S2Rdf::Create(std::move(g), {}));
+//   S2RDF_ASSIGN_OR_RETURN(auto result,
+//                          db->Execute("SELECT * WHERE { ?s ?p ?o }"));
+
+namespace s2rdf::core {
+
+struct S2RdfOptions {
+  // Storage directory; empty keeps all tables in memory.
+  std::string storage_dir;
+  // ExtVP selectivity-factor threshold (Sec. 5.3). 1.0 = no threshold.
+  double sf_threshold = 1.0;
+  // Layouts to build. The triples table is required for queries with
+  // unbound predicates; VP is always built (base layout).
+  bool build_triples_table = true;
+  bool build_extvp = true;
+  // "Pay as you go" mode (Sec. 7's production suggestion): skip the
+  // ExtVP precomputation entirely; each reduction a query needs is
+  // materialized on first use and reused by later queries. Mutually
+  // exclusive with build_extvp.
+  bool lazy_extvp = false;
+  // Also build the bit-vector ExtVP representation (future work of
+  // Sec. 8), enabling Layout::kExtVpBitmap with correlation
+  // intersection.
+  bool build_extvp_bitmaps = false;
+  ExtVpOptions extvp;
+  // Simulated cluster width for the shuffle meter.
+  int num_partitions = 9;
+  // Execute large joins partition-parallel on num_partitions threads.
+  bool parallel_execution = false;
+  // In-memory table-cache budget for disk-backed stores (0 = unlimited);
+  // LRU tables are evicted between queries and reload from disk.
+  uint64_t memory_budget_bytes = 0;
+};
+
+struct QueryResult {
+  engine::Table table;
+  // For ASK queries: whether any solution exists (`table` then holds at
+  // most one undecoded witness row).
+  bool is_ask = false;
+  bool ask_result = false;
+  // For CONSTRUCT/DESCRIBE: the resulting graph in N-Triples syntax
+  // (`table` is then empty).
+  bool is_graph = false;
+  std::string graph_ntriples;
+  engine::ExecMetrics metrics;
+  // Wall-clock execution time (compile + execute), milliseconds.
+  double millis = 0.0;
+  // The Spark-SQL-style statement the compiler produced.
+  std::string sql;
+  // The physical plan, for inspection.
+  std::string plan;
+  // EXPLAIN ANALYZE rendering (per-operator rows and inclusive times);
+  // empty unless CompilerOptions::collect_profile was set.
+  std::string profile;
+};
+
+struct LoadStats {
+  double vp_seconds = 0.0;
+  double extvp_seconds = 0.0;
+  ExtVpBuildStats extvp_stats;
+};
+
+class S2Rdf {
+ public:
+  // Builds all configured layouts for `graph`.
+  static StatusOr<std::unique_ptr<S2Rdf>> Create(rdf::Graph graph,
+                                                 const S2RdfOptions& options);
+
+  // Reopens a store previously persisted by Create with a non-empty
+  // `storage_dir`: loads the manifest and dictionary, then serves
+  // queries with tables paged in lazily from disk. The bit-vector ExtVP
+  // store is not persisted, so Layout::kExtVpBitmap is unavailable on a
+  // reopened store.
+  static StatusOr<std::unique_ptr<S2Rdf>> Open(const std::string& storage_dir,
+                                               int num_partitions = 9);
+
+  // Parses, compiles and executes `sparql_text` against `layout`.
+  StatusOr<QueryResult> Execute(std::string_view sparql_text,
+                                Layout layout = Layout::kExtVp);
+
+  // Like Execute with full compiler control (ablation switches).
+  StatusOr<QueryResult> ExecuteWithOptions(std::string_view sparql_text,
+                                           const CompilerOptions& options);
+
+  // Decodes a result table's ids back to canonical term strings.
+  std::vector<std::vector<std::string>> DecodeRows(
+      const engine::Table& table) const;
+
+  const rdf::Graph& graph() const { return graph_; }
+  storage::Catalog& catalog() { return catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+  const LoadStats& load_stats() const { return load_stats_; }
+  // Null unless options.build_extvp_bitmaps was set.
+  const ExtVpBitmapStore* bitmap_store() const {
+    return bitmap_store_.get();
+  }
+  // Number of (correlation, p1, p2) pairs computed so far by the lazy
+  // "pay as you go" mode.
+  uint64_t lazy_pairs_computed() const { return lazy_pairs_computed_; }
+
+ private:
+  S2Rdf(rdf::Graph graph, std::string storage_dir, int num_partitions,
+        bool parallel_execution = false)
+      : graph_(std::move(graph)),
+        catalog_(std::move(storage_dir)),
+        num_partitions_(num_partitions),
+        parallel_execution_(parallel_execution) {}
+
+  // Materializes every ExtVP reduction the pattern's correlations could
+  // use (lazy mode pre-pass; recurses into OPTIONAL/UNION/subqueries).
+  Status LazyMaterializeFor(const sparql::GraphPattern& pattern);
+
+  // CONSTRUCT / DESCRIBE execution (produces graph_ntriples).
+  StatusOr<QueryResult> ExecuteGraphForm(const sparql::Query& query,
+                                         const CompilerOptions& options);
+
+  rdf::Graph graph_;
+  storage::Catalog catalog_;
+  int num_partitions_;
+  bool parallel_execution_ = false;
+  bool lazy_extvp_ = false;
+  double sf_threshold_ = 1.0;
+  uint64_t lazy_pairs_computed_ = 0;
+  LoadStats load_stats_;
+  std::unique_ptr<ExtVpBitmapStore> bitmap_store_;
+};
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_S2RDF_H_

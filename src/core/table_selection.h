@@ -1,0 +1,71 @@
+#ifndef S2RDF_CORE_TABLE_SELECTION_H_
+#define S2RDF_CORE_TABLE_SELECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "core/extvp_bitmap.h"
+#include "core/layout_names.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "storage/catalog.h"
+
+// Algorithm 1 of the paper: choosing, for a triple pattern within a BGP,
+// the stored table with the best (smallest) selectivity factor among the
+// VP table and all ExtVP tables induced by the pattern's correlations to
+// the other patterns in the BGP.
+
+namespace s2rdf::core {
+
+// Which layout family the compiler targets.
+enum class Layout {
+  kExtVp,         // VP + ExtVP with statistics (the paper's S2RDF).
+  kVp,            // Plain vertical partitioning (baseline in Sec. 7.1).
+  kTriplesTable,  // Single triples table (Sec. 4.1 baseline).
+  // VP + bit-vector ExtVP with correlation intersection (the paper's
+  // future work, Sec. 8): each pattern scans its VP table through the
+  // AND of the bitmaps of *all* its correlations.
+  kExtVpBitmap,
+};
+
+struct TableChoice {
+  // Catalog name of the table to scan. Empty when `empty_result`.
+  std::string table_name;
+  // SF of the chosen table (1.0 for VP / triples table).
+  double sf = 1.0;
+  // Tuple count of the chosen table (join-order key of Algorithm 4).
+  uint64_t rows = 0;
+  // The statistics prove the whole BGP has no results (SF = 0 on a
+  // required correlation, or a bound term absent from the dictionary).
+  bool empty_result = false;
+  // The pattern has an unbound predicate and scans the triples table.
+  bool is_triples_table = false;
+  // kExtVpBitmap only: the intersection of all correlation bitmaps; the
+  // scan reads `table_name` (a VP table) through this filter. Null when
+  // no correlation reduces the table.
+  std::shared_ptr<Bitmap> row_filter;
+  // Human-readable description of the intersected correlations.
+  std::string row_filter_label;
+};
+
+// Runs Algorithm 1 for `tp` within `bgp`. `tp_index` is the position of
+// `tp` inside `bgp` (used to skip self-correlation). When
+// `use_statistics_shortcut` is false, empty correlations do not
+// short-circuit the query (ablation switch). `bitmap_store` is required
+// for (and only consulted by) Layout::kExtVpBitmap.
+StatusOr<TableChoice> SelectTable(size_t tp_index,
+                                  const std::vector<sparql::TriplePattern>& bgp,
+                                  Layout layout,
+                                  bool use_statistics_shortcut,
+                                  const storage::Catalog& catalog,
+                                  const rdf::Dictionary& dict,
+                                  const ExtVpBitmapStore* bitmap_store =
+                                      nullptr);
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_TABLE_SELECTION_H_

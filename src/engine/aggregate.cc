@@ -1,0 +1,215 @@
+#include "engine/aggregate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "engine/value.h"
+
+namespace s2rdf::engine {
+
+namespace {
+
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+
+// Running state of one aggregate within one group.
+struct Accumulator {
+  uint64_t count = 0;
+  bool numeric_ok = true;   // All inputs numeric so far (SUM/AVG).
+  bool all_int = true;      // Keep SUM integral when inputs are.
+  long long int_sum = 0;
+  double double_sum = 0.0;
+  TermId extremum = kNullTermId;  // MIN/MAX/SAMPLE witness.
+  std::unordered_set<TermId> distinct_terms;
+};
+
+std::string RenderDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // Guarantee a decimal form that round-trips as xsd:double.
+  std::string out = buf;
+  if (out.find('.') == std::string::npos &&
+      out.find('e') == std::string::npos &&
+      out.find("inf") == std::string::npos &&
+      out.find("nan") == std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+TermId EncodeInteger(long long v, rdf::Dictionary* dict) {
+  return dict->Encode("\"" + std::to_string(v) + "\"^^<" +
+                      std::string(kXsdInteger) + ">");
+}
+
+TermId EncodeDouble(double v, rdf::Dictionary* dict) {
+  return dict->Encode("\"" + RenderDouble(v) + "\"^^<" +
+                      std::string(kXsdDouble) + ">");
+}
+
+}  // namespace
+
+StatusOr<Table> GroupByAggregate(const Table& input,
+                                 const std::vector<std::string>& keys,
+                                 const std::vector<AggregateSpec>& specs,
+                                 rdf::Dictionary* dict, ExecContext* ctx) {
+  // Resolve columns.
+  std::vector<int> key_cols;
+  for (const std::string& key : keys) {
+    int c = input.ColumnIndex(key);
+    if (c < 0) {
+      return InvalidArgumentError("GROUP BY variable not in scope: ?" + key);
+    }
+    key_cols.push_back(c);
+  }
+  std::vector<int> input_cols;
+  for (const AggregateSpec& spec : specs) {
+    if (spec.fn == AggregateSpec::Fn::kCountStar) {
+      input_cols.push_back(-1);
+      continue;
+    }
+    int c = input.ColumnIndex(spec.input_var);
+    if (c < 0) {
+      return InvalidArgumentError("aggregate over unbound variable: ?" +
+                                  spec.input_var);
+    }
+    input_cols.push_back(c);
+  }
+
+  // Group rows. std::map keyed by the key tuple gives deterministic
+  // output order.
+  std::map<std::vector<TermId>, std::vector<Accumulator>> groups;
+  auto make_accumulators = [&] {
+    return std::vector<Accumulator>(specs.size());
+  };
+  if (keys.empty()) {
+    // Implicit single group exists even for empty input.
+    groups.emplace(std::vector<TermId>{}, make_accumulators());
+  }
+
+  // Cache of typed values for numeric aggregates.
+  std::unordered_map<TermId, Value> value_cache;
+  auto value_of = [&](TermId id) -> const Value& {
+    auto it = value_cache.find(id);
+    if (it != value_cache.end()) return it->second;
+    Value v = id == kNullTermId ? Value()
+                                : ValueFromCanonicalTerm(dict->Decode(id));
+    return value_cache.emplace(id, std::move(v)).first->second;
+  };
+
+  for (size_t r = 0; r < input.NumRows(); ++r) {
+    std::vector<TermId> key;
+    key.reserve(key_cols.size());
+    for (int c : key_cols) key.push_back(input.At(r, static_cast<size_t>(c)));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), make_accumulators()).first;
+    }
+    std::vector<Accumulator>& accs = it->second;
+
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const AggregateSpec& spec = specs[a];
+      Accumulator& acc = accs[a];
+      if (spec.fn == AggregateSpec::Fn::kCountStar) {
+        ++acc.count;
+        continue;
+      }
+      TermId id = input.At(r, static_cast<size_t>(input_cols[a]));
+      if (id == kNullTermId) continue;  // Unbound bindings are skipped.
+      if (spec.distinct && !acc.distinct_terms.insert(id).second) continue;
+      ++acc.count;
+      switch (spec.fn) {
+        case AggregateSpec::Fn::kCount:
+          break;
+        case AggregateSpec::Fn::kSum:
+        case AggregateSpec::Fn::kAvg: {
+          const Value& v = value_of(id);
+          if (!v.is_numeric()) {
+            acc.numeric_ok = false;
+            break;
+          }
+          if (v.kind == ValueKind::kInt) {
+            acc.int_sum += v.int_value;
+            acc.double_sum += static_cast<double>(v.int_value);
+          } else {
+            acc.all_int = false;
+            acc.double_sum += v.double_value;
+          }
+          break;
+        }
+        case AggregateSpec::Fn::kMin:
+        case AggregateSpec::Fn::kMax: {
+          if (acc.extremum == kNullTermId) {
+            acc.extremum = id;
+            break;
+          }
+          bool comparable = true;
+          int c = CompareValues(value_of(id), value_of(acc.extremum),
+                                &comparable);
+          bool better = spec.fn == AggregateSpec::Fn::kMin ? c < 0 : c > 0;
+          if (better) acc.extremum = id;
+          break;
+        }
+        case AggregateSpec::Fn::kSample:
+          if (acc.extremum == kNullTermId) acc.extremum = id;
+          break;
+        case AggregateSpec::Fn::kCountStar:
+          break;
+      }
+    }
+  }
+
+  // Emit one row per group.
+  std::vector<std::string> names = keys;
+  for (const AggregateSpec& spec : specs) names.push_back(spec.output_name);
+  Table out(names);
+  for (const auto& [key, accs] : groups) {
+    std::vector<TermId> row = key;
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const AggregateSpec& spec = specs[a];
+      const Accumulator& acc = accs[a];
+      switch (spec.fn) {
+        case AggregateSpec::Fn::kCountStar:
+        case AggregateSpec::Fn::kCount:
+          row.push_back(EncodeInteger(static_cast<long long>(acc.count),
+                                      dict));
+          break;
+        case AggregateSpec::Fn::kSum:
+          if (!acc.numeric_ok) {
+            row.push_back(kNullTermId);  // Type error -> unbound.
+          } else if (acc.all_int) {
+            row.push_back(EncodeInteger(acc.int_sum, dict));
+          } else {
+            row.push_back(EncodeDouble(acc.double_sum, dict));
+          }
+          break;
+        case AggregateSpec::Fn::kAvg:
+          if (!acc.numeric_ok || acc.count == 0) {
+            row.push_back(kNullTermId);
+          } else {
+            row.push_back(EncodeDouble(
+                acc.double_sum / static_cast<double>(acc.count), dict));
+          }
+          break;
+        case AggregateSpec::Fn::kMin:
+        case AggregateSpec::Fn::kMax:
+        case AggregateSpec::Fn::kSample:
+          row.push_back(acc.extremum);
+          break;
+      }
+    }
+    out.AppendRow(row);
+  }
+  if (ctx != nullptr) {
+    ctx->AccountShuffle(input.NumRows());
+    ctx->metrics.intermediate_tuples += out.NumRows();
+  }
+  return out;
+}
+
+}  // namespace s2rdf::engine

@@ -1,0 +1,52 @@
+#ifndef S2RDF_ENGINE_AGGREGATE_H_
+#define S2RDF_ENGINE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec_context.h"
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+
+// GROUP BY / aggregation operator — the SPARQL 1.1 feature the paper's
+// Sec. 6.1 defers to future work. Aggregates follow the W3C semantics:
+//
+//   - grouping keys are term ids (exact term equality);
+//   - COUNT(*) counts rows, COUNT(?v) counts bound bindings,
+//     COUNT(DISTINCT ?v) distinct bound terms;
+//   - SUM/AVG operate on numeric literals (non-numeric bindings make
+//     the aggregate unbound, SPARQL's error semantics); SUM of an empty
+//     group is 0, AVG is unbound;
+//   - MIN/MAX use the value ordering of value.h and return the original
+//     term (no new literal is minted);
+//   - SAMPLE returns an arbitrary binding;
+//   - with no GROUP BY keys the whole input forms one group, and an
+//     empty input still yields one row (COUNT = 0).
+//
+// COUNT/SUM/AVG mint new literals, so the operator takes a mutable
+// dictionary.
+
+namespace s2rdf::engine {
+
+struct AggregateSpec {
+  enum class Fn { kCountStar, kCount, kSum, kAvg, kMin, kMax, kSample };
+
+  Fn fn = Fn::kCountStar;
+  // Input variable (unused for kCountStar).
+  std::string input_var;
+  // Output column name (the AS variable).
+  std::string output_name;
+  bool distinct = false;
+};
+
+// Groups `input` by `keys` and evaluates `specs` per group. The output
+// schema is keys followed by the aggregate output names.
+StatusOr<Table> GroupByAggregate(const Table& input,
+                                 const std::vector<std::string>& keys,
+                                 const std::vector<AggregateSpec>& specs,
+                                 rdf::Dictionary* dict, ExecContext* ctx);
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_AGGREGATE_H_

@@ -1,0 +1,85 @@
+#ifndef S2RDF_ENGINE_EXEC_CONTEXT_H_
+#define S2RDF_ENGINE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Execution context for the partitioned-execution model.
+//
+// The paper attributes ExtVP's speedups to two mechanisms: (1) smaller
+// query *input* (fewer base-table tuples read and shipped over the
+// network), and (2) fewer join comparisons (Fig. 8, Fig. 12). Both are
+// engine-independent, so in addition to wall-clock the engine meters them
+// directly: every operator accounts its inputs against the metrics below.
+// Shuffle volume follows the standard repartition-join model — with P
+// partitions, a fraction (P-1)/P of each join input crosses the network.
+
+namespace s2rdf::engine {
+
+struct ExecMetrics {
+  // Tuples scanned from base (stored) tables — the paper's "input size".
+  uint64_t input_tuples = 0;
+  // Tuples produced by intermediate operators (join/filter outputs).
+  uint64_t intermediate_tuples = 0;
+  // Pairwise join comparisons, counted as |L|x|R| per join, matching the
+  // accounting of the paper's Fig. 8 / Fig. 12.
+  uint64_t join_comparisons = 0;
+  // Tuples crossing partitions under hash repartitioning.
+  uint64_t shuffled_tuples = 0;
+  // Result tuples of the final operator.
+  uint64_t output_tuples = 0;
+
+  void Clear() { *this = ExecMetrics(); }
+
+  ExecMetrics& operator+=(const ExecMetrics& other) {
+    input_tuples += other.input_tuples;
+    intermediate_tuples += other.intermediate_tuples;
+    join_comparisons += other.join_comparisons;
+    shuffled_tuples += other.shuffled_tuples;
+    output_tuples += other.output_tuples;
+    return *this;
+  }
+
+  std::string ToString() const {
+    return "input=" + std::to_string(input_tuples) +
+           " intermediate=" + std::to_string(intermediate_tuples) +
+           " comparisons=" + std::to_string(join_comparisons) +
+           " shuffled=" + std::to_string(shuffled_tuples) +
+           " output=" + std::to_string(output_tuples);
+  }
+};
+
+// One executed plan operator (EXPLAIN ANALYZE entry). `millis` is
+// inclusive of children; `depth` reconstructs the tree shape.
+struct OperatorProfile {
+  std::string label;
+  int depth = 0;
+  uint64_t output_rows = 0;
+  double millis = 0.0;
+};
+
+struct ExecContext {
+  // Simulated cluster width; 9 workers matches the paper's testbed.
+  int num_partitions = 9;
+  // When set, large joins execute partition-parallel on num_partitions
+  // worker threads (see parallel_join.h) instead of the serial join.
+  bool parallel_execution = false;
+  // EXPLAIN ANALYZE: record per-operator rows and timings.
+  bool collect_profile = false;
+  std::vector<OperatorProfile> profile;
+  ExecMetrics metrics;
+
+  // Adds the repartition-shuffle cost of moving `tuples` rows.
+  void AccountShuffle(uint64_t tuples) {
+    if (num_partitions > 1) {
+      metrics.shuffled_tuples +=
+          tuples * static_cast<uint64_t>(num_partitions - 1) /
+          static_cast<uint64_t>(num_partitions);
+    }
+  }
+};
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_EXEC_CONTEXT_H_

@@ -1,0 +1,482 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace s2rdf::engine {
+
+namespace {
+
+// Hashes the values of `row` at `cols` in `table`.
+uint64_t RowKeyHash(const Table& table, size_t row,
+                    const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = HashCombine(h, table.At(row, static_cast<size_t>(c)));
+  }
+  return h;
+}
+
+bool RowKeysEqual(const Table& a, size_t row_a, const std::vector<int>& cols_a,
+                  const Table& b, size_t row_b,
+                  const std::vector<int>& cols_b) {
+  for (size_t i = 0; i < cols_a.size(); ++i) {
+    if (a.At(row_a, static_cast<size_t>(cols_a[i])) !=
+        b.At(row_b, static_cast<size_t>(cols_b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RowKeyHasNull(const Table& t, size_t row, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (t.At(row, static_cast<size_t>(c)) == kNullTermId) return true;
+  }
+  return false;
+}
+
+// Shared-column discovery: returns (left indices, right indices,
+// right-only indices).
+void SharedColumns(const Table& left, const Table& right,
+                   std::vector<int>* left_keys, std::vector<int>* right_keys,
+                   std::vector<int>* right_only) {
+  for (size_t i = 0; i < right.column_names().size(); ++i) {
+    int li = left.ColumnIndex(right.column_names()[i]);
+    if (li >= 0) {
+      left_keys->push_back(li);
+      right_keys->push_back(static_cast<int>(i));
+    } else {
+      right_only->push_back(static_cast<int>(i));
+    }
+  }
+}
+
+Table JoinOutputSchema(const Table& left, const Table& right,
+                       const std::vector<int>& right_only) {
+  std::vector<std::string> names = left.column_names();
+  for (int c : right_only) {
+    names.push_back(right.column_names()[static_cast<size_t>(c)]);
+  }
+  return Table(std::move(names));
+}
+
+void EmitJoinedRow(const Table& left, size_t lrow, const Table& right,
+                   size_t rrow, const std::vector<int>& right_only,
+                   Table* out) {
+  std::vector<TermId> row;
+  row.reserve(out->NumColumns());
+  for (size_t c = 0; c < left.NumColumns(); ++c) row.push_back(left.At(lrow, c));
+  for (int c : right_only) {
+    row.push_back(right.At(rrow, static_cast<size_t>(c)));
+  }
+  out->AppendRow(row);
+}
+
+}  // namespace
+
+Table ScanSelectProject(const Table& base, const ScanSpec& spec,
+                        ExecContext* ctx) {
+  if (spec.row_filter != nullptr) {
+    S2RDF_CHECK(spec.row_filter->size_bits() == base.NumRows());
+  }
+  if (ctx != nullptr) {
+    ctx->metrics.input_tuples += spec.row_filter != nullptr
+                                     ? spec.row_filter->CountSetBits()
+                                     : base.NumRows();
+  }
+  std::vector<std::string> names;
+  names.reserve(spec.projections.size());
+  for (const auto& [col, name] : spec.projections) names.push_back(name);
+  Table out(std::move(names));
+  for (size_t r = 0; r < base.NumRows(); ++r) {
+    if (spec.row_filter != nullptr && !spec.row_filter->Test(r)) continue;
+    bool match = true;
+    for (const auto& [col, id] : spec.conditions) {
+      if (base.At(r, static_cast<size_t>(col)) != id) {
+        match = false;
+        break;
+      }
+    }
+    for (int col : spec.not_null_columns) {
+      if (base.At(r, static_cast<size_t>(col)) == kNullTermId) {
+        match = false;
+        break;
+      }
+    }
+    for (const auto& [col_a, col_b] : spec.equal_columns) {
+      if (!match) break;
+      if (base.At(r, static_cast<size_t>(col_a)) !=
+          base.At(r, static_cast<size_t>(col_b))) {
+        match = false;
+      }
+    }
+    if (!match) continue;
+    std::vector<TermId> row;
+    row.reserve(spec.projections.size());
+    for (const auto& [col, name] : spec.projections) {
+      row.push_back(base.At(r, static_cast<size_t>(col)));
+    }
+    out.AppendRow(row);
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  std::vector<int> right_only;
+  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  Table out = JoinOutputSchema(left, right, right_only);
+
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons +=
+        static_cast<uint64_t>(left.NumRows()) * right.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
+
+  if (left_keys.empty()) {
+    // Cross product.
+    for (size_t lr = 0; lr < left.NumRows(); ++lr) {
+      for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+        EmitJoinedRow(left, lr, right, rr, right_only, &out);
+      }
+    }
+    if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+    return out;
+  }
+
+  // Build on the right, probe with the left (right is typically the
+  // newly-selected smallest table under Algorithm 4's ordering).
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(right.NumRows());
+  for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+    if (RowKeyHasNull(right, rr, right_keys)) continue;
+    build.emplace(RowKeyHash(right, rr, right_keys), rr);
+  }
+  for (size_t lr = 0; lr < left.NumRows(); ++lr) {
+    if (RowKeyHasNull(left, lr, left_keys)) continue;
+    auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
+    for (auto it = begin; it != end; ++it) {
+      if (RowKeysEqual(left, lr, left_keys, right, it->second, right_keys)) {
+        EmitJoinedRow(left, lr, right, it->second, right_only, &out);
+      }
+    }
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx) {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  std::vector<int> right_only;
+  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  S2RDF_CHECK(!left_keys.empty());
+  Table out = JoinOutputSchema(left, right, right_only);
+
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons +=
+        static_cast<uint64_t>(left.NumRows()) * right.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
+
+  // Sort row indices of both sides by their key tuples.
+  auto key_less = [](const Table& t, const std::vector<int>& keys) {
+    return [&t, &keys](size_t a, size_t b) {
+      for (int c : keys) {
+        TermId va = t.At(a, static_cast<size_t>(c));
+        TermId vb = t.At(b, static_cast<size_t>(c));
+        if (va != vb) return va < vb;
+      }
+      return false;
+    };
+  };
+  std::vector<size_t> lrows;
+  std::vector<size_t> rrows;
+  for (size_t r = 0; r < left.NumRows(); ++r) {
+    if (!RowKeyHasNull(left, r, left_keys)) lrows.push_back(r);
+  }
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    if (!RowKeyHasNull(right, r, right_keys)) rrows.push_back(r);
+  }
+  std::sort(lrows.begin(), lrows.end(), key_less(left, left_keys));
+  std::sort(rrows.begin(), rrows.end(), key_less(right, right_keys));
+
+  auto compare_keys = [&](size_t lrow, size_t rrow) {
+    for (size_t i = 0; i < left_keys.size(); ++i) {
+      TermId lv = left.At(lrow, static_cast<size_t>(left_keys[i]));
+      TermId rv = right.At(rrow, static_cast<size_t>(right_keys[i]));
+      if (lv != rv) return lv < rv ? -1 : 1;
+    }
+    return 0;
+  };
+
+  size_t li = 0;
+  size_t ri = 0;
+  while (li < lrows.size() && ri < rrows.size()) {
+    int c = compare_keys(lrows[li], rrows[ri]);
+    if (c < 0) {
+      ++li;
+      continue;
+    }
+    if (c > 0) {
+      ++ri;
+      continue;
+    }
+    // Equal-key runs: cross product of the two runs.
+    size_t lend = li;
+    while (lend + 1 < lrows.size() &&
+           compare_keys(lrows[lend + 1], rrows[ri]) == 0) {
+      ++lend;
+    }
+    size_t rend = ri;
+    while (rend + 1 < rrows.size() &&
+           compare_keys(lrows[li], rrows[rend + 1]) == 0) {
+      ++rend;
+    }
+    for (size_t l = li; l <= lend; ++l) {
+      for (size_t r = ri; r <= rend; ++r) {
+        EmitJoinedRow(left, lrows[l], right, rrows[r], right_only, &out);
+      }
+    }
+    li = lend + 1;
+    ri = rend + 1;
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table SemiJoin(const Table& left, int left_col, const Table& right,
+               int right_col, ExecContext* ctx) {
+  S2RDF_CHECK(left_col >= 0 && static_cast<size_t>(left_col) < left.NumColumns());
+  S2RDF_CHECK(right_col >= 0 &&
+              static_cast<size_t>(right_col) < right.NumColumns());
+  std::unordered_set<TermId> keys;
+  keys.reserve(right.NumRows());
+  for (TermId id : right.Column(static_cast<size_t>(right_col))) {
+    if (id != kNullTermId) keys.insert(id);
+  }
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons += left.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
+  Table out(left.column_names());
+  for (size_t r = 0; r < left.NumRows(); ++r) {
+    if (keys.contains(left.At(r, static_cast<size_t>(left_col)))) {
+      out.AppendRowFrom(left, r);
+    }
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table LeftOuterJoin(const Table& left, const Table& right,
+                    const Expr* condition, const rdf::Dictionary& dict,
+                    ExecContext* ctx) {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  std::vector<int> right_only;
+  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  Table out = JoinOutputSchema(left, right, right_only);
+
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons +=
+        static_cast<uint64_t>(left.NumRows()) * right.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
+
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(right.NumRows());
+  for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+    if (RowKeyHasNull(right, rr, right_keys)) continue;
+    build.emplace(RowKeyHash(right, rr, right_keys), rr);
+  }
+
+  for (size_t lr = 0; lr < left.NumRows(); ++lr) {
+    size_t before = out.NumRows();
+    if (!left_keys.empty() || right.NumRows() > 0) {
+      if (left_keys.empty()) {
+        // OPTIONAL with no shared variables: every right row is a
+        // candidate (cross semantics).
+        for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+          EmitJoinedRow(left, lr, right, rr, right_only, &out);
+        }
+      } else if (!RowKeyHasNull(left, lr, left_keys)) {
+        auto [begin, end] =
+            build.equal_range(RowKeyHash(left, lr, left_keys));
+        for (auto it = begin; it != end; ++it) {
+          if (RowKeysEqual(left, lr, left_keys, right, it->second,
+                           right_keys)) {
+            EmitJoinedRow(left, lr, right, it->second, right_only, &out);
+          }
+        }
+      }
+    }
+    // Apply the OPTIONAL-scoped filter on the candidate matches.
+    if (condition != nullptr && out.NumRows() > before) {
+      ExprEvaluator eval(*condition, out, dict);
+      Table kept(out.column_names());
+      for (size_t r = 0; r < before; ++r) kept.AppendRowFrom(out, r);
+      for (size_t r = before; r < out.NumRows(); ++r) {
+        if (eval.Keep(r)) kept.AppendRowFrom(out, r);
+      }
+      out = std::move(kept);
+    }
+    if (out.NumRows() == before) {
+      // No surviving match: emit the left row padded with nulls.
+      std::vector<TermId> row;
+      row.reserve(out.NumColumns());
+      for (size_t c = 0; c < left.NumColumns(); ++c) {
+        row.push_back(left.At(lr, c));
+      }
+      for (size_t i = 0; i < right_only.size(); ++i) {
+        row.push_back(kNullTermId);
+      }
+      out.AppendRow(row);
+    }
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table UnionAll(const Table& a, const Table& b, ExecContext* ctx) {
+  std::vector<std::string> names = a.column_names();
+  for (const std::string& name : b.column_names()) {
+    if (a.ColumnIndex(name) < 0) names.push_back(name);
+  }
+  Table out(names);
+  out.Reserve(a.NumRows() + b.NumRows());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    std::vector<TermId> row;
+    row.reserve(names.size());
+    for (const std::string& name : names) {
+      int c = a.ColumnIndex(name);
+      row.push_back(c < 0 ? kNullTermId : a.At(r, static_cast<size_t>(c)));
+    }
+    out.AppendRow(row);
+  }
+  for (size_t r = 0; r < b.NumRows(); ++r) {
+    std::vector<TermId> row;
+    row.reserve(names.size());
+    for (const std::string& name : names) {
+      int c = b.ColumnIndex(name);
+      row.push_back(c < 0 ? kNullTermId : b.At(r, static_cast<size_t>(c)));
+    }
+    out.AppendRow(row);
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table Distinct(const Table& t, ExecContext* ctx) {
+  // Hash-based dedup with full-row verification via a bucket of row ids.
+  std::unordered_multimap<uint64_t, size_t> seen;
+  Table out(t.column_names());
+  std::vector<int> all_cols(t.NumColumns());
+  for (size_t i = 0; i < t.NumColumns(); ++i) all_cols[i] = static_cast<int>(i);
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    uint64_t h = RowKeyHash(t, r, all_cols);
+    bool duplicate = false;
+    auto [begin, end] = seen.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (RowKeysEqual(t, r, all_cols, t, it->second, all_cols)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen.emplace(h, r);
+      out.AppendRowFrom(t, r);
+    }
+  }
+  if (ctx != nullptr) {
+    ctx->AccountShuffle(t.NumRows());
+    ctx->metrics.intermediate_tuples += out.NumRows();
+  }
+  return out;
+}
+
+Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
+              const rdf::Dictionary& dict) {
+  // Decode cache: TermId -> typed Value (ids repeat heavily).
+  std::unordered_map<TermId, Value> cache;
+  auto value_of = [&](TermId id) -> const Value& {
+    auto it = cache.find(id);
+    if (it != cache.end()) return it->second;
+    Value v =
+        id == kNullTermId ? Value() : ValueFromCanonicalTerm(dict.Decode(id));
+    return cache.emplace(id, std::move(v)).first->second;
+  };
+
+  std::vector<std::pair<int, bool>> key_cols;
+  for (const SortKey& key : keys) {
+    int c = t.ColumnIndex(key.column);
+    if (c >= 0) key_cols.emplace_back(c, key.ascending);
+  }
+
+  std::vector<size_t> order(t.NumRows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (const auto& [col, asc] : key_cols) {
+      TermId ia = t.At(a, static_cast<size_t>(col));
+      TermId ib = t.At(b, static_cast<size_t>(col));
+      if (ia == ib) continue;
+      bool comparable = true;
+      int c = CompareValues(value_of(ia), value_of(ib), &comparable);
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  });
+
+  Table out(t.column_names());
+  out.Reserve(t.NumRows());
+  for (size_t r : order) out.AppendRowFrom(t, r);
+  return out;
+}
+
+Table Slice(const Table& t, uint64_t offset, uint64_t limit) {
+  Table out(t.column_names());
+  if (offset >= t.NumRows()) return out;
+  uint64_t end = t.NumRows();
+  if (limit != kNoLimit && offset + limit < end) end = offset + limit;
+  for (uint64_t r = offset; r < end; ++r) {
+    out.AppendRowFrom(t, static_cast<size_t>(r));
+  }
+  return out;
+}
+
+Table Project(const Table& t, const std::vector<std::string>& columns) {
+  Table out(columns);
+  out.Reserve(t.NumRows());
+  std::vector<int> src;
+  src.reserve(columns.size());
+  for (const std::string& name : columns) src.push_back(t.ColumnIndex(name));
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    std::vector<TermId> row;
+    row.reserve(columns.size());
+    for (int c : src) {
+      row.push_back(c < 0 ? kNullTermId : t.At(r, static_cast<size_t>(c)));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table Filter(const Table& t, const Expr& expr, const rdf::Dictionary& dict,
+             ExecContext* ctx) {
+  ExprEvaluator eval(expr, t, dict);
+  Table out(t.column_names());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if (eval.Keep(r)) out.AppendRowFrom(t, r);
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+}  // namespace s2rdf::engine

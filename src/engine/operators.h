@@ -1,0 +1,99 @@
+#ifndef S2RDF_ENGINE_OPERATORS_H_
+#define S2RDF_ENGINE_OPERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "engine/exec_context.h"
+#include "engine/expression.h"
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+
+// Relational operators over columnar tables. These are the execution
+// primitives the SPARQL compiler targets — the in-process analogue of the
+// Spark SQL operators S2RDF generates. Every operator meters its inputs
+// in the ExecContext (see exec_context.h for the accounting model).
+
+namespace s2rdf::engine {
+
+// Selection + projection applied during a base-table scan. This is the
+// shape of the paper's TP2SQL output: bound triple-pattern positions
+// become equality conditions, variables become renamed projections.
+struct ScanSpec {
+  // (base column index, required id): rows must match all conditions.
+  std::vector<std::pair<int, TermId>> conditions;
+  // (column index, column index): rows must have equal values (repeated
+  // variable within one triple pattern, e.g. `?x :p ?x`).
+  std::vector<std::pair<int, int>> equal_columns;
+  // Columns that must not be null (property-table star scans).
+  std::vector<int> not_null_columns;
+  // Optional row-level filter bitmap (bit i = keep row i); must have
+  // exactly NumRows() bits. This is the execution hook of the bit-vector
+  // ExtVP representation: only surviving rows count as input, modeling a
+  // selective columnar read driven by the bitmap index.
+  const Bitmap* row_filter = nullptr;
+  // (base column index, output column name): emitted in order.
+  std::vector<std::pair<int, std::string>> projections;
+};
+
+// Scans `base`, applying `spec`. Meters |base| input tuples.
+Table ScanSelectProject(const Table& base, const ScanSpec& spec,
+                        ExecContext* ctx);
+
+// Natural hash join on all shared column names. Degenerates to a cross
+// product when no names are shared. Rows with a null (kNullTermId) join
+// key never match. Meters |L|x|R| join comparisons and repartition
+// shuffle of both inputs.
+Table HashJoin(const Table& left, const Table& right, ExecContext* ctx);
+
+// Natural sort-merge join on all shared column names — the local merge
+// join H2RDF+ runs over its sorted indexes. Same bag as HashJoin (row
+// order differs); requires at least one shared column.
+Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx);
+
+// Left semi join: rows of `left` whose `left_col` value appears in
+// `right_col` of `right`. The primitive behind ExtVP's precomputation.
+Table SemiJoin(const Table& left, int left_col, const Table& right,
+               int right_col, ExecContext* ctx);
+
+// Natural left outer join (SPARQL OPTIONAL). Unmatched left rows emit
+// nulls for right-only columns. An optional `condition` is evaluated on
+// each joined candidate row (OPTIONAL { ... FILTER(...) } semantics).
+Table LeftOuterJoin(const Table& left, const Table& right,
+                    const Expr* condition, const rdf::Dictionary& dict,
+                    ExecContext* ctx);
+
+// Bag union; schemas are aligned by column name, missing columns become
+// null. Column order follows `a` then new columns of `b`.
+Table UnionAll(const Table& a, const Table& b, ExecContext* ctx);
+
+// Removes duplicate rows (bag -> set).
+Table Distinct(const Table& t, ExecContext* ctx);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+// Value-aware stable sort (numeric literals order numerically).
+Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
+              const rdf::Dictionary& dict);
+
+// OFFSET/LIMIT. `limit` == kNoLimit keeps all remaining rows.
+inline constexpr uint64_t kNoLimit = ~0ull;
+Table Slice(const Table& t, uint64_t offset, uint64_t limit);
+
+// Keeps exactly `columns` in the given order. Unknown names yield
+// all-null columns (unbound projection variables).
+Table Project(const Table& t, const std::vector<std::string>& columns);
+
+// FILTER: keeps rows where `expr` evaluates to true.
+Table Filter(const Table& t, const Expr& expr, const rdf::Dictionary& dict,
+             ExecContext* ctx);
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_OPERATORS_H_

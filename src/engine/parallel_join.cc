@@ -1,0 +1,146 @@
+#include "engine/parallel_join.h"
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/operators.h"
+
+namespace s2rdf::engine {
+
+namespace {
+
+// Shared-column discovery (mirrors operators.cc).
+void SharedColumns(const Table& left, const Table& right,
+                   std::vector<int>* left_keys, std::vector<int>* right_keys,
+                   std::vector<int>* right_only) {
+  for (size_t i = 0; i < right.column_names().size(); ++i) {
+    int li = left.ColumnIndex(right.column_names()[i]);
+    if (li >= 0) {
+      left_keys->push_back(li);
+      right_keys->push_back(static_cast<int>(i));
+    } else {
+      right_only->push_back(static_cast<int>(i));
+    }
+  }
+}
+
+uint64_t RowKeyHash(const Table& table, size_t row,
+                    const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h = HashCombine(h, table.At(row, static_cast<size_t>(c)));
+  }
+  return h;
+}
+
+bool RowKeyHasNull(const Table& t, size_t row, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (t.At(row, static_cast<size_t>(c)) == kNullTermId) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Table ParallelHashJoin(const Table& left, const Table& right,
+                       ExecContext* ctx) {
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  std::vector<int> right_only;
+  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+
+  const size_t p =
+      ctx != nullptr && ctx->num_partitions > 0
+          ? static_cast<size_t>(ctx->num_partitions)
+          : 1;
+  if (left_keys.empty() || p <= 1 ||
+      (left.NumRows() < kParallelJoinThreshold &&
+       right.NumRows() < kParallelJoinThreshold)) {
+    return HashJoin(left, right, ctx);
+  }
+
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons +=
+        static_cast<uint64_t>(left.NumRows()) * right.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
+
+  // Shuffle write: row indices per partition for both sides.
+  std::vector<std::vector<uint32_t>> left_parts(p);
+  std::vector<std::vector<uint32_t>> right_parts(p);
+  for (size_t r = 0; r < left.NumRows(); ++r) {
+    if (RowKeyHasNull(left, r, left_keys)) continue;
+    left_parts[RowKeyHash(left, r, left_keys) % p].push_back(
+        static_cast<uint32_t>(r));
+  }
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    if (RowKeyHasNull(right, r, right_keys)) continue;
+    right_parts[RowKeyHash(right, r, right_keys) % p].push_back(
+        static_cast<uint32_t>(r));
+  }
+
+  // Per-partition build + probe, one worker thread per partition.
+  std::vector<std::string> out_names = left.column_names();
+  for (int c : right_only) {
+    out_names.push_back(right.column_names()[static_cast<size_t>(c)]);
+  }
+  std::vector<Table> partial(p, Table(out_names));
+
+  auto join_partition = [&](size_t part) {
+    Table& out = partial[part];
+    const auto& build_rows = right_parts[part];
+    const auto& probe_rows = left_parts[part];
+    if (build_rows.empty() || probe_rows.empty()) return;
+    std::unordered_multimap<uint64_t, uint32_t> build;
+    build.reserve(build_rows.size());
+    for (uint32_t rr : build_rows) {
+      build.emplace(RowKeyHash(right, rr, right_keys), rr);
+    }
+    for (uint32_t lr : probe_rows) {
+      auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
+      for (auto it = begin; it != end; ++it) {
+        uint32_t rr = it->second;
+        bool equal = true;
+        for (size_t i = 0; i < left_keys.size(); ++i) {
+          if (left.At(lr, static_cast<size_t>(left_keys[i])) !=
+              right.At(rr, static_cast<size_t>(right_keys[i]))) {
+            equal = false;
+            break;
+          }
+        }
+        if (!equal) continue;
+        std::vector<TermId> row;
+        row.reserve(out_names.size());
+        for (size_t c = 0; c < left.NumColumns(); ++c) {
+          row.push_back(left.At(lr, c));
+        }
+        for (int c : right_only) {
+          row.push_back(right.At(rr, static_cast<size_t>(c)));
+        }
+        out.AppendRow(row);
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(p);
+  for (size_t part = 0; part < p; ++part) {
+    workers.emplace_back(join_partition, part);
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Gather.
+  size_t total = 0;
+  for (const Table& t : partial) total += t.NumRows();
+  Table out(out_names);
+  out.Reserve(total);
+  for (const Table& t : partial) {
+    for (size_t r = 0; r < t.NumRows(); ++r) out.AppendRowFrom(t, r);
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+}  // namespace s2rdf::engine

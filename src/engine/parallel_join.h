@@ -1,0 +1,29 @@
+#ifndef S2RDF_ENGINE_PARALLEL_JOIN_H_
+#define S2RDF_ENGINE_PARALLEL_JOIN_H_
+
+#include "engine/exec_context.h"
+#include "engine/table.h"
+
+// Partitioned parallel hash join: the executable counterpart of the
+// ExecContext shuffle model. Both inputs are hash-partitioned on the
+// shared join columns into `ctx->num_partitions` buckets (the
+// "repartitioning" whose volume AccountShuffle meters), and the buckets
+// are joined concurrently on a thread per partition — the same dataflow
+// Spark SQL runs across executors.
+//
+// Produces exactly the same bag as engine::HashJoin; row order differs.
+
+namespace s2rdf::engine {
+
+// Natural parallel join on all shared column names. Falls back to the
+// serial HashJoin when either input is small (partitioning overhead
+// would dominate) or when no columns are shared (cross product).
+Table ParallelHashJoin(const Table& left, const Table& right,
+                       ExecContext* ctx);
+
+// Rows below which the serial join is used.
+inline constexpr size_t kParallelJoinThreshold = 4096;
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_PARALLEL_JOIN_H_

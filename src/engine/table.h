@@ -1,0 +1,92 @@
+#ifndef S2RDF_ENGINE_TABLE_H_
+#define S2RDF_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+// Columnar in-memory table of dictionary-encoded term ids. This is the
+// engine's equivalent of a cached Spark SQL DataFrame: a named-column
+// relation whose cells are 32-bit ids resolved against an rdf::Dictionary.
+// Column names double as SPARQL variable names during query execution, so
+// natural joins join on shared names exactly like the paper's generated
+// SQL does.
+
+namespace s2rdf::engine {
+
+using rdf::TermId;
+using rdf::kNullTermId;
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> column_names);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  // Index of the column named `name`, or -1 if absent.
+  int ColumnIndex(std::string_view name) const;
+
+  const std::vector<TermId>& Column(size_t i) const { return columns_[i]; }
+  std::vector<TermId>& MutableColumn(size_t i) { return columns_[i]; }
+
+  TermId At(size_t row, size_t col) const { return columns_[col][row]; }
+
+  // Appends one row; `values.size()` must equal NumColumns().
+  void AppendRow(const std::vector<TermId>& values);
+  void AppendRow(std::initializer_list<TermId> values);
+
+  // Copies row `row` of `source` into this table. Schemas must have equal
+  // width (names may differ; caller guarantees positional compatibility).
+  void AppendRowFrom(const Table& source, size_t row);
+
+  void Reserve(size_t rows);
+
+  // Renames column `i`.
+  void SetColumnName(size_t i, std::string name);
+
+  // Returns a copy whose columns are renamed to `names` (same arity).
+  Table WithColumnNames(std::vector<std::string> names) const;
+
+  // Approximate in-memory footprint, used by the shuffle meter.
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(num_rows_) * columns_.size() *
+           sizeof(TermId);
+  }
+
+  // Sorts rows lexicographically by all columns (canonical form used to
+  // compare result sets in tests).
+  void SortRowsCanonical();
+
+  // True if `a` and `b` have the same column names (order-sensitive) and
+  // the same bag of rows.
+  static bool SameBag(const Table& a, const Table& b);
+
+  // Renders a bounded debug string: header plus up to `max_rows` rows of
+  // raw ids (or decoded terms when `dict` is non-null).
+  std::string DebugString(const rdf::Dictionary* dict = nullptr,
+                          size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<TermId>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_TABLE_H_

@@ -1,0 +1,129 @@
+#include "engine/value.h"
+
+#include "common/strings.h"
+#include "rdf/term.h"
+
+namespace s2rdf::engine {
+
+namespace {
+
+bool IsNumericXsd(std::string_view datatype) {
+  return EndsWith(datatype, "#integer") || EndsWith(datatype, "#int") ||
+         EndsWith(datatype, "#long") || EndsWith(datatype, "#short") ||
+         EndsWith(datatype, "#byte") || EndsWith(datatype, "#decimal") ||
+         EndsWith(datatype, "#double") || EndsWith(datatype, "#float") ||
+         EndsWith(datatype, "#nonNegativeInteger") ||
+         EndsWith(datatype, "#positiveInteger") ||
+         EndsWith(datatype, "#unsignedInt") ||
+         EndsWith(datatype, "#unsignedLong");
+}
+
+int KindRank(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBlank:
+      return 1;
+    case ValueKind::kIri:
+      return 2;
+    case ValueKind::kString:
+      return 3;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 4;
+    case ValueKind::kBool:
+      return 5;
+  }
+  return 6;
+}
+
+}  // namespace
+
+Value ValueFromCanonicalTerm(std::string_view canonical) {
+  Value v;
+  if (canonical.empty()) return v;
+  StatusOr<rdf::Term> term = rdf::Term::Parse(canonical);
+  if (!term.ok()) {
+    v.kind = ValueKind::kString;
+    v.text = std::string(canonical);
+    return v;
+  }
+  switch (term->kind()) {
+    case rdf::TermKind::kIri:
+      v.kind = ValueKind::kIri;
+      v.text = term->value();
+      return v;
+    case rdf::TermKind::kBlankNode:
+      v.kind = ValueKind::kBlank;
+      v.text = term->value();
+      return v;
+    case rdf::TermKind::kLiteral:
+      break;
+  }
+  const std::string& lexical = term->value();
+  const std::string& datatype = term->datatype();
+  v.text = lexical;
+  if (datatype.empty() || !term->language().empty()) {
+    // Plain or language-tagged literal: SPARQL treats untyped numerics as
+    // strings; WatDiv generates typed numerics where ordering matters.
+    v.kind = ValueKind::kString;
+    return v;
+  }
+  if (EndsWith(datatype, "#boolean")) {
+    v.kind = ValueKind::kBool;
+    v.bool_value = (lexical == "true" || lexical == "1");
+    return v;
+  }
+  if (IsNumericXsd(datatype)) {
+    long long i = 0;
+    if (ParseInt64(lexical, &i)) {
+      v.kind = ValueKind::kInt;
+      v.int_value = i;
+      return v;
+    }
+    double d = 0.0;
+    if (ParseDouble(lexical, &d)) {
+      v.kind = ValueKind::kDouble;
+      v.double_value = d;
+      return v;
+    }
+  }
+  v.kind = ValueKind::kString;
+  return v;
+}
+
+int CompareValues(const Value& a, const Value& b, bool* comparable) {
+  *comparable = true;
+  if (a.is_numeric() && b.is_numeric()) {
+    double da = a.AsDouble();
+    double db = b.AsDouble();
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  if (a.kind != b.kind) {
+    // Cross-kind comparison is a SPARQL type error except for equality
+    // testing, which callers handle via the returned ordering.
+    *comparable = false;
+    int ra = KindRank(a.kind);
+    int rb = KindRank(b.kind);
+    return ra < rb ? -1 : (ra > rb ? 1 : 0);
+  }
+  switch (a.kind) {
+    case ValueKind::kBool:
+      return (a.bool_value ? 1 : 0) - (b.bool_value ? 1 : 0);
+    case ValueKind::kIri:
+    case ValueKind::kBlank:
+      // Orderable only for ORDER BY; FILTER < on IRIs is a type error.
+      *comparable = false;
+      return a.text.compare(b.text) < 0   ? -1
+             : a.text.compare(b.text) > 0 ? 1
+                                          : 0;
+    default: {
+      int c = a.text.compare(b.text);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace s2rdf::engine

@@ -1,0 +1,52 @@
+#ifndef S2RDF_ENGINE_VALUE_H_
+#define S2RDF_ENGINE_VALUE_H_
+
+#include <string>
+#include <string_view>
+
+// Typed view over a canonical RDF term string, used by FILTER evaluation
+// and ORDER BY. Numeric XSD literals compare numerically; everything else
+// compares by kind then lexically, which matches SPARQL's operator
+// semantics closely enough for the workloads in the paper (WatDiv filters
+// compare numeric literals and IRIs for equality).
+
+namespace s2rdf::engine {
+
+enum class ValueKind {
+  kNull,     // Unbound (OPTIONAL non-match).
+  kIri,
+  kBlank,
+  kString,   // Plain or language-tagged literal.
+  kInt,
+  kDouble,
+  kBool,
+};
+
+struct Value {
+  ValueKind kind = ValueKind::kNull;
+  // Raw text: IRI, blank label, or literal lexical form.
+  std::string text;
+  long long int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+
+  bool is_numeric() const {
+    return kind == ValueKind::kInt || kind == ValueKind::kDouble;
+  }
+  double AsDouble() const {
+    return kind == ValueKind::kInt ? static_cast<double>(int_value)
+                                   : double_value;
+  }
+};
+
+// Parses a canonical N-Triples term string into a typed Value.
+Value ValueFromCanonicalTerm(std::string_view canonical);
+
+// Three-way comparison. Sets `*comparable` to false when SPARQL would
+// raise a type error (e.g. number vs IRI); the result is then meaningless
+// for FILTER purposes but still totally ordered for ORDER BY stability.
+int CompareValues(const Value& a, const Value& b, bool* comparable);
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_VALUE_H_

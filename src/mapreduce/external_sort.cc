@@ -1,0 +1,81 @@
+#include "mapreduce/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/file_util.h"
+
+namespace s2rdf::mapreduce {
+
+StatusOr<SortStats> SortRecordFile(const std::string& input_path,
+                                   const std::string& output_path,
+                                   const std::string& work_dir,
+                                   uint64_t max_records_in_memory) {
+  if (max_records_in_memory == 0) {
+    return InvalidArgumentError("max_records_in_memory must be positive");
+  }
+  SortStats stats;
+  S2RDF_ASSIGN_OR_RETURN(std::vector<Record> all,
+                         ReadRecordFile(input_path));
+  stats.records = all.size();
+
+  if (all.size() <= max_records_in_memory) {
+    std::sort(all.begin(), all.end());
+    stats.runs = 1;
+    S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, all));
+    return stats;
+  }
+
+  // Spill sorted runs.
+  std::vector<std::string> run_paths;
+  for (size_t begin = 0; begin < all.size();
+       begin += max_records_in_memory) {
+    size_t end = std::min(all.size(), begin + max_records_in_memory);
+    std::vector<Record> run(all.begin() + begin, all.begin() + end);
+    std::sort(run.begin(), run.end());
+    std::string path = work_dir + "/sort_run_" +
+                       std::to_string(run_paths.size()) + ".rec";
+    std::string blob = SerializeRecords(run);
+    stats.spilled_bytes += blob.size();
+    S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+    run_paths.push_back(path);
+  }
+  all.clear();
+  all.shrink_to_fit();
+  stats.runs = run_paths.size();
+
+  // K-way merge over the runs.
+  std::vector<std::vector<Record>> runs;
+  runs.reserve(run_paths.size());
+  for (const std::string& path : run_paths) {
+    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> run, ReadRecordFile(path));
+    runs.push_back(std::move(run));
+    S2RDF_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  struct HeapEntry {
+    size_t run;
+    size_t index;
+  };
+  auto greater = [&](const HeapEntry& a, const HeapEntry& b) {
+    return runs[b.run][b.index] < runs[a.run][a.index];
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(greater)>
+      heap(greater);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].empty()) heap.push({i, 0});
+  }
+  std::vector<Record> merged;
+  merged.reserve(stats.records);
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    merged.push_back(runs[top.run][top.index]);
+    if (top.index + 1 < runs[top.run].size()) {
+      heap.push({top.run, top.index + 1});
+    }
+  }
+  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, merged));
+  return stats;
+}
+
+}  // namespace s2rdf::mapreduce

@@ -1,0 +1,33 @@
+#ifndef S2RDF_MAPREDUCE_EXTERNAL_SORT_H_
+#define S2RDF_MAPREDUCE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "mapreduce/record.h"
+
+// Disk-backed merge sort for record files: the shuffle-sort stage of the
+// mini MapReduce runtime. Records are sorted by key (value as
+// tie-breaker). When the input exceeds `max_records_in_memory` it is
+// split into sorted runs on disk and k-way merged, like Hadoop's
+// spill-and-merge.
+
+namespace s2rdf::mapreduce {
+
+struct SortStats {
+  uint64_t records = 0;
+  uint64_t runs = 0;           // 1 when the input fit in memory.
+  uint64_t spilled_bytes = 0;  // Run files written during the sort.
+};
+
+// Sorts the record file at `input_path` into `output_path`. `work_dir`
+// hosts temporary run files.
+StatusOr<SortStats> SortRecordFile(const std::string& input_path,
+                                   const std::string& output_path,
+                                   const std::string& work_dir,
+                                   uint64_t max_records_in_memory);
+
+}  // namespace s2rdf::mapreduce
+
+#endif  // S2RDF_MAPREDUCE_EXTERNAL_SORT_H_

@@ -1,0 +1,98 @@
+#include "mapreduce/job.h"
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "mapreduce/external_sort.h"
+
+namespace s2rdf::mapreduce {
+
+namespace {
+
+uint64_t KeyHash(const std::vector<uint32_t>& key) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (uint32_t v : key) h = HashCombine(h, v);
+  return h;
+}
+
+}  // namespace
+
+StatusOr<JobMetrics> RunJob(const JobConfig& config,
+                            const std::vector<std::string>& input_paths,
+                            const Mapper& mapper, const Reducer& reducer,
+                            const std::string& output_path) {
+  if (config.num_reducers <= 0) {
+    return InvalidArgumentError("num_reducers must be positive");
+  }
+  JobMetrics metrics;
+  const int r = config.num_reducers;
+
+  // --- Map + partition: stream inputs, buffer per-reducer partitions,
+  // write each partition file (the "shuffle write").
+  std::vector<std::vector<Record>> partitions(static_cast<size_t>(r));
+  std::vector<Record> emitted;
+  for (const std::string& path : input_paths) {
+    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> inputs, ReadRecordFile(path));
+    metrics.map_input_records += inputs.size();
+    for (const Record& input : inputs) {
+      emitted.clear();
+      mapper(input, &emitted);
+      metrics.map_output_records += emitted.size();
+      for (Record& out : emitted) {
+        size_t p = static_cast<size_t>(KeyHash(out.key) %
+                                       static_cast<uint64_t>(r));
+        partitions[p].push_back(std::move(out));
+      }
+    }
+  }
+
+  std::vector<std::string> partition_paths;
+  for (int p = 0; p < r; ++p) {
+    std::string path =
+        config.work_dir + "/shuffle_" + std::to_string(p) + ".rec";
+    std::string blob = SerializeRecords(partitions[static_cast<size_t>(p)]);
+    metrics.shuffle_bytes += blob.size();
+    S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+    partitions[static_cast<size_t>(p)].clear();
+    partition_paths.push_back(path);
+  }
+  partitions.clear();
+
+  // --- Sort + reduce per partition, streaming key groups.
+  std::vector<Record> output;
+  std::vector<Record> reduce_out;
+  for (int p = 0; p < r; ++p) {
+    const std::string& in = partition_paths[static_cast<size_t>(p)];
+    std::string sorted = in + ".sorted";
+    S2RDF_ASSIGN_OR_RETURN(
+        SortStats sort_stats,
+        SortRecordFile(in, sorted, config.work_dir,
+                       config.max_records_in_memory));
+    metrics.spill_bytes += sort_stats.spilled_bytes;
+    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> records,
+                           ReadRecordFile(sorted));
+    metrics.reduce_input_records += records.size();
+    S2RDF_RETURN_IF_ERROR(RemoveFile(in));
+    S2RDF_RETURN_IF_ERROR(RemoveFile(sorted));
+
+    size_t begin = 0;
+    while (begin < records.size()) {
+      size_t end = begin + 1;
+      while (end < records.size() &&
+             records[end].key == records[begin].key) {
+        ++end;
+      }
+      std::vector<Record> group(records.begin() + begin,
+                                records.begin() + end);
+      reduce_out.clear();
+      reducer(records[begin].key, group, &reduce_out);
+      metrics.reduce_output_records += reduce_out.size();
+      for (Record& out : reduce_out) output.push_back(std::move(out));
+      begin = end;
+    }
+  }
+
+  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, output));
+  return metrics;
+}
+
+}  // namespace s2rdf::mapreduce

@@ -1,0 +1,71 @@
+#ifndef S2RDF_MAPREDUCE_JOB_H_
+#define S2RDF_MAPREDUCE_JOB_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/record.h"
+
+// A miniature MapReduce runtime: map -> partition -> sort -> reduce with
+// every stage boundary materialized on disk. This reproduces — for real,
+// through actual file I/O and external sorting — the execution model
+// whose per-job latency the paper blames for SHARD's and PigSPARQL's
+// non-interactive runtimes. Job startup/teardown latency (YARN container
+// scheduling etc.) obviously has no local equivalent; it is modeled as a
+// configurable constant that harnesses add per executed job.
+
+namespace s2rdf::mapreduce {
+
+struct JobConfig {
+  // Directory for spill/shuffle files; must exist.
+  std::string work_dir;
+  // Number of reduce partitions ("cluster width").
+  int num_reducers = 4;
+  // Spill threshold of the shuffle sort.
+  uint64_t max_records_in_memory = 1u << 20;
+};
+
+struct JobMetrics {
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t shuffle_bytes = 0;  // Bytes written to shuffle partitions.
+  uint64_t spill_bytes = 0;    // Extra run files during external sort.
+  uint64_t reduce_input_records = 0;
+  uint64_t reduce_output_records = 0;
+
+  JobMetrics& operator+=(const JobMetrics& other) {
+    map_input_records += other.map_input_records;
+    map_output_records += other.map_output_records;
+    shuffle_bytes += other.shuffle_bytes;
+    spill_bytes += other.spill_bytes;
+    reduce_input_records += other.reduce_input_records;
+    reduce_output_records += other.reduce_output_records;
+    return *this;
+  }
+};
+
+// Emits zero or more intermediate records for one input record.
+using Mapper = std::function<void(const Record& input,
+                                  std::vector<Record>* out)>;
+
+// Receives one key group (all records sharing `key`, sorted) and emits
+// output records.
+using Reducer = std::function<void(const std::vector<uint32_t>& key,
+                                   const std::vector<Record>& group,
+                                   std::vector<Record>* out)>;
+
+// Runs one MapReduce job over `input_paths` (record files), writing the
+// reduce output to `output_path`. Each stage boundary goes through disk:
+// map outputs are hash-partitioned into per-reducer shuffle files, each
+// partition is externally sorted, and sorted groups stream through the
+// reducer.
+StatusOr<JobMetrics> RunJob(const JobConfig& config,
+                            const std::vector<std::string>& input_paths,
+                            const Mapper& mapper, const Reducer& reducer,
+                            const std::string& output_path);
+
+}  // namespace s2rdf::mapreduce
+
+#endif  // S2RDF_MAPREDUCE_JOB_H_

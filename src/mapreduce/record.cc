@@ -1,0 +1,67 @@
+#include "mapreduce/record.h"
+
+#include "common/file_util.h"
+#include "storage/encoding.h"
+
+namespace s2rdf::mapreduce {
+
+void AppendRecord(const Record& record, std::string* out) {
+  storage::PutVarint64(out, record.key.size());
+  for (uint32_t v : record.key) storage::PutVarint64(out, v);
+  storage::PutVarint64(out, record.value.size());
+  for (uint32_t v : record.value) storage::PutVarint64(out, v);
+}
+
+std::string SerializeRecords(const std::vector<Record>& records) {
+  std::string out;
+  for (const Record& r : records) AppendRecord(r, &out);
+  return out;
+}
+
+Status ParseRecords(std::string_view data, std::vector<Record>* records) {
+  size_t pos = 0;
+  while (pos < data.size()) {
+    Record record;
+    uint64_t key_len = 0;
+    if (!storage::GetVarint64(data, &pos, &key_len)) {
+      return InvalidArgumentError("record stream truncated (key length)");
+    }
+    record.key.reserve(key_len);
+    for (uint64_t i = 0; i < key_len; ++i) {
+      uint64_t v = 0;
+      if (!storage::GetVarint64(data, &pos, &v)) {
+        return InvalidArgumentError("record stream truncated (key)");
+      }
+      record.key.push_back(static_cast<uint32_t>(v));
+    }
+    uint64_t value_len = 0;
+    if (!storage::GetVarint64(data, &pos, &value_len)) {
+      return InvalidArgumentError("record stream truncated (value length)");
+    }
+    record.value.reserve(value_len);
+    for (uint64_t i = 0; i < value_len; ++i) {
+      uint64_t v = 0;
+      if (!storage::GetVarint64(data, &pos, &v)) {
+        return InvalidArgumentError("record stream truncated (value)");
+      }
+      record.value.push_back(static_cast<uint32_t>(v));
+    }
+    records->push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+Status WriteRecordFile(const std::string& path,
+                       const std::vector<Record>& records) {
+  return WriteFile(path, SerializeRecords(records));
+}
+
+StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path) {
+  std::string data;
+  S2RDF_RETURN_IF_ERROR(ReadFile(path, &data));
+  std::vector<Record> records;
+  S2RDF_RETURN_IF_ERROR(ParseRecords(data, &records));
+  return records;
+}
+
+}  // namespace s2rdf::mapreduce

@@ -1,0 +1,50 @@
+#ifndef S2RDF_MAPREDUCE_RECORD_H_
+#define S2RDF_MAPREDUCE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Key/value records for the mini MapReduce runtime. A record is a pair
+// of small uint32 tuples (dictionary-encoded term ids); keys sort
+// lexicographically. Record files are the on-disk interchange format
+// between map, shuffle and reduce stages — the stand-in for HDFS
+// sequence files in the MapReduce competitor baselines.
+
+namespace s2rdf::mapreduce {
+
+struct Record {
+  std::vector<uint32_t> key;
+  std::vector<uint32_t> value;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  // Lexicographic key order (value breaks ties for determinism).
+  friend bool operator<(const Record& a, const Record& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  }
+};
+
+// Appends the serialized form of `record` to `out`.
+void AppendRecord(const Record& record, std::string* out);
+
+// Serializes a whole batch.
+std::string SerializeRecords(const std::vector<Record>& records);
+
+// Parses a record stream produced by AppendRecord.
+Status ParseRecords(std::string_view data, std::vector<Record>* records);
+
+// Writes `records` to `path` (truncating).
+Status WriteRecordFile(const std::string& path,
+                       const std::vector<Record>& records);
+
+// Reads a record file written by WriteRecordFile.
+StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path);
+
+}  // namespace s2rdf::mapreduce
+
+#endif  // S2RDF_MAPREDUCE_RECORD_H_

@@ -1,0 +1,77 @@
+#include "rdf/dictionary.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace s2rdf::rdf {
+
+TermId Dictionary::Encode(std::string_view canonical) {
+  auto it = ids_.find(std::string(canonical));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(by_id_.size());
+  auto [inserted, _] = ids_.emplace(std::string(canonical), id);
+  by_id_.push_back(&inserted->first);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Find(std::string_view canonical) const {
+  auto it = ids_.find(std::string(canonical));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::Decode(TermId id) const {
+  S2RDF_CHECK(id < by_id_.size());
+  return *by_id_[id];
+}
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool GetU32(std::string_view blob, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > blob.size()) return false;
+  std::memcpy(v, blob.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+std::string Dictionary::Serialize() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(by_id_.size()));
+  for (const std::string* term : by_id_) {
+    PutU32(&out, static_cast<uint32_t>(term->size()));
+    out += *term;
+  }
+  return out;
+}
+
+StatusOr<Dictionary> Dictionary::Deserialize(std::string_view blob) {
+  Dictionary dict;
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetU32(blob, &pos, &count)) {
+    return InvalidArgumentError("dictionary blob truncated (count)");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!GetU32(blob, &pos, &len) || pos + len > blob.size()) {
+      return InvalidArgumentError("dictionary blob truncated (entry)");
+    }
+    TermId id = dict.Encode(blob.substr(pos, len));
+    if (id != i) {
+      return InvalidArgumentError("dictionary blob has duplicate terms");
+    }
+    pos += len;
+  }
+  return dict;
+}
+
+}  // namespace s2rdf::rdf

@@ -1,0 +1,62 @@
+#ifndef S2RDF_RDF_DICTIONARY_H_
+#define S2RDF_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+// Dictionary encoding of RDF terms. All layouts (triples table, VP, ExtVP,
+// property tables, permutation indexes) operate on dense 32-bit term ids;
+// the dictionary is the single source of truth mapping ids back to the
+// canonical N-Triples strings. This mirrors the dictionary encoding that
+// Spark SQL's Parquet representation applies in the paper's setup.
+
+namespace s2rdf::rdf {
+
+// Dense id of an interned term. Id 0 is a valid term id.
+using TermId = uint32_t;
+
+// Sentinel used by the engine for "unbound" (e.g. OPTIONAL non-matches).
+inline constexpr TermId kNullTermId = 0xffffffffu;
+
+// Interns canonical term strings and assigns dense ids in insertion
+// order. Not thread-safe; builders own one instance per dataset.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Move-only: the id map references heap nodes owned by this instance.
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  // Returns the id for `canonical`, interning it if new.
+  TermId Encode(std::string_view canonical);
+
+  // Returns the id if `canonical` is already interned.
+  std::optional<TermId> Find(std::string_view canonical) const;
+
+  // Returns the canonical string for `id`. `id` must be valid.
+  const std::string& Decode(TermId id) const;
+
+  size_t size() const { return by_id_.size(); }
+
+  // Serializes to / from a length-prefixed binary blob.
+  std::string Serialize() const;
+  static StatusOr<Dictionary> Deserialize(std::string_view blob);
+
+ private:
+  // Node-stable map; by_id_ points into the map's keys.
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<const std::string*> by_id_;
+};
+
+}  // namespace s2rdf::rdf
+
+#endif  // S2RDF_RDF_DICTIONARY_H_

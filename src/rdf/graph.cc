@@ -1,0 +1,38 @@
+#include "rdf/graph.h"
+
+#include <unordered_set>
+
+namespace s2rdf::rdf {
+
+void Graph::AddCanonical(std::string_view subject, std::string_view predicate,
+                         std::string_view object) {
+  Triple t;
+  t.subject = dictionary_.Encode(subject);
+  t.predicate = dictionary_.Encode(predicate);
+  t.object = dictionary_.Encode(object);
+  triples_.push_back(t);
+}
+
+void Graph::Add(const Term& subject, const Term& predicate,
+                const Term& object) {
+  AddCanonical(subject.ToNTriples(), predicate.ToNTriples(),
+               object.ToNTriples());
+}
+
+void Graph::AddIris(std::string_view subject, std::string_view predicate,
+                    std::string_view object) {
+  AddCanonical("<" + std::string(subject) + ">",
+               "<" + std::string(predicate) + ">",
+               "<" + std::string(object) + ">");
+}
+
+std::vector<TermId> Graph::DistinctPredicates() const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    if (seen.insert(t.predicate).second) out.push_back(t.predicate);
+  }
+  return out;
+}
+
+}  // namespace s2rdf::rdf

@@ -1,0 +1,55 @@
+#ifndef S2RDF_RDF_GRAPH_H_
+#define S2RDF_RDF_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+// In-memory RDF graph: a triple list plus the dictionary that encodes it.
+// This is the input to every relational-layout builder in src/core and
+// src/baselines.
+
+namespace s2rdf::rdf {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Adds a triple of already-canonical N-Triples term strings
+  // (e.g. "<http://ex/A>", "\"42\"").
+  void AddCanonical(std::string_view subject, std::string_view predicate,
+                    std::string_view object);
+
+  // Adds a triple of Term objects.
+  void Add(const Term& subject, const Term& predicate, const Term& object);
+
+  // Adds a triple of plain IRIs given without angle brackets. Convenience
+  // for tests and the running example.
+  void AddIris(std::string_view subject, std::string_view predicate,
+               std::string_view object);
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  size_t NumTriples() const { return triples_.size(); }
+
+  Dictionary& dictionary() { return dictionary_; }
+  const Dictionary& dictionary() const { return dictionary_; }
+
+  // Distinct predicate ids, in first-appearance order.
+  std::vector<TermId> DistinctPredicates() const;
+
+ private:
+  Dictionary dictionary_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace s2rdf::rdf
+
+#endif  // S2RDF_RDF_GRAPH_H_

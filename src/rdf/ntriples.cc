@@ -1,0 +1,122 @@
+#include "rdf/ntriples.h"
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "rdf/term.h"
+
+namespace s2rdf::rdf {
+
+namespace {
+
+// Scans one term token starting at `*pos` in `line`; advances `*pos` past
+// the token and any following whitespace.
+StatusOr<std::string> ScanToken(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) return InvalidArgumentError("unexpected end of line");
+  size_t start = *pos;
+  char first = line[start];
+  if (first == '<') {
+    size_t end = line.find('>', start);
+    if (end == std::string_view::npos) {
+      return InvalidArgumentError("unterminated IRI");
+    }
+    *pos = end + 1;
+    return std::string(line.substr(start, end - start + 1));
+  }
+  if (first == '"') {
+    size_t i = start + 1;
+    while (i < line.size()) {
+      if (line[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"') break;
+      ++i;
+    }
+    if (i >= line.size()) return InvalidArgumentError("unterminated literal");
+    ++i;  // Past the closing quote.
+    // Optional @lang or ^^<datatype> suffix.
+    if (i < line.size() && line[i] == '@') {
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    } else if (i + 1 < line.size() && line[i] == '^' && line[i + 1] == '^') {
+      size_t end = line.find('>', i);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated datatype IRI");
+      }
+      i = end + 1;
+    }
+    *pos = i;
+    return std::string(line.substr(start, i - start));
+  }
+  // Blank node or malformed token: scan to whitespace.
+  size_t i = start;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  *pos = i;
+  return std::string(line.substr(start, i - start));
+}
+
+Status ParseLine(std::string_view line, Graph* graph) {
+  size_t pos = 0;
+  S2RDF_ASSIGN_OR_RETURN(std::string subject, ScanToken(line, &pos));
+  S2RDF_ASSIGN_OR_RETURN(std::string predicate, ScanToken(line, &pos));
+  S2RDF_ASSIGN_OR_RETURN(std::string object, ScanToken(line, &pos));
+  std::string_view rest = StripWhitespace(line.substr(pos));
+  if (rest != ".") {
+    return InvalidArgumentError("statement does not end with '.'");
+  }
+  // Validate by round-tripping through the Term parser; this also
+  // canonicalizes literal escapes.
+  S2RDF_ASSIGN_OR_RETURN(rdf::Term s, Term::Parse(subject));
+  S2RDF_ASSIGN_OR_RETURN(rdf::Term p, Term::Parse(predicate));
+  S2RDF_ASSIGN_OR_RETURN(rdf::Term o, Term::Parse(object));
+  if (!p.is_iri()) return InvalidArgumentError("predicate must be an IRI");
+  graph->Add(s, p, o);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view content, Graph* graph) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    std::string_view line = StripWhitespace(content.substr(start, end - start));
+    ++line_no;
+    if (!line.empty() && line.front() != '#') {
+      Status s = ParseLine(line, graph);
+      if (!s.ok()) {
+        return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                    s.message());
+      }
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return Status::Ok();
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  std::string out;
+  const Dictionary& dict = graph.dictionary();
+  for (const Triple& t : graph.triples()) {
+    out += dict.Decode(t.subject);
+    out += ' ';
+    out += dict.Decode(t.predicate);
+    out += ' ';
+    out += dict.Decode(t.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+Status LoadNTriplesFile(const std::string& path, Graph* graph) {
+  std::string content;
+  S2RDF_RETURN_IF_ERROR(ReadFile(path, &content));
+  return ParseNTriples(content, graph);
+}
+
+}  // namespace s2rdf::rdf

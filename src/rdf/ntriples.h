@@ -1,0 +1,28 @@
+#ifndef S2RDF_RDF_NTRIPLES_H_
+#define S2RDF_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+// Line-based N-Triples reader/writer. This is the dataset interchange
+// format used by WatDiv and by the paper's loading pipeline.
+
+namespace s2rdf::rdf {
+
+// Parses N-Triples `content` and appends all statements to `graph`.
+// Blank lines and `#` comment lines are skipped. Returns the first parse
+// error with its 1-based line number.
+Status ParseNTriples(std::string_view content, Graph* graph);
+
+// Serializes `graph` in N-Triples syntax (one statement per line).
+std::string WriteNTriples(const Graph& graph);
+
+// Loads an N-Triples file from disk into `graph`.
+Status LoadNTriplesFile(const std::string& path, Graph* graph);
+
+}  // namespace s2rdf::rdf
+
+#endif  // S2RDF_RDF_NTRIPLES_H_

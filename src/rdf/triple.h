@@ -1,0 +1,34 @@
+#ifndef S2RDF_RDF_TRIPLE_H_
+#define S2RDF_RDF_TRIPLE_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "rdf/dictionary.h"
+
+namespace s2rdf::rdf {
+
+// A dictionary-encoded RDF statement (s, p, o).
+struct Triple {
+  TermId subject;
+  TermId predicate;
+  TermId object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = MixHash64(t.subject);
+    h = HashCombine(h, t.predicate);
+    h = HashCombine(h, t.object);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace s2rdf::rdf
+
+#endif  // S2RDF_RDF_TRIPLE_H_

@@ -1,0 +1,395 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "rdf/term.h"
+
+namespace s2rdf::rdf {
+
+namespace {
+
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view input, Graph* graph)
+      : input_(input), graph_(*graph) {}
+
+  Status Run() {
+    SkipWhitespace();
+    while (pos_ < input_.size()) {
+      S2RDF_RETURN_IF_ERROR(ParseStatement());
+      SkipWhitespace();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("turtle parse error at line " +
+                                std::to_string(line_) + ": " + message);
+  }
+
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (Peek() == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size()) {
+      char c = Peek();
+      if (c == '#') {
+        while (pos_ < input_.size() && Peek() != '\n') Advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (input_.size() - pos_ < keyword.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(input_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    // Must be followed by whitespace or an IRI/name start.
+    char next = PeekAt(keyword.size());
+    if (next != '\0' && !std::isspace(static_cast<unsigned char>(next)) &&
+        next != '<') {
+      return false;
+    }
+    for (size_t i = 0; i < keyword.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Error(std::string("expected '") + c + "' but found '" +
+                   (Peek() == '\0' ? std::string("<eof>")
+                                   : std::string(1, Peek())) +
+                   "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseStatement() {
+    if (Peek() == '@') {
+      Advance();
+      if (ConsumeKeyword("prefix")) {
+        S2RDF_RETURN_IF_ERROR(ParsePrefixDecl());
+        SkipWhitespace();
+        return Expect('.');
+      }
+      if (ConsumeKeyword("base")) {
+        S2RDF_RETURN_IF_ERROR(ParseBaseDecl());
+        SkipWhitespace();
+        return Expect('.');
+      }
+      return Error("unknown @-directive");
+    }
+    // SPARQL-style PREFIX/BASE (no trailing dot).
+    if ((Peek() == 'P' || Peek() == 'p') && ConsumeKeyword("prefix")) {
+      return ParsePrefixDecl();
+    }
+    if ((Peek() == 'B' || Peek() == 'b') && ConsumeKeyword("base")) {
+      return ParseBaseDecl();
+    }
+    return ParseTriples();
+  }
+
+  Status ParsePrefixDecl() {
+    SkipWhitespace();
+    // prefix name up to ':'.
+    size_t start = pos_;
+    while (pos_ < input_.size() && Peek() != ':' &&
+           !std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    std::string prefix(input_.substr(start, pos_ - start));
+    S2RDF_RETURN_IF_ERROR(Expect(':'));
+    SkipWhitespace();
+    S2RDF_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+    prefixes_[prefix] = iri;
+    return Status::Ok();
+  }
+
+  Status ParseBaseDecl() {
+    SkipWhitespace();
+    S2RDF_ASSIGN_OR_RETURN(base_, ParseIriRef());
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ParseIriRef() {
+    S2RDF_RETURN_IF_ERROR(Expect('<'));
+    std::string iri;
+    while (pos_ < input_.size() && Peek() != '>') {
+      if (Peek() == '\n') return Error("newline inside IRI");
+      iri += Peek();
+      Advance();
+    }
+    S2RDF_RETURN_IF_ERROR(Expect('>'));
+    // Simple @base handling: prepend for clearly-relative IRIs.
+    if (!base_.empty() && iri.find("://") == std::string::npos &&
+        !StartsWith(iri, "urn:") && !StartsWith(iri, "mailto:")) {
+      return base_ + iri;
+    }
+    return iri;
+  }
+
+  // Parses a subject/predicate/object term into canonical N-Triples
+  // form. `as_predicate` allows the 'a' keyword.
+  StatusOr<std::string> ParseTerm(bool as_predicate) {
+    SkipWhitespace();
+    char c = Peek();
+    if (c == '<') {
+      S2RDF_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri)).ToNTriples();
+    }
+    if (c == '"' || c == '\'') return ParseLiteral();
+    if (c == '_' && PeekAt(1) == ':') {
+      Advance();
+      Advance();
+      size_t start = pos_;
+      while (pos_ < input_.size() && (std::isalnum(static_cast<unsigned char>(
+                                          Peek())) ||
+                                      Peek() == '_' || Peek() == '-')) {
+        Advance();
+      }
+      return Term::Blank(std::string(input_.substr(start, pos_ - start)))
+          .ToNTriples();
+    }
+    if (c == '[') return Error("anonymous blank nodes are not supported");
+    if (c == '(') return Error("collections are not supported");
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+        c == '-' ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(PeekAt(1))))) {
+      return ParseNumber();
+    }
+    // Keyword 'a', boolean, or prefixed name.
+    if (as_predicate && c == 'a' &&
+        (std::isspace(static_cast<unsigned char>(PeekAt(1))) ||
+         PeekAt(1) == '<')) {
+      Advance();
+      return Term::Iri(std::string(kRdfType)).ToNTriples();
+    }
+    return ParsePrefixedNameOrBoolean();
+  }
+
+  StatusOr<std::string> ParseLiteral() {
+    char quote = Peek();
+    bool long_string = PeekAt(1) == quote && PeekAt(2) == quote;
+    std::string lexical;
+    if (long_string) {
+      Advance();
+      Advance();
+      Advance();
+      bool closed = false;
+      while (pos_ < input_.size()) {
+        if (Peek() == quote && PeekAt(1) == quote && PeekAt(2) == quote) {
+          Advance();
+          Advance();
+          Advance();
+          closed = true;
+          break;
+        }
+        if (Peek() == '\\' && pos_ + 1 < input_.size()) {
+          lexical += Peek();
+          Advance();
+        }
+        lexical += Peek();
+        Advance();
+      }
+      if (!closed) return Error("unterminated long string literal");
+    } else {
+      Advance();
+      while (pos_ < input_.size() && Peek() != quote) {
+        if (Peek() == '\n') return Error("newline in string literal");
+        if (Peek() == '\\') {
+          lexical += Peek();
+          Advance();
+          if (pos_ >= input_.size()) break;
+        }
+        lexical += Peek();
+        Advance();
+      }
+      S2RDF_RETURN_IF_ERROR(Expect(quote));
+    }
+    std::string raw = UnescapeLiteral(lexical);
+
+    if (Peek() == '@') {
+      Advance();
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) ||
+              Peek() == '-')) {
+        Advance();
+      }
+      return Term::Literal(std::move(raw), "",
+                           std::string(input_.substr(start, pos_ - start)))
+          .ToNTriples();
+    }
+    if (Peek() == '^' && PeekAt(1) == '^') {
+      Advance();
+      Advance();
+      std::string datatype;
+      if (Peek() == '<') {
+        S2RDF_ASSIGN_OR_RETURN(datatype, ParseIriRef());
+      } else {
+        S2RDF_ASSIGN_OR_RETURN(std::string expanded,
+                               ParsePrefixedIri());
+        datatype = std::move(expanded);
+      }
+      return Term::Literal(std::move(raw), std::move(datatype)).ToNTriples();
+    }
+    return Term::Literal(std::move(raw)).ToNTriples();
+  }
+
+  StatusOr<std::string> ParseNumber() {
+    size_t start = pos_;
+    bool has_dot = false;
+    bool has_exp = false;
+    if (Peek() == '+' || Peek() == '-') Advance();
+    while (pos_ < input_.size()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '.' &&
+                 std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+        has_dot = true;
+        Advance();
+      } else if ((c == 'e' || c == 'E') && !has_exp) {
+        has_exp = true;
+        Advance();
+        if (Peek() == '+' || Peek() == '-') Advance();
+      } else {
+        break;
+      }
+    }
+    std::string digits(input_.substr(start, pos_ - start));
+    std::string_view datatype =
+        has_exp ? kXsdDouble : (has_dot ? kXsdDecimal : kXsdInteger);
+    return Term::Literal(std::move(digits), std::string(datatype))
+        .ToNTriples();
+  }
+
+  // Expands "pre:local" (or ":local") to the full IRI string.
+  StatusOr<std::string> ParsePrefixedIri() {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == ':' || c == '.') {
+        // A '.' at the end of a statement is punctuation, not name.
+        if (c == '.') {
+          char next = PeekAt(1);
+          if (!(std::isalnum(static_cast<unsigned char>(next)) ||
+                next == '_' || next == '-')) {
+            break;
+          }
+        }
+        Advance();
+      } else {
+        break;
+      }
+    }
+    std::string token(input_.substr(start, pos_ - start));
+    size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Error("expected prefixed name, found '" + token + "'");
+    }
+    std::string prefix = token.substr(0, colon);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("undeclared prefix '" + prefix + ":'");
+    }
+    return it->second + token.substr(colon + 1);
+  }
+
+  StatusOr<std::string> ParsePrefixedNameOrBoolean() {
+    // Booleans are bare words.
+    if (ConsumeKeyword("true")) {
+      return Term::Literal("true", std::string(kXsdBoolean)).ToNTriples();
+    }
+    if (ConsumeKeyword("false")) {
+      return Term::Literal("false", std::string(kXsdBoolean)).ToNTriples();
+    }
+    S2RDF_ASSIGN_OR_RETURN(std::string iri, ParsePrefixedIri());
+    return Term::Iri(std::move(iri)).ToNTriples();
+  }
+
+  Status ParseTriples() {
+    S2RDF_ASSIGN_OR_RETURN(std::string subject,
+                           ParseTerm(/*as_predicate=*/false));
+    while (true) {
+      S2RDF_ASSIGN_OR_RETURN(std::string predicate,
+                             ParseTerm(/*as_predicate=*/true));
+      if (predicate.front() != '<') {
+        return Error("predicate must be an IRI");
+      }
+      while (true) {
+        S2RDF_ASSIGN_OR_RETURN(std::string object,
+                               ParseTerm(/*as_predicate=*/false));
+        graph_.AddCanonical(subject, predicate, object);
+        SkipWhitespace();
+        if (Peek() == ',') {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek() == ';') {
+        Advance();
+        SkipWhitespace();
+        // Dangling ';' before '.' is legal.
+        if (Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    SkipWhitespace();
+    return Expect('.');
+  }
+
+  std::string_view input_;
+  Graph& graph_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+Status ParseTurtle(std::string_view content, Graph* graph) {
+  TurtleParser parser(content, graph);
+  return parser.Run();
+}
+
+Status LoadTurtleFile(const std::string& path, Graph* graph) {
+  std::string content;
+  S2RDF_RETURN_IF_ERROR(ReadFile(path, &content));
+  return ParseTurtle(content, graph);
+}
+
+}  // namespace s2rdf::rdf

@@ -1,0 +1,34 @@
+#ifndef S2RDF_RDF_TURTLE_H_
+#define S2RDF_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+// Turtle (Terse RDF Triple Language) reader for the subset datasets are
+// commonly published in (WatDiv itself ships Turtle):
+//
+//   @prefix / PREFIX and @base / BASE declarations; predicate-object
+//   lists (';') and object lists (','); the 'a' keyword; IRIs, prefixed
+//   names and blank-node labels; plain, language-tagged, typed,
+//   single-quoted and long ("""...""") literals; numeric and boolean
+//   shorthand literals; '#' comments.
+//
+// Not supported (returns a parse error): anonymous blank nodes `[...]`,
+// collections `(...)`, and full RFC 3986 relative-IRI resolution (@base
+// is applied by simple concatenation).
+
+namespace s2rdf::rdf {
+
+// Parses Turtle `content` into `graph`. Errors carry 1-based line
+// numbers.
+Status ParseTurtle(std::string_view content, Graph* graph);
+
+// Loads a Turtle file from disk into `graph`.
+Status LoadTurtleFile(const std::string& path, Graph* graph);
+
+}  // namespace s2rdf::rdf
+
+#endif  // S2RDF_RDF_TURTLE_H_

@@ -1,0 +1,238 @@
+#include "server/sparql_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sparql/results_io.h"
+
+namespace s2rdf::server {
+
+namespace {
+
+// Picks a result serialization from the Accept header.
+enum class ResultFormat { kJson, kXml, kCsv, kTsv };
+
+ResultFormat NegotiateFormat(const std::string& accept) {
+  if (accept.find("sparql-results+xml") != std::string::npos ||
+      accept.find("application/xml") != std::string::npos) {
+    return ResultFormat::kXml;
+  }
+  if (accept.find("text/csv") != std::string::npos) {
+    return ResultFormat::kCsv;
+  }
+  if (accept.find("text/tab-separated-values") != std::string::npos) {
+    return ResultFormat::kTsv;
+  }
+  return ResultFormat::kJson;
+}
+
+const char* ContentTypeFor(ResultFormat format) {
+  switch (format) {
+    case ResultFormat::kJson:
+      return "application/sparql-results+json";
+    case ResultFormat::kXml:
+      return "application/sparql-results+xml";
+    case ResultFormat::kCsv:
+      return "text/csv; charset=utf-8";
+    case ResultFormat::kTsv:
+      return "text/tab-separated-values; charset=utf-8";
+  }
+  return "text/plain";
+}
+
+}  // namespace
+
+HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
+  HttpResponse response;
+  if (request.path == "/" && request.method == "GET") {
+    response.content_type = "text/html; charset=utf-8";
+    response.body =
+        "<html><body><h1>S2RDF SPARQL endpoint</h1>"
+        "<p>POST or GET /sparql with a <code>query</code> parameter.</p>"
+        "<p>Tables: " +
+        std::to_string(db_.catalog().NumMaterializedTables()) +
+        ", tuples: " + std::to_string(db_.catalog().TotalTuples()) +
+        "</p></body></html>";
+    return response;
+  }
+  if (request.path != "/sparql") {
+    response.status_code = 404;
+    response.body = "not found\n";
+    return response;
+  }
+
+  std::string query_text;
+  if (request.method == "GET") {
+    auto params = ParseQueryString(request.query_string);
+    query_text = params["query"];
+  } else if (request.method == "POST") {
+    std::string content_type = request.Header("content-type");
+    if (content_type.find("application/sparql-query") != std::string::npos) {
+      query_text = request.body;
+    } else if (content_type.find("application/x-www-form-urlencoded") !=
+                   std::string::npos ||
+               content_type.empty()) {
+      auto params = ParseQueryString(request.body);
+      query_text = params["query"];
+    } else {
+      response.status_code = 415;
+      response.body = "unsupported content type: " + content_type + "\n";
+      return response;
+    }
+  } else {
+    response.status_code = 405;
+    response.body = "use GET or POST\n";
+    return response;
+  }
+
+  if (query_text.empty()) {
+    response.status_code = 400;
+    response.body = "missing 'query' parameter\n";
+    return response;
+  }
+
+  auto result = db_.Execute(query_text);
+  if (!result.ok()) {
+    response.status_code =
+        result.status().code() == StatusCode::kInvalidArgument ? 400 : 500;
+    response.body = result.status().ToString() + "\n";
+    return response;
+  }
+
+  ResultFormat format = NegotiateFormat(request.Header("accept"));
+  response.content_type = ContentTypeFor(format);
+  const rdf::Dictionary& dict = db_.graph().dictionary();
+  if (result->is_graph) {
+    // CONSTRUCT/DESCRIBE: the result is a graph, not solutions.
+    response.content_type = "application/n-triples; charset=utf-8";
+    response.body = result->graph_ntriples;
+    return response;
+  }
+  if (result->is_ask) {
+    switch (format) {
+      case ResultFormat::kXml:
+        response.body = sparql::AskToXml(result->ask_result);
+        break;
+      default:
+        response.content_type = ContentTypeFor(ResultFormat::kJson);
+        response.body = sparql::AskToJson(result->ask_result);
+    }
+    return response;
+  }
+  switch (format) {
+    case ResultFormat::kJson:
+      response.body = sparql::ResultsToJson(result->table, dict);
+      break;
+    case ResultFormat::kXml:
+      response.body = sparql::ResultsToXml(result->table, dict);
+      break;
+    case ResultFormat::kCsv:
+      response.body = sparql::ResultsToCsv(result->table, dict);
+      break;
+    case ResultFormat::kTsv:
+      response.body = sparql::ResultsToTsv(result->table, dict);
+      break;
+  }
+  return response;
+}
+
+StatusOr<int> SparqlEndpoint::Start(int port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return IoError("socket() failed");
+  int reuse = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError("bind() failed on port " + std::to_string(port));
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  int bound_port = ntohs(addr.sin_port);
+
+  running_ = true;
+  server_thread_ = std::thread([this] { ServeLoop(); });
+  return bound_port;
+}
+
+void SparqlEndpoint::ServeLoop() {
+  while (running_) {
+    int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_) break;
+      continue;
+    }
+    // Read the head, then honor Content-Length.
+    std::string raw;
+    char buf[4096];
+    size_t content_length = 0;
+    size_t head_end = std::string::npos;
+    while (true) {
+      ssize_t n = read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      raw.append(buf, static_cast<size_t>(n));
+      if (head_end == std::string::npos) {
+        head_end = raw.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+          auto parsed = ParseHttpRequest(raw.substr(0, head_end + 4));
+          if (parsed.ok()) {
+            std::string cl = parsed->Header("content-length");
+            content_length = cl.empty()
+                                 ? 0
+                                 : static_cast<size_t>(std::atoll(cl.c_str()));
+          }
+        }
+      }
+      if (head_end != std::string::npos &&
+          raw.size() >= head_end + 4 + content_length) {
+        break;
+      }
+    }
+    HttpResponse response;
+    auto request = ParseHttpRequest(raw);
+    if (!request.ok()) {
+      response.status_code = 400;
+      response.body = request.status().ToString() + "\n";
+    } else {
+      response = Handle(*request);
+    }
+    std::string wire = response.Serialize();
+    size_t written = 0;
+    while (written < wire.size()) {
+      ssize_t n = write(client, wire.data() + written,
+                        wire.size() - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    close(client);
+  }
+}
+
+void SparqlEndpoint::Stop() {
+  if (!running_) return;
+  running_ = false;
+  // Unblock accept() by shutting the listener down.
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  listen_fd_ = -1;
+  if (server_thread_.joinable()) server_thread_.join();
+}
+
+SparqlEndpoint::~SparqlEndpoint() { Stop(); }
+
+}  // namespace s2rdf::server

@@ -1,0 +1,54 @@
+#ifndef S2RDF_SERVER_SPARQL_ENDPOINT_H_
+#define S2RDF_SERVER_SPARQL_ENDPOINT_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "core/s2rdf.h"
+#include "server/http.h"
+
+// SPARQL Protocol endpoint over an S2RDF store: the network face an
+// RDF store is expected to have. Implements the query operation of the
+// W3C SPARQL 1.1 Protocol:
+//
+//   GET  /sparql?query=<urlencoded>
+//   POST /sparql   (application/x-www-form-urlencoded: query=...)
+//   POST /sparql   (application/sparql-query: raw query body)
+//
+// Result format is chosen from the Accept header (JSON by default;
+// XML, CSV, TSV supported). GET / serves a small status page.
+
+namespace s2rdf::server {
+
+class SparqlEndpoint {
+ public:
+  // `db` must outlive the endpoint.
+  explicit SparqlEndpoint(core::S2Rdf* db) : db_(*db) {}
+
+  // Pure request -> response mapping (transport-independent; this is
+  // what the tests exercise and what the socket loop calls).
+  HttpResponse Handle(const HttpRequest& request);
+
+  // Starts the socket server on 127.0.0.1:`port` (0 = ephemeral) in a
+  // background thread. Returns the bound port.
+  StatusOr<int> Start(int port);
+
+  // Stops the socket server and joins the thread.
+  void Stop();
+
+  ~SparqlEndpoint();
+
+ private:
+  void ServeLoop();
+
+  core::S2Rdf& db_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread server_thread_;
+};
+
+}  // namespace s2rdf::server
+
+#endif  // S2RDF_SERVER_SPARQL_ENDPOINT_H_

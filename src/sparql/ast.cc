@@ -1,0 +1,60 @@
+#include "sparql/ast.h"
+
+#include <unordered_set>
+
+namespace s2rdf::sparql {
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> vars;
+  if (subject.is_variable()) vars.push_back(subject.value);
+  if (predicate.is_variable()) vars.push_back(predicate.value);
+  if (object.is_variable()) vars.push_back(object.value);
+  return vars;
+}
+
+std::string TriplePattern::ToString() const {
+  auto render = [](const PatternTerm& t) {
+    return t.is_variable() ? "?" + t.value : t.value;
+  };
+  return render(subject) + " " + render(predicate) + " " + render(object) +
+         " .";
+}
+
+namespace {
+void CollectVariables(const GraphPattern& pattern,
+                      std::unordered_set<std::string>* seen,
+                      std::vector<std::string>* out) {
+  for (const TriplePattern& tp : pattern.triples) {
+    for (const std::string& v : tp.Variables()) {
+      if (seen->insert(v).second) out->push_back(v);
+    }
+  }
+  for (const GraphPattern& opt : pattern.optionals) {
+    CollectVariables(opt, seen, out);
+  }
+  for (const auto& chain : pattern.unions) {
+    for (const GraphPattern& alt : chain) CollectVariables(alt, seen, out);
+  }
+  for (const InlineData& data : pattern.values) {
+    for (const std::string& v : data.variables) {
+      if (seen->insert(v).second) out->push_back(v);
+    }
+  }
+  for (const auto& sub : pattern.subqueries) {
+    std::vector<std::string> visible =
+        sub->select_all ? sub->where.AllVariables() : sub->projection;
+    for (const std::string& v : visible) {
+      if (seen->insert(v).second) out->push_back(v);
+    }
+  }
+}
+}  // namespace
+
+std::vector<std::string> GraphPattern::AllVariables() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  CollectVariables(*this, &seen, &out);
+  return out;
+}
+
+}  // namespace s2rdf::sparql

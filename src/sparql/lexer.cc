@@ -1,0 +1,269 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+namespace s2rdf::sparql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+// Characters permitted inside prefixed names (pre:local). WatDiv local
+// names are alphanumeric with dots/dashes.
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+std::string ToUpper(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out += static_cast<char>(std::toupper(c));
+  return out;
+}
+
+const char* const kKeywords[] = {
+    "SELECT", "WHERE",  "FILTER", "OPTIONAL", "UNION",  "DISTINCT",
+    "ORDER",  "BY",     "ASC",    "DESC",     "LIMIT",  "OFFSET",
+    "PREFIX", "BASE",   "A",      "REGEX",    "BOUND",  "ASK",
+    "REDUCED", "COUNT", "SUM",    "MIN",      "MAX",    "AVG",
+    "SAMPLE", "GROUP",  "AS",     "HAVING",   "CONSTRUCT", "DESCRIBE",
+    "VALUES", "UNDEF"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto error = [&](const std::string& message) {
+    return InvalidArgumentError("lex error at line " + std::to_string(line) +
+                                ": " + message);
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+
+    if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      if (i == start) return error("empty variable name");
+      token.kind = TokenKind::kVariable;
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '<') {
+      // IRIREF vs '<' / '<=' operator: an IRIREF has no whitespace before
+      // its closing '>'.
+      size_t end = i + 1;
+      bool is_iri = true;
+      while (true) {
+        if (end >= input.size() || std::isspace(static_cast<unsigned char>(
+                                       input[end]))) {
+          is_iri = false;
+          break;
+        }
+        if (input[end] == '>') break;
+        ++end;
+      }
+      if (is_iri) {
+        token.kind = TokenKind::kIriRef;
+        token.text = std::string(input.substr(i + 1, end - i - 1));
+        i = end + 1;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      token.kind = TokenKind::kOperator;
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        token.text = "<=";
+        i += 2;
+      } else {
+        token.text = "<";
+        ++i;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i + 1;
+      size_t j = start;
+      while (j < input.size()) {
+        if (input[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (input[j] == quote) break;
+        if (input[j] == '\n') ++line;
+        ++j;
+      }
+      if (j >= input.size()) return error("unterminated string literal");
+      std::string body(input.substr(start, j - start));
+      i = j + 1;
+      // Optional @lang or ^^<iri> / ^^pre:name suffix.
+      std::string suffix;
+      if (i < input.size() && input[i] == '@') {
+        size_t s = i + 1;
+        while (s < input.size() && (IsIdentChar(input[s]))) ++s;
+        suffix = "@" + std::string(input.substr(i + 1, s - i - 1));
+        i = s;
+      } else if (i + 1 < input.size() && input[i] == '^' &&
+                 input[i + 1] == '^') {
+        i += 2;
+        if (i < input.size() && input[i] == '<') {
+          size_t end = input.find('>', i);
+          if (end == std::string_view::npos) {
+            return error("unterminated datatype IRI");
+          }
+          suffix = "^^<" + std::string(input.substr(i + 1, end - i - 1)) + ">";
+          i = end + 1;
+        } else {
+          size_t s = i;
+          while (s < input.size() && IsPnameChar(input[s])) ++s;
+          suffix = "^^" + std::string(input.substr(i, s - i));
+          i = s;
+        }
+      }
+      token.kind = TokenKind::kString;
+      token.text = "\"" + body + "\"" + suffix;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '+' || c == '-') && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '+' || c == '-') ++i;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.' || input[i] == 'e' || input[i] == 'E')) {
+        // A '.' followed by non-digit terminates the number (statement dot).
+        if (input[i] == '.' &&
+            (i + 1 >= input.size() ||
+             !std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+          break;
+        }
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '_' && i + 1 < input.size() && input[i + 1] == ':') {
+      size_t start = i;
+      i += 2;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      token.kind = TokenKind::kPrefixedName;  // Blank nodes ride this lane.
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < input.size() && IsPnameChar(input[i])) ++i;
+      // Trailing dots belong to statement punctuation, not the name.
+      size_t end = i;
+      while (end > start && input[end - 1] == '.') --end;
+      i = end;
+      std::string text(input.substr(start, end - start));
+      std::string upper = ToUpper(text);
+      if (text.find(':') != std::string::npos) {
+        token.kind = TokenKind::kPrefixedName;
+        token.text = std::move(text);
+      } else if (upper == "TRUE" || upper == "FALSE") {
+        token.kind = TokenKind::kBoolean;
+        token.text = upper == "TRUE" ? "true" : "false";
+      } else if (IsKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = std::move(upper);
+      } else {
+        // Bare identifier: treat as a prefixed-name-like token; the
+        // parser rejects it with a useful message if unexpected.
+        token.kind = TokenKind::kPrefixedName;
+        token.text = std::move(text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Operators and punctuation.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == ">=" || two == "&&" || two == "||") {
+      token.kind = TokenKind::kOperator;
+      token.text = std::string(two);
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '>' || c == '=' || c == '!') {
+      token.kind = TokenKind::kOperator;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '(' || c == ')' || c == '.' ||
+        c == ';' || c == ',' || c == '*') {
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == ':') {
+      // Default-namespace prefixed name, e.g. ":local".
+      size_t start = i;
+      ++i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      token.kind = TokenKind::kPrefixedName;
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace s2rdf::sparql

@@ -1,0 +1,50 @@
+#ifndef S2RDF_SPARQL_LEXER_H_
+#define S2RDF_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// SPARQL tokenizer. Produces a flat token stream consumed by the
+// recursive-descent parser.
+
+namespace s2rdf::sparql {
+
+enum class TokenKind {
+  kEof,
+  kKeyword,      // SELECT, WHERE, FILTER, ... (upper-cased in `text`).
+  kVariable,     // ?x / $x — `text` holds the name without the sigil.
+  kIriRef,       // <...> — `text` holds the IRI without brackets.
+  kPrefixedName, // pre:local (or pre: / :local) — `text` verbatim.
+  kString,       // Literal with optional @lang / ^^type — canonical form.
+  kNumber,       // Numeric literal — `text` holds the digits verbatim.
+  kBoolean,      // true / false.
+  kPunct,        // { } ( ) . ; , * =
+  kOperator,     // = != < <= > >= && || !
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+
+  bool IsKeyword(std::string_view keyword) const {
+    return kind == TokenKind::kKeyword && text == keyword;
+  }
+  bool IsPunct(std::string_view punct) const {
+    return kind == TokenKind::kPunct && text == punct;
+  }
+  bool IsOperator(std::string_view op) const {
+    return kind == TokenKind::kOperator && text == op;
+  }
+};
+
+// Tokenizes `input`. `#` comments run to end of line. The final token is
+// always kEof.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace s2rdf::sparql
+
+#endif  // S2RDF_SPARQL_LEXER_H_

@@ -1,0 +1,28 @@
+#ifndef S2RDF_SPARQL_PARSER_H_
+#define S2RDF_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+// Recursive-descent parser for the supported SPARQL fragment:
+//
+//   PREFIX declarations; SELECT [DISTINCT] (* | vars) WHERE { ... };
+//   basic graph patterns (with ';' and ',' abbreviations and the 'a'
+//   keyword); FILTER with comparisons, &&/||/!, BOUND, REGEX; OPTIONAL;
+//   UNION; ORDER BY; LIMIT; OFFSET.
+//
+// This matches the SPARQL 1.0 surface of the paper's prototype (Sec. 6.1:
+// no 1.1 aggregates/subqueries).
+
+namespace s2rdf::sparql {
+
+// Parses `text` into a Query. Prefixed names are expanded using the
+// query's PREFIX declarations; numeric and boolean literals are
+// canonicalized to typed xsd literals.
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace s2rdf::sparql
+
+#endif  // S2RDF_SPARQL_PARSER_H_

@@ -1,0 +1,34 @@
+#ifndef S2RDF_SPARQL_RESULTS_IO_H_
+#define S2RDF_SPARQL_RESULTS_IO_H_
+
+#include <string>
+
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+
+// W3C SPARQL query-result serializers: the interchange formats a SPARQL
+// endpoint speaks. Implemented:
+//   - SPARQL 1.1 Query Results JSON Format,
+//   - SPARQL Query Results XML Format,
+//   - CSV and TSV (RFC 4180-style CSV; TSV uses N-Triples term syntax).
+// Input is a solution table (columns = variables, cells = dictionary
+// ids; kNullTermId = unbound) plus the dictionary.
+
+namespace s2rdf::sparql {
+
+std::string ResultsToJson(const engine::Table& table,
+                          const rdf::Dictionary& dict);
+std::string ResultsToXml(const engine::Table& table,
+                         const rdf::Dictionary& dict);
+std::string ResultsToCsv(const engine::Table& table,
+                         const rdf::Dictionary& dict);
+std::string ResultsToTsv(const engine::Table& table,
+                         const rdf::Dictionary& dict);
+
+// ASK results.
+std::string AskToJson(bool result);
+std::string AskToXml(bool result);
+
+}  // namespace s2rdf::sparql
+
+#endif  // S2RDF_SPARQL_RESULTS_IO_H_

@@ -1,0 +1,215 @@
+#include "sparql/shape.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace s2rdf::sparql {
+
+const char* QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kSingle:
+      return "single";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kLinear:
+      return "linear";
+    case QueryShape::kSnowflake:
+      return "snowflake";
+    case QueryShape::kComplex:
+      return "complex";
+    case QueryShape::kDisconnected:
+      return "disconnected";
+  }
+  return "?";
+}
+
+namespace {
+
+// BFS eccentricity of `start` in an adjacency-list graph; also reports
+// how many nodes were reached.
+std::pair<int, size_t> Eccentricity(
+    const std::vector<std::vector<int>>& adjacency, int start) {
+  std::vector<int> distance(adjacency.size(), -1);
+  std::queue<int> frontier;
+  distance[static_cast<size_t>(start)] = 0;
+  frontier.push(start);
+  int max_distance = 0;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    int node = frontier.front();
+    frontier.pop();
+    for (int next : adjacency[static_cast<size_t>(node)]) {
+      if (distance[static_cast<size_t>(next)] >= 0) continue;
+      distance[static_cast<size_t>(next)] =
+          distance[static_cast<size_t>(node)] + 1;
+      max_distance =
+          std::max(max_distance, distance[static_cast<size_t>(next)]);
+      ++reached;
+      frontier.push(next);
+    }
+  }
+  return {max_distance, reached};
+}
+
+// True when the undirected simple graph has a cycle.
+bool HasCycle(const std::map<std::string, std::set<std::string>>& adjacency) {
+  std::set<std::string> visited;
+  for (const auto& [start, _] : adjacency) {
+    if (visited.contains(start)) continue;
+    // Iterative DFS with parent tracking.
+    std::vector<std::pair<std::string, std::string>> stack = {{start, ""}};
+    while (!stack.empty()) {
+      auto [node, parent] = stack.back();
+      stack.pop_back();
+      if (!visited.insert(node).second) return true;  // Revisit = cycle.
+      for (const std::string& next : adjacency.at(node)) {
+        if (next == parent) continue;
+        if (visited.contains(next)) return true;
+        stack.emplace_back(next, node);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShapeInfo AnalyzeBgpShape(const std::vector<TriplePattern>& bgp) {
+  ShapeInfo info;
+  info.num_patterns = static_cast<int>(bgp.size());
+  if (bgp.empty()) return info;
+  if (bgp.size() == 1) {
+    info.shape = QueryShape::kSingle;
+    return info;
+  }
+
+  // Variable sets per pattern.
+  std::vector<std::set<std::string>> vars(bgp.size());
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    for (const std::string& v : bgp[i].Variables()) vars[i].insert(v);
+  }
+
+  // Pattern graph.
+  std::vector<std::vector<int>> adjacency(bgp.size());
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    for (size_t j = i + 1; j < bgp.size(); ++j) {
+      bool shares = std::any_of(vars[i].begin(), vars[i].end(),
+                                [&](const std::string& v) {
+                                  return vars[j].contains(v);
+                                });
+      if (shares) {
+        adjacency[i].push_back(static_cast<int>(j));
+        adjacency[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Connectivity + diameter (max eccentricity).
+  auto [first_ecc, reached] = Eccentricity(adjacency, 0);
+  if (reached != bgp.size()) {
+    info.shape = QueryShape::kDisconnected;
+    // Diameter of the largest reachable structure is still useful.
+  }
+  int diameter = first_ecc;
+  for (size_t i = 1; i < bgp.size(); ++i) {
+    diameter = std::max(diameter, Eccentricity(adjacency, static_cast<int>(i)).first);
+  }
+  info.diameter = diameter;
+  if (info.shape == QueryShape::kDisconnected) return info;
+
+  // Star: one variable in every pattern (3+ patterns).
+  if (bgp.size() >= 3) {
+    std::set<std::string> common = vars[0];
+    for (size_t i = 1; i < bgp.size() && !common.empty(); ++i) {
+      std::set<std::string> next;
+      for (const std::string& v : common) {
+        if (vars[i].contains(v)) next.insert(v);
+      }
+      common = std::move(next);
+    }
+    if (!common.empty()) {
+      // A genuine star shares nothing but the center: any second shared
+      // variable between two patterns forms a cycle through the center.
+      const std::string center = *common.begin();
+      bool pure = true;
+      for (size_t i = 0; i < bgp.size() && pure; ++i) {
+        for (size_t j = i + 1; j < bgp.size() && pure; ++j) {
+          for (const std::string& v : vars[i]) {
+            if (v != center && vars[j].contains(v)) {
+              pure = false;
+              break;
+            }
+          }
+        }
+      }
+      if (pure) {
+        info.shape = QueryShape::kStar;
+        info.center_variable = center;
+        return info;
+      }
+      info.shape = QueryShape::kComplex;
+      return info;
+    }
+  }
+
+  // Linear: the pattern graph is a simple path.
+  int endpoints = 0;
+  bool path_like = true;
+  size_t edges = 0;
+  for (const auto& neighbors : adjacency) {
+    edges += neighbors.size();
+    if (neighbors.size() == 1) {
+      ++endpoints;
+    } else if (neighbors.size() != 2) {
+      path_like = false;
+    }
+  }
+  edges /= 2;
+  if (path_like && endpoints == 2 && edges == bgp.size() - 1) {
+    info.shape = QueryShape::kLinear;
+    return info;
+  }
+  if (bgp.size() == 2) {
+    info.shape = QueryShape::kLinear;  // Two connected patterns.
+    return info;
+  }
+
+  // Snowflake vs complex: acyclicity of the join-variable graph.
+  std::map<std::string, std::set<std::string>> join_var_graph;
+  std::map<std::string, int> var_pattern_count;
+  for (const auto& pattern_vars : vars) {
+    for (const std::string& v : pattern_vars) ++var_pattern_count[v];
+  }
+  auto is_join_var = [&](const std::string& v) {
+    return var_pattern_count[v] >= 2;
+  };
+  std::map<std::pair<std::string, std::string>, int> edge_multiplicity;
+  for (const auto& pattern_vars : vars) {
+    std::vector<std::string> join_vars;
+    for (const std::string& v : pattern_vars) {
+      if (is_join_var(v)) join_vars.push_back(v);
+    }
+    for (const std::string& v : join_vars) join_var_graph[v];
+    for (size_t a = 0; a < join_vars.size(); ++a) {
+      for (size_t b = a + 1; b < join_vars.size(); ++b) {
+        join_var_graph[join_vars[a]].insert(join_vars[b]);
+        join_var_graph[join_vars[b]].insert(join_vars[a]);
+        ++edge_multiplicity[{std::min(join_vars[a], join_vars[b]),
+                             std::max(join_vars[a], join_vars[b])}];
+      }
+    }
+  }
+  // Two patterns bridging the same variable pair form a cycle the simple
+  // graph cannot see (e.g. `?x :p ?y . ?x :q ?y`).
+  bool parallel_edges = std::any_of(
+      edge_multiplicity.begin(), edge_multiplicity.end(),
+      [](const auto& entry) { return entry.second >= 2; });
+  info.shape = parallel_edges || HasCycle(join_var_graph)
+                   ? QueryShape::kComplex
+                   : QueryShape::kSnowflake;
+  return info;
+}
+
+}  // namespace s2rdf::sparql

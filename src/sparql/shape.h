@@ -1,0 +1,60 @@
+#ifndef S2RDF_SPARQL_SHAPE_H_
+#define S2RDF_SPARQL_SHAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+// BGP shape analysis per the paper's Sec. 2.1 taxonomy (Fig. 3): star,
+// linear, snowflake, and their compositions. Used to sanity-check that
+// workload queries exercise the shapes their category names promise, and
+// available to applications for workload characterization.
+//
+// Definitions, made precise:
+//   - The *pattern graph* has one node per triple pattern and an edge
+//     between patterns sharing a variable.
+//   - `diameter` is the longest shortest path in the pattern graph,
+//     counted in edges (a star is 1; a chain of n patterns is n - 1; the
+//     paper's prose counts patterns for chains, i.e. this value + 1).
+//   - kStar: >= 3 patterns all sharing one variable.
+//   - kLinear: the pattern graph is a simple path (2+ patterns).
+//   - kSnowflake: connected and the *join-variable graph* (join
+//     variables as nodes, an edge when two of them co-occur in one
+//     pattern) is acyclic — stars connected by paths.
+//   - kComplex: cyclic join structure.
+//   - kDisconnected: cross products between components.
+//
+// Note that WatDiv's "C" (complex) *category* is about result sizes and
+// composition; structurally C1/C2 are snowflakes and C3 is a star, which
+// is what this classifier reports.
+
+namespace s2rdf::sparql {
+
+enum class QueryShape {
+  kSingle,        // One triple pattern.
+  kStar,
+  kLinear,
+  kSnowflake,
+  kComplex,
+  kDisconnected,
+};
+
+const char* QueryShapeName(QueryShape shape);
+
+struct ShapeInfo {
+  QueryShape shape = QueryShape::kSingle;
+  // Longest shortest pattern-to-pattern chain, in edges.
+  int diameter = 0;
+  int num_patterns = 0;
+  // A variable occurring in every pattern (stars), or "".
+  std::string center_variable;
+};
+
+// Analyzes the BGP's shape. Ignores FILTER/OPTIONAL/UNION (the paper's
+// taxonomy is defined on BGPs).
+ShapeInfo AnalyzeBgpShape(const std::vector<TriplePattern>& bgp);
+
+}  // namespace s2rdf::sparql
+
+#endif  // S2RDF_SPARQL_SHAPE_H_

@@ -1,0 +1,206 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "storage/table_file.h"
+
+namespace s2rdf::storage {
+
+Catalog::Catalog(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    // Best-effort; Put reports real errors.
+    (void)MakeDirs(dir_);
+  }
+}
+
+std::string Catalog::TablePath(const std::string& name) const {
+  return dir_ + "/" + name + ".s2tb";
+}
+
+Status Catalog::Put(const std::string& name, engine::Table table,
+                    double selectivity) {
+  TableStats stats;
+  stats.name = name;
+  stats.rows = table.NumRows();
+  stats.selectivity = selectivity;
+  stats.materialized = true;
+  if (dir_.empty()) {
+    stats.bytes = SerializeTable(table).size();
+  } else {
+    S2RDF_ASSIGN_OR_RETURN(stats.bytes, SaveTable(table, TablePath(name)));
+  }
+  stats_[name] = stats;
+  CacheInsert(name, std::make_unique<engine::Table>(std::move(table)));
+  return Status::Ok();
+}
+
+void Catalog::PutStatsOnly(const std::string& name, uint64_t rows,
+                           double selectivity) {
+  TableStats stats;
+  stats.name = name;
+  stats.rows = rows;
+  stats.selectivity = selectivity;
+  stats.materialized = false;
+  stats_[name] = stats;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return stats_.contains(name);
+}
+
+const TableStats* Catalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+StatusOr<const engine::Table*> Catalog::GetTable(const std::string& name) {
+  auto cached = cache_.find(name);
+  if (cached != cache_.end()) {
+    TouchLru(name);
+    return cached->second.get();
+  }
+  const TableStats* stats = GetStats(name);
+  if (stats == nullptr || !stats->materialized) {
+    return NotFoundError("table not materialized: " + name);
+  }
+  S2RDF_ASSIGN_OR_RETURN(engine::Table table, LoadTable(TablePath(name)));
+  auto owned = std::make_unique<engine::Table>(std::move(table));
+  const engine::Table* ptr = owned.get();
+  CacheInsert(name, std::move(owned));
+  return ptr;
+}
+
+void Catalog::CacheInsert(const std::string& name,
+                          std::unique_ptr<engine::Table> table) {
+  EvictFromMemory(name);  // Replace any stale copy.
+  cached_bytes_ += table->ApproxBytes();
+  cache_[name] = std::move(table);
+  lru_.push_back(name);
+}
+
+void Catalog::TouchLru(const std::string& name) {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (*it == name) {
+      lru_.erase(it);
+      break;
+    }
+  }
+  lru_.push_back(name);
+}
+
+void Catalog::EvictFromMemory(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it == cache_.end()) return;
+  cached_bytes_ -= it->second->ApproxBytes();
+  cache_.erase(it);
+  for (auto lru_it = lru_.begin(); lru_it != lru_.end(); ++lru_it) {
+    if (*lru_it == name) {
+      lru_.erase(lru_it);
+      break;
+    }
+  }
+}
+
+size_t Catalog::EvictToBudget() {
+  if (memory_budget_ == 0 || dir_.empty()) return 0;
+  size_t evicted = 0;
+  while (cached_bytes_ > memory_budget_ && !lru_.empty()) {
+    std::string victim = lru_.front();
+    EvictFromMemory(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+uint64_t Catalog::TotalTuples() const {
+  uint64_t total = 0;
+  for (const auto& [name, stats] : stats_) {
+    if (stats.materialized) total += stats.rows;
+  }
+  return total;
+}
+
+uint64_t Catalog::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, stats] : stats_) total += stats.bytes;
+  return total;
+}
+
+size_t Catalog::NumMaterializedTables() const {
+  size_t count = 0;
+  for (const auto& [name, stats] : stats_) {
+    if (stats.materialized) ++count;
+  }
+  return count;
+}
+
+std::vector<const TableStats*> Catalog::AllStats() const {
+  std::vector<const TableStats*> out;
+  out.reserve(stats_.size());
+  for (const auto& [name, stats] : stats_) out.push_back(&stats);
+  return out;
+}
+
+Status Catalog::SaveManifest() const {
+  if (dir_.empty()) {
+    return FailedPreconditionError("in-memory catalog has no manifest");
+  }
+  std::string out = "# name\trows\tselectivity\tbytes\tmaterialized\n";
+  for (const auto& [name, stats] : stats_) {
+    char line[512];
+    std::snprintf(line, sizeof(line), "%s\t%llu\t%.17g\t%llu\t%d\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(stats.rows),
+                  stats.selectivity,
+                  static_cast<unsigned long long>(stats.bytes),
+                  stats.materialized ? 1 : 0);
+    out += line;
+  }
+  return WriteFile(dir_ + "/manifest.tsv", out);
+}
+
+Status Catalog::LoadManifest() {
+  if (dir_.empty()) {
+    return FailedPreconditionError("in-memory catalog has no manifest");
+  }
+  std::string content;
+  S2RDF_RETURN_IF_ERROR(ReadFile(dir_ + "/manifest.tsv", &content));
+  stats_.clear();
+  cache_.clear();
+  lru_.clear();
+  cached_bytes_ = 0;
+  for (const std::string& line : StrSplit(content, '\n')) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = StrSplit(trimmed, '\t');
+    if (fields.size() != 5) {
+      return InvalidArgumentError("malformed manifest line: " + line);
+    }
+    TableStats stats;
+    stats.name = fields[0];
+    long long rows = 0;
+    long long bytes = 0;
+    double sel = 0.0;
+    if (!ParseInt64(fields[1], &rows) || !ParseDouble(fields[2], &sel) ||
+        !ParseInt64(fields[3], &bytes)) {
+      return InvalidArgumentError("malformed manifest numbers: " + line);
+    }
+    stats.rows = static_cast<uint64_t>(rows);
+    stats.selectivity = sel;
+    stats.bytes = static_cast<uint64_t>(bytes);
+    stats.materialized = fields[4] == "1";
+    stats_[stats.name] = stats;
+  }
+  return Status::Ok();
+}
+
+engine::TableProvider Catalog::AsProvider() {
+  return [this](const std::string& name) -> const engine::Table* {
+    StatusOr<const engine::Table*> table = GetTable(name);
+    return table.ok() ? *table : nullptr;
+  };
+}
+
+}  // namespace s2rdf::storage

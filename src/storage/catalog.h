@@ -1,0 +1,122 @@
+#ifndef S2RDF_STORAGE_CATALOG_H_
+#define S2RDF_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/table.h"
+
+// Named-table catalog with persisted statistics — the analogue of the
+// HDFS directory of Parquet files plus the table statistics S2RDF
+// collects during ExtVP creation (Sec. 6.1). The query compiler consults
+// the statistics (rows, selectivity factor) without touching table data;
+// statistics exist even for tables that were *not* materialized (empty
+// tables and tables pruned by the SF threshold), which is what enables
+// the paper's "answer from statistics alone" shortcut.
+
+namespace s2rdf::storage {
+
+struct TableStats {
+  std::string name;
+  uint64_t rows = 0;
+  // Selectivity factor SF = |table| / |base VP table| (1.0 for VP/base
+  // tables themselves).
+  double selectivity = 1.0;
+  // On-disk footprint; 0 when not materialized.
+  uint64_t bytes = 0;
+  bool materialized = false;
+};
+
+class Catalog {
+ public:
+  // `dir` is the storage directory; empty keeps everything in memory
+  // (bytes are then the serialized size, computed on registration).
+  explicit Catalog(std::string dir);
+
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers and materializes `table` under `name`.
+  Status Put(const std::string& name, engine::Table table,
+             double selectivity);
+
+  // Registers statistics for a table that is intentionally not
+  // materialized (SF = 0, SF = 1, or above the SF threshold).
+  void PutStatsOnly(const std::string& name, uint64_t rows,
+                    double selectivity);
+
+  bool Has(const std::string& name) const;
+  const TableStats* GetStats(const std::string& name) const;
+
+  // Returns the table, loading it from disk on first access. NotFound
+  // for unknown or unmaterialized names.
+  StatusOr<const engine::Table*> GetTable(const std::string& name);
+
+  // Drops a materialized table's in-memory copy (it stays on disk).
+  void EvictFromMemory(const std::string& name);
+
+  // --- Memory budget -----------------------------------------------------
+  //
+  // Disk-backed catalogs can bound their in-memory cache: EvictToBudget
+  // drops least-recently-used tables until CachedBytes() fits the
+  // budget. Eviction is explicit (never inside GetTable) so pointers
+  // returned by GetTable stay valid for the duration of one query; the
+  // S2Rdf facade evicts between queries. In-memory catalogs (empty
+  // `dir`) never evict — their tables have no disk copy.
+
+  // 0 (default) = unlimited.
+  void SetMemoryBudget(uint64_t bytes) { memory_budget_ = bytes; }
+  uint64_t memory_budget() const { return memory_budget_; }
+
+  // Approximate bytes of cached (in-memory) tables.
+  uint64_t CachedBytes() const { return cached_bytes_; }
+
+  // Evicts LRU disk-backed tables until within budget; returns the
+  // number of tables dropped.
+  size_t EvictToBudget();
+
+  // Aggregate statistics over materialized tables.
+  uint64_t TotalTuples() const;
+  uint64_t TotalBytes() const;
+  size_t NumMaterializedTables() const;
+  size_t NumStatsEntries() const { return stats_.size(); }
+
+  // All stats entries, name-ordered.
+  std::vector<const TableStats*> AllStats() const;
+
+  // Persists / restores the stats manifest ("<dir>/manifest.tsv").
+  Status SaveManifest() const;
+  Status LoadManifest();
+
+  // Adapter for engine::ExecutePlan. The provider loads lazily and
+  // returns nullptr for unknown tables.
+  engine::TableProvider AsProvider();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string TablePath(const std::string& name) const;
+  void CacheInsert(const std::string& name,
+                   std::unique_ptr<engine::Table> table);
+  void TouchLru(const std::string& name);
+
+  std::string dir_;
+  std::map<std::string, TableStats> stats_;
+  std::map<std::string, std::unique_ptr<engine::Table>> cache_;
+  uint64_t memory_budget_ = 0;
+  uint64_t cached_bytes_ = 0;
+  // Least-recently-used at front; names mirror cache_ keys.
+  std::list<std::string> lru_;
+};
+
+}  // namespace s2rdf::storage
+
+#endif  // S2RDF_STORAGE_CATALOG_H_

@@ -1,0 +1,141 @@
+#include "storage/encoding.h"
+
+namespace s2rdf::storage {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+namespace {
+
+std::string EncodePlain(const std::vector<uint32_t>& column) {
+  std::string out;
+  out.reserve(column.size() * 2);
+  for (uint32_t v : column) PutVarint64(&out, v);
+  return out;
+}
+
+std::string EncodeRle(const std::vector<uint32_t>& column) {
+  std::string out;
+  size_t i = 0;
+  while (i < column.size()) {
+    size_t run = 1;
+    while (i + run < column.size() && column[i + run] == column[i]) ++run;
+    PutVarint64(&out, column[i]);
+    PutVarint64(&out, run);
+    i += run;
+  }
+  return out;
+}
+
+std::string EncodeDelta(const std::vector<uint32_t>& column) {
+  std::string out;
+  out.reserve(column.size());
+  int64_t prev = 0;
+  for (uint32_t v : column) {
+    PutVarint64(&out, ZigZagEncode(static_cast<int64_t>(v) - prev));
+    prev = static_cast<int64_t>(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeColumn(const std::vector<uint32_t>& column) {
+  std::string plain = EncodePlain(column);
+  std::string rle = EncodeRle(column);
+  std::string delta = EncodeDelta(column);
+
+  ColumnCodec codec = ColumnCodec::kPlainVarint;
+  const std::string* payload = &plain;
+  if (rle.size() < payload->size()) {
+    codec = ColumnCodec::kRle;
+    payload = &rle;
+  }
+  if (delta.size() < payload->size()) {
+    codec = ColumnCodec::kDeltaVarint;
+    payload = &delta;
+  }
+
+  std::string block;
+  block.push_back(static_cast<char>(codec));
+  PutVarint64(&block, column.size());
+  block += *payload;
+  return block;
+}
+
+Status DecodeColumn(std::string_view block, std::vector<uint32_t>* column) {
+  column->clear();
+  if (block.empty()) return InvalidArgumentError("empty column block");
+  auto codec = static_cast<ColumnCodec>(block[0]);
+  size_t pos = 1;
+  uint64_t count = 0;
+  if (!GetVarint64(block, &pos, &count)) {
+    return InvalidArgumentError("column block truncated (count)");
+  }
+  column->reserve(count);
+  switch (codec) {
+    case ColumnCodec::kPlainVarint: {
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t v = 0;
+        if (!GetVarint64(block, &pos, &v)) {
+          return InvalidArgumentError("column block truncated (plain)");
+        }
+        column->push_back(static_cast<uint32_t>(v));
+      }
+      return Status::Ok();
+    }
+    case ColumnCodec::kRle: {
+      while (column->size() < count) {
+        uint64_t value = 0;
+        uint64_t run = 0;
+        if (!GetVarint64(block, &pos, &value) ||
+            !GetVarint64(block, &pos, &run)) {
+          return InvalidArgumentError("column block truncated (rle)");
+        }
+        for (uint64_t i = 0; i < run; ++i) {
+          column->push_back(static_cast<uint32_t>(value));
+        }
+      }
+      if (column->size() != count) {
+        return InvalidArgumentError("rle run overshoots row count");
+      }
+      return Status::Ok();
+    }
+    case ColumnCodec::kDeltaVarint: {
+      int64_t prev = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t zz = 0;
+        if (!GetVarint64(block, &pos, &zz)) {
+          return InvalidArgumentError("column block truncated (delta)");
+        }
+        prev += ZigZagDecode(zz);
+        column->push_back(static_cast<uint32_t>(prev));
+      }
+      return Status::Ok();
+    }
+  }
+  return InvalidArgumentError("unknown column codec");
+}
+
+}  // namespace s2rdf::storage

@@ -1,0 +1,50 @@
+#ifndef S2RDF_STORAGE_ENCODING_H_
+#define S2RDF_STORAGE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Lightweight columnar encodings standing in for the Parquet +
+// snappy/dictionary/RLE representation the paper persists to HDFS. A
+// column of 32-bit term ids is encoded with whichever of three codecs is
+// smallest for that column:
+//   kPlainVarint — LEB128 varints,
+//   kRle         — (value, run-length) varint pairs,
+//   kDeltaVarint — zigzag deltas (wins on sorted id columns).
+// The codec tag is the first byte of the block.
+
+namespace s2rdf::storage {
+
+// Appends `value` to `out` as a LEB128 varint.
+void PutVarint64(std::string* out, uint64_t value);
+
+// Reads a varint at `*pos`; advances `*pos`. Returns false on truncation.
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* value);
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+enum class ColumnCodec : uint8_t {
+  kPlainVarint = 0,
+  kRle = 1,
+  kDeltaVarint = 2,
+};
+
+// Encodes `column`, choosing the smallest codec. The block is
+// self-describing (codec tag + row count + payload).
+std::string EncodeColumn(const std::vector<uint32_t>& column);
+
+// Decodes a block produced by EncodeColumn.
+Status DecodeColumn(std::string_view block, std::vector<uint32_t>* column);
+
+}  // namespace s2rdf::storage
+
+#endif  // S2RDF_STORAGE_ENCODING_H_

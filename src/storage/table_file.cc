@@ -1,0 +1,109 @@
+#include "storage/table_file.h"
+
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "storage/encoding.h"
+
+namespace s2rdf::storage {
+
+namespace {
+constexpr char kMagic[4] = {'S', '2', 'T', 'B'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string SerializeTable(const engine::Table& table) {
+  std::string out;
+  out.append(kMagic, 4);
+  char version[4];
+  std::memcpy(version, &kVersion, 4);
+  out.append(version, 4);
+  PutVarint64(&out, table.NumColumns());
+  PutVarint64(&out, table.NumRows());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const std::string& name = table.column_names()[c];
+    PutVarint64(&out, name.size());
+    out += name;
+    std::string block = EncodeColumn(table.Column(c));
+    PutVarint64(&out, block.size());
+    out += block;
+  }
+  uint64_t checksum = Fnv1a64(out);
+  char trailer[8];
+  std::memcpy(trailer, &checksum, 8);
+  out.append(trailer, 8);
+  return out;
+}
+
+StatusOr<engine::Table> DeserializeTable(std::string_view blob) {
+  if (blob.size() < 16 || std::memcmp(blob.data(), kMagic, 4) != 0) {
+    return InvalidArgumentError("not an S2TB table file");
+  }
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, blob.data() + blob.size() - 8, 8);
+  if (Fnv1a64(blob.substr(0, blob.size() - 8)) != stored_checksum) {
+    return InvalidArgumentError("table file checksum mismatch");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, blob.data() + 4, 4);
+  if (version != kVersion) {
+    return InvalidArgumentError("unsupported table file version");
+  }
+  size_t pos = 8;
+  uint64_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!GetVarint64(blob, &pos, &ncols) || !GetVarint64(blob, &pos, &nrows)) {
+    return InvalidArgumentError("table file truncated (header)");
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<uint32_t>> columns;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    uint64_t name_len = 0;
+    if (!GetVarint64(blob, &pos, &name_len) ||
+        pos + name_len > blob.size()) {
+      return InvalidArgumentError("table file truncated (column name)");
+    }
+    names.emplace_back(blob.substr(pos, name_len));
+    pos += name_len;
+    uint64_t block_len = 0;
+    if (!GetVarint64(blob, &pos, &block_len) ||
+        pos + block_len > blob.size()) {
+      return InvalidArgumentError("table file truncated (column block)");
+    }
+    std::vector<uint32_t> column;
+    S2RDF_RETURN_IF_ERROR(
+        DecodeColumn(blob.substr(pos, block_len), &column));
+    if (column.size() != nrows) {
+      return InvalidArgumentError("column row count mismatch");
+    }
+    columns.push_back(std::move(column));
+    pos += block_len;
+  }
+  engine::Table table(std::move(names));
+  if (nrows > 0) {
+    table.Reserve(nrows);
+    for (uint64_t r = 0; r < nrows; ++r) {
+      std::vector<uint32_t> row;
+      row.reserve(ncols);
+      for (uint64_t c = 0; c < ncols; ++c) row.push_back(columns[c][r]);
+      table.AppendRow(row);
+    }
+  }
+  return table;
+}
+
+StatusOr<uint64_t> SaveTable(const engine::Table& table,
+                             const std::string& path) {
+  std::string blob = SerializeTable(table);
+  S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+  return static_cast<uint64_t>(blob.size());
+}
+
+StatusOr<engine::Table> LoadTable(const std::string& path) {
+  std::string blob;
+  S2RDF_RETURN_IF_ERROR(ReadFile(path, &blob));
+  return DeserializeTable(blob);
+}
+
+}  // namespace s2rdf::storage

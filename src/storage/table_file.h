@@ -1,0 +1,33 @@
+#ifndef S2RDF_STORAGE_TABLE_FILE_H_
+#define S2RDF_STORAGE_TABLE_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+// Single-table binary file format ("S2TB"): the project's Parquet
+// analogue. Layout:
+//   magic "S2TB" | version u32 | ncols varint | nrows varint
+//   per column: name (varint length + bytes) | block (varint length +
+//   EncodeColumn bytes)
+//   trailer: FNV-1a64 checksum of everything before it.
+
+namespace s2rdf::storage {
+
+// Serializes `table` into the S2TB byte format.
+std::string SerializeTable(const engine::Table& table);
+
+// Parses an S2TB blob (verifies checksum).
+StatusOr<engine::Table> DeserializeTable(std::string_view blob);
+
+// Writes `table` to `path`; returns the file size in bytes.
+StatusOr<uint64_t> SaveTable(const engine::Table& table,
+                             const std::string& path);
+
+// Reads a table written by SaveTable.
+StatusOr<engine::Table> LoadTable(const std::string& path);
+
+}  // namespace s2rdf::storage
+
+#endif  // S2RDF_STORAGE_TABLE_FILE_H_

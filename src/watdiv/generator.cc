@@ -1,0 +1,432 @@
+#include "watdiv/generator.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace s2rdf::watdiv {
+
+namespace {
+
+class GeneratorImpl {
+ public:
+  explicit GeneratorImpl(const GeneratorOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  rdf::Graph Run() {
+    GenerateUsers();
+    GenerateSocialEdges();
+    GenerateProducts();
+    GenerateWebsites();
+    GenerateGeography();
+    GenerateGenres();
+    GenerateOffers();
+    GenerateReviews();
+    GeneratePurchases();
+    return std::move(graph_);
+  }
+
+ private:
+  uint64_t Count(EntityClass cls) const {
+    return EntityCount(cls, options_.scale_factor);
+  }
+
+  static std::string Pred(const char* ns, const char* name) {
+    return std::string("<") + ns + name + ">";
+  }
+
+  void Add(const std::string& subject, const std::string& predicate,
+           const std::string& object) {
+    graph_.AddCanonical(subject, predicate, object);
+  }
+
+  // Deterministic per-entity coin flip: independent of generation order.
+  bool Flag(EntityClass cls, uint64_t index, const char* attribute,
+            double probability) {
+    uint64_t h = Fnv1a64(attribute);
+    h = HashCombine(h, static_cast<uint64_t>(cls) + 0x51);
+    h = HashCombine(h, index);
+    h = HashCombine(h, options_.seed);
+    SplitMix64 coin(h);
+    return coin.Bernoulli(probability);
+  }
+
+  uint64_t Uniform(EntityClass cls) { return rng_.Uniform(Count(cls)); }
+  uint64_t Zipf(EntityClass cls, double s = 1.2) {
+    return rng_.Zipf(Count(cls), s);
+  }
+
+  // Zipf-popular user whose *index* is decorrelated from popularity by a
+  // fixed multiplicative permutation. Without this, "popular" would mean
+  // "low index", which would correlate object popularity with the
+  // index-range subject pools below and distort the OS selectivities.
+  uint64_t ZipfUser() {
+    const uint64_t users = Count(EntityClass::kUser);
+    uint64_t rank = rng_.Zipf(users, 1.2);
+    return (rank * 2654435761ULL + 17) % users;
+  }
+
+  // --- Users ---------------------------------------------------------
+
+  void GenerateUsers() {
+    const uint64_t users = Count(EntityClass::kUser);
+    static const char* kJobTitles[] = {"Engineer", "Doctor", "Teacher",
+                                       "Artist", "Trader"};
+    for (uint64_t u = 0; u < users; ++u) {
+      std::string iri = EntityIri(EntityClass::kUser, u);
+      Add(iri, Pred(kRdf, "type"),
+          EntityIri(EntityClass::kRole, u % Count(EntityClass::kRole)));
+      if (Flag(EntityClass::kUser, u, "email", 0.9)) {
+        Add(iri, Pred(kSorg, "email"),
+            StringLiteral("user" + std::to_string(u) + "@example.org"));
+      }
+      if (Flag(EntityClass::kUser, u, "age", 0.5)) {
+        Add(iri, Pred(kFoaf, "age"),
+            EntityIri(EntityClass::kAgeGroup,
+                      u % Count(EntityClass::kAgeGroup)));
+      }
+      if (Flag(EntityClass::kUser, u, "jobTitle", 0.05)) {
+        Add(iri, Pred(kSorg, "jobTitle"),
+            StringLiteral(kJobTitles[u % 5]));
+      }
+      if (Flag(EntityClass::kUser, u, "gender", 0.6)) {
+        Add(iri, Pred(kWsdbm, "gender"),
+            StringLiteral(u % 2 == 0 ? "male" : "female"));
+      }
+      if (Flag(EntityClass::kUser, u, "givenName", 0.7)) {
+        Add(iri, Pred(kFoaf, "givenName"),
+            StringLiteral("Given" + std::to_string(u % 97)));
+      }
+      if (Flag(EntityClass::kUser, u, "familyName", 0.5)) {
+        Add(iri, Pred(kFoaf, "familyName"),
+            StringLiteral("Family" + std::to_string(u % 131)));
+      }
+      if (Flag(EntityClass::kUser, u, "nationality", 0.8)) {
+        Add(iri, Pred(kSorg, "nationality"),
+            EntityIri(EntityClass::kCountry,
+                      Uniform(EntityClass::kCountry)));
+      }
+      if (Flag(EntityClass::kUser, u, "location", 0.4)) {
+        Add(iri, Pred(kDc, "Location"),
+            EntityIri(EntityClass::kCity, Uniform(EntityClass::kCity)));
+      }
+      if (Flag(EntityClass::kUser, u, "faxNumber", 0.005)) {
+        Add(iri, Pred(kSorg, "faxNumber"),
+            StringLiteral("+1-555-" + std::to_string(1000 + u % 9000)));
+      }
+      if (Flag(EntityClass::kUser, u, "telephone", 0.3)) {
+        Add(iri, Pred(kSorg, "telephone"),
+            StringLiteral("+1-333-" + std::to_string(1000 + u % 9000)));
+      }
+      if (Flag(EntityClass::kUser, u, "homepage", 0.15)) {
+        Add(iri, Pred(kFoaf, "homepage"),
+            EntityIri(EntityClass::kWebsite,
+                      Uniform(EntityClass::kWebsite)));
+      }
+      if (Flag(EntityClass::kUser, u, "subscribes", 0.3)) {
+        uint64_t n = 1 + rng_.Uniform(3);
+        for (uint64_t i = 0; i < n; ++i) {
+          Add(iri, Pred(kWsdbm, "subscribes"),
+              EntityIri(EntityClass::kWebsite,
+                        Uniform(EntityClass::kWebsite)));
+        }
+      }
+    }
+  }
+
+  // --- Social edges ----------------------------------------------------
+  //
+  // Subject pools are index ranges so the SS-correlation overlaps land
+  // near the paper's values: friendOf subjects = users [0.5U, 0.9U),
+  // follows subjects = users [0.1U, 0.81U)  =>  SS(friendOf|follows) ~
+  // 0.775 (paper: 0.77) and SS(follows|friendOf) ~ 0.44 (paper: 0.40);
+  // objects are permutation-decorrelated Zipf draws over all users, so
+  // OS(follows|friendOf) ~ pool fraction 0.4 (paper: 0.40).
+
+  void GenerateSocialEdges() {
+    const uint64_t users = Count(EntityClass::kUser);
+    const double sf = options_.scale_factor;
+
+    auto add_edges = [&](const char* predicate, uint64_t edges,
+                         uint64_t subj_lo, uint64_t subj_hi) {
+      std::unordered_set<uint64_t> seen;
+      std::string pred = Pred(kWsdbm, predicate);
+      uint64_t attempts = 0;
+      while (seen.size() < edges && attempts < edges * 4) {
+        ++attempts;
+        uint64_t subj = subj_lo + rng_.Uniform(subj_hi - subj_lo);
+        uint64_t obj = ZipfUser();
+        if (obj == subj) continue;
+        uint64_t key = (subj << 32) | obj;
+        if (!seen.insert(key).second) continue;
+        Add(EntityIri(EntityClass::kUser, subj), pred,
+            EntityIri(EntityClass::kUser, obj));
+      }
+    };
+
+    add_edges("friendOf", static_cast<uint64_t>(33000 * sf), users / 2,
+              std::max<uint64_t>(users / 2 + 1, users * 9 / 10));
+    add_edges("follows", static_cast<uint64_t>(24000 * sf), users / 10,
+              std::max<uint64_t>(users / 10 + 1, users * 81 / 100));
+
+    // likes: User -> Product, ~24% of users participate.
+    std::vector<uint64_t> likers;
+    for (uint64_t u = 0; u < users; ++u) {
+      if (Flag(EntityClass::kUser, u, "likes", 0.24)) likers.push_back(u);
+    }
+    if (likers.empty()) likers.push_back(0);
+    std::unordered_set<uint64_t> seen;
+    const uint64_t like_edges = static_cast<uint64_t>(1000 * sf);
+    std::string pred = Pred(kWsdbm, "likes");
+    uint64_t attempts = 0;
+    while (seen.size() < like_edges && attempts < like_edges * 4) {
+      ++attempts;
+      uint64_t subj = likers[rng_.Uniform(likers.size())];
+      uint64_t obj = Zipf(EntityClass::kProduct, 1.05);
+      uint64_t key = (subj << 32) | obj;
+      if (!seen.insert(key).second) continue;
+      Add(EntityIri(EntityClass::kUser, subj), pred,
+          EntityIri(EntityClass::kProduct, obj));
+    }
+  }
+
+  // --- Products --------------------------------------------------------
+
+  void GenerateProducts() {
+    const uint64_t products = Count(EntityClass::kProduct);
+    static const char* kRatings[] = {"G", "PG", "PG-13", "R"};
+    for (uint64_t p = 0; p < products; ++p) {
+      std::string iri = EntityIri(EntityClass::kProduct, p);
+      Add(iri, Pred(kRdf, "type"),
+          EntityIri(EntityClass::kProductCategory,
+                    p % Count(EntityClass::kProductCategory)));
+      auto user_ref = [&](const char* ns, const char* name, double prob) {
+        if (Flag(EntityClass::kProduct, p, name, prob)) {
+          Add(iri, Pred(ns, name),
+              EntityIri(EntityClass::kUser, Uniform(EntityClass::kUser)));
+        }
+      };
+      if (Flag(EntityClass::kProduct, p, "caption", 0.8)) {
+        Add(iri, Pred(kSorg, "caption"),
+            StringLiteral("caption of product " + std::to_string(p)));
+      }
+      if (Flag(EntityClass::kProduct, p, "description", 0.6)) {
+        Add(iri, Pred(kSorg, "description"),
+            StringLiteral("description " + std::to_string(p)));
+      }
+      if (Flag(EntityClass::kProduct, p, "keywords", 0.5)) {
+        Add(iri, Pred(kSorg, "keywords"),
+            StringLiteral("keyword" + std::to_string(p % 40)));
+      }
+      if (Flag(EntityClass::kProduct, p, "ogtitle", 0.7)) {
+        Add(iri, Pred(kOg, "title"),
+            StringLiteral("Product Title " + std::to_string(p)));
+      }
+      if (Flag(EntityClass::kProduct, p, "ogtag", 0.4)) {
+        uint64_t n = 1 + rng_.Uniform(2);
+        for (uint64_t i = 0; i < n; ++i) {
+          Add(iri, Pred(kOg, "tag"),
+              EntityIri(EntityClass::kTopic, Uniform(EntityClass::kTopic)));
+        }
+      }
+      if (Flag(EntityClass::kProduct, p, "text", 0.5)) {
+        Add(iri, Pred(kSorg, "text"),
+            StringLiteral("text body " + std::to_string(p)));
+      }
+      if (Flag(EntityClass::kProduct, p, "contentRating", 0.3)) {
+        Add(iri, Pred(kSorg, "contentRating"),
+            StringLiteral(kRatings[p % 4]));
+      }
+      if (Flag(EntityClass::kProduct, p, "contentSize", 0.35)) {
+        Add(iri, Pred(kSorg, "contentSize"),
+            IntegerLiteral(static_cast<long long>(100 + p % 4000)));
+      }
+      if (Flag(EntityClass::kProduct, p, "language", 0.25)) {
+        Add(iri, Pred(kSorg, "language"),
+            EntityIri(EntityClass::kLanguage,
+                      Uniform(EntityClass::kLanguage)));
+      }
+      if (Flag(EntityClass::kProduct, p, "trailer", 0.05)) {
+        Add(iri, Pred(kSorg, "trailer"),
+            StringLiteral("trailer-" + std::to_string(p) + ".mp4"));
+      }
+      if (Flag(EntityClass::kProduct, p, "homepage", 0.3)) {
+        Add(iri, Pred(kFoaf, "homepage"),
+            EntityIri(EntityClass::kWebsite,
+                      Uniform(EntityClass::kWebsite)));
+      }
+      // hasGenre: one mandatory, a second with p = 0.2.
+      Add(iri, Pred(kWsdbm, "hasGenre"),
+          EntityIri(EntityClass::kSubGenre,
+                    Uniform(EntityClass::kSubGenre)));
+      if (Flag(EntityClass::kProduct, p, "genre2", 0.2)) {
+        Add(iri, Pred(kWsdbm, "hasGenre"),
+            EntityIri(EntityClass::kSubGenre,
+                      Uniform(EntityClass::kSubGenre)));
+      }
+      user_ref(kSorg, "publisher", 0.3);
+      user_ref(kSorg, "author", 0.15);
+      user_ref(kSorg, "editor", 0.1);
+      user_ref(kSorg, "director", 0.15);
+      user_ref(kMo, "artist", 0.15);
+      user_ref(kMo, "conductor", 0.04);
+      if (Flag(EntityClass::kProduct, p, "actor", 0.3)) {
+        uint64_t n = 1 + rng_.Uniform(2);
+        for (uint64_t i = 0; i < n; ++i) {
+          Add(iri, Pred(kSorg, "actor"),
+              EntityIri(EntityClass::kUser, Uniform(EntityClass::kUser)));
+        }
+      }
+    }
+  }
+
+  // --- Websites, geography, genres ------------------------------------
+
+  void GenerateWebsites() {
+    for (uint64_t w = 0; w < Count(EntityClass::kWebsite); ++w) {
+      std::string iri = EntityIri(EntityClass::kWebsite, w);
+      Add(iri, Pred(kSorg, "url"),
+          StringLiteral("http://site" + std::to_string(w) + ".example.org"));
+      Add(iri, Pred(kWsdbm, "hits"),
+          IntegerLiteral(static_cast<long long>(
+              rng_.Zipf(1000000, 1.1) + 1)));
+      if (Flag(EntityClass::kWebsite, w, "language", 0.4)) {
+        Add(iri, Pred(kSorg, "language"),
+            EntityIri(EntityClass::kLanguage,
+                      Uniform(EntityClass::kLanguage)));
+      }
+    }
+  }
+
+  void GenerateGeography() {
+    for (uint64_t c = 0; c < Count(EntityClass::kCity); ++c) {
+      Add(EntityIri(EntityClass::kCity, c), Pred(kGn, "parentCountry"),
+          EntityIri(EntityClass::kCountry, Uniform(EntityClass::kCountry)));
+    }
+  }
+
+  void GenerateGenres() {
+    for (uint64_t g = 0; g < Count(EntityClass::kSubGenre); ++g) {
+      std::string iri = EntityIri(EntityClass::kSubGenre, g);
+      Add(iri, Pred(kRdf, "type"), std::string("<") + kWsdbm + "Genre>");
+      uint64_t n = 1 + rng_.Uniform(2);
+      for (uint64_t i = 0; i < n; ++i) {
+        Add(iri, Pred(kOg, "tag"),
+            EntityIri(EntityClass::kTopic, Uniform(EntityClass::kTopic)));
+      }
+    }
+  }
+
+  // --- E-commerce -------------------------------------------------------
+
+  void GenerateOffers() {
+    for (uint64_t r = 0; r < Count(EntityClass::kRetailer); ++r) {
+      std::string iri = EntityIri(EntityClass::kRetailer, r);
+      Add(iri, Pred(kSorg, "legalName"),
+          StringLiteral("Retailer Inc. " + std::to_string(r)));
+      if (Flag(EntityClass::kRetailer, r, "faxNumber", 0.5)) {
+        Add(iri, Pred(kSorg, "faxNumber"),
+            StringLiteral("+1-444-" + std::to_string(1000 + r)));
+      }
+    }
+    for (uint64_t o = 0; o < Count(EntityClass::kOffer); ++o) {
+      std::string iri = EntityIri(EntityClass::kOffer, o);
+      Add(EntityIri(EntityClass::kRetailer, Uniform(EntityClass::kRetailer)),
+          Pred(kGr, "offers"), iri);
+      Add(iri, Pred(kGr, "includes"),
+          EntityIri(EntityClass::kProduct,
+                    Zipf(EntityClass::kProduct, 1.05)));
+      Add(iri, Pred(kGr, "price"),
+          "\"" + std::to_string(5 + rng_.Uniform(995)) + "." +
+              std::to_string(rng_.Uniform(100)) + "\"^^<" +
+              std::string(kXsd) + "double>");
+      Add(iri, Pred(kGr, "serialNumber"),
+          StringLiteral("SN-" + std::to_string(100000 + o)));
+      if (Flag(EntityClass::kOffer, o, "validFrom", 0.9)) {
+        Add(iri, Pred(kGr, "validFrom"), DateLiteral(o));
+      }
+      if (Flag(EntityClass::kOffer, o, "validThrough", 0.6)) {
+        Add(iri, Pred(kGr, "validThrough"), DateLiteral(o + 180));
+      }
+      if (Flag(EntityClass::kOffer, o, "eligibleQuantity", 0.8)) {
+        Add(iri, Pred(kSorg, "eligibleQuantity"),
+            IntegerLiteral(static_cast<long long>(1 + rng_.Uniform(50))));
+      }
+      if (Flag(EntityClass::kOffer, o, "eligibleRegion", 0.7)) {
+        Add(iri, Pred(kSorg, "eligibleRegion"),
+            EntityIri(EntityClass::kCountry,
+                      Uniform(EntityClass::kCountry)));
+      }
+      if (Flag(EntityClass::kOffer, o, "priceValidUntil", 0.4)) {
+        Add(iri, Pred(kSorg, "priceValidUntil"), DateLiteral(o + 365));
+      }
+    }
+  }
+
+  void GenerateReviews() {
+    for (uint64_t v = 0; v < Count(EntityClass::kReview); ++v) {
+      std::string iri = EntityIri(EntityClass::kReview, v);
+      Add(EntityIri(EntityClass::kProduct, Zipf(EntityClass::kProduct, 1.05)),
+          Pred(kRev, "hasReview"), iri);
+      Add(iri, Pred(kRev, "reviewer"),
+          EntityIri(EntityClass::kUser, Uniform(EntityClass::kUser)));
+      if (Flag(EntityClass::kReview, v, "title", 0.9)) {
+        Add(iri, Pred(kRev, "title"),
+            StringLiteral("review title " + std::to_string(v)));
+      }
+      if (Flag(EntityClass::kReview, v, "text", 0.5)) {
+        Add(iri, Pred(kRev, "text"),
+            StringLiteral("review text " + std::to_string(v)));
+      }
+      if (Flag(EntityClass::kReview, v, "rating", 0.7)) {
+        Add(iri, Pred(kRev, "rating"),
+            IntegerLiteral(static_cast<long long>(1 + rng_.Uniform(10))));
+      }
+      if (Flag(EntityClass::kReview, v, "totalVotes", 0.8)) {
+        Add(iri, Pred(kRev, "totalVotes"),
+            IntegerLiteral(static_cast<long long>(rng_.Uniform(500))));
+      }
+    }
+  }
+
+  void GeneratePurchases() {
+    const uint64_t purchases = Count(EntityClass::kPurchase);
+    const uint64_t users = Count(EntityClass::kUser);
+    for (uint64_t q = 0; q < purchases; ++q) {
+      std::string iri = EntityIri(EntityClass::kPurchase, q);
+      // Buyers skew towards active users.
+      uint64_t buyer = rng_.Uniform(users);
+      Add(EntityIri(EntityClass::kUser, buyer),
+          Pred(kWsdbm, "makesPurchase"), iri);
+      Add(iri, Pred(kWsdbm, "purchaseFor"),
+          EntityIri(EntityClass::kProduct,
+                    Zipf(EntityClass::kProduct, 1.05)));
+      Add(iri, Pred(kWsdbm, "purchaseDate"), DateLiteral(q));
+    }
+  }
+
+  std::string DateLiteral(uint64_t day_seed) {
+    uint64_t month = 1 + day_seed % 12;
+    uint64_t day = 1 + day_seed % 28;
+    return StringLiteral(
+        "2024-" + std::string(month < 10 ? "0" : "") +
+        std::to_string(month) + "-" + std::string(day < 10 ? "0" : "") +
+        std::to_string(day));
+  }
+
+  GeneratorOptions options_;
+  rdf::Graph graph_;
+  SplitMix64 rng_;
+};
+
+}  // namespace
+
+rdf::Graph Generate(const GeneratorOptions& options) {
+  GeneratorImpl generator(options);
+  return generator.Run();
+}
+
+}  // namespace s2rdf::watdiv

@@ -1,0 +1,36 @@
+#ifndef S2RDF_WATDIV_GENERATOR_H_
+#define S2RDF_WATDIV_GENERATOR_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+#include "watdiv/schema.h"
+
+// WatDiv-style synthetic RDF generator. Reproduces the *structural*
+// properties the paper's evaluation exercises:
+//
+//   - the two giant social predicates (wsdbm:friendOf ~ 0.44|G|,
+//     wsdbm:follows ~ 0.32|G|) with skewed object popularity;
+//   - attribute participation probabilities chosen so the ExtVP
+//     selectivities of the paper's ST workload land near the published
+//     values (e.g. OS friendOf|email ~ 0.9, OS friendOf|jobTitle ~ 0.05,
+//     OS friendOf|language = 0 — users never carry sorg:language);
+//   - the e-commerce half (retailers, offers, products, purchases,
+//     reviews) that feeds the Basic Testing and IL workloads, with every
+//     path predicate of the IL chains populated.
+//
+// Deterministic: (scale_factor, seed) fully determines the dataset.
+
+namespace s2rdf::watdiv {
+
+struct GeneratorOptions {
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+};
+
+// Generates the dataset. One scale-factor unit is ~75 K triples.
+rdf::Graph Generate(const GeneratorOptions& options);
+
+}  // namespace s2rdf::watdiv
+
+#endif  // S2RDF_WATDIV_GENERATOR_H_

@@ -1,0 +1,404 @@
+#include "watdiv/queries.h"
+
+#include "common/strings.h"
+
+namespace s2rdf::watdiv {
+
+namespace {
+
+using Mapping = std::pair<std::string, EntityClass>;
+
+std::vector<QueryTemplate> MakeBasicTesting() {
+  std::vector<QueryTemplate> queries;
+
+  // --- Linear (Appendix A.1) -------------------------------------------
+  queries.push_back(
+      {"L1", "L",
+       "SELECT ?v0 ?v2 ?v3 WHERE {\n"
+       "  ?v0 wsdbm:subscribes %v1% .\n"
+       "  ?v2 sorg:caption ?v3 .\n"
+       "  ?v0 wsdbm:likes ?v2 .\n"
+       "}",
+       {{"%v1%", EntityClass::kWebsite}}});
+  queries.push_back(
+      {"L2", "L",
+       "SELECT ?v1 ?v2 WHERE {\n"
+       "  %v0% gn:parentCountry ?v1 .\n"
+       "  ?v2 wsdbm:likes wsdbm:Product0 .\n"
+       "  ?v2 sorg:nationality ?v1 .\n"
+       "}",
+       {{"%v0%", EntityClass::kCity}}});
+  queries.push_back(
+      {"L3", "L",
+       "SELECT ?v0 ?v1 WHERE {\n"
+       "  ?v0 wsdbm:likes ?v1 .\n"
+       "  ?v0 wsdbm:subscribes %v2% .\n"
+       "}",
+       {{"%v2%", EntityClass::kWebsite}}});
+  queries.push_back(
+      {"L4", "L",
+       "SELECT ?v0 ?v2 WHERE {\n"
+       "  ?v0 og:tag %v1% .\n"
+       "  ?v0 sorg:caption ?v2 .\n"
+       "}",
+       {{"%v1%", EntityClass::kTopic}}});
+  queries.push_back(
+      {"L5", "L",
+       "SELECT ?v0 ?v1 ?v3 WHERE {\n"
+       "  ?v0 sorg:jobTitle ?v1 .\n"
+       "  %v2% gn:parentCountry ?v3 .\n"
+       "  ?v0 sorg:nationality ?v3 .\n"
+       "}",
+       {{"%v2%", EntityClass::kCity}}});
+
+  // --- Star (Appendix A.2) ---------------------------------------------
+  queries.push_back(
+      {"S1", "S",
+       "SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {\n"
+       "  ?v0 gr:includes ?v1 .\n"
+       "  %v2% gr:offers ?v0 .\n"
+       "  ?v0 gr:price ?v3 .\n"
+       "  ?v0 gr:serialNumber ?v4 .\n"
+       "  ?v0 gr:validFrom ?v5 .\n"
+       "  ?v0 gr:validThrough ?v6 .\n"
+       "  ?v0 sorg:eligibleQuantity ?v7 .\n"
+       "  ?v0 sorg:eligibleRegion ?v8 .\n"
+       "  ?v0 sorg:priceValidUntil ?v9 .\n"
+       "}",
+       {{"%v2%", EntityClass::kRetailer}}});
+  queries.push_back(
+      {"S2", "S",
+       "SELECT ?v0 ?v1 ?v3 WHERE {\n"
+       "  ?v0 dc:Location ?v1 .\n"
+       "  ?v0 sorg:nationality %v2% .\n"
+       "  ?v0 wsdbm:gender ?v3 .\n"
+       "  ?v0 rdf:type wsdbm:Role2 .\n"
+       "}",
+       {{"%v2%", EntityClass::kCountry}}});
+  queries.push_back(
+      {"S3", "S",
+       "SELECT ?v0 ?v2 ?v3 ?v4 WHERE {\n"
+       "  ?v0 rdf:type %v1% .\n"
+       "  ?v0 sorg:caption ?v2 .\n"
+       "  ?v0 wsdbm:hasGenre ?v3 .\n"
+       "  ?v0 sorg:publisher ?v4 .\n"
+       "}",
+       {{"%v1%", EntityClass::kProductCategory}}});
+  queries.push_back(
+      {"S4", "S",
+       "SELECT ?v0 ?v2 ?v3 WHERE {\n"
+       "  ?v0 foaf:age %v1% .\n"
+       "  ?v0 foaf:familyName ?v2 .\n"
+       "  ?v3 mo:artist ?v0 .\n"
+       "  ?v0 sorg:nationality wsdbm:Country1 .\n"
+       "}",
+       {{"%v1%", EntityClass::kAgeGroup}}});
+  queries.push_back(
+      {"S5", "S",
+       "SELECT ?v0 ?v2 ?v3 WHERE {\n"
+       "  ?v0 rdf:type %v1% .\n"
+       "  ?v0 sorg:description ?v2 .\n"
+       "  ?v0 sorg:keywords ?v3 .\n"
+       "  ?v0 sorg:language wsdbm:Language0 .\n"
+       "}",
+       {{"%v1%", EntityClass::kProductCategory}}});
+  queries.push_back(
+      {"S6", "S",
+       "SELECT ?v0 ?v1 ?v2 WHERE {\n"
+       "  ?v0 mo:conductor ?v1 .\n"
+       "  ?v0 rdf:type ?v2 .\n"
+       "  ?v0 wsdbm:hasGenre %v3% .\n"
+       "}",
+       {{"%v3%", EntityClass::kSubGenre}}});
+  queries.push_back(
+      {"S7", "S",
+       "SELECT ?v0 ?v1 ?v2 WHERE {\n"
+       "  ?v0 rdf:type ?v1 .\n"
+       "  ?v0 sorg:text ?v2 .\n"
+       "  %v3% wsdbm:likes ?v0 .\n"
+       "}",
+       {{"%v3%", EntityClass::kUser}}});
+
+  // --- Snowflake (Appendix A.3) ------------------------------------------
+  queries.push_back(
+      {"F1", "F",
+       "SELECT ?v0 ?v2 ?v3 ?v4 ?v5 WHERE {\n"
+       "  ?v0 og:tag %v1% .\n"
+       "  ?v0 rdf:type ?v2 .\n"
+       "  ?v3 sorg:trailer ?v4 .\n"
+       "  ?v3 sorg:keywords ?v5 .\n"
+       "  ?v3 wsdbm:hasGenre ?v0 .\n"
+       "  ?v3 rdf:type wsdbm:ProductCategory2 .\n"
+       "}",
+       {{"%v1%", EntityClass::kTopic}}});
+  queries.push_back(
+      {"F2", "F",
+       "SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 WHERE {\n"
+       "  ?v0 foaf:homepage ?v1 .\n"
+       "  ?v0 og:title ?v2 .\n"
+       "  ?v0 rdf:type ?v3 .\n"
+       "  ?v0 sorg:caption ?v4 .\n"
+       "  ?v0 sorg:description ?v5 .\n"
+       "  ?v1 sorg:url ?v6 .\n"
+       "  ?v1 wsdbm:hits ?v7 .\n"
+       "  ?v0 wsdbm:hasGenre %v8% .\n"
+       "}",
+       {{"%v8%", EntityClass::kSubGenre}}});
+  queries.push_back(
+      {"F3", "F",
+       "SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 WHERE {\n"
+       "  ?v0 sorg:contentRating ?v1 .\n"
+       "  ?v0 sorg:contentSize ?v2 .\n"
+       "  ?v0 wsdbm:hasGenre %v3% .\n"
+       "  ?v4 wsdbm:makesPurchase ?v5 .\n"
+       "  ?v5 wsdbm:purchaseDate ?v6 .\n"
+       "  ?v5 wsdbm:purchaseFor ?v0 .\n"
+       "}",
+       {{"%v3%", EntityClass::kSubGenre}}});
+  queries.push_back(
+      {"F4", "F",
+       "SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {\n"
+       "  ?v0 foaf:homepage ?v1 .\n"
+       "  ?v2 gr:includes ?v0 .\n"
+       "  ?v0 og:tag %v3% .\n"
+       "  ?v0 sorg:description ?v4 .\n"
+       "  ?v0 sorg:contentSize ?v8 .\n"
+       "  ?v1 sorg:url ?v5 .\n"
+       "  ?v1 wsdbm:hits ?v6 .\n"
+       "  ?v1 sorg:language wsdbm:Language0 .\n"
+       "  ?v7 wsdbm:likes ?v0 .\n"
+       "}",
+       {{"%v3%", EntityClass::kTopic}}});
+  queries.push_back(
+      {"F5", "F",
+       "SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 WHERE {\n"
+       "  ?v0 gr:includes ?v1 .\n"
+       "  %v2% gr:offers ?v0 .\n"
+       "  ?v0 gr:price ?v3 .\n"
+       "  ?v0 gr:validThrough ?v4 .\n"
+       "  ?v1 og:title ?v5 .\n"
+       "  ?v1 rdf:type ?v6 .\n"
+       "}",
+       {{"%v2%", EntityClass::kRetailer}}});
+
+  // --- Complex (Appendix A.4) --------------------------------------------
+  queries.push_back(
+      {"C1", "C",
+       "SELECT ?v0 ?v4 ?v6 ?v7 WHERE {\n"
+       "  ?v0 sorg:caption ?v1 .\n"
+       "  ?v0 sorg:text ?v2 .\n"
+       "  ?v0 sorg:contentRating ?v3 .\n"
+       "  ?v0 rev:hasReview ?v4 .\n"
+       "  ?v4 rev:title ?v5 .\n"
+       "  ?v4 rev:reviewer ?v6 .\n"
+       "  ?v7 sorg:actor ?v6 .\n"
+       "  ?v7 sorg:language ?v8 .\n"
+       "}",
+       {}});
+  queries.push_back(
+      {"C2", "C",
+       "SELECT ?v0 ?v3 ?v4 ?v8 WHERE {\n"
+       "  ?v0 sorg:legalName ?v1 .\n"
+       "  ?v0 gr:offers ?v2 .\n"
+       "  ?v2 sorg:eligibleRegion wsdbm:Country5 .\n"
+       "  ?v2 gr:includes ?v3 .\n"
+       "  ?v4 sorg:jobTitle ?v5 .\n"
+       "  ?v4 foaf:homepage ?v6 .\n"
+       "  ?v4 wsdbm:makesPurchase ?v7 .\n"
+       "  ?v7 wsdbm:purchaseFor ?v3 .\n"
+       "  ?v3 rev:hasReview ?v8 .\n"
+       "  ?v8 rev:totalVotes ?v9 .\n"
+       "}",
+       {}});
+  queries.push_back(
+      {"C3", "C",
+       "SELECT ?v0 WHERE {\n"
+       "  ?v0 wsdbm:likes ?v1 .\n"
+       "  ?v0 wsdbm:friendOf ?v2 .\n"
+       "  ?v0 dc:Location ?v3 .\n"
+       "  ?v0 foaf:age ?v4 .\n"
+       "  ?v0 wsdbm:gender ?v5 .\n"
+       "  ?v0 foaf:givenName ?v6 .\n"
+       "}",
+       {}});
+  return queries;
+}
+
+std::vector<QueryTemplate> MakeSelectivityTesting() {
+  std::vector<QueryTemplate> queries;
+  auto two_hop = [](const std::string& name, const std::string& p1,
+                    const std::string& p2) {
+    return QueryTemplate{name, "ST",
+                         "SELECT ?v0 ?v1 ?v2 WHERE {\n"
+                         "  ?v0 " + p1 + " ?v1 .\n"
+                         "  ?v1 " + p2 + " ?v2 .\n"
+                         "}",
+                         {}};
+  };
+  auto star2 = [](const std::string& name, const std::string& p1,
+                  const std::string& p2) {
+    return QueryTemplate{name, "ST",
+                         "SELECT ?v0 ?v1 ?v2 WHERE {\n"
+                         "  ?v0 " + p1 + " ?v1 .\n"
+                         "  ?v0 " + p2 + " ?v2 .\n"
+                         "}",
+                         {}};
+  };
+  auto three_hop = [](const std::string& name, const std::string& p1,
+                      const std::string& p2, const std::string& p3) {
+    return QueryTemplate{name, "ST",
+                         "SELECT ?v0 ?v1 ?v2 ?v3 WHERE {\n"
+                         "  ?v0 " + p1 + " ?v1 .\n"
+                         "  ?v1 " + p2 + " ?v2 .\n"
+                         "  ?v2 " + p3 + " ?v3 .\n"
+                         "}",
+                         {}};
+  };
+
+  // B.1: varying OS selectivity.
+  queries.push_back(two_hop("ST-1-1", "wsdbm:friendOf", "sorg:email"));
+  queries.push_back(two_hop("ST-1-2", "wsdbm:friendOf", "foaf:age"));
+  queries.push_back(two_hop("ST-1-3", "wsdbm:friendOf", "sorg:jobTitle"));
+  queries.push_back(two_hop("ST-2-1", "rev:reviewer", "sorg:email"));
+  queries.push_back(two_hop("ST-2-2", "rev:reviewer", "foaf:age"));
+  queries.push_back(two_hop("ST-2-3", "rev:reviewer", "sorg:jobTitle"));
+  // B.2: varying SO selectivity.
+  queries.push_back(two_hop("ST-3-1", "wsdbm:follows", "wsdbm:friendOf"));
+  queries.push_back(two_hop("ST-3-2", "rev:reviewer", "wsdbm:friendOf"));
+  queries.push_back(two_hop("ST-3-3", "sorg:author", "wsdbm:friendOf"));
+  queries.push_back(two_hop("ST-4-1", "wsdbm:follows", "wsdbm:likes"));
+  queries.push_back(two_hop("ST-4-2", "rev:reviewer", "wsdbm:likes"));
+  queries.push_back(two_hop("ST-4-3", "sorg:author", "wsdbm:likes"));
+  // B.3: varying SS selectivity.
+  queries.push_back(star2("ST-5-1", "wsdbm:friendOf", "sorg:email"));
+  queries.push_back(star2("ST-5-2", "wsdbm:friendOf", "wsdbm:follows"));
+  // B.4: high-selectivity queries.
+  queries.push_back(two_hop("ST-6-1", "wsdbm:likes", "sorg:trailer"));
+  queries.push_back(star2("ST-6-2", "sorg:email", "sorg:faxNumber"));
+  // B.5: OS vs SO selectivity.
+  queries.push_back(three_hop("ST-7-1", "wsdbm:friendOf", "wsdbm:follows",
+                              "foaf:homepage"));
+  queries.push_back(three_hop("ST-7-2", "mo:artist", "wsdbm:friendOf",
+                              "wsdbm:follows"));
+  // B.6: empty-result queries (users carry no sorg:language).
+  queries.push_back(two_hop("ST-8-1", "wsdbm:friendOf", "sorg:language"));
+  queries.push_back(three_hop("ST-8-2", "wsdbm:friendOf", "wsdbm:follows",
+                              "sorg:language"));
+  return queries;
+}
+
+std::vector<QueryTemplate> MakeIncrementalLinear() {
+  // The predicate chains of Appendix C; IL-x-k uses the first k steps.
+  struct ChainSpec {
+    const char* family;
+    // %v0% class for bound chains; nullptr for IL-3 (unbound).
+    const EntityClass* start;
+    std::vector<const char*> predicates;
+  };
+  static const EntityClass kUserClass = EntityClass::kUser;
+  static const EntityClass kRetailerClass = EntityClass::kRetailer;
+  const ChainSpec chains[3] = {
+      {"IL-1", &kUserClass,
+       {"wsdbm:follows", "wsdbm:likes", "rev:hasReview", "rev:reviewer",
+        "wsdbm:friendOf", "wsdbm:makesPurchase", "wsdbm:purchaseFor",
+        "sorg:author", "dc:Location", "gn:parentCountry"}},
+      {"IL-2", &kRetailerClass,
+       {"gr:offers", "gr:includes", "sorg:director", "wsdbm:friendOf",
+        "wsdbm:friendOf", "wsdbm:likes", "sorg:editor",
+        "wsdbm:makesPurchase", "wsdbm:purchaseFor", "sorg:caption"}},
+      {"IL-3", nullptr,
+       {"gr:offers", "gr:includes", "rev:hasReview", "rev:reviewer",
+        "wsdbm:friendOf", "wsdbm:likes", "sorg:author", "wsdbm:follows",
+        "foaf:homepage", "sorg:language"}},
+  };
+
+  std::vector<QueryTemplate> queries;
+  for (const ChainSpec& chain : chains) {
+    for (int length = 5; length <= 10; ++length) {
+      QueryTemplate q;
+      q.name = std::string(chain.family) + "-" + std::to_string(length);
+      q.category = chain.family;
+      std::string select = "SELECT";
+      std::string body;
+      std::string subject;
+      int first_var = 0;
+      if (chain.start != nullptr) {
+        subject = "%v0%";
+        q.mappings.emplace_back("%v0%", *chain.start);
+        first_var = 1;
+      } else {
+        subject = "?v0";
+        select += " ?v0";
+        first_var = 1;
+      }
+      for (int i = 0; i < length; ++i) {
+        std::string object = "?v" + std::to_string(first_var + i);
+        select += " " + object;
+        body += "  " + subject + " " + chain.predicates[i] + " " + object +
+                " .\n";
+        subject = object;
+      }
+      q.text = select + " WHERE {\n" + body + "}";
+      queries.push_back(std::move(q));
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+const std::string& PrefixHeader() {
+  static const std::string* header = new std::string(
+      "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>\n"
+      "PREFIX sorg: <http://schema.org/>\n"
+      "PREFIX gr: <http://purl.org/goodrelations/>\n"
+      "PREFIX rev: <http://purl.org/stuff/rev#>\n"
+      "PREFIX mo: <http://purl.org/ontology/mo/>\n"
+      "PREFIX gn: <http://www.geonames.org/ontology#>\n"
+      "PREFIX dc: <http://purl.org/dc/terms/>\n"
+      "PREFIX foaf: <http://xmlns.com/foaf/>\n"
+      "PREFIX og: <http://ogp.me/ns#>\n"
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n");
+  return *header;
+}
+
+const std::vector<QueryTemplate>& BasicTestingQueries() {
+  static const std::vector<QueryTemplate>* queries =
+      new std::vector<QueryTemplate>(MakeBasicTesting());
+  return *queries;
+}
+
+const std::vector<QueryTemplate>& SelectivityTestingQueries() {
+  static const std::vector<QueryTemplate>* queries =
+      new std::vector<QueryTemplate>(MakeSelectivityTesting());
+  return *queries;
+}
+
+const std::vector<QueryTemplate>& IncrementalLinearQueries() {
+  static const std::vector<QueryTemplate>* queries =
+      new std::vector<QueryTemplate>(MakeIncrementalLinear());
+  return *queries;
+}
+
+const QueryTemplate* FindQuery(const std::string& name) {
+  for (const auto* workload :
+       {&BasicTestingQueries(), &SelectivityTestingQueries(),
+        &IncrementalLinearQueries()}) {
+    for (const QueryTemplate& q : *workload) {
+      if (q.name == name) return &q;
+    }
+  }
+  return nullptr;
+}
+
+std::string InstantiateQuery(const QueryTemplate& tmpl, double scale_factor,
+                             SplitMix64* rng) {
+  std::string text = tmpl.text;
+  for (const auto& [placeholder, cls] : tmpl.mappings) {
+    uint64_t index = rng->Uniform(EntityCount(cls, scale_factor));
+    text = StrReplaceAll(text, placeholder, EntityIri(cls, index));
+  }
+  return PrefixHeader() + text;
+}
+
+}  // namespace s2rdf::watdiv

@@ -1,0 +1,49 @@
+#ifndef S2RDF_WATDIV_QUERIES_H_
+#define S2RDF_WATDIV_QUERIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "watdiv/schema.h"
+
+// The three WatDiv workloads of the paper's evaluation:
+//   Appendix A — Basic Testing (L1–L5, S1–S7, F1–F5, C1–C3),
+//   Appendix B — Selectivity Testing (ST-1-1 … ST-8-2),
+//   Appendix C — Incremental Linear (IL-1/2/3 × diameter 5–10).
+//
+// Templates carry `%vN%` placeholders with the entity class they draw
+// from (the `#mapping vN <class> uniform` lines of WatDiv); Instantiate
+// substitutes uniform entities, like the WatDiv query generator.
+
+namespace s2rdf::watdiv {
+
+struct QueryTemplate {
+  std::string name;      // "L1", "ST-1-1", "IL-2-7", ...
+  std::string category;  // "L", "S", "F", "C", "ST", "IL-1", ...
+  // Query body without the PREFIX prologue.
+  std::string text;
+  // placeholder -> entity class, e.g. {"%v1%", kWebsite}.
+  std::vector<std::pair<std::string, EntityClass>> mappings;
+};
+
+// The shared PREFIX prologue.
+const std::string& PrefixHeader();
+
+const std::vector<QueryTemplate>& BasicTestingQueries();
+const std::vector<QueryTemplate>& SelectivityTestingQueries();
+const std::vector<QueryTemplate>& IncrementalLinearQueries();
+
+// Finds a template by name across all three workloads; nullptr if
+// unknown.
+const QueryTemplate* FindQuery(const std::string& name);
+
+// Substitutes uniform entities (valid for `scale_factor`) for the
+// placeholders and prepends the PREFIX prologue.
+std::string InstantiateQuery(const QueryTemplate& tmpl, double scale_factor,
+                             SplitMix64* rng);
+
+}  // namespace s2rdf::watdiv
+
+#endif  // S2RDF_WATDIV_QUERIES_H_

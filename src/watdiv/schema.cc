@@ -1,0 +1,101 @@
+#include "watdiv/schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rdf/term.h"
+
+namespace s2rdf::watdiv {
+
+const char* EntityClassName(EntityClass cls) {
+  switch (cls) {
+    case EntityClass::kUser:
+      return "User";
+    case EntityClass::kProduct:
+      return "Product";
+    case EntityClass::kRetailer:
+      return "Retailer";
+    case EntityClass::kWebsite:
+      return "Website";
+    case EntityClass::kCity:
+      return "City";
+    case EntityClass::kCountry:
+      return "Country";
+    case EntityClass::kTopic:
+      return "Topic";
+    case EntityClass::kSubGenre:
+      return "SubGenre";
+    case EntityClass::kLanguage:
+      return "Language";
+    case EntityClass::kAgeGroup:
+      return "AgeGroup";
+    case EntityClass::kRole:
+      return "Role";
+    case EntityClass::kProductCategory:
+      return "ProductCategory";
+    case EntityClass::kPurchase:
+      return "Purchase";
+    case EntityClass::kReview:
+      return "Review";
+    case EntityClass::kOffer:
+      return "Offer";
+  }
+  return "Entity";
+}
+
+std::string EntityIri(EntityClass cls, uint64_t index) {
+  return std::string("<") + kWsdbm + EntityClassName(cls) +
+         std::to_string(index) + ">";
+}
+
+uint64_t EntityCount(EntityClass cls, double scale_factor) {
+  auto scaled = [&](double base) {
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(base * scale_factor)));
+  };
+  switch (cls) {
+    case EntityClass::kUser:
+      return scaled(1000);
+    case EntityClass::kProduct:
+      return scaled(250);
+    case EntityClass::kRetailer:
+      return scaled(12);
+    case EntityClass::kWebsite:
+      return scaled(50);
+    case EntityClass::kCity:
+      return scaled(50);
+    case EntityClass::kPurchase:
+      return scaled(400);
+    case EntityClass::kReview:
+      return scaled(500);
+    case EntityClass::kOffer:
+      return scaled(400);
+    // Fixed vocabulary pools (do not scale, as in WatDiv).
+    case EntityClass::kCountry:
+      return 25;
+    case EntityClass::kTopic:
+      return 50;
+    case EntityClass::kSubGenre:
+      return 30;
+    case EntityClass::kLanguage:
+      return 10;
+    case EntityClass::kAgeGroup:
+      return 9;
+    case EntityClass::kRole:
+      return 3;
+    case EntityClass::kProductCategory:
+      return 15;
+  }
+  return 1;
+}
+
+std::string IntegerLiteral(long long value) {
+  return "\"" + std::to_string(value) + "\"^^<" + std::string(kXsd) +
+         "integer>";
+}
+
+std::string StringLiteral(const std::string& value) {
+  return "\"" + rdf::EscapeLiteral(value) + "\"";
+}
+
+}  // namespace s2rdf::watdiv

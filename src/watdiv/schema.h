@@ -1,0 +1,68 @@
+#ifndef S2RDF_WATDIV_SCHEMA_H_
+#define S2RDF_WATDIV_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+// WatDiv-compatible schema: namespaces, entity classes and their
+// per-scale-factor population counts. The generator (generator.h) and
+// the query-template instantiation (queries.h) share these definitions,
+// exactly like WatDiv's model file drives both its generator and its
+// query templates.
+//
+// Scale: one scale-factor unit produces roughly 75 K triples (the real
+// WatDiv produces ~105 K); the *proportions* the paper's evaluation
+// relies on are preserved: |VP_friendOf| ~ 0.44|G|, |VP_follows| ~
+// 0.32|G|, |VP_likes| ~ 0.013|G|, users without sorg:language, etc.
+
+namespace s2rdf::watdiv {
+
+// Namespace IRI prefixes (WatDiv originals).
+inline constexpr char kWsdbm[] = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+inline constexpr char kSorg[] = "http://schema.org/";
+inline constexpr char kGr[] = "http://purl.org/goodrelations/";
+inline constexpr char kRev[] = "http://purl.org/stuff/rev#";
+inline constexpr char kMo[] = "http://purl.org/ontology/mo/";
+inline constexpr char kGn[] = "http://www.geonames.org/ontology#";
+inline constexpr char kDc[] = "http://purl.org/dc/terms/";
+inline constexpr char kFoaf[] = "http://xmlns.com/foaf/";
+inline constexpr char kOg[] = "http://ogp.me/ns#";
+inline constexpr char kRdf[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr char kXsd[] = "http://www.w3.org/2001/XMLSchema#";
+
+enum class EntityClass {
+  kUser,
+  kProduct,
+  kRetailer,
+  kWebsite,
+  kCity,
+  kCountry,
+  kTopic,
+  kSubGenre,
+  kLanguage,
+  kAgeGroup,
+  kRole,
+  kProductCategory,
+  kPurchase,
+  kReview,
+  kOffer,
+};
+
+// WatDiv entity-class name as used in IRIs ("User", "Product", ...).
+const char* EntityClassName(EntityClass cls);
+
+// The IRI of entity `index` of `cls`, e.g. wsdbm:User42 (canonical
+// N-Triples form with angle brackets).
+std::string EntityIri(EntityClass cls, uint64_t index);
+
+// Population of `cls` at `scale_factor` (kCountry etc. are fixed pools).
+uint64_t EntityCount(EntityClass cls, double scale_factor);
+
+// Canonical typed-literal helpers matching the SPARQL parser's
+// canonicalization (so query constants hit the dictionary).
+std::string IntegerLiteral(long long value);
+std::string StringLiteral(const std::string& value);
+
+}  // namespace s2rdf::watdiv
+
+#endif  // S2RDF_WATDIV_SCHEMA_H_

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmap.h"
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace s2rdf {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  S2RDF_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(UseAssignOrReturn(-1, &out).ok());
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("vp_follows", "vp_"));
+  EXPECT_FALSE(StartsWith("vp", "vp_"));
+  EXPECT_TRUE(EndsWith("file.s2tb", ".s2tb"));
+  EXPECT_FALSE(EndsWith("s2tb", ".s2tb"));
+}
+
+TEST(StringsTest, ParseNumbers) {
+  long long i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("42x", &i));
+  EXPECT_FALSE(ParseInt64("", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.5e2", &d));
+  EXPECT_DOUBLE_EQ(d, 350.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(StrReplaceAll("%v%-%v%", "%v%", "X"), "X-X");
+  EXPECT_EQ(StrReplaceAll("abc", "z", "y"), "abc");
+}
+
+TEST(HashTest, Fnv1aIsStable) {
+  // Known FNV-1a test vector.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, MixAvalanches) {
+  EXPECT_NE(MixHash64(1), MixHash64(2));
+  EXPECT_NE(HashCombine(0, 1), HashCombine(1, 0));
+}
+
+TEST(RandomTest, Deterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInBounds) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RandomTest, ZipfSkewsTowardsSmallValues) {
+  SplitMix64 rng(3);
+  int low = 0;
+  const int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.5);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // With s = 1.5 the first 10 ranks carry the clear majority of mass.
+  EXPECT_GT(low, kSamples / 2);
+}
+
+TEST(FileUtilTest, WriteReadRoundtrip) {
+  ScopedTempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  std::string path = dir.path() + "/data.bin";
+  std::string payload = "hello\0world";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  EXPECT_TRUE(PathExists(path));
+  EXPECT_EQ(FileSizeBytes(path), payload.size());
+  std::string back;
+  ASSERT_TRUE(ReadFile(path, &back).ok());
+  EXPECT_EQ(back, payload);
+}
+
+TEST(FileUtilTest, ListDirSeesFiles) {
+  ScopedTempDir dir;
+  ASSERT_TRUE(WriteFile(dir.path() + "/a.txt", "a").ok());
+  ASSERT_TRUE(WriteFile(dir.path() + "/b.txt", "b").ok());
+  auto files = ListDir(dir.path());
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 2u);
+}
+
+TEST(FileUtilTest, MakeDirsIsRecursiveAndIdempotent) {
+  ScopedTempDir dir;
+  std::string nested = dir.path() + "/x/y/z";
+  EXPECT_TRUE(MakeDirs(nested).ok());
+  EXPECT_TRUE(MakeDirs(nested).ok());
+  EXPECT_TRUE(PathExists(nested));
+  // Clean up nested dirs so ScopedTempDir can remove its root.
+  rmdir((dir.path() + "/x/y/z").c_str());
+  rmdir((dir.path() + "/x/y").c_str());
+  rmdir((dir.path() + "/x").c_str());
+}
+
+TEST(FileUtilTest, ReadMissingFileFails) {
+  std::string data;
+  EXPECT_EQ(ReadFile("/nonexistent/s2rdf", &data).code(),
+            StatusCode::kIoError);
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.CountSetBits(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.CountSetBits(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.CountSetBits(), 2u);
+}
+
+TEST(BitmapTest, InitiallySetMasksTail) {
+  Bitmap b(70, /*initially_set=*/true);
+  EXPECT_EQ(b.CountSetBits(), 70u);
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(BitmapTest, IntersectAndUnion) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(3);
+  a.Set(70);
+  b.Set(70);
+  b.Set(99);
+  Bitmap intersection = a;
+  intersection.IntersectWith(b);
+  EXPECT_EQ(intersection.CountSetBits(), 1u);
+  EXPECT_TRUE(intersection.Test(70));
+  Bitmap both = a;
+  both.UnionWith(b);
+  EXPECT_EQ(both.CountSetBits(), 3u);
+}
+
+TEST(BitmapTest, ByteSizeIsWordGranular) {
+  EXPECT_EQ(Bitmap(1).ByteSize(), 8u);
+  EXPECT_EQ(Bitmap(64).ByteSize(), 8u);
+  EXPECT_EQ(Bitmap(65).ByteSize(), 16u);
+  EXPECT_EQ(Bitmap(0).ByteSize(), 0u);
+}
+
+TEST(BitmapTest, Equality) {
+  Bitmap a(10);
+  Bitmap b(10);
+  EXPECT_EQ(a, b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace s2rdf

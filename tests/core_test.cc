@@ -1,0 +1,819 @@
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "core/compiler.h"
+#include "core/layouts.h"
+#include "core/s2rdf.h"
+#include "core/table_selection.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "storage/catalog.h"
+
+// Tests built around the paper's running example: RDF graph G1 (Fig. 1),
+// query Q1 (Fig. 2), the ExtVP tables of Fig. 10 and the table selection
+// of Fig. 11.
+
+namespace s2rdf::core {
+namespace {
+
+// G1 = { A follows B, B follows C, B follows D, C follows D,
+//        A likes I1, A likes I2, C likes I2 }.
+rdf::Graph MakeG1() {
+  rdf::Graph g;
+  g.AddIris("A", "follows", "B");
+  g.AddIris("B", "follows", "C");
+  g.AddIris("B", "follows", "D");
+  g.AddIris("C", "follows", "D");
+  g.AddIris("A", "likes", "I1");
+  g.AddIris("A", "likes", "I2");
+  g.AddIris("C", "likes", "I2");
+  return g;
+}
+
+// Q1: friends of friends who like the same things (single result
+// x=A, y=B, z=C, w=I2).
+constexpr char kQ1[] =
+    "SELECT * WHERE { ?x <likes> ?w . ?x <follows> ?y . "
+    "?y <follows> ?z . ?z <likes> ?w }";
+
+class ExtVpG1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = MakeG1();
+    catalog_ = std::make_unique<storage::Catalog>("");
+    ASSERT_TRUE(BuildTriplesTable(graph_, catalog_.get()).ok());
+    ASSERT_TRUE(BuildVpLayout(graph_, catalog_.get()).ok());
+    auto stats = BuildExtVpLayout(graph_, ExtVpOptions(), catalog_.get());
+    ASSERT_TRUE(stats.ok());
+    build_stats_ = *stats;
+    follows_ = *graph_.dictionary().Find("<follows>");
+    likes_ = *graph_.dictionary().Find("<likes>");
+  }
+
+  double Sf(Correlation corr, rdf::TermId p1, rdf::TermId p2) {
+    const storage::TableStats* stats = catalog_->GetStats(
+        ExtVpTableName(graph_.dictionary(), corr, p1, p2));
+    return stats == nullptr ? 0.0 : stats->selectivity;
+  }
+
+  rdf::Graph graph_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  ExtVpBuildStats build_stats_;
+  rdf::TermId follows_ = 0;
+  rdf::TermId likes_ = 0;
+};
+
+TEST_F(ExtVpG1Test, VpTablesMatchFig5) {
+  const storage::TableStats* vf =
+      catalog_->GetStats(VpTableName(graph_.dictionary(), follows_));
+  const storage::TableStats* vl =
+      catalog_->GetStats(VpTableName(graph_.dictionary(), likes_));
+  ASSERT_NE(vf, nullptr);
+  ASSERT_NE(vl, nullptr);
+  EXPECT_EQ(vf->rows, 4u);
+  EXPECT_EQ(vl->rows, 3u);
+}
+
+TEST_F(ExtVpG1Test, SelectivitiesMatchFig10) {
+  // Left half of Fig. 10 (tables derived from VP_follows).
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kOS, follows_, follows_), 0.5);
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kOS, follows_, likes_), 0.25);
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSO, follows_, follows_), 0.75);
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSO, follows_, likes_), 0.0);  // Empty.
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSS, follows_, likes_), 0.5);
+  // Right half (derived from VP_likes).
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kOS, likes_, follows_), 0.0);  // Empty.
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kOS, likes_, likes_), 0.0);    // Empty.
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSO, likes_, follows_), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSO, likes_, likes_), 0.0);  // Empty.
+  EXPECT_DOUBLE_EQ(Sf(Correlation::kSS, likes_, follows_), 1.0);  // = VP.
+}
+
+TEST_F(ExtVpG1Test, Sf1TablesAreNotMaterialized) {
+  const storage::TableStats* stats = catalog_->GetStats(
+      ExtVpTableName(graph_.dictionary(), Correlation::kSS, likes_,
+                     follows_));
+  ASSERT_NE(stats, nullptr);
+  EXPECT_FALSE(stats->materialized);
+  EXPECT_EQ(build_stats_.tables_equal_vp, 1u);
+}
+
+TEST_F(ExtVpG1Test, MaterializedContentsMatchFig10) {
+  // ExtVP_OS follows|likes = {(B, C)}.
+  auto table = catalog_->GetTable(ExtVpTableName(
+      graph_.dictionary(), Correlation::kOS, follows_, likes_));
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->NumRows(), 1u);
+  EXPECT_EQ((*table)->At(0, 0), *graph_.dictionary().Find("<B>"));
+  EXPECT_EQ((*table)->At(0, 1), *graph_.dictionary().Find("<C>"));
+
+  // ExtVP_SO likes|follows = {(C, I2)}.
+  auto so = catalog_->GetTable(ExtVpTableName(
+      graph_.dictionary(), Correlation::kSO, likes_, follows_));
+  ASSERT_TRUE(so.ok());
+  ASSERT_EQ((*so)->NumRows(), 1u);
+  EXPECT_EQ((*so)->At(0, 0), *graph_.dictionary().Find("<C>"));
+  EXPECT_EQ((*so)->At(0, 1), *graph_.dictionary().Find("<I2>"));
+}
+
+TEST_F(ExtVpG1Test, ExtVpTablesAreSubsetsOfVp) {
+  for (const storage::TableStats* stats : catalog_->AllStats()) {
+    if (stats->name.rfind("extvp_", 0) != 0 || !stats->materialized) {
+      continue;
+    }
+    EXPECT_GT(stats->rows, 0u);
+    EXPECT_LT(stats->selectivity, 1.0);
+    EXPECT_GT(stats->selectivity, 0.0);
+  }
+}
+
+TEST_F(ExtVpG1Test, TableSelectionMatchesFig11) {
+  auto parsed = sparql::ParseQuery(kQ1);
+  ASSERT_TRUE(parsed.ok());
+  const auto& bgp = parsed->where.triples;
+  ASSERT_EQ(bgp.size(), 4u);
+  const rdf::Dictionary& dict = graph_.dictionary();
+
+  // TP1 (?x likes ?w): all candidates have SF 1 -> VP_likes.
+  auto c1 = SelectTable(0, bgp, Layout::kExtVp, true, *catalog_, dict);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1->table_name, VpTableName(dict, likes_));
+  EXPECT_DOUBLE_EQ(c1->sf, 1.0);
+
+  // TP3 (?y follows ?z): best candidate ExtVP_OS follows|likes, SF 0.25.
+  auto c3 = SelectTable(2, bgp, Layout::kExtVp, true, *catalog_, dict);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ(c3->table_name,
+            ExtVpTableName(dict, Correlation::kOS, follows_, likes_));
+  EXPECT_DOUBLE_EQ(c3->sf, 0.25);
+  EXPECT_EQ(c3->rows, 1u);
+
+  // TP4 (?z likes ?w): ExtVP_SO likes|follows, SF 1/3.
+  auto c4 = SelectTable(3, bgp, Layout::kExtVp, true, *catalog_, dict);
+  ASSERT_TRUE(c4.ok());
+  EXPECT_EQ(c4->table_name,
+            ExtVpTableName(dict, Correlation::kSO, likes_, follows_));
+
+  // Under the VP layout every pattern scans its VP table.
+  auto v3 = SelectTable(2, bgp, Layout::kVp, true, *catalog_, dict);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->table_name, VpTableName(dict, follows_));
+}
+
+TEST_F(ExtVpG1Test, Q1HasTheSingleExpectedResult) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  for (Layout layout :
+       {Layout::kExtVp, Layout::kVp, Layout::kTriplesTable}) {
+    auto result = (*db)->Execute(kQ1, layout);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->table.NumRows(), 1u)
+        << "layout " << static_cast<int>(layout);
+    auto rows = (*db)->DecodeRows(result->table);
+    // Columns in appearance order: x, w, y, z.
+    EXPECT_EQ(rows[0][0], "<A>");
+    EXPECT_EQ(rows[0][1], "<I2>");
+    EXPECT_EQ(rows[0][2], "<B>");
+    EXPECT_EQ(rows[0][3], "<C>");
+  }
+}
+
+TEST_F(ExtVpG1Test, ExtVpReducesJoinComparisons) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto extvp = (*db)->Execute(kQ1, Layout::kExtVp);
+  auto vp = (*db)->Execute(kQ1, Layout::kVp);
+  ASSERT_TRUE(extvp.ok());
+  ASSERT_TRUE(vp.ok());
+  // Fig. 8 / Fig. 12: ExtVP reduces both input size and comparisons.
+  EXPECT_LT(extvp->metrics.input_tuples, vp->metrics.input_tuples);
+  EXPECT_LT(extvp->metrics.join_comparisons, vp->metrics.join_comparisons);
+}
+
+TEST_F(ExtVpG1Test, EmptyCorrelationShortCircuits) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  // follows -> SO likes|... wait: ?x follows ?y . ?y likes ?z has
+  // OS(follows, likes) = 0.25 (non-empty). Use the empty one:
+  // ?x likes ?y . ?y likes ?z (OS likes|likes is empty).
+  auto result = (*db)->Execute(
+      "SELECT * WHERE { ?x <likes> ?y . ?y <likes> ?z }", Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 0u);
+  // The statistics shortcut answers without reading any table.
+  EXPECT_EQ(result->metrics.input_tuples, 0u);
+
+  // VP layout actually runs the query (same — empty — result).
+  auto vp = (*db)->Execute(
+      "SELECT * WHERE { ?x <likes> ?y . ?y <likes> ?z }", Layout::kVp);
+  ASSERT_TRUE(vp.ok());
+  EXPECT_EQ(vp->table.NumRows(), 0u);
+  EXPECT_GT(vp->metrics.input_tuples, 0u);
+}
+
+TEST_F(ExtVpG1Test, ThresholdPrunesButPreservesResults) {
+  S2RdfOptions options;
+  options.sf_threshold = 0.3;  // Keeps only SF < 0.3 tables.
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT((*db)->load_stats().extvp_stats.tables_pruned, 0u);
+  auto result = (*db)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1u);
+}
+
+TEST_F(ExtVpG1Test, UnboundPredicateUsesTriplesTable) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result =
+      (*db)->Execute("SELECT * WHERE { <A> ?p ?o }", Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 3u);  // follows B, likes I1, likes I2.
+}
+
+TEST_F(ExtVpG1Test, JoinOrderOptimizationReducesIntermediates) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  CompilerOptions opt;
+  opt.layout = Layout::kExtVp;
+  opt.optimize_join_order = true;
+  CompilerOptions unopt = opt;
+  unopt.optimize_join_order = false;
+  auto with = (*db)->ExecuteWithOptions(kQ1, opt);
+  auto without = (*db)->ExecuteWithOptions(kQ1, unopt);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(engine::Table::SameBag(with->table, without->table));
+  // Fig. 12: ordering by table size joins the two smallest tables first.
+  EXPECT_LE(with->metrics.join_comparisons,
+            without->metrics.join_comparisons);
+}
+
+// --- Bit-vector ExtVP (the paper's future work, Sec. 8) -----------------
+
+class ExtVpBitmapG1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    S2RdfOptions options;
+    options.build_extvp_bitmaps = true;
+    auto db = S2Rdf::Create(MakeG1(), options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    const rdf::Dictionary& dict = db_->graph().dictionary();
+    follows_ = *dict.Find("<follows>");
+    likes_ = *dict.Find("<likes>");
+  }
+
+  std::unique_ptr<S2Rdf> db_;
+  rdf::TermId follows_ = 0;
+  rdf::TermId likes_ = 0;
+};
+
+TEST_F(ExtVpBitmapG1Test, BitmapSfsMatchTableSfs) {
+  const ExtVpBitmapStore* store = db_->bitmap_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_DOUBLE_EQ(store->Sf(Correlation::kOS, follows_, likes_), 0.25);
+  EXPECT_DOUBLE_EQ(store->Sf(Correlation::kOS, follows_, follows_), 0.5);
+  EXPECT_DOUBLE_EQ(store->Sf(Correlation::kSO, follows_, follows_), 0.75);
+  EXPECT_DOUBLE_EQ(store->Sf(Correlation::kSS, likes_, follows_), 1.0);
+  EXPECT_TRUE(store->IsEmpty(Correlation::kSO, follows_, likes_));
+  EXPECT_TRUE(store->IsEmpty(Correlation::kOS, likes_, likes_));
+  // SF = 1 combinations carry no bitmap (the VP table suffices).
+  EXPECT_EQ(store->Get(Correlation::kSS, likes_, follows_), nullptr);
+  EXPECT_NE(store->Get(Correlation::kOS, follows_, likes_), nullptr);
+}
+
+TEST_F(ExtVpBitmapG1Test, BitmapsAreFarSmallerThanTables) {
+  const ExtVpBitmapStore* store = db_->bitmap_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_GT(store->NumBitmaps(), 0u);
+  // Each bitmap costs 8 bytes here (<=64 rows); the table representation
+  // stores two uint32 columns per tuple.
+  EXPECT_LT(store->TotalBitmapBytes(), 100u);
+}
+
+TEST_F(ExtVpBitmapG1Test, Q1MatchesOtherLayouts) {
+  auto bitmap = db_->Execute(kQ1, Layout::kExtVpBitmap);
+  ASSERT_TRUE(bitmap.ok()) << bitmap.status().ToString();
+  auto extvp = db_->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(extvp.ok());
+  EXPECT_TRUE(engine::Table::SameBag(bitmap->table, extvp->table));
+  // The rendered SQL mentions the bitmap filter.
+  EXPECT_NE(bitmap->sql.find("BITMAP("), std::string::npos);
+}
+
+TEST_F(ExtVpBitmapG1Test, IntersectionBeatsBestSingleTable) {
+  // TP2 in Q1 (?x follows ?y) has SS follows|likes (SF 0.5) and
+  // OS follows|follows (SF 0.5); their intersection is {(A,B)} = 0.25.
+  auto bitmap = db_->Execute(kQ1, Layout::kExtVpBitmap);
+  auto extvp = db_->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(bitmap.ok());
+  ASSERT_TRUE(extvp.ok());
+  EXPECT_LT(bitmap->metrics.input_tuples, extvp->metrics.input_tuples);
+}
+
+TEST_F(ExtVpBitmapG1Test, EmptyIntersectionShortCircuits) {
+  // ?x likes ?y . ?y likes ?z: OS likes|likes is empty.
+  auto result = db_->Execute(
+      "SELECT * WHERE { ?x <likes> ?y . ?y <likes> ?z }",
+      Layout::kExtVpBitmap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 0u);
+  EXPECT_EQ(result->metrics.input_tuples, 0u);
+}
+
+TEST_F(ExtVpBitmapG1Test, RequiresBitmapBuild) {
+  S2RdfOptions options;  // build_extvp_bitmaps defaults to false.
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(kQ1, Layout::kExtVpBitmap);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExtVpBitmapG1Test, ThresholdDropsBitmapsButKeepsResults) {
+  S2RdfOptions options;
+  options.build_extvp_bitmaps = true;
+  options.sf_threshold = 0.3;  // Drops the SF 0.5/0.75 bitmaps.
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_LT((*db)->bitmap_store()->NumBitmaps(),
+            db_->bitmap_store()->NumBitmaps());
+  auto result = (*db)->Execute(kQ1, Layout::kExtVpBitmap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1u);
+}
+
+// --- Filter pushdown, OPTIONAL and UNION execution ------------------------
+
+class SparqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::Graph g = MakeG1();
+    // Add ages so FILTER has something numeric to chew on.
+    g.AddCanonical("<A>", "<age>",
+                   "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    g.AddCanonical("<B>", "<age>",
+                   "\"17\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    g.AddCanonical("<C>", "<age>",
+                   "\"30\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    S2RdfOptions options;
+    auto db = S2Rdf::Create(std::move(g), options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  std::unique_ptr<S2Rdf> db_;
+};
+
+TEST_F(SparqlFeaturesTest, FilterPushdownPreservesResults) {
+  constexpr char kQuery[] =
+      "SELECT ?x ?y ?a WHERE { ?x <follows> ?y . ?x <age> ?a . "
+      "FILTER (?a >= 30) }";
+  CompilerOptions pushed;
+  CompilerOptions unpushed;
+  unpushed.push_filters = false;
+  auto a = db_->ExecuteWithOptions(kQuery, pushed);
+  auto b = db_->ExecuteWithOptions(kQuery, unpushed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(engine::Table::SameBag(a->table, b->table));
+  EXPECT_EQ(a->table.NumRows(), 2u);  // A follows B; C follows D.
+  // With pushdown the filter sits below the final join.
+  EXPECT_LE(a->metrics.intermediate_tuples, b->metrics.intermediate_tuples);
+  EXPECT_NE(a->plan, b->plan);
+}
+
+TEST_F(SparqlFeaturesTest, FilterReferencingOptionalVarStaysAtGroupLevel) {
+  // !BOUND over an OPTIONAL variable must not be pushed into the BGP.
+  constexpr char kQuery[] =
+      "SELECT ?x ?w WHERE { ?x <follows> ?y . "
+      "OPTIONAL { ?x <likes> ?w . } FILTER (!bound(?w)) }";
+  auto result = db_->Execute(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only B follows with no likes.
+  ASSERT_EQ(result->table.NumRows(), 2u);  // B->C, B->D rows collapse on x,w.
+  auto rows = db_->DecodeRows(result->table);
+  EXPECT_EQ(rows[0][0], "<B>");
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST_F(SparqlFeaturesTest, OptionalWithInnerFilter) {
+  // OPTIONAL { ... FILTER } keeps left rows whose match fails the filter.
+  constexpr char kQuery[] =
+      "SELECT ?x ?a WHERE { ?x <follows> ?y . "
+      "OPTIONAL { ?x <age> ?a . FILTER (?a > 35) } }";
+  auto result = db_->Execute(kQuery);
+  ASSERT_TRUE(result.ok());
+  auto rows = db_->DecodeRows(engine::Distinct(result->table, nullptr));
+  // A keeps age 42; B and C follow but their ages fail the filter.
+  int bound_ages = 0;
+  for (const auto& row : rows) {
+    if (!row[1].empty()) ++bound_ages;
+  }
+  EXPECT_EQ(bound_ages, 1);
+}
+
+TEST_F(SparqlFeaturesTest, UnionCombinesBranches) {
+  constexpr char kQuery[] =
+      "SELECT ?x ?t WHERE { { ?x <likes> ?t . } UNION "
+      "{ ?x <age> ?t . } }";
+  auto result = db_->Execute(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 6u);  // 3 likes + 3 ages.
+}
+
+TEST_F(SparqlFeaturesTest, UnionJoinedWithBgp) {
+  constexpr char kQuery[] =
+      "SELECT ?x ?y ?t WHERE { ?x <follows> ?y . "
+      "{ ?x <likes> ?t . } UNION { ?x <age> ?t . } }";
+  auto extvp = db_->Execute(kQuery, Layout::kExtVp);
+  auto tt = db_->Execute(kQuery, Layout::kTriplesTable);
+  ASSERT_TRUE(extvp.ok());
+  ASSERT_TRUE(tt.ok());
+  EXPECT_TRUE(engine::Table::SameBag(extvp->table, tt->table));
+  EXPECT_GT(extvp->table.NumRows(), 0u);
+}
+
+TEST_F(SparqlFeaturesTest, OrderByLimitOffset) {
+  constexpr char kQuery[] =
+      "SELECT ?x ?a WHERE { ?x <age> ?a . } ORDER BY DESC(?a) "
+      "LIMIT 2 OFFSET 1";
+  auto result = db_->Execute(kQuery);
+  ASSERT_TRUE(result.ok());
+  auto rows = db_->DecodeRows(result->table);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "<C>");  // 42 skipped by OFFSET; then 30, 17.
+  EXPECT_EQ(rows[1][0], "<B>");
+}
+
+TEST(PropertyTableTest, DuplicationMatchesTable1) {
+  rdf::Graph g = MakeG1();
+  storage::Catalog catalog("");
+  auto stats =
+      BuildPropertyTable(g, PropertyTableStrategy::kDuplication, &catalog);
+  ASSERT_TRUE(stats.ok());
+  // Table 1 of the paper has 5 rows: A×2, B×2, C×1.
+  EXPECT_EQ(stats->pt_rows, 5u);
+  EXPECT_EQ(stats->aux_tables, 0u);
+}
+
+TEST(PropertyTableTest, AuxiliaryStrategyBoundsSize) {
+  rdf::Graph g = MakeG1();
+  storage::Catalog catalog("");
+  auto stats = BuildPropertyTable(
+      g, PropertyTableStrategy::kAuxiliaryTables, &catalog);
+  ASSERT_TRUE(stats.ok());
+  // follows and likes are both multi-valued in G1 -> both auxiliary, and
+  // the PT itself retains no subjects.
+  EXPECT_EQ(stats->aux_tables, 2u);
+  EXPECT_EQ(stats->aux_tuples, 7u);
+}
+
+// --- Lazy ("pay as you go") ExtVP (paper Sec. 7) --------------------------
+
+TEST(LazyExtVpTest, MaterializesOnFirstUseAndCaches) {
+  S2RdfOptions options;
+  options.lazy_extvp = true;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  // No load-time ExtVP work.
+  EXPECT_EQ((*db)->load_stats().extvp_stats.tables_materialized, 0u);
+  EXPECT_EQ((*db)->lazy_pairs_computed(), 0u);
+
+  auto first = (*db)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->table.NumRows(), 1u);
+  uint64_t computed = (*db)->lazy_pairs_computed();
+  EXPECT_GT(computed, 0u);
+  // The warm query selects ExtVP tables (not plain VP).
+  EXPECT_NE(first->sql.find("extvp_"), std::string::npos);
+
+  // Re-running the same query computes nothing new.
+  auto second = (*db)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*db)->lazy_pairs_computed(), computed);
+  EXPECT_TRUE(engine::Table::SameBag(first->table, second->table));
+}
+
+TEST(LazyExtVpTest, MatchesEagerResultsAndSelectivities) {
+  S2RdfOptions lazy_options;
+  lazy_options.lazy_extvp = true;
+  auto lazy = S2Rdf::Create(MakeG1(), lazy_options);
+  auto eager = S2Rdf::Create(MakeG1(), S2RdfOptions());
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(eager.ok());
+  auto a = (*lazy)->Execute(kQ1, Layout::kExtVp);
+  auto b = (*eager)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(engine::Table::SameBag(a->table, b->table));
+  // The lazily-computed tables carry the same SF values as Fig. 10.
+  const rdf::Dictionary& dict = (*lazy)->graph().dictionary();
+  rdf::TermId follows = *dict.Find("<follows>");
+  rdf::TermId likes = *dict.Find("<likes>");
+  const storage::TableStats* stats = (*lazy)->catalog().GetStats(
+      ExtVpTableName(dict, Correlation::kOS, follows, likes));
+  ASSERT_NE(stats, nullptr);
+  EXPECT_DOUBLE_EQ(stats->selectivity, 0.25);
+}
+
+TEST(LazyExtVpTest, EmptyCorrelationShortCircuitsAfterMaterialization) {
+  S2RdfOptions options;
+  options.lazy_extvp = true;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  // OS likes|likes is empty; the lazy pass records this and the
+  // compiler answers from statistics.
+  auto result = (*db)->Execute(
+      "SELECT * WHERE { ?x <likes> ?y . ?y <likes> ?z }", Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 0u);
+  EXPECT_EQ(result->metrics.input_tuples, 0u);
+}
+
+TEST(LazyExtVpTest, RespectsSfThreshold) {
+  S2RdfOptions options;
+  options.lazy_extvp = true;
+  options.sf_threshold = 0.3;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1u);
+  // SF 0.5 tables (e.g. SS follows|likes) were pruned: stats only.
+  const rdf::Dictionary& dict = (*db)->graph().dictionary();
+  rdf::TermId follows = *dict.Find("<follows>");
+  rdf::TermId likes = *dict.Find("<likes>");
+  const storage::TableStats* stats = (*db)->catalog().GetStats(
+      ExtVpTableName(dict, Correlation::kSS, follows, likes));
+  ASSERT_NE(stats, nullptr);
+  EXPECT_FALSE(stats->materialized);
+}
+
+TEST(CompilerEdgeTest, CrossJoinBetweenDisconnectedPatterns) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(
+      "SELECT * WHERE { ?a <likes> ?b . ?c <follows> ?d }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 12u);
+}
+
+TEST(CompilerEdgeTest, RepeatedVariableWithinPattern) {
+  rdf::Graph g;
+  g.AddIris("A", "p", "A");
+  g.AddIris("A", "p", "B");
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(std::move(g), options);
+  ASSERT_TRUE(db.ok());
+  for (Layout layout : {Layout::kExtVp, Layout::kVp,
+                        Layout::kTriplesTable}) {
+    auto result = (*db)->Execute("SELECT * WHERE { ?x <p> ?x }", layout);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.NumRows(), 1u);
+  }
+}
+
+TEST(CompilerEdgeTest, ProjectionOfUnboundVariableIsNullColumn) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(
+      "SELECT ?x ?nope WHERE { ?x <likes> ?w }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumColumns(), 2u);
+  auto rows = (*db)->DecodeRows(result->table);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0][1], "");  // Unbound decodes to empty.
+}
+
+TEST(CompilerEdgeTest, FullyBoundPatternActsAsExistenceCheck) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto hit = (*db)->Execute(
+      "SELECT * WHERE { <A> <follows> <B> . <A> <likes> ?w }");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->table.NumRows(), 2u);
+  auto miss = (*db)->Execute(
+      "SELECT * WHERE { <A> <follows> <D> . <A> <likes> ?w }");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->table.NumRows(), 0u);
+}
+
+TEST(CompilerEdgeTest, DuplicateTriplesInInputAreDeduplicated) {
+  rdf::Graph g;
+  g.AddIris("A", "p", "B");
+  g.AddIris("A", "p", "B");
+  g.AddIris("A", "p", "B");
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(std::move(g), options);
+  ASSERT_TRUE(db.ok());
+  for (Layout layout : {Layout::kExtVp, Layout::kVp,
+                        Layout::kTriplesTable}) {
+    auto result = (*db)->Execute("SELECT * WHERE { ?x <p> ?y }", layout);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.NumRows(), 1u);
+  }
+}
+
+TEST(LayoutNamesTest, FragmentsAreSanitized) {
+  EXPECT_EQ(PredicateFragment("<http://ex/ns#hasGenre>"), "hasgenre");
+  EXPECT_EQ(PredicateFragment("<http://ex/a/b/c>"), "c");
+  EXPECT_EQ(PredicateFragment("<>"), "p");
+}
+
+TEST(S2RdfTest, PersistentStorageRoundtrip) {
+  s2rdf::ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(s2rdf::PathExists(dir.path() + "/manifest.tsv"));
+  EXPECT_GT((*db)->catalog().TotalBytes(), 0u);
+  auto result = (*db)->Execute(kQ1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 1u);
+}
+
+TEST(S2RdfTest, OpenReloadsPersistedStore) {
+  s2rdf::ScopedTempDir dir;
+  {
+    S2RdfOptions options;
+    options.storage_dir = dir.path();
+    auto db = S2Rdf::Create(MakeG1(), options);
+    ASSERT_TRUE(db.ok());
+  }
+  // Reopen cold: no graph, only the persisted catalog + dictionary.
+  auto reopened = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto result = (*reopened)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.NumRows(), 1u);
+  auto rows = (*reopened)->DecodeRows(result->table);
+  EXPECT_EQ(rows[0][0], "<A>");
+  // The bit-vector store is not persisted.
+  auto bitmap = (*reopened)->Execute(kQ1, Layout::kExtVpBitmap);
+  EXPECT_FALSE(bitmap.ok());
+}
+
+TEST(S2RdfTest, OpenFailsWithoutPersistedStore) {
+  s2rdf::ScopedTempDir dir;
+  EXPECT_FALSE(S2Rdf::Open(dir.path()).ok());
+  EXPECT_FALSE(S2Rdf::Open("").ok());
+}
+
+TEST(S2RdfTest, AskQueries) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto yes = (*db)->Execute("ASK { <A> <follows> ?x . }");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->is_ask);
+  EXPECT_TRUE(yes->ask_result);
+  auto no = (*db)->Execute("ASK { <D> <follows> ?x . }");
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->is_ask);
+  EXPECT_FALSE(no->ask_result);
+  // The statistics shortcut answers ASK on empty correlations for free.
+  auto empty = (*db)->Execute(
+      "ASK { ?x <likes> ?y . ?y <likes> ?z . }", Layout::kExtVp);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->ask_result);
+  EXPECT_EQ(empty->metrics.input_tuples, 0u);
+}
+
+TEST(S2RdfTest, ValuesJoinsWithBgp) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(
+      "SELECT ?x ?y WHERE { ?x <follows> ?y . VALUES ?x { <A> <C> } }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.NumRows(), 2u);  // A->B, C->D.
+
+  // Standalone VALUES (constants need not exist in the data).
+  auto standalone = (*db)->Execute(
+      "SELECT ?x WHERE { VALUES ?x { <NotInData> <A> } }");
+  ASSERT_TRUE(standalone.ok()) << standalone.status().ToString();
+  EXPECT_EQ(standalone->table.NumRows(), 2u);
+
+  // Multi-variable rows restrict combinations, not just columns.
+  auto multi = (*db)->Execute(
+      "SELECT ?x ?y WHERE { ?x <follows> ?y . "
+      "VALUES (?x ?y) { (<A> <B>) (<A> <D>) } }");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->table.NumRows(), 1u);  // Only A->B exists.
+}
+
+TEST(S2RdfTest, ConstructBuildsGraph) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(
+      "CONSTRUCT { ?y <followedBy> ?x . ?x <type> <User> . } "
+      "WHERE { ?x <follows> ?y }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->is_graph);
+  // 4 reversed edges + 3 distinct follower subjects typed.
+  EXPECT_EQ(result->metrics.output_tuples, 7u);
+  EXPECT_NE(result->graph_ntriples.find("<B> <followedBy> <A> ."),
+            std::string::npos);
+  EXPECT_NE(result->graph_ntriples.find("<A> <type> <User> ."),
+            std::string::npos);
+  // The output is valid N-Triples.
+  rdf::Graph parsed;
+  EXPECT_TRUE(rdf::ParseNTriples(result->graph_ntriples, &parsed).ok());
+  EXPECT_EQ(parsed.NumTriples(), 7u);
+}
+
+TEST(S2RdfTest, ConstructSkipsIllFormedAndUnboundTriples) {
+  rdf::Graph g = MakeG1();
+  g.AddCanonical("<A>", "<age>",
+                 "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(std::move(g), options);
+  ASSERT_TRUE(db.ok());
+  // ?a is a literal: using it as subject is ill-formed and skipped; the
+  // OPTIONAL leaves ?w unbound for B, skipping that instantiation.
+  auto result = (*db)->Execute(
+      "CONSTRUCT { ?a <of> ?x . ?x <liked> ?w . } WHERE { "
+      "?x <age> ?a . OPTIONAL { ?x <likes> ?w . } }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // A has age + 2 likes -> 2 '<A> <liked> ...' triples; the literal
+  // subject triple is dropped.
+  EXPECT_EQ(result->metrics.output_tuples, 2u);
+  EXPECT_EQ(result->graph_ntriples.find("\"42\""), std::string::npos);
+}
+
+TEST(S2RdfTest, DescribeConstantAndVariable) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto constant = (*db)->Execute("DESCRIBE <A>");
+  ASSERT_TRUE(constant.ok()) << constant.status().ToString();
+  EXPECT_EQ(constant->metrics.output_tuples, 3u);  // follows B, likes I1/I2.
+
+  auto variable = (*db)->Execute(
+      "DESCRIBE ?x WHERE { ?x <likes> <I2> }");
+  ASSERT_TRUE(variable.ok());
+  // A (3 statements) and C (2 statements).
+  EXPECT_EQ(variable->metrics.output_tuples, 5u);
+
+  auto unbound = (*db)->Execute("DESCRIBE ?x");
+  EXPECT_FALSE(unbound.ok());
+}
+
+TEST(S2RdfTest, MemoryBudgetedStoreStillAnswersQueries) {
+  s2rdf::ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  options.memory_budget_bytes = 64;  // Absurdly small: evict everything.
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = (*db)->Execute(kQ1, Layout::kExtVp);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->table.NumRows(), 1u);
+    EXPECT_LE((*db)->catalog().CachedBytes(), 64u);
+  }
+}
+
+TEST(S2RdfTest, ExplainAnalyzeProfile) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  CompilerOptions exec;
+  exec.collect_profile = true;
+  auto result = (*db)->ExecuteWithOptions(kQ1, exec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->profile.find("Scan("), std::string::npos);
+  EXPECT_NE(result->profile.find("Join"), std::string::npos);
+  EXPECT_NE(result->profile.find("rows=1"), std::string::npos);
+  EXPECT_NE(result->profile.find("ms"), std::string::npos);
+  // Without the flag, no profile is rendered.
+  auto plain = (*db)->Execute(kQ1);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->profile.empty());
+}
+
+TEST(S2RdfTest, SqlRenderingMentionsSelectedTables) {
+  S2RdfOptions options;
+  auto db = S2Rdf::Create(MakeG1(), options);
+  ASSERT_TRUE(db.ok());
+  auto result = (*db)->Execute(kQ1, Layout::kExtVp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->sql.find("extvp_os_follows"), std::string::npos);
+  EXPECT_NE(result->sql.find("vp_likes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2rdf::core

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/centralized_engine.h"
+#include "baselines/h2rdf_engine.h"
+#include "baselines/mr_sparql_engine.h"
+#include "baselines/sempala_engine.h"
+#include "common/file_util.h"
+#include "core/s2rdf.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+// Cross-engine equivalence: for every workload query, every layout of
+// S2RDF and every baseline engine must produce the same solution bag.
+// This is the project's strongest correctness property — seven
+// independent execution paths (ExtVP, VP, triples table, property table,
+// permutation indexes, SHARD-MR, PigSPARQL-MR) agree on a synthetic
+// WatDiv dataset.
+
+namespace s2rdf {
+namespace {
+
+constexpr double kScaleFactor = 0.05;
+
+struct Engines {
+  rdf::Graph graph;
+  std::unique_ptr<core::S2Rdf> s2rdf;
+  std::unique_ptr<baselines::SempalaEngine> sempala;
+  std::unique_ptr<baselines::PermutationIndexStore> store;
+  std::unique_ptr<baselines::CentralizedBgpEngine> centralized;
+  std::unique_ptr<ScopedTempDir> mr_dir;
+  std::unique_ptr<baselines::MrSparqlEngine> shard;
+  std::unique_ptr<baselines::MrSparqlEngine> pigsparql;
+};
+
+Engines* g_engines = nullptr;
+
+class CrossEngineTest : public ::testing::TestWithParam<std::string> {
+ public:
+  static void SetUpTestSuite() {
+    if (g_engines != nullptr) return;
+    g_engines = new Engines();
+    watdiv::GeneratorOptions gen;
+    gen.scale_factor = kScaleFactor;
+    g_engines->graph = watdiv::Generate(gen);
+
+    // S2RDF needs its own copy of the graph (it owns it).
+    rdf::Graph copy;
+    for (const rdf::Triple& t : g_engines->graph.triples()) {
+      copy.AddCanonical(
+          g_engines->graph.dictionary().Decode(t.subject),
+          g_engines->graph.dictionary().Decode(t.predicate),
+          g_engines->graph.dictionary().Decode(t.object));
+    }
+    core::S2RdfOptions options;
+    options.build_extvp_bitmaps = true;
+    auto db = core::S2Rdf::Create(std::move(copy), options);
+    ASSERT_TRUE(db.ok());
+    g_engines->s2rdf = std::move(*db);
+
+    baselines::SempalaOptions sempala_options;
+    auto sempala =
+        baselines::SempalaEngine::Create(&g_engines->graph, sempala_options);
+    ASSERT_TRUE(sempala.ok());
+    g_engines->sempala = std::move(*sempala);
+
+    g_engines->store = std::make_unique<baselines::PermutationIndexStore>(
+        g_engines->graph);
+    g_engines->centralized =
+        std::make_unique<baselines::CentralizedBgpEngine>(
+            g_engines->store.get(), &g_engines->graph.dictionary());
+
+    g_engines->mr_dir = std::make_unique<ScopedTempDir>();
+    baselines::MrEngineOptions shard_options;
+    shard_options.work_dir = g_engines->mr_dir->path();
+    shard_options.planner = baselines::MrPlanner::kClauseIteration;
+    g_engines->shard = std::make_unique<baselines::MrSparqlEngine>(
+        &g_engines->graph, shard_options);
+    baselines::MrEngineOptions pig_options = shard_options;
+    pig_options.planner = baselines::MrPlanner::kMultiJoin;
+    g_engines->pigsparql = std::make_unique<baselines::MrSparqlEngine>(
+        &g_engines->graph, pig_options);
+  }
+
+ protected:
+  // Decodes to strings so tables from different dictionaries compare.
+  static std::vector<std::string> Decoded(const engine::Table& table,
+                                          const rdf::Dictionary& dict) {
+    std::vector<std::string> rows;
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < table.NumColumns(); ++c) {
+        rdf::TermId id = table.At(r, c);
+        row += (id == engine::kNullTermId ? "NULL" : dict.Decode(id));
+        row += '\x1f';
+      }
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+};
+
+TEST_P(CrossEngineTest, AllEnginesAgree) {
+  const watdiv::QueryTemplate* tmpl = watdiv::FindQuery(GetParam());
+  ASSERT_NE(tmpl, nullptr);
+  SplitMix64 rng(123);
+  std::string query =
+      watdiv::InstantiateQuery(*tmpl, kScaleFactor, &rng);
+
+  // Reference: S2RDF over ExtVP.
+  auto reference = g_engines->s2rdf->Execute(query, core::Layout::kExtVp);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  std::vector<std::string> expected =
+      Decoded(reference->table, g_engines->s2rdf->graph().dictionary());
+  std::vector<std::string> columns = reference->table.column_names();
+
+  // S2RDF over VP, the triples table, and the bit-vector ExtVP.
+  for (core::Layout layout :
+       {core::Layout::kVp, core::Layout::kTriplesTable,
+        core::Layout::kExtVpBitmap}) {
+    auto result = g_engines->s2rdf->Execute(query, layout);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->table.column_names(), columns);
+    EXPECT_EQ(Decoded(result->table,
+                      g_engines->s2rdf->graph().dictionary()),
+              expected)
+        << "VP/TT layout disagrees on " << GetParam();
+  }
+
+  const rdf::Dictionary& dict = g_engines->graph.dictionary();
+
+  auto sempala = g_engines->sempala->Execute(query);
+  ASSERT_TRUE(sempala.ok()) << sempala.status().ToString();
+  EXPECT_EQ(Decoded(sempala->table, dict), expected)
+      << "Sempala disagrees on " << GetParam();
+
+  auto central = g_engines->centralized->Execute(query);
+  ASSERT_TRUE(central.ok()) << central.status().ToString();
+  EXPECT_EQ(Decoded(central->table, dict), expected)
+      << "Centralized disagrees on " << GetParam();
+
+  auto shard = g_engines->shard->Execute(query);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(Decoded(shard->table, dict), expected)
+      << "SHARD disagrees on " << GetParam();
+
+  auto pig = g_engines->pigsparql->Execute(query);
+  ASSERT_TRUE(pig.ok()) << pig.status().ToString();
+  EXPECT_EQ(Decoded(pig->table, dict), expected)
+      << "PigSPARQL disagrees on " << GetParam();
+}
+
+std::vector<std::string> AllQueryNames() {
+  std::vector<std::string> names;
+  for (const auto* workload :
+       {&watdiv::BasicTestingQueries(), &watdiv::SelectivityTestingQueries(),
+        &watdiv::IncrementalLinearQueries()}) {
+    for (const watdiv::QueryTemplate& q : *workload) names.push_back(q.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CrossEngineTest, ::testing::ValuesIn(AllQueryNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- SF-threshold invariance -------------------------------------------
+
+class ThresholdInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdInvarianceTest, ResultsDoNotDependOnThreshold) {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = 0.03;
+  core::S2RdfOptions no_threshold;
+  auto reference = core::S2Rdf::Create(watdiv::Generate(gen), no_threshold);
+  ASSERT_TRUE(reference.ok());
+
+  core::S2RdfOptions with_threshold;
+  with_threshold.sf_threshold = GetParam();
+  auto db = core::S2Rdf::Create(watdiv::Generate(gen), with_threshold);
+  ASSERT_TRUE(db.ok());
+
+  SplitMix64 rng(7);
+  for (const char* name : {"L2", "S3", "F5", "C3", "ST-1-3", "IL-1-6"}) {
+    const watdiv::QueryTemplate* tmpl = watdiv::FindQuery(name);
+    ASSERT_NE(tmpl, nullptr);
+    SplitMix64 query_rng(rng.Next());
+    std::string query =
+        watdiv::InstantiateQuery(*tmpl, gen.scale_factor, &query_rng);
+    auto expected = (*reference)->Execute(query, core::Layout::kExtVp);
+    auto actual = (*db)->Execute(query, core::Layout::kExtVp);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_TRUE(engine::Table::SameBag(expected->table, actual->table))
+        << name << " differs at threshold " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdInvarianceTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.9));
+
+// --- Lazy vs eager ExtVP on the full workload ------------------------------
+
+TEST(LazyEagerTest, LazyStoreMatchesEagerOnAllWorkloads) {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = 0.04;
+  auto eager = core::S2Rdf::Create(watdiv::Generate(gen),
+                                   core::S2RdfOptions());
+  core::S2RdfOptions lazy_options;
+  lazy_options.lazy_extvp = true;
+  auto lazy = core::S2Rdf::Create(watdiv::Generate(gen), lazy_options);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(lazy.ok());
+  SplitMix64 rng(41);
+  for (const auto* workload :
+       {&watdiv::BasicTestingQueries(),
+        &watdiv::SelectivityTestingQueries()}) {
+    for (const watdiv::QueryTemplate& tmpl : *workload) {
+      SplitMix64 query_rng(rng.Next());
+      std::string query =
+          watdiv::InstantiateQuery(tmpl, gen.scale_factor, &query_rng);
+      auto a = (*eager)->Execute(query, core::Layout::kExtVp);
+      auto b = (*lazy)->Execute(query, core::Layout::kExtVp);
+      ASSERT_TRUE(a.ok()) << tmpl.name;
+      ASSERT_TRUE(b.ok()) << tmpl.name;
+      EXPECT_TRUE(engine::Table::SameBag(a->table, b->table)) << tmpl.name;
+      // Once warm, the lazy store reads exactly the eager inputs.
+      auto warm = (*lazy)->Execute(query, core::Layout::kExtVp);
+      ASSERT_TRUE(warm.ok());
+      EXPECT_EQ(warm->metrics.input_tuples, a->metrics.input_tuples)
+          << tmpl.name;
+    }
+  }
+  EXPECT_GT((*lazy)->lazy_pairs_computed(), 0u);
+}
+
+// --- ExtVP input reduction on real workload ------------------------------
+
+TEST(MetricsShapeTest, ExtVpReadsNoMoreInputThanVp) {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = 0.05;
+  core::S2RdfOptions options;
+  options.build_extvp_bitmaps = true;
+  auto db = core::S2Rdf::Create(watdiv::Generate(gen), options);
+  ASSERT_TRUE(db.ok());
+  SplitMix64 rng(3);
+  for (const watdiv::QueryTemplate& tmpl :
+       watdiv::SelectivityTestingQueries()) {
+    SplitMix64 query_rng(rng.Next());
+    std::string query =
+        watdiv::InstantiateQuery(tmpl, gen.scale_factor, &query_rng);
+    auto extvp = (*db)->Execute(query, core::Layout::kExtVp);
+    auto vp = (*db)->Execute(query, core::Layout::kVp);
+    auto bitmap = (*db)->Execute(query, core::Layout::kExtVpBitmap);
+    ASSERT_TRUE(extvp.ok());
+    ASSERT_TRUE(vp.ok());
+    ASSERT_TRUE(bitmap.ok());
+    EXPECT_LE(extvp->metrics.input_tuples, vp->metrics.input_tuples)
+        << tmpl.name;
+    // Correlation intersection can only help relative to the single
+    // best ExtVP table (the paper's unification-strategy conjecture).
+    EXPECT_LE(bitmap->metrics.input_tuples, extvp->metrics.input_tuples)
+        << tmpl.name;
+    EXPECT_TRUE(engine::Table::SameBag(extvp->table, vp->table)) << tmpl.name;
+    EXPECT_TRUE(engine::Table::SameBag(bitmap->table, vp->table))
+        << tmpl.name;
+  }
+}
+
+}  // namespace
+}  // namespace s2rdf

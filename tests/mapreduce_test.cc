@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "mapreduce/external_sort.h"
+#include "mapreduce/job.h"
+#include "mapreduce/record.h"
+
+namespace s2rdf::mapreduce {
+namespace {
+
+TEST(RecordTest, SerializeRoundtrip) {
+  std::vector<Record> records = {
+      {{1, 2}, {3}},
+      {{}, {}},
+      {{0xffffffff}, {1, 2, 3, 4, 5}},
+  };
+  std::vector<Record> back;
+  ASSERT_TRUE(ParseRecords(SerializeRecords(records), &back).ok());
+  EXPECT_EQ(back, records);
+}
+
+TEST(RecordTest, ParseRejectsTruncation) {
+  std::vector<Record> records = {{{1, 2, 3}, {4, 5, 6}}};
+  std::string blob = SerializeRecords(records);
+  blob.resize(blob.size() - 2);
+  std::vector<Record> back;
+  EXPECT_FALSE(ParseRecords(blob, &back).ok());
+}
+
+TEST(RecordTest, FileRoundtrip) {
+  ScopedTempDir dir;
+  std::vector<Record> records;
+  for (uint32_t i = 0; i < 1000; ++i) records.push_back({{i % 7}, {i}});
+  ASSERT_TRUE(WriteRecordFile(dir.path() + "/r.rec", records).ok());
+  auto back = ReadRecordFile(dir.path() + "/r.rec");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, records);
+}
+
+TEST(RecordTest, OrderingByKeyThenValue) {
+  Record a{{1, 2}, {9}};
+  Record b{{1, 3}, {0}};
+  Record c{{1, 2}, {10}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c || c < a);  // Value tie-break is total.
+}
+
+class ExternalSortTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExternalSortTest, SortsRegardlessOfMemoryBudget) {
+  ScopedTempDir dir;
+  SplitMix64 rng(11);
+  std::vector<Record> records;
+  for (int i = 0; i < 5000; ++i) {
+    records.push_back({{static_cast<uint32_t>(rng.Uniform(100))},
+                       {static_cast<uint32_t>(i)}});
+  }
+  std::string in = dir.path() + "/in.rec";
+  std::string out = dir.path() + "/out.rec";
+  ASSERT_TRUE(WriteRecordFile(in, records).ok());
+  auto stats = SortRecordFile(in, out, dir.path(), GetParam());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, records.size());
+  if (GetParam() < records.size()) {
+    EXPECT_GT(stats->runs, 1u);
+    EXPECT_GT(stats->spilled_bytes, 0u);
+  } else {
+    EXPECT_EQ(stats->runs, 1u);
+  }
+  auto sorted = ReadRecordFile(out);
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->size(), records.size());
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end()));
+  std::sort(records.begin(), records.end());
+  EXPECT_EQ(*sorted, records);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryBudgets, ExternalSortTest,
+                         ::testing::Values(64, 512, 1000000));
+
+TEST(JobTest, GroupCountJob) {
+  ScopedTempDir dir;
+  // Input: (key, 1) pairs; reduce sums the group.
+  std::vector<Record> input;
+  for (uint32_t i = 0; i < 300; ++i) input.push_back({{}, {i % 3, 1}});
+  std::string in = dir.path() + "/in.rec";
+  ASSERT_TRUE(WriteRecordFile(in, input).ok());
+
+  JobConfig config;
+  config.work_dir = dir.path();
+  config.num_reducers = 3;
+  Mapper mapper = [](const Record& r, std::vector<Record>* out) {
+    out->push_back({{r.value[0]}, {r.value[1]}});
+  };
+  Reducer reducer = [](const std::vector<uint32_t>& key,
+                       const std::vector<Record>& group,
+                       std::vector<Record>* out) {
+    uint32_t sum = 0;
+    for (const Record& r : group) sum += r.value[0];
+    out->push_back({key, {sum}});
+  };
+  std::string out_path = dir.path() + "/out.rec";
+  auto metrics = RunJob(config, {in}, mapper, reducer, out_path);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->map_input_records, 300u);
+  EXPECT_EQ(metrics->map_output_records, 300u);
+  EXPECT_EQ(metrics->reduce_output_records, 3u);
+  EXPECT_GT(metrics->shuffle_bytes, 0u);
+
+  auto result = ReadRecordFile(out_path);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  for (const Record& r : *result) EXPECT_EQ(r.value[0], 100u);
+}
+
+TEST(JobTest, MultipleInputsAreConcatenated) {
+  ScopedTempDir dir;
+  ASSERT_TRUE(WriteRecordFile(dir.path() + "/a.rec", {{{}, {1}}}).ok());
+  ASSERT_TRUE(WriteRecordFile(dir.path() + "/b.rec", {{{}, {2}}}).ok());
+  JobConfig config;
+  config.work_dir = dir.path();
+  config.num_reducers = 2;
+  Mapper identity = [](const Record& r, std::vector<Record>* out) {
+    out->push_back({{0}, r.value});
+  };
+  Reducer passthrough = [](const std::vector<uint32_t>&,
+                           const std::vector<Record>& group,
+                           std::vector<Record>* out) {
+    for (const Record& r : group) out->push_back(r);
+  };
+  auto metrics = RunJob(config, {dir.path() + "/a.rec", dir.path() + "/b.rec"},
+                        identity, passthrough, dir.path() + "/out.rec");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->map_input_records, 2u);
+  EXPECT_EQ(metrics->reduce_output_records, 2u);
+}
+
+TEST(JobTest, RejectsBadConfig) {
+  JobConfig config;
+  config.work_dir = "/tmp";
+  config.num_reducers = 0;
+  Mapper m = [](const Record&, std::vector<Record>*) {};
+  Reducer r = [](const std::vector<uint32_t>&, const std::vector<Record>&,
+                 std::vector<Record>*) {};
+  EXPECT_FALSE(RunJob(config, {}, m, r, "/tmp/out.rec").ok());
+}
+
+}  // namespace
+}  // namespace s2rdf::mapreduce

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+#include "sparql/results_io.h"
+
+namespace s2rdf::sparql {
+namespace {
+
+struct Fixture {
+  rdf::Dictionary dict;
+  engine::Table table{std::vector<std::string>{"x", "name", "age"}};
+
+  Fixture() {
+    rdf::TermId a = dict.Encode("<http://e/A>");
+    rdf::TermId name = dict.Encode("\"Alice \\\"Al\\\"\"@en");
+    rdf::TermId age =
+        dict.Encode("\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    rdf::TermId blank = dict.Encode("_:b0");
+    table.AppendRow({a, name, age});
+    table.AppendRow({blank, engine::kNullTermId, age});
+  }
+};
+
+TEST(ResultsIoTest, JsonFormat) {
+  Fixture f;
+  std::string json = ResultsToJson(f.table, f.dict);
+  EXPECT_NE(json.find("\"vars\": [\"x\", \"name\", \"age\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"uri\", \"value\": \"http://e/A\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"xml:lang\": \"en\""), std::string::npos);
+  EXPECT_NE(json.find("\"datatype\": "
+                      "\"http://www.w3.org/2001/XMLSchema#integer\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"bnode\""), std::string::npos);
+  // The escaped quote inside the literal survives JSON escaping.
+  EXPECT_NE(json.find("Alice \\\"Al\\\""), std::string::npos);
+  // Unbound binding omitted: the second row has no "name" key after
+  // its bnode binding.
+  size_t second_row = json.find("bnode");
+  ASSERT_NE(second_row, std::string::npos);
+  EXPECT_EQ(json.find("\"name\"", second_row), std::string::npos);
+}
+
+TEST(ResultsIoTest, XmlFormat) {
+  Fixture f;
+  std::string xml = ResultsToXml(f.table, f.dict);
+  EXPECT_NE(xml.find("<variable name=\"x\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("<uri>http://e/A</uri>"), std::string::npos);
+  EXPECT_NE(xml.find("<literal xml:lang=\"en\">"), std::string::npos);
+  EXPECT_NE(xml.find("<bnode>b0</bnode>"), std::string::npos);
+  EXPECT_NE(xml.find("datatype=\"http://www.w3.org/2001/"
+                     "XMLSchema#integer\""),
+            std::string::npos);
+}
+
+TEST(ResultsIoTest, CsvQuotesSpecialCharacters) {
+  rdf::Dictionary dict;
+  engine::Table t({"v"});
+  t.AppendRow({dict.Encode("\"a,b\"")});
+  t.AppendRow({dict.Encode("\"say \\\"hi\\\"\"")});
+  t.AppendRow({dict.Encode("<http://e/plain>")});
+  std::string csv = ResultsToCsv(t, dict);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("http://e/plain"), std::string::npos);
+}
+
+TEST(ResultsIoTest, TsvUsesNTriplesSyntax) {
+  Fixture f;
+  std::string tsv = ResultsToTsv(f.table, f.dict);
+  EXPECT_NE(tsv.find("?x\t?name\t?age"), std::string::npos);
+  EXPECT_NE(tsv.find("<http://e/A>"), std::string::npos);
+  EXPECT_NE(tsv.find("\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+            std::string::npos);
+}
+
+TEST(ResultsIoTest, AskFormats) {
+  EXPECT_NE(AskToJson(true).find("\"boolean\": true"), std::string::npos);
+  EXPECT_NE(AskToJson(false).find("\"boolean\": false"), std::string::npos);
+  EXPECT_NE(AskToXml(true).find("<boolean>true</boolean>"),
+            std::string::npos);
+}
+
+TEST(ResultsIoTest, EmptyTable) {
+  rdf::Dictionary dict;
+  engine::Table t({"a"});
+  EXPECT_NE(ResultsToJson(t, dict).find("\"bindings\": [\n  ]"),
+            std::string::npos);
+  EXPECT_NE(ResultsToXml(t, dict).find("<results>\n  </results>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2rdf::sparql

@@ -1,0 +1,218 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/s2rdf.h"
+#include "server/http.h"
+#include "server/sparql_endpoint.h"
+
+namespace s2rdf::server {
+namespace {
+
+// --- HTTP plumbing --------------------------------------------------------
+
+TEST(HttpTest, ParseGetRequest) {
+  auto request = ParseHttpRequest(
+      "GET /sparql?query=SELECT%20*&x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Accept: application/json\r\n"
+      "\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/sparql");
+  EXPECT_EQ(request->query_string, "query=SELECT%20*&x=1");
+  EXPECT_EQ(request->Header("accept"), "application/json");
+  EXPECT_EQ(request->Header("host"), "localhost");
+  EXPECT_EQ(request->Header("missing"), "");
+}
+
+TEST(HttpTest, ParsePostWithBody) {
+  auto request = ParseHttpRequest(
+      "POST /sparql HTTP/1.1\r\n"
+      "Content-Type: application/x-www-form-urlencoded\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "query=ASK{}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->body, "query=ASK{}");
+}
+
+TEST(HttpTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseHttpRequest("not http").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET\r\n\r\n").ok());
+}
+
+TEST(HttpTest, PercentDecode) {
+  EXPECT_EQ(PercentDecode("a%20b+c%3F"), "a b c?");
+  EXPECT_EQ(PercentDecode("100%"), "100%");  // Dangling % passes through.
+  EXPECT_EQ(PercentDecode("%zz"), "%zz");    // Bad hex passes through.
+}
+
+TEST(HttpTest, ParseQueryString) {
+  auto params = ParseQueryString("query=SELECT%20%2A&format=json&flag");
+  EXPECT_EQ(params["query"], "SELECT *");
+  EXPECT_EQ(params["format"], "json");
+  EXPECT_TRUE(params.contains("flag"));
+}
+
+TEST(HttpTest, ResponseSerialization) {
+  HttpResponse response;
+  response.status_code = 404;
+  response.body = "nope";
+  std::string wire = response.Serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 4"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nnope"), std::string::npos);
+}
+
+// --- Endpoint request handling ----------------------------------------------
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::Graph g;
+    g.AddIris("A", "follows", "B");
+    g.AddIris("B", "follows", "C");
+    g.AddIris("A", "likes", "I1");
+    auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    endpoint_ = std::make_unique<SparqlEndpoint>(db_.get());
+  }
+
+  HttpResponse Get(const std::string& target,
+                   const std::string& accept = "") {
+    HttpRequest request;
+    request.method = "GET";
+    size_t question = target.find('?');
+    request.path = target.substr(0, question);
+    if (question != std::string::npos) {
+      request.query_string = target.substr(question + 1);
+    }
+    if (!accept.empty()) request.headers["accept"] = accept;
+    return endpoint_->Handle(request);
+  }
+
+  std::unique_ptr<core::S2Rdf> db_;
+  std::unique_ptr<SparqlEndpoint> endpoint_;
+};
+
+TEST_F(EndpointTest, SelectQueryReturnsJson) {
+  HttpResponse response = Get(
+      "/sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20"
+      "%3Fo%20%7D");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.content_type, "application/sparql-results+json");
+  EXPECT_NE(response.body.find("\"bindings\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"type\": \"uri\""), std::string::npos);
+}
+
+TEST_F(EndpointTest, AcceptHeaderSelectsFormat) {
+  std::string target =
+      "/sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20"
+      "%3Fo%20%7D";
+  EXPECT_EQ(Get(target, "application/sparql-results+xml").content_type,
+            "application/sparql-results+xml");
+  EXPECT_EQ(Get(target, "text/csv").content_type,
+            "text/csv; charset=utf-8");
+  EXPECT_EQ(Get(target, "text/tab-separated-values").content_type,
+            "text/tab-separated-values; charset=utf-8");
+}
+
+TEST_F(EndpointTest, PostFormAndRawQuery) {
+  HttpRequest form;
+  form.method = "POST";
+  form.path = "/sparql";
+  form.headers["content-type"] = "application/x-www-form-urlencoded";
+  form.body = "query=ASK%20%7B%20%3CA%3E%20%3Cfollows%3E%20%3CB%3E%20%7D";
+  HttpResponse r1 = endpoint_->Handle(form);
+  EXPECT_EQ(r1.status_code, 200);
+  EXPECT_NE(r1.body.find("true"), std::string::npos);
+
+  HttpRequest raw;
+  raw.method = "POST";
+  raw.path = "/sparql";
+  raw.headers["content-type"] = "application/sparql-query";
+  raw.body = "ASK { <A> <follows> <C> }";
+  HttpResponse r2 = endpoint_->Handle(raw);
+  EXPECT_EQ(r2.status_code, 200);
+  EXPECT_NE(r2.body.find("false"), std::string::npos);
+}
+
+TEST_F(EndpointTest, ErrorPaths) {
+  EXPECT_EQ(Get("/nope").status_code, 404);
+  EXPECT_EQ(Get("/sparql").status_code, 400);  // Missing query param.
+  EXPECT_EQ(Get("/sparql?query=NOT%20SPARQL").status_code, 400);
+  HttpRequest bad_type;
+  bad_type.method = "POST";
+  bad_type.path = "/sparql";
+  bad_type.headers["content-type"] = "application/weird";
+  EXPECT_EQ(endpoint_->Handle(bad_type).status_code, 415);
+  HttpRequest put;
+  put.method = "PUT";
+  put.path = "/sparql";
+  EXPECT_EQ(endpoint_->Handle(put).status_code, 405);
+}
+
+TEST_F(EndpointTest, ConstructReturnsNTriples) {
+  HttpRequest raw;
+  raw.method = "POST";
+  raw.path = "/sparql";
+  raw.headers["content-type"] = "application/sparql-query";
+  raw.body = "CONSTRUCT { ?y <rev> ?x . } WHERE { ?x <follows> ?y . }";
+  HttpResponse response = endpoint_->Handle(raw);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.content_type.find("application/n-triples"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("<B> <rev> <A> ."), std::string::npos);
+}
+
+TEST_F(EndpointTest, StatusPage) {
+  HttpResponse response = Get("/");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("S2RDF"), std::string::npos);
+}
+
+// --- Live socket round trip -----------------------------------------------
+
+TEST_F(EndpointTest, SocketRoundTrip) {
+  auto port = endpoint_->Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(*port));
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request =
+      "POST /sparql HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/sparql-query\r\n"
+      "Content-Length: 35\r\n"
+      "\r\n"
+      "SELECT * WHERE { ?s <likes> ?o . }\n";
+  ASSERT_EQ(write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  endpoint_->Stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/sparql-results+json"),
+            std::string::npos);
+  EXPECT_NE(response.find("I1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2rdf::server

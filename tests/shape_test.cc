@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sparql/parser.h"
+#include "sparql/shape.h"
+#include "watdiv/queries.h"
+
+namespace s2rdf::sparql {
+namespace {
+
+ShapeInfo Analyze(const std::string& where_clause) {
+  auto q = ParseQuery("PREFIX e: <http://e/>\nSELECT * WHERE {" +
+                      where_clause + "}");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return AnalyzeBgpShape(q->where.triples);
+}
+
+TEST(ShapeTest, SinglePattern) {
+  ShapeInfo info = Analyze("?x e:p ?y .");
+  EXPECT_EQ(info.shape, QueryShape::kSingle);
+  EXPECT_EQ(info.diameter, 0);
+}
+
+TEST(ShapeTest, StarWithCenter) {
+  ShapeInfo info = Analyze(
+      "?x e:p ?a . ?x e:q ?b . ?x e:r ?c . ?x e:s ?d .");
+  EXPECT_EQ(info.shape, QueryShape::kStar);
+  EXPECT_EQ(info.center_variable, "x");
+  EXPECT_EQ(info.diameter, 1);  // Paper: "star ... diameter of one".
+}
+
+TEST(ShapeTest, LinearChain) {
+  ShapeInfo info = Analyze(
+      "?a e:p ?b . ?b e:p ?c . ?c e:p ?d . ?d e:p ?e .");
+  EXPECT_EQ(info.shape, QueryShape::kLinear);
+  EXPECT_EQ(info.diameter, 3);  // 4 patterns = 3 edges.
+}
+
+TEST(ShapeTest, TwoPatternsAreLinear) {
+  EXPECT_EQ(Analyze("?a e:p ?b . ?b e:q ?c .").shape, QueryShape::kLinear);
+  EXPECT_EQ(Analyze("?a e:p ?b . ?a e:q ?c .").shape, QueryShape::kLinear);
+}
+
+TEST(ShapeTest, SnowflakeIsStarsJoinedByPath) {
+  // Fig. 3's snowflake: two stars joined through ?x—?y.
+  ShapeInfo info = Analyze(
+      "?x e:likes ?z1 . ?x e:likes2 ?z2 . ?x e:follows ?y . "
+      "?y e:likes3 ?z3 . ?y e:likes4 ?z4 .");
+  EXPECT_EQ(info.shape, QueryShape::kSnowflake);
+}
+
+TEST(ShapeTest, CycleIsComplex) {
+  // Q1 of the paper: a 4-cycle x->y->z->w->x.
+  ShapeInfo info = Analyze(
+      "?x e:likes ?w . ?x e:follows ?y . ?y e:follows ?z . "
+      "?z e:likes ?w .");
+  EXPECT_EQ(info.shape, QueryShape::kComplex);
+  EXPECT_EQ(info.num_patterns, 4);
+}
+
+TEST(ShapeTest, ParallelEdgesAreComplex) {
+  EXPECT_EQ(Analyze("?x e:p ?y . ?x e:q ?y . ?x e:r ?z .").shape,
+            QueryShape::kComplex);
+}
+
+TEST(ShapeTest, DisconnectedPatterns) {
+  EXPECT_EQ(Analyze("?a e:p ?b . ?c e:q ?d .").shape,
+            QueryShape::kDisconnected);
+}
+
+// The Basic Testing workload exercises the shapes its category names
+// promise. (WatDiv's "C" category is about composition/result size:
+// C1/C2 are structurally snowflakes and C3 is a star.)
+struct ExpectedShape {
+  const char* query;
+  QueryShape shape;
+};
+
+class WorkloadShapeTest : public ::testing::TestWithParam<ExpectedShape> {};
+
+TEST_P(WorkloadShapeTest, MatchesCategory) {
+  const watdiv::QueryTemplate* tmpl = watdiv::FindQuery(GetParam().query);
+  ASSERT_NE(tmpl, nullptr);
+  SplitMix64 rng(3);
+  auto q = ParseQuery(watdiv::InstantiateQuery(*tmpl, 1.0, &rng));
+  ASSERT_TRUE(q.ok());
+  ShapeInfo info = AnalyzeBgpShape(q->where.triples);
+  EXPECT_EQ(info.shape, GetParam().shape)
+      << GetParam().query << " classified as "
+      << QueryShapeName(info.shape);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasicTesting, WorkloadShapeTest,
+    ::testing::Values(
+        ExpectedShape{"L1", QueryShape::kLinear},
+        ExpectedShape{"L2", QueryShape::kLinear},
+        ExpectedShape{"L3", QueryShape::kLinear},
+        ExpectedShape{"L4", QueryShape::kLinear},
+        ExpectedShape{"L5", QueryShape::kLinear},
+        ExpectedShape{"S1", QueryShape::kStar},
+        ExpectedShape{"S2", QueryShape::kStar},
+        ExpectedShape{"S3", QueryShape::kStar},
+        ExpectedShape{"S5", QueryShape::kStar},
+        ExpectedShape{"S6", QueryShape::kStar},
+        ExpectedShape{"S7", QueryShape::kStar},
+        ExpectedShape{"F1", QueryShape::kSnowflake},
+        ExpectedShape{"F2", QueryShape::kSnowflake},
+        ExpectedShape{"F3", QueryShape::kSnowflake},
+        ExpectedShape{"F5", QueryShape::kSnowflake},
+        ExpectedShape{"C3", QueryShape::kStar}),
+    [](const ::testing::TestParamInfo<ExpectedShape>& info) {
+      return info.param.query;
+    });
+
+TEST(WorkloadShapeTest, IlChainsAreLinearWithGrowingDiameter) {
+  SplitMix64 rng(3);
+  for (int k = 5; k <= 10; ++k) {
+    const watdiv::QueryTemplate* tmpl =
+        watdiv::FindQuery("IL-3-" + std::to_string(k));
+    ASSERT_NE(tmpl, nullptr);
+    auto q = ParseQuery(watdiv::InstantiateQuery(*tmpl, 1.0, &rng));
+    ASSERT_TRUE(q.ok());
+    ShapeInfo info = AnalyzeBgpShape(q->where.triples);
+    EXPECT_EQ(info.shape, QueryShape::kLinear) << tmpl->name;
+    EXPECT_EQ(info.diameter, k - 1) << tmpl->name;
+  }
+}
+
+}  // namespace
+}  // namespace s2rdf::sparql

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "storage/catalog.h"
+#include "storage/encoding.h"
+#include "storage/table_file.h"
+
+namespace s2rdf::storage {
+namespace {
+
+TEST(EncodingTest, VarintRoundtrip) {
+  std::string buf;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1ull << 32, ~0ull};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(EncodingTest, VarintTruncationDetected) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &v));
+}
+
+TEST(EncodingTest, ZigZag) {
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(0)), 0);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-1)), -1);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(123456789)), 123456789);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-987654321)), -987654321);
+}
+
+void RoundtripColumn(const std::vector<uint32_t>& column) {
+  std::string block = EncodeColumn(column);
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(DecodeColumn(block, &back).ok());
+  EXPECT_EQ(back, column);
+}
+
+TEST(EncodingTest, ColumnRoundtripEmpty) { RoundtripColumn({}); }
+
+TEST(EncodingTest, ColumnRoundtripPlain) {
+  RoundtripColumn({5, 1, 9, 2, 8, 1000000, 3});
+}
+
+TEST(EncodingTest, ColumnRlePicksRleAndRoundtrips) {
+  std::vector<uint32_t> runs(1000, 7);
+  runs.resize(2000, 9);
+  std::string block = EncodeColumn(runs);
+  EXPECT_EQ(static_cast<ColumnCodec>(block[0]), ColumnCodec::kRle);
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(DecodeColumn(block, &back).ok());
+  EXPECT_EQ(back, runs);
+}
+
+TEST(EncodingTest, ColumnDeltaWinsOnSorted) {
+  std::vector<uint32_t> sorted;
+  for (uint32_t i = 0; i < 1000; ++i) sorted.push_back(1000000 + i * 3);
+  std::string block = EncodeColumn(sorted);
+  EXPECT_EQ(static_cast<ColumnCodec>(block[0]), ColumnCodec::kDeltaVarint);
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(DecodeColumn(block, &back).ok());
+  EXPECT_EQ(back, sorted);
+}
+
+TEST(EncodingTest, DecodeRejectsGarbage) {
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(DecodeColumn("", &out).ok());
+  EXPECT_FALSE(DecodeColumn("\x07junk", &out).ok());
+}
+
+engine::Table MakeTable() {
+  engine::Table t({"s", "o"});
+  for (uint32_t i = 0; i < 500; ++i) t.AppendRow({i / 10, i * 7 % 97});
+  return t;
+}
+
+TEST(TableFileTest, SerializeRoundtrip) {
+  engine::Table t = MakeTable();
+  auto back = DeserializeTable(SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(engine::Table::SameBag(t, *back));
+}
+
+TEST(TableFileTest, ChecksumDetectsCorruption) {
+  std::string blob = SerializeTable(MakeTable());
+  blob[blob.size() / 2] ^= 0x40;
+  EXPECT_FALSE(DeserializeTable(blob).ok());
+}
+
+TEST(TableFileTest, SaveLoadFile) {
+  ScopedTempDir dir;
+  engine::Table t = MakeTable();
+  auto bytes = SaveTable(t, dir.path() + "/t.s2tb");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(*bytes, 0u);
+  auto back = LoadTable(dir.path() + "/t.s2tb");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(engine::Table::SameBag(t, *back));
+}
+
+TEST(TableFileTest, CompressionBeatsRawForRepetitiveData) {
+  engine::Table t({"s", "o"});
+  for (uint32_t i = 0; i < 10000; ++i) t.AppendRow({3, i});
+  std::string blob = SerializeTable(t);
+  EXPECT_LT(blob.size(), 10000u * 2 * 4);  // Smaller than raw u32 columns.
+}
+
+TEST(CatalogTest, PutAndGet) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 0.5).ok());
+  EXPECT_TRUE(catalog.Has("t1"));
+  const TableStats* stats = catalog.GetStats("t1");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->rows, 500u);
+  EXPECT_DOUBLE_EQ(stats->selectivity, 0.5);
+  EXPECT_TRUE(stats->materialized);
+  EXPECT_GT(stats->bytes, 0u);
+  auto table = catalog.GetTable("t1");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 500u);
+}
+
+TEST(CatalogTest, StatsOnlyEntryIsNotLoadable) {
+  Catalog catalog("");
+  catalog.PutStatsOnly("ghost", 17, 1.0);
+  EXPECT_TRUE(catalog.Has("ghost"));
+  EXPECT_FALSE(catalog.GetStats("ghost")->materialized);
+  EXPECT_FALSE(catalog.GetTable("ghost").ok());
+}
+
+TEST(CatalogTest, EvictAndReloadFromDisk) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  catalog.EvictFromMemory("t1");
+  auto table = catalog.GetTable("t1");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 500u);
+}
+
+TEST(CatalogTest, ManifestRoundtrip) {
+  ScopedTempDir dir;
+  {
+    Catalog catalog(dir.path());
+    ASSERT_TRUE(catalog.Put("t1", MakeTable(), 0.25).ok());
+    catalog.PutStatsOnly("t2", 99, 0.75);
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+  }
+  Catalog restored(dir.path());
+  ASSERT_TRUE(restored.LoadManifest().ok());
+  EXPECT_EQ(restored.NumStatsEntries(), 2u);
+  EXPECT_DOUBLE_EQ(restored.GetStats("t1")->selectivity, 0.25);
+  EXPECT_FALSE(restored.GetStats("t2")->materialized);
+  // Materialized table is loadable after restart.
+  auto table = restored.GetTable("t1");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 500u);
+}
+
+TEST(CatalogTest, InMemoryCatalogTracksSerializedBytes) {
+  Catalog catalog("");
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  EXPECT_GT(catalog.GetStats("t1")->bytes, 0u);
+  EXPECT_EQ(catalog.NumMaterializedTables(), 1u);
+  EXPECT_EQ(catalog.TotalTuples(), 500u);
+}
+
+TEST(CatalogTest, MemoryBudgetEvictsLru) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  ASSERT_TRUE(catalog.Put("t2", MakeTable(), 1.0).ok());
+  ASSERT_TRUE(catalog.Put("t3", MakeTable(), 1.0).ok());
+  uint64_t per_table = catalog.CachedBytes() / 3;
+  // Budget fits two tables; t1 is least recently used.
+  catalog.SetMemoryBudget(per_table * 2);
+  ASSERT_TRUE(catalog.GetTable("t1").ok());  // Touch t1: now t2 is LRU.
+  size_t evicted = catalog.EvictToBudget();
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_LE(catalog.CachedBytes(), per_table * 2);
+  // All tables remain loadable (the victim reloads from disk).
+  for (const char* name : {"t1", "t2", "t3"}) {
+    auto table = catalog.GetTable(name);
+    ASSERT_TRUE(table.ok()) << name;
+    EXPECT_EQ((*table)->NumRows(), 500u);
+  }
+}
+
+TEST(CatalogTest, InMemoryCatalogNeverEvicts) {
+  Catalog catalog("");
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  catalog.SetMemoryBudget(1);
+  EXPECT_EQ(catalog.EvictToBudget(), 0u);
+  EXPECT_TRUE(catalog.GetTable("t1").ok());
+}
+
+TEST(CatalogTest, CachedBytesTracksEvictions) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  uint64_t before = catalog.CachedBytes();
+  EXPECT_GT(before, 0u);
+  catalog.EvictFromMemory("t1");
+  EXPECT_EQ(catalog.CachedBytes(), 0u);
+  ASSERT_TRUE(catalog.GetTable("t1").ok());
+  EXPECT_EQ(catalog.CachedBytes(), before);
+}
+
+TEST(CatalogTest, ProviderResolvesTables) {
+  Catalog catalog("");
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  engine::TableProvider provider = catalog.AsProvider();
+  EXPECT_NE(provider("t1"), nullptr);
+  EXPECT_EQ(provider("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace s2rdf::storage

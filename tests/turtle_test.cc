@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace s2rdf::rdf {
+namespace {
+
+TEST(TurtleTest, PrefixedTriples) {
+  Graph g;
+  Status s = ParseTurtle(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:A ex:knows ex:B .\n"
+      "ex:B ex:knows ex:C .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_TRUE(
+      g.dictionary().Find("<http://example.org/A>").has_value());
+}
+
+TEST(TurtleTest, SparqlStylePrefix) {
+  Graph g;
+  Status s = ParseTurtle(
+      "PREFIX ex: <http://example.org/>\n"
+      "ex:A ex:p ex:B .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  Graph g;
+  Status s = ParseTurtle(
+      "@prefix ex: <http://e/> .\n"
+      "ex:A ex:p ex:B , ex:C ;\n"
+      "     ex:q ex:D ;\n"
+      "     .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(g.NumTriples(), 3u);
+}
+
+TEST(TurtleTest, AKeywordIsRdfType) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle("<http://e/A> a <http://e/Class> .", &g).ok());
+  EXPECT_TRUE(g.dictionary()
+                  .Find("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>")
+                  .has_value());
+}
+
+TEST(TurtleTest, LiteralFlavors) {
+  Graph g;
+  Status s = ParseTurtle(
+      "@prefix ex: <http://e/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:A ex:name \"Alice\" .\n"
+      "ex:A ex:greet \"bonjour\"@fr .\n"
+      "ex:A ex:age 42 .\n"
+      "ex:A ex:height 1.75 .\n"
+      "ex:A ex:score 3.2e1 .\n"
+      "ex:A ex:ok true .\n"
+      "ex:A ex:id \"x7\"^^xsd:string .\n"
+      "ex:A ex:note \"\"\"multi\nline\"\"\" .\n"
+      "ex:A ex:quoted 'single' .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(g.NumTriples(), 9u);
+  const Dictionary& dict = g.dictionary();
+  EXPECT_TRUE(dict.Find("\"Alice\"").has_value());
+  EXPECT_TRUE(dict.Find("\"bonjour\"@fr").has_value());
+  EXPECT_TRUE(
+      dict.Find("\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>")
+          .has_value());
+  EXPECT_TRUE(
+      dict.Find("\"1.75\"^^<http://www.w3.org/2001/XMLSchema#decimal>")
+          .has_value());
+  EXPECT_TRUE(
+      dict.Find("\"true\"^^<http://www.w3.org/2001/XMLSchema#boolean>")
+          .has_value());
+  EXPECT_TRUE(dict.Find("\"multi\\nline\"").has_value());
+  EXPECT_TRUE(dict.Find("\"single\"").has_value());
+}
+
+TEST(TurtleTest, BlankNodeLabels) {
+  Graph g;
+  ASSERT_TRUE(
+      ParseTurtle("_:a <http://e/p> _:b . _:b <http://e/p> _:a .", &g).ok());
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_TRUE(g.dictionary().Find("_:a").has_value());
+}
+
+TEST(TurtleTest, BaseResolution) {
+  Graph g;
+  Status s = ParseTurtle(
+      "@base <http://example.org/> .\n"
+      "<A> <p> <B> .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(g.dictionary().Find("<http://example.org/A>").has_value());
+}
+
+TEST(TurtleTest, CommentsIgnored) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle("# header\n<a> <b> <c> . # trailing\n# end\n",
+                          &g)
+                  .ok());
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(TurtleTest, ErrorsCarryLineNumbers) {
+  Graph g;
+  Status s = ParseTurtle("<a> <b> <c> .\n<a> <b> .\n", &g);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line"), std::string::npos);
+}
+
+TEST(TurtleTest, UnsupportedConstructsRejectedCleanly) {
+  Graph g;
+  EXPECT_FALSE(ParseTurtle("<a> <b> [ <c> <d> ] .", &g).ok());
+  EXPECT_FALSE(ParseTurtle("<a> <b> ( <c> <d> ) .", &g).ok());
+  EXPECT_FALSE(ParseTurtle("ex:A <b> <c> .", &g).ok());  // Undeclared.
+}
+
+TEST(TurtleTest, RoundtripThroughNTriples) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle(
+                  "@prefix ex: <http://e/> .\n"
+                  "ex:A ex:p ex:B ; ex:q \"v\" , 7 .\n",
+                  &g)
+                  .ok());
+  std::string nt = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(nt, &g2).ok());
+  EXPECT_EQ(g2.NumTriples(), g.NumTriples());
+}
+
+}  // namespace
+}  // namespace s2rdf::rdf

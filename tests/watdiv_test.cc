@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+#include "watdiv/schema.h"
+
+namespace s2rdf::watdiv {
+namespace {
+
+TEST(SchemaTest, EntityIrisAreCanonical) {
+  EXPECT_EQ(EntityIri(EntityClass::kUser, 42),
+            "<http://db.uwaterloo.ca/~galuc/wsdbm/User42>");
+  EXPECT_EQ(EntityIri(EntityClass::kProductCategory, 2),
+            "<http://db.uwaterloo.ca/~galuc/wsdbm/ProductCategory2>");
+}
+
+TEST(SchemaTest, CountsScaleOnlyForScalableClasses) {
+  EXPECT_EQ(EntityCount(EntityClass::kUser, 2.0),
+            2 * EntityCount(EntityClass::kUser, 1.0));
+  EXPECT_EQ(EntityCount(EntityClass::kCountry, 2.0),
+            EntityCount(EntityClass::kCountry, 1.0));
+  EXPECT_GE(EntityCount(EntityClass::kUser, 0.001), 1u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorOptions options;
+  options.scale_factor = 0.02;
+  rdf::Graph a = Generate(options);
+  rdf::Graph b = Generate(options);
+  EXPECT_EQ(rdf::WriteNTriples(a), rdf::WriteNTriples(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a;
+  a.scale_factor = 0.02;
+  GeneratorOptions b = a;
+  b.seed = 7;
+  EXPECT_NE(rdf::WriteNTriples(Generate(a)), rdf::WriteNTriples(Generate(b)));
+}
+
+TEST(GeneratorTest, TripleCountScalesRoughlyLinearly) {
+  GeneratorOptions small;
+  small.scale_factor = 0.1;
+  GeneratorOptions large;
+  large.scale_factor = 0.2;
+  size_t n_small = Generate(small).NumTriples();
+  size_t n_large = Generate(large).NumTriples();
+  EXPECT_GT(n_small, 5000u);
+  double ratio = static_cast<double>(n_large) / static_cast<double>(n_small);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(GeneratorTest, PredicateFractionsMatchPaperShape) {
+  GeneratorOptions options;
+  options.scale_factor = 0.2;
+  rdf::Graph g = Generate(options);
+  std::map<std::string, uint64_t> counts;
+  for (const rdf::Triple& t : g.triples()) {
+    ++counts[g.dictionary().Decode(t.predicate)];
+  }
+  const double n = static_cast<double>(g.NumTriples());
+  double friend_of =
+      counts["<http://db.uwaterloo.ca/~galuc/wsdbm/friendOf>"] / n;
+  double follows =
+      counts["<http://db.uwaterloo.ca/~galuc/wsdbm/follows>"] / n;
+  double likes = counts["<http://db.uwaterloo.ca/~galuc/wsdbm/likes>"] / n;
+  // Paper: friendOf ~ 0.41|G|, follows ~ 0.30|G|, likes ~ 0.011|G|.
+  EXPECT_GT(friend_of, 0.35);
+  EXPECT_LT(friend_of, 0.52);
+  EXPECT_GT(follows, 0.25);
+  EXPECT_LT(follows, 0.40);
+  EXPECT_GT(likes, 0.005);
+  EXPECT_LT(likes, 0.03);
+  // Users never carry sorg:language (ST-8 empty-result structure).
+  // sorg:language exists but only on products/websites.
+  EXPECT_GT(counts["<http://schema.org/language>"], 0u);
+}
+
+TEST(GeneratorTest, IlChainPredicatesAllExist) {
+  GeneratorOptions options;
+  options.scale_factor = 0.2;
+  rdf::Graph g = Generate(options);
+  const char* needed[] = {
+      "<http://db.uwaterloo.ca/~galuc/wsdbm/makesPurchase>",
+      "<http://db.uwaterloo.ca/~galuc/wsdbm/purchaseFor>",
+      "<http://purl.org/stuff/rev#hasReview>",
+      "<http://purl.org/stuff/rev#reviewer>",
+      "<http://schema.org/author>",
+      "<http://schema.org/director>",
+      "<http://schema.org/editor>",
+      "<http://purl.org/goodrelations/offers>",
+      "<http://purl.org/goodrelations/includes>",
+      "<http://purl.org/dc/terms/Location>",
+      "<http://www.geonames.org/ontology#parentCountry>",
+      "<http://xmlns.com/foaf/homepage>",
+  };
+  for (const char* pred : needed) {
+    EXPECT_TRUE(g.dictionary().Find(pred).has_value()) << pred;
+  }
+}
+
+TEST(QueriesTest, WorkloadSizesMatchPaper) {
+  EXPECT_EQ(BasicTestingQueries().size(), 20u);      // L1-5 S1-7 F1-5 C1-3.
+  EXPECT_EQ(SelectivityTestingQueries().size(), 20u);
+  EXPECT_EQ(IncrementalLinearQueries().size(), 18u);  // 3 families x 6.
+}
+
+TEST(QueriesTest, FindQueryWorks) {
+  ASSERT_NE(FindQuery("L1"), nullptr);
+  ASSERT_NE(FindQuery("ST-8-2"), nullptr);
+  ASSERT_NE(FindQuery("IL-3-10"), nullptr);
+  EXPECT_EQ(FindQuery("nope"), nullptr);
+}
+
+class AllQueriesParseTest
+    : public ::testing::TestWithParam<const QueryTemplate*> {};
+
+TEST_P(AllQueriesParseTest, InstantiatesAndParses) {
+  SplitMix64 rng(5);
+  std::string text = InstantiateQuery(*GetParam(), 1.0, &rng);
+  EXPECT_EQ(text.find('%'), std::string::npos) << text;
+  auto parsed = sparql::ParseQuery(text);
+  ASSERT_TRUE(parsed.ok()) << GetParam()->name << ": "
+                           << parsed.status().ToString() << "\n"
+                           << text;
+  EXPECT_FALSE(parsed->where.triples.empty());
+}
+
+std::vector<const QueryTemplate*> AllTemplates() {
+  std::vector<const QueryTemplate*> all;
+  for (const auto* workload :
+       {&BasicTestingQueries(), &SelectivityTestingQueries(),
+        &IncrementalLinearQueries()}) {
+    for (const QueryTemplate& q : *workload) all.push_back(&q);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, AllQueriesParseTest, ::testing::ValuesIn(AllTemplates()),
+    [](const ::testing::TestParamInfo<const QueryTemplate*>& info) {
+      std::string name = info.param->name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(QueriesTest, IlQueryDiametersAreCorrect) {
+  for (int k = 5; k <= 10; ++k) {
+    const QueryTemplate* q = FindQuery("IL-1-" + std::to_string(k));
+    ASSERT_NE(q, nullptr);
+    SplitMix64 rng(1);
+    auto parsed = sparql::ParseQuery(InstantiateQuery(*q, 1.0, &rng));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->where.triples.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(QueriesTest, InstantiationIsDeterministicPerSeed) {
+  const QueryTemplate* q = FindQuery("L1");
+  SplitMix64 a(9);
+  SplitMix64 b(9);
+  EXPECT_EQ(InstantiateQuery(*q, 1.0, &a), InstantiateQuery(*q, 1.0, &b));
+}
+
+}  // namespace
+}  // namespace s2rdf::watdiv
