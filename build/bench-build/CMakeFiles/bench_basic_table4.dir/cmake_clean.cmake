@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_basic_table4"
+  "../bench/bench_basic_table4.pdb"
+  "CMakeFiles/bench_basic_table4.dir/bench_basic_table4.cc.o"
+  "CMakeFiles/bench_basic_table4.dir/bench_basic_table4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

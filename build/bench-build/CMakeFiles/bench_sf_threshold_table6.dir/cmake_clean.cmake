@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sf_threshold_table6"
+  "../bench/bench_sf_threshold_table6.pdb"
+  "CMakeFiles/bench_sf_threshold_table6.dir/bench_sf_threshold_table6.cc.o"
+  "CMakeFiles/bench_sf_threshold_table6.dir/bench_sf_threshold_table6.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sf_threshold_table6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

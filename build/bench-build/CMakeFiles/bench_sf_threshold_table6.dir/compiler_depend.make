@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sf_threshold_table6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/s2rdf_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/s2rdf_bench_util.dir/engine_suite.cc.o"
+  "CMakeFiles/s2rdf_bench_util.dir/engine_suite.cc.o.d"
+  "libs2rdf_bench_util.a"
+  "libs2rdf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

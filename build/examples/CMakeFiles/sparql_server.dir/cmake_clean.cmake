@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_server.dir/sparql_server.cpp.o"
+  "CMakeFiles/sparql_server.dir/sparql_server.cpp.o.d"
+  "sparql_server"
+  "sparql_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

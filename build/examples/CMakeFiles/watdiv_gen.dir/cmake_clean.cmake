@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watdiv_gen.dir/watdiv_gen.cpp.o"
+  "CMakeFiles/watdiv_gen.dir/watdiv_gen.cpp.o.d"
+  "watdiv_gen"
+  "watdiv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watdiv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

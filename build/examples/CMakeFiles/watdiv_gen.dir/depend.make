@@ -1,0 +1,2 @@
+# Empty dependencies file for watdiv_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_baselines.dir/centralized_engine.cc.o"
+  "CMakeFiles/s2rdf_baselines.dir/centralized_engine.cc.o.d"
+  "CMakeFiles/s2rdf_baselines.dir/h2rdf_engine.cc.o"
+  "CMakeFiles/s2rdf_baselines.dir/h2rdf_engine.cc.o.d"
+  "CMakeFiles/s2rdf_baselines.dir/mr_sparql_engine.cc.o"
+  "CMakeFiles/s2rdf_baselines.dir/mr_sparql_engine.cc.o.d"
+  "CMakeFiles/s2rdf_baselines.dir/permutation_index.cc.o"
+  "CMakeFiles/s2rdf_baselines.dir/permutation_index.cc.o.d"
+  "CMakeFiles/s2rdf_baselines.dir/sempala_engine.cc.o"
+  "CMakeFiles/s2rdf_baselines.dir/sempala_engine.cc.o.d"
+  "libs2rdf_baselines.a"
+  "libs2rdf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_common.dir/bitmap.cc.o"
+  "CMakeFiles/s2rdf_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/s2rdf_common.dir/file_util.cc.o"
+  "CMakeFiles/s2rdf_common.dir/file_util.cc.o.d"
+  "CMakeFiles/s2rdf_common.dir/random.cc.o"
+  "CMakeFiles/s2rdf_common.dir/random.cc.o.d"
+  "CMakeFiles/s2rdf_common.dir/status.cc.o"
+  "CMakeFiles/s2rdf_common.dir/status.cc.o.d"
+  "CMakeFiles/s2rdf_common.dir/strings.cc.o"
+  "CMakeFiles/s2rdf_common.dir/strings.cc.o.d"
+  "libs2rdf_common.a"
+  "libs2rdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

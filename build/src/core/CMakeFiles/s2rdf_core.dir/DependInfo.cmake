@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/s2rdf_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/extvp_bitmap.cc" "src/core/CMakeFiles/s2rdf_core.dir/extvp_bitmap.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/extvp_bitmap.cc.o.d"
+  "/root/repo/src/core/layout_names.cc" "src/core/CMakeFiles/s2rdf_core.dir/layout_names.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/layout_names.cc.o.d"
+  "/root/repo/src/core/layouts.cc" "src/core/CMakeFiles/s2rdf_core.dir/layouts.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/layouts.cc.o.d"
+  "/root/repo/src/core/s2rdf.cc" "src/core/CMakeFiles/s2rdf_core.dir/s2rdf.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/s2rdf.cc.o.d"
+  "/root/repo/src/core/table_selection.cc" "src/core/CMakeFiles/s2rdf_core.dir/table_selection.cc.o" "gcc" "src/core/CMakeFiles/s2rdf_core.dir/table_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2rdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/s2rdf_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/s2rdf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s2rdf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/s2rdf_sparql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

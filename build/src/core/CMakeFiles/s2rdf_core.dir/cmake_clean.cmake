@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_core.dir/compiler.cc.o"
+  "CMakeFiles/s2rdf_core.dir/compiler.cc.o.d"
+  "CMakeFiles/s2rdf_core.dir/extvp_bitmap.cc.o"
+  "CMakeFiles/s2rdf_core.dir/extvp_bitmap.cc.o.d"
+  "CMakeFiles/s2rdf_core.dir/layout_names.cc.o"
+  "CMakeFiles/s2rdf_core.dir/layout_names.cc.o.d"
+  "CMakeFiles/s2rdf_core.dir/layouts.cc.o"
+  "CMakeFiles/s2rdf_core.dir/layouts.cc.o.d"
+  "CMakeFiles/s2rdf_core.dir/s2rdf.cc.o"
+  "CMakeFiles/s2rdf_core.dir/s2rdf.cc.o.d"
+  "CMakeFiles/s2rdf_core.dir/table_selection.cc.o"
+  "CMakeFiles/s2rdf_core.dir/table_selection.cc.o.d"
+  "libs2rdf_core.a"
+  "libs2rdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

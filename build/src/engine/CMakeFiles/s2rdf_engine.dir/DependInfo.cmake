@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregate.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/aggregate.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/aggregate.cc.o.d"
+  "/root/repo/src/engine/expression.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/expression.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/expression.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/parallel_join.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/parallel_join.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/parallel_join.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/s2rdf_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/s2rdf_engine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2rdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/s2rdf_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

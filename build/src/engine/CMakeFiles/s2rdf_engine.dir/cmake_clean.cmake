@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_engine.dir/aggregate.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/aggregate.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/expression.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/expression.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/operators.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/operators.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/parallel_join.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/parallel_join.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/plan.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/plan.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/table.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/table.cc.o.d"
+  "CMakeFiles/s2rdf_engine.dir/value.cc.o"
+  "CMakeFiles/s2rdf_engine.dir/value.cc.o.d"
+  "libs2rdf_engine.a"
+  "libs2rdf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

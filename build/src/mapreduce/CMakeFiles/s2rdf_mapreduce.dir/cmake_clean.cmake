@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_mapreduce.dir/external_sort.cc.o"
+  "CMakeFiles/s2rdf_mapreduce.dir/external_sort.cc.o.d"
+  "CMakeFiles/s2rdf_mapreduce.dir/job.cc.o"
+  "CMakeFiles/s2rdf_mapreduce.dir/job.cc.o.d"
+  "CMakeFiles/s2rdf_mapreduce.dir/record.cc.o"
+  "CMakeFiles/s2rdf_mapreduce.dir/record.cc.o.d"
+  "libs2rdf_mapreduce.a"
+  "libs2rdf_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/s2rdf_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/s2rdf_rdf.dir/graph.cc.o"
+  "CMakeFiles/s2rdf_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/s2rdf_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/s2rdf_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/s2rdf_rdf.dir/term.cc.o"
+  "CMakeFiles/s2rdf_rdf.dir/term.cc.o.d"
+  "CMakeFiles/s2rdf_rdf.dir/turtle.cc.o"
+  "CMakeFiles/s2rdf_rdf.dir/turtle.cc.o.d"
+  "libs2rdf_rdf.a"
+  "libs2rdf_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

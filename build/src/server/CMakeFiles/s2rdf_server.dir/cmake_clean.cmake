@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_server.dir/http.cc.o"
+  "CMakeFiles/s2rdf_server.dir/http.cc.o.d"
+  "CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o"
+  "CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o.d"
+  "libs2rdf_server.a"
+  "libs2rdf_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

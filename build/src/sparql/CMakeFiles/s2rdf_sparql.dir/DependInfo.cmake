@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/ast.cc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/ast.cc.o" "gcc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/ast.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/lexer.cc.o" "gcc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/parser.cc.o.d"
+  "/root/repo/src/sparql/results_io.cc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/results_io.cc.o" "gcc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/results_io.cc.o.d"
+  "/root/repo/src/sparql/shape.cc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/shape.cc.o" "gcc" "src/sparql/CMakeFiles/s2rdf_sparql.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2rdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/s2rdf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/s2rdf_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_sparql.dir/ast.cc.o"
+  "CMakeFiles/s2rdf_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/s2rdf_sparql.dir/lexer.cc.o"
+  "CMakeFiles/s2rdf_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/s2rdf_sparql.dir/parser.cc.o"
+  "CMakeFiles/s2rdf_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/s2rdf_sparql.dir/results_io.cc.o"
+  "CMakeFiles/s2rdf_sparql.dir/results_io.cc.o.d"
+  "CMakeFiles/s2rdf_sparql.dir/shape.cc.o"
+  "CMakeFiles/s2rdf_sparql.dir/shape.cc.o.d"
+  "libs2rdf_sparql.a"
+  "libs2rdf_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

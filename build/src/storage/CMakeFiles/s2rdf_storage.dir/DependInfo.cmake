@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/s2rdf_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/s2rdf_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/encoding.cc" "src/storage/CMakeFiles/s2rdf_storage.dir/encoding.cc.o" "gcc" "src/storage/CMakeFiles/s2rdf_storage.dir/encoding.cc.o.d"
+  "/root/repo/src/storage/table_file.cc" "src/storage/CMakeFiles/s2rdf_storage.dir/table_file.cc.o" "gcc" "src/storage/CMakeFiles/s2rdf_storage.dir/table_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2rdf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/s2rdf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/s2rdf_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

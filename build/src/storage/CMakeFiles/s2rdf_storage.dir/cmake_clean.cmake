@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_storage.dir/catalog.cc.o"
+  "CMakeFiles/s2rdf_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/s2rdf_storage.dir/encoding.cc.o"
+  "CMakeFiles/s2rdf_storage.dir/encoding.cc.o.d"
+  "CMakeFiles/s2rdf_storage.dir/table_file.cc.o"
+  "CMakeFiles/s2rdf_storage.dir/table_file.cc.o.d"
+  "libs2rdf_storage.a"
+  "libs2rdf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2rdf_watdiv.dir/generator.cc.o"
+  "CMakeFiles/s2rdf_watdiv.dir/generator.cc.o.d"
+  "CMakeFiles/s2rdf_watdiv.dir/queries.cc.o"
+  "CMakeFiles/s2rdf_watdiv.dir/queries.cc.o.d"
+  "CMakeFiles/s2rdf_watdiv.dir/schema.cc.o"
+  "CMakeFiles/s2rdf_watdiv.dir/schema.cc.o.d"
+  "libs2rdf_watdiv.a"
+  "libs2rdf_watdiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2rdf_watdiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

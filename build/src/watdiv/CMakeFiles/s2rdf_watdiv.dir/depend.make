@@ -1,0 +1,2 @@
+# Empty dependencies file for s2rdf_watdiv.
+# This may be replaced when dependencies are built.

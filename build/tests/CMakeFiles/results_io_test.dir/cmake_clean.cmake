@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_io_test.dir/results_io_test.cc.o"
+  "CMakeFiles/results_io_test.dir/results_io_test.cc.o.d"
+  "results_io_test"
+  "results_io_test.pdb"
+  "results_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
