@@ -71,10 +71,12 @@ StatusOr<RunOutcome> EngineSuite::Run(const std::string& name,
                                       const std::string& query) {
   RunOutcome outcome;
   if (name == "S2RDF-ExtVP" || name == "S2RDF-VP") {
-    core::Layout layout =
+    core::QueryRequest request;
+    request.query = query;
+    request.options.layout =
         name == "S2RDF-ExtVP" ? core::Layout::kExtVp : core::Layout::kVp;
     S2RDF_ASSIGN_OR_RETURN(core::QueryResult result,
-                           s2rdf_->Execute(query, layout));
+                           s2rdf_->Execute(request));
     outcome.measured_ms = result.millis;
     outcome.modeled_ms = result.millis;
     outcome.rows = result.table.NumRows();

@@ -205,18 +205,24 @@ bench-build/CMakeFiles/s2rdf_bench_util.dir/engine_suite.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/rdf/graph.h \
- /root/repo/src/rdf/dictionary.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
- /root/repo/src/common/hash.h /root/repo/src/engine/table.h \
- /root/repo/src/sparql/ast.h /root/repo/src/engine/aggregate.h \
- /root/repo/src/engine/exec_context.h /root/repo/src/engine/expression.h \
+ /usr/include/c++/12/variant /root/repo/src/rdf/term.h \
+ /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
+ /root/repo/src/engine/table.h /root/repo/src/sparql/ast.h \
+ /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/engine/expression.h \
  /root/repo/src/engine/value.h /root/repo/src/engine/operators.h \
  /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
  /root/repo/src/baselines/mr_sparql_engine.h \
@@ -234,12 +240,16 @@ bench-build/CMakeFiles/s2rdf_bench_util.dir/engine_suite.cc.o: \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/engine/plan.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/engine/plan.h \
  /root/repo/src/common/file_util.h /root/repo/src/core/s2rdf.h \
- /root/repo/src/core/compiler.h /root/repo/src/core/table_selection.h \
- /root/repo/src/core/extvp_bitmap.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/compiler.h \
+ /root/repo/src/core/table_selection.h /root/repo/src/core/extvp_bitmap.h

@@ -204,18 +204,24 @@ src/baselines/CMakeFiles/s2rdf_baselines.dir/h2rdf_engine.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/rdf/graph.h \
- /root/repo/src/rdf/dictionary.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
- /root/repo/src/common/hash.h /root/repo/src/engine/table.h \
- /root/repo/src/sparql/ast.h /root/repo/src/engine/aggregate.h \
- /root/repo/src/engine/exec_context.h /root/repo/src/engine/expression.h \
+ /usr/include/c++/12/variant /root/repo/src/rdf/term.h \
+ /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
+ /root/repo/src/engine/table.h /root/repo/src/sparql/ast.h \
+ /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/engine/expression.h \
  /root/repo/src/engine/value.h /root/repo/src/engine/operators.h \
  /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
  /root/repo/src/baselines/mr_sparql_engine.h \
@@ -225,9 +231,4 @@ src/baselines/CMakeFiles/s2rdf_baselines.dir/h2rdf_engine.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/mapreduce/record.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sparql/parser.h
+ /root/repo/src/mapreduce/record.h /root/repo/src/sparql/parser.h

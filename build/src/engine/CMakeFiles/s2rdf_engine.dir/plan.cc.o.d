@@ -211,13 +211,14 @@ src/engine/CMakeFiles/s2rdf_engine.dir/plan.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
- /root/repo/src/engine/table.h /root/repo/src/rdf/dictionary.h \
- /usr/include/c++/12/optional /root/repo/src/engine/operators.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/engine/table.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/shared_mutex /root/repo/src/engine/operators.h \
  /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
  /root/repo/src/engine/expression.h /root/repo/src/engine/value.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/engine/parallel_join.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/server/http.cc" "src/server/CMakeFiles/s2rdf_server.dir/http.cc.o" "gcc" "src/server/CMakeFiles/s2rdf_server.dir/http.cc.o.d"
   "/root/repo/src/server/sparql_endpoint.cc" "src/server/CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o" "gcc" "src/server/CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o.d"
+  "/root/repo/src/server/worker_pool.cc" "src/server/CMakeFiles/s2rdf_server.dir/worker_pool.cc.o" "gcc" "src/server/CMakeFiles/s2rdf_server.dir/worker_pool.cc.o.d"
   )
 
 # Targets to which this target links.

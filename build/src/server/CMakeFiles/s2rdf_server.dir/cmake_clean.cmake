@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/s2rdf_server.dir/http.cc.o.d"
   "CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o"
   "CMakeFiles/s2rdf_server.dir/sparql_endpoint.cc.o.d"
+  "CMakeFiles/s2rdf_server.dir/worker_pool.cc.o"
+  "CMakeFiles/s2rdf_server.dir/worker_pool.cc.o.d"
   "libs2rdf_server.a"
   "libs2rdf_server.pdb"
 )

@@ -296,10 +296,12 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /root/repo/src/baselines/centralized_engine.h \
  /root/repo/src/baselines/permutation_index.h /usr/include/c++/12/span \
  /root/repo/src/rdf/graph.h /root/repo/src/rdf/dictionary.h \
- /root/repo/src/common/status.h /root/repo/src/rdf/term.h \
- /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
- /root/repo/src/engine/table.h /root/repo/src/sparql/ast.h \
- /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
+ /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
+ /root/repo/src/common/hash.h /root/repo/src/engine/table.h \
+ /root/repo/src/sparql/ast.h /root/repo/src/engine/aggregate.h \
+ /root/repo/src/engine/exec_context.h /usr/include/c++/12/chrono \
  /root/repo/src/engine/expression.h /root/repo/src/engine/value.h \
  /root/repo/src/engine/operators.h /root/repo/src/common/bitmap.h \
  /root/repo/src/common/check.h /root/repo/src/baselines/h2rdf_engine.h \
@@ -310,5 +312,6 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/layouts.h \
  /root/repo/src/core/layout_names.h /root/repo/src/storage/catalog.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/engine/plan.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/engine/plan.h \
  /root/repo/src/common/file_util.h

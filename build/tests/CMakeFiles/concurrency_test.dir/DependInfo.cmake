@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/concurrency_test.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/concurrency_test.dir/concurrency_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/s2rdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s2rdf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/s2rdf_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/s2rdf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/s2rdf_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s2rdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -297,14 +297,23 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/core/compiler.h /root/repo/src/core/table_selection.h \
  /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
  /root/repo/src/core/extvp_bitmap.h /root/repo/src/core/layout_names.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/core/layouts.h \
- /root/repo/src/engine/table.h /root/repo/src/rdf/graph.h \
- /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
- /root/repo/src/common/hash.h /root/repo/src/storage/catalog.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/engine/plan.h \
- /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/layouts.h /root/repo/src/engine/table.h \
+ /root/repo/src/rdf/graph.h /root/repo/src/rdf/term.h \
+ /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
+ /root/repo/src/storage/catalog.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/engine/plan.h /root/repo/src/engine/aggregate.h \
+ /root/repo/src/engine/exec_context.h /usr/include/c++/12/chrono \
  /root/repo/src/engine/operators.h /root/repo/src/engine/expression.h \
  /root/repo/src/engine/value.h /root/repo/src/sparql/ast.h \
- /root/repo/src/core/s2rdf.h /root/repo/src/rdf/ntriples.h \
- /root/repo/src/sparql/parser.h
+ /root/repo/src/core/s2rdf.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/rdf/ntriples.h /root/repo/src/sparql/parser.h

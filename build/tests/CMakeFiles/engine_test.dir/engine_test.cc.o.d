@@ -295,8 +295,10 @@ tests/CMakeFiles/engine_test.dir/engine_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/common/check.h \
  /root/repo/src/engine/expression.h /root/repo/src/engine/table.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/common/status.h \
- /root/repo/src/engine/value.h /root/repo/src/engine/operators.h \
- /root/repo/src/common/bitmap.h /root/repo/src/engine/exec_context.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/status.h /root/repo/src/engine/value.h \
+ /root/repo/src/engine/operators.h /root/repo/src/common/bitmap.h \
+ /root/repo/src/engine/exec_context.h /usr/include/c++/12/chrono \
  /root/repo/src/engine/parallel_join.h /root/repo/src/engine/plan.h \
  /root/repo/src/engine/aggregate.h

@@ -293,7 +293,8 @@ tests/CMakeFiles/rdf_test.dir/rdf_test.cc.o: /root/repo/tests/rdf_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/common/status.h \
- /root/repo/src/rdf/graph.h /root/repo/src/rdf/term.h \
- /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
- /root/repo/src/rdf/ntriples.h
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/common/status.h /root/repo/src/rdf/graph.h \
+ /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
+ /root/repo/src/common/hash.h /root/repo/src/rdf/ntriples.h

@@ -294,4 +294,6 @@ tests/CMakeFiles/results_io_test.dir/results_io_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/engine/table.h /root/repo/src/rdf/dictionary.h \
- /root/repo/src/common/status.h /root/repo/src/sparql/results_io.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
+ /root/repo/src/sparql/results_io.h

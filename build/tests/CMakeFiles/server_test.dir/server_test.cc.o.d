@@ -304,11 +304,24 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/s2rdf.h /root/repo/src/common/status.h \
- /root/repo/src/core/compiler.h /root/repo/src/core/table_selection.h \
- /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
- /root/repo/src/core/extvp_bitmap.h /root/repo/src/core/layout_names.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/core/layouts.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/s2rdf.h \
+ /root/repo/src/common/status.h /root/repo/src/core/compiler.h \
+ /root/repo/src/core/table_selection.h /root/repo/src/common/bitmap.h \
+ /root/repo/src/common/check.h /root/repo/src/core/extvp_bitmap.h \
+ /root/repo/src/core/layout_names.h /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/core/layouts.h \
  /root/repo/src/engine/table.h /root/repo/src/rdf/graph.h \
  /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
  /root/repo/src/common/hash.h /root/repo/src/storage/catalog.h \
@@ -318,11 +331,5 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /root/repo/src/engine/operators.h /root/repo/src/engine/expression.h \
  /root/repo/src/engine/value.h /root/repo/src/sparql/ast.h \
  /root/repo/src/server/http.h /root/repo/src/server/sparql_endpoint.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /root/repo/src/server/worker_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -296,7 +296,9 @@ tests/CMakeFiles/sparql_test.dir/sparql_test.cc.o: \
  /root/repo/src/sparql/lexer.h /root/repo/src/common/status.h \
  /root/repo/src/sparql/parser.h /root/repo/src/sparql/ast.h \
  /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
- /root/repo/src/engine/table.h /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/engine/table.h \
+ /root/repo/src/rdf/dictionary.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/engine/expression.h /root/repo/src/engine/value.h \
  /root/repo/src/engine/operators.h /root/repo/src/common/bitmap.h \
  /root/repo/src/common/check.h

@@ -296,9 +296,12 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /root/repo/src/common/file_util.h /root/repo/src/common/status.h \
  /root/repo/src/storage/catalog.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/engine/plan.h /root/repo/src/engine/aggregate.h \
- /root/repo/src/engine/exec_context.h /root/repo/src/engine/table.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/engine/operators.h \
+ /root/repo/src/engine/exec_context.h /usr/include/c++/12/chrono \
+ /root/repo/src/engine/table.h /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/engine/operators.h \
  /root/repo/src/common/bitmap.h /root/repo/src/common/check.h \
  /root/repo/src/engine/expression.h /root/repo/src/engine/value.h \
  /root/repo/src/storage/encoding.h /root/repo/src/storage/table_file.h

@@ -295,5 +295,7 @@ tests/CMakeFiles/turtle_test.dir/turtle_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rdf/ntriples.h /root/repo/src/common/status.h \
  /root/repo/src/rdf/graph.h /root/repo/src/rdf/dictionary.h \
- /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
- /root/repo/src/common/hash.h /root/repo/src/rdf/turtle.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/rdf/term.h \
+ /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
+ /root/repo/src/rdf/turtle.h

@@ -295,10 +295,12 @@ tests/CMakeFiles/watdiv_test.dir/watdiv_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rdf/ntriples.h /root/repo/src/common/status.h \
  /root/repo/src/rdf/graph.h /root/repo/src/rdf/dictionary.h \
- /root/repo/src/rdf/term.h /root/repo/src/rdf/triple.h \
- /root/repo/src/common/hash.h /root/repo/src/sparql/parser.h \
- /root/repo/src/sparql/ast.h /root/repo/src/engine/aggregate.h \
- /root/repo/src/engine/exec_context.h /root/repo/src/engine/table.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/rdf/term.h \
+ /root/repo/src/rdf/triple.h /root/repo/src/common/hash.h \
+ /root/repo/src/sparql/parser.h /root/repo/src/sparql/ast.h \
+ /root/repo/src/engine/aggregate.h /root/repo/src/engine/exec_context.h \
+ /usr/include/c++/12/chrono /root/repo/src/engine/table.h \
  /root/repo/src/engine/expression.h /root/repo/src/engine/value.h \
  /root/repo/src/engine/operators.h /root/repo/src/common/bitmap.h \
  /root/repo/src/common/check.h /root/repo/src/watdiv/generator.h \

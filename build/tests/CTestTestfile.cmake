@@ -20,3 +20,4 @@ include("/root/repo/build/tests/shape_test[1]_include.cmake")
 include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
 include("/root/repo/build/tests/server_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")

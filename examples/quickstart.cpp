@@ -57,8 +57,13 @@ int main(int argc, char** argv) {
               (*db)->catalog().NumMaterializedTables(),
               static_cast<unsigned long long>((*db)->catalog().TotalTuples()));
 
-  // 3. Run a SPARQL query over ExtVP.
-  auto result = (*db)->Execute(kQuery);
+  // 3. Run a SPARQL query over ExtVP. QueryRequest carries per-query
+  //    controls (deadline, row limit, layout); plain
+  //    Execute("SELECT ...") works too.
+  s2rdf::core::QueryRequest request;
+  request.query = kQuery;
+  request.options.timeout_ms = 5000;
+  auto result = (*db)->Execute(request);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -1,12 +1,16 @@
 // SPARQL Protocol endpoint over an S2RDF store.
 //
-//   ./sparql_server [--port N] [--watdiv SF | --open <dir> | data.nt]
+//   ./sparql_server [--port N] [--workers N] [--timeout MS]
+//                   [--watdiv SF | --open <dir> | data.nt]
 //
 // Then:
 //   curl 'http://127.0.0.1:8890/sparql?query=SELECT...'   (URL-encoded)
-//   curl -X POST http://127.0.0.1:8890/sparql \
+//   curl -X POST http://127.0.0.1:8890/sparql
 //        --data-urlencode 'query=SELECT * WHERE { ?s ?p ?o } LIMIT 3'
 //   curl -H 'Accept: text/csv' ...
+//   curl 'http://127.0.0.1:8890/sparql?query=...&timeout=500&limit=100'
+//   curl http://127.0.0.1:8890/health
+//   curl http://127.0.0.1:8890/metrics
 
 #include <csignal>
 #include <cstdio>
@@ -27,12 +31,18 @@ void HandleSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   int port = 8890;
+  s2rdf::server::EndpointOptions endpoint_options;
   double watdiv_sf = -1.0;
   std::string open_dir;
   std::string data_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      endpoint_options.num_workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      endpoint_options.default_timeout_ms =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--watdiv") == 0 && i + 1 < argc) {
       watdiv_sf = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--open") == 0 && i + 1 < argc) {
@@ -76,7 +86,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  s2rdf::server::SparqlEndpoint endpoint(db->get());
+  s2rdf::server::SparqlEndpoint endpoint(db->get(), endpoint_options);
   auto bound = endpoint.Start(port);
   if (!bound.ok()) {
     std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());

@@ -22,6 +22,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }
@@ -57,6 +63,15 @@ Status UnimplementedError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace s2rdf

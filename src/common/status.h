@@ -26,6 +26,14 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  // The operation ran past its caller-supplied deadline (per-query
+  // timeouts) and was abandoned mid-flight.
+  kDeadlineExceeded,
+  // The operation was cancelled by an external signal before finishing.
+  kCancelled,
+  // A bounded resource (worker queue, admission slot) is exhausted;
+  // retrying later may succeed.
+  kResourceExhausted,
 };
 
 // Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -70,6 +78,9 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status IoError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // The result of a fallible operation that produces a `T` on success.
 //

@@ -2,12 +2,34 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <set>
 
 #include "common/file_util.h"
+#include "engine/operators.h"
 #include "sparql/parser.h"
 
 namespace s2rdf::core {
+
+namespace {
+
+// Seeds an ExecContext with the per-query controls of `options`. The
+// deadline covers the whole request (parse + compile + execute), so it
+// is computed once up front.
+void InitContext(const QueryOptions& options, int num_partitions,
+                 bool parallel_execution, engine::ExecContext* ctx) {
+  ctx->num_partitions = num_partitions;
+  ctx->parallel_execution = parallel_execution;
+  ctx->collect_profile = options.collect_profile;
+  ctx->cancel_flag = options.cancel;
+  if (options.timeout_ms > 0) {
+    ctx->has_deadline = true;
+    ctx->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.timeout_ms);
+  }
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
                                                const S2RdfOptions& options) {
@@ -77,22 +99,45 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Open(const std::string& storage_dir,
   return db;
 }
 
+StatusOr<QueryResult> S2Rdf::Execute(const QueryRequest& request) {
+  CompilerOptions compiler_options;
+  compiler_options.layout = request.options.layout;
+  compiler_options.collect_profile = request.options.collect_profile;
+  return ExecuteInternal(request.query, compiler_options, request.options);
+}
+
 StatusOr<QueryResult> S2Rdf::Execute(std::string_view sparql_text,
                                      Layout layout) {
-  CompilerOptions options;
-  options.layout = layout;
-  return ExecuteWithOptions(sparql_text, options);
+  CompilerOptions compiler_options;
+  compiler_options.layout = layout;
+  QueryOptions query_options;
+  query_options.layout = layout;
+  return ExecuteInternal(sparql_text, compiler_options, query_options);
 }
 
 StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
     std::string_view sparql_text, const CompilerOptions& options) {
+  QueryOptions query_options;
+  query_options.layout = options.layout;
+  query_options.collect_profile = options.collect_profile;
+  return ExecuteInternal(sparql_text, options, query_options);
+}
+
+StatusOr<QueryResult> S2Rdf::ExecuteInternal(
+    std::string_view sparql_text, const CompilerOptions& compiler_options,
+    const QueryOptions& query_options) {
   auto start = std::chrono::steady_clock::now();
+  engine::ExecContext ctx;
+  InitContext(query_options, num_partitions_, parallel_execution_, &ctx);
+
   S2RDF_ASSIGN_OR_RETURN(sparql::Query query,
                          sparql::ParseQuery(sparql_text));
-  if (lazy_extvp_ && options.layout == Layout::kExtVp) {
+  if (ctx.CheckInterrupt()) return ctx.interrupt_status;
+  if (lazy_extvp_ && compiler_options.layout == Layout::kExtVp) {
     S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(query.where));
+    if (ctx.CheckInterrupt()) return ctx.interrupt_status;
   }
-  CompilerOptions effective = options;
+  CompilerOptions effective = compiler_options;
   if (effective.layout == Layout::kExtVpBitmap) {
     if (bitmap_store_ == nullptr) {
       return FailedPreconditionError(
@@ -102,15 +147,14 @@ StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
   }
   if (query.form == sparql::QueryForm::kConstruct ||
       query.form == sparql::QueryForm::kDescribe) {
-    return ExecuteGraphForm(query, effective);
+    return ExecuteGraphForm(query, effective, query_options);
   }
   QueryCompiler compiler(&catalog_, &graph_.dictionary(), effective);
   S2RDF_ASSIGN_OR_RETURN(engine::PlanPtr plan, compiler.Compile(query));
+  if (ctx.CheckInterrupt()) return ctx.interrupt_status;
 
-  engine::ExecContext ctx;
-  ctx.num_partitions = num_partitions_;
-  ctx.parallel_execution = parallel_execution_;
-  ctx.collect_profile = options.collect_profile;
+  // The provider pins every table it resolves until `provider` is
+  // destroyed, so concurrent eviction cannot free a table mid-scan.
   S2RDF_ASSIGN_OR_RETURN(
       engine::Table table,
       engine::ExecutePlan(*plan, catalog_.AsProvider(), &graph_.dictionary(),
@@ -126,7 +170,12 @@ StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
           .count();
   result.is_ask = query.is_ask;
   result.ask_result = query.is_ask && table.NumRows() > 0;
-  if (options.collect_profile) {
+  if (query_options.max_result_rows > 0 &&
+      table.NumRows() > query_options.max_result_rows) {
+    table = engine::Slice(table, 0, query_options.max_result_rows);
+    result.truncated = true;
+  }
+  if (effective.collect_profile) {
     char line[256];
     for (const engine::OperatorProfile& op : ctx.profile) {
       std::snprintf(line, sizeof(line), "%*s%s  rows=%llu  %.3f ms\n",
@@ -140,19 +189,20 @@ StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
   result.plan = plan->ToString();
   result.table = std::move(table);
   result.metrics = ctx.metrics;
-  // Enforce the memory budget between queries (pointers handed to the
-  // executor are no longer live here).
+  // Enforce the memory budget between queries; in-flight queries keep
+  // their tables alive through provider pins.
   catalog_.EvictToBudget();
   return result;
 }
 
 StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
-    const sparql::Query& query, const CompilerOptions& options) {
+    const sparql::Query& query, const CompilerOptions& options,
+    const QueryOptions& query_options) {
   auto start = std::chrono::steady_clock::now();
   const rdf::Dictionary& dict = graph_.dictionary();
   engine::ExecContext ctx;
-  ctx.num_partitions = num_partitions_;
-  ctx.parallel_execution = parallel_execution_;
+  InitContext(query_options, num_partitions_, parallel_execution_, &ctx);
+  ctx.collect_profile = false;
 
   // Solutions of the WHERE clause (all variables projected; the parser
   // sets select_all for graph forms). DESCRIBE without a WHERE clause
@@ -172,6 +222,9 @@ StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
 
   if (query.form == sparql::QueryForm::kConstruct) {
     for (size_t r = 0; r < solutions.NumRows(); ++r) {
+      if ((r % engine::kInterruptCheckRows) == 0 && ctx.CheckInterrupt()) {
+        return ctx.interrupt_status;
+      }
       for (const sparql::TriplePattern& tp : query.construct_template) {
         std::string parts[3];
         bool ok = true;
@@ -225,10 +278,15 @@ StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
         if (id != engine::kNullTermId) targets.insert(id);
       }
     }
-    S2RDF_ASSIGN_OR_RETURN(const engine::Table* triples,
-                           catalog_.GetTable(TriplesTableName()));
+    // Shared ownership keeps the triples table valid even if another
+    // query's EvictToBudget drops it from the cache mid-loop.
+    S2RDF_ASSIGN_OR_RETURN(std::shared_ptr<const engine::Table> triples,
+                           catalog_.GetTableShared(TriplesTableName()));
     ctx.metrics.input_tuples += triples->NumRows();
     for (size_t r = 0; r < triples->NumRows(); ++r) {
+      if ((r % engine::kInterruptCheckRows) == 0 && ctx.CheckInterrupt()) {
+        return ctx.interrupt_status;
+      }
       if (!targets.contains(triples->At(r, 0))) continue;
       statements.insert(dict.Decode(triples->At(r, 0)) + " " +
                         dict.Decode(triples->At(r, 1)) + " " +
@@ -277,10 +335,7 @@ Status S2Rdf::LazyMaterializeFor(const sparql::GraphPattern& pattern) {
       for (const Case& c : cases) {
         if (!c.applies) continue;
         if (c.corr == Correlation::kSS && *p1 == *p2) continue;
-        if (catalog_.Has(ExtVpTableName(dict, c.corr, *p1, *p2))) continue;
-        ++lazy_pairs_computed_;
-        S2RDF_RETURN_IF_ERROR(MaterializeExtVpPair(
-            dict, c.corr, *p1, *p2, sf_threshold_, &catalog_));
+        S2RDF_RETURN_IF_ERROR(EnsureExtVpPair(c.corr, *p1, *p2));
       }
     }
   }
@@ -296,6 +351,32 @@ Status S2Rdf::LazyMaterializeFor(const sparql::GraphPattern& pattern) {
     S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(sub->where));
   }
   return Status::Ok();
+}
+
+Status S2Rdf::EnsureExtVpPair(Correlation corr, rdf::TermId p1,
+                              rdf::TermId p2) {
+  const rdf::Dictionary& dict = graph_.dictionary();
+  const std::string name = ExtVpTableName(dict, corr, p1, p2);
+  {
+    std::unique_lock<std::mutex> lock(lazy_mu_);
+    // If another query is computing this pair right now, wait for it
+    // rather than duplicating the work.
+    lazy_cv_.wait(lock, [&] { return !lazy_in_flight_.contains(name); });
+    // MaterializeExtVpPair registers the name in the catalog (stats-only
+    // when pruned), so Has doubles as the "already built" marker.
+    if (catalog_.Has(name)) return Status::Ok();
+    lazy_in_flight_.insert(name);
+  }
+  // Build outside the lock: distinct pairs materialize concurrently.
+  lazy_pairs_computed_.fetch_add(1, std::memory_order_relaxed);
+  Status status =
+      MaterializeExtVpPair(dict, corr, p1, p2, sf_threshold_, &catalog_);
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    lazy_in_flight_.erase(name);
+  }
+  lazy_cv_.notify_all();
+  return status;
 }
 
 std::vector<std::vector<std::string>> S2Rdf::DecodeRows(

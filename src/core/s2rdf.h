@@ -1,7 +1,11 @@
 #ifndef S2RDF_CORE_S2RDF_H_
 #define S2RDF_CORE_S2RDF_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,12 +25,20 @@
 // and the execution metrics the paper argues about (input size, join
 // comparisons, shuffle volume).
 //
+// Execute is thread-safe: one S2Rdf instance serves many concurrent
+// queries (each with its own ExecContext and metrics). The catalog and
+// dictionary are internally locked, lazy-ExtVP reductions are built
+// exactly once even when several queries race for the same pair, and
+// LRU eviction never frees a table an in-flight query still reads.
+//
 // Example:
 //   rdf::Graph g;
 //   rdf::ParseNTriples(data, &g);
 //   S2RDF_ASSIGN_OR_RETURN(auto db, core::S2Rdf::Create(std::move(g), {}));
-//   S2RDF_ASSIGN_OR_RETURN(auto result,
-//                          db->Execute("SELECT * WHERE { ?s ?p ?o }"));
+//   core::QueryRequest request;
+//   request.query = "SELECT * WHERE { ?s ?p ?o }";
+//   request.options.timeout_ms = 5000;
+//   S2RDF_ASSIGN_OR_RETURN(auto result, db->Execute(request));
 
 namespace s2rdf::core {
 
@@ -58,6 +70,32 @@ struct S2RdfOptions {
   uint64_t memory_budget_bytes = 0;
 };
 
+// Per-query execution controls, carried by a QueryRequest.
+struct QueryOptions {
+  // Wall-clock budget covering parse + compile + execute, milliseconds;
+  // 0 = unlimited. On expiry Execute returns kDeadlineExceeded (checked
+  // at operator boundaries and inside scan/join loops).
+  uint64_t timeout_ms = 0;
+  // Truncate the solution table to at most this many rows (0 =
+  // unlimited). QueryResult::truncated reports whether rows were
+  // dropped. Does not apply to CONSTRUCT/DESCRIBE graphs.
+  uint64_t max_result_rows = 0;
+  // Layout to execute against.
+  Layout layout = Layout::kExtVp;
+  // EXPLAIN ANALYZE: record per-operator rows and timings.
+  bool collect_profile = false;
+  // Optional external cancellation: while *cancel is true the query
+  // returns kCancelled at the next operator boundary. The flag must
+  // outlive the Execute call.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// The primary query-submission unit: SPARQL text plus its options.
+struct QueryRequest {
+  std::string query;
+  QueryOptions options;
+};
+
 struct QueryResult {
   engine::Table table;
   // For ASK queries: whether any solution exists (`table` then holds at
@@ -68,6 +106,8 @@ struct QueryResult {
   // (`table` is then empty).
   bool is_graph = false;
   std::string graph_ntriples;
+  // True when QueryOptions::max_result_rows dropped trailing rows.
+  bool truncated = false;
   engine::ExecMetrics metrics;
   // Wall-clock execution time (compile + execute), milliseconds.
   double millis = 0.0;
@@ -76,7 +116,7 @@ struct QueryResult {
   // The physical plan, for inspection.
   std::string plan;
   // EXPLAIN ANALYZE rendering (per-operator rows and inclusive times);
-  // empty unless CompilerOptions::collect_profile was set.
+  // empty unless profiling was requested.
   std::string profile;
 };
 
@@ -100,7 +140,12 @@ class S2Rdf {
   static StatusOr<std::unique_ptr<S2Rdf>> Open(const std::string& storage_dir,
                                                int num_partitions = 9);
 
-  // Parses, compiles and executes `sparql_text` against `layout`.
+  // Primary entry point: parses, compiles and executes request.query
+  // under request.options. Thread-safe.
+  StatusOr<QueryResult> Execute(const QueryRequest& request);
+
+  // Back-compat convenience overload: query text + layout, default
+  // options otherwise.
   StatusOr<QueryResult> Execute(std::string_view sparql_text,
                                 Layout layout = Layout::kExtVp);
 
@@ -122,7 +167,9 @@ class S2Rdf {
   }
   // Number of (correlation, p1, p2) pairs computed so far by the lazy
   // "pay as you go" mode.
-  uint64_t lazy_pairs_computed() const { return lazy_pairs_computed_; }
+  uint64_t lazy_pairs_computed() const {
+    return lazy_pairs_computed_.load(std::memory_order_relaxed);
+  }
 
  private:
   S2Rdf(rdf::Graph graph, std::string storage_dir, int num_partitions,
@@ -132,23 +179,45 @@ class S2Rdf {
         num_partitions_(num_partitions),
         parallel_execution_(parallel_execution) {}
 
+  // Common execution path behind both Execute overloads and
+  // ExecuteWithOptions.
+  StatusOr<QueryResult> ExecuteInternal(std::string_view sparql_text,
+                                        const CompilerOptions& compiler_options,
+                                        const QueryOptions& query_options);
+
   // Materializes every ExtVP reduction the pattern's correlations could
   // use (lazy mode pre-pass; recurses into OPTIONAL/UNION/subqueries).
   Status LazyMaterializeFor(const sparql::GraphPattern& pattern);
 
+  // Once-per-table build of one lazy ExtVP reduction: concurrent
+  // queries needing the same (corr, p1, p2) pair block until the first
+  // builder finishes instead of computing it twice.
+  Status EnsureExtVpPair(Correlation corr, rdf::TermId p1, rdf::TermId p2);
+
   // CONSTRUCT / DESCRIBE execution (produces graph_ntriples).
   StatusOr<QueryResult> ExecuteGraphForm(const sparql::Query& query,
-                                         const CompilerOptions& options);
+                                         const CompilerOptions& options,
+                                         const QueryOptions& query_options);
 
+  // All fields below are either set once during Create/Open and then
+  // read-only (graph topology, thresholds, flags), internally
+  // synchronized (catalog, dictionary), or guarded here (lazy build
+  // bookkeeping). Per-query state lives in local ExecContexts.
   rdf::Graph graph_;
   storage::Catalog catalog_;
   int num_partitions_;
   bool parallel_execution_ = false;
   bool lazy_extvp_ = false;
   double sf_threshold_ = 1.0;
-  uint64_t lazy_pairs_computed_ = 0;
+  std::atomic<uint64_t> lazy_pairs_computed_{0};
   LoadStats load_stats_;
   std::unique_ptr<ExtVpBitmapStore> bitmap_store_;
+
+  // Guards the lazy-ExtVP in-flight set; lazy_cv_ wakes waiters when a
+  // build completes.
+  std::mutex lazy_mu_;
+  std::condition_variable lazy_cv_;
+  std::set<std::string> lazy_in_flight_;
 };
 
 }  // namespace s2rdf::core

@@ -1,9 +1,13 @@
 #ifndef S2RDF_ENGINE_EXEC_CONTEXT_H_
 #define S2RDF_ENGINE_EXEC_CONTEXT_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 // Execution context for the partitioned-execution model.
 //
@@ -59,6 +63,10 @@ struct OperatorProfile {
   double millis = 0.0;
 };
 
+// Operators consult the interrupt state every this many rows, keeping
+// the clock read off the per-row hot path.
+inline constexpr size_t kInterruptCheckRows = 4096;
+
 struct ExecContext {
   // Simulated cluster width; 9 workers matches the paper's testbed.
   int num_partitions = 9;
@@ -69,6 +77,50 @@ struct ExecContext {
   bool collect_profile = false;
   std::vector<OperatorProfile> profile;
   ExecMetrics metrics;
+
+  // --- Deadline & cancellation --------------------------------------------
+  //
+  // A context is owned by exactly one query. The executor checks the
+  // interrupt state at every operator boundary and inside long row
+  // loops; an interrupted operator abandons its partial output and
+  // ExecutePlan returns `interrupt_status` (kDeadlineExceeded or
+  // kCancelled) instead of a table.
+
+  // Absolute deadline; only consulted when `has_deadline` is set.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  // Optional external cancellation signal (owned by the caller, may be
+  // flipped from any thread).
+  const std::atomic<bool>* cancel_flag = nullptr;
+  // First observed interrupt reason; Ok while the query is healthy.
+  // Written only by the query's own thread (via CheckInterrupt).
+  Status interrupt_status;
+
+  // Point-in-time check without recording: reads only immutable fields
+  // and the atomic flag, so parallel-join worker threads may call it.
+  bool InterruptRequested() const {
+    if (cancel_flag != nullptr &&
+        cancel_flag->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  // Checks and records the interrupt reason. Must be called from the
+  // query's owning thread only (it writes interrupt_status).
+  bool CheckInterrupt() {
+    if (!interrupt_status.ok()) return true;
+    if (cancel_flag != nullptr &&
+        cancel_flag->load(std::memory_order_relaxed)) {
+      interrupt_status = CancelledError("query cancelled");
+      return true;
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      interrupt_status = DeadlineExceededError("query deadline exceeded");
+      return true;
+    }
+    return false;
+  }
 
   // Adds the repartition-shuffle cost of moving `tuples` rows.
   void AccountShuffle(uint64_t tuples) {

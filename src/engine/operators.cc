@@ -94,6 +94,10 @@ Table ScanSelectProject(const Table& base, const ScanSpec& spec,
   for (const auto& [col, name] : spec.projections) names.push_back(name);
   Table out(std::move(names));
   for (size_t r = 0; r < base.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // ExecutePlan discards the partial batch and reports why.
+    }
     if (spec.row_filter != nullptr && !spec.row_filter->Test(r)) continue;
     bool match = true;
     for (const auto& [col, id] : spec.conditions) {
@@ -142,8 +146,17 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
 
   if (left_keys.empty()) {
     // Cross product.
+    size_t since_check = 0;
     for (size_t lr = 0; lr < left.NumRows(); ++lr) {
       for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+        if (++since_check >= kInterruptCheckRows) {
+          since_check = 0;
+          if (ctx != nullptr && ctx->CheckInterrupt()) {
+            // Partial output; ExecutePlan reports the interrupt.
+            ctx->metrics.intermediate_tuples += out.NumRows();
+            return out;
+          }
+        }
         EmitJoinedRow(left, lr, right, rr, right_only, &out);
       }
     }
@@ -160,6 +173,10 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
     build.emplace(RowKeyHash(right, rr, right_keys), rr);
   }
   for (size_t lr = 0; lr < left.NumRows(); ++lr) {
+    if ((lr % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     if (RowKeyHasNull(left, lr, left_keys)) continue;
     auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
     for (auto it = begin; it != end; ++it) {

@@ -98,7 +98,14 @@ Table ParallelHashJoin(const Table& left, const Table& right,
     for (uint32_t rr : build_rows) {
       build.emplace(RowKeyHash(right, rr, right_keys), rr);
     }
+    // Workers may only *read* the interrupt state (InterruptRequested);
+    // recording the reason is left to the query's owning thread.
+    size_t since_check = 0;
     for (uint32_t lr : probe_rows) {
+      if (++since_check >= kInterruptCheckRows) {
+        since_check = 0;
+        if (ctx != nullptr && ctx->InterruptRequested()) return;
+      }
       auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
       for (auto it = begin; it != end; ++it) {
         uint32_t rr = it->second;
@@ -130,6 +137,8 @@ Table ParallelHashJoin(const Table& left, const Table& right,
     workers.emplace_back(join_partition, part);
   }
   for (std::thread& worker : workers) worker.join();
+  // Record any interrupt the workers bailed on (single-threaded again).
+  if (ctx != nullptr) ctx->CheckInterrupt();
 
   // Gather.
   size_t total = 0;

@@ -377,6 +377,9 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                                 const TableProvider& tables,
                                 rdf::Dictionary* dict, ExecContext* ctx,
                                 int depth) {
+  // Operator-boundary deadline/cancellation check: every node entry
+  // (and therefore every child hand-off) observes the interrupt state.
+  if (ctx != nullptr && ctx->CheckInterrupt()) return ctx->interrupt_status;
   const bool profiling = ctx != nullptr && ctx->collect_profile;
   std::chrono::steady_clock::time_point start;
   size_t profile_slot = 0;
@@ -525,7 +528,13 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
 
 StatusOr<Table> ExecutePlan(const PlanNode& plan, const TableProvider& tables,
                             rdf::Dictionary* dict, ExecContext* ctx) {
-  return ExecutePlanImpl(plan, tables, dict, ctx, 0);
+  StatusOr<Table> result = ExecutePlanImpl(plan, tables, dict, ctx, 0);
+  // An operator may have bailed out mid-loop with a partial table;
+  // never let that escape as a successful result.
+  if (result.ok() && ctx != nullptr && !ctx->interrupt_status.ok()) {
+    return ctx->interrupt_status;
+  }
+  return result;
 }
 
 }  // namespace s2rdf::engine

@@ -1,27 +1,40 @@
 #include "rdf/dictionary.h"
 
 #include <cstring>
+#include <mutex>
 
 #include "common/check.h"
 
 namespace s2rdf::rdf {
 
 TermId Dictionary::Encode(std::string_view canonical) {
-  auto it = ids_.find(std::string(canonical));
-  if (it != ids_.end()) return it->second;
+  std::string key(canonical);
+  {
+    // Fast path: the term is usually already interned (shared lock).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;  // Raced with another writer.
   TermId id = static_cast<TermId>(by_id_.size());
-  auto [inserted, _] = ids_.emplace(std::string(canonical), id);
+  auto [inserted, _] = ids_.emplace(std::move(key), id);
   by_id_.push_back(&inserted->first);
   return id;
 }
 
 std::optional<TermId> Dictionary::Find(std::string_view canonical) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(canonical));
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& Dictionary::Decode(TermId id) const {
+  // The returned reference stays valid after unlock: map nodes are
+  // stable and entries are never erased.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   S2RDF_CHECK(id < by_id_.size());
   return *by_id_[id];
 }
@@ -44,6 +57,7 @@ bool GetU32(std::string_view blob, size_t* pos, uint32_t* v) {
 }  // namespace
 
 std::string Dictionary::Serialize() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
   PutU32(&out, static_cast<uint32_t>(by_id_.size()));
   for (const std::string* term : by_id_) {

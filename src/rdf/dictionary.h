@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,14 +26,24 @@ using TermId = uint32_t;
 inline constexpr TermId kNullTermId = 0xffffffffu;
 
 // Interns canonical term strings and assigns dense ids in insertion
-// order. Not thread-safe; builders own one instance per dataset.
+// order. Encode/Find/Decode are thread-safe (reader/writer locked) so
+// concurrent queries can mint aggregate literals and decode results
+// against one shared instance; moving a Dictionary is NOT safe while
+// other threads use either operand.
 class Dictionary {
  public:
   Dictionary() = default;
 
   // Move-only: the id map references heap nodes owned by this instance.
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& other) noexcept
+      : ids_(std::move(other.ids_)), by_id_(std::move(other.by_id_)) {}
+  Dictionary& operator=(Dictionary&& other) noexcept {
+    if (this != &other) {
+      ids_ = std::move(other.ids_);
+      by_id_ = std::move(other.by_id_);
+    }
+    return *this;
+  }
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
 
@@ -45,13 +56,18 @@ class Dictionary {
   // Returns the canonical string for `id`. `id` must be valid.
   const std::string& Decode(TermId id) const;
 
-  size_t size() const { return by_id_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return by_id_.size();
+  }
 
   // Serializes to / from a length-prefixed binary blob.
   std::string Serialize() const;
   static StatusOr<Dictionary> Deserialize(std::string_view blob);
 
  private:
+  // Guards ids_/by_id_: Encode takes it exclusively, lookups shared.
+  mutable std::shared_mutex mu_;
   // Node-stable map; by_id_ points into the map's keys.
   std::unordered_map<std::string, TermId> ids_;
   std::vector<const std::string*> by_id_;

@@ -21,10 +21,16 @@ std::string_view ReasonPhrase(int status_code) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 415:
       return "Unsupported Media Type";
     case 500:
       return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
   }
   return "Unknown";
 }

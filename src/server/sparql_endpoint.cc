@@ -5,8 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 
+#include "common/strings.h"
 #include "sparql/results_io.h"
 
 namespace s2rdf::server {
@@ -44,6 +46,51 @@ const char* ContentTypeFor(ResultFormat format) {
   return "text/plain";
 }
 
+// The single Status -> HTTP mapping for the endpoint.
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+// SPARQL Protocol error responses carry a human-readable body
+// (text/plain is explicitly allowed by the spec).
+HttpResponse ErrorResponse(const Status& status) {
+  HttpResponse response;
+  response.status_code = HttpStatusForCode(status.code());
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = status.ToString() + "\n";
+  return response;
+}
+
+// Parses a non-negative integer request parameter; false on garbage.
+bool ParseParam(const std::map<std::string, std::string>& params,
+                const std::string& name, uint64_t* out, bool* present) {
+  *present = false;
+  auto it = params.find(name);
+  if (it == params.end()) return true;
+  long long value = 0;
+  if (!ParseInt64(it->second, &value) || value < 0) return false;
+  *out = static_cast<uint64_t>(value);
+  *present = true;
+  return true;
+}
+
 }  // namespace
 
 HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
@@ -52,55 +99,113 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     response.content_type = "text/html; charset=utf-8";
     response.body =
         "<html><body><h1>S2RDF SPARQL endpoint</h1>"
-        "<p>POST or GET /sparql with a <code>query</code> parameter.</p>"
+        "<p>POST or GET /sparql with a <code>query</code> parameter "
+        "(optional <code>timeout</code> ms and <code>limit</code> "
+        "rows).</p>"
         "<p>Tables: " +
         std::to_string(db_.catalog().NumMaterializedTables()) +
         ", tuples: " + std::to_string(db_.catalog().TotalTuples()) +
         "</p></body></html>";
     return response;
   }
-  if (request.path != "/sparql") {
-    response.status_code = 404;
-    response.body = "not found\n";
+  if (request.path == "/health" && request.method == "GET") {
+    response.body = "ok\n";
     return response;
   }
+  if (request.path == "/metrics" && request.method == "GET") {
+    EndpointStats stats = Stats();
+    std::string out;
+    auto counter = [&out](const char* name, uint64_t value) {
+      out += std::string(name) + " " + std::to_string(value) + "\n";
+    };
+    counter("s2rdf_queries_total", stats.queries_total);
+    counter("s2rdf_query_errors_total", stats.query_errors_total);
+    counter("s2rdf_rejected_total", stats.rejected_total);
+    counter("s2rdf_queries_in_flight", stats.in_flight);
+    counter("s2rdf_queue_depth", stats.queue_depth);
+    counter("s2rdf_exec_input_tuples_total", stats.cumulative.input_tuples);
+    counter("s2rdf_exec_intermediate_tuples_total",
+            stats.cumulative.intermediate_tuples);
+    counter("s2rdf_exec_join_comparisons_total",
+            stats.cumulative.join_comparisons);
+    counter("s2rdf_exec_shuffled_tuples_total",
+            stats.cumulative.shuffled_tuples);
+    counter("s2rdf_exec_output_tuples_total", stats.cumulative.output_tuples);
+    counter("s2rdf_catalog_materialized_tables",
+            db_.catalog().NumMaterializedTables());
+    counter("s2rdf_catalog_cached_bytes", db_.catalog().CachedBytes());
+    counter("s2rdf_lazy_extvp_pairs_computed", db_.lazy_pairs_computed());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = out;
+    return response;
+  }
+  if (request.path != "/sparql") {
+    return ErrorResponse(NotFoundError("no such resource: " + request.path));
+  }
 
-  std::string query_text;
-  if (request.method == "GET") {
-    auto params = ParseQueryString(request.query_string);
-    query_text = params["query"];
-  } else if (request.method == "POST") {
+  // Request parameters come from the URL query string (always) plus, for
+  // form POSTs, the form body.
+  std::map<std::string, std::string> params =
+      ParseQueryString(request.query_string);
+  std::string query_text = params["query"];
+  if (request.method == "POST") {
     std::string content_type = request.Header("content-type");
     if (content_type.find("application/sparql-query") != std::string::npos) {
       query_text = request.body;
     } else if (content_type.find("application/x-www-form-urlencoded") !=
                    std::string::npos ||
                content_type.empty()) {
-      auto params = ParseQueryString(request.body);
+      auto form = ParseQueryString(request.body);
+      for (auto& [key, value] : form) params[key] = std::move(value);
       query_text = params["query"];
     } else {
       response.status_code = 415;
       response.body = "unsupported content type: " + content_type + "\n";
       return response;
     }
-  } else {
+  } else if (request.method != "GET") {
     response.status_code = 405;
     response.body = "use GET or POST\n";
     return response;
   }
 
   if (query_text.empty()) {
-    response.status_code = 400;
-    response.body = "missing 'query' parameter\n";
-    return response;
+    return ErrorResponse(
+        InvalidArgumentError("missing 'query' parameter"));
   }
 
-  auto result = db_.Execute(query_text);
+  core::QueryRequest query_request;
+  query_request.query = query_text;
+  query_request.options.timeout_ms = options_.default_timeout_ms;
+  bool present = false;
+  uint64_t value = 0;
+  if (!ParseParam(params, "timeout", &value, &present)) {
+    return ErrorResponse(
+        InvalidArgumentError("'timeout' must be a non-negative integer"));
+  }
+  if (present) query_request.options.timeout_ms = value;
+  if (options_.max_timeout_ms > 0 &&
+      (query_request.options.timeout_ms == 0 ||
+       query_request.options.timeout_ms > options_.max_timeout_ms)) {
+    query_request.options.timeout_ms = options_.max_timeout_ms;
+  }
+  if (!ParseParam(params, "limit", &value, &present)) {
+    return ErrorResponse(
+        InvalidArgumentError("'limit' must be a non-negative integer"));
+  }
+  if (present) query_request.options.max_result_rows = value;
+
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  auto result = db_.Execute(query_request);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   if (!result.ok()) {
-    response.status_code =
-        result.status().code() == StatusCode::kInvalidArgument ? 400 : 500;
-    response.body = result.status().ToString() + "\n";
-    return response;
+    query_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(result.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    cumulative_ += result->metrics;
   }
 
   ResultFormat format = NegotiateFormat(request.Header("accept"));
@@ -141,96 +246,139 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
 }
 
 StatusOr<int> SparqlEndpoint::Start(int port) {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return IoError("socket() failed");
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError("socket() failed");
   int reuse = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
     return IoError("bind() failed on port " + std::to_string(port));
   }
-  if (listen(listen_fd_, 16) != 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
+  if (listen(fd, 16) != 0) {
+    close(fd);
     return IoError("listen() failed");
   }
   socklen_t len = sizeof(addr);
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   int bound_port = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
 
+  pool_ = std::make_unique<WorkerPool>(options_.num_workers,
+                                       options_.queue_capacity);
+  pool_->Start();
   running_ = true;
-  server_thread_ = std::thread([this] { ServeLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return bound_port;
 }
 
-void SparqlEndpoint::ServeLoop() {
+std::string SparqlEndpoint::ReadRequest(int client) {
+  // Read the head, then honor Content-Length.
+  std::string raw;
+  char buf[4096];
+  size_t content_length = 0;
+  size_t head_end = std::string::npos;
+  while (true) {
+    ssize_t n = read(client, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+    if (head_end == std::string::npos) {
+      head_end = raw.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        auto parsed = ParseHttpRequest(raw.substr(0, head_end + 4));
+        if (parsed.ok()) {
+          std::string cl = parsed->Header("content-length");
+          content_length = cl.empty()
+                               ? 0
+                               : static_cast<size_t>(std::atoll(cl.c_str()));
+        }
+      }
+    }
+    if (head_end != std::string::npos &&
+        raw.size() >= head_end + 4 + content_length) {
+      break;
+    }
+  }
+  return raw;
+}
+
+void SparqlEndpoint::WriteResponse(int client, const HttpResponse& response) {
+  std::string wire = response.Serialize();
+  size_t written = 0;
+  while (written < wire.size()) {
+    ssize_t n = write(client, wire.data() + written, wire.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+}
+
+void SparqlEndpoint::HandleConnection(int client) {
+  if (options_.worker_hook) options_.worker_hook();
+  std::string raw = ReadRequest(client);
+  HttpResponse response;
+  auto request = ParseHttpRequest(raw);
+  if (!request.ok()) {
+    response = ErrorResponse(request.status());
+  } else {
+    response = Handle(*request);
+  }
+  WriteResponse(client, response);
+  close(client);
+}
+
+void SparqlEndpoint::AcceptLoop() {
   while (running_) {
-    int client = accept(listen_fd_, nullptr, nullptr);
+    int client = accept(listen_fd_.load(), nullptr, nullptr);
     if (client < 0) {
       if (!running_) break;
       continue;
     }
-    // Read the head, then honor Content-Length.
-    std::string raw;
-    char buf[4096];
-    size_t content_length = 0;
-    size_t head_end = std::string::npos;
-    while (true) {
-      ssize_t n = read(client, buf, sizeof(buf));
-      if (n <= 0) break;
-      raw.append(buf, static_cast<size_t>(n));
-      if (head_end == std::string::npos) {
-        head_end = raw.find("\r\n\r\n");
-        if (head_end != std::string::npos) {
-          auto parsed = ParseHttpRequest(raw.substr(0, head_end + 4));
-          if (parsed.ok()) {
-            std::string cl = parsed->Header("content-length");
-            content_length = cl.empty()
-                                 ? 0
-                                 : static_cast<size_t>(std::atoll(cl.c_str()));
-          }
-        }
-      }
-      if (head_end != std::string::npos &&
-          raw.size() >= head_end + 4 + content_length) {
-        break;
-      }
+    bool admitted = pool_->Submit([this, client] { HandleConnection(client); });
+    if (!admitted) {
+      // Admission control: every worker busy and the queue full. Read
+      // the request before answering so the close doesn't RST the
+      // client's receive buffer, then reject with 503.
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      (void)ReadRequest(client);
+      WriteResponse(client,
+                    ErrorResponse(ResourceExhaustedError(
+                        "server overloaded: connection queue is full")));
+      close(client);
     }
-    HttpResponse response;
-    auto request = ParseHttpRequest(raw);
-    if (!request.ok()) {
-      response.status_code = 400;
-      response.body = request.status().ToString() + "\n";
-    } else {
-      response = Handle(*request);
-    }
-    std::string wire = response.Serialize();
-    size_t written = 0;
-    while (written < wire.size()) {
-      ssize_t n = write(client, wire.data() + written,
-                        wire.size() - written);
-      if (n <= 0) break;
-      written += static_cast<size_t>(n);
-    }
-    close(client);
   }
+}
+
+EndpointStats SparqlEndpoint::Stats() const {
+  EndpointStats stats;
+  stats.queries_total = queries_total_.load(std::memory_order_relaxed);
+  stats.query_errors_total =
+      query_errors_total_.load(std::memory_order_relaxed);
+  stats.rejected_total = rejected_total_.load(std::memory_order_relaxed);
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.queue_depth = pool_ != nullptr ? pool_->QueueDepth() : 0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    stats.cumulative = cumulative_;
+  }
+  return stats;
 }
 
 void SparqlEndpoint::Stop() {
   if (!running_) return;
   running_ = false;
   // Unblock accept() by shutting the listener down.
-  shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
-  listen_fd_ = -1;
-  if (server_thread_.joinable()) server_thread_.join();
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain admitted connections, then join the workers.
+  if (pool_ != nullptr) pool_->Stop();
 }
 
 SparqlEndpoint::~SparqlEndpoint() { Stop(); }

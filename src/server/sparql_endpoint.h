@@ -2,51 +2,110 @@
 #define S2RDF_SERVER_SPARQL_ENDPOINT_H_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/status.h"
 #include "core/s2rdf.h"
 #include "server/http.h"
+#include "server/worker_pool.h"
 
 // SPARQL Protocol endpoint over an S2RDF store: the network face an
 // RDF store is expected to have. Implements the query operation of the
 // W3C SPARQL 1.1 Protocol:
 //
-//   GET  /sparql?query=<urlencoded>
+//   GET  /sparql?query=<urlencoded>[&timeout=<ms>][&limit=<rows>]
 //   POST /sparql   (application/x-www-form-urlencoded: query=...)
 //   POST /sparql   (application/sparql-query: raw query body)
+//   GET  /health   liveness probe ("ok")
+//   GET  /metrics  text exposition of server counters
 //
 // Result format is chosen from the Accept header (JSON by default;
 // XML, CSV, TSV supported). GET / serves a small status page.
+//
+// Connections are served by a fixed worker pool over a bounded queue;
+// when the queue is full new requests are answered 503 instead of
+// queueing unboundedly (admission control). Query errors map onto HTTP
+// statuses: kInvalidArgument -> 400, kNotFound -> 404,
+// kDeadlineExceeded -> 408, kCancelled/kResourceExhausted -> 503,
+// kUnimplemented -> 501, everything else -> 500.
 
 namespace s2rdf::server {
+
+struct EndpointOptions {
+  // Worker threads executing queries (one connection each).
+  int num_workers = 4;
+  // Connections allowed to wait beyond the busy workers; the next one
+  // is rejected with 503.
+  size_t queue_capacity = 16;
+  // Applied to requests that carry no ?timeout= parameter (0 = none).
+  uint64_t default_timeout_ms = 0;
+  // Upper bound on client-requested timeouts (0 = unbounded).
+  uint64_t max_timeout_ms = 0;
+  // Test hook, run by the worker before handling each connection.
+  std::function<void()> worker_hook;
+};
+
+// Point-in-time server counters (all cumulative since Start except
+// in_flight / queue_depth).
+struct EndpointStats {
+  uint64_t queries_total = 0;
+  uint64_t query_errors_total = 0;
+  uint64_t rejected_total = 0;
+  uint64_t in_flight = 0;
+  uint64_t queue_depth = 0;
+  // Sum of per-query engine metrics over all successful queries.
+  engine::ExecMetrics cumulative;
+};
 
 class SparqlEndpoint {
  public:
   // `db` must outlive the endpoint.
-  explicit SparqlEndpoint(core::S2Rdf* db) : db_(*db) {}
+  explicit SparqlEndpoint(core::S2Rdf* db,
+                          EndpointOptions options = EndpointOptions())
+      : db_(*db), options_(std::move(options)) {}
 
   // Pure request -> response mapping (transport-independent; this is
-  // what the tests exercise and what the socket loop calls).
+  // what the tests exercise and what the worker threads call).
   HttpResponse Handle(const HttpRequest& request);
 
-  // Starts the socket server on 127.0.0.1:`port` (0 = ephemeral) in a
-  // background thread. Returns the bound port.
+  // Starts the socket server on 127.0.0.1:`port` (0 = ephemeral): an
+  // acceptor thread plus the worker pool. Returns the bound port.
   StatusOr<int> Start(int port);
 
-  // Stops the socket server and joins the thread.
+  // Stops accepting, drains admitted connections, joins all threads.
   void Stop();
+
+  EndpointStats Stats() const;
 
   ~SparqlEndpoint();
 
  private:
-  void ServeLoop();
+  void AcceptLoop();
+  // Reads one request from `client`, handles it, writes the response.
+  void HandleConnection(int client);
+  // Reads head + Content-Length body; empty string on read failure.
+  std::string ReadRequest(int client);
+  void WriteResponse(int client, const HttpResponse& response);
 
   core::S2Rdf& db_;
-  int listen_fd_ = -1;
+  EndpointOptions options_;
+  // Atomic: Stop() closes the listener while AcceptLoop reads it.
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
-  std::thread server_thread_;
+  std::thread accept_thread_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> query_errors_total_{0};
+  std::atomic<uint64_t> rejected_total_{0};
+  std::atomic<uint64_t> in_flight_{0};
+  // Guards cumulative_ (ExecMetrics is a plain struct).
+  mutable std::mutex metrics_mu_;
+  engine::ExecMetrics cumulative_;
 };
 
 }  // namespace s2rdf::server

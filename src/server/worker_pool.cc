@@ -1,0 +1,71 @@
+#include "server/worker_pool.h"
+
+#include <utility>
+
+namespace s2rdf::server {
+
+WorkerPool::WorkerPool(int num_workers, size_t queue_capacity)
+    : num_workers_(num_workers > 0 ? num_workers : 1),
+      queue_capacity_(queue_capacity) {}
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+void WorkerPool::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) return;
+    started_ = true;
+  }
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_ || queue_.size() >= queue_capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+size_t WorkerPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain queued tasks even while stopping: clients whose requests
+      // were admitted still get responses.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace s2rdf::server

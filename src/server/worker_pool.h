@@ -1,0 +1,58 @@
+#ifndef S2RDF_SERVER_WORKER_POOL_H_
+#define S2RDF_SERVER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool with a bounded task queue — the endpoint's
+// admission-control primitive. Submit never blocks: when every worker
+// is busy and the queue is full it returns false, and the caller turns
+// that into an HTTP 503 instead of piling up unbounded work.
+
+namespace s2rdf::server {
+
+class WorkerPool {
+ public:
+  // `queue_capacity` bounds tasks waiting beyond the ones workers are
+  // already running.
+  WorkerPool(int num_workers, size_t queue_capacity);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Spawns the worker threads. Call once.
+  void Start();
+
+  // Enqueues `task`; returns false (task dropped) when the queue is at
+  // capacity or the pool is stopped/not started.
+  bool Submit(std::function<void()> task);
+
+  // Lets queued tasks drain, then joins all workers. Idempotent.
+  void Stop();
+
+  // Tasks waiting in the queue (excludes tasks currently running).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  const int num_workers_;
+  const size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace s2rdf::server
+
+#endif  // S2RDF_SERVER_WORKER_POOL_H_

@@ -1,6 +1,8 @@
 #include "storage/catalog.h"
 
 #include <cstdio>
+#include <unordered_map>
+#include <utility>
 
 #include "common/file_util.h"
 #include "common/strings.h"
@@ -15,6 +17,29 @@ Catalog::Catalog(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  dir_ = std::move(other.dir_);
+  stats_ = std::move(other.stats_);
+  cache_ = std::move(other.cache_);
+  memory_budget_ = other.memory_budget_;
+  cached_bytes_ = other.cached_bytes_;
+  lru_ = std::move(other.lru_);
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    dir_ = std::move(other.dir_);
+    stats_ = std::move(other.stats_);
+    cache_ = std::move(other.cache_);
+    memory_budget_ = other.memory_budget_;
+    cached_bytes_ = other.cached_bytes_;
+    lru_ = std::move(other.lru_);
+  }
+  return *this;
+}
+
 std::string Catalog::TablePath(const std::string& name) const {
   return dir_ + "/" + name + ".s2tb";
 }
@@ -26,13 +51,16 @@ Status Catalog::Put(const std::string& name, engine::Table table,
   stats.rows = table.NumRows();
   stats.selectivity = selectivity;
   stats.materialized = true;
+  // Serialize/save outside the lock: disk writes must not stall readers.
   if (dir_.empty()) {
     stats.bytes = SerializeTable(table).size();
   } else {
     S2RDF_ASSIGN_OR_RETURN(stats.bytes, SaveTable(table, TablePath(name)));
   }
+  auto owned = std::make_shared<const engine::Table>(std::move(table));
+  std::lock_guard<std::mutex> lock(mu_);
   stats_[name] = stats;
-  CacheInsert(name, std::make_unique<engine::Table>(std::move(table)));
+  CacheInsertLocked(name, std::move(owned));
   return Status::Ok();
 }
 
@@ -43,44 +71,65 @@ void Catalog::PutStatsOnly(const std::string& name, uint64_t rows,
   stats.rows = rows;
   stats.selectivity = selectivity;
   stats.materialized = false;
+  std::lock_guard<std::mutex> lock(mu_);
   stats_[name] = stats;
 }
 
 bool Catalog::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return stats_.contains(name);
 }
 
 const TableStats* Catalog::GetStats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find(name);
+  // Safe to return after unlock: map nodes are stable and stats entries
+  // are never erased.
   return it == stats_.end() ? nullptr : &it->second;
 }
 
-StatusOr<const engine::Table*> Catalog::GetTable(const std::string& name) {
-  auto cached = cache_.find(name);
-  if (cached != cache_.end()) {
-    TouchLru(name);
-    return cached->second.get();
+StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cached = cache_.find(name);
+    if (cached != cache_.end()) {
+      TouchLruLocked(name);
+      return cached->second;
+    }
+    auto it = stats_.find(name);
+    if (it == stats_.end() || !it->second.materialized) {
+      return NotFoundError("table not materialized: " + name);
+    }
   }
-  const TableStats* stats = GetStats(name);
-  if (stats == nullptr || !stats->materialized) {
-    return NotFoundError("table not materialized: " + name);
-  }
+  // Load from disk outside the lock so distinct tables page in
+  // concurrently. Two threads may race to load the same table; the
+  // loser's copy simply replaces the winner's in the cache (both stay
+  // valid through their shared_ptrs).
   S2RDF_ASSIGN_OR_RETURN(engine::Table table, LoadTable(TablePath(name)));
-  auto owned = std::make_unique<engine::Table>(std::move(table));
-  const engine::Table* ptr = owned.get();
-  CacheInsert(name, std::move(owned));
-  return ptr;
+  auto owned = std::make_shared<const engine::Table>(std::move(table));
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheInsertLocked(name, owned);
+  return owned;
 }
 
-void Catalog::CacheInsert(const std::string& name,
-                          std::unique_ptr<engine::Table> table) {
-  EvictFromMemory(name);  // Replace any stale copy.
+StatusOr<const engine::Table*> Catalog::GetTable(const std::string& name) {
+  S2RDF_ASSIGN_OR_RETURN(std::shared_ptr<const engine::Table> table,
+                         GetTableShared(name));
+  // The cache keeps a reference; the raw pointer is valid until the
+  // table is evicted or replaced.
+  return table.get();
+}
+
+void Catalog::CacheInsertLocked(const std::string& name,
+                                std::shared_ptr<const engine::Table> table) {
+  EvictFromMemoryLocked(name);  // Replace any stale copy.
   cached_bytes_ += table->ApproxBytes();
   cache_[name] = std::move(table);
   lru_.push_back(name);
 }
 
-void Catalog::TouchLru(const std::string& name) {
+void Catalog::TouchLruLocked(const std::string& name) {
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (*it == name) {
       lru_.erase(it);
@@ -90,7 +139,7 @@ void Catalog::TouchLru(const std::string& name) {
   lru_.push_back(name);
 }
 
-void Catalog::EvictFromMemory(const std::string& name) {
+void Catalog::EvictFromMemoryLocked(const std::string& name) {
   auto it = cache_.find(name);
   if (it == cache_.end()) return;
   cached_bytes_ -= it->second->ApproxBytes();
@@ -103,18 +152,40 @@ void Catalog::EvictFromMemory(const std::string& name) {
   }
 }
 
+void Catalog::EvictFromMemory(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictFromMemoryLocked(name);
+}
+
+void Catalog::SetMemoryBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_budget_ = bytes;
+}
+
+uint64_t Catalog::memory_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_budget_;
+}
+
+uint64_t Catalog::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_bytes_;
+}
+
 size_t Catalog::EvictToBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (memory_budget_ == 0 || dir_.empty()) return 0;
   size_t evicted = 0;
   while (cached_bytes_ > memory_budget_ && !lru_.empty()) {
     std::string victim = lru_.front();
-    EvictFromMemory(victim);
+    EvictFromMemoryLocked(victim);
     ++evicted;
   }
   return evicted;
 }
 
 uint64_t Catalog::TotalTuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, stats] : stats_) {
     if (stats.materialized) total += stats.rows;
@@ -123,12 +194,14 @@ uint64_t Catalog::TotalTuples() const {
 }
 
 uint64_t Catalog::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, stats] : stats_) total += stats.bytes;
   return total;
 }
 
 size_t Catalog::NumMaterializedTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
   for (const auto& [name, stats] : stats_) {
     if (stats.materialized) ++count;
@@ -136,7 +209,13 @@ size_t Catalog::NumMaterializedTables() const {
   return count;
 }
 
+size_t Catalog::NumStatsEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.size();
+}
+
 std::vector<const TableStats*> Catalog::AllStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const TableStats*> out;
   out.reserve(stats_.size());
   for (const auto& [name, stats] : stats_) out.push_back(&stats);
@@ -148,15 +227,18 @@ Status Catalog::SaveManifest() const {
     return FailedPreconditionError("in-memory catalog has no manifest");
   }
   std::string out = "# name\trows\tselectivity\tbytes\tmaterialized\n";
-  for (const auto& [name, stats] : stats_) {
-    char line[512];
-    std::snprintf(line, sizeof(line), "%s\t%llu\t%.17g\t%llu\t%d\n",
-                  name.c_str(),
-                  static_cast<unsigned long long>(stats.rows),
-                  stats.selectivity,
-                  static_cast<unsigned long long>(stats.bytes),
-                  stats.materialized ? 1 : 0);
-    out += line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, stats] : stats_) {
+      char line[512];
+      std::snprintf(line, sizeof(line), "%s\t%llu\t%.17g\t%llu\t%d\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(stats.rows),
+                    stats.selectivity,
+                    static_cast<unsigned long long>(stats.bytes),
+                    stats.materialized ? 1 : 0);
+      out += line;
+    }
   }
   return WriteFile(dir_ + "/manifest.tsv", out);
 }
@@ -167,6 +249,7 @@ Status Catalog::LoadManifest() {
   }
   std::string content;
   S2RDF_RETURN_IF_ERROR(ReadFile(dir_ + "/manifest.tsv", &content));
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.clear();
   cache_.clear();
   lru_.clear();
@@ -197,9 +280,19 @@ Status Catalog::LoadManifest() {
 }
 
 engine::TableProvider Catalog::AsProvider() {
-  return [this](const std::string& name) -> const engine::Table* {
-    StatusOr<const engine::Table*> table = GetTable(name);
-    return table.ok() ? *table : nullptr;
+  // The pin map keeps every resolved table alive (and memoizes the
+  // lookup) for as long as the provider itself lives — one query.
+  auto pins = std::make_shared<
+      std::unordered_map<std::string, std::shared_ptr<const engine::Table>>>();
+  return [this, pins](const std::string& name) -> const engine::Table* {
+    auto pinned = pins->find(name);
+    if (pinned != pins->end()) return pinned->second.get();
+    StatusOr<std::shared_ptr<const engine::Table>> table =
+        GetTableShared(name);
+    if (!table.ok()) return nullptr;
+    const engine::Table* ptr = table->get();
+    pins->emplace(name, std::move(*table));
+    return ptr;
   };
 }
 

@@ -5,6 +5,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@
 // statistics exist even for tables that were *not* materialized (empty
 // tables and tables pruned by the SF threshold), which is what enables
 // the paper's "answer from statistics alone" shortcut.
+//
+// Thread safety: all public methods are safe to call concurrently. The
+// in-memory cache hands out shared_ptr ownership, so evicting a table
+// under memory pressure never invalidates a copy an in-flight query is
+// still scanning. Stats entries are never erased (only added), so the
+// pointers returned by GetStats stay valid for the catalog's lifetime.
 
 namespace s2rdf::storage {
 
@@ -39,8 +46,10 @@ class Catalog {
   // (bytes are then the serialized size, computed on registration).
   explicit Catalog(std::string dir);
 
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  // Moves transfer the table map; neither operand may be in concurrent
+  // use during the move.
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
@@ -56,8 +65,14 @@ class Catalog {
   bool Has(const std::string& name) const;
   const TableStats* GetStats(const std::string& name) const;
 
-  // Returns the table, loading it from disk on first access. NotFound
-  // for unknown or unmaterialized names.
+  // Returns shared ownership of the table, loading it from disk on
+  // first access. The returned pointer stays valid across evictions.
+  // NotFound for unknown or unmaterialized names.
+  StatusOr<std::shared_ptr<const engine::Table>> GetTableShared(
+      const std::string& name);
+
+  // Raw-pointer variant for single-threaded callers (layout builders,
+  // baselines, tests): valid until the table is evicted or replaced.
   StatusOr<const engine::Table*> GetTable(const std::string& name);
 
   // Drops a materialized table's in-memory copy (it stays on disk).
@@ -67,17 +82,18 @@ class Catalog {
   //
   // Disk-backed catalogs can bound their in-memory cache: EvictToBudget
   // drops least-recently-used tables until CachedBytes() fits the
-  // budget. Eviction is explicit (never inside GetTable) so pointers
-  // returned by GetTable stay valid for the duration of one query; the
-  // S2Rdf facade evicts between queries. In-memory catalogs (empty
-  // `dir`) never evict — their tables have no disk copy.
+  // budget. Queries pin the tables they scan via the shared_ptr handles
+  // of GetTableShared / AsProvider, so eviction only drops the
+  // catalog's own reference; the bytes are reclaimed when the last
+  // in-flight query releases its pin. In-memory catalogs (empty `dir`)
+  // never evict — their tables have no disk copy.
 
   // 0 (default) = unlimited.
-  void SetMemoryBudget(uint64_t bytes) { memory_budget_ = bytes; }
-  uint64_t memory_budget() const { return memory_budget_; }
+  void SetMemoryBudget(uint64_t bytes);
+  uint64_t memory_budget() const;
 
   // Approximate bytes of cached (in-memory) tables.
-  uint64_t CachedBytes() const { return cached_bytes_; }
+  uint64_t CachedBytes() const;
 
   // Evicts LRU disk-backed tables until within budget; returns the
   // number of tables dropped.
@@ -87,7 +103,7 @@ class Catalog {
   uint64_t TotalTuples() const;
   uint64_t TotalBytes() const;
   size_t NumMaterializedTables() const;
-  size_t NumStatsEntries() const { return stats_.size(); }
+  size_t NumStatsEntries() const;
 
   // All stats entries, name-ordered.
   std::vector<const TableStats*> AllStats() const;
@@ -96,21 +112,27 @@ class Catalog {
   Status SaveManifest() const;
   Status LoadManifest();
 
-  // Adapter for engine::ExecutePlan. The provider loads lazily and
-  // returns nullptr for unknown tables.
+  // Adapter for engine::ExecutePlan. The provider loads lazily, returns
+  // nullptr for unknown tables, and *pins* every table it resolves for
+  // its own lifetime — callers keep the provider alive for the duration
+  // of one query, making concurrent eviction safe.
   engine::TableProvider AsProvider();
 
   const std::string& dir() const { return dir_; }
 
  private:
   std::string TablePath(const std::string& name) const;
-  void CacheInsert(const std::string& name,
-                   std::unique_ptr<engine::Table> table);
-  void TouchLru(const std::string& name);
+  // The *Locked helpers assume mu_ is held.
+  void CacheInsertLocked(const std::string& name,
+                         std::shared_ptr<const engine::Table> table);
+  void EvictFromMemoryLocked(const std::string& name);
+  void TouchLruLocked(const std::string& name);
 
   std::string dir_;
+  // Guards stats_, cache_, lru_, cached_bytes_, memory_budget_.
+  mutable std::mutex mu_;
   std::map<std::string, TableStats> stats_;
-  std::map<std::string, std::unique_ptr<engine::Table>> cache_;
+  std::map<std::string, std::shared_ptr<const engine::Table>> cache_;
   uint64_t memory_budget_ = 0;
   uint64_t cached_bytes_ = 0;
   // Least-recently-used at front; names mirror cache_ keys.

@@ -4,12 +4,67 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "core/s2rdf.h"
 #include "server/http.h"
 #include "server/sparql_endpoint.h"
+#include "server/worker_pool.h"
 
 namespace s2rdf::server {
 namespace {
+
+// --- Worker pool ----------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsSubmittedTasks) {
+  WorkerPool pool(4, 16);
+  pool.Start();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    while (!pool.Submit([&ran] { ++ran; })) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  pool.Stop();  // Drains the queue before joining.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(WorkerPoolTest, RejectsWhenQueueFull) {
+  WorkerPool pool(1, 1);
+  pool.Start();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  // Occupy the only worker.
+  ASSERT_TRUE(pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // Fill the one queue slot, then overflow.
+  EXPECT_TRUE(pool.Submit([] {}));
+  EXPECT_EQ(pool.QueueDepth(), 1u);
+  EXPECT_FALSE(pool.Submit([] {}));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Stop();
+  EXPECT_FALSE(pool.Submit([] {}));  // Stopped pools reject.
+}
 
 // --- HTTP plumbing --------------------------------------------------------
 
@@ -212,6 +267,236 @@ TEST_F(EndpointTest, SocketRoundTrip) {
   EXPECT_NE(response.find("application/sparql-results+json"),
             std::string::npos);
   EXPECT_NE(response.find("I1"), std::string::npos);
+}
+
+// --- Health, metrics and request parameters -------------------------------
+
+TEST_F(EndpointTest, HealthEndpoint) {
+  HttpResponse response = Get("/health");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(EndpointTest, MetricsEndpoint) {
+  // Serve one query so the counters move.
+  EXPECT_EQ(Get("/sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20"
+                "%3Cfollows%3E%20%3Fo%20%7D")
+                .status_code,
+            200);
+  EXPECT_EQ(Get("/sparql?query=NOT%20SPARQL").status_code, 400);
+  HttpResponse response = Get("/metrics");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("s2rdf_queries_total 2"), std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_query_errors_total 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_rejected_total 0"), std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_exec_input_tuples_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_catalog_materialized_tables"),
+            std::string::npos);
+}
+
+TEST_F(EndpointTest, LimitParamTruncatesResults) {
+  // The fixture graph has two <follows> rows; limit=1 keeps one.
+  std::string target =
+      "/sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20"
+      "%3Fo%20%7D&limit=1";
+  HttpResponse response = Get(target, "text/csv");
+  EXPECT_EQ(response.status_code, 200);
+  // Header line + one data row.
+  EXPECT_EQ(std::count(response.body.begin(), response.body.end(), '\n'), 2);
+}
+
+TEST_F(EndpointTest, MalformedParamsReturn400) {
+  std::string query =
+      "query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20%3Fo%20%7D";
+  EXPECT_EQ(Get("/sparql?" + query + "&timeout=soon").status_code, 400);
+  EXPECT_EQ(Get("/sparql?" + query + "&timeout=-5").status_code, 400);
+  EXPECT_EQ(Get("/sparql?" + query + "&limit=many").status_code, 400);
+}
+
+TEST(EndpointTimeoutTest, TimeoutParamReturns408) {
+  // An unconstrained 1200x1200 cross product cannot finish in 1 ms.
+  rdf::Graph g;
+  for (int i = 0; i < 1200; ++i) {
+    g.AddIris("A" + std::to_string(i), "p", "B" + std::to_string(i));
+    g.AddIris("C" + std::to_string(i), "q", "D" + std::to_string(i));
+  }
+  auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+  ASSERT_TRUE(db.ok());
+  SparqlEndpoint endpoint(db->get());
+
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/sparql";
+  request.query_string = "timeout=1";
+  request.headers["content-type"] = "application/sparql-query";
+  request.body = "SELECT * WHERE { ?a <p> ?b . ?c <q> ?d . }";
+  HttpResponse response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 408);
+  EXPECT_NE(response.body.find("deadline_exceeded"), std::string::npos);
+}
+
+TEST(EndpointTimeoutTest, MaxTimeoutCapsUnboundedRequests) {
+  rdf::Graph g;
+  for (int i = 0; i < 1200; ++i) {
+    g.AddIris("A" + std::to_string(i), "p", "B" + std::to_string(i));
+    g.AddIris("C" + std::to_string(i), "q", "D" + std::to_string(i));
+  }
+  auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+  ASSERT_TRUE(db.ok());
+  EndpointOptions options;
+  options.max_timeout_ms = 1;  // Server-side ceiling.
+  SparqlEndpoint endpoint(db->get(), options);
+
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/sparql";
+  request.headers["content-type"] = "application/sparql-query";
+  request.body = "SELECT * WHERE { ?a <p> ?b . ?c <q> ?d . }";
+  EXPECT_EQ(endpoint.Handle(request).status_code, 408);
+}
+
+// --- Admission control ----------------------------------------------------
+
+namespace {
+
+// Sends `request` and returns the raw response (blocking).
+std::string RoundTrip(int port, const std::string& request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  (void)!write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(EndpointSaturationTest, OverloadedServerReturns503) {
+  rdf::Graph g;
+  g.AddIris("A", "follows", "B");
+  auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+  ASSERT_TRUE(db.ok());
+
+  // One worker, one queue slot; the hook parks the worker so we can
+  // saturate deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  int parked = 0;
+  EndpointOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.worker_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++parked;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  SparqlEndpoint endpoint(db->get(), options);
+  auto port = endpoint.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const std::string request =
+      "GET /sparql?query=ASK%20%7B%20%3CA%3E%20%3Cfollows%3E%20%3CB%3E%20%7D"
+      " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+
+  // Connection 1 occupies the worker (blocked in the hook).
+  std::thread first([&] {
+    EXPECT_NE(RoundTrip(*port, request).find("HTTP/1.1 200"),
+              std::string::npos);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return parked == 1; }));
+  }
+
+  // Connection 2 fills the queue slot.
+  std::thread second([&] {
+    EXPECT_NE(RoundTrip(*port, request).find("HTTP/1.1 200"),
+              std::string::npos);
+  });
+  for (int i = 0; i < 5000 && endpoint.Stats().queue_depth == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(endpoint.Stats().queue_depth, 1u);
+
+  // Connection 3 exceeds capacity: rejected with 503 while the others
+  // are still pending.
+  std::string rejected = RoundTrip(*port, request);
+  EXPECT_NE(rejected.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(rejected.find("resource_exhausted"), std::string::npos);
+  EXPECT_EQ(endpoint.Stats().rejected_total, 1u);
+
+  // Release the worker: both admitted connections complete.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  first.join();
+  second.join();
+  endpoint.Stop();
+  EXPECT_EQ(endpoint.Stats().queries_total, 2u);
+}
+
+// Many concurrent clients against a small pool: every connection gets
+// either a definitive answer or a clean 503, and the server survives.
+TEST(EndpointSaturationTest, ConcurrentClientsAllGetResponses) {
+  rdf::Graph g;
+  g.AddIris("A", "follows", "B");
+  g.AddIris("B", "follows", "C");
+  auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+  ASSERT_TRUE(db.ok());
+  EndpointOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 4;
+  SparqlEndpoint endpoint(db->get(), options);
+  auto port = endpoint.Start(0);
+  ASSERT_TRUE(port.ok());
+
+  const std::string request =
+      "GET /sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E"
+      "%20%3Fo%20%7D HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 16; ++i) {
+    clients.emplace_back([&] {
+      for (int j = 0; j < 4; ++j) {
+        std::string response = RoundTrip(*port, request);
+        if (response.find("HTTP/1.1 200") != std::string::npos) {
+          ++ok;
+        } else if (response.find("HTTP/1.1 503") != std::string::npos) {
+          ++rejected;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  endpoint.Stop();
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok.load() + rejected.load(), 64);
+  EXPECT_GT(ok.load(), 0);
 }
 
 }  // namespace
