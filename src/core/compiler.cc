@@ -102,6 +102,10 @@ StatusOr<PlanPtr> QueryCompiler::CompileBgp(
         TableChoice choice,
         SelectTable(i, bgp, options_.layout, options_.use_statistics_shortcut,
                     catalog_, dict_, options_.bitmap_store));
+    if (choice.degraded && !noted_degraded_) {
+      noted_degraded_ = true;
+      catalog_.NoteDegradedQuery();
+    }
     if (choice.empty_result) {
       // Statistics prove emptiness: return an empty relation with the
       // BGP's variables as schema (Algorithm 3, line 4).

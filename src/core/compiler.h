@@ -63,6 +63,10 @@ class QueryCompiler {
   const storage::Catalog& catalog_;
   const rdf::Dictionary& dict_;
   CompilerOptions options_;
+  // One queries_degraded tick per compiled query, however many patterns
+  // had to substitute tables. Compilers are per-query, so this does not
+  // need synchronization; mutable because Compile is const.
+  mutable bool noted_degraded_ = false;
 };
 
 }  // namespace s2rdf::core

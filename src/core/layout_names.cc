@@ -1,6 +1,7 @@
 #include "core/layout_names.h"
 
 #include <cctype>
+#include <string_view>
 
 namespace s2rdf::core {
 
@@ -38,6 +39,18 @@ std::string ExtVpTableName(const rdf::Dictionary& dict, Correlation corr,
   return "extvp_" + std::string(CorrelationName(corr)) + "_" +
          PredicateFragment(dict.Decode(p1)) + "_" + std::to_string(p1) +
          "__" + PredicateFragment(dict.Decode(p2)) + "_" + std::to_string(p2);
+}
+
+std::string VpTableNameForExtVp(const std::string& extvp_name) {
+  // "extvp_<corr>_<frag1>_<id1>__<frag2>_<id2>" -> "vp_<frag1>_<id1>".
+  for (const char* prefix : {"extvp_ss_", "extvp_os_", "extvp_so_"}) {
+    size_t prefix_len = std::string_view(prefix).size();
+    if (extvp_name.compare(0, prefix_len, prefix) != 0) continue;
+    size_t sep = extvp_name.find("__", prefix_len);
+    if (sep == std::string::npos) return "";
+    return "vp_" + extvp_name.substr(prefix_len, sep - prefix_len);
+  }
+  return "";
 }
 
 std::string PropertyTableName() { return "pt"; }

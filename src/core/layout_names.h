@@ -37,6 +37,12 @@ std::string PredicateFragment(const std::string& canonical_term);
 
 std::string TriplesTableName();
 std::string VpTableName(const rdf::Dictionary& dict, rdf::TermId predicate);
+
+// Inverse naming map used for graceful degradation: the base VP table
+// that is a superset of the given ExtVP table ("extvp_ss_a_1__b_2" ->
+// "vp_a_1"). Pure string transform (no dictionary), so the storage
+// layer's fallback hook can use it. Returns "" for non-ExtVP names.
+std::string VpTableNameForExtVp(const std::string& extvp_name);
 std::string ExtVpTableName(const rdf::Dictionary& dict, Correlation corr,
                            rdf::TermId p1, rdf::TermId p2);
 std::string PropertyTableName();

@@ -35,7 +35,11 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
                                                const S2RdfOptions& options) {
   auto db = std::unique_ptr<S2Rdf>(
       new S2Rdf(std::move(graph), options.storage_dir,
-                options.num_partitions, options.parallel_execution));
+                options.num_partitions, options.parallel_execution,
+                options.env));
+  // ExtVP tables that fail their load-time checksum degrade to the base
+  // VP table (a superset with the same schema), keeping results intact.
+  db->catalog_.SetDegradedFallback(VpTableNameForExtVp);
 
   auto start = std::chrono::steady_clock::now();
   if (options.build_triples_table) {
@@ -71,9 +75,11 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
   }
   if (!options.storage_dir.empty()) {
     S2RDF_RETURN_IF_ERROR(db->catalog_.SaveManifest());
+    storage::Env* env =
+        options.env != nullptr ? options.env : storage::Env::Default();
     S2RDF_RETURN_IF_ERROR(
-        WriteFile(options.storage_dir + "/dictionary.bin",
-                  db->graph_.dictionary().Serialize()));
+        env->WriteFileAtomic(options.storage_dir + "/dictionary.bin",
+                             db->graph_.dictionary().Serialize()));
   }
   db->catalog_.SetMemoryBudget(options.memory_budget_bytes);
   db->catalog_.EvictToBudget();
@@ -81,21 +87,26 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
 }
 
 StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Open(const std::string& storage_dir,
-                                             int num_partitions) {
+                                             int num_partitions,
+                                             storage::Env* env) {
   if (storage_dir.empty()) {
     return InvalidArgumentError("Open requires a storage directory");
   }
+  if (env == nullptr) env = storage::Env::Default();
   std::string blob;
-  S2RDF_RETURN_IF_ERROR(ReadFile(storage_dir + "/dictionary.bin", &blob));
+  S2RDF_RETURN_IF_ERROR(env->ReadFile(storage_dir + "/dictionary.bin", &blob));
   S2RDF_ASSIGN_OR_RETURN(rdf::Dictionary dict,
                          rdf::Dictionary::Deserialize(blob));
   // The reopened instance carries the dictionary but no triple list;
   // queries execute against the persisted tables.
   rdf::Graph graph;
   graph.dictionary() = std::move(dict);
-  auto db = std::unique_ptr<S2Rdf>(
-      new S2Rdf(std::move(graph), storage_dir, num_partitions));
-  S2RDF_RETURN_IF_ERROR(db->catalog_.LoadManifest());
+  auto db = std::unique_ptr<S2Rdf>(new S2Rdf(
+      std::move(graph), storage_dir, num_partitions, false, env));
+  // Startup recovery: verify the manifest chain and every table's
+  // checksums, quarantine corruption, sweep crash debris.
+  S2RDF_ASSIGN_OR_RETURN(db->recovery_report_, db->catalog_.Recover());
+  db->catalog_.SetDegradedFallback(VpTableNameForExtVp);
   return db;
 }
 

@@ -45,6 +45,10 @@ namespace s2rdf::core {
 struct S2RdfOptions {
   // Storage directory; empty keeps all tables in memory.
   std::string storage_dir;
+  // File-I/O environment for the catalog and persisted artifacts
+  // (Env::Default() when null; fault-injection tests substitute their
+  // own). Must outlive the S2Rdf instance.
+  storage::Env* env = nullptr;
   // ExtVP selectivity-factor threshold (Sec. 5.3). 1.0 = no threshold.
   double sf_threshold = 1.0;
   // Layouts to build. The triples table is required for queries with
@@ -133,12 +137,15 @@ class S2Rdf {
                                                  const S2RdfOptions& options);
 
   // Reopens a store previously persisted by Create with a non-empty
-  // `storage_dir`: loads the manifest and dictionary, then serves
-  // queries with tables paged in lazily from disk. The bit-vector ExtVP
-  // store is not persisted, so Layout::kExtVpBitmap is unavailable on a
-  // reopened store.
+  // `storage_dir`: runs the startup recovery pass (manifest chain,
+  // table verification, quarantine, temp-file cleanup — see
+  // recovery_report()), loads the dictionary, then serves queries with
+  // tables paged in lazily from disk. The bit-vector ExtVP store is not
+  // persisted, so Layout::kExtVpBitmap is unavailable on a reopened
+  // store.
   static StatusOr<std::unique_ptr<S2Rdf>> Open(const std::string& storage_dir,
-                                               int num_partitions = 9);
+                                               int num_partitions = 9,
+                                               storage::Env* env = nullptr);
 
   // Primary entry point: parses, compiles and executes request.query
   // under request.options. Thread-safe.
@@ -170,12 +177,17 @@ class S2Rdf {
   uint64_t lazy_pairs_computed() const {
     return lazy_pairs_computed_.load(std::memory_order_relaxed);
   }
+  // What the startup recovery pass found (all zero for Create-built
+  // instances, which never recover).
+  const storage::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
 
  private:
   S2Rdf(rdf::Graph graph, std::string storage_dir, int num_partitions,
-        bool parallel_execution = false)
+        bool parallel_execution = false, storage::Env* env = nullptr)
       : graph_(std::move(graph)),
-        catalog_(std::move(storage_dir)),
+        catalog_(std::move(storage_dir), env),
         num_partitions_(num_partitions),
         parallel_execution_(parallel_execution) {}
 
@@ -211,6 +223,7 @@ class S2Rdf {
   double sf_threshold_ = 1.0;
   std::atomic<uint64_t> lazy_pairs_computed_{0};
   LoadStats load_stats_;
+  storage::RecoveryReport recovery_report_;
   std::unique_ptr<ExtVpBitmapStore> bitmap_store_;
 
   // Guards the lazy-ExtVP in-flight set; lazy_cv_ wakes waiters when a

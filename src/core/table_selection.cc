@@ -143,6 +143,25 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
   choice.sf = 1.0;
   choice.rows = vp_stats->rows;
 
+  // A quarantined VP table cannot be scanned; degrade to the triples
+  // table with an explicit predicate selection (is_triples_table makes
+  // ScanForPattern emit it). TT ⊇ VP, so results are unchanged.
+  if (catalog.IsQuarantined(vp_name)) {
+    const storage::TableStats* tt_stats =
+        catalog.GetStats(TriplesTableName());
+    if (tt_stats == nullptr || catalog.IsQuarantined(TriplesTableName())) {
+      return FailedPreconditionError(
+          "VP table quarantined and no triples table to degrade to: " +
+          vp_name);
+    }
+    choice.table_name = TriplesTableName();
+    choice.sf = 1.0;
+    choice.rows = tt_stats->rows;
+    choice.is_triples_table = true;
+    choice.degraded = true;
+    return choice;
+  }
+
   if (layout == Layout::kVp) return choice;
 
   if (layout == Layout::kExtVpBitmap) {
@@ -196,6 +215,12 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
       }
       if (!stats->materialized) continue;  // SF = 1 or pruned by threshold.
       if (stats->selectivity < choice.sf) {
+        if (catalog.IsQuarantined(name)) {
+          // The better ExtVP table is corrupt: stay on the current
+          // (superset) choice and record the degradation.
+          choice.degraded = true;
+          continue;
+        }
         choice.table_name = name;
         choice.sf = stats->selectivity;
         choice.rows = stats->rows;

@@ -44,6 +44,13 @@ struct TableChoice {
   bool empty_result = false;
   // The pattern has an unbound predicate and scans the triples table.
   bool is_triples_table = false;
+  // Selection had to substitute a superset table because its first
+  // choice (or the VP table itself) is quarantined: ExtVP degrades to
+  // the base VP table, a quarantined VP degrades to the triples table.
+  // Results are identical (the substitutes are supersets whose extra
+  // rows cannot satisfy the pattern's joins/selections); only
+  // performance suffers. Counted as `queries_degraded` by the compiler.
+  bool degraded = false;
   // kExtVpBitmap only: the intersection of all correlation bitmaps; the
   // scan reads `table_name` (a VP table) through this filter. Null when
   // no correlation reduces the table.

@@ -135,6 +135,11 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
             db_.catalog().NumMaterializedTables());
     counter("s2rdf_catalog_cached_bytes", db_.catalog().CachedBytes());
     counter("s2rdf_lazy_extvp_pairs_computed", db_.lazy_pairs_computed());
+    counter("s2rdf_storage_corruptions_detected",
+            db_.catalog().corruptions_detected());
+    counter("s2rdf_queries_degraded", db_.catalog().queries_degraded());
+    counter("s2rdf_recovery_quarantined_tables",
+            db_.catalog().quarantined_tables());
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = out;
     return response;

@@ -1,47 +1,140 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
-#include "common/file_util.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "storage/table_file.h"
 
 namespace s2rdf::storage {
 
-Catalog::Catalog(std::string dir) : dir_(std::move(dir)) {
+namespace {
+
+// Transient-read retry policy: kTransientRetries retries after the first
+// attempt, exponential backoff from kRetryBackoffMs.
+constexpr int kTransientRetries = 3;
+constexpr int kRetryBackoffMs = 1;
+
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kLegacyManifestFile[] = "manifest.tsv";
+constexpr char kManifestPrefix[] = "manifest-";
+constexpr char kManifestSuffix[] = ".tsv";
+constexpr char kChecksumPrefix[] = "# checksum=";
+constexpr char kGenerationHeader[] = "# s2rdf-manifest generation=";
+
+std::string ManifestFileName(uint64_t generation) {
+  return kManifestPrefix + std::to_string(generation) + kManifestSuffix;
+}
+
+// "manifest-<digits>.tsv" -> generation; false for anything else.
+bool ParseManifestGeneration(const std::string& filename, uint64_t* gen) {
+  const std::string prefix = kManifestPrefix;
+  const std::string suffix = kManifestSuffix;
+  if (filename.size() <= prefix.size() + suffix.size() ||
+      filename.compare(0, prefix.size(), prefix) != 0 ||
+      filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  *gen = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+void Backoff(int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(kRetryBackoffMs << attempt));
+}
+
+}  // namespace
+
+Catalog::Catalog(std::string dir, Env* env)
+    : dir_(std::move(dir)), env_(env != nullptr ? env : Env::Default()) {
   if (!dir_.empty()) {
     // Best-effort; Put reports real errors.
-    (void)MakeDirs(dir_);
+    (void)env_->MakeDirs(dir_);
   }
 }
 
 Catalog::Catalog(Catalog&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   dir_ = std::move(other.dir_);
+  env_ = other.env_;
   stats_ = std::move(other.stats_);
   cache_ = std::move(other.cache_);
   memory_budget_ = other.memory_budget_;
   cached_bytes_ = other.cached_bytes_;
   lru_ = std::move(other.lru_);
+  quarantined_ = std::move(other.quarantined_);
+  degraded_fallback_ = std::move(other.degraded_fallback_);
+  generation_ = other.generation_;
+  corruptions_detected_.store(other.corruptions_detected_.load());
+  queries_degraded_.store(other.queries_degraded_.load());
+  quarantined_count_.store(other.quarantined_count_.load());
 }
 
 Catalog& Catalog::operator=(Catalog&& other) noexcept {
   if (this != &other) {
     std::scoped_lock lock(mu_, other.mu_);
     dir_ = std::move(other.dir_);
+    env_ = other.env_;
     stats_ = std::move(other.stats_);
     cache_ = std::move(other.cache_);
     memory_budget_ = other.memory_budget_;
     cached_bytes_ = other.cached_bytes_;
     lru_ = std::move(other.lru_);
+    quarantined_ = std::move(other.quarantined_);
+    degraded_fallback_ = std::move(other.degraded_fallback_);
+    generation_ = other.generation_;
+    corruptions_detected_.store(other.corruptions_detected_.load());
+    queries_degraded_.store(other.queries_degraded_.load());
+    quarantined_count_.store(other.quarantined_count_.load());
   }
   return *this;
 }
 
 std::string Catalog::TablePath(const std::string& name) const {
   return dir_ + "/" + name + ".s2tb";
+}
+
+Status Catalog::ReadFileRetrying(const std::string& path,
+                                 std::string* data) const {
+  Status status;
+  for (int attempt = 0; attempt <= kTransientRetries; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    status = env_->ReadFile(path, data);
+    if (status.ok() || !IsTransient(status)) return status;
+  }
+  return status;
+}
+
+StatusOr<engine::Table> Catalog::LoadTableRetrying(
+    const std::string& path) const {
+  // Only transient (kIoError) failures are retried; corruption
+  // (kInvalidArgument) and missing files (kNotFound) are final.
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<engine::Table> table = LoadTable(path, env_);
+    if (table.ok() || !IsTransient(table.status()) ||
+        attempt >= kTransientRetries) {
+      return table;
+    }
+    Backoff(attempt);
+  }
 }
 
 Status Catalog::Put(const std::string& name, engine::Table table,
@@ -55,11 +148,13 @@ Status Catalog::Put(const std::string& name, engine::Table table,
   if (dir_.empty()) {
     stats.bytes = SerializeTable(table).size();
   } else {
-    S2RDF_ASSIGN_OR_RETURN(stats.bytes, SaveTable(table, TablePath(name)));
+    S2RDF_ASSIGN_OR_RETURN(stats.bytes,
+                           SaveTable(table, TablePath(name), env_));
   }
   auto owned = std::make_shared<const engine::Table>(std::move(table));
   std::lock_guard<std::mutex> lock(mu_);
   stats_[name] = stats;
+  quarantined_.erase(name);  // A fresh write supersedes old corruption.
   CacheInsertLocked(name, std::move(owned));
   return Status::Ok();
 }
@@ -88,6 +183,45 @@ const TableStats* Catalog::GetStats(const std::string& name) const {
   return it == stats_.end() ? nullptr : &it->second;
 }
 
+bool Catalog::IsQuarantined(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.contains(name);
+}
+
+void Catalog::SetDegradedFallback(
+    std::function<std::string(const std::string&)> fallback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degraded_fallback_ = std::move(fallback);
+}
+
+void Catalog::NoteDegradedQuery() const {
+  queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Catalog::corruptions_detected() const {
+  return corruptions_detected_.load(std::memory_order_relaxed);
+}
+
+uint64_t Catalog::queries_degraded() const {
+  return queries_degraded_.load(std::memory_order_relaxed);
+}
+
+uint64_t Catalog::quarantined_tables() const {
+  return quarantined_count_.load(std::memory_order_relaxed);
+}
+
+uint64_t Catalog::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void Catalog::QuarantineLocked(const std::string& name) {
+  if (!quarantined_.insert(name).second) return;
+  quarantined_count_.fetch_add(1, std::memory_order_relaxed);
+  corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
+  EvictFromMemoryLocked(name);
+}
+
 StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
     const std::string& name) {
   {
@@ -101,13 +235,25 @@ StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
     if (it == stats_.end() || !it->second.materialized) {
       return NotFoundError("table not materialized: " + name);
     }
+    if (quarantined_.contains(name)) {
+      return FailedPreconditionError("table quarantined: " + name);
+    }
   }
   // Load from disk outside the lock so distinct tables page in
   // concurrently. Two threads may race to load the same table; the
   // loser's copy simply replaces the winner's in the cache (both stay
   // valid through their shared_ptrs).
-  S2RDF_ASSIGN_OR_RETURN(engine::Table table, LoadTable(TablePath(name)));
-  auto owned = std::make_shared<const engine::Table>(std::move(table));
+  StatusOr<engine::Table> table = LoadTableRetrying(TablePath(name));
+  if (!table.ok()) {
+    if (!IsTransient(table.status())) {
+      // Corrupt or missing on disk: quarantine so future queries degrade
+      // at selection time instead of re-reading a broken file.
+      std::lock_guard<std::mutex> lock(mu_);
+      QuarantineLocked(name);
+    }
+    return table.status();
+  }
+  auto owned = std::make_shared<const engine::Table>(std::move(*table));
   std::lock_guard<std::mutex> lock(mu_);
   CacheInsertLocked(name, owned);
   return owned;
@@ -226,9 +372,15 @@ Status Catalog::SaveManifest() const {
   if (dir_.empty()) {
     return FailedPreconditionError("in-memory catalog has no manifest");
   }
-  std::string out = "# name\trows\tselectivity\tbytes\tmaterialized\n";
+  // Concurrent saves are not supported (generations would collide);
+  // callers serialize manifest writes (Create / explicit checkpoints).
+  uint64_t gen;
+  std::string out;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    gen = generation_ + 1;
+    out = kGenerationHeader + std::to_string(gen) + "\n";
+    out += "# name\trows\tselectivity\tbytes\tmaterialized\n";
     for (const auto& [name, stats] : stats_) {
       char line[512];
       std::snprintf(line, sizeof(line), "%s\t%llu\t%.17g\t%llu\t%d\n",
@@ -240,23 +392,73 @@ Status Catalog::SaveManifest() const {
       out += line;
     }
   }
-  return WriteFile(dir_ + "/manifest.tsv", out);
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(out)));
+  out += kChecksumPrefix + std::string(checksum) + "\n";
+
+  // Commit protocol: the generation file lands first (atomically), then
+  // CURRENT flips to it (atomically). A crash anywhere leaves CURRENT on
+  // the previous generation.
+  S2RDF_RETURN_IF_ERROR(
+      env_->WriteFileAtomic(dir_ + "/" + ManifestFileName(gen), out));
+  S2RDF_RETURN_IF_ERROR(
+      env_->WriteFileAtomic(dir_ + "/" + kCurrentFile,
+                            ManifestFileName(gen) + "\n"));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation_ = gen;
+  }
+  // Prune generations older than the previous one (kept as the fallback
+  // link of the chain). Best effort: failure leaves harmless files.
+  StatusOr<std::vector<std::string>> files = env_->ListDir(dir_);
+  if (files.ok()) {
+    for (const std::string& file : *files) {
+      uint64_t g = 0;
+      if (ParseManifestGeneration(file, &g) && g + 1 < gen) {
+        (void)env_->RemoveFile(dir_ + "/" + file);
+      }
+    }
+  }
+  return Status::Ok();
 }
 
-Status Catalog::LoadManifest() {
-  if (dir_.empty()) {
-    return FailedPreconditionError("in-memory catalog has no manifest");
+Status Catalog::AdoptManifest(const std::string& content,
+                              bool require_checksum) {
+  // Verify the self-checksum (everything up to the trailing checksum
+  // line) before trusting any field.
+  uint64_t generation = 0;
+  size_t checksum_pos = content.rfind(kChecksumPrefix);
+  if (checksum_pos == std::string::npos) {
+    if (require_checksum) {
+      return InvalidArgumentError("manifest missing checksum line");
+    }
+  } else {
+    if (checksum_pos != 0 && content[checksum_pos - 1] != '\n') {
+      return InvalidArgumentError("manifest checksum line misplaced");
+    }
+    std::string hex = content.substr(checksum_pos + sizeof(kChecksumPrefix) -
+                                     1);
+    uint64_t stored =
+        std::strtoull(std::string(StripWhitespace(hex)).c_str(), nullptr, 16);
+    if (Fnv1a64(std::string_view(content).substr(0, checksum_pos)) !=
+        stored) {
+      return InvalidArgumentError("manifest checksum mismatch");
+    }
   }
-  std::string content;
-  S2RDF_RETURN_IF_ERROR(ReadFile(dir_ + "/manifest.tsv", &content));
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.clear();
-  cache_.clear();
-  lru_.clear();
-  cached_bytes_ = 0;
+  std::map<std::string, TableStats> parsed;
   for (const std::string& line : StrSplit(content, '\n')) {
     std::string_view trimmed = StripWhitespace(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      std::string_view header(kGenerationHeader);
+      if (trimmed.size() > header.size() &&
+          trimmed.substr(0, header.size()) == header) {
+        generation = std::strtoull(
+            std::string(trimmed.substr(header.size())).c_str(), nullptr, 10);
+      }
+      continue;
+    }
     std::vector<std::string> fields = StrSplit(trimmed, '\t');
     if (fields.size() != 5) {
       return InvalidArgumentError("malformed manifest line: " + line);
@@ -274,9 +476,117 @@ Status Catalog::LoadManifest() {
     stats.selectivity = sel;
     stats.bytes = static_cast<uint64_t>(bytes);
     stats.materialized = fields[4] == "1";
-    stats_[stats.name] = stats;
+    parsed[stats.name] = stats;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = std::move(parsed);
+  cache_.clear();
+  lru_.clear();
+  cached_bytes_ = 0;
+  quarantined_.clear();
+  generation_ = generation;
   return Status::Ok();
+}
+
+Status Catalog::LoadManifest() {
+  if (dir_.empty()) {
+    return FailedPreconditionError("in-memory catalog has no manifest");
+  }
+  // 1. The generation CURRENT points at.
+  std::string current;
+  Status current_status =
+      ReadFileRetrying(dir_ + "/" + kCurrentFile, &current);
+  if (current_status.ok()) {
+    std::string name(StripWhitespace(current));
+    std::string content;
+    Status status = ReadFileRetrying(dir_ + "/" + name, &content);
+    if (status.ok()) status = AdoptManifest(content, /*require_checksum=*/true);
+    if (status.ok()) return status;
+    if (IsTransient(status)) return status;  // Retryable, not corruption.
+    corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
+    // Fall through to the chain scan.
+  } else if (IsTransient(current_status)) {
+    return current_status;
+  } else {
+    // 2. No CURRENT: a legacy (pre-generation) store, perhaps.
+    std::string content;
+    Status legacy =
+        ReadFileRetrying(dir_ + "/" + kLegacyManifestFile, &content);
+    if (legacy.ok()) return AdoptManifest(content, /*require_checksum=*/false);
+    if (IsTransient(legacy)) return legacy;
+  }
+  // 3. Chain fallback: newest-first, adopt the first generation that
+  // still verifies.
+  StatusOr<std::vector<std::string>> files = env_->ListDir(dir_);
+  if (files.ok()) {
+    std::vector<std::pair<uint64_t, std::string>> candidates;
+    for (const std::string& file : *files) {
+      uint64_t gen = 0;
+      if (ParseManifestGeneration(file, &gen)) {
+        candidates.emplace_back(gen, file);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [gen, file] : candidates) {
+      std::string content;
+      if (!ReadFileRetrying(dir_ + "/" + file, &content).ok()) continue;
+      if (AdoptManifest(content, /*require_checksum=*/true).ok()) {
+        return Status::Ok();
+      }
+    }
+  }
+  return NotFoundError("no readable manifest in " + dir_);
+}
+
+StatusOr<RecoveryReport> Catalog::Recover() {
+  S2RDF_RETURN_IF_ERROR(LoadManifest());
+  RecoveryReport report;
+  std::vector<std::string> materialized;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.generation = generation_;
+    for (const auto& [name, stats] : stats_) {
+      if (stats.materialized) materialized.push_back(name);
+    }
+  }
+  // Verify every materialized table's checksums; quarantine failures so
+  // queries degrade (ExtVP -> VP -> TT) instead of erroring.
+  for (const std::string& name : materialized) {
+    std::string blob;
+    Status status = ReadFileRetrying(TablePath(name), &blob);
+    if (status.ok()) status = VerifyTableBlob(blob);
+    if (status.ok()) {
+      ++report.tables_verified;
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      QuarantineLocked(name);
+      ++report.tables_quarantined;
+    }
+  }
+  // Delete orphaned staging files (crash debris) and manifests older
+  // than the previous generation.
+  StatusOr<std::vector<std::string>> files = env_->ListDir(dir_);
+  if (files.ok()) {
+    const std::string temp_suffix = Env::kTempSuffix;
+    for (const std::string& file : *files) {
+      if (file.size() > temp_suffix.size() &&
+          file.compare(file.size() - temp_suffix.size(), temp_suffix.size(),
+                       temp_suffix) == 0) {
+        if (env_->RemoveFile(dir_ + "/" + file).ok()) {
+          ++report.temp_files_removed;
+        }
+        continue;
+      }
+      uint64_t gen = 0;
+      if (ParseManifestGeneration(file, &gen) && gen + 1 < report.generation) {
+        if (env_->RemoveFile(dir_ + "/" + file).ok()) {
+          ++report.old_manifests_removed;
+        }
+      }
+    }
+  }
+  return report;
 }
 
 engine::TableProvider Catalog::AsProvider() {
@@ -284,12 +594,38 @@ engine::TableProvider Catalog::AsProvider() {
   // lookup) for as long as the provider itself lives — one query.
   auto pins = std::make_shared<
       std::unordered_map<std::string, std::shared_ptr<const engine::Table>>>();
-  return [this, pins](const std::string& name) -> const engine::Table* {
+  // One degradation event per query, however many scans substitute.
+  auto degraded = std::make_shared<std::atomic<bool>>(false);
+  return [this, pins, degraded](const std::string& name)
+             -> const engine::Table* {
     auto pinned = pins->find(name);
     if (pinned != pins->end()) return pinned->second.get();
     StatusOr<std::shared_ptr<const engine::Table>> table =
         GetTableShared(name);
-    if (!table.ok()) return nullptr;
+    if (!table.ok()) {
+      // Load-time failure (checksum, missing file, quarantine): degrade
+      // to the installed superset fallback (ExtVP -> base VP) so the
+      // query still answers — correctness rests on VP ⊇ ExtVP.
+      std::function<std::string(const std::string&)> fallback;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        fallback = degraded_fallback_;
+      }
+      if (fallback != nullptr) {
+        std::string substitute = fallback(name);
+        if (!substitute.empty() && substitute != name) {
+          StatusOr<std::shared_ptr<const engine::Table>> fb =
+              GetTableShared(substitute);
+          if (fb.ok()) {
+            if (!degraded->exchange(true)) NoteDegradedQuery();
+            const engine::Table* ptr = fb->get();
+            pins->emplace(name, std::move(*fb));
+            return ptr;
+          }
+        }
+      }
+      return nullptr;
+    }
     const engine::Table* ptr = table->get();
     pins->emplace(name, std::move(*table));
     return ptr;

@@ -1,17 +1,21 @@
 #ifndef S2RDF_STORAGE_CATALOG_H_
 #define S2RDF_STORAGE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/plan.h"
 #include "engine/table.h"
+#include "storage/env.h"
 
 // Named-table catalog with persisted statistics — the analogue of the
 // HDFS directory of Parquet files plus the table statistics S2RDF
@@ -20,6 +24,18 @@
 // statistics exist even for tables that were *not* materialized (empty
 // tables and tables pruned by the SF threshold), which is what enables
 // the paper's "answer from statistics alone" shortcut.
+//
+// Durability (what HDFS gave the paper for free): every table file and
+// manifest generation is written via temp-file + fsync + rename through
+// an injectable Env, so a crash leaves either the old or the new state,
+// never a torn file. The manifest is a generation chain — immutable
+// "manifest-<g>.tsv" files (self-checksummed, carrying their generation)
+// plus a CURRENT pointer updated atomically; if the current generation
+// is damaged, loading falls back to the newest generation that still
+// verifies. Recover() additionally verifies every materialized table's
+// checksums, quarantines unreadable/corrupt tables (queries then degrade
+// to the base VP table instead of failing — see core/table_selection),
+// and deletes orphaned "*.tmp" staging files.
 //
 // Thread safety: all public methods are safe to call concurrently. The
 // in-memory cache hands out shared_ptr ownership, so evicting a table
@@ -40,11 +56,27 @@ struct TableStats {
   bool materialized = false;
 };
 
+// What startup recovery found and repaired.
+struct RecoveryReport {
+  // Manifest generation the store recovered to.
+  uint64_t generation = 0;
+  // Materialized tables whose checksums verified.
+  size_t tables_verified = 0;
+  // Tables quarantined (unreadable or corrupt).
+  size_t tables_quarantined = 0;
+  // Orphaned "*.tmp" staging files deleted.
+  size_t temp_files_removed = 0;
+  // Superseded manifest generations pruned.
+  size_t old_manifests_removed = 0;
+};
+
 class Catalog {
  public:
   // `dir` is the storage directory; empty keeps everything in memory
   // (bytes are then the serialized size, computed on registration).
-  explicit Catalog(std::string dir);
+  // `env` is the file-I/O environment (Env::Default() when null); it
+  // must outlive the catalog.
+  explicit Catalog(std::string dir, Env* env = nullptr);
 
   // Moves transfer the table map; neither operand may be in concurrent
   // use during the move.
@@ -67,7 +99,9 @@ class Catalog {
 
   // Returns shared ownership of the table, loading it from disk on
   // first access. The returned pointer stays valid across evictions.
-  // NotFound for unknown or unmaterialized names.
+  // NotFound for unknown or unmaterialized names; FailedPrecondition for
+  // quarantined ones. Transient (kIoError) read failures are retried
+  // with backoff; corruption quarantines the table.
   StatusOr<std::shared_ptr<const engine::Table>> GetTableShared(
       const std::string& name);
 
@@ -108,28 +142,77 @@ class Catalog {
   // All stats entries, name-ordered.
   std::vector<const TableStats*> AllStats() const;
 
-  // Persists / restores the stats manifest ("<dir>/manifest.tsv").
+  // Persists the stats as a new manifest generation ("<dir>/
+  // manifest-<g>.tsv" + atomic CURRENT update), then prunes generations
+  // older than the previous one.
   Status SaveManifest() const;
+
+  // Restores the stats from the manifest chain: CURRENT's generation if
+  // it verifies, else the newest generation that does, else a legacy
+  // un-checksummed "manifest.tsv".
   Status LoadManifest();
+
+  // Startup recovery: LoadManifest, then verify every materialized
+  // table's checksums (quarantining failures) and delete orphaned
+  // staging files and superseded manifests.
+  StatusOr<RecoveryReport> Recover();
+
+  // --- Corruption handling ----------------------------------------------
+
+  // True when `name` was quarantined (failed verification at recovery or
+  // a load-time checksum). Quarantined tables refuse to load; table
+  // selection degrades to the base VP table / triples table instead.
+  bool IsQuarantined(const std::string& name) const;
+
+  // Installs the name-level fallback used by AsProvider when a table
+  // fails its load-time checksum mid-query: maps a table name to the
+  // name of a superset table that answers the same scans (ExtVP -> base
+  // VP); return "" for "no fallback". Installed by core::S2Rdf.
+  void SetDegradedFallback(
+      std::function<std::string(const std::string&)> fallback);
+
+  // Incremented by the query compiler when table selection had to
+  // substitute a worse table for a quarantined one. const because the
+  // compiler only holds a const catalog reference.
+  void NoteDegradedQuery() const;
+
+  // Monitoring counters (exposed via the endpoint's /metrics).
+  uint64_t corruptions_detected() const;
+  uint64_t queries_degraded() const;
+  uint64_t quarantined_tables() const;
+
+  // Generation of the manifest currently loaded / last saved.
+  uint64_t generation() const;
 
   // Adapter for engine::ExecutePlan. The provider loads lazily, returns
   // nullptr for unknown tables, and *pins* every table it resolves for
   // its own lifetime — callers keep the provider alive for the duration
-  // of one query, making concurrent eviction safe.
+  // of one query, making concurrent eviction safe. When a table fails
+  // its load-time checksum the provider degrades to the installed
+  // fallback table (recording the substitution) instead of failing the
+  // query.
   engine::TableProvider AsProvider();
 
   const std::string& dir() const { return dir_; }
 
  private:
   std::string TablePath(const std::string& name) const;
+  // Reads with bounded retry + backoff on transient kIoError.
+  Status ReadFileRetrying(const std::string& path, std::string* data) const;
+  StatusOr<engine::Table> LoadTableRetrying(const std::string& path) const;
+  // Parses + verifies one manifest blob and swaps it in. mu_ NOT held.
+  Status AdoptManifest(const std::string& content, bool require_checksum);
   // The *Locked helpers assume mu_ is held.
+  void QuarantineLocked(const std::string& name);
   void CacheInsertLocked(const std::string& name,
                          std::shared_ptr<const engine::Table> table);
   void EvictFromMemoryLocked(const std::string& name);
   void TouchLruLocked(const std::string& name);
 
   std::string dir_;
-  // Guards stats_, cache_, lru_, cached_bytes_, memory_budget_.
+  Env* env_;
+  // Guards stats_, cache_, lru_, cached_bytes_, memory_budget_,
+  // quarantined_, degraded_fallback_, generation_.
   mutable std::mutex mu_;
   std::map<std::string, TableStats> stats_;
   std::map<std::string, std::shared_ptr<const engine::Table>> cache_;
@@ -137,6 +220,15 @@ class Catalog {
   uint64_t cached_bytes_ = 0;
   // Least-recently-used at front; names mirror cache_ keys.
   std::list<std::string> lru_;
+  // Tables that failed verification; never loaded again this run.
+  std::set<std::string> quarantined_;
+  std::function<std::string(const std::string&)> degraded_fallback_;
+  // SaveManifest is logically const (it persists, not mutates, the
+  // stats), so the generation cursor it advances is mutable.
+  mutable uint64_t generation_ = 0;
+  mutable std::atomic<uint64_t> corruptions_detected_{0};
+  mutable std::atomic<uint64_t> queries_degraded_{0};
+  mutable std::atomic<uint64_t> quarantined_count_{0};
 };
 
 }  // namespace s2rdf::storage

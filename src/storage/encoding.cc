@@ -1,5 +1,9 @@
 #include "storage/encoding.h"
 
+#include <cstring>
+
+#include "common/hash.h"
+
 namespace s2rdf::storage {
 
 void PutVarint64(std::string* out, uint64_t value) {
@@ -136,6 +140,39 @@ Status DecodeColumn(std::string_view block, std::vector<uint32_t>* column) {
     }
   }
   return InvalidArgumentError("unknown column codec");
+}
+
+namespace {
+constexpr size_t kChunkChecksumBytes = 8;
+}  // namespace
+
+std::string EncodeColumnChecksummed(const std::vector<uint32_t>& column) {
+  std::string chunk = EncodeColumn(column);
+  uint64_t checksum = Fnv1a64(chunk);
+  char trailer[kChunkChecksumBytes];
+  std::memcpy(trailer, &checksum, kChunkChecksumBytes);
+  chunk.append(trailer, kChunkChecksumBytes);
+  return chunk;
+}
+
+Status VerifyColumnChecksum(std::string_view chunk) {
+  if (chunk.size() < kChunkChecksumBytes + 1) {
+    return InvalidArgumentError("column chunk too short for its checksum");
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, chunk.data() + chunk.size() - kChunkChecksumBytes,
+              kChunkChecksumBytes);
+  if (Fnv1a64(chunk.substr(0, chunk.size() - kChunkChecksumBytes)) != stored) {
+    return InvalidArgumentError("column chunk checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+Status DecodeColumnChecksummed(std::string_view chunk,
+                               std::vector<uint32_t>* column) {
+  S2RDF_RETURN_IF_ERROR(VerifyColumnChecksum(chunk));
+  return DecodeColumn(chunk.substr(0, chunk.size() - kChunkChecksumBytes),
+                      column);
 }
 
 }  // namespace s2rdf::storage

@@ -45,6 +45,24 @@ std::string EncodeColumn(const std::vector<uint32_t>& column);
 // Decodes a block produced by EncodeColumn.
 Status DecodeColumn(std::string_view block, std::vector<uint32_t>* column);
 
+// --- Checksummed chunks (S2TB v2) ---------------------------------------
+//
+// A checksummed chunk is an EncodeColumn block followed by the FNV-1a64
+// of the block bytes (8 bytes, little-endian). Per-chunk checksums let a
+// reader localize corruption to one column of one table instead of only
+// knowing "the file is bad".
+
+// Encodes `column` and appends the chunk checksum.
+std::string EncodeColumnChecksummed(const std::vector<uint32_t>& column);
+
+// Verifies and decodes a checksummed chunk. A checksum mismatch returns
+// kInvalidArgument mentioning "chunk checksum".
+Status DecodeColumnChecksummed(std::string_view chunk,
+                               std::vector<uint32_t>* column);
+
+// Checksum-only validation (no decode) — cheap integrity scans.
+Status VerifyColumnChecksum(std::string_view chunk);
+
 }  // namespace s2rdf::storage
 
 #endif  // S2RDF_STORAGE_ENCODING_H_

@@ -1,0 +1,102 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/file_util.h"
+
+namespace s2rdf::storage {
+
+constexpr char Env::kTempSuffix[];
+
+Status Env::WriteFileAtomic(const std::string& path,
+                            const std::string& data) {
+  // The staging file is left behind on failure by design: a crash can
+  // interrupt any step, and recovery deletes "*.tmp" debris anyway.
+  const std::string tmp = path + kTempSuffix;
+  S2RDF_RETURN_IF_ERROR(WriteFile(tmp, data));
+  S2RDF_RETURN_IF_ERROR(SyncFile(tmp));
+  return RenameFile(tmp, path);
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+Status PosixEnv::WriteFile(const std::string& path, const std::string& data) {
+  return s2rdf::WriteFile(path, data);
+}
+
+Status PosixEnv::ReadFile(const std::string& path, std::string* data) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // Distinguish a missing file (store integrity problem the caller
+    // may quarantine) from a transient read failure (worth retrying).
+    if (errno == ENOENT) return NotFoundError("no such file: " + path);
+    return IoError("cannot open for read: " + path + ": " +
+                   std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return IoError("cannot stat: " + path);
+  }
+  data->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(data->data(), 1, data->size(), f);
+  std::fclose(f);
+  if (read != data->size()) return IoError("short read: " + path);
+  return Status::Ok();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return IoError("rename failed: " + from + " -> " + to + ": " +
+                   std::strerror(errno));
+  }
+  // fsync the parent directory so the rename itself is durable.
+  size_t slash = to.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : to.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);  // Best effort; some filesystems reject dir fsync.
+    ::close(fd);
+  }
+  return Status::Ok();
+}
+
+Status PosixEnv::RemoveFile(const std::string& path) {
+  return s2rdf::RemoveFile(path);
+}
+
+Status PosixEnv::SyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("cannot open for sync: " + path + ": " +
+                   std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
+Status PosixEnv::MakeDirs(const std::string& path) {
+  return s2rdf::MakeDirs(path);
+}
+
+bool PosixEnv::PathExists(const std::string& path) {
+  return s2rdf::PathExists(path);
+}
+
+StatusOr<std::vector<std::string>> PosixEnv::ListDir(const std::string& dir) {
+  return s2rdf::ListDir(dir);
+}
+
+}  // namespace s2rdf::storage

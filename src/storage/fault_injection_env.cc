@@ -1,0 +1,150 @@
+#include "storage/fault_injection_env.h"
+
+namespace s2rdf::storage {
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::CrashAfterMutations(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_ = n;
+  crash_armed_ = true;
+  crashed_ = false;
+  mutations_ = 0;
+}
+
+void FaultInjectionEnv::set_crash_style(CrashStyle style) {
+  std::lock_guard<std::mutex> lock(mu_);
+  style_ = style;
+}
+
+void FaultInjectionEnv::FlipBitInNextWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flip_bit_next_write_ = true;
+}
+
+void FaultInjectionEnv::FailNextReads(int k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_read_failures_ = k;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = false;
+  crashed_ = false;
+  flip_bit_next_write_ = false;
+  transient_read_failures_ = 0;
+}
+
+uint64_t FaultInjectionEnv::mutation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mutations_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool FaultInjectionEnv::ShouldFailMutation(bool* torn_out) {
+  *torn_out = false;
+  if (crashed_) return true;
+  if (crash_armed_ && mutations_ >= crash_after_) {
+    crashed_ = true;  // This op is the crash point.
+    *torn_out = style_ == CrashStyle::kTorn;
+    return true;
+  }
+  ++mutations_;
+  return false;
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    const std::string& data) {
+  bool flip;
+  bool torn;
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail = ShouldFailMutation(&torn);
+    flip = !fail && flip_bit_next_write_;
+    if (flip) flip_bit_next_write_ = false;
+  }
+  if (fail) {
+    if (torn && !data.empty()) {
+      // The crash interrupted the write mid-stream: a prefix landed.
+      (void)base_->WriteFile(path, data.substr(0, data.size() / 2));
+    }
+    return IoError("injected crash: write " + path);
+  }
+  if (flip && !data.empty()) {
+    std::string corrupted = data;
+    corrupted[corrupted.size() / 2] ^= 0x10;
+    return base_->WriteFile(path, corrupted);
+  }
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectionEnv::ReadFile(const std::string& path,
+                                   std::string* data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (transient_read_failures_ > 0) {
+      --transient_read_failures_;
+      return IoError("injected transient read error: " + path);
+    }
+  }
+  return base_->ReadFile(path, data);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  bool torn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ShouldFailMutation(&torn)) {
+      return IoError("injected crash: rename " + from);
+    }
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  bool torn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ShouldFailMutation(&torn)) {
+      return IoError("injected crash: remove " + path);
+    }
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::SyncFile(const std::string& path) {
+  bool torn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ShouldFailMutation(&torn)) {
+      return IoError("injected crash: sync " + path);
+    }
+  }
+  return base_->SyncFile(path);
+}
+
+Status FaultInjectionEnv::MakeDirs(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return IoError("injected crash: mkdir " + path);
+  }
+  return base_->MakeDirs(path);
+}
+
+bool FaultInjectionEnv::PathExists(const std::string& path) {
+  return base_->PathExists(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+}  // namespace s2rdf::storage

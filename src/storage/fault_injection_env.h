@@ -1,0 +1,87 @@
+#ifndef S2RDF_STORAGE_FAULT_INJECTION_ENV_H_
+#define S2RDF_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+// Deterministic fault injection for the storage layer. Wraps a base Env
+// and can
+//   - crash after the N-th mutating operation (write/rename/remove/
+//     sync): the triggering op and everything after it fail with
+//     kIoError, simulating process death mid-protocol;
+//   - tear the write at the crash point (persist only a prefix), the
+//     failure mode atomic rename must mask;
+//   - silently flip one bit in the next write (media corruption the
+//     checksums must catch);
+//   - fail the next K reads with a transient kIoError (EINTR/EIO-style),
+//     which the catalog's bounded retry must absorb.
+//
+// The crash-point matrix test runs a fixed workload once to count its
+// mutations, then replays it crashing at every 0 <= k < N and asserts
+// that recovery always lands on a pre- or post-write state.
+//
+// Thread-safe; all state is guarded by one mutex.
+
+namespace s2rdf::storage {
+
+class FaultInjectionEnv : public Env {
+ public:
+  enum class CrashStyle {
+    kClean,  // The crashing op performs nothing.
+    kTorn,   // A crashing WriteFile persists only a prefix of the data.
+  };
+
+  // Wraps `base` (Env::Default() when null).
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  // The first `n` mutating ops succeed; the (n+1)-th and all later ones
+  // fail. Pass together with set_crash_style to model torn writes.
+  void CrashAfterMutations(uint64_t n);
+  void set_crash_style(CrashStyle style);
+
+  // Silently flips one bit in the data of the next WriteFile (the write
+  // itself reports success).
+  void FlipBitInNextWrite();
+
+  // The next `k` ReadFile calls fail with kIoError, then reads recover.
+  void FailNextReads(int k);
+
+  // Clears all pending faults and the crashed state (counters persist).
+  void ClearFaults();
+
+  // Mutating ops performed successfully so far.
+  uint64_t mutation_count() const;
+  bool crashed() const;
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status ReadFile(const std::string& path, std::string* data) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncFile(const std::string& path) override;
+  Status MakeDirs(const std::string& path) override;
+  bool PathExists(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+ private:
+  // Returns true when the current mutating op must fail; `torn_out` is
+  // set when this op is the crash point of a torn-style crash.
+  bool ShouldFailMutation(bool* torn_out);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  uint64_t mutations_ = 0;
+  uint64_t crash_after_ = 0;
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  CrashStyle style_ = CrashStyle::kClean;
+  bool flip_bit_next_write_ = false;
+  int transient_read_failures_ = 0;
+};
+
+}  // namespace s2rdf::storage
+
+#endif  // S2RDF_STORAGE_FAULT_INJECTION_ENV_H_

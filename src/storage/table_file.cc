@@ -2,15 +2,87 @@
 
 #include <cstring>
 
-#include "common/file_util.h"
 #include "common/hash.h"
 #include "storage/encoding.h"
 
 namespace s2rdf::storage {
 
 namespace {
+
 constexpr char kMagic[4] = {'S', '2', 'T', 'B'};
-constexpr uint32_t kVersion = 1;
+// Version 2 adds a per-column chunk checksum; version 1 files stay
+// readable.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kHeaderBytes = 8;   // magic + version
+constexpr size_t kTrailerBytes = 8;  // FNV-1a64 of the rest
+// Smallest well-formed file: header, one-byte ncols/nrows varints,
+// trailer.
+constexpr size_t kMinFileBytes = kHeaderBytes + 2 + kTrailerBytes;
+
+// Size, magic and version checks shared by deserialization and
+// verification. Rejects blobs shorter than header + trailer outright so
+// no downstream substr/memcpy ever reads out of bounds.
+Status CheckHeader(std::string_view blob, uint32_t* version) {
+  if (blob.size() < kMinFileBytes) {
+    return InvalidArgumentError(
+        "table file too short (" + std::to_string(blob.size()) +
+        " bytes; minimum is " + std::to_string(kMinFileBytes) + ")");
+  }
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) {
+    return InvalidArgumentError("not an S2TB table file");
+  }
+  std::memcpy(version, blob.data() + 4, 4);
+  if (*version != 1 && *version != kVersion) {
+    return InvalidArgumentError("unsupported table file version " +
+                                std::to_string(*version));
+  }
+  return Status::Ok();
+}
+
+bool FileChecksumOk(std::string_view blob) {
+  uint64_t stored = 0;
+  std::memcpy(&stored, blob.data() + blob.size() - kTrailerBytes,
+              kTrailerBytes);
+  return Fnv1a64(blob.substr(0, blob.size() - kTrailerBytes)) == stored;
+}
+
+// Walks a v2 payload verifying each column's chunk checksum without
+// decoding, to pin file-level corruption onto one column. The walk is
+// fully bounds-checked: the payload itself may be damaged.
+Status LocalizeCorruption(std::string_view payload) {
+  size_t pos = kHeaderBytes;
+  uint64_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!GetVarint64(payload, &pos, &ncols) ||
+      !GetVarint64(payload, &pos, &nrows)) {
+    return InvalidArgumentError("table file corrupt (header truncated)");
+  }
+  for (uint64_t c = 0; c < ncols; ++c) {
+    uint64_t name_len = 0;
+    if (!GetVarint64(payload, &pos, &name_len) ||
+        name_len > payload.size() - pos) {
+      return InvalidArgumentError("table file corrupt (column " +
+                                  std::to_string(c) + " name truncated)");
+    }
+    std::string name(payload.substr(pos, name_len));
+    pos += name_len;
+    uint64_t chunk_len = 0;
+    if (!GetVarint64(payload, &pos, &chunk_len) ||
+        chunk_len > payload.size() - pos) {
+      return InvalidArgumentError("table file corrupt (column '" + name +
+                                  "' chunk truncated)");
+    }
+    if (!VerifyColumnChecksum(payload.substr(pos, chunk_len)).ok()) {
+      return InvalidArgumentError("table file corrupt in column '" + name +
+                                  "' (chunk checksum mismatch)");
+    }
+    pos += chunk_len;
+  }
+  return InvalidArgumentError(
+      "table file checksum mismatch outside column chunks (header or "
+      "trailer corruption)");
+}
+
 }  // namespace
 
 std::string SerializeTable(const engine::Table& table) {
@@ -25,60 +97,75 @@ std::string SerializeTable(const engine::Table& table) {
     const std::string& name = table.column_names()[c];
     PutVarint64(&out, name.size());
     out += name;
-    std::string block = EncodeColumn(table.Column(c));
-    PutVarint64(&out, block.size());
-    out += block;
+    std::string chunk = EncodeColumnChecksummed(table.Column(c));
+    PutVarint64(&out, chunk.size());
+    out += chunk;
   }
   uint64_t checksum = Fnv1a64(out);
-  char trailer[8];
-  std::memcpy(trailer, &checksum, 8);
-  out.append(trailer, 8);
+  char trailer[kTrailerBytes];
+  std::memcpy(trailer, &checksum, kTrailerBytes);
+  out.append(trailer, kTrailerBytes);
   return out;
 }
 
-StatusOr<engine::Table> DeserializeTable(std::string_view blob) {
-  if (blob.size() < 16 || std::memcmp(blob.data(), kMagic, 4) != 0) {
-    return InvalidArgumentError("not an S2TB table file");
+Status VerifyTableBlob(std::string_view blob) {
+  uint32_t version = 0;
+  S2RDF_RETURN_IF_ERROR(CheckHeader(blob, &version));
+  if (FileChecksumOk(blob)) return Status::Ok();
+  if (version == kVersion) {
+    return LocalizeCorruption(blob.substr(0, blob.size() - kTrailerBytes));
   }
-  uint64_t stored_checksum = 0;
-  std::memcpy(&stored_checksum, blob.data() + blob.size() - 8, 8);
-  if (Fnv1a64(blob.substr(0, blob.size() - 8)) != stored_checksum) {
+  return InvalidArgumentError("table file checksum mismatch");
+}
+
+StatusOr<engine::Table> DeserializeTable(std::string_view blob) {
+  uint32_t version = 0;
+  S2RDF_RETURN_IF_ERROR(CheckHeader(blob, &version));
+  if (!FileChecksumOk(blob)) {
+    if (version == kVersion) {
+      return LocalizeCorruption(blob.substr(0, blob.size() - kTrailerBytes));
+    }
     return InvalidArgumentError("table file checksum mismatch");
   }
-  uint32_t version = 0;
-  std::memcpy(&version, blob.data() + 4, 4);
-  if (version != kVersion) {
-    return InvalidArgumentError("unsupported table file version");
-  }
-  size_t pos = 8;
+  // All parsing below is bounded by the payload (trailer excluded), so a
+  // damaged length field can never read checksum bytes as data.
+  std::string_view payload = blob.substr(0, blob.size() - kTrailerBytes);
+  size_t pos = kHeaderBytes;
   uint64_t ncols = 0;
   uint64_t nrows = 0;
-  if (!GetVarint64(blob, &pos, &ncols) || !GetVarint64(blob, &pos, &nrows)) {
+  if (!GetVarint64(payload, &pos, &ncols) ||
+      !GetVarint64(payload, &pos, &nrows)) {
     return InvalidArgumentError("table file truncated (header)");
   }
   std::vector<std::string> names;
   std::vector<std::vector<uint32_t>> columns;
   for (uint64_t c = 0; c < ncols; ++c) {
     uint64_t name_len = 0;
-    if (!GetVarint64(blob, &pos, &name_len) ||
-        pos + name_len > blob.size()) {
+    if (!GetVarint64(payload, &pos, &name_len) ||
+        name_len > payload.size() - pos) {
       return InvalidArgumentError("table file truncated (column name)");
     }
-    names.emplace_back(blob.substr(pos, name_len));
+    names.emplace_back(payload.substr(pos, name_len));
     pos += name_len;
-    uint64_t block_len = 0;
-    if (!GetVarint64(blob, &pos, &block_len) ||
-        pos + block_len > blob.size()) {
+    uint64_t chunk_len = 0;
+    if (!GetVarint64(payload, &pos, &chunk_len) ||
+        chunk_len > payload.size() - pos) {
       return InvalidArgumentError("table file truncated (column block)");
     }
     std::vector<uint32_t> column;
-    S2RDF_RETURN_IF_ERROR(
-        DecodeColumn(blob.substr(pos, block_len), &column));
+    std::string_view chunk = payload.substr(pos, chunk_len);
+    Status decoded = version == kVersion
+                         ? DecodeColumnChecksummed(chunk, &column)
+                         : DecodeColumn(chunk, &column);
+    if (!decoded.ok()) {
+      return InvalidArgumentError("column '" + names.back() +
+                                  "': " + decoded.message());
+    }
     if (column.size() != nrows) {
       return InvalidArgumentError("column row count mismatch");
     }
     columns.push_back(std::move(column));
-    pos += block_len;
+    pos += chunk_len;
   }
   engine::Table table(std::move(names));
   if (nrows > 0) {
@@ -94,15 +181,17 @@ StatusOr<engine::Table> DeserializeTable(std::string_view blob) {
 }
 
 StatusOr<uint64_t> SaveTable(const engine::Table& table,
-                             const std::string& path) {
+                             const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string blob = SerializeTable(table);
-  S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+  S2RDF_RETURN_IF_ERROR(env->WriteFileAtomic(path, blob));
   return static_cast<uint64_t>(blob.size());
 }
 
-StatusOr<engine::Table> LoadTable(const std::string& path) {
+StatusOr<engine::Table> LoadTable(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string blob;
-  S2RDF_RETURN_IF_ERROR(ReadFile(path, &blob));
+  S2RDF_RETURN_IF_ERROR(env->ReadFile(path, &blob));
   return DeserializeTable(blob);
 }
 

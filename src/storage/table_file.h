@@ -5,28 +5,40 @@
 
 #include "common/status.h"
 #include "engine/table.h"
+#include "storage/env.h"
 
 // Single-table binary file format ("S2TB"): the project's Parquet
-// analogue. Layout:
+// analogue. Version 2 layout:
 //   magic "S2TB" | version u32 | ncols varint | nrows varint
-//   per column: name (varint length + bytes) | block (varint length +
-//   EncodeColumn bytes)
+//   per column: name (varint length + bytes) | chunk (varint length +
+//   EncodeColumnChecksummed bytes — block + its own FNV-1a64)
 //   trailer: FNV-1a64 checksum of everything before it.
+// Version 1 files (no per-column checksums) remain readable. The
+// per-chunk checksums localize corruption to one column; the trailer
+// checksum still guards the whole file.
 
 namespace s2rdf::storage {
 
-// Serializes `table` into the S2TB byte format.
+// Serializes `table` into the S2TB byte format (current version).
 std::string SerializeTable(const engine::Table& table);
 
-// Parses an S2TB blob (verifies checksum).
+// Parses an S2TB blob (verifies the file checksum and, for v2, the
+// per-column chunk checksums; errors name the corrupt column).
 StatusOr<engine::Table> DeserializeTable(std::string_view blob);
 
-// Writes `table` to `path`; returns the file size in bytes.
+// Integrity check without materializing the table: header, trailer
+// checksum and (v2) every chunk checksum. kInvalidArgument describes
+// where the corruption sits.
+Status VerifyTableBlob(std::string_view blob);
+
+// Writes `table` to `path` crash-safely (temp file + fsync + rename via
+// `env`, Env::Default() when null); returns the file size in bytes.
 StatusOr<uint64_t> SaveTable(const engine::Table& table,
-                             const std::string& path);
+                             const std::string& path, Env* env = nullptr);
 
 // Reads a table written by SaveTable.
-StatusOr<engine::Table> LoadTable(const std::string& path);
+StatusOr<engine::Table> LoadTable(const std::string& path,
+                                  Env* env = nullptr);
 
 }  // namespace s2rdf::storage
 

@@ -637,7 +637,10 @@ TEST(S2RdfTest, PersistentStorageRoundtrip) {
   options.storage_dir = dir.path();
   auto db = S2Rdf::Create(MakeG1(), options);
   ASSERT_TRUE(db.ok());
-  EXPECT_TRUE(s2rdf::PathExists(dir.path() + "/manifest.tsv"));
+  // The manifest is a generation chain: CURRENT points at the newest
+  // self-checksummed generation file.
+  EXPECT_TRUE(s2rdf::PathExists(dir.path() + "/CURRENT"));
+  EXPECT_TRUE(s2rdf::PathExists(dir.path() + "/manifest-1.tsv"));
   EXPECT_GT((*db)->catalog().TotalBytes(), 0u);
   auto result = (*db)->Execute(kQ1);
   ASSERT_TRUE(result.ok());

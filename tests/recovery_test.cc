@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/s2rdf.h"
+#include "server/sparql_endpoint.h"
+#include "storage/catalog.h"
+#include "storage/fault_injection_env.h"
+
+// Fault-injection tests for the durability protocol end to end: the
+// crash-point matrix (crash after every k-th mutating I/O op during a
+// full store build, then "reboot" and assert the recovered state is
+// always consistent), and graceful degradation (corrupt tables are
+// quarantined and queries answer identically from superset tables,
+// ExtVP -> VP -> triples table).
+
+namespace s2rdf::core {
+namespace {
+
+using storage::Catalog;
+using storage::FaultInjectionEnv;
+
+// The paper's running example graph G1 (Fig. 1).
+rdf::Graph MakeG1() {
+  rdf::Graph g;
+  g.AddIris("A", "follows", "B");
+  g.AddIris("B", "follows", "C");
+  g.AddIris("B", "follows", "D");
+  g.AddIris("C", "follows", "D");
+  g.AddIris("A", "likes", "I1");
+  g.AddIris("A", "likes", "I2");
+  g.AddIris("C", "likes", "I2");
+  return g;
+}
+
+// Q1 (Fig. 2): friends of friends who like the same things. Exercises
+// ExtVP table selection on every pattern.
+constexpr char kQ1[] =
+    "SELECT * WHERE { ?x <likes> ?w . ?x <follows> ?y . "
+    "?y <follows> ?z . ?z <likes> ?w }";
+
+// Decoded, sorted solution rows — the canonical form the degradation
+// tests compare byte-for-byte against the healthy store.
+std::vector<std::vector<std::string>> SortedRows(S2Rdf* db,
+                                                 const std::string& query) {
+  auto result = db->Execute(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return {};
+  std::vector<std::vector<std::string>> rows =
+      db->DecodeRows(result->table);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Flips one bit in the middle of every file in `dir` whose name starts
+// with `prefix` and ends in ".s2tb"; returns how many were damaged.
+int CorruptTables(const std::string& dir, const std::string& prefix) {
+  auto files = s2rdf::ListDir(dir);
+  EXPECT_TRUE(files.ok());
+  int corrupted = 0;
+  for (const std::string& file : *files) {
+    if (!s2rdf::StartsWith(file, prefix) || !s2rdf::EndsWith(file, ".s2tb")) {
+      continue;
+    }
+    std::string blob;
+    EXPECT_TRUE(s2rdf::ReadFile(dir + "/" + file, &blob).ok());
+    blob[blob.size() / 2] ^= 0x01;
+    EXPECT_TRUE(s2rdf::WriteFile(dir + "/" + file, blob).ok());
+    ++corrupted;
+  }
+  return corrupted;
+}
+
+StatusOr<std::unique_ptr<S2Rdf>> CreatePersisted(const std::string& dir,
+                                                 storage::Env* env = nullptr) {
+  S2RdfOptions options;
+  options.storage_dir = dir;
+  options.env = env;
+  return S2Rdf::Create(MakeG1(), options);
+}
+
+// --- Crash-point matrix --------------------------------------------------
+
+TEST(CrashMatrixTest, EveryCrashPointRecoversToConsistentState) {
+  // Pass 1: run the full build once through the fault-injection env to
+  // count its mutating I/O ops. The workload is deterministic, so run k
+  // of pass 2 sees the identical op sequence.
+  uint64_t total_mutations = 0;
+  {
+    s2rdf::ScopedTempDir dir;
+    FaultInjectionEnv env;
+    auto db = CreatePersisted(dir.path(), &env);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    total_mutations = env.mutation_count();
+    ASSERT_GT(total_mutations, 10u);  // Tables + manifest + dictionary.
+  }
+
+  // Pass 2: crash at every point, in both styles, and reboot.
+  for (FaultInjectionEnv::CrashStyle style :
+       {FaultInjectionEnv::CrashStyle::kClean,
+        FaultInjectionEnv::CrashStyle::kTorn}) {
+    for (uint64_t k = 0; k < total_mutations; ++k) {
+      SCOPED_TRACE("style=" + std::to_string(static_cast<int>(style)) +
+                   " crash_after=" + std::to_string(k));
+      s2rdf::ScopedTempDir dir;
+      FaultInjectionEnv env;
+      env.set_crash_style(style);
+      env.CrashAfterMutations(k);
+      auto db = CreatePersisted(dir.path(), &env);
+      // k < total: the build cannot have finished.
+      EXPECT_FALSE(db.ok());
+
+      // "Reboot": recover with a healthy environment.
+      Catalog catalog(dir.path());
+      auto report = catalog.Recover();
+      if (report.ok()) {
+        // The recovered state must be fully consistent: the atomic
+        // write protocol confines torn data to staging files, so no
+        // manifest-listed table may fail verification...
+        EXPECT_EQ(report->tables_quarantined, 0u);
+        // ...the only manifest generation Create saves is 1...
+        EXPECT_EQ(report->generation, 1u);
+        // ...every materialized table actually loads...
+        for (const storage::TableStats* stats : catalog.AllStats()) {
+          if (!stats->materialized) continue;
+          EXPECT_TRUE(catalog.GetTable(stats->name).ok()) << stats->name;
+        }
+        // ...and no staging debris survives the sweep.
+        auto files = s2rdf::ListDir(dir.path());
+        ASSERT_TRUE(files.ok());
+        for (const std::string& file : *files) {
+          EXPECT_FALSE(s2rdf::EndsWith(file, ".tmp")) << file;
+        }
+      } else {
+        // Acceptable only when the crash predates the first durable
+        // manifest generation: the store then never existed.
+        EXPECT_EQ(report.status().code(), StatusCode::kNotFound)
+            << report.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(CrashMatrixTest, CompletedBuildReopensAndAnswersQ1) {
+  s2rdf::ScopedTempDir dir;
+  FaultInjectionEnv env;
+  std::vector<std::vector<std::string>> healthy;
+  {
+    auto db = CreatePersisted(dir.path(), &env);
+    ASSERT_TRUE(db.ok());
+    healthy = SortedRows(db->get(), kQ1);
+    ASSERT_EQ(healthy.size(), 1u);  // Q1 on G1: x=A, y=B, z=C, w=I2.
+  }
+  auto reopened = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_report().tables_quarantined, 0u);
+  EXPECT_GT((*reopened)->recovery_report().tables_verified, 0u);
+  EXPECT_EQ(SortedRows(reopened->get(), kQ1), healthy);
+}
+
+// --- Graceful degradation ------------------------------------------------
+
+TEST(DegradationTest, CorruptExtVpDegradesToVpWithIdenticalResults) {
+  s2rdf::ScopedTempDir dir;
+  std::vector<std::vector<std::string>> healthy;
+  {
+    auto db = CreatePersisted(dir.path());
+    ASSERT_TRUE(db.ok());
+    healthy = SortedRows(db->get(), kQ1);
+    ASSERT_FALSE(healthy.empty());
+  }
+  ASSERT_GT(CorruptTables(dir.path(), "extvp_"), 0);
+
+  auto db = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Startup recovery quarantined the damaged reductions.
+  EXPECT_GT((*db)->recovery_report().tables_quarantined, 0u);
+  EXPECT_GT((*db)->catalog().corruptions_detected(), 0u);
+  // The query silently falls back to the base VP tables — identical
+  // solutions (VP ⊇ ExtVP; the extra rows cannot satisfy the joins).
+  EXPECT_EQ(SortedRows(db->get(), kQ1), healthy);
+  EXPECT_GE((*db)->catalog().queries_degraded(), 1u);
+}
+
+TEST(DegradationTest, CorruptVpDegradesToTriplesTable) {
+  s2rdf::ScopedTempDir dir;
+  const std::string query = "SELECT * WHERE { ?s <likes> ?o }";
+  std::vector<std::vector<std::string>> healthy;
+  {
+    auto db = CreatePersisted(dir.path());
+    ASSERT_TRUE(db.ok());
+    healthy = SortedRows(db->get(), query);
+    ASSERT_EQ(healthy.size(), 3u);
+  }
+  // Damage every VP table: single-pattern queries then have nothing
+  // between VP and the last-resort triples-table layout.
+  ASSERT_GT(CorruptTables(dir.path(), "vp_"), 0);
+
+  auto db = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_GT((*db)->recovery_report().tables_quarantined, 0u);
+  uint64_t degraded_before = (*db)->catalog().queries_degraded();
+  // TT ⊇ VP and the scan re-applies the predicate selection: identical
+  // solutions out of the triples table.
+  EXPECT_EQ(SortedRows(db->get(), query), healthy);
+  EXPECT_GT((*db)->catalog().queries_degraded(), degraded_before);
+}
+
+TEST(DegradationTest, MidQueryChecksumFailureFallsBackToVp) {
+  s2rdf::ScopedTempDir dir;
+  std::vector<std::vector<std::string>> healthy;
+  {
+    auto db = CreatePersisted(dir.path());
+    ASSERT_TRUE(db.ok());
+    healthy = SortedRows(db->get(), kQ1);
+  }
+  // Reopen while the store is healthy (recovery quarantines nothing),
+  // then corrupt the reductions behind the running server's back —
+  // detected only at load time, mid-query.
+  auto db = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ((*db)->recovery_report().tables_quarantined, 0u);
+  ASSERT_GT(CorruptTables(dir.path(), "extvp_"), 0);
+
+  EXPECT_EQ(SortedRows(db->get(), kQ1), healthy);
+  EXPECT_GE((*db)->catalog().queries_degraded(), 1u);
+  EXPECT_GT((*db)->catalog().corruptions_detected(), 0u);
+  // The corruption is remembered: later queries degrade at compile time.
+  EXPECT_EQ(SortedRows(db->get(), kQ1), healthy);
+}
+
+TEST(DegradationTest, TransientReadErrorsInvisibleToQueries) {
+  s2rdf::ScopedTempDir dir;
+  std::vector<std::vector<std::string>> healthy;
+  {
+    auto db = CreatePersisted(dir.path());
+    ASSERT_TRUE(db.ok());
+    healthy = SortedRows(db->get(), kQ1);
+  }
+  FaultInjectionEnv env;
+  auto db = S2Rdf::Open(dir.path(), 9, &env);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  env.FailNextReads(2);  // EINTR/EIO-style hiccup under the first scan.
+  EXPECT_EQ(SortedRows(db->get(), kQ1), healthy);
+  EXPECT_EQ((*db)->catalog().corruptions_detected(), 0u);
+  EXPECT_EQ((*db)->catalog().queries_degraded(), 0u);
+}
+
+TEST(DegradationTest, CountersExposedThroughMetricsRoute) {
+  s2rdf::ScopedTempDir dir;
+  {
+    auto created = CreatePersisted(dir.path());
+    ASSERT_TRUE(created.ok());
+  }
+  ASSERT_GT(CorruptTables(dir.path(), "extvp_"), 0);
+  auto db = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_FALSE(SortedRows(db->get(), kQ1).empty());
+
+  server::SparqlEndpoint endpoint(db->get());
+  server::HttpRequest request;
+  request.method = "GET";
+  request.path = "/metrics";
+  server::HttpResponse response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("s2rdf_storage_corruptions_detected"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_recovery_quarantined_tables"),
+            std::string::npos);
+  // At least one degraded query has been counted by now.
+  EXPECT_EQ(response.body.find("s2rdf_queries_degraded 0\n"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_queries_degraded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2rdf::core

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "common/file_util.h"
+#include "common/hash.h"
+#include "common/strings.h"
 #include "storage/catalog.h"
 #include "storage/encoding.h"
+#include "storage/fault_injection_env.h"
 #include "storage/table_file.h"
 
 namespace s2rdf::storage {
@@ -221,6 +224,337 @@ TEST(CatalogTest, ProviderResolvesTables) {
   engine::TableProvider provider = catalog.AsProvider();
   EXPECT_NE(provider("t1"), nullptr);
   EXPECT_EQ(provider("missing"), nullptr);
+}
+
+// --- S2TB robustness -----------------------------------------------------
+
+TEST(TableFileTest, RejectsBlobShorterThanMinimum) {
+  std::string blob = SerializeTable(MakeTable());
+  for (size_t n : {size_t{0}, size_t{4}, size_t{8}, size_t{17}}) {
+    auto result = DeserializeTable(std::string_view(blob).substr(0, n));
+    ASSERT_FALSE(result.ok()) << n;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("too short"), std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST(TableFileTest, TruncatedBlobDetected) {
+  std::string blob = SerializeTable(MakeTable());
+  auto result =
+      DeserializeTable(std::string_view(blob).substr(0, blob.size() - 9));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TableFileTest, ZeroLengthFileRejectedWithClearError) {
+  ScopedTempDir dir;
+  ASSERT_TRUE(WriteFile(dir.path() + "/zero.s2tb", "").ok());
+  auto result = LoadTable(dir.path() + "/zero.s2tb");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("too short"), std::string::npos);
+}
+
+TEST(TableFileTest, BitFlipIsLocalizedToOneColumn) {
+  std::string blob = SerializeTable(MakeTable());
+  blob[blob.size() / 2] ^= 0x01;  // Mid-file lands inside a column chunk.
+  auto result = DeserializeTable(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("column '"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_FALSE(VerifyTableBlob(blob).ok());
+}
+
+TEST(TableFileTest, Version1FilesStillReadable) {
+  // Hand-build a v1 blob (no per-column chunk checksums) and check the
+  // current reader accepts it.
+  engine::Table t = MakeTable();
+  std::string out;
+  out.append("S2TB", 4);
+  uint32_t version = 1;
+  out.append(reinterpret_cast<const char*>(&version), 4);
+  PutVarint64(&out, t.NumColumns());
+  PutVarint64(&out, t.NumRows());
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    const std::string& name = t.column_names()[c];
+    PutVarint64(&out, name.size());
+    out += name;
+    std::string block = EncodeColumn(t.Column(c));
+    PutVarint64(&out, block.size());
+    out += block;
+  }
+  uint64_t checksum = Fnv1a64(out);
+  out.append(reinterpret_cast<const char*>(&checksum), 8);
+
+  ASSERT_TRUE(VerifyTableBlob(out).ok());
+  auto back = DeserializeTable(out);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(engine::Table::SameBag(t, *back));
+}
+
+TEST(EncodingTest, ChecksummedColumnRoundtripAndDetection) {
+  std::vector<uint32_t> column = {5, 1, 9, 2, 8, 1000000, 3};
+  std::string chunk = EncodeColumnChecksummed(column);
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(DecodeColumnChecksummed(chunk, &back).ok());
+  EXPECT_EQ(back, column);
+  chunk[chunk.size() / 2] ^= 0x20;
+  EXPECT_FALSE(DecodeColumnChecksummed(chunk, &back).ok());
+  EXPECT_FALSE(VerifyColumnChecksum("").ok());
+}
+
+// --- Crash safety and recovery ------------------------------------------
+
+TEST(CatalogTest, ManifestGenerationsAdvanceAndPrune) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  ASSERT_TRUE(catalog.SaveManifest().ok());
+  EXPECT_EQ(catalog.generation(), 1u);
+  ASSERT_TRUE(catalog.SaveManifest().ok());
+  ASSERT_TRUE(catalog.SaveManifest().ok());
+  EXPECT_EQ(catalog.generation(), 3u);
+  EXPECT_TRUE(PathExists(dir.path() + "/CURRENT"));
+  EXPECT_TRUE(PathExists(dir.path() + "/manifest-3.tsv"));
+  // The previous generation is kept as the chain's fallback link; older
+  // ones are pruned.
+  EXPECT_TRUE(PathExists(dir.path() + "/manifest-2.tsv"));
+  EXPECT_FALSE(PathExists(dir.path() + "/manifest-1.tsv"));
+}
+
+TEST(CatalogTest, CorruptCurrentGenerationFallsBackToPrevious) {
+  ScopedTempDir dir;
+  {
+    Catalog catalog(dir.path());
+    ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+    catalog.PutStatsOnly("t2", 5, 0.5);
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+  }
+  // Damage generation 2; loading must fall back to generation 1 (the
+  // state of the previous successful save).
+  std::string manifest;
+  ASSERT_TRUE(ReadFile(dir.path() + "/manifest-2.tsv", &manifest).ok());
+  manifest[manifest.size() / 2] ^= 0x04;
+  ASSERT_TRUE(WriteFile(dir.path() + "/manifest-2.tsv", manifest).ok());
+  Catalog restored(dir.path());
+  ASSERT_TRUE(restored.LoadManifest().ok());
+  EXPECT_EQ(restored.generation(), 1u);
+  EXPECT_TRUE(restored.Has("t1"));
+  EXPECT_FALSE(restored.Has("t2"));
+}
+
+TEST(CatalogTest, LegacyUnchecksummedManifestStillReadable) {
+  ScopedTempDir dir;
+  std::string legacy =
+      "# name\trows\tselectivity\tbytes\tmaterialized\n"
+      "ghost\t42\t0.5\t0\t0\n";
+  ASSERT_TRUE(WriteFile(dir.path() + "/manifest.tsv", legacy).ok());
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.LoadManifest().ok());
+  ASSERT_NE(catalog.GetStats("ghost"), nullptr);
+  EXPECT_EQ(catalog.GetStats("ghost")->rows, 42u);
+  EXPECT_EQ(catalog.generation(), 0u);
+}
+
+TEST(CatalogTest, StaleTempFilesSweptAtRecovery) {
+  ScopedTempDir dir;
+  {
+    Catalog catalog(dir.path());
+    ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+  }
+  // A crash mid-WriteFileAtomic leaves a half-written staging file.
+  ASSERT_TRUE(WriteFile(dir.path() + "/t9.s2tb.tmp", "partial write").ok());
+  Catalog restored(dir.path());
+  auto report = restored.Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->generation, 1u);
+  EXPECT_EQ(report->temp_files_removed, 1u);
+  EXPECT_EQ(report->tables_verified, 1u);
+  EXPECT_EQ(report->tables_quarantined, 0u);
+  EXPECT_FALSE(PathExists(dir.path() + "/t9.s2tb.tmp"));
+}
+
+TEST(CatalogTest, CorruptTableQuarantinedAtRecovery) {
+  ScopedTempDir dir;
+  {
+    Catalog catalog(dir.path());
+    ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+    ASSERT_TRUE(catalog.Put("t2", MakeTable(), 1.0).ok());
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+  }
+  std::string blob;
+  ASSERT_TRUE(ReadFile(dir.path() + "/t1.s2tb", &blob).ok());
+  blob[blob.size() / 2] ^= 0x08;
+  ASSERT_TRUE(WriteFile(dir.path() + "/t1.s2tb", blob).ok());
+
+  Catalog restored(dir.path());
+  auto report = restored.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tables_quarantined, 1u);
+  EXPECT_EQ(report->tables_verified, 1u);
+  EXPECT_TRUE(restored.IsQuarantined("t1"));
+  EXPECT_FALSE(restored.IsQuarantined("t2"));
+  EXPECT_GE(restored.corruptions_detected(), 1u);
+  EXPECT_EQ(restored.quarantined_tables(), 1u);
+  // A quarantined table refuses to load, with a distinct code.
+  auto table = restored.GetTable("t1");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(restored.GetTable("t2").ok());
+}
+
+TEST(CatalogTest, ZeroLengthTableQuarantinedAtRecovery) {
+  ScopedTempDir dir;
+  {
+    Catalog catalog(dir.path());
+    ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+    ASSERT_TRUE(catalog.SaveManifest().ok());
+  }
+  ASSERT_TRUE(WriteFile(dir.path() + "/t1.s2tb", "").ok());
+  Catalog restored(dir.path());
+  auto report = restored.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tables_quarantined, 1u);
+  EXPECT_TRUE(restored.IsQuarantined("t1"));
+}
+
+TEST(CatalogTest, CorruptLoadQuarantinesOnFirstAccess) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  catalog.EvictFromMemory("t1");
+  std::string blob;
+  ASSERT_TRUE(ReadFile(dir.path() + "/t1.s2tb", &blob).ok());
+  blob[blob.size() - 1] ^= 0x02;  // Trailer checksum byte.
+  ASSERT_TRUE(WriteFile(dir.path() + "/t1.s2tb", blob).ok());
+
+  EXPECT_FALSE(catalog.GetTable("t1").ok());
+  EXPECT_TRUE(catalog.IsQuarantined("t1"));
+  EXPECT_EQ(catalog.corruptions_detected(), 1u);
+  // A fresh Put heals the quarantine.
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  EXPECT_FALSE(catalog.IsQuarantined("t1"));
+  EXPECT_TRUE(catalog.GetTable("t1").ok());
+}
+
+TEST(CatalogTest, TransientReadErrorsAreRetriedNotQuarantined) {
+  ScopedTempDir dir;
+  FaultInjectionEnv fenv;
+  Catalog catalog(dir.path(), &fenv);
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  catalog.EvictFromMemory("t1");
+  fenv.FailNextReads(2);  // Fewer than the retry budget.
+  auto table = catalog.GetTable("t1");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_FALSE(catalog.IsQuarantined("t1"));
+  EXPECT_EQ(catalog.corruptions_detected(), 0u);
+}
+
+TEST(CatalogTest, PersistentTransientErrorsSurfaceWithoutQuarantine) {
+  ScopedTempDir dir;
+  FaultInjectionEnv fenv;
+  Catalog catalog(dir.path(), &fenv);
+  ASSERT_TRUE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  catalog.EvictFromMemory("t1");
+  fenv.FailNextReads(100);  // Outlasts any retry budget.
+  auto table = catalog.GetTable("t1");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+  // Transient failures are not corruption: no quarantine.
+  EXPECT_FALSE(catalog.IsQuarantined("t1"));
+  fenv.ClearFaults();
+  EXPECT_TRUE(catalog.GetTable("t1").ok());
+}
+
+TEST(CatalogTest, AtomicPutLeavesOldTableOnCrash) {
+  ScopedTempDir dir;
+  FaultInjectionEnv fenv;
+  fenv.set_crash_style(FaultInjectionEnv::CrashStyle::kTorn);
+  Catalog catalog(dir.path(), &fenv);
+  engine::Table small({"s", "o"});
+  small.AppendRow({1, 2});
+  ASSERT_TRUE(catalog.Put("t1", std::move(small), 1.0).ok());
+  ASSERT_TRUE(catalog.SaveManifest().ok());
+
+  // Crash during the replacement write: the torn prefix only ever hits
+  // the staging file, never t1.s2tb itself.
+  fenv.CrashAfterMutations(0);
+  EXPECT_FALSE(catalog.Put("t1", MakeTable(), 1.0).ok());
+  fenv.ClearFaults();
+
+  Catalog reopened(dir.path());
+  ASSERT_TRUE(reopened.Recover().ok());
+  auto table = reopened.GetTable("t1");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->NumRows(), 1u);  // Old state, intact.
+}
+
+TEST(CatalogTest, ProviderDegradesToFallbackTable) {
+  ScopedTempDir dir;
+  Catalog catalog(dir.path());
+  engine::Table reduced({"s", "o"});
+  reduced.AppendRow({1, 2});
+  ASSERT_TRUE(catalog.Put("extvp_t", std::move(reduced), 0.5).ok());
+  ASSERT_TRUE(catalog.Put("vp_t", MakeTable(), 1.0).ok());
+  catalog.SetDegradedFallback([](const std::string& name) {
+    return name == "extvp_t" ? "vp_t" : std::string();
+  });
+  catalog.EvictFromMemory("extvp_t");
+  std::string blob;
+  ASSERT_TRUE(ReadFile(dir.path() + "/extvp_t.s2tb", &blob).ok());
+  blob[blob.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFile(dir.path() + "/extvp_t.s2tb", blob).ok());
+
+  engine::TableProvider provider = catalog.AsProvider();
+  const engine::Table* table = provider("extvp_t");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->NumRows(), 500u);  // The fallback's (superset) data.
+  EXPECT_EQ(catalog.queries_degraded(), 1u);
+  EXPECT_TRUE(catalog.IsQuarantined("extvp_t"));
+  // Re-resolving within the same query is pinned and counts once.
+  EXPECT_NE(provider("extvp_t"), nullptr);
+  EXPECT_EQ(catalog.queries_degraded(), 1u);
+}
+
+TEST(FaultInjectionEnvTest, CrashPointSemantics) {
+  ScopedTempDir dir;
+  FaultInjectionEnv env;
+  env.CrashAfterMutations(1);
+  EXPECT_TRUE(env.WriteFile(dir.path() + "/a", "x").ok());
+  EXPECT_FALSE(env.WriteFile(dir.path() + "/b", "y").ok());  // Crash point.
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(env.RenameFile(dir.path() + "/a", dir.path() + "/c").ok());
+  EXPECT_EQ(env.mutation_count(), 1u);
+  env.ClearFaults();
+  EXPECT_TRUE(env.WriteFile(dir.path() + "/b", "y").ok());
+}
+
+TEST(FaultInjectionEnvTest, TornWritePersistsPrefix) {
+  ScopedTempDir dir;
+  FaultInjectionEnv env;
+  env.set_crash_style(FaultInjectionEnv::CrashStyle::kTorn);
+  env.CrashAfterMutations(0);
+  EXPECT_FALSE(env.WriteFile(dir.path() + "/torn", "0123456789").ok());
+  env.ClearFaults();
+  std::string data;
+  ASSERT_TRUE(ReadFile(dir.path() + "/torn", &data).ok());
+  EXPECT_EQ(data, "01234");
+}
+
+TEST(FaultInjectionEnvTest, BitFlipIsSilent) {
+  ScopedTempDir dir;
+  FaultInjectionEnv env;
+  env.FlipBitInNextWrite();
+  ASSERT_TRUE(env.WriteFile(dir.path() + "/f", "aaaa").ok());
+  std::string data;
+  ASSERT_TRUE(ReadFile(dir.path() + "/f", &data).ok());
+  EXPECT_NE(data, "aaaa");
+  // Only the next write is affected.
+  ASSERT_TRUE(env.WriteFile(dir.path() + "/g", "aaaa").ok());
+  ASSERT_TRUE(ReadFile(dir.path() + "/g", &data).ok());
+  EXPECT_EQ(data, "aaaa");
 }
 
 }  // namespace
