@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local CI gate: runs the full verification matrix described in
+# DESIGN.md §7. Usage:
+#
+#   scripts/check.sh          # everything (release, lint, analyze, sanitizers)
+#   scripts/check.sh quick    # release build + full ctest + lint only
+#
+# Each leg is independent; the script fails fast on the first broken
+# one. The `analyze` leg needs clang++ (thread-safety analysis) and is
+# skipped with a notice when it is not installed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+note "release build + full test suite"
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default
+
+note "repo linter (ctest -L lint)"
+ctest --preset lint
+
+if [[ "${1:-}" == "quick" ]]; then
+  note "quick mode: skipping analyze + sanitizer legs"
+  exit 0
+fi
+
+note "static analysis preset (clang thread-safety + nodiscard as errors)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset analyze >/dev/null
+  cmake --build --preset analyze -j"$(nproc)"
+  # The compile-fail proof and its clean twin register under this label.
+  ctest --test-dir build-analyze -L analyze --output-on-failure
+else
+  echo "clang++ not found: skipping the analyze preset (annotations are"
+  echo "no-ops under GCC, so there is nothing to check without Clang)."
+fi
+
+for san in asan tsan ubsan; do
+  note "${san} build + full test suite (including -L faults)"
+  cmake --preset "${san}" >/dev/null
+  cmake --build --preset "${san}" -j"$(nproc)"
+  ctest --preset "${san}"
+  ctest --preset "${san}-faults"
+done
+
+note "all checks passed"

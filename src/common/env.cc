@@ -1,0 +1,22 @@
+#include "common/env.h"
+
+namespace s2rdf {
+
+constexpr char Env::kTempSuffix[];
+
+Status Env::WriteFileAtomic(const std::string& path,
+                            const std::string& data) {
+  // The staging file is left behind on failure by design: a crash can
+  // interrupt any step, and recovery deletes "*.tmp" debris anyway.
+  const std::string tmp = path + kTempSuffix;
+  S2RDF_RETURN_IF_ERROR(WriteFile(tmp, data));
+  S2RDF_RETURN_IF_ERROR(SyncFile(tmp));
+  return RenameFile(tmp, path);
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+}  // namespace s2rdf

@@ -1,102 +1,46 @@
 #include "common/file_util.h"
 
-#include <dirent.h>
 #include <sys/stat.h>
-#include <sys/types.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
+
+#include "common/env.h"
 
 namespace s2rdf {
 
+// The free helpers are convenience shims over the process-default Env
+// (kept for tests, benches and single-shot tools). Library code that a
+// fault-injection test may want to interpose on must take an Env*
+// instead — routing through Env::Default() here keeps this file free of
+// raw I/O (lint rule `raw-io`) but is NOT a substitute for injection.
+
 Status WriteFile(const std::string& path, const std::string& data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return IoError("cannot open for write: " + path + ": " +
-                   std::strerror(errno));
-  }
-  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != data.size() || close_rc != 0) {
-    return IoError("short write: " + path);
-  }
-  return Status::Ok();
+  return Env::Default()->WriteFile(path, data);
 }
 
 Status ReadFile(const std::string& path, std::string* data) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return IoError("cannot open for read: " + path + ": " +
-                   std::strerror(errno));
-  }
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return IoError("cannot stat: " + path);
-  }
-  data->resize(static_cast<size_t>(size));
-  size_t read = size == 0 ? 0 : std::fread(data->data(), 1, data->size(), f);
-  std::fclose(f);
-  if (read != data->size()) return IoError("short read: " + path);
-  return Status::Ok();
+  return Env::Default()->ReadFile(path, data);
 }
 
 Status MakeDirs(const std::string& path) {
-  if (path.empty()) return InvalidArgumentError("empty directory path");
-  std::string partial;
-  for (size_t i = 0; i <= path.size(); ++i) {
-    if (i == path.size() || path[i] == '/') {
-      partial = path.substr(0, i == path.size() ? i : i + 1);
-      if (partial.empty() || partial == "/") continue;
-      if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-        return IoError("mkdir failed: " + partial + ": " +
-                       std::strerror(errno));
-      }
-    }
-  }
-  return Status::Ok();
+  return Env::Default()->MakeDirs(path);
 }
 
 Status RemoveFile(const std::string& path) {
-  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return IoError("unlink failed: " + path + ": " + std::strerror(errno));
-  }
-  return Status::Ok();
+  return Env::Default()->RemoveFile(path);
 }
 
 bool PathExists(const std::string& path) {
-  struct stat st;
-  return stat(path.c_str(), &st) == 0;
+  return Env::Default()->PathExists(path);
 }
 
 uint64_t FileSizeBytes(const std::string& path) {
-  struct stat st;
-  if (stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<uint64_t>(st.st_size);
+  return PosixEnv::FileSizeBytes(path);
 }
 
 StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
-  DIR* d = opendir(dir.c_str());
-  if (d == nullptr) {
-    return IoError("opendir failed: " + dir + ": " + std::strerror(errno));
-  }
-  std::vector<std::string> names;
-  while (struct dirent* entry = readdir(d)) {
-    std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    struct stat st;
-    std::string full = dir + "/" + name;
-    if (stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
-      names.push_back(name);
-    }
-  }
-  closedir(d);
-  return names;
+  return Env::Default()->ListDir(dir);
 }
 
 ScopedTempDir::ScopedTempDir() {

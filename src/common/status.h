@@ -44,7 +44,7 @@ std::string_view StatusCodeName(StatusCode code);
 // Example:
 //   Status s = catalog.Save(path);
 //   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,7 +89,7 @@ Status ResourceExhaustedError(std::string message);
 //   if (!t.ok()) return t.status();
 //   Use(*t);
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so `return value;` and `return status;` both
   // work, matching absl::StatusOr ergonomics.

@@ -369,10 +369,10 @@ Status S2Rdf::EnsureExtVpPair(Correlation corr, rdf::TermId p1,
   const rdf::Dictionary& dict = graph_.dictionary();
   const std::string name = ExtVpTableName(dict, corr, p1, p2);
   {
-    std::unique_lock<std::mutex> lock(lazy_mu_);
+    MutexLock lock(&lazy_mu_);
     // If another query is computing this pair right now, wait for it
     // rather than duplicating the work.
-    lazy_cv_.wait(lock, [&] { return !lazy_in_flight_.contains(name); });
+    while (lazy_in_flight_.contains(name)) lazy_cv_.Wait(&lazy_mu_);
     // MaterializeExtVpPair registers the name in the catalog (stats-only
     // when pruned), so Has doubles as the "already built" marker.
     if (catalog_.Has(name)) return Status::Ok();
@@ -383,10 +383,10 @@ Status S2Rdf::EnsureExtVpPair(Correlation corr, rdf::TermId p1,
   Status status =
       MaterializeExtVpPair(dict, corr, p1, p2, sf_threshold_, &catalog_);
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    MutexLock lock(&lazy_mu_);
     lazy_in_flight_.erase(name);
   }
-  lazy_cv_.notify_all();
+  lazy_cv_.NotifyAll();
   return status;
 }
 

@@ -2,15 +2,15 @@
 #define S2RDF_CORE_S2RDF_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/compiler.h"
 #include "core/extvp_bitmap.h"
 #include "core/layouts.h"
@@ -228,9 +228,9 @@ class S2Rdf {
 
   // Guards the lazy-ExtVP in-flight set; lazy_cv_ wakes waiters when a
   // build completes.
-  std::mutex lazy_mu_;
-  std::condition_variable lazy_cv_;
-  std::set<std::string> lazy_in_flight_;
+  Mutex lazy_mu_;
+  CondVar lazy_cv_;
+  std::set<std::string> lazy_in_flight_ S2RDF_GUARDED_BY(lazy_mu_);
 };
 
 }  // namespace s2rdf::core

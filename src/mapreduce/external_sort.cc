@@ -3,26 +3,28 @@
 #include <algorithm>
 #include <queue>
 
-#include "common/file_util.h"
+#include "common/env.h"
 
 namespace s2rdf::mapreduce {
 
 StatusOr<SortStats> SortRecordFile(const std::string& input_path,
                                    const std::string& output_path,
                                    const std::string& work_dir,
-                                   uint64_t max_records_in_memory) {
+                                   uint64_t max_records_in_memory,
+                                   Env* env) {
+  if (env == nullptr) env = Env::Default();
   if (max_records_in_memory == 0) {
     return InvalidArgumentError("max_records_in_memory must be positive");
   }
   SortStats stats;
   S2RDF_ASSIGN_OR_RETURN(std::vector<Record> all,
-                         ReadRecordFile(input_path));
+                         ReadRecordFile(input_path, env));
   stats.records = all.size();
 
   if (all.size() <= max_records_in_memory) {
     std::sort(all.begin(), all.end());
     stats.runs = 1;
-    S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, all));
+    S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, all, env));
     return stats;
   }
 
@@ -37,7 +39,7 @@ StatusOr<SortStats> SortRecordFile(const std::string& input_path,
                        std::to_string(run_paths.size()) + ".rec";
     std::string blob = SerializeRecords(run);
     stats.spilled_bytes += blob.size();
-    S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+    S2RDF_RETURN_IF_ERROR(env->WriteFile(path, blob));
     run_paths.push_back(path);
   }
   all.clear();
@@ -48,9 +50,10 @@ StatusOr<SortStats> SortRecordFile(const std::string& input_path,
   std::vector<std::vector<Record>> runs;
   runs.reserve(run_paths.size());
   for (const std::string& path : run_paths) {
-    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> run, ReadRecordFile(path));
+    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> run,
+                           ReadRecordFile(path, env));
     runs.push_back(std::move(run));
-    S2RDF_RETURN_IF_ERROR(RemoveFile(path));
+    S2RDF_RETURN_IF_ERROR(env->RemoveFile(path));
   }
   struct HeapEntry {
     size_t run;
@@ -74,7 +77,7 @@ StatusOr<SortStats> SortRecordFile(const std::string& input_path,
       heap.push({top.run, top.index + 1});
     }
   }
-  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, merged));
+  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, merged, env));
   return stats;
 }
 

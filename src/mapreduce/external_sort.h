@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "mapreduce/record.h"
 
@@ -22,11 +23,13 @@ struct SortStats {
 };
 
 // Sorts the record file at `input_path` into `output_path`. `work_dir`
-// hosts temporary run files.
+// hosts temporary run files. `env` is the file-I/O environment
+// (Env::Default() when null).
 StatusOr<SortStats> SortRecordFile(const std::string& input_path,
                                    const std::string& output_path,
                                    const std::string& work_dir,
-                                   uint64_t max_records_in_memory);
+                                   uint64_t max_records_in_memory,
+                                   Env* env = nullptr);
 
 }  // namespace s2rdf::mapreduce
 

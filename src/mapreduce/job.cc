@@ -1,6 +1,6 @@
 #include "mapreduce/job.h"
 
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/hash.h"
 #include "mapreduce/external_sort.h"
 
@@ -25,13 +25,15 @@ StatusOr<JobMetrics> RunJob(const JobConfig& config,
   }
   JobMetrics metrics;
   const int r = config.num_reducers;
+  Env* env = config.env != nullptr ? config.env : Env::Default();
 
   // --- Map + partition: stream inputs, buffer per-reducer partitions,
   // write each partition file (the "shuffle write").
   std::vector<std::vector<Record>> partitions(static_cast<size_t>(r));
   std::vector<Record> emitted;
   for (const std::string& path : input_paths) {
-    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> inputs, ReadRecordFile(path));
+    S2RDF_ASSIGN_OR_RETURN(std::vector<Record> inputs,
+                           ReadRecordFile(path, env));
     metrics.map_input_records += inputs.size();
     for (const Record& input : inputs) {
       emitted.clear();
@@ -51,7 +53,7 @@ StatusOr<JobMetrics> RunJob(const JobConfig& config,
         config.work_dir + "/shuffle_" + std::to_string(p) + ".rec";
     std::string blob = SerializeRecords(partitions[static_cast<size_t>(p)]);
     metrics.shuffle_bytes += blob.size();
-    S2RDF_RETURN_IF_ERROR(WriteFile(path, blob));
+    S2RDF_RETURN_IF_ERROR(env->WriteFile(path, blob));
     partitions[static_cast<size_t>(p)].clear();
     partition_paths.push_back(path);
   }
@@ -66,13 +68,13 @@ StatusOr<JobMetrics> RunJob(const JobConfig& config,
     S2RDF_ASSIGN_OR_RETURN(
         SortStats sort_stats,
         SortRecordFile(in, sorted, config.work_dir,
-                       config.max_records_in_memory));
+                       config.max_records_in_memory, env));
     metrics.spill_bytes += sort_stats.spilled_bytes;
     S2RDF_ASSIGN_OR_RETURN(std::vector<Record> records,
-                           ReadRecordFile(sorted));
+                           ReadRecordFile(sorted, env));
     metrics.reduce_input_records += records.size();
-    S2RDF_RETURN_IF_ERROR(RemoveFile(in));
-    S2RDF_RETURN_IF_ERROR(RemoveFile(sorted));
+    S2RDF_RETURN_IF_ERROR(env->RemoveFile(in));
+    S2RDF_RETURN_IF_ERROR(env->RemoveFile(sorted));
 
     size_t begin = 0;
     while (begin < records.size()) {
@@ -91,7 +93,7 @@ StatusOr<JobMetrics> RunJob(const JobConfig& config,
     }
   }
 
-  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, output));
+  S2RDF_RETURN_IF_ERROR(WriteRecordFile(output_path, output, env));
   return metrics;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "mapreduce/record.h"
 
@@ -25,6 +26,10 @@ struct JobConfig {
   int num_reducers = 4;
   // Spill threshold of the shuffle sort.
   uint64_t max_records_in_memory = 1u << 20;
+  // File-I/O environment for all stage-boundary reads and writes
+  // (Env::Default() when null); fault-injection tests substitute their
+  // own so crashes mid-shuffle are covered like storage writes.
+  Env* env = nullptr;
 };
 
 struct JobMetrics {

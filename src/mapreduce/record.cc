@@ -1,6 +1,6 @@
 #include "mapreduce/record.h"
 
-#include "common/file_util.h"
+#include "common/env.h"
 #include "storage/encoding.h"
 
 namespace s2rdf::mapreduce {
@@ -52,13 +52,16 @@ Status ParseRecords(std::string_view data, std::vector<Record>* records) {
 }
 
 Status WriteRecordFile(const std::string& path,
-                       const std::vector<Record>& records) {
-  return WriteFile(path, SerializeRecords(records));
+                       const std::vector<Record>& records, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->WriteFile(path, SerializeRecords(records));
 }
 
-StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path) {
+StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path,
+                                             Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string data;
-  S2RDF_RETURN_IF_ERROR(ReadFile(path, &data));
+  S2RDF_RETURN_IF_ERROR(env->ReadFile(path, &data));
   std::vector<Record> records;
   S2RDF_RETURN_IF_ERROR(ParseRecords(data, &records));
   return records;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 
 // Key/value records for the mini MapReduce runtime. A record is a pair
@@ -38,12 +39,16 @@ std::string SerializeRecords(const std::vector<Record>& records);
 // Parses a record stream produced by AppendRecord.
 Status ParseRecords(std::string_view data, std::vector<Record>* records);
 
-// Writes `records` to `path` (truncating).
+// Writes `records` to `path` (truncating). `env` is the file-I/O
+// environment (Env::Default() when null), so fault-injection tests can
+// interpose on spill/shuffle traffic.
 Status WriteRecordFile(const std::string& path,
-                       const std::vector<Record>& records);
+                       const std::vector<Record>& records,
+                       Env* env = nullptr);
 
 // Reads a record file written by WriteRecordFile.
-StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path);
+StatusOr<std::vector<Record>> ReadRecordFile(const std::string& path,
+                                             Env* env = nullptr);
 
 }  // namespace s2rdf::mapreduce
 

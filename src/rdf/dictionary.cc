@@ -1,9 +1,9 @@
 #include "rdf/dictionary.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace s2rdf::rdf {
 
@@ -11,11 +11,11 @@ TermId Dictionary::Encode(std::string_view canonical) {
   std::string key(canonical);
   {
     // Fast path: the term is usually already interned (shared lock).
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     auto it = ids_.find(key);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto it = ids_.find(key);
   if (it != ids_.end()) return it->second;  // Raced with another writer.
   TermId id = static_cast<TermId>(by_id_.size());
@@ -25,7 +25,7 @@ TermId Dictionary::Encode(std::string_view canonical) {
 }
 
 std::optional<TermId> Dictionary::Find(std::string_view canonical) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = ids_.find(std::string(canonical));
   if (it == ids_.end()) return std::nullopt;
   return it->second;
@@ -34,7 +34,7 @@ std::optional<TermId> Dictionary::Find(std::string_view canonical) const {
 const std::string& Dictionary::Decode(TermId id) const {
   // The returned reference stays valid after unlock: map nodes are
   // stable and entries are never erased.
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   S2RDF_CHECK(id < by_id_.size());
   return *by_id_[id];
 }
@@ -57,7 +57,7 @@ bool GetU32(std::string_view blob, size_t* pos, uint32_t* v) {
 }  // namespace
 
 std::string Dictionary::Serialize() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::string out;
   PutU32(&out, static_cast<uint32_t>(by_id_.size()));
   for (const std::string* term : by_id_) {

@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Dictionary encoding of RDF terms. All layouts (triples table, VP, ExtVP,
 // property tables, permutation indexes) operate on dense 32-bit term ids;
@@ -35,9 +36,12 @@ class Dictionary {
   Dictionary() = default;
 
   // Move-only: the id map references heap nodes owned by this instance.
-  Dictionary(Dictionary&& other) noexcept
+  // Moves require external exclusion (documented above), so they are
+  // exempt from the lock analysis.
+  Dictionary(Dictionary&& other) noexcept S2RDF_NO_THREAD_SAFETY_ANALYSIS
       : ids_(std::move(other.ids_)), by_id_(std::move(other.by_id_)) {}
-  Dictionary& operator=(Dictionary&& other) noexcept {
+  Dictionary& operator=(Dictionary&& other) noexcept
+      S2RDF_NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
       ids_ = std::move(other.ids_);
       by_id_ = std::move(other.by_id_);
@@ -57,7 +61,7 @@ class Dictionary {
   const std::string& Decode(TermId id) const;
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(&mu_);
     return by_id_.size();
   }
 
@@ -67,10 +71,10 @@ class Dictionary {
 
  private:
   // Guards ids_/by_id_: Encode takes it exclusively, lookups shared.
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // Node-stable map; by_id_ points into the map's keys.
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<const std::string*> by_id_;
+  std::unordered_map<std::string, TermId> ids_ S2RDF_GUARDED_BY(mu_);
+  std::vector<const std::string*> by_id_ S2RDF_GUARDED_BY(mu_);
 };
 
 }  // namespace s2rdf::rdf

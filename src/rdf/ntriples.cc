@@ -1,6 +1,6 @@
 #include "rdf/ntriples.h"
 
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "rdf/term.h"
 
@@ -113,9 +113,10 @@ std::string WriteNTriples(const Graph& graph) {
   return out;
 }
 
-Status LoadNTriplesFile(const std::string& path, Graph* graph) {
+Status LoadNTriplesFile(const std::string& path, Graph* graph, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string content;
-  S2RDF_RETURN_IF_ERROR(ReadFile(path, &content));
+  S2RDF_RETURN_IF_ERROR(env->ReadFile(path, &content));
   return ParseNTriples(content, graph);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 
@@ -20,8 +21,11 @@ Status ParseNTriples(std::string_view content, Graph* graph);
 // Serializes `graph` in N-Triples syntax (one statement per line).
 std::string WriteNTriples(const Graph& graph);
 
-// Loads an N-Triples file from disk into `graph`.
-Status LoadNTriplesFile(const std::string& path, Graph* graph);
+// Loads an N-Triples file from disk into `graph`. `env` is the file-I/O
+// environment (Env::Default() when null), so dataset loading sits
+// inside the fault-injection matrix like every other I/O path.
+Status LoadNTriplesFile(const std::string& path, Graph* graph,
+                        Env* env = nullptr);
 
 }  // namespace s2rdf::rdf
 

@@ -3,7 +3,7 @@
 #include <cctype>
 #include <map>
 
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "rdf/term.h"
 
@@ -386,9 +386,10 @@ Status ParseTurtle(std::string_view content, Graph* graph) {
   return parser.Run();
 }
 
-Status LoadTurtleFile(const std::string& path, Graph* graph) {
+Status LoadTurtleFile(const std::string& path, Graph* graph, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string content;
-  S2RDF_RETURN_IF_ERROR(ReadFile(path, &content));
+  S2RDF_RETURN_IF_ERROR(env->ReadFile(path, &content));
   return ParseTurtle(content, graph);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "rdf/graph.h"
 
@@ -26,8 +27,10 @@ namespace s2rdf::rdf {
 // numbers.
 Status ParseTurtle(std::string_view content, Graph* graph);
 
-// Loads a Turtle file from disk into `graph`.
-Status LoadTurtleFile(const std::string& path, Graph* graph);
+// Loads a Turtle file from disk into `graph`. `env` is the file-I/O
+// environment (Env::Default() when null).
+Status LoadTurtleFile(const std::string& path, Graph* graph,
+                      Env* env = nullptr);
 
 }  // namespace s2rdf::rdf
 

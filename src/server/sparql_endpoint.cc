@@ -209,7 +209,7 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     return ErrorResponse(result.status());
   }
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(&metrics_mu_);
     cumulative_ += result->metrics;
   }
 
@@ -366,7 +366,7 @@ EndpointStats SparqlEndpoint::Stats() const {
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.queue_depth = pool_ != nullptr ? pool_->QueueDepth() : 0;
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(&metrics_mu_);
     stats.cumulative = cumulative_;
   }
   return stats;

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/s2rdf.h"
 #include "server/http.h"
 #include "server/worker_pool.h"
@@ -104,8 +105,8 @@ class SparqlEndpoint {
   std::atomic<uint64_t> rejected_total_{0};
   std::atomic<uint64_t> in_flight_{0};
   // Guards cumulative_ (ExecMetrics is a plain struct).
-  mutable std::mutex metrics_mu_;
-  engine::ExecMetrics cumulative_;
+  mutable Mutex metrics_mu_;
+  engine::ExecMetrics cumulative_ S2RDF_GUARDED_BY(metrics_mu_);
 };
 
 }  // namespace s2rdf::server

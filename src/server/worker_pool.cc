@@ -12,7 +12,7 @@ WorkerPool::~WorkerPool() { Stop(); }
 
 void WorkerPool::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (started_ || stopping_) return;
     started_ = true;
   }
@@ -24,23 +24,23 @@ void WorkerPool::Start() {
 
 bool WorkerPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!started_ || stopping_ || queue_.size() >= queue_capacity_) {
       return false;
     }
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void WorkerPool::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!started_ || stopping_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -48,7 +48,7 @@ void WorkerPool::Stop() {
 }
 
 size_t WorkerPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -56,8 +56,8 @@ void WorkerPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain queued tasks even while stopping: clients whose requests
       // were admitted still get responses.
       if (queue_.empty()) return;

@@ -1,13 +1,14 @@
 #ifndef S2RDF_SERVER_WORKER_POOL_H_
 #define S2RDF_SERVER_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 // Fixed-size worker pool with a bounded task queue — the endpoint's
 // admission-control primitive. Submit never blocks: when every worker
@@ -27,29 +28,31 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   // Spawns the worker threads. Call once.
-  void Start();
+  void Start() S2RDF_EXCLUDES(mu_);
 
   // Enqueues `task`; returns false (task dropped) when the queue is at
   // capacity or the pool is stopped/not started.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) S2RDF_EXCLUDES(mu_);
 
   // Lets queued tasks drain, then joins all workers. Idempotent.
-  void Stop();
+  void Stop() S2RDF_EXCLUDES(mu_);
 
   // Tasks waiting in the queue (excludes tasks currently running).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const S2RDF_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() S2RDF_EXCLUDES(mu_);
 
   const int num_workers_;
   const size_t queue_capacity_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool started_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ S2RDF_GUARDED_BY(mu_);
+  bool started_ S2RDF_GUARDED_BY(mu_) = false;
+  bool stopping_ S2RDF_GUARDED_BY(mu_) = false;
+  // Written by Start/Stop only, which external callers must not
+  // overlap; WorkerLoop never touches it.
   std::vector<std::thread> workers_;
 };
 

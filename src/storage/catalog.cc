@@ -71,8 +71,10 @@ Catalog::Catalog(std::string dir, Env* env)
   }
 }
 
-Catalog::Catalog(Catalog&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
+// Moves require external exclusion (header contract), so the lock
+// analysis — which cannot pair two objects' capabilities — is off here.
+Catalog::Catalog(Catalog&& other) noexcept S2RDF_NO_THREAD_SAFETY_ANALYSIS {
+  MutexLock lock(&other.mu_);
   dir_ = std::move(other.dir_);
   env_ = other.env_;
   stats_ = std::move(other.stats_);
@@ -88,9 +90,13 @@ Catalog::Catalog(Catalog&& other) noexcept {
   quarantined_count_.store(other.quarantined_count_.load());
 }
 
-Catalog& Catalog::operator=(Catalog&& other) noexcept {
+Catalog& Catalog::operator=(Catalog&& other) noexcept
+    S2RDF_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
-    std::scoped_lock lock(mu_, other.mu_);
+    // Lock order self-then-other is safe: moves forbid concurrent use
+    // of either operand, so no cycle can form.
+    MutexLock self_lock(&mu_);
+    MutexLock other_lock(&other.mu_);
     dir_ = std::move(other.dir_);
     env_ = other.env_;
     stats_ = std::move(other.stats_);
@@ -152,7 +158,7 @@ Status Catalog::Put(const std::string& name, engine::Table table,
                            SaveTable(table, TablePath(name), env_));
   }
   auto owned = std::make_shared<const engine::Table>(std::move(table));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_[name] = stats;
   quarantined_.erase(name);  // A fresh write supersedes old corruption.
   CacheInsertLocked(name, std::move(owned));
@@ -166,17 +172,17 @@ void Catalog::PutStatsOnly(const std::string& name, uint64_t rows,
   stats.rows = rows;
   stats.selectivity = selectivity;
   stats.materialized = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_[name] = stats;
 }
 
 bool Catalog::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_.contains(name);
 }
 
 const TableStats* Catalog::GetStats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = stats_.find(name);
   // Safe to return after unlock: map nodes are stable and stats entries
   // are never erased.
@@ -184,13 +190,13 @@ const TableStats* Catalog::GetStats(const std::string& name) const {
 }
 
 bool Catalog::IsQuarantined(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return quarantined_.contains(name);
 }
 
 void Catalog::SetDegradedFallback(
     std::function<std::string(const std::string&)> fallback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   degraded_fallback_ = std::move(fallback);
 }
 
@@ -211,7 +217,7 @@ uint64_t Catalog::quarantined_tables() const {
 }
 
 uint64_t Catalog::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return generation_;
 }
 
@@ -225,7 +231,7 @@ void Catalog::QuarantineLocked(const std::string& name) {
 StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
     const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto cached = cache_.find(name);
     if (cached != cache_.end()) {
       TouchLruLocked(name);
@@ -248,13 +254,13 @@ StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
     if (!IsTransient(table.status())) {
       // Corrupt or missing on disk: quarantine so future queries degrade
       // at selection time instead of re-reading a broken file.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       QuarantineLocked(name);
     }
     return table.status();
   }
   auto owned = std::make_shared<const engine::Table>(std::move(*table));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CacheInsertLocked(name, owned);
   return owned;
 }
@@ -299,27 +305,27 @@ void Catalog::EvictFromMemoryLocked(const std::string& name) {
 }
 
 void Catalog::EvictFromMemory(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   EvictFromMemoryLocked(name);
 }
 
 void Catalog::SetMemoryBudget(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   memory_budget_ = bytes;
 }
 
 uint64_t Catalog::memory_budget() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_budget_;
 }
 
 uint64_t Catalog::CachedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cached_bytes_;
 }
 
 size_t Catalog::EvictToBudget() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (memory_budget_ == 0 || dir_.empty()) return 0;
   size_t evicted = 0;
   while (cached_bytes_ > memory_budget_ && !lru_.empty()) {
@@ -331,7 +337,7 @@ size_t Catalog::EvictToBudget() {
 }
 
 uint64_t Catalog::TotalTuples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, stats] : stats_) {
     if (stats.materialized) total += stats.rows;
@@ -340,14 +346,14 @@ uint64_t Catalog::TotalTuples() const {
 }
 
 uint64_t Catalog::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, stats] : stats_) total += stats.bytes;
   return total;
 }
 
 size_t Catalog::NumMaterializedTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t count = 0;
   for (const auto& [name, stats] : stats_) {
     if (stats.materialized) ++count;
@@ -356,12 +362,12 @@ size_t Catalog::NumMaterializedTables() const {
 }
 
 size_t Catalog::NumStatsEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_.size();
 }
 
 std::vector<const TableStats*> Catalog::AllStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<const TableStats*> out;
   out.reserve(stats_.size());
   for (const auto& [name, stats] : stats_) out.push_back(&stats);
@@ -377,7 +383,7 @@ Status Catalog::SaveManifest() const {
   uint64_t gen;
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     gen = generation_ + 1;
     out = kGenerationHeader + std::to_string(gen) + "\n";
     out += "# name\trows\tselectivity\tbytes\tmaterialized\n";
@@ -406,7 +412,7 @@ Status Catalog::SaveManifest() const {
       env_->WriteFileAtomic(dir_ + "/" + kCurrentFile,
                             ManifestFileName(gen) + "\n"));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     generation_ = gen;
   }
   // Prune generations older than the previous one (kept as the fallback
@@ -478,7 +484,7 @@ Status Catalog::AdoptManifest(const std::string& content,
     stats.materialized = fields[4] == "1";
     parsed[stats.name] = stats;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = std::move(parsed);
   cache_.clear();
   lru_.clear();
@@ -544,7 +550,7 @@ StatusOr<RecoveryReport> Catalog::Recover() {
   RecoveryReport report;
   std::vector<std::string> materialized;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     report.generation = generation_;
     for (const auto& [name, stats] : stats_) {
       if (stats.materialized) materialized.push_back(name);
@@ -559,7 +565,7 @@ StatusOr<RecoveryReport> Catalog::Recover() {
     if (status.ok()) {
       ++report.tables_verified;
     } else {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       QuarantineLocked(name);
       ++report.tables_quarantined;
     }
@@ -608,7 +614,7 @@ engine::TableProvider Catalog::AsProvider() {
       // query still answers — correctness rests on VP ⊇ ExtVP.
       std::function<std::string(const std::string&)> fallback;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         fallback = degraded_fallback_;
       }
       if (fallback != nullptr) {

@@ -7,12 +7,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/plan.h"
 #include "engine/table.h"
 #include "storage/env.h"
@@ -201,31 +202,34 @@ class Catalog {
   Status ReadFileRetrying(const std::string& path, std::string* data) const;
   StatusOr<engine::Table> LoadTableRetrying(const std::string& path) const;
   // Parses + verifies one manifest blob and swaps it in. mu_ NOT held.
-  Status AdoptManifest(const std::string& content, bool require_checksum);
-  // The *Locked helpers assume mu_ is held.
-  void QuarantineLocked(const std::string& name);
+  Status AdoptManifest(const std::string& content, bool require_checksum)
+      S2RDF_EXCLUDES(mu_);
+  // The *Locked helpers require mu_ to be held (compiler-checked under
+  // the analyze preset).
+  void QuarantineLocked(const std::string& name) S2RDF_REQUIRES(mu_);
   void CacheInsertLocked(const std::string& name,
-                         std::shared_ptr<const engine::Table> table);
-  void EvictFromMemoryLocked(const std::string& name);
-  void TouchLruLocked(const std::string& name);
+                         std::shared_ptr<const engine::Table> table)
+      S2RDF_REQUIRES(mu_);
+  void EvictFromMemoryLocked(const std::string& name) S2RDF_REQUIRES(mu_);
+  void TouchLruLocked(const std::string& name) S2RDF_REQUIRES(mu_);
 
   std::string dir_;
   Env* env_;
-  // Guards stats_, cache_, lru_, cached_bytes_, memory_budget_,
-  // quarantined_, degraded_fallback_, generation_.
-  mutable std::mutex mu_;
-  std::map<std::string, TableStats> stats_;
-  std::map<std::string, std::shared_ptr<const engine::Table>> cache_;
-  uint64_t memory_budget_ = 0;
-  uint64_t cached_bytes_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, TableStats> stats_ S2RDF_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<const engine::Table>> cache_
+      S2RDF_GUARDED_BY(mu_);
+  uint64_t memory_budget_ S2RDF_GUARDED_BY(mu_) = 0;
+  uint64_t cached_bytes_ S2RDF_GUARDED_BY(mu_) = 0;
   // Least-recently-used at front; names mirror cache_ keys.
-  std::list<std::string> lru_;
+  std::list<std::string> lru_ S2RDF_GUARDED_BY(mu_);
   // Tables that failed verification; never loaded again this run.
-  std::set<std::string> quarantined_;
-  std::function<std::string(const std::string&)> degraded_fallback_;
+  std::set<std::string> quarantined_ S2RDF_GUARDED_BY(mu_);
+  std::function<std::string(const std::string&)> degraded_fallback_
+      S2RDF_GUARDED_BY(mu_);
   // SaveManifest is logically const (it persists, not mutates, the
   // stats), so the generation cursor it advances is mutable.
-  mutable uint64_t generation_ = 0;
+  mutable uint64_t generation_ S2RDF_GUARDED_BY(mu_) = 0;
   mutable std::atomic<uint64_t> corruptions_detected_{0};
   mutable std::atomic<uint64_t> queries_degraded_{0};
   mutable std::atomic<uint64_t> quarantined_count_{0};

@@ -1,78 +1,18 @@
 #ifndef S2RDF_STORAGE_ENV_H_
 #define S2RDF_STORAGE_ENV_H_
 
-#include <string>
-#include <vector>
+// The Env seam moved down to common/env.h so layers below storage (rdf
+// loaders, mapreduce spill I/O) can route file access through it too —
+// every byte the library touches is now fault-injectable. This header
+// keeps the storage-qualified names alive for existing code; new code
+// may use either spelling (they are the same types).
 
-#include "common/status.h"
-
-// Injectable file-I/O environment for the storage layer — the seam the
-// fault-injection harness plugs into. On HDFS the paper gets replication
-// and atomic rename for free; here every durable write site (table
-// files, manifest generations, the CURRENT pointer, the dictionary)
-// goes through an Env so that crashes, torn writes and bit flips can be
-// injected deterministically and the recovery protocol proven against
-// them.
-//
-// Durability protocol: WriteFileAtomic stages the data in "<path>.tmp",
-// fsyncs it, then renames over the destination. A crash at any point
-// leaves either the old file or the new file — never a torn one; the
-// only debris is a stale "*.tmp" that startup recovery deletes.
+#include "common/env.h"
 
 namespace s2rdf::storage {
 
-class Env {
- public:
-  virtual ~Env() = default;
-
-  // Writes `data` to `path` in place (no atomicity). Prefer
-  // WriteFileAtomic for anything that must survive a crash.
-  virtual Status WriteFile(const std::string& path,
-                           const std::string& data) = 0;
-
-  // Reads the whole file. kNotFound when the file does not exist,
-  // kIoError for (possibly transient) read failures.
-  virtual Status ReadFile(const std::string& path, std::string* data) = 0;
-
-  // Atomically replaces `to` with `from` (POSIX rename semantics).
-  virtual Status RenameFile(const std::string& from,
-                            const std::string& to) = 0;
-
-  // Removes a file; OK if it does not exist.
-  virtual Status RemoveFile(const std::string& path) = 0;
-
-  // Flushes file contents to stable storage.
-  virtual Status SyncFile(const std::string& path) = 0;
-
-  virtual Status MakeDirs(const std::string& path) = 0;
-  virtual bool PathExists(const std::string& path) = 0;
-  virtual StatusOr<std::vector<std::string>> ListDir(
-      const std::string& dir) = 0;
-
-  // The crash-safe write: temp file + fsync + rename, composed from the
-  // virtual primitives so fault injection sees every step.
-  Status WriteFileAtomic(const std::string& path, const std::string& data);
-
-  // Suffix of staging files produced by WriteFileAtomic; recovery treats
-  // any file ending in it as deletable debris.
-  static constexpr char kTempSuffix[] = ".tmp";
-
-  // Process-wide POSIX environment (never deleted).
-  static Env* Default();
-};
-
-// The real thing: thin POSIX wrappers plus fsync-backed durability.
-class PosixEnv : public Env {
- public:
-  Status WriteFile(const std::string& path, const std::string& data) override;
-  Status ReadFile(const std::string& path, std::string* data) override;
-  Status RenameFile(const std::string& from, const std::string& to) override;
-  Status RemoveFile(const std::string& path) override;
-  Status SyncFile(const std::string& path) override;
-  Status MakeDirs(const std::string& path) override;
-  bool PathExists(const std::string& path) override;
-  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
-};
+using ::s2rdf::Env;
+using ::s2rdf::PosixEnv;
 
 }  // namespace s2rdf::storage
 

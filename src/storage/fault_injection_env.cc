@@ -6,7 +6,7 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
 void FaultInjectionEnv::CrashAfterMutations(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_after_ = n;
   crash_armed_ = true;
   crashed_ = false;
@@ -14,22 +14,22 @@ void FaultInjectionEnv::CrashAfterMutations(uint64_t n) {
 }
 
 void FaultInjectionEnv::set_crash_style(CrashStyle style) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   style_ = style;
 }
 
 void FaultInjectionEnv::FlipBitInNextWrite() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   flip_bit_next_write_ = true;
 }
 
 void FaultInjectionEnv::FailNextReads(int k) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   transient_read_failures_ = k;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_armed_ = false;
   crashed_ = false;
   flip_bit_next_write_ = false;
@@ -37,12 +37,12 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::mutation_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return mutations_;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
@@ -64,7 +64,7 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
   bool torn;
   bool fail;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fail = ShouldFailMutation(&torn);
     flip = !fail && flip_bit_next_write_;
     if (flip) flip_bit_next_write_ = false;
@@ -87,7 +87,7 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
 Status FaultInjectionEnv::ReadFile(const std::string& path,
                                    std::string* data) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (transient_read_failures_ > 0) {
       --transient_read_failures_;
       return IoError("injected transient read error: " + path);
@@ -100,7 +100,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   bool torn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (ShouldFailMutation(&torn)) {
       return IoError("injected crash: rename " + from);
     }
@@ -111,7 +111,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   bool torn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (ShouldFailMutation(&torn)) {
       return IoError("injected crash: remove " + path);
     }
@@ -122,7 +122,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 Status FaultInjectionEnv::SyncFile(const std::string& path) {
   bool torn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (ShouldFailMutation(&torn)) {
       return IoError("injected crash: sync " + path);
     }
@@ -132,7 +132,7 @@ Status FaultInjectionEnv::SyncFile(const std::string& path) {
 
 Status FaultInjectionEnv::MakeDirs(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) return IoError("injected crash: mkdir " + path);
   }
   return base_->MakeDirs(path);

@@ -2,10 +2,11 @@
 #define S2RDF_STORAGE_FAULT_INJECTION_ENV_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 
 // Deterministic fault injection for the storage layer. Wraps a base Env
@@ -69,17 +70,17 @@ class FaultInjectionEnv : public Env {
  private:
   // Returns true when the current mutating op must fail; `torn_out` is
   // set when this op is the crash point of a torn-style crash.
-  bool ShouldFailMutation(bool* torn_out);
+  bool ShouldFailMutation(bool* torn_out) S2RDF_REQUIRES(mu_);
 
   Env* base_;
-  mutable std::mutex mu_;
-  uint64_t mutations_ = 0;
-  uint64_t crash_after_ = 0;
-  bool crash_armed_ = false;
-  bool crashed_ = false;
-  CrashStyle style_ = CrashStyle::kClean;
-  bool flip_bit_next_write_ = false;
-  int transient_read_failures_ = 0;
+  mutable Mutex mu_;
+  uint64_t mutations_ S2RDF_GUARDED_BY(mu_) = 0;
+  uint64_t crash_after_ S2RDF_GUARDED_BY(mu_) = 0;
+  bool crash_armed_ S2RDF_GUARDED_BY(mu_) = false;
+  bool crashed_ S2RDF_GUARDED_BY(mu_) = false;
+  CrashStyle style_ S2RDF_GUARDED_BY(mu_) = CrashStyle::kClean;
+  bool flip_bit_next_write_ S2RDF_GUARDED_BY(mu_) = false;
+  int transient_read_failures_ S2RDF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace s2rdf::storage

@@ -172,9 +172,12 @@ TEST(FileUtilTest, MakeDirsIsRecursiveAndIdempotent) {
 }
 
 TEST(FileUtilTest, ReadMissingFileFails) {
+  // Missing files report kNotFound (distinct from kIoError) now that
+  // file_util routes through Env, whose recovery callers rely on the
+  // distinction.
   std::string data;
   EXPECT_EQ(ReadFile("/nonexistent/s2rdf", &data).code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
 }
 
 TEST(BitmapTest, SetTestClear) {

@@ -1,0 +1,27 @@
+// Companion to guarded_by_violation.cc: identical structure with the
+// lock correctly held, proving the analyze-preset failure over there is
+// the thread-safety analysis firing and not a fixture defect.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Get() const {
+    s2rdf::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable s2rdf::Mutex mu_;
+  int value_ S2RDF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Get();
+}

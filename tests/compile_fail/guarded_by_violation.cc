@@ -1,0 +1,29 @@
+// Compile-fail fixture: reads a S2RDF_GUARDED_BY member without holding
+// its mutex. Under Clang with -Wthread-safety -Werror=thread-safety
+// (the `analyze` preset) this translation unit MUST NOT compile; the
+// ctest entry registers it with WILL_FAIL. The companion
+// guarded_by_ok.cc proves the correctly-locked twin compiles, so the
+// failure here is the analysis firing, not a broken fixture.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Get() const {
+    return value_;  // BUG: mu_ not held.
+  }
+
+ private:
+  mutable s2rdf::Mutex mu_;
+  int value_ S2RDF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Get();
+}

@@ -1,0 +1,399 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace s2rdf::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Blanks comment bodies, string literals and char literals (newlines
+// preserved) so token matching never fires on documentation or test
+// data. Handles //, /* */, "...", '...' and R"delim(...)delim".
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      while (i < n && in[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i < n && !(in[i] == '*' && i + 1 < n && in[i + 1] == '/')) {
+        blank(i++);
+      }
+      if (i < n) blank(i++);
+      if (i < n) blank(i++);
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || !IsIdentChar(in[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim".
+      size_t open = in.find('(', i + 2);
+      if (open == std::string::npos) break;
+      std::string close = ")" + in.substr(i + 2, open - i - 2) + "\"";
+      size_t end = in.find(close, open + 1);
+      if (end == std::string::npos) end = n;
+      for (size_t j = i; j < std::min(end + close.size(), n); ++j) blank(j);
+      i = std::min(end + close.size(), n);
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      blank(i++);
+      while (i < n && in[i] != quote && in[i] != '\n') {
+        if (in[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n && in[i] == quote) blank(i++);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// --- Suppressions ----------------------------------------------------------
+
+struct Suppressions {
+  // line (1-based) -> rules allowed on that line.
+  std::map<int, std::set<std::string>> per_line;
+  // Rules allowed for the whole file (allow-file within first 20 lines).
+  std::set<std::string> per_file;
+
+  bool Allows(const std::string& rule, int line) const {
+    if (per_file.contains(rule)) return true;
+    for (int l : {line, line - 1}) {
+      auto it = per_line.find(l);
+      if (it != per_line.end() && it->second.contains(rule)) return true;
+    }
+    return false;
+  }
+};
+
+void ParseMarkersOnLine(const std::string& line, int lineno,
+                        Suppressions* supp) {
+  const std::string kTag = "s2rdf-lint:";
+  size_t pos = line.find(kTag);
+  while (pos != std::string::npos) {
+    size_t p = pos + kTag.size();
+    while (p < line.size() && line[p] == ' ') ++p;
+    bool file_scope = false;
+    if (line.compare(p, 11, "allow-file(") == 0) {
+      file_scope = true;
+      p += 11;
+    } else if (line.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      pos = line.find(kTag, pos + 1);
+      continue;
+    }
+    size_t close = line.find(')', p);
+    if (close == std::string::npos) break;
+    std::stringstream rules(line.substr(p, close - p));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      if (rule.empty()) continue;
+      if (file_scope && lineno <= 20) {
+        supp->per_file.insert(rule);
+      } else if (!file_scope) {
+        supp->per_line[lineno].insert(rule);
+      }
+    }
+    pos = line.find(kTag, close);
+  }
+}
+
+// --- Token matching --------------------------------------------------------
+
+enum class TokenKind {
+  kCall,  // Must be followed by '(' (optionally across whitespace).
+  kType,  // Must not be followed by an identifier character.
+};
+
+struct BannedToken {
+  std::string token;
+  TokenKind kind;
+};
+
+// Finds every match of `t` in `line` that sits on an identifier
+// boundary; returns 0-based column positions.
+std::vector<size_t> FindToken(const std::string& line, const BannedToken& t) {
+  std::vector<size_t> hits;
+  size_t pos = line.find(t.token);
+  while (pos != std::string::npos) {
+    bool ok = true;
+    if (pos > 0 && (IsIdentChar(line[pos - 1]) ||
+                    (line[pos - 1] == ':' && t.token[0] != ':'))) {
+      ok = false;  // Mid-identifier or namespace-qualified variant.
+    }
+    size_t end = pos + t.token.size();
+    if (ok) {
+      if (t.kind == TokenKind::kCall) {
+        size_t p = end;
+        while (p < line.size() && line[p] == ' ') ++p;
+        if (p >= line.size() || line[p] != '(') ok = false;
+      } else {
+        if (end < line.size() && IsIdentChar(line[end])) ok = false;
+      }
+    }
+    if (ok) hits.push_back(pos);
+    pos = line.find(t.token, pos + 1);
+  }
+  return hits;
+}
+
+// time(nullptr) / time(NULL) — only the wall-clock-seeded form is
+// banned; time(&out) style is not used in this codebase but would be
+// equally nondeterministic, so it is NOT special-cased as allowed.
+bool LineHasWallClockTime(const std::string& line) {
+  static const BannedToken kTime{"time", TokenKind::kCall};
+  for (size_t pos : FindToken(line, kTime)) {
+    size_t p = line.find('(', pos);
+    if (p == std::string::npos) continue;
+    ++p;
+    while (p < line.size() && line[p] == ' ') ++p;
+    if (line.compare(p, 7, "nullptr") == 0 || line.compare(p, 4, "NULL") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool EndsWithAny(const std::string& path,
+                 std::initializer_list<const char*> suffixes) {
+  for (const char* s : suffixes) {
+    std::string suffix(s);
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Rules -----------------------------------------------------------------
+
+const std::vector<BannedToken>& RawIoTokens() {
+  static const std::vector<BannedToken> kTokens = {
+      {"fopen", TokenKind::kCall},          {"freopen", TokenKind::kCall},
+      {"tmpfile", TokenKind::kCall},        {"::open", TokenKind::kCall},
+      {"::creat", TokenKind::kCall},        {"std::ofstream", TokenKind::kType},
+      {"std::ifstream", TokenKind::kType},  {"std::fstream", TokenKind::kType},
+      {"std::filebuf", TokenKind::kType},
+  };
+  return kTokens;
+}
+
+const std::vector<BannedToken>& BareMutexTokens() {
+  static const std::vector<BannedToken> kTokens = {
+      {"std::mutex", TokenKind::kType},
+      {"std::shared_mutex", TokenKind::kType},
+      {"std::recursive_mutex", TokenKind::kType},
+      {"std::timed_mutex", TokenKind::kType},
+      {"std::condition_variable", TokenKind::kType},
+      {"std::condition_variable_any", TokenKind::kType},
+      {"std::lock_guard", TokenKind::kType},
+      {"std::unique_lock", TokenKind::kType},
+      {"std::shared_lock", TokenKind::kType},
+      {"std::scoped_lock", TokenKind::kType},
+  };
+  return kTokens;
+}
+
+const std::vector<BannedToken>& NondeterminismTokens() {
+  static const std::vector<BannedToken> kTokens = {
+      {"rand", TokenKind::kCall},
+      {"srand", TokenKind::kCall},
+      {"drand48", TokenKind::kCall},
+      {"lrand48", TokenKind::kCall},
+      {"std::random_device", TokenKind::kType},
+  };
+  return kTokens;
+}
+
+void CheckTokens(const std::string& path, const std::vector<std::string>& lines,
+                 const std::string& rule, const std::vector<BannedToken>& bans,
+                 const std::string& why, const Suppressions& supp,
+                 std::vector<Violation>* out) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    int lineno = static_cast<int>(i) + 1;
+    for (const BannedToken& t : bans) {
+      if (FindToken(lines[i], t).empty()) continue;
+      if (supp.Allows(rule, lineno)) continue;
+      out->push_back({path, lineno, rule, "'" + t.token + "' " + why});
+    }
+  }
+}
+
+void CheckIncludeGuard(const std::string& path,
+                       const std::vector<std::string>& lines,
+                       const Suppressions& supp, std::vector<Violation>* out) {
+  if (!EndsWithAny(NormalizePath(path), {".h"})) return;
+  int first_line = 0;
+  std::string first;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string trimmed = lines[i];
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (!trimmed.empty()) {
+      first = trimmed;
+      first_line = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  const std::string kRule = "include-guard";
+  if (first_line == 0) return;  // Empty header: nothing to protect.
+  if (supp.Allows(kRule, first_line)) return;
+  if (first.rfind("#ifndef S2RDF_", 0) != 0) {
+    out->push_back({path, first_line, kRule,
+                    "header must open with an '#ifndef S2RDF_...' include "
+                    "guard (found: '" +
+                        first.substr(0, 40) + "')"});
+    return;
+  }
+  std::string macro = first.substr(std::string("#ifndef ").size());
+  macro.erase(macro.find_last_not_of(" \t") + 1);
+  for (size_t i = first_line; i < lines.size(); ++i) {
+    std::string trimmed = lines[i];
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.empty()) continue;
+    if (trimmed.rfind("#define " + macro, 0) != 0) {
+      out->push_back({path, static_cast<int>(i) + 1, kRule,
+                      "'#ifndef " + macro +
+                          "' must be followed by '#define " + macro + "'"});
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Violation> out;
+  std::string npath = NormalizePath(path);
+
+  // Suppressions are parsed from the *original* text (they live in
+  // comments), matching runs on the stripped text.
+  Suppressions supp;
+  {
+    std::vector<std::string> raw_lines = SplitLines(content);
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+      ParseMarkersOnLine(raw_lines[i], static_cast<int>(i) + 1, &supp);
+    }
+  }
+  std::vector<std::string> lines =
+      SplitLines(StripCommentsAndStrings(content));
+
+  // raw-io: only the Env implementation may touch the OS directly.
+  if (!EndsWithAny(npath, {"common/posix_env.cc", "common/env.cc"})) {
+    CheckTokens(path, lines, "raw-io", RawIoTokens(),
+                "bypasses the injectable storage Env (route I/O through "
+                "s2rdf::Env so fault-injection tests cover it)",
+                supp, &out);
+  }
+
+  // bare-mutex: only the annotated wrapper may use std primitives.
+  if (!EndsWithAny(npath, {"common/mutex.h"})) {
+    CheckTokens(path, lines, "bare-mutex", BareMutexTokens(),
+                "evades Clang thread-safety analysis (use s2rdf::Mutex / "
+                "MutexLock / CondVar from common/mutex.h)",
+                supp, &out);
+  }
+
+  // nondeterminism: only common/random.* may draw entropy.
+  if (npath.find("common/random.") == std::string::npos) {
+    CheckTokens(path, lines, "nondeterminism", NondeterminismTokens(),
+                "makes runs unreproducible (use the seeded SplitMix64 from "
+                "common/random.h)",
+                supp, &out);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      int lineno = static_cast<int>(i) + 1;
+      if (LineHasWallClockTime(lines[i]) &&
+          !supp.Allows("nondeterminism", lineno)) {
+        out.push_back({path, lineno, "nondeterminism",
+                       "'time(nullptr)' seeds from the wall clock (use the "
+                       "seeded SplitMix64 from common/random.h)"});
+      }
+    }
+  }
+
+  CheckIncludeGuard(path, lines, supp, &out);
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Violation> LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot read file"}};
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return LintContent(path, buffer.str());
+}
+
+std::vector<Violation> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    return LintFile(root);
+  }
+  std::vector<std::string> files;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    std::string p = it->path().string();
+    if (EndsWithAny(p, {".h", ".cc", ".cpp"})) files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    std::vector<Violation> v = LintFile(f);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+         v.message;
+}
+
+}  // namespace s2rdf::lint

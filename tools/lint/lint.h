@@ -1,0 +1,60 @@
+#ifndef S2RDF_TOOLS_LINT_LINT_H_
+#define S2RDF_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// Repo-invariant linter for the S2RDF codebase. Each rule protects an
+// invariant the design depends on (see DESIGN.md "Static enforcement"):
+//
+//   raw-io          All file I/O must flow through the injectable
+//                   storage Env so fault-injection tests cover it. Raw
+//                   primitives (fopen, std::ofstream, ::open, ...) are
+//                   permitted only in the Env implementation itself
+//                   (common/posix_env.cc, common/env.cc).
+//   bare-mutex      Locking must use the annotated common::Mutex
+//                   wrappers so Clang thread-safety analysis sees every
+//                   acquisition. std::mutex & friends are permitted
+//                   only inside common/mutex.h.
+//   nondeterminism  Reproducible runs: rand()/time(nullptr)/
+//                   std::random_device are permitted only in
+//                   common/random.* (the seeded SplitMix64 home).
+//   include-guard   Headers must open with an #ifndef S2RDF_...
+//                   include guard (no #pragma once, no missing guard).
+//
+// Suppressions:
+//   // s2rdf-lint: allow(<rule>)       same line or the line above
+//   // s2rdf-lint: allow-file(<rule>)  within the first 20 lines
+//
+// Matching runs on a comment- and string-stripped copy of the source,
+// so rule names in documentation never trip the linter.
+
+namespace s2rdf::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;        // 1-based.
+  std::string rule;    // One of the rule names above.
+  std::string message;
+};
+
+// Lints one file's contents. `path` is used for reporting and for the
+// per-rule allowlists (posix_env.cc etc.), so pass repo-relative or
+// absolute paths, not bare basenames, where possible.
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content);
+
+// Reads and lints one file from disk. Unreadable files yield a single
+// violation with rule "io" so a broken tree fails loudly.
+std::vector<Violation> LintFile(const std::string& path);
+
+// Recursively lints every *.h / *.cc / *.cpp under `root` (or the file
+// itself when `root` is a regular file). Results are path-sorted.
+std::vector<Violation> LintTree(const std::string& root);
+
+// "file:line: [rule] message" rendering used by the CLI.
+std::string FormatViolation(const Violation& v);
+
+}  // namespace s2rdf::lint
+
+#endif  // S2RDF_TOOLS_LINT_LINT_H_

@@ -1,0 +1,34 @@
+// s2rdf_lint: repo-invariant linter CLI.
+//
+//   s2rdf_lint <path>...   lints each file or directory tree; prints
+//                          "file:line: [rule] message" per violation
+//                          and exits 1 if any were found.
+//
+// Run as part of ctest ("ctest -L lint") over src/; see tools/lint/lint.h
+// for the rules and the suppression syntax.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<s2rdf::lint::Violation> all;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<s2rdf::lint::Violation> v = s2rdf::lint::LintTree(argv[i]);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  for (const s2rdf::lint::Violation& v : all) {
+    std::fprintf(stderr, "%s\n", s2rdf::lint::FormatViolation(v).c_str());
+  }
+  if (!all.empty()) {
+    std::fprintf(stderr, "s2rdf_lint: %zu violation(s)\n", all.size());
+    return 1;
+  }
+  return 0;
+}

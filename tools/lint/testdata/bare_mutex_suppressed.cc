@@ -1,0 +1,9 @@
+// Fixture: per-line suppression silences the bare-mutex rule.
+#include <mutex>
+
+std::mutex g_mu;  // s2rdf-lint: allow(bare-mutex)
+
+void Fine() {
+  // s2rdf-lint: allow(bare-mutex)
+  std::lock_guard<std::mutex> lock(g_mu);
+}

@@ -1,0 +1,7 @@
+// Fixture: std locking primitives outside common/mutex.h must be
+// flagged (they evade Clang thread-safety analysis).
+#include <mutex>
+
+std::mutex g_mu;
+
+void Bad() { std::lock_guard<std::mutex> lock(g_mu); }

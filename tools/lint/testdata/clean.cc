@@ -1,0 +1,7 @@
+// Fixture: a clean file; mentions of std::mutex, fopen( and rand( in
+// comments or strings must NOT be flagged.
+#include <string>
+
+const char* Doc() {
+  return "docs may say fopen(...) or std::mutex or time(nullptr) freely";
+}

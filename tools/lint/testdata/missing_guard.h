@@ -1,0 +1,5 @@
+#pragma once
+
+// Fixture: headers must use an #ifndef S2RDF_... include guard, not
+// #pragma once.
+inline int Answer() { return 42; }

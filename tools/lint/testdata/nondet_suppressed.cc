@@ -1,0 +1,10 @@
+// Fixture: a file-level suppression silences the nondeterminism rule
+// everywhere in the file.
+// s2rdf-lint: allow-file(nondeterminism)
+#include <cstdlib>
+#include <ctime>
+
+unsigned Fine() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand();
+}

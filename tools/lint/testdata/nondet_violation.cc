@@ -1,0 +1,10 @@
+// Fixture: entropy sources outside common/random.* must be flagged.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned Bad() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  return rand() + rd();
+}

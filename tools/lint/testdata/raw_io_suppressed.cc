@@ -1,0 +1,10 @@
+// Fixture: suppression markers silence the raw-io rule.
+#include <cstdio>
+
+void DeliberateRawWrite(const char* path) {
+  FILE* f = fopen(path, "wb");  // s2rdf-lint: allow(raw-io)
+  // s2rdf-lint: allow(raw-io)
+  FILE* g = fopen(path, "ab");
+  if (f) std::fclose(f);
+  if (g) std::fclose(g);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw file I/O outside the Env implementation must be flagged.
+#include <cstdio>
+#include <fstream>
+
+void BadWrite(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f) std::fclose(f);
+  std::ofstream out(path);
+}
