@@ -1,0 +1,278 @@
+// Serial vs. morsel-parallel execution: wall-clock and metered work for
+// the operators that take the shared-TaskPool path (scan, hash join,
+// distinct, order-by, group-by) plus the predicate-parallel ExtVP build.
+//
+// The reproduction claim (DESIGN.md §8): parallelism changes wall-clock
+// only — every parallel entry must report the same ExecMetrics and the
+// same output as its serial twin, and on a multi-core host the large
+// join and the ExtVP build speed up.
+//
+// Output: a human-readable table on stderr and machine-readable JSON on
+// stdout (scripts/bench_json.sh captures it as BENCH_parallel.json).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/task_pool.h"
+#include "core/layouts.h"
+#include "engine/aggregate.h"
+#include "engine/operators.h"
+#include "engine/parallel.h"
+#include "engine/parallel_join.h"
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+#include "storage/catalog.h"
+#include "watdiv/generator.h"
+
+namespace s2rdf::bench {
+namespace {
+
+using engine::ExecContext;
+using engine::ExecMetrics;
+using engine::Table;
+using rdf::TermId;
+
+struct Entry {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool metrics_identical = false;
+  bool output_identical = false;
+
+  double Speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+bool SameMetrics(const ExecMetrics& a, const ExecMetrics& b) {
+  return a.input_tuples == b.input_tuples &&
+         a.intermediate_tuples == b.intermediate_tuples &&
+         a.join_comparisons == b.join_comparisons &&
+         a.shuffled_tuples == b.shuffled_tuples &&
+         a.output_tuples == b.output_tuples;
+}
+
+bool SameTable(const Table& a, const Table& b) {
+  if (a.column_names() != b.column_names() || a.NumRows() != b.NumRows()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    if (a.Column(c) != b.Column(c)) return false;
+  }
+  return true;
+}
+
+// Times one serial/parallel operator pair. Each variant runs `reps`
+// times; the last run's output and metrics feed the identity checks.
+Entry MeasureOperator(const std::string& name, int reps,
+                      const std::function<Table(ExecContext*)>& serial,
+                      const std::function<Table(ExecContext*)>& parallel) {
+  Entry entry;
+  entry.name = name;
+  ExecMetrics serial_metrics;
+  Table serial_out;
+  entry.serial_ms = MeanMs(reps, [&] {
+    ExecContext ctx;
+    serial_out = serial(&ctx);
+    serial_metrics = ctx.metrics;
+  });
+  ExecMetrics parallel_metrics;
+  Table parallel_out;
+  entry.parallel_ms = MeanMs(reps, [&] {
+    ExecContext ctx;
+    parallel_out = parallel(&ctx);
+    parallel_metrics = ctx.metrics;
+  });
+  entry.metrics_identical = SameMetrics(serial_metrics, parallel_metrics);
+  entry.output_identical = SameTable(serial_out, parallel_out);
+  return entry;
+}
+
+Table RandomPairs(uint64_t seed, size_t rows, uint64_t card0, uint64_t card1,
+                  const char* c0, const char* c1) {
+  SplitMix64 rng(seed);
+  Table t({c0, c1});
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({static_cast<TermId>(rng.Uniform(card0) + 1),
+                 static_cast<TermId>(rng.Uniform(card1) + 1)});
+  }
+  return t;
+}
+
+Entry MeasureExtVpBuild(int reps) {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = EnvDouble("S2RDF_BENCH_SF", 1.0);
+  rdf::Graph graph = watdiv::Generate(gen);
+
+  Entry entry;
+  entry.name = "extvp_build";
+  core::ExtVpBuildStats serial_stats;
+  core::ExtVpBuildStats parallel_stats;
+  auto build = [&](bool parallel_build, core::ExtVpBuildStats* stats) {
+    ScopedTempDir dir;
+    storage::Catalog catalog(dir.path());
+    (void)core::BuildVpLayout(graph, &catalog);
+    core::ExtVpOptions options;
+    options.parallel_build = parallel_build;
+    auto result = core::BuildExtVpLayout(graph, options, &catalog);
+    if (result.ok()) *stats = *result;
+  };
+  entry.serial_ms = MeanMs(reps, [&] { build(false, &serial_stats); });
+  entry.parallel_ms = MeanMs(reps, [&] { build(true, &parallel_stats); });
+  entry.output_identical =
+      serial_stats.tables_considered == parallel_stats.tables_considered &&
+      serial_stats.tables_materialized == parallel_stats.tables_materialized &&
+      serial_stats.tables_empty == parallel_stats.tables_empty &&
+      serial_stats.tables_equal_vp == parallel_stats.tables_equal_vp &&
+      serial_stats.tables_pruned == parallel_stats.tables_pruned &&
+      serial_stats.tuples_materialized == parallel_stats.tuples_materialized;
+  entry.metrics_identical = entry.output_identical;  // Build has no ctx.
+  return entry;
+}
+
+int Run() {
+  const int reps = EnvInt("S2RDF_BENCH_ROUNDS", 3);
+  std::vector<Entry> entries;
+
+  {
+    Table base = RandomPairs(7, 2000000, 5, 100000, "s", "o");
+    engine::ScanSpec spec;
+    spec.conditions.emplace_back(0, 3);
+    spec.projections.emplace_back(1, "o");
+    entries.push_back(MeasureOperator(
+        "scan_select_project", reps,
+        [&](ExecContext* ctx) {
+          return engine::ScanSelectProject(base, spec, ctx);
+        },
+        [&](ExecContext* ctx) {
+          return engine::ParallelScanSelectProject(base, spec, ctx);
+        }));
+  }
+
+  {
+    Table left = RandomPairs(11, 150000, 50000, 15000, "x", "y");
+    Table right = RandomPairs(13, 150000, 15000, 50000, "y", "z");
+    entries.push_back(MeasureOperator(
+        "hash_join", reps,
+        [&](ExecContext* ctx) { return engine::HashJoin(left, right, ctx); },
+        [&](ExecContext* ctx) {
+          return engine::ParallelHashJoin(left, right, ctx);
+        }));
+  }
+
+  {
+    Table t = RandomPairs(17, 500000, 200, 200, "a", "b");
+    entries.push_back(MeasureOperator(
+        "distinct", reps,
+        [&](ExecContext* ctx) { return engine::Distinct(t, ctx); },
+        [&](ExecContext* ctx) { return engine::ParallelDistinct(t, ctx); }));
+  }
+
+  {
+    rdf::Dictionary dict;
+    std::vector<TermId> terms;
+    for (int i = 0; i < 512; ++i) {
+      terms.push_back(dict.Encode(
+          "\"" + std::to_string(i) +
+          "\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+    SplitMix64 rng(19);
+    Table t({"n", "m"});
+    t.Reserve(300000);
+    for (size_t i = 0; i < 300000; ++i) {
+      t.AppendRow({terms[rng.Uniform(terms.size())],
+                   terms[rng.Uniform(terms.size())]});
+    }
+    std::vector<engine::SortKey> keys = {{"n", true}, {"m", false}};
+    entries.push_back(MeasureOperator(
+        "order_by", reps,
+        [&](ExecContext* ctx) { return engine::OrderBy(t, keys, dict, ctx); },
+        [&](ExecContext* ctx) {
+          return engine::ParallelOrderBy(t, keys, dict, ctx);
+        }));
+  }
+
+  {
+    rdf::Dictionary dict;
+    std::vector<TermId> values;
+    for (int i = 0; i < 1000; ++i) {
+      values.push_back(dict.Encode(
+          "\"" + std::to_string(i) +
+          "\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+    SplitMix64 rng(23);
+    Table t({"k", "v"});
+    t.Reserve(500000);
+    for (size_t i = 0; i < 500000; ++i) {
+      t.AppendRow({static_cast<TermId>(rng.Uniform(100) + 1),
+                   values[rng.Uniform(values.size())]});
+    }
+    std::vector<std::string> keys = {"k"};
+    std::vector<engine::AggregateSpec> specs = {
+        {engine::AggregateSpec::Fn::kCountStar, "", "n", false},
+        {engine::AggregateSpec::Fn::kSum, "v", "total", false},
+        {engine::AggregateSpec::Fn::kCount, "v", "dv", true},
+    };
+    entries.push_back(MeasureOperator(
+        "group_by_aggregate", reps,
+        [&](ExecContext* ctx) {
+          auto result = engine::GroupByAggregate(t, keys, specs, &dict, ctx);
+          return result.ok() ? std::move(*result) : Table();
+        },
+        [&](ExecContext* ctx) {
+          auto result =
+              engine::ParallelGroupByAggregate(t, keys, specs, &dict, ctx);
+          return result.ok() ? std::move(*result) : Table();
+        }));
+  }
+
+  entries.push_back(MeasureExtVpBuild(reps));
+
+  TablePrinter printer(
+      {"benchmark", "serial", "parallel", "speedup", "identical"});
+  for (const Entry& e : entries) {
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", e.Speedup());
+    printer.AddRow({e.name, FormatMs(e.serial_ms), FormatMs(e.parallel_ms),
+                    speedup,
+                    e.metrics_identical && e.output_identical ? "yes" : "NO"});
+  }
+  std::fprintf(stderr, "Parallel execution (task pool width %zu):\n",
+               TaskPool::Shared()->ParallelismWidth());
+  printer.Print();
+
+  // Machine-readable twin on stdout.
+  std::printf("{\n");
+  std::printf("  \"task_pool_parallelism\": %zu,\n",
+              TaskPool::Shared()->ParallelismWidth());
+  std::printf("  \"rounds\": %d,\n", reps);
+  std::printf("  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"name\": \"%s\", \"serial_ms\": %.3f, "
+                "\"parallel_ms\": %.3f, \"speedup\": %.3f, "
+                "\"metrics_identical\": %s, \"output_identical\": %s}%s\n",
+                e.name.c_str(), e.serial_ms, e.parallel_ms, e.Speedup(),
+                e.metrics_identical ? "true" : "false",
+                e.output_identical ? "true" : "false",
+                i + 1 < entries.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+
+  // Identity failures are bugs, not slow results: fail the harness.
+  for (const Entry& e : entries) {
+    if (!e.metrics_identical || !e.output_identical) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2rdf::bench
+
+int main() { return s2rdf::bench::Run(); }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the serial-vs-parallel execution benchmark and captures its
+# machine-readable output as BENCH_parallel.json in the repo root.
+#
+#   scripts/bench_json.sh [build-dir]
+#
+# The harness prints its human-readable table on stderr (passed
+# through) and JSON on stdout (captured). It exits non-zero if any
+# parallel operator's output or metrics diverge from its serial twin,
+# which fails this script — the identity guarantee is part of the gate,
+# the speedup numbers are informational (they depend on the host).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+bench="${build_dir}/bench/bench_parallel"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not found; build the default preset first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default" >&2
+  exit 1
+fi
+
+out="BENCH_parallel.json"
+"${bench}" > "${out}"
+echo "wrote ${out}"

@@ -22,6 +22,9 @@ ctest --preset default
 note "repo linter (ctest -L lint)"
 ctest --preset lint
 
+note "serial vs parallel execution benchmark (BENCH_parallel.json)"
+scripts/bench_json.sh build
+
 if [[ "${1:-}" == "quick" ]]; then
   note "quick mode: skipping analyze + sanitizer legs"
   exit 0

@@ -1,11 +1,16 @@
 #include "engine/aggregate.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/task_pool.h"
+#include "engine/operators.h"
+#include "engine/parallel.h"
 #include "engine/value.h"
 
 namespace s2rdf::engine {
@@ -27,6 +32,8 @@ struct Accumulator {
   TermId extremum = kNullTermId;  // MIN/MAX/SAMPLE witness.
   std::unordered_set<TermId> distinct_terms;
 };
+
+using GroupMap = std::map<std::vector<TermId>, std::vector<Accumulator>>;
 
 std::string RenderDouble(double v) {
   char buf[64];
@@ -52,25 +59,41 @@ TermId EncodeDouble(double v, rdf::Dictionary* dict) {
                       std::string(kXsdDouble) + ">");
 }
 
-}  // namespace
+// Cache of typed values for numeric aggregates. Decode-only, so
+// workers may each own one (Dictionary::Decode is shared-lock-safe).
+class ValueCache {
+ public:
+  explicit ValueCache(const rdf::Dictionary& dict) : dict_(dict) {}
 
-StatusOr<Table> GroupByAggregate(const Table& input,
-                                 const std::vector<std::string>& keys,
-                                 const std::vector<AggregateSpec>& specs,
-                                 rdf::Dictionary* dict, ExecContext* ctx) {
-  // Resolve columns.
-  std::vector<int> key_cols;
+  const Value& Get(TermId id) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+    Value v = id == kNullTermId ? Value()
+                                : ValueFromCanonicalTerm(dict_.Decode(id));
+    return cache_.emplace(id, std::move(v)).first->second;
+  }
+
+ private:
+  const rdf::Dictionary& dict_;
+  std::unordered_map<TermId, Value> cache_;
+};
+
+// Resolves key/input columns; fills `input_cols` with -1 for COUNT(*).
+Status ResolveAggregateColumns(const Table& input,
+                               const std::vector<std::string>& keys,
+                               const std::vector<AggregateSpec>& specs,
+                               std::vector<int>* key_cols,
+                               std::vector<int>* input_cols) {
   for (const std::string& key : keys) {
     int c = input.ColumnIndex(key);
     if (c < 0) {
       return InvalidArgumentError("GROUP BY variable not in scope: ?" + key);
     }
-    key_cols.push_back(c);
+    key_cols->push_back(c);
   }
-  std::vector<int> input_cols;
   for (const AggregateSpec& spec : specs) {
     if (spec.fn == AggregateSpec::Fn::kCountStar) {
-      input_cols.push_back(-1);
+      input_cols->push_back(-1);
       continue;
     }
     int c = input.ColumnIndex(spec.input_var);
@@ -78,97 +101,84 @@ StatusOr<Table> GroupByAggregate(const Table& input,
       return InvalidArgumentError("aggregate over unbound variable: ?" +
                                   spec.input_var);
     }
-    input_cols.push_back(c);
+    input_cols->push_back(c);
   }
+  return Status::Ok();
+}
 
-  // Group rows. std::map keyed by the key tuple gives deterministic
-  // output order.
-  std::map<std::vector<TermId>, std::vector<Accumulator>> groups;
-  auto make_accumulators = [&] {
-    return std::vector<Accumulator>(specs.size());
-  };
-  if (keys.empty()) {
-    // Implicit single group exists even for empty input.
-    groups.emplace(std::vector<TermId>{}, make_accumulators());
-  }
-
-  // Cache of typed values for numeric aggregates.
-  std::unordered_map<TermId, Value> value_cache;
-  auto value_of = [&](TermId id) -> const Value& {
-    auto it = value_cache.find(id);
-    if (it != value_cache.end()) return it->second;
-    Value v = id == kNullTermId ? Value()
-                                : ValueFromCanonicalTerm(dict->Decode(id));
-    return value_cache.emplace(id, std::move(v)).first->second;
-  };
-
-  for (size_t r = 0; r < input.NumRows(); ++r) {
-    std::vector<TermId> key;
-    key.reserve(key_cols.size());
-    for (int c : key_cols) key.push_back(input.At(r, static_cast<size_t>(c)));
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(std::move(key), make_accumulators()).first;
-    }
-    std::vector<Accumulator>& accs = it->second;
-
-    for (size_t a = 0; a < specs.size(); ++a) {
-      const AggregateSpec& spec = specs[a];
-      Accumulator& acc = accs[a];
-      if (spec.fn == AggregateSpec::Fn::kCountStar) {
-        ++acc.count;
-        continue;
-      }
-      TermId id = input.At(r, static_cast<size_t>(input_cols[a]));
-      if (id == kNullTermId) continue;  // Unbound bindings are skipped.
-      if (spec.distinct && !acc.distinct_terms.insert(id).second) continue;
+// Folds row `r` into its group's accumulators.
+void AccumulateRow(const Table& input, size_t r,
+                   const std::vector<AggregateSpec>& specs,
+                   const std::vector<int>& input_cols,
+                   std::vector<Accumulator>* accs, ValueCache* values) {
+  for (size_t a = 0; a < specs.size(); ++a) {
+    const AggregateSpec& spec = specs[a];
+    Accumulator& acc = (*accs)[a];
+    if (spec.fn == AggregateSpec::Fn::kCountStar) {
       ++acc.count;
-      switch (spec.fn) {
-        case AggregateSpec::Fn::kCount:
-          break;
-        case AggregateSpec::Fn::kSum:
-        case AggregateSpec::Fn::kAvg: {
-          const Value& v = value_of(id);
-          if (!v.is_numeric()) {
-            acc.numeric_ok = false;
-            break;
-          }
-          if (v.kind == ValueKind::kInt) {
-            acc.int_sum += v.int_value;
-            acc.double_sum += static_cast<double>(v.int_value);
-          } else {
-            acc.all_int = false;
-            acc.double_sum += v.double_value;
-          }
+      continue;
+    }
+    TermId id = input.At(r, static_cast<size_t>(input_cols[a]));
+    if (id == kNullTermId) continue;  // Unbound bindings are skipped.
+    if (spec.distinct && !acc.distinct_terms.insert(id).second) continue;
+    ++acc.count;
+    switch (spec.fn) {
+      case AggregateSpec::Fn::kCount:
+        break;
+      case AggregateSpec::Fn::kSum:
+      case AggregateSpec::Fn::kAvg: {
+        const Value& v = values->Get(id);
+        if (!v.is_numeric()) {
+          acc.numeric_ok = false;
           break;
         }
-        case AggregateSpec::Fn::kMin:
-        case AggregateSpec::Fn::kMax: {
-          if (acc.extremum == kNullTermId) {
-            acc.extremum = id;
-            break;
-          }
-          bool comparable = true;
-          int c = CompareValues(value_of(id), value_of(acc.extremum),
-                                &comparable);
-          bool better = spec.fn == AggregateSpec::Fn::kMin ? c < 0 : c > 0;
-          if (better) acc.extremum = id;
-          break;
+        if (v.kind == ValueKind::kInt) {
+          acc.int_sum += v.int_value;
+          acc.double_sum += static_cast<double>(v.int_value);
+        } else {
+          acc.all_int = false;
+          acc.double_sum += v.double_value;
         }
-        case AggregateSpec::Fn::kSample:
-          if (acc.extremum == kNullTermId) acc.extremum = id;
-          break;
-        case AggregateSpec::Fn::kCountStar:
-          break;
+        break;
       }
+      case AggregateSpec::Fn::kMin:
+      case AggregateSpec::Fn::kMax: {
+        if (acc.extremum == kNullTermId) {
+          acc.extremum = id;
+          break;
+        }
+        bool comparable = true;
+        int c = CompareValues(values->Get(id), values->Get(acc.extremum),
+                              &comparable);
+        bool better = spec.fn == AggregateSpec::Fn::kMin ? c < 0 : c > 0;
+        if (better) acc.extremum = id;
+        break;
+      }
+      case AggregateSpec::Fn::kSample:
+        if (acc.extremum == kNullTermId) acc.extremum = id;
+        break;
+      case AggregateSpec::Fn::kCountStar:
+        break;
     }
   }
+}
 
-  // Emit one row per group.
+// Emits one row per group (std::map iteration = deterministic key
+// order). Mints literals, so single-threaded by construction. Checks
+// the interrupt state every kInterruptCheckRows groups.
+Table EmitGroups(const GroupMap& groups,
+                 const std::vector<std::string>& keys,
+                 const std::vector<AggregateSpec>& specs,
+                 rdf::Dictionary* dict, ExecContext* ctx) {
   std::vector<std::string> names = keys;
   for (const AggregateSpec& spec : specs) names.push_back(spec.output_name);
   Table out(names);
+  size_t emitted = 0;
   for (const auto& [key, accs] : groups) {
+    if ((emitted++ % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     std::vector<TermId> row = key;
     for (size_t a = 0; a < specs.size(); ++a) {
       const AggregateSpec& spec = specs[a];
@@ -205,8 +215,127 @@ StatusOr<Table> GroupByAggregate(const Table& input,
     }
     out.AppendRow(row);
   }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> GroupByAggregate(const Table& input,
+                                 const std::vector<std::string>& keys,
+                                 const std::vector<AggregateSpec>& specs,
+                                 rdf::Dictionary* dict, ExecContext* ctx) {
+  std::vector<int> key_cols;
+  std::vector<int> input_cols;
+  S2RDF_RETURN_IF_ERROR(
+      ResolveAggregateColumns(input, keys, specs, &key_cols, &input_cols));
+
+  // Group rows. std::map keyed by the key tuple gives deterministic
+  // output order.
+  GroupMap groups;
+  if (keys.empty()) {
+    // Implicit single group exists even for empty input.
+    groups.emplace(std::vector<TermId>{},
+                   std::vector<Accumulator>(specs.size()));
+  }
+
+  ValueCache values(*dict);
+  for (size_t r = 0; r < input.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial groups; ExecutePlan reports the interrupt.
+    }
+    std::vector<TermId> key;
+    key.reserve(key_cols.size());
+    for (int c : key_cols) key.push_back(input.At(r, static_cast<size_t>(c)));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups
+               .emplace(std::move(key),
+                        std::vector<Accumulator>(specs.size()))
+               .first;
+    }
+    AccumulateRow(input, r, specs, input_cols, &it->second, &values);
+  }
+
+  Table out = EmitGroups(groups, keys, specs, dict, ctx);
   if (ctx != nullptr) {
     ctx->AccountShuffle(input.NumRows());
+    ctx->metrics.intermediate_tuples += out.NumRows();
+  }
+  return out;
+}
+
+StatusOr<Table> ParallelGroupByAggregate(const Table& input,
+                                         const std::vector<std::string>& keys,
+                                         const std::vector<AggregateSpec>& specs,
+                                         rdf::Dictionary* dict,
+                                         ExecContext* ctx) {
+  // The implicit single group cannot be split group-exclusively, and
+  // small inputs don't amortize the extra key-hash pass.
+  if (keys.empty() || input.NumRows() < kParallelRowThreshold) {
+    return GroupByAggregate(input, keys, specs, dict, ctx);
+  }
+  std::vector<int> key_cols;
+  std::vector<int> input_cols;
+  S2RDF_RETURN_IF_ERROR(
+      ResolveAggregateColumns(input, keys, specs, &key_cols, &input_cols));
+
+  // Hash-partition rows by group key: every group lands wholly in one
+  // worker's partition, so per-group accumulation order is the same
+  // ascending row scan as the serial path (exact floating-point sums,
+  // identical MIN/MAX/SAMPLE witnesses), and the partition maps are
+  // disjoint.
+  TaskPool* pool = TaskPool::Shared();
+  const size_t parts = pool->ParallelismWidth();
+  const size_t n = input.NumRows();
+  std::vector<GroupMap> partial(parts);
+  std::atomic<bool> interrupted{false};
+  pool->ParallelFor(parts, [&](size_t w) {
+    ValueCache values(*dict);
+    GroupMap& groups = partial[w];
+    size_t since_check = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (++since_check >= kInterruptCheckRows) {
+        since_check = 0;
+        if (ctx != nullptr && ctx->InterruptRequested()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (RowKeyHash(input, r, key_cols) % parts != w) continue;
+      std::vector<TermId> key;
+      key.reserve(key_cols.size());
+      for (int c : key_cols) {
+        key.push_back(input.At(r, static_cast<size_t>(c)));
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups
+                 .emplace(std::move(key),
+                          std::vector<Accumulator>(specs.size()))
+                 .first;
+      }
+      AccumulateRow(input, r, specs, input_cols, &it->second, &values);
+    }
+  });
+
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->AccountShuffle(n);
+    }
+    std::vector<std::string> names = keys;
+    for (const AggregateSpec& spec : specs) names.push_back(spec.output_name);
+    return Table(names);  // Empty; ExecutePlan reports the interrupt.
+  }
+
+  // Merge the disjoint ordered maps; node moves, no re-accumulation.
+  GroupMap groups;
+  for (GroupMap& p : partial) groups.merge(p);
+
+  Table out = EmitGroups(groups, keys, specs, dict, ctx);
+  if (ctx != nullptr) {
+    ctx->AccountShuffle(n);
     ctx->metrics.intermediate_tuples += out.NumRows();
   }
   return out;

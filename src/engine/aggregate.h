@@ -47,6 +47,20 @@ StatusOr<Table> GroupByAggregate(const Table& input,
                                  const std::vector<AggregateSpec>& specs,
                                  rdf::Dictionary* dict, ExecContext* ctx);
 
+// Parallel twin of GroupByAggregate on the shared TaskPool: rows are
+// hash-partitioned by group key so every group is accumulated wholly by
+// one worker (no partial-state merging — DISTINCT aggregates and
+// floating-point sums stay exact), then the disjoint per-worker group
+// maps are merged and emitted serially. Output table, minted literals,
+// and ExecMetrics are byte-identical to the serial operator. Falls back
+// to the serial path for small inputs and for the single implicit group
+// (no GROUP BY keys).
+StatusOr<Table> ParallelGroupByAggregate(const Table& input,
+                                         const std::vector<std::string>& keys,
+                                         const std::vector<AggregateSpec>& specs,
+                                         rdf::Dictionary* dict,
+                                         ExecContext* ctx);
+
 }  // namespace s2rdf::engine
 
 #endif  // S2RDF_ENGINE_AGGREGATE_H_

@@ -9,9 +9,6 @@
 
 namespace s2rdf::engine {
 
-namespace {
-
-// Hashes the values of `row` at `cols` in `table`.
 uint64_t RowKeyHash(const Table& table, size_t row,
                     const std::vector<int>& cols) {
   uint64_t h = 0x9e3779b97f4a7c15ULL;
@@ -40,11 +37,10 @@ bool RowKeyHasNull(const Table& t, size_t row, const std::vector<int>& cols) {
   return false;
 }
 
-// Shared-column discovery: returns (left indices, right indices,
-// right-only indices).
-void SharedColumns(const Table& left, const Table& right,
-                   std::vector<int>* left_keys, std::vector<int>* right_keys,
-                   std::vector<int>* right_only) {
+void JoinSharedColumns(const Table& left, const Table& right,
+                       std::vector<int>* left_keys,
+                       std::vector<int>* right_keys,
+                       std::vector<int>* right_only) {
   for (size_t i = 0; i < right.column_names().size(); ++i) {
     int li = left.ColumnIndex(right.column_names()[i]);
     if (li >= 0) {
@@ -77,26 +73,13 @@ void EmitJoinedRow(const Table& left, size_t lrow, const Table& right,
   out->AppendRow(row);
 }
 
-}  // namespace
-
-Table ScanSelectProject(const Table& base, const ScanSpec& spec,
-                        ExecContext* ctx) {
-  if (spec.row_filter != nullptr) {
-    S2RDF_CHECK(spec.row_filter->size_bits() == base.NumRows());
-  }
-  if (ctx != nullptr) {
-    ctx->metrics.input_tuples += spec.row_filter != nullptr
-                                     ? spec.row_filter->CountSetBits()
-                                     : base.NumRows();
-  }
-  std::vector<std::string> names;
-  names.reserve(spec.projections.size());
-  for (const auto& [col, name] : spec.projections) names.push_back(name);
-  Table out(std::move(names));
-  for (size_t r = 0; r < base.NumRows(); ++r) {
-    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
-        ctx->CheckInterrupt()) {
-      break;  // ExecutePlan discards the partial batch and reports why.
+bool ScanSelectProjectRange(const Table& base, const ScanSpec& spec,
+                            size_t begin, size_t end, const ExecContext* ctx,
+                            Table* out) {
+  for (size_t r = begin; r < end; ++r) {
+    if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->InterruptRequested()) {
+      return false;  // Caller discards/records; workers must not record.
     }
     if (spec.row_filter != nullptr && !spec.row_filter->Test(r)) continue;
     bool match = true;
@@ -125,7 +108,29 @@ Table ScanSelectProject(const Table& base, const ScanSpec& spec,
     for (const auto& [col, name] : spec.projections) {
       row.push_back(base.At(r, static_cast<size_t>(col)));
     }
-    out.AppendRow(row);
+    out->AppendRow(row);
+  }
+  return true;
+}
+
+Table ScanSelectProject(const Table& base, const ScanSpec& spec,
+                        ExecContext* ctx) {
+  if (spec.row_filter != nullptr) {
+    S2RDF_CHECK(spec.row_filter->size_bits() == base.NumRows());
+  }
+  if (ctx != nullptr) {
+    ctx->metrics.input_tuples += spec.row_filter != nullptr
+                                     ? spec.row_filter->CountSetBits()
+                                     : base.NumRows();
+  }
+  std::vector<std::string> names;
+  names.reserve(spec.projections.size());
+  for (const auto& [col, name] : spec.projections) names.push_back(name);
+  Table out(std::move(names));
+  if (!ScanSelectProjectRange(base, spec, 0, base.NumRows(), ctx, &out) &&
+      ctx != nullptr) {
+    // Record why (owner thread); ExecutePlan discards the partial batch.
+    ctx->CheckInterrupt();
   }
   if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
   return out;
@@ -135,7 +140,7 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
   std::vector<int> left_keys;
   std::vector<int> right_keys;
   std::vector<int> right_only;
-  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  JoinSharedColumns(left, right, &left_keys, &right_keys, &right_only);
   Table out = JoinOutputSchema(left, right, right_only);
 
   if (ctx != nullptr) {
@@ -165,12 +170,15 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
   }
 
   // Build on the right, probe with the left (right is typically the
-  // newly-selected smallest table under Algorithm 4's ordering).
-  std::unordered_multimap<uint64_t, size_t> build;
+  // newly-selected smallest table under Algorithm 4's ordering). The
+  // bucket keeps right rows in ascending order, making the output
+  // sequence canonical (left input order, matches ascending) — the
+  // contract ParallelHashJoin's gather reproduces.
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
   build.reserve(right.NumRows());
   for (size_t rr = 0; rr < right.NumRows(); ++rr) {
     if (RowKeyHasNull(right, rr, right_keys)) continue;
-    build.emplace(RowKeyHash(right, rr, right_keys), rr);
+    build[RowKeyHash(right, rr, right_keys)].push_back(rr);
   }
   for (size_t lr = 0; lr < left.NumRows(); ++lr) {
     if ((lr % kInterruptCheckRows) == 0 && ctx != nullptr &&
@@ -178,10 +186,11 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
       break;  // Partial output; ExecutePlan reports the interrupt.
     }
     if (RowKeyHasNull(left, lr, left_keys)) continue;
-    auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
-    for (auto it = begin; it != end; ++it) {
-      if (RowKeysEqual(left, lr, left_keys, right, it->second, right_keys)) {
-        EmitJoinedRow(left, lr, right, it->second, right_only, &out);
+    auto it = build.find(RowKeyHash(left, lr, left_keys));
+    if (it == build.end()) continue;
+    for (size_t rr : it->second) {
+      if (RowKeysEqual(left, lr, left_keys, right, rr, right_keys)) {
+        EmitJoinedRow(left, lr, right, rr, right_only, &out);
       }
     }
   }
@@ -193,7 +202,7 @@ Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx) {
   std::vector<int> left_keys;
   std::vector<int> right_keys;
   std::vector<int> right_only;
-  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  JoinSharedColumns(left, right, &left_keys, &right_keys, &right_only);
   S2RDF_CHECK(!left_keys.empty());
   Table out = JoinOutputSchema(left, right, right_only);
 
@@ -217,9 +226,19 @@ Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx) {
   std::vector<size_t> lrows;
   std::vector<size_t> rrows;
   for (size_t r = 0; r < left.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      ctx->metrics.intermediate_tuples += out.NumRows();
+      return out;  // Empty; ExecutePlan reports the interrupt.
+    }
     if (!RowKeyHasNull(left, r, left_keys)) lrows.push_back(r);
   }
   for (size_t r = 0; r < right.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      ctx->metrics.intermediate_tuples += out.NumRows();
+      return out;
+    }
     if (!RowKeyHasNull(right, r, right_keys)) rrows.push_back(r);
   }
   std::sort(lrows.begin(), lrows.end(), key_less(left, left_keys));
@@ -234,9 +253,21 @@ Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx) {
     return 0;
   };
 
+  // Merge phase: one check per kInterruptCheckRows merge steps or
+  // emitted rows, whichever comes first (equal-key runs can emit a
+  // cross product far larger than the step count).
   size_t li = 0;
   size_t ri = 0;
+  size_t since_check = 0;
+  bool interrupted = false;
   while (li < lrows.size() && ri < rrows.size()) {
+    if (++since_check >= kInterruptCheckRows) {
+      since_check = 0;
+      if (ctx != nullptr && ctx->CheckInterrupt()) {
+        interrupted = true;  // Partial output; ExecutePlan reports why.
+        break;
+      }
+    }
     int c = compare_keys(lrows[li], rrows[ri]);
     if (c < 0) {
       ++li;
@@ -257,11 +288,19 @@ Table SortMergeJoin(const Table& left, const Table& right, ExecContext* ctx) {
            compare_keys(lrows[li], rrows[rend + 1]) == 0) {
       ++rend;
     }
-    for (size_t l = li; l <= lend; ++l) {
+    for (size_t l = li; l <= lend && !interrupted; ++l) {
       for (size_t r = ri; r <= rend; ++r) {
+        if (++since_check >= kInterruptCheckRows) {
+          since_check = 0;
+          if (ctx != nullptr && ctx->CheckInterrupt()) {
+            interrupted = true;
+            break;
+          }
+        }
         EmitJoinedRow(left, lrows[l], right, rrows[r], right_only, &out);
       }
     }
+    if (interrupted) break;
     li = lend + 1;
     ri = rend + 1;
   }
@@ -274,17 +313,33 @@ Table SemiJoin(const Table& left, int left_col, const Table& right,
   S2RDF_CHECK(left_col >= 0 && static_cast<size_t>(left_col) < left.NumColumns());
   S2RDF_CHECK(right_col >= 0 &&
               static_cast<size_t>(right_col) < right.NumColumns());
+  // Metered like every other join: the Fig. 8/Fig. 12 model charges the
+  // logical comparison space |L|x|R|, not the hash-accelerated probe
+  // count (see exec_context.h). Charged before the build loop so an
+  // interrupted run still reports the same work estimate as serial.
+  if (ctx != nullptr) {
+    ctx->metrics.join_comparisons +=
+        static_cast<uint64_t>(left.NumRows()) * right.NumRows();
+    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  }
   std::unordered_set<TermId> keys;
   keys.reserve(right.NumRows());
-  for (TermId id : right.Column(static_cast<size_t>(right_col))) {
-    if (id != kNullTermId) keys.insert(id);
-  }
-  if (ctx != nullptr) {
-    ctx->metrics.join_comparisons += left.NumRows();
-    ctx->AccountShuffle(left.NumRows() + right.NumRows());
+  const std::vector<TermId>& right_vals =
+      right.Column(static_cast<size_t>(right_col));
+  for (size_t r = 0; r < right_vals.size(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      Table out(left.column_names());
+      return out;  // Empty; ExecutePlan reports the interrupt.
+    }
+    if (right_vals[r] != kNullTermId) keys.insert(right_vals[r]);
   }
   Table out(left.column_names());
   for (size_t r = 0; r < left.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     if (keys.contains(left.At(r, static_cast<size_t>(left_col)))) {
       out.AppendRowFrom(left, r);
     }
@@ -299,7 +354,7 @@ Table LeftOuterJoin(const Table& left, const Table& right,
   std::vector<int> left_keys;
   std::vector<int> right_keys;
   std::vector<int> right_only;
-  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  JoinSharedColumns(left, right, &left_keys, &right_keys, &right_only);
   Table out = JoinOutputSchema(left, right, right_only);
 
   if (ctx != nullptr) {
@@ -308,14 +363,23 @@ Table LeftOuterJoin(const Table& left, const Table& right,
     ctx->AccountShuffle(left.NumRows() + right.NumRows());
   }
 
-  std::unordered_multimap<uint64_t, size_t> build;
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
   build.reserve(right.NumRows());
   for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+    if ((rr % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      ctx->metrics.intermediate_tuples += out.NumRows();
+      return out;  // Empty; ExecutePlan reports the interrupt.
+    }
     if (RowKeyHasNull(right, rr, right_keys)) continue;
-    build.emplace(RowKeyHash(right, rr, right_keys), rr);
+    build[RowKeyHash(right, rr, right_keys)].push_back(rr);
   }
 
   for (size_t lr = 0; lr < left.NumRows(); ++lr) {
+    if ((lr % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     size_t before = out.NumRows();
     if (!left_keys.empty() || right.NumRows() > 0) {
       if (left_keys.empty()) {
@@ -325,12 +389,12 @@ Table LeftOuterJoin(const Table& left, const Table& right,
           EmitJoinedRow(left, lr, right, rr, right_only, &out);
         }
       } else if (!RowKeyHasNull(left, lr, left_keys)) {
-        auto [begin, end] =
-            build.equal_range(RowKeyHash(left, lr, left_keys));
-        for (auto it = begin; it != end; ++it) {
-          if (RowKeysEqual(left, lr, left_keys, right, it->second,
-                           right_keys)) {
-            EmitJoinedRow(left, lr, right, it->second, right_only, &out);
+        auto it = build.find(RowKeyHash(left, lr, left_keys));
+        if (it != build.end()) {
+          for (size_t rr : it->second) {
+            if (RowKeysEqual(left, lr, left_keys, right, rr, right_keys)) {
+              EmitJoinedRow(left, lr, right, rr, right_only, &out);
+            }
           }
         }
       }
@@ -369,7 +433,13 @@ Table UnionAll(const Table& a, const Table& b, ExecContext* ctx) {
   }
   Table out(names);
   out.Reserve(a.NumRows() + b.NumRows());
+  bool interrupted = false;
   for (size_t r = 0; r < a.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      interrupted = true;  // Partial output; ExecutePlan reports why.
+      break;
+    }
     std::vector<TermId> row;
     row.reserve(names.size());
     for (const std::string& name : names) {
@@ -378,7 +448,11 @@ Table UnionAll(const Table& a, const Table& b, ExecContext* ctx) {
     }
     out.AppendRow(row);
   }
-  for (size_t r = 0; r < b.NumRows(); ++r) {
+  for (size_t r = 0; !interrupted && r < b.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;
+    }
     std::vector<TermId> row;
     row.reserve(names.size());
     for (const std::string& name : names) {
@@ -398,6 +472,10 @@ Table Distinct(const Table& t, ExecContext* ctx) {
   std::vector<int> all_cols(t.NumColumns());
   for (size_t i = 0; i < t.NumColumns(); ++i) all_cols[i] = static_cast<int>(i);
   for (size_t r = 0; r < t.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     uint64_t h = RowKeyHash(t, r, all_cols);
     bool duplicate = false;
     auto [begin, end] = seen.equal_range(h);
@@ -420,7 +498,7 @@ Table Distinct(const Table& t, ExecContext* ctx) {
 }
 
 Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
-              const rdf::Dictionary& dict) {
+              const rdf::Dictionary& dict, ExecContext* ctx) {
   // Decode cache: TermId -> typed Value (ids repeat heavily).
   std::unordered_map<TermId, Value> cache;
   auto value_of = [&](TermId id) -> const Value& {
@@ -435,6 +513,21 @@ Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
   for (const SortKey& key : keys) {
     int c = t.ColumnIndex(key.column);
     if (c >= 0) key_cols.emplace_back(c, key.ascending);
+  }
+
+  // Interruptible warmup: decode every sort-key value up front. The
+  // decode cost dominates OrderBy, so checking the deadline here bounds
+  // the abort latency; the comparator below never reads the clock
+  // (returning inconsistent answers mid-sort would break strict weak
+  // ordering).
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      return Table(t.column_names());  // ExecutePlan reports why.
+    }
+    for (const auto& [col, asc] : key_cols) {
+      value_of(t.At(r, static_cast<size_t>(col)));
+    }
   }
 
   std::vector<size_t> order(t.NumRows());
@@ -453,7 +546,13 @@ Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
 
   Table out(t.column_names());
   out.Reserve(t.NumRows());
-  for (size_t r : order) out.AppendRowFrom(t, r);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if ((i % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
+    out.AppendRowFrom(t, order[i]);
+  }
   return out;
 }
 

@@ -43,10 +43,22 @@ struct ScanSpec {
 Table ScanSelectProject(const Table& base, const ScanSpec& spec,
                         ExecContext* ctx);
 
+// Row-range core of ScanSelectProject: appends every row of
+// [begin, end) that passes `spec` to `out` (whose schema must already
+// match spec.projections). Checks the interrupt state read-only every
+// kInterruptCheckRows rows, so it is safe to call from task-pool
+// workers (one call per morsel); returns false when it bailed out on
+// an interrupt. Does not touch ctx->metrics.
+bool ScanSelectProjectRange(const Table& base, const ScanSpec& spec,
+                            size_t begin, size_t end, const ExecContext* ctx,
+                            Table* out);
+
 // Natural hash join on all shared column names. Degenerates to a cross
 // product when no names are shared. Rows with a null (kNullTermId) join
 // key never match. Meters |L|x|R| join comparisons and repartition
-// shuffle of both inputs.
+// shuffle of both inputs. Output order is canonical: left rows in input
+// order, each left row's matches in ascending right-row order —
+// ParallelHashJoin reproduces exactly this sequence.
 Table HashJoin(const Table& left, const Table& right, ExecContext* ctx);
 
 // Natural sort-merge join on all shared column names — the local merge
@@ -79,8 +91,13 @@ struct SortKey {
 };
 
 // Value-aware stable sort (numeric literals order numerically).
+// Interruptible: the decode-cache warmup and the output gather check the
+// deadline every kInterruptCheckRows rows (the comparator itself never
+// reads the clock — that would break strict weak ordering); on an
+// interrupt the partial/empty result is returned and ExecutePlan
+// reports why.
 Table OrderBy(const Table& t, const std::vector<SortKey>& keys,
-              const rdf::Dictionary& dict);
+              const rdf::Dictionary& dict, ExecContext* ctx = nullptr);
 
 // OFFSET/LIMIT. `limit` == kNoLimit keeps all remaining rows.
 inline constexpr uint64_t kNoLimit = ~0ull;
@@ -93,6 +110,35 @@ Table Project(const Table& t, const std::vector<std::string>& columns);
 // FILTER: keeps rows where `expr` evaluates to true.
 Table Filter(const Table& t, const Expr& expr, const rdf::Dictionary& dict,
              ExecContext* ctx);
+
+// --- Row-key helpers shared with the parallel execution layer ---
+// (engine/parallel.cc, engine/parallel_join.cc build on the exact same
+// hash so serial and parallel plans partition rows identically).
+
+// Hashes the values of `row` at `cols` in `table`.
+uint64_t RowKeyHash(const Table& table, size_t row,
+                    const std::vector<int>& cols);
+
+bool RowKeysEqual(const Table& a, size_t row_a, const std::vector<int>& cols_a,
+                  const Table& b, size_t row_b,
+                  const std::vector<int>& cols_b);
+
+bool RowKeyHasNull(const Table& t, size_t row, const std::vector<int>& cols);
+
+// Shared-column discovery for natural joins: fills (left key indices,
+// right key indices, right-only indices) in right-schema order.
+void JoinSharedColumns(const Table& left, const Table& right,
+                       std::vector<int>* left_keys,
+                       std::vector<int>* right_keys,
+                       std::vector<int>* right_only);
+
+// Empty output table with `left`'s columns followed by `right_only`.
+Table JoinOutputSchema(const Table& left, const Table& right,
+                       const std::vector<int>& right_only);
+
+// Appends left row `lrow` concatenated with `right_only` of `rrow`.
+void EmitJoinedRow(const Table& left, size_t lrow, const Table& right,
+                   size_t rrow, const std::vector<int>& right_only, Table* out);
 
 }  // namespace s2rdf::engine
 

@@ -1,0 +1,287 @@
+#include "engine/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/task_pool.h"
+
+namespace s2rdf::engine {
+
+namespace {
+
+// Morsel count for an n-row input.
+size_t MorselCount(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
+
+}  // namespace
+
+Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
+                                ExecContext* ctx) {
+  const size_t n = base.NumRows();
+  if (n < kParallelRowThreshold) return ScanSelectProject(base, spec, ctx);
+  if (spec.row_filter != nullptr) {
+    S2RDF_CHECK(spec.row_filter->size_bits() == n);
+  }
+  if (ctx != nullptr) {
+    ctx->metrics.input_tuples += spec.row_filter != nullptr
+                                     ? spec.row_filter->CountSetBits()
+                                     : n;
+  }
+  std::vector<std::string> names;
+  names.reserve(spec.projections.size());
+  for (const auto& [col, name] : spec.projections) names.push_back(name);
+
+  const size_t morsels = MorselCount(n);
+  std::vector<Table> partial(morsels, Table(names));
+  std::atomic<bool> interrupted{false};
+  TaskPool::Shared()->ParallelFor(morsels, [&](size_t m) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(begin + kMorselRows, n);
+    if (!ScanSelectProjectRange(base, spec, begin, end, ctx, &partial[m])) {
+      interrupted.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  Table out(std::move(names));
+  if (interrupted.load(std::memory_order_relaxed)) {
+    // Skip the gather — ExecutePlan discards partial results anyway.
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->metrics.intermediate_tuples += out.NumRows();
+    }
+    return out;
+  }
+  size_t total = 0;
+  for (const Table& p : partial) total += p.NumRows();
+  out.Reserve(total);
+  // Morsel order is row order: the gathered table is byte-identical to
+  // the serial scan's output.
+  size_t since_check = 0;
+  for (const Table& p : partial) {
+    for (size_t r = 0; r < p.NumRows(); ++r) {
+      if (++since_check >= kInterruptCheckRows) {
+        since_check = 0;
+        if (ctx != nullptr && ctx->CheckInterrupt()) {
+          ctx->metrics.intermediate_tuples += out.NumRows();
+          return out;  // Partial; ExecutePlan reports the interrupt.
+        }
+      }
+      out.AppendRowFrom(p, r);
+    }
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table ParallelDistinct(const Table& t, ExecContext* ctx) {
+  const size_t n = t.NumRows();
+  if (n < kParallelRowThreshold) return Distinct(t, ctx);
+  TaskPool* pool = TaskPool::Shared();
+  std::vector<int> all_cols(t.NumColumns());
+  for (size_t i = 0; i < t.NumColumns(); ++i) all_cols[i] = static_cast<int>(i);
+
+  // Pass 1: row hashes, morsel-parallel.
+  std::vector<uint64_t> hashes(n);
+  std::atomic<bool> interrupted{false};
+  pool->ParallelFor(MorselCount(n), [&](size_t m) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(begin + kMorselRows, n);
+    for (size_t r = begin; r < end; ++r) {
+      if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
+          ctx->InterruptRequested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      hashes[r] = RowKeyHash(t, r, all_cols);
+    }
+  });
+
+  Table out(t.column_names());
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->AccountShuffle(n);
+      ctx->metrics.intermediate_tuples += out.NumRows();
+    }
+    return out;
+  }
+
+  // Pass 2: hash-partitioned dedup. Equal rows hash equal, so every
+  // duplicate set lives wholly inside one partition; each worker keeps
+  // the first occurrence (ascending row scan) of its partition's rows.
+  const size_t parts = pool->ParallelismWidth();
+  std::vector<std::vector<size_t>> keep(parts);
+  pool->ParallelFor(parts, [&](size_t w) {
+    std::unordered_map<uint64_t, std::vector<size_t>> seen;
+    size_t since_check = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (++since_check >= kInterruptCheckRows) {
+        since_check = 0;
+        if (ctx != nullptr && ctx->InterruptRequested()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (hashes[r] % parts != w) continue;
+      std::vector<size_t>& bucket = seen[hashes[r]];
+      bool duplicate = false;
+      for (size_t prev : bucket) {
+        if (RowKeysEqual(t, r, all_cols, t, prev, all_cols)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        bucket.push_back(r);
+        keep[w].push_back(r);
+      }
+    }
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->AccountShuffle(n);
+      ctx->metrics.intermediate_tuples += out.NumRows();
+    }
+    return out;
+  }
+
+  // Merge ascending: the union of partition-local first occurrences is
+  // exactly the serial first-occurrence set, and ascending row order is
+  // the serial emission order.
+  std::vector<size_t> rows;
+  size_t total = 0;
+  for (const auto& k : keep) total += k.size();
+  rows.reserve(total);
+  for (const auto& k : keep) rows.insert(rows.end(), k.begin(), k.end());
+  std::sort(rows.begin(), rows.end());
+
+  out.Reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if ((i % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial; ExecutePlan reports the interrupt.
+    }
+    out.AppendRowFrom(t, rows[i]);
+  }
+  if (ctx != nullptr) {
+    ctx->AccountShuffle(n);
+    ctx->metrics.intermediate_tuples += out.NumRows();
+  }
+  return out;
+}
+
+Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
+                      const rdf::Dictionary& dict, ExecContext* ctx) {
+  const size_t n = t.NumRows();
+  std::vector<std::pair<int, bool>> key_cols;
+  for (const SortKey& key : keys) {
+    int c = t.ColumnIndex(key.column);
+    if (c >= 0) key_cols.emplace_back(c, key.ascending);
+  }
+  if (n < kParallelRowThreshold || key_cols.empty()) {
+    return OrderBy(t, keys, dict, ctx);
+  }
+  TaskPool* pool = TaskPool::Shared();
+
+  // Phase 1 (the dominant cost): decode every sort-key term, morsel-
+  // parallel into per-morsel caches (Dictionary::Decode is
+  // shared-lock-safe), merged into one map that is read-only from here
+  // on — the chunk sorts below can then share it without locking.
+  const size_t morsels = MorselCount(n);
+  std::vector<std::unordered_map<TermId, Value>> partial_cache(morsels);
+  std::atomic<bool> interrupted{false};
+  pool->ParallelFor(morsels, [&](size_t m) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    size_t begin = m * kMorselRows;
+    size_t end = std::min(begin + kMorselRows, n);
+    std::unordered_map<TermId, Value>& cache = partial_cache[m];
+    for (size_t r = begin; r < end; ++r) {
+      if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
+          ctx->InterruptRequested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (const auto& [col, asc] : key_cols) {
+        TermId id = t.At(r, static_cast<size_t>(col));
+        if (cache.find(id) != cache.end()) continue;
+        cache.emplace(id, id == kNullTermId
+                              ? Value()
+                              : ValueFromCanonicalTerm(dict.Decode(id)));
+      }
+    }
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) ctx->CheckInterrupt();
+    return Table(t.column_names());
+  }
+  std::unordered_map<TermId, Value> values;
+  for (auto& cache : partial_cache) values.merge(cache);
+
+  auto less = [&](size_t a, size_t b) {
+    for (const auto& [col, asc] : key_cols) {
+      TermId ia = t.At(a, static_cast<size_t>(col));
+      TermId ib = t.At(b, static_cast<size_t>(col));
+      if (ia == ib) continue;
+      bool comparable = true;
+      int c = CompareValues(values.find(ia)->second, values.find(ib)->second,
+                            &comparable);
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  };
+
+  // Phase 2: contiguous chunks, each stable-sorted in parallel. Like
+  // the serial stable_sort, the sort itself is not interruptible (a
+  // comparator that reads the clock would break strict weak ordering);
+  // each chunk checks once before sorting.
+  const size_t chunk_count = std::min(pool->ParallelismWidth(), morsels);
+  const size_t chunk_rows = (n + chunk_count - 1) / chunk_count;
+  std::vector<std::vector<size_t>> chunks(chunk_count);
+  pool->ParallelFor(chunk_count, [&](size_t c) {
+    if (ctx != nullptr && ctx->InterruptRequested()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    size_t begin = c * chunk_rows;
+    size_t end = std::min(begin + chunk_rows, n);
+    std::vector<size_t>& order = chunks[c];
+    order.resize(end - begin);
+    for (size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::stable_sort(order.begin(), order.end(), less);
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) ctx->CheckInterrupt();
+    return Table(t.column_names());
+  }
+
+  // Phase 3: k-way merge. Chunks are contiguous input ranges and each
+  // is stable-sorted; breaking ties toward the earliest chunk therefore
+  // reproduces a full stable_sort — the output is byte-identical to the
+  // serial OrderBy.
+  Table out(t.column_names());
+  out.Reserve(n);
+  std::vector<size_t> pos(chunk_count, 0);
+  for (size_t emitted = 0; emitted < n; ++emitted) {
+    if ((emitted % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial; ExecutePlan reports the interrupt.
+    }
+    size_t best = chunk_count;
+    for (size_t c = 0; c < chunk_count; ++c) {
+      if (pos[c] >= chunks[c].size()) continue;
+      if (best == chunk_count || less(chunks[c][pos[c]], chunks[best][pos[best]])) {
+        best = c;
+      }
+    }
+    out.AppendRowFrom(t, chunks[best][pos[best]]);
+    ++pos[best];
+  }
+  return out;
+}
+
+}  // namespace s2rdf::engine

@@ -1,0 +1,61 @@
+#ifndef S2RDF_ENGINE_PARALLEL_H_
+#define S2RDF_ENGINE_PARALLEL_H_
+
+#include <vector>
+
+#include "engine/exec_context.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+#include "rdf/dictionary.h"
+
+// Morsel-driven parallel counterparts of the serial operators — the
+// in-process analogue of a Spark stage's parallel tasks. Each helper
+// splits its input into row-range morsels executed on the shared
+// TaskPool (common/task_pool.h) with the caller participating, and is a
+// drop-in replacement for its serial twin:
+//
+//   - the output table is byte-identical to the serial operator's
+//     (morsels are gathered back in input order, dedup keeps first
+//     occurrences, the sort merge is stable), and
+//   - ExecMetrics accounting is byte-identical: all metrics are written
+//     by the calling thread using the same formulas as the serial path;
+//     workers never touch the context's metrics.
+//
+// Interrupt discipline: workers poll ctx->InterruptRequested() (read
+// only) every kInterruptCheckRows rows and bail; the calling thread
+// records the reason via CheckInterrupt() after the ParallelFor
+// returns, so abort latency is bounded by one morsel. An interrupted
+// helper skips the gather and returns an empty table — ExecutePlan
+// discards partial results anyway.
+//
+// Small inputs fall through to the serial operator: below
+// kParallelRowThreshold rows the task hand-off costs more than it
+// saves.
+
+namespace s2rdf::engine {
+
+// Rows per morsel. Large enough that a morsel amortizes the queue
+// hand-off, small enough that a deadline aborts promptly and morsel
+// counts exceed worker counts (dynamic load balancing).
+inline constexpr size_t kMorselRows = 16384;
+
+// Inputs below this row count run serially.
+inline constexpr size_t kParallelRowThreshold = 4096;
+
+// ScanSelectProject over row-range morsels.
+Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
+                                ExecContext* ctx);
+
+// Distinct via parallel row hashing, hash-partitioned per-worker dedup,
+// and an input-order merge of the surviving row indices.
+Table ParallelDistinct(const Table& t, ExecContext* ctx);
+
+// OrderBy via parallel decode-cache warmup, parallel chunk sorts, and a
+// stable k-way merge (ties resolve to the earlier chunk, reproducing
+// the serial stable_sort exactly).
+Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
+                      const rdf::Dictionary& dict, ExecContext* ctx);
+
+}  // namespace s2rdf::engine
+
+#endif  // S2RDF_ENGINE_PARALLEL_H_

@@ -1,55 +1,20 @@
 #include "engine/parallel_join.h"
 
-#include <thread>
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
-#include "common/hash.h"
+#include "common/task_pool.h"
 #include "engine/operators.h"
 
 namespace s2rdf::engine {
-
-namespace {
-
-// Shared-column discovery (mirrors operators.cc).
-void SharedColumns(const Table& left, const Table& right,
-                   std::vector<int>* left_keys, std::vector<int>* right_keys,
-                   std::vector<int>* right_only) {
-  for (size_t i = 0; i < right.column_names().size(); ++i) {
-    int li = left.ColumnIndex(right.column_names()[i]);
-    if (li >= 0) {
-      left_keys->push_back(li);
-      right_keys->push_back(static_cast<int>(i));
-    } else {
-      right_only->push_back(static_cast<int>(i));
-    }
-  }
-}
-
-uint64_t RowKeyHash(const Table& table, size_t row,
-                    const std::vector<int>& cols) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    h = HashCombine(h, table.At(row, static_cast<size_t>(c)));
-  }
-  return h;
-}
-
-bool RowKeyHasNull(const Table& t, size_t row, const std::vector<int>& cols) {
-  for (int c : cols) {
-    if (t.At(row, static_cast<size_t>(c)) == kNullTermId) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 Table ParallelHashJoin(const Table& left, const Table& right,
                        ExecContext* ctx) {
   std::vector<int> left_keys;
   std::vector<int> right_keys;
   std::vector<int> right_only;
-  SharedColumns(left, right, &left_keys, &right_keys, &right_only);
+  JoinSharedColumns(left, right, &left_keys, &right_keys, &right_only);
 
   const size_t p =
       ctx != nullptr && ctx->num_partitions > 0
@@ -67,36 +32,49 @@ Table ParallelHashJoin(const Table& left, const Table& right,
     ctx->AccountShuffle(left.NumRows() + right.NumRows());
   }
 
-  // Shuffle write: row indices per partition for both sides.
+  // Shuffle write: row indices per partition for both sides, ascending
+  // (built by one forward scan), which makes each partition's probe
+  // order the serial left-row order restricted to that partition.
   std::vector<std::vector<uint32_t>> left_parts(p);
   std::vector<std::vector<uint32_t>> right_parts(p);
   for (size_t r = 0; r < left.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      return JoinOutputSchema(left, right, right_only);  // Empty.
+    }
     if (RowKeyHasNull(left, r, left_keys)) continue;
     left_parts[RowKeyHash(left, r, left_keys) % p].push_back(
         static_cast<uint32_t>(r));
   }
   for (size_t r = 0; r < right.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      return JoinOutputSchema(left, right, right_only);
+    }
     if (RowKeyHasNull(right, r, right_keys)) continue;
     right_parts[RowKeyHash(right, r, right_keys) % p].push_back(
         static_cast<uint32_t>(r));
   }
 
-  // Per-partition build + probe, one worker thread per partition.
-  std::vector<std::string> out_names = left.column_names();
-  for (int c : right_only) {
-    out_names.push_back(right.column_names()[static_cast<size_t>(c)]);
-  }
-  std::vector<Table> partial(p, Table(out_names));
+  // Per-partition build + probe, one TaskPool task per partition. Each
+  // partial table is sorted by original left-row index (ascending probe
+  // order, ascending matches per probe — exactly HashJoin's canonical
+  // order within the partition).
+  std::vector<Table> partial(p, JoinOutputSchema(left, right, right_only));
+  std::vector<std::vector<uint32_t>> partial_lrow(p);
 
   auto join_partition = [&](size_t part) {
     Table& out = partial[part];
-    const auto& build_rows = right_parts[part];
-    const auto& probe_rows = left_parts[part];
+    std::vector<uint32_t>& lrow_of = partial_lrow[part];
+    const std::vector<uint32_t>& build_rows = right_parts[part];
+    const std::vector<uint32_t>& probe_rows = left_parts[part];
     if (build_rows.empty() || probe_rows.empty()) return;
-    std::unordered_multimap<uint64_t, uint32_t> build;
+    // Ascending insertion keeps each bucket in ascending right-row
+    // order, matching the serial join's match order.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> build;
     build.reserve(build_rows.size());
     for (uint32_t rr : build_rows) {
-      build.emplace(RowKeyHash(right, rr, right_keys), rr);
+      build[RowKeyHash(right, rr, right_keys)].push_back(rr);
     }
     // Workers may only *read* the interrupt state (InterruptRequested);
     // recording the reason is left to the query's owning thread.
@@ -106,47 +84,50 @@ Table ParallelHashJoin(const Table& left, const Table& right,
         since_check = 0;
         if (ctx != nullptr && ctx->InterruptRequested()) return;
       }
-      auto [begin, end] = build.equal_range(RowKeyHash(left, lr, left_keys));
-      for (auto it = begin; it != end; ++it) {
-        uint32_t rr = it->second;
-        bool equal = true;
-        for (size_t i = 0; i < left_keys.size(); ++i) {
-          if (left.At(lr, static_cast<size_t>(left_keys[i])) !=
-              right.At(rr, static_cast<size_t>(right_keys[i]))) {
-            equal = false;
-            break;
-          }
+      auto it = build.find(RowKeyHash(left, lr, left_keys));
+      if (it == build.end()) continue;
+      for (uint32_t rr : it->second) {
+        if (RowKeysEqual(left, lr, left_keys, right, rr, right_keys)) {
+          EmitJoinedRow(left, lr, right, rr, right_only, &out);
+          lrow_of.push_back(lr);
         }
-        if (!equal) continue;
-        std::vector<TermId> row;
-        row.reserve(out_names.size());
-        for (size_t c = 0; c < left.NumColumns(); ++c) {
-          row.push_back(left.At(lr, c));
-        }
-        for (int c : right_only) {
-          row.push_back(right.At(rr, static_cast<size_t>(c)));
-        }
-        out.AppendRow(row);
       }
     }
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(p);
-  for (size_t part = 0; part < p; ++part) {
-    workers.emplace_back(join_partition, part);
-  }
-  for (std::thread& worker : workers) worker.join();
+  TaskPool::Shared()->ParallelFor(p, join_partition);
   // Record any interrupt the workers bailed on (single-threaded again).
-  if (ctx != nullptr) ctx->CheckInterrupt();
+  if (ctx != nullptr && ctx->CheckInterrupt()) {
+    // Skip the gather — ExecutePlan discards partial results anyway.
+    Table out = JoinOutputSchema(left, right, right_only);
+    ctx->metrics.intermediate_tuples += out.NumRows();
+    return out;
+  }
 
-  // Gather.
+  // Canonical gather: k-way merge of the partitions by original
+  // left-row index. Partitions are disjoint in left rows and each is
+  // sorted, so the merged sequence is HashJoin's output exactly.
   size_t total = 0;
   for (const Table& t : partial) total += t.NumRows();
-  Table out(out_names);
+  Table out = JoinOutputSchema(left, right, right_only);
   out.Reserve(total);
-  for (const Table& t : partial) {
-    for (size_t r = 0; r < t.NumRows(); ++r) out.AppendRowFrom(t, r);
+  std::vector<size_t> pos(p, 0);
+  size_t since_check = 0;
+  for (size_t emitted = 0; emitted < total; ++emitted) {
+    if (++since_check >= kInterruptCheckRows) {
+      since_check = 0;
+      if (ctx != nullptr && ctx->CheckInterrupt()) break;
+    }
+    size_t best = p;
+    for (size_t part = 0; part < p; ++part) {
+      if (pos[part] >= partial_lrow[part].size()) continue;
+      if (best == p ||
+          partial_lrow[part][pos[part]] < partial_lrow[best][pos[best]]) {
+        best = part;
+      }
+    }
+    out.AppendRowFrom(partial[best], pos[best]);
+    ++pos[best];
   }
   if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
   return out;

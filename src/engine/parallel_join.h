@@ -8,10 +8,15 @@
 // ExecContext shuffle model. Both inputs are hash-partitioned on the
 // shared join columns into `ctx->num_partitions` buckets (the
 // "repartitioning" whose volume AccountShuffle meters), and the buckets
-// are joined concurrently on a thread per partition — the same dataflow
-// Spark SQL runs across executors.
+// are joined concurrently as tasks on the shared TaskPool — the same
+// dataflow Spark SQL runs across executors, but with total thread count
+// fixed process-wide instead of num_partitions threads per join.
 //
-// Produces exactly the same bag as engine::HashJoin; row order differs.
+// Output is byte-identical to engine::HashJoin: each partition joins
+// its left rows in input order with matches in ascending right-row
+// order, and the gather k-way-merges the partitions back by original
+// left-row index. On an interrupt the gather is skipped entirely (an
+// empty table returns; ExecutePlan discards partial results anyway).
 
 namespace s2rdf::engine {
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "engine/parallel.h"
 #include "engine/parallel_join.h"
 
 namespace s2rdf::engine {
@@ -437,6 +438,9 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
         }
         spec.row_filter = plan.row_filter.get();
       }
+      if (ctx != nullptr && ctx->parallel_execution) {
+        return ParallelScanSelectProject(*base, spec, ctx);
+      }
       return ScanSelectProject(*base, spec, ctx);
     }
     case PlanNode::Kind::kJoin: {
@@ -476,12 +480,18 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kDistinct: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      if (ctx != nullptr && ctx->parallel_execution) {
+        return ParallelDistinct(l, ctx);
+      }
       return Distinct(l, ctx);
     }
     case PlanNode::Kind::kOrderBy: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
-      return OrderBy(l, plan.sort_keys, *dict);
+      if (ctx != nullptr && ctx->parallel_execution) {
+        return ParallelOrderBy(l, plan.sort_keys, *dict, ctx);
+      }
+      return OrderBy(l, plan.sort_keys, *dict, ctx);
     }
     case PlanNode::Kind::kSlice: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
@@ -491,6 +501,10 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kAggregate: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      if (ctx != nullptr && ctx->parallel_execution) {
+        return ParallelGroupByAggregate(l, plan.group_keys, plan.aggregates,
+                                        dict, ctx);
+      }
       return GroupByAggregate(l, plan.group_keys, plan.aggregates, dict,
                               ctx);
     }

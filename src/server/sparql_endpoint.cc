@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "common/task_pool.h"
 #include "sparql/results_io.h"
 
 namespace s2rdf::server {
@@ -140,6 +141,11 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     counter("s2rdf_queries_degraded", db_.catalog().queries_degraded());
     counter("s2rdf_recovery_quarantined_tables",
             db_.catalog().quarantined_tables());
+    // Helper threads of the process-wide morsel pool. Fixed at first
+    // use and shared by every in-flight query, so total execution
+    // threads stay at num_workers + this, independent of load.
+    counter("s2rdf_task_pool_threads",
+            static_cast<uint64_t>(TaskPool::Shared()->num_threads()));
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = out;
     return response;

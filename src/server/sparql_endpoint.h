@@ -37,7 +37,14 @@
 namespace s2rdf::server {
 
 struct EndpointOptions {
-  // Worker threads executing queries (one connection each).
+  // Worker threads executing queries (one connection each). Intra-query
+  // morsel parallelism (parallel_execution) does NOT multiply this:
+  // every query draws helper tasks from the one process-wide TaskPool
+  // (sized to the hardware), and a query whose helpers are busy simply
+  // runs its morsels on its own worker thread — so total execution
+  // threads are bounded by num_workers + TaskPool::Shared()'s helpers
+  // regardless of load, and a saturated pool can never deadlock the
+  // endpoint.
   int num_workers = 4;
   // Connections allowed to wait beyond the busy workers; the next one
   // is rejected with 503.

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -8,7 +9,10 @@
 
 #include "common/file_util.h"
 #include "core/s2rdf.h"
+#include "engine/aggregate.h"
+#include "engine/operators.h"
 #include "engine/table.h"
+#include "rdf/dictionary.h"
 #include "rdf/graph.h"
 
 // Concurrency tests for the S2Rdf facade: many threads sharing one
@@ -123,6 +127,57 @@ TEST(ConcurrencyStressTest, ParallelMixedQueriesMatchSerial) {
   // does.
   EXPECT_EQ((*shared)->lazy_pairs_computed(),
             (*serial)->lazy_pairs_computed());
+}
+
+// The same mixed workload with intra-query morsel parallelism: every
+// query draws helper tasks from the one shared TaskPool, and results
+// must still match the serial instance exactly. The graph is sized so
+// scans and joins clear kParallelRowThreshold and actually go parallel.
+TEST(ConcurrencyStressTest, ParallelExecutionMixedQueriesMatchSerial) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2;
+
+  auto serial = S2Rdf::Create(MakeSocialGraph(2500), S2RdfOptions());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  std::vector<std::vector<std::vector<std::string>>> expected;
+  for (const char* query : kMixedQueries) {
+    auto result = (*serial)->Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(SortedRows(**serial, result->table));
+  }
+
+  S2RdfOptions options;
+  options.parallel_execution = true;
+  auto shared = S2Rdf::Create(MakeSocialGraph(2500), options);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < kNumMixedQueries; ++q) {
+          size_t index = (q + static_cast<size_t>(t)) % kNumMixedQueries;
+          QueryRequest request;
+          request.query = kMixedQueries[index];
+          auto result = (*shared)->Execute(request);
+          if (!result.ok()) {
+            ++failures;
+            continue;
+          }
+          if (SortedRows(**shared, result->table) != expected[index]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // --- QueryOptions behavior -------------------------------------------------
@@ -259,6 +314,155 @@ TEST(ConcurrencyStressTest, MixedDeadlinesDoNotInterfere) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(unexpected.load(), 0);
+}
+
+// --- Operator interrupt coverage -------------------------------------------
+//
+// Engine-level regression tests: every operator's row loops consult the
+// interrupt state at least every kInterruptCheckRows rows. With an
+// already-expired deadline the very first check fires, so each operator
+// must abandon its work (empty or partial output), record the reason in
+// interrupt_status, and still complete normally with a fresh context.
+
+engine::ExecContext ExpiredDeadline() {
+  engine::ExecContext ctx;
+  ctx.has_deadline = true;
+  ctx.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  return ctx;
+}
+
+// n rows of (i+1, i+1): two such tables join 1:1 on a shared column.
+engine::Table SeqPairs(const char* c0, const char* c1, size_t n) {
+  engine::Table t({c0, c1});
+  for (size_t i = 0; i < n; ++i) {
+    t.AppendRow({static_cast<rdf::TermId>(i + 1),
+                 static_cast<rdf::TermId>(i + 1)});
+  }
+  return t;
+}
+
+TEST(OperatorInterruptTest, SortMergeJoinHonorsDeadline) {
+  engine::Table left = SeqPairs("x", "y", 6000);
+  engine::Table right = SeqPairs("y", "z", 6000);
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out = engine::SortMergeJoin(left, right, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full = engine::SortMergeJoin(left, right, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full.NumRows(), 6000u);
+}
+
+TEST(OperatorInterruptTest, SemiJoinHonorsDeadline) {
+  engine::Table left = SeqPairs("x", "y", 6000);
+  engine::Table right = SeqPairs("y", "z", 6000);
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out = engine::SemiJoin(left, 1, right, 0, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full = engine::SemiJoin(left, 1, right, 0, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full.NumRows(), 6000u);
+}
+
+TEST(OperatorInterruptTest, LeftOuterJoinHonorsDeadline) {
+  engine::Table left = SeqPairs("x", "y", 6000);
+  engine::Table right = SeqPairs("y", "z", 6000);
+  rdf::Dictionary dict;
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out =
+      engine::LeftOuterJoin(left, right, nullptr, dict, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full =
+      engine::LeftOuterJoin(left, right, nullptr, dict, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full.NumRows(), 6000u);
+}
+
+TEST(OperatorInterruptTest, UnionAllHonorsDeadline) {
+  engine::Table a = SeqPairs("x", "y", 6000);
+  engine::Table b = SeqPairs("y", "z", 6000);
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out = engine::UnionAll(a, b, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full = engine::UnionAll(a, b, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full.NumRows(), 12000u);
+}
+
+TEST(OperatorInterruptTest, DistinctHonorsDeadline) {
+  engine::Table t({"a", "b"});
+  for (size_t i = 0; i < 6000; ++i) {
+    t.AppendRow({static_cast<rdf::TermId>(i % 100 + 1),
+                 static_cast<rdf::TermId>(i % 100 + 1)});
+  }
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out = engine::Distinct(t, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full = engine::Distinct(t, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full.NumRows(), 100u);
+}
+
+TEST(OperatorInterruptTest, OrderByHonorsDeadline) {
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < 100; ++i) {
+    terms.push_back(dict.Encode(
+        "\"" + std::to_string(i) +
+        "\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+  }
+  engine::Table t({"n"});
+  for (size_t i = 0; i < 6000; ++i) {
+    t.AppendRow({terms[(i * 37) % terms.size()]});
+  }
+  engine::ExecContext expired = ExpiredDeadline();
+  engine::Table out = engine::OrderBy(t, {{"n", true}}, dict, &expired);
+  EXPECT_EQ(out.NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  engine::Table full = engine::OrderBy(t, {{"n", true}}, dict, &fresh);
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  ASSERT_EQ(full.NumRows(), 6000u);
+  EXPECT_EQ(full.At(0, 0), terms[0]);
+}
+
+TEST(OperatorInterruptTest, GroupByAggregateHonorsDeadline) {
+  engine::Table t({"k", "v"});
+  for (size_t i = 0; i < 6000; ++i) {
+    t.AppendRow({static_cast<rdf::TermId>(i % 50 + 1),
+                 static_cast<rdf::TermId>(i + 1)});
+  }
+  rdf::Dictionary dict;
+  std::vector<engine::AggregateSpec> specs = {
+      {engine::AggregateSpec::Fn::kCountStar, "", "n", false}};
+
+  engine::ExecContext expired = ExpiredDeadline();
+  auto out = engine::GroupByAggregate(t, {"k"}, specs, &dict, &expired);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 0u);
+  EXPECT_EQ(expired.interrupt_status.code(), StatusCode::kDeadlineExceeded);
+
+  engine::ExecContext fresh;
+  auto full = engine::GroupByAggregate(t, {"k"}, specs, &dict, &fresh);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(fresh.interrupt_status.ok());
+  EXPECT_EQ(full->NumRows(), 50u);
 }
 
 }  // namespace

@@ -8,10 +8,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
+#include <fstream>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/task_pool.h"
 #include "core/s2rdf.h"
 #include "server/http.h"
 #include "server/sparql_endpoint.h"
@@ -294,6 +298,7 @@ TEST_F(EndpointTest, MetricsEndpoint) {
             std::string::npos);
   EXPECT_NE(response.body.find("s2rdf_catalog_materialized_tables"),
             std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_task_pool_threads"), std::string::npos);
 }
 
 TEST_F(EndpointTest, LimitParamTruncatesResults) {
@@ -497,6 +502,104 @@ TEST(EndpointSaturationTest, ConcurrentClientsAllGetResponses) {
   EXPECT_EQ(other.load(), 0);
   EXPECT_EQ(ok.load() + rejected.load(), 64);
   EXPECT_GT(ok.load(), 0);
+}
+
+// --- Shared task-pool stress ------------------------------------------------
+
+// Current thread count of this process (Linux).
+int CountProcThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+// Many concurrent parallel-execution queries through the endpoint: the
+// morsel helpers all come from the one process-wide TaskPool, so the
+// storm must finish (no WorkerPool/TaskPool deadlock — the caller of a
+// ParallelFor always participates, so completion never depends on a
+// free helper) and the process thread count must stay at its pre-storm
+// level plus this test's own client/sampler threads.
+TEST(EndpointParallelStressTest, SharedPoolServesParallelQueriesBounded) {
+  rdf::Graph g;
+  for (int i = 0; i < 3000; ++i) {
+    g.AddIris("N" + std::to_string(i), "p",
+              "N" + std::to_string((i + 1) % 3000));
+    g.AddIris("N" + std::to_string(i), "p",
+              "N" + std::to_string((i + 37) % 3000));
+  }
+  core::S2RdfOptions db_options;
+  db_options.parallel_execution = true;
+  auto db = core::S2Rdf::Create(std::move(g), db_options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // Force the shared pool into existence before the baseline count.
+  const int pool_threads = TaskPool::Shared()->num_threads();
+  EndpointOptions options;
+  options.num_workers = 6;
+  options.queue_capacity = 64;
+  SparqlEndpoint endpoint(db->get(), options);
+  auto port = endpoint.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const int before = CountProcThreads();
+  ASSERT_GE(before, 1 + options.num_workers + pool_threads);
+
+  // ?a <p> ?b . ?b <p> ?c — a 6000x6000-row join, well above the
+  // parallel thresholds, so every in-flight query submits pool tasks.
+  const std::string request =
+      "GET /sparql?query=SELECT%20%2A%20WHERE%20%7B%20%3Fa%20%3Cp%3E%20%3Fb"
+      "%20.%20%3Fb%20%3Cp%3E%20%3Fc%20.%20%7D HTTP/1.1\r\n"
+      "Host: localhost\r\n\r\n";
+  constexpr int kClients = 10;
+  constexpr int kRequestsPerClient = 3;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> max_threads{0};
+  std::thread sampler([&] {
+    while (!done.load()) {
+      int now = CountProcThreads();
+      int prev = max_threads.load();
+      while (now > prev && !max_threads.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      for (int j = 0; j < kRequestsPerClient; ++j) {
+        std::string response = RoundTrip(*port, request);
+        if (response.find("HTTP/1.1 200") != std::string::npos) {
+          ++ok;
+        } else if (response.find("HTTP/1.1 503") != std::string::npos) {
+          ++rejected;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  done = true;
+  sampler.join();
+  endpoint.Stop();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(ok.load() + rejected.load(), kClients * kRequestsPerClient);
+  // Anything beyond the baseline is a client or sampler thread of this
+  // test — a saturated server must never spawn per-query threads.
+  EXPECT_LE(max_threads.load(), before + kClients + 1);
 }
 
 }  // namespace
