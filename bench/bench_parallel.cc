@@ -105,6 +105,67 @@ Table RandomPairs(uint64_t seed, size_t rows, uint64_t card0, uint64_t card1,
   return t;
 }
 
+// Stage split (parse / compile / execute) of full end-to-end queries,
+// serial vs parallel execution mode, averaged over `reps` rounds.
+struct StageEntry {
+  std::string name;
+  std::string mode;  // "serial" | "parallel"
+  double parse_ms = 0.0;
+  double compile_ms = 0.0;
+  double exec_ms = 0.0;
+  double total_ms = 0.0;
+  bool output_identical = true;  // Parallel row vs its serial twin.
+};
+
+std::vector<StageEntry> MeasureQueryStages(int reps) {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = EnvDouble("S2RDF_BENCH_SF", 1.0);
+
+  core::S2RdfOptions serial_options;
+  auto serial_db = core::S2Rdf::Create(watdiv::Generate(gen), serial_options);
+  core::S2RdfOptions parallel_options;
+  parallel_options.parallel_execution = true;
+  auto parallel_db =
+      core::S2Rdf::Create(watdiv::Generate(gen), parallel_options);
+  std::vector<StageEntry> out;
+  if (!serial_db.ok() || !parallel_db.ok()) return out;
+
+  for (const char* name : {"L2", "S3", "F3", "C3"}) {
+    const watdiv::QueryTemplate* tmpl = watdiv::FindQuery(name);
+    if (tmpl == nullptr) continue;
+    const std::string text = InstantiateFor(*tmpl, gen.scale_factor, 0);
+    core::QueryRequest request;
+    request.query = text;
+    uint64_t serial_rows = 0;
+    uint64_t parallel_rows = 0;
+    for (auto* mode : {&serial_db, &parallel_db}) {
+      StageEntry e;
+      e.name = name;
+      e.mode = mode == &serial_db ? "serial" : "parallel";
+      bool ok = true;
+      for (int r = 0; r < reps; ++r) {
+        auto result = (**mode)->Execute(request);
+        if (!result.ok()) {
+          ok = false;
+          break;
+        }
+        e.parse_ms += result->parse_ms / reps;
+        e.compile_ms += result->compile_ms / reps;
+        e.exec_ms += result->exec_ms / reps;
+        e.total_ms += result->millis / reps;
+        (mode == &serial_db ? serial_rows : parallel_rows) =
+            result->metrics.output_tuples;
+      }
+      if (!ok) continue;
+      out.push_back(std::move(e));
+    }
+    if (!out.empty() && out.back().mode == "parallel") {
+      out.back().output_identical = serial_rows == parallel_rows;
+    }
+  }
+  return out;
+}
+
 Entry MeasureExtVpBuild(int reps) {
   watdiv::GeneratorOptions gen;
   gen.scale_factor = EnvDouble("S2RDF_BENCH_SF", 1.0);
@@ -233,6 +294,7 @@ int Run() {
   }
 
   entries.push_back(MeasureExtVpBuild(reps));
+  std::vector<StageEntry> stages = MeasureQueryStages(reps);
 
   TablePrinter printer(
       {"benchmark", "serial", "parallel", "speedup", "identical"});
@@ -245,7 +307,17 @@ int Run() {
   }
   std::fprintf(stderr, "Parallel execution (task pool width %zu):\n",
                TaskPool::Shared()->ParallelismWidth());
-  printer.Print();
+  printer.Print(stderr);
+
+  TablePrinter stage_printer(
+      {"query", "mode", "parse", "compile", "exec", "total"});
+  for (const StageEntry& e : stages) {
+    stage_printer.AddRow({e.name, e.mode, FormatMs(e.parse_ms),
+                          FormatMs(e.compile_ms), FormatMs(e.exec_ms),
+                          FormatMs(e.total_ms)});
+  }
+  std::fprintf(stderr, "\nEnd-to-end query stage split:\n");
+  stage_printer.Print(stderr);
 
   // Machine-readable twin on stdout.
   std::printf("{\n");
@@ -263,11 +335,26 @@ int Run() {
                 e.output_identical ? "true" : "false",
                 i + 1 < entries.size() ? "," : "");
   }
+  std::printf("  ],\n");
+  std::printf("  \"query_stages\": [\n");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageEntry& e = stages[i];
+    std::printf("    {\"name\": \"%s\", \"mode\": \"%s\", "
+                "\"parse_ms\": %.3f, \"compile_ms\": %.3f, "
+                "\"exec_ms\": %.3f, \"total_ms\": %.3f, "
+                "\"output_identical\": %s}%s\n",
+                e.name.c_str(), e.mode.c_str(), e.parse_ms, e.compile_ms,
+                e.exec_ms, e.total_ms, e.output_identical ? "true" : "false",
+                i + 1 < stages.size() ? "," : "");
+  }
   std::printf("  ]\n}\n");
 
   // Identity failures are bugs, not slow results: fail the harness.
   for (const Entry& e : entries) {
     if (!e.metrics_identical || !e.output_identical) return 1;
+  }
+  for (const StageEntry& e : stages) {
+    if (!e.output_identical) return 1;
   }
   return 0;
 }

@@ -1,0 +1,128 @@
+// Profiling overhead: the EXPLAIN ANALYZE machinery (operator spans,
+// scan provenance, metric deltas, task spans) must be effectively free.
+// Each workload query runs with collect_profile off and on; the min
+// over the rounds (the least-noisy statistic for an overhead bound)
+// must satisfy
+//
+//   profiled_min <= unprofiled_min * 1.05 + 2.0 ms
+//
+// i.e. at most 5% relative overhead with a 2 ms absolute allowance for
+// sub-millisecond queries where 5% is below timer noise. A violation
+// fails the harness (exit 1) — the budget is part of the gate, not an
+// informational number.
+//
+// Output: human-readable table on stderr, JSON on stdout
+// (scripts/bench_json.sh captures it as BENCH_profile.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/s2rdf.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+namespace s2rdf::bench {
+namespace {
+
+struct Entry {
+  std::string name;
+  double unprofiled_ms = 0.0;  // min over rounds
+  double profiled_ms = 0.0;    // min over rounds
+  bool within_budget = false;
+
+  double OverheadPct() const {
+    return unprofiled_ms > 0.0
+               ? (profiled_ms - unprofiled_ms) / unprofiled_ms * 100.0
+               : 0.0;
+  }
+};
+
+constexpr double kRelativeBudget = 1.05;  // <5% overhead ...
+constexpr double kAbsoluteSlackMs = 2.0;  // ... plus timer-noise floor.
+
+int Run() {
+  const int reps = EnvInt("S2RDF_BENCH_ROUNDS", 5);
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = EnvDouble("S2RDF_BENCH_SF", 1.0);
+
+  auto db = core::S2Rdf::Create(watdiv::Generate(gen), {});
+  if (!db.ok()) {
+    std::fprintf(stderr, "store build failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Entry> entries;
+  for (const char* name : {"L2", "S3", "F3", "C3", "ST-1-1"}) {
+    const watdiv::QueryTemplate* tmpl = watdiv::FindQuery(name);
+    if (tmpl == nullptr) continue;
+    core::QueryRequest request;
+    request.query = InstantiateFor(*tmpl, gen.scale_factor, 0);
+
+    Entry entry;
+    entry.name = name;
+    bool ok = true;
+    for (bool profile : {false, true}) {
+      request.options.collect_profile = profile;
+      double best = 0.0;
+      for (int r = 0; r < reps && ok; ++r) {
+        double ms = 0.0;
+        auto result = (*db)->Execute(request);
+        if (!result.ok()) {
+          ok = false;
+          break;
+        }
+        ms = result->millis;
+        best = r == 0 ? ms : std::min(best, ms);
+      }
+      (profile ? entry.profiled_ms : entry.unprofiled_ms) = best;
+    }
+    if (!ok) continue;
+    entry.within_budget =
+        entry.profiled_ms <=
+        entry.unprofiled_ms * kRelativeBudget + kAbsoluteSlackMs;
+    entries.push_back(std::move(entry));
+  }
+
+  TablePrinter printer(
+      {"query", "unprofiled", "profiled", "overhead", "within budget"});
+  bool all_within = true;
+  for (const Entry& e : entries) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.1f%%", e.OverheadPct());
+    printer.AddRow({e.name, FormatMs(e.unprofiled_ms),
+                    FormatMs(e.profiled_ms), pct,
+                    e.within_budget ? "yes" : "NO"});
+    all_within = all_within && e.within_budget;
+  }
+  std::fprintf(stderr, "Profiling overhead (min of %d rounds):\n", reps);
+  printer.Print(stderr);
+
+  std::printf("{\n");
+  std::printf("  \"rounds\": %d,\n", reps);
+  std::printf("  \"budget\": \"profiled <= unprofiled * %.2f + %.1f ms\",\n",
+              kRelativeBudget, kAbsoluteSlackMs);
+  std::printf("  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"name\": \"%s\", \"unprofiled_ms\": %.3f, "
+                "\"profiled_ms\": %.3f, \"overhead_pct\": %.2f, "
+                "\"within_budget\": %s}%s\n",
+                e.name.c_str(), e.unprofiled_ms, e.profiled_ms,
+                e.OverheadPct(), e.within_budget ? "true" : "false",
+                i + 1 < entries.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"all_within_budget\": %s\n}\n",
+              all_within ? "true" : "false");
+
+  return all_within && !entries.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace s2rdf::bench
+
+int main() { return s2rdf::bench::Run(); }

@@ -54,7 +54,7 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-void TablePrinter::Print() const {
+void TablePrinter::Print(FILE* out) const {
   std::vector<size_t> widths(headers_.size());
   for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
   for (const auto& row : rows_) {
@@ -65,14 +65,14 @@ void TablePrinter::Print() const {
   auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t i = 0; i < widths.size(); ++i) {
       const std::string& cell = i < row.size() ? row[i] : std::string();
-      std::printf("%-*s ", static_cast<int>(widths[i] + 1), cell.c_str());
+      std::fprintf(out, "%-*s ", static_cast<int>(widths[i] + 1), cell.c_str());
     }
-    std::printf("\n");
+    std::fprintf(out, "\n");
   };
   print_row(headers_);
   size_t total = headers_.size() + 1;
   for (size_t w : widths) total += w + 1;
-  std::printf("%s\n", std::string(total, '-').c_str());
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
   for (const auto& row : rows_) print_row(row);
 }
 

@@ -2,6 +2,7 @@
 #define S2RDF_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
@@ -35,12 +36,13 @@ double MeanMs(int repetitions, const std::function<void()>& fn);
 std::string InstantiateFor(const watdiv::QueryTemplate& tmpl,
                            double scale_factor, uint64_t round);
 
-// Fixed-width table printer for bench output.
+// Fixed-width table printer for bench output. Harnesses whose stdout
+// is machine-readable JSON print their tables to stderr.
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers);
   void AddRow(std::vector<std::string> cells);
-  void Print() const;
+  void Print(FILE* out = stdout) const;
 
  private:
   std::vector<std::string> headers_;

@@ -1,27 +1,34 @@
 #!/usr/bin/env bash
-# Runs the serial-vs-parallel execution benchmark and captures its
-# machine-readable output as BENCH_parallel.json in the repo root.
+# Runs the machine-readable benchmark harnesses and captures their JSON
+# in the repo root:
 #
 #   scripts/bench_json.sh [build-dir]
 #
-# The harness prints its human-readable table on stderr (passed
-# through) and JSON on stdout (captured). It exits non-zero if any
-# parallel operator's output or metrics diverge from its serial twin,
-# which fails this script — the identity guarantee is part of the gate,
-# the speedup numbers are informational (they depend on the host).
+#   BENCH_parallel.json — serial vs parallel operators + end-to-end
+#                         query stage split (parse/compile/exec)
+#   BENCH_profile.json  — EXPLAIN ANALYZE overhead vs the <5% budget
+#
+# Each harness prints its human-readable table on stderr (passed
+# through) and JSON on stdout (captured), and exits non-zero when its
+# gate fails — identity divergence for bench_parallel, a blown overhead
+# budget for bench_profile — which fails this script. The timing
+# numbers themselves are informational (they depend on the host).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
-bench="${build_dir}/bench/bench_parallel"
 
-if [[ ! -x "${bench}" ]]; then
-  echo "error: ${bench} not found; build the default preset first:" >&2
-  echo "  cmake --preset default && cmake --build --preset default" >&2
-  exit 1
-fi
+run() {
+  local bench="${build_dir}/bench/$1" out="$2"
+  if [[ ! -x "${bench}" ]]; then
+    echo "error: ${bench} not found; build the default preset first:" >&2
+    echo "  cmake --preset default && cmake --build --preset default" >&2
+    exit 1
+  fi
+  "${bench}" > "${out}"
+  echo "wrote ${out}"
+}
 
-out="BENCH_parallel.json"
-"${bench}" > "${out}"
-echo "wrote ${out}"
+run bench_parallel BENCH_parallel.json
+run bench_profile BENCH_profile.json

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "engine/operators.h"
 #include "sparql/parser.h"
 
@@ -35,7 +36,7 @@ std::optional<TermId> Resolve(
 
 StatusOr<CentralizedResult> CentralizedBgpEngine::ExecuteBgp(
     const std::vector<TriplePattern>& bgp) const {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   if (bgp.empty()) return InvalidArgumentError("empty BGP");
   CentralizedResult result;
 
@@ -178,15 +179,13 @@ StatusOr<CentralizedResult> CentralizedBgpEngine::ExecuteBgp(
   }
 
   result.table = std::move(bindings);
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 
 StatusOr<CentralizedResult> CentralizedBgpEngine::Execute(
     std::string_view sparql) const {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   S2RDF_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
   if (!query.aggregates.empty() || !query.group_by.empty() ||
       !query.where.subqueries.empty() || !query.where.values.empty() ||
@@ -216,9 +215,7 @@ StatusOr<CentralizedResult> CentralizedBgpEngine::Execute(
     table = engine::Slice(table, query.offset, query.limit);
   }
   result.table = std::move(table);
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 

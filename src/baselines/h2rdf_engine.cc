@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.h"
 #include "sparql/parser.h"
 
 namespace s2rdf::baselines {
@@ -34,7 +35,7 @@ StatusOr<uint64_t> H2RdfEngine::EstimateInput(
 }
 
 StatusOr<H2RdfResult> H2RdfEngine::Execute(std::string_view sparql) const {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   S2RDF_ASSIGN_OR_RETURN(uint64_t estimate, EstimateInput(sparql));
   H2RdfResult result;
   if (estimate <= options_.centralized_input_limit) {
@@ -48,9 +49,7 @@ StatusOr<H2RdfResult> H2RdfEngine::Execute(std::string_view sparql) const {
     result.centralized = false;
     result.jobs = mr.jobs;
   }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 

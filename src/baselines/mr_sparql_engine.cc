@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/file_util.h"
 #include "engine/operators.h"
 #include "mapreduce/record.h"
@@ -246,7 +247,7 @@ StatusOr<engine::Table> RelationToTable(const Relation& rel) {
 
 StatusOr<MrQueryResult> MrSparqlEngine::ExecuteBgp(
     const std::vector<TriplePattern>& bgp) const {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   if (bgp.empty()) return InvalidArgumentError("empty BGP");
   MrQueryResult result;
 
@@ -297,15 +298,13 @@ StatusOr<MrQueryResult> MrSparqlEngine::ExecuteBgp(
                     : std::max<uint64_t>(job_seq, 1);
 
   S2RDF_ASSIGN_OR_RETURN(result.table, RelationToTable(current));
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 
 StatusOr<MrQueryResult> MrSparqlEngine::Execute(
     std::string_view sparql) const {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   S2RDF_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
   if (!query.aggregates.empty() || !query.group_by.empty() ||
       !query.where.subqueries.empty() || !query.where.values.empty() ||
@@ -336,9 +335,7 @@ StatusOr<MrQueryResult> MrSparqlEngine::Execute(
     table = engine::Slice(table, query.offset, query.limit);
   }
   result.table = std::move(table);
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 

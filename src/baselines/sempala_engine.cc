@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 
+#include "common/clock.h"
 #include "core/layout_names.h"
 #include "engine/operators.h"
 #include "sparql/parser.h"
@@ -180,7 +181,7 @@ StatusOr<engine::Table> SempalaEngine::EvaluateStarGroup(
 }
 
 StatusOr<SempalaResult> SempalaEngine::Execute(std::string_view sparql) {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   S2RDF_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
   if (!query.aggregates.empty() || !query.group_by.empty() ||
       !query.where.subqueries.empty() || !query.where.values.empty() ||
@@ -263,9 +264,7 @@ StatusOr<SempalaResult> SempalaEngine::Execute(std::string_view sparql) {
   ctx.metrics.output_tuples = joined.NumRows();
   result.table = std::move(joined);
   result.metrics = ctx.metrics;
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.wall_ms = MillisSince(start);
   return result;
 }
 

@@ -1,0 +1,21 @@
+#include "common/clock.h"
+
+#include <atomic>
+
+namespace s2rdf {
+
+namespace {
+std::atomic<ClockFn> g_clock_override{nullptr};
+}  // namespace
+
+MonotonicTime MonotonicNow() {
+  ClockFn fn = g_clock_override.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn();
+  return std::chrono::steady_clock::now();
+}
+
+void SetClockForTest(ClockFn fn) {
+  g_clock_override.store(fn, std::memory_order_release);
+}
+
+}  // namespace s2rdf

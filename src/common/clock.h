@@ -1,0 +1,44 @@
+#ifndef S2RDF_COMMON_CLOCK_H_
+#define S2RDF_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+// The process-wide monotonic clock seam. Every timing read outside
+// common/ must flow through MonotonicNow() (enforced by the s2rdf_lint
+// rule `clock`): spans, deadlines and stage timers then share one
+// substitutable time source, so tests can freeze or step time instead
+// of sleeping, and profiling overhead stays a single indirect load when
+// no fake is installed.
+
+namespace s2rdf {
+
+using MonotonicTime = std::chrono::steady_clock::time_point;
+
+// A substitute time source for tests. Returning steady_clock-compatible
+// time_points keeps arithmetic with real durations valid.
+using ClockFn = MonotonicTime (*)();
+
+// The current monotonic time: std::chrono::steady_clock::now() unless a
+// test clock is installed.
+MonotonicTime MonotonicNow();
+
+// Installs `fn` as the process-wide time source (nullptr restores the
+// real clock). Not for production code paths — the override is global
+// and unsynchronized with in-flight readers beyond the atomic swap.
+void SetClockForTest(ClockFn fn);
+
+// Milliseconds elapsed since `start` (fractional).
+inline double MillisSince(MonotonicTime start) {
+  return std::chrono::duration<double, std::milli>(MonotonicNow() - start)
+      .count();
+}
+
+// Seconds elapsed since `start` (fractional).
+inline double SecondsSince(MonotonicTime start) {
+  return std::chrono::duration<double>(MonotonicNow() - start).count();
+}
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_CLOCK_H_

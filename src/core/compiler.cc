@@ -84,6 +84,9 @@ StatusOr<PlanPtr> QueryCompiler::ScanForPattern(
     scan->row_filter = choice.row_filter;
     scan->row_filter_label = choice.row_filter_label;
   }
+  scan->scan_layout = choice.layout_label;
+  scan->scan_sf = choice.sf;
+  scan->scan_degraded = choice.degraded;
   return scan;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/task_pool.h"
 #include "engine/operators.h"
 
@@ -76,7 +77,7 @@ Status BuildVpLayout(const rdf::Graph& graph, storage::Catalog* catalog) {
 StatusOr<ExtVpBuildStats> BuildExtVpLayout(const rdf::Graph& graph,
                                            const ExtVpOptions& options,
                                            storage::Catalog* catalog) {
-  auto start_time = std::chrono::steady_clock::now();
+  auto start_time = MonotonicNow();
   ExtVpBuildStats build_stats;
   const rdf::Dictionary& dict = graph.dictionary();
   VpRowData vp = CollectVpRows(graph);
@@ -266,10 +267,7 @@ StatusOr<ExtVpBuildStats> BuildExtVpLayout(const rdf::Graph& graph,
   if (options.build_os) catalog->PutStatsOnly("meta_extvp_os", 1, 1.0);
   if (options.build_so) catalog->PutStatsOnly("meta_extvp_so", 1, 1.0);
 
-  build_stats.build_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_time)
-          .count();
+  build_stats.build_seconds = SecondsSince(start_time);
   return build_stats;
 }
 

@@ -17,15 +17,16 @@ namespace {
 // deadline covers the whole request (parse + compile + execute), so it
 // is computed once up front.
 void InitContext(const QueryOptions& options, int num_partitions,
-                 bool parallel_execution, engine::ExecContext* ctx) {
+                 bool parallel_execution, MonotonicTime start,
+                 engine::ExecContext* ctx) {
   ctx->num_partitions = num_partitions;
   ctx->parallel_execution = parallel_execution;
   ctx->collect_profile = options.collect_profile;
+  ctx->profile_origin = start;
   ctx->cancel_flag = options.cancel;
   if (options.timeout_ms > 0) {
     ctx->has_deadline = true;
-    ctx->deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(options.timeout_ms);
+    ctx->deadline = start + std::chrono::milliseconds(options.timeout_ms);
   }
 }
 
@@ -40,15 +41,15 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
   // ExtVP tables that fail their load-time checksum degrade to the base
   // VP table (a superset with the same schema), keeping results intact.
   db->catalog_.SetDegradedFallback(VpTableNameForExtVp);
+  db->trace_dir_ = options.trace_dir;
+  db->trace_env_ = options.env;
 
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   if (options.build_triples_table) {
     S2RDF_RETURN_IF_ERROR(BuildTriplesTable(db->graph_, &db->catalog_));
   }
   S2RDF_RETURN_IF_ERROR(BuildVpLayout(db->graph_, &db->catalog_));
-  db->load_stats_.vp_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  db->load_stats_.vp_seconds = SecondsSince(start);
 
   db->sf_threshold_ = options.sf_threshold;
   if (options.lazy_extvp) {
@@ -137,12 +138,16 @@ StatusOr<QueryResult> S2Rdf::ExecuteWithOptions(
 StatusOr<QueryResult> S2Rdf::ExecuteInternal(
     std::string_view sparql_text, const CompilerOptions& compiler_options,
     const QueryOptions& query_options) {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   engine::ExecContext ctx;
-  InitContext(query_options, num_partitions_, parallel_execution_, &ctx);
+  InitContext(query_options, num_partitions_, parallel_execution_, start,
+              &ctx);
+  engine::TaskSpanSink task_spans;
+  if (ctx.collect_profile) ctx.task_spans = &task_spans;
 
   S2RDF_ASSIGN_OR_RETURN(sparql::Query query,
                          sparql::ParseQuery(sparql_text));
+  const double parse_ms = MillisSince(start);
   if (ctx.CheckInterrupt()) return ctx.interrupt_status;
   if (lazy_extvp_ && compiler_options.layout == Layout::kExtVp) {
     S2RDF_RETURN_IF_ERROR(LazyMaterializeFor(query.where));
@@ -162,23 +167,26 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
   }
   QueryCompiler compiler(&catalog_, &graph_.dictionary(), effective);
   S2RDF_ASSIGN_OR_RETURN(engine::PlanPtr plan, compiler.Compile(query));
+  const double compile_ms = MillisSince(start) - parse_ms;
   if (ctx.CheckInterrupt()) return ctx.interrupt_status;
 
   // The provider pins every table it resolves until `provider` is
   // destroyed, so concurrent eviction cannot free a table mid-scan.
+  auto exec_start = MonotonicNow();
   S2RDF_ASSIGN_OR_RETURN(
       engine::Table table,
       engine::ExecutePlan(*plan, catalog_.AsProvider(), &graph_.dictionary(),
                           &ctx));
+  const double exec_ms = MillisSince(exec_start);
   ctx.metrics.output_tuples = table.NumRows();
 
   QueryResult result;
   // Timing covers parse + compile + execute; the debug renderings below
   // are excluded (they are inspection aids, not part of the query path).
-  result.millis =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  result.millis = MillisSince(start);
+  result.parse_ms = parse_ms;
+  result.compile_ms = compile_ms;
+  result.exec_ms = exec_ms;
   result.is_ask = query.is_ask;
   result.ask_result = query.is_ask && table.NumRows() > 0;
   if (query_options.max_result_rows > 0 &&
@@ -187,14 +195,15 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
     result.truncated = true;
   }
   if (effective.collect_profile) {
-    char line[256];
-    for (const engine::OperatorProfile& op : ctx.profile) {
-      std::snprintf(line, sizeof(line), "%*s%s  rows=%llu  %.3f ms\n",
-                    op.depth * 2, "", op.label.c_str(),
-                    static_cast<unsigned long long>(op.output_rows),
-                    op.millis);
-      result.profile += line;
-    }
+    result.profile_data.operators = std::move(ctx.profile);
+    result.profile_data.tasks = task_spans.Take();
+    result.profile_data.parse_ms = parse_ms;
+    result.profile_data.compile_ms = compile_ms;
+    result.profile_data.exec_ms = exec_ms;
+    result.profile_data.total_ms = result.millis;
+    result.profile_data.totals = ctx.metrics;
+    result.profile = engine::RenderProfileText(result.profile_data);
+    S2RDF_RETURN_IF_ERROR(MaybeDumpTrace(result.profile_data, sparql_text));
   }
   result.sql = plan->ToSql();
   result.plan = plan->ToString();
@@ -206,13 +215,28 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
   return result;
 }
 
+Status S2Rdf::MaybeDumpTrace(const engine::QueryProfile& profile,
+                             std::string_view query_text) {
+  if (trace_dir_.empty()) return Status::Ok();
+  storage::Env* env = trace_env_ != nullptr ? trace_env_ : storage::Env::Default();
+  uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  char name[32];
+  std::snprintf(name, sizeof(name), "trace-%06llu.json",
+                static_cast<unsigned long long>(seq));
+  S2RDF_RETURN_IF_ERROR(env->MakeDirs(trace_dir_));
+  return env->WriteFileAtomic(
+      trace_dir_ + "/" + name,
+      engine::RenderTraceJson(profile, std::string(query_text)));
+}
+
 StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
     const sparql::Query& query, const CompilerOptions& options,
     const QueryOptions& query_options) {
-  auto start = std::chrono::steady_clock::now();
+  auto start = MonotonicNow();
   const rdf::Dictionary& dict = graph_.dictionary();
   engine::ExecContext ctx;
-  InitContext(query_options, num_partitions_, parallel_execution_, &ctx);
+  InitContext(query_options, num_partitions_, parallel_execution_, start,
+              &ctx);
   ctx.collect_profile = false;
 
   // Solutions of the WHERE clause (all variables projected; the parser
@@ -312,9 +336,7 @@ StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
   }
   ctx.metrics.output_tuples = statements.size();
   result.metrics = ctx.metrics;
-  result.millis = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+  result.millis = MillisSince(start);
   catalog_.EvictToBudget();
   return result;
 }

@@ -15,6 +15,7 @@
 #include "core/extvp_bitmap.h"
 #include "core/layouts.h"
 #include "engine/exec_context.h"
+#include "engine/profile.h"
 #include "engine/table.h"
 #include "rdf/graph.h"
 #include "storage/catalog.h"
@@ -72,6 +73,11 @@ struct S2RdfOptions {
   // In-memory table-cache budget for disk-backed stores (0 = unlimited);
   // LRU tables are evicted between queries and reload from disk.
   uint64_t memory_budget_bytes = 0;
+  // When non-empty, every profiled query's Chrome trace_event JSON is
+  // also written to "<trace_dir>/trace-NNNNNN.json" (sequence-numbered,
+  // via the configured Env). Load the files in chrome://tracing or
+  // Perfetto.
+  std::string trace_dir;
 };
 
 // Per-query execution controls, carried by a QueryRequest.
@@ -115,6 +121,11 @@ struct QueryResult {
   engine::ExecMetrics metrics;
   // Wall-clock execution time (compile + execute), milliseconds.
   double millis = 0.0;
+  // Stage split of `millis`: parsing, compilation (including lazy-ExtVP
+  // materialization), and plan execution. Always populated.
+  double parse_ms = 0.0;
+  double compile_ms = 0.0;
+  double exec_ms = 0.0;
   // The Spark-SQL-style statement the compiler produced.
   std::string sql;
   // The physical plan, for inspection.
@@ -122,6 +133,11 @@ struct QueryResult {
   // EXPLAIN ANALYZE rendering (per-operator rows and inclusive times);
   // empty unless profiling was requested.
   std::string profile;
+  // The structured profile behind `profile` (operator tree with scan
+  // provenance and metric deltas, parallel task spans, stage split);
+  // empty unless profiling was requested. Render a Chrome trace with
+  // engine::RenderTraceJson.
+  engine::QueryProfile profile_data;
 };
 
 struct LoadStats {
@@ -211,6 +227,11 @@ class S2Rdf {
                                          const CompilerOptions& options,
                                          const QueryOptions& query_options);
 
+  // Writes the query's Chrome trace to S2RdfOptions::trace_dir (no-op
+  // when unset).
+  Status MaybeDumpTrace(const engine::QueryProfile& profile,
+                        std::string_view query_text);
+
   // All fields below are either set once during Create/Open and then
   // read-only (graph topology, thresholds, flags), internally
   // synchronized (catalog, dictionary), or guarded here (lazy build
@@ -221,6 +242,11 @@ class S2Rdf {
   bool parallel_execution_ = false;
   bool lazy_extvp_ = false;
   double sf_threshold_ = 1.0;
+  // Trace-file dump (S2RdfOptions::trace_dir); the sequence number keys
+  // the filenames without consulting a wall clock.
+  std::string trace_dir_;
+  storage::Env* trace_env_ = nullptr;
+  std::atomic<uint64_t> trace_seq_{0};
   std::atomic<uint64_t> lazy_pairs_computed_{0};
   LoadStats load_stats_;
   storage::RecoveryReport recovery_report_;

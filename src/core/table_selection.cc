@@ -71,6 +71,7 @@ StatusOr<TableChoice> SelectWithBitmaps(
     }
   }
   if (choice.row_filter != nullptr) {
+    choice.layout_label = "ExtVP-bitmap";
     choice.rows = choice.row_filter->CountSetBits();
     choice.sf = choice.row_filter->size_bits() == 0
                     ? 0.0
@@ -124,6 +125,7 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
     choice.table_name = TriplesTableName();
     choice.rows = stats->rows;
     choice.is_triples_table = true;
+    choice.layout_label = "TT";
     return choice;
   }
 
@@ -159,6 +161,7 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
     choice.rows = tt_stats->rows;
     choice.is_triples_table = true;
     choice.degraded = true;
+    choice.layout_label = "TT";
     return choice;
   }
 
@@ -224,6 +227,7 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
         choice.table_name = name;
         choice.sf = stats->selectivity;
         choice.rows = stats->rows;
+        choice.layout_label = "ExtVP";
       }
     }
   }

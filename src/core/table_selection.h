@@ -57,6 +57,9 @@ struct TableChoice {
   std::shared_ptr<Bitmap> row_filter;
   // Human-readable description of the intersected correlations.
   std::string row_filter_label;
+  // Layout family actually chosen ("VP", "ExtVP", "TT", "ExtVP-bitmap"),
+  // carried into the plan for EXPLAIN ANALYZE.
+  std::string layout_label = "VP";
 };
 
 // Runs Algorithm 1 for `tp` within `bgp`. `tp_index` is the position of

@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Execution context for the partitioned-execution model.
 //
@@ -36,6 +39,19 @@ struct ExecMetrics {
 
   void Clear() { *this = ExecMetrics(); }
 
+  // The growth of the counters since `before` was snapshotted (profiling
+  // attributes metric deltas to the operator subtree that ran between
+  // the two snapshots).
+  ExecMetrics DeltaSince(const ExecMetrics& before) const {
+    ExecMetrics d;
+    d.input_tuples = input_tuples - before.input_tuples;
+    d.intermediate_tuples = intermediate_tuples - before.intermediate_tuples;
+    d.join_comparisons = join_comparisons - before.join_comparisons;
+    d.shuffled_tuples = shuffled_tuples - before.shuffled_tuples;
+    d.output_tuples = output_tuples - before.output_tuples;
+    return d;
+  }
+
   ExecMetrics& operator+=(const ExecMetrics& other) {
     input_tuples += other.input_tuples;
     intermediate_tuples += other.intermediate_tuples;
@@ -61,6 +77,60 @@ struct OperatorProfile {
   int depth = 0;
   uint64_t output_rows = 0;
   double millis = 0.0;
+  // Scan detail (empty/defaulted for non-scan operators): the table
+  // Algorithm 1 chose, its layout family ("ExtVP", "VP", "TT",
+  // "ExtVP-bitmap") and the catalog selectivity factor behind the
+  // choice. `degraded` marks a quarantine-forced superset substitute.
+  std::string table;
+  std::string layout;
+  double sf = 1.0;
+  bool degraded = false;
+  // Growth of the query's ExecMetrics while this operator (inclusive of
+  // its children) ran.
+  ExecMetrics delta;
+  // Start offset relative to ExecContext::profile_origin, milliseconds.
+  double start_ms = 0.0;
+};
+
+// One morsel/partition task executed while profiling a parallel
+// operator. `index` is the morsel or partition number (rendered as the
+// trace lane), not a thread id — task-to-thread assignment is pool
+// scheduling noise, the partition of work is what the plan determines.
+struct TaskSpan {
+  std::string label;
+  size_t index = 0;
+  double start_ms = 0.0;
+  double millis = 0.0;
+};
+
+// Thread-safe collector for TaskSpans. Owned by whoever owns the query
+// (e.g. core::S2Rdf::ExecuteInternal) and attached to the ExecContext by
+// pointer, keeping the context itself copyable. Pool workers append
+// concurrently; one lock per morsel (>= thousands of rows) is noise.
+class TaskSpanSink {
+ public:
+  void Record(std::string label, size_t index, MonotonicTime origin,
+              MonotonicTime start, MonotonicTime end) {
+    TaskSpan span;
+    span.label = std::move(label);
+    span.index = index;
+    span.start_ms =
+        std::chrono::duration<double, std::milli>(start - origin).count();
+    span.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    MutexLock lock(&mu_);
+    spans_.push_back(std::move(span));
+  }
+
+  // Drains the collected spans (single-threaded, after execution).
+  std::vector<TaskSpan> Take() {
+    MutexLock lock(&mu_);
+    return std::move(spans_);
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<TaskSpan> spans_ S2RDF_GUARDED_BY(mu_);
 };
 
 // Operators consult the interrupt state every this many rows, keeping
@@ -76,7 +146,18 @@ struct ExecContext {
   // EXPLAIN ANALYZE: record per-operator rows and timings.
   bool collect_profile = false;
   std::vector<OperatorProfile> profile;
+  // Zero point for profile start offsets. Set by the query owner (or by
+  // ExecutePlan on first use when left at the epoch default).
+  MonotonicTime profile_origin{};
+  // Optional sink for parallel-operator task spans; only consulted when
+  // collect_profile is set. Owned by the caller.
+  TaskSpanSink* task_spans = nullptr;
   ExecMetrics metrics;
+
+  // True when parallel operators should record per-morsel TaskSpans.
+  bool ProfileTasks() const {
+    return collect_profile && task_spans != nullptr;
+  }
 
   // --- Deadline & cancellation --------------------------------------------
   //
@@ -88,7 +169,7 @@ struct ExecContext {
 
   // Absolute deadline; only consulted when `has_deadline` is set.
   bool has_deadline = false;
-  std::chrono::steady_clock::time_point deadline{};
+  MonotonicTime deadline{};
   // Optional external cancellation signal (owned by the caller, may be
   // flipped from any thread).
   const std::atomic<bool>* cancel_flag = nullptr;
@@ -103,7 +184,7 @@ struct ExecContext {
         cancel_flag->load(std::memory_order_relaxed)) {
       return true;
     }
-    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+    return has_deadline && MonotonicNow() >= deadline;
   }
 
   // Checks and records the interrupt reason. Must be called from the
@@ -115,7 +196,7 @@ struct ExecContext {
       interrupt_status = CancelledError("query cancelled");
       return true;
     }
-    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    if (has_deadline && MonotonicNow() >= deadline) {
       interrupt_status = DeadlineExceededError("query deadline exceeded");
       return true;
     }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/clock.h"
 #include "common/task_pool.h"
 
 namespace s2rdf::engine {
@@ -36,12 +37,18 @@ Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
   const size_t morsels = MorselCount(n);
   std::vector<Table> partial(morsels, Table(names));
   std::atomic<bool> interrupted{false};
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
   TaskPool::Shared()->ParallelFor(morsels, [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     size_t begin = m * kMorselRows;
     size_t end = std::min(begin + kMorselRows, n);
     if (!ScanSelectProjectRange(base, spec, begin, end, ctx, &partial[m])) {
       interrupted.store(true, std::memory_order_relaxed);
+    }
+    if (spans) {
+      ctx->task_spans->Record("scan morsel", m, ctx->profile_origin, t0,
+                              MonotonicNow());
     }
   });
 
@@ -86,17 +93,23 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   // Pass 1: row hashes, morsel-parallel.
   std::vector<uint64_t> hashes(n);
   std::atomic<bool> interrupted{false};
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
   pool->ParallelFor(MorselCount(n), [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     size_t begin = m * kMorselRows;
     size_t end = std::min(begin + kMorselRows, n);
     for (size_t r = begin; r < end; ++r) {
       if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
           ctx->InterruptRequested()) {
         interrupted.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
       hashes[r] = RowKeyHash(t, r, all_cols);
+    }
+    if (spans) {
+      ctx->task_spans->Record("distinct hash morsel", m, ctx->profile_origin,
+                              t0, MonotonicNow());
     }
   });
 
@@ -116,6 +129,7 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   const size_t parts = pool->ParallelismWidth();
   std::vector<std::vector<size_t>> keep(parts);
   pool->ParallelFor(parts, [&](size_t w) {
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     std::unordered_map<uint64_t, std::vector<size_t>> seen;
     size_t since_check = 0;
     for (size_t r = 0; r < n; ++r) {
@@ -123,7 +137,7 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
         since_check = 0;
         if (ctx != nullptr && ctx->InterruptRequested()) {
           interrupted.store(true, std::memory_order_relaxed);
-          return;
+          break;
         }
       }
       if (hashes[r] % parts != w) continue;
@@ -139,6 +153,10 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
         bucket.push_back(r);
         keep[w].push_back(r);
       }
+    }
+    if (spans) {
+      ctx->task_spans->Record("distinct partition", w, ctx->profile_origin,
+                              t0, MonotonicNow());
     }
   });
   if (interrupted.load(std::memory_order_relaxed)) {
@@ -195,16 +213,20 @@ Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
   const size_t morsels = MorselCount(n);
   std::vector<std::unordered_map<TermId, Value>> partial_cache(morsels);
   std::atomic<bool> interrupted{false};
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
   pool->ParallelFor(morsels, [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     size_t begin = m * kMorselRows;
     size_t end = std::min(begin + kMorselRows, n);
     std::unordered_map<TermId, Value>& cache = partial_cache[m];
-    for (size_t r = begin; r < end; ++r) {
+    for (size_t r = begin; r < end && !interrupted.load(
+                                          std::memory_order_relaxed);
+         ++r) {
       if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
           ctx->InterruptRequested()) {
         interrupted.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
       for (const auto& [col, asc] : key_cols) {
         TermId id = t.At(r, static_cast<size_t>(col));
@@ -213,6 +235,10 @@ Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
                               ? Value()
                               : ValueFromCanonicalTerm(dict.Decode(id)));
       }
+    }
+    if (spans) {
+      ctx->task_spans->Record("sort decode morsel", m, ctx->profile_origin,
+                              t0, MonotonicNow());
     }
   });
   if (interrupted.load(std::memory_order_relaxed)) {
@@ -247,12 +273,17 @@ Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
       interrupted.store(true, std::memory_order_relaxed);
       return;
     }
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     size_t begin = c * chunk_rows;
     size_t end = std::min(begin + chunk_rows, n);
     std::vector<size_t>& order = chunks[c];
     order.resize(end - begin);
     for (size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
     std::stable_sort(order.begin(), order.end(), less);
+    if (spans) {
+      ctx->task_spans->Record("sort chunk", c, ctx->profile_origin, t0,
+                              MonotonicNow());
+    }
   });
   if (interrupted.load(std::memory_order_relaxed)) {
     if (ctx != nullptr) ctx->CheckInterrupt();

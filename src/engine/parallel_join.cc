@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/task_pool.h"
 #include "engine/operators.h"
 
@@ -63,7 +64,8 @@ Table ParallelHashJoin(const Table& left, const Table& right,
   std::vector<Table> partial(p, JoinOutputSchema(left, right, right_only));
   std::vector<std::vector<uint32_t>> partial_lrow(p);
 
-  auto join_partition = [&](size_t part) {
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
+  auto join_partition_body = [&](size_t part) {
     Table& out = partial[part];
     std::vector<uint32_t>& lrow_of = partial_lrow[part];
     const std::vector<uint32_t>& build_rows = right_parts[part];
@@ -92,6 +94,14 @@ Table ParallelHashJoin(const Table& left, const Table& right,
           lrow_of.push_back(lr);
         }
       }
+    }
+  };
+  auto join_partition = [&](size_t part) {
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
+    join_partition_body(part);
+    if (spans) {
+      ctx->task_spans->Record("join partition", part, ctx->profile_origin,
+                              t0, MonotonicNow());
     }
   };
 

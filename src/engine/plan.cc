@@ -382,13 +382,27 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
   // (and therefore every child hand-off) observes the interrupt state.
   if (ctx != nullptr && ctx->CheckInterrupt()) return ctx->interrupt_status;
   const bool profiling = ctx != nullptr && ctx->collect_profile;
-  std::chrono::steady_clock::time_point start;
+  MonotonicTime start{};
   size_t profile_slot = 0;
+  ExecMetrics before;
   if (profiling) {
     // Reserve the slot now so entries render in pre-order.
     profile_slot = ctx->profile.size();
-    ctx->profile.push_back({NodeLabel(plan), depth, 0, 0.0});
-    start = std::chrono::steady_clock::now();
+    OperatorProfile op;
+    op.label = NodeLabel(plan);
+    op.depth = depth;
+    if (plan.kind == PlanNode::Kind::kScan) {
+      op.table = plan.table_name;
+      op.layout = plan.scan_layout;
+      op.sf = plan.scan_sf;
+      op.degraded = plan.scan_degraded;
+    }
+    before = ctx->metrics;
+    start = MonotonicNow();
+    op.start_ms = std::chrono::duration<double, std::milli>(
+                      start - ctx->profile_origin)
+                      .count();
+    ctx->profile.push_back(std::move(op));
   }
   StatusOr<Table> result = [&]() -> StatusOr<Table> {
   switch (plan.kind) {
@@ -527,13 +541,10 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
   return InternalError("unreachable plan kind");
   }();
   if (profiling) {
-    ctx->profile[profile_slot].millis =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    if (result.ok()) {
-      ctx->profile[profile_slot].output_rows = result->NumRows();
-    }
+    OperatorProfile& op = ctx->profile[profile_slot];
+    op.millis = MillisSince(start);
+    op.delta = ctx->metrics.DeltaSince(before);
+    if (result.ok()) op.output_rows = result->NumRows();
   }
   return result;
 }
@@ -542,6 +553,13 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
 
 StatusOr<Table> ExecutePlan(const PlanNode& plan, const TableProvider& tables,
                             rdf::Dictionary* dict, ExecContext* ctx) {
+  if (ctx != nullptr && ctx->collect_profile &&
+      ctx->profile_origin == MonotonicTime{}) {
+    // Callers that drive ExecutePlan directly (tests, benchmarks) get a
+    // usable zero point; core::S2Rdf sets the origin at request start so
+    // operator offsets include parse/compile.
+    ctx->profile_origin = MonotonicNow();
+  }
   StatusOr<Table> result = ExecutePlanImpl(plan, tables, dict, ctx, 0);
   // An operator may have bailed out mid-loop with a partial table;
   // never let that escape as a successful result.

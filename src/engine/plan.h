@@ -53,6 +53,14 @@ struct PlanNode {
   std::string row_filter_label;
   // (base column name, output variable) projections.
   std::vector<std::pair<std::string, std::string>> projections;
+  // Provenance of the table choice (Algorithm 1), carried for EXPLAIN
+  // ANALYZE: layout family ("ExtVP", "VP", "TT", "ExtVP-bitmap"), the
+  // catalog selectivity factor, and whether quarantine degraded the
+  // choice to a superset table. Purely observational — execution
+  // ignores these.
+  std::string scan_layout;
+  double scan_sf = 1.0;
+  bool scan_degraded = false;
 
   // kFilter / kLeftJoin condition.
   ExprPtr filter;

@@ -1,0 +1,143 @@
+#include "engine/profile.h"
+
+#include <cstdio>
+
+namespace s2rdf::engine {
+
+namespace {
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One complete ("ph":"X") trace event. ts/dur are microseconds.
+void AppendEvent(std::string* out, const std::string& name, double ts_us,
+                 double dur_us, int tid, const std::string& args_json) {
+  if (!out->empty() && out->back() == '}') *out += ",\n";
+  *out += "{\"name\":\"" + JsonEscape(name) +
+          "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+          ",\"ts\":" + Fmt("%.3f", ts_us) + ",\"dur\":" + Fmt("%.3f", dur_us) +
+          ",\"args\":{" + args_json + "}}";
+}
+
+std::string MetricsArgs(const ExecMetrics& m) {
+  std::string out;
+  auto add = [&out](const char* key, uint64_t v) {
+    if (v == 0) return;
+    if (!out.empty()) out += ",";
+    out += "\"" + std::string(key) + "\":" + std::to_string(v);
+  };
+  add("input_tuples", m.input_tuples);
+  add("intermediate_tuples", m.intermediate_tuples);
+  add("join_comparisons", m.join_comparisons);
+  add("shuffled_tuples", m.shuffled_tuples);
+  add("output_tuples", m.output_tuples);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderProfileText(const QueryProfile& profile) {
+  std::string out;
+  out += "stages: parse=" + Fmt("%.3f", profile.parse_ms) +
+         " ms  compile=" + Fmt("%.3f", profile.compile_ms) +
+         " ms  exec=" + Fmt("%.3f", profile.exec_ms) +
+         " ms  total=" + Fmt("%.3f", profile.total_ms) + " ms\n";
+  char line[512];
+  for (const OperatorProfile& op : profile.operators) {
+    std::snprintf(line, sizeof(line), "%*s%s  rows=%llu  %.3f ms",
+                  op.depth * 2, "", op.label.c_str(),
+                  static_cast<unsigned long long>(op.output_rows), op.millis);
+    out += line;
+    if (!op.table.empty()) {
+      out += "  [layout=" + (op.layout.empty() ? "?" : op.layout) +
+             " sf=" + Fmt("%.4g", op.sf);
+      if (op.degraded) out += " degraded";
+      out += "]";
+    }
+    const ExecMetrics& d = op.delta;
+    if (d.input_tuples != 0) out += "  in=" + std::to_string(d.input_tuples);
+    if (d.join_comparisons != 0) {
+      out += "  cmp=" + std::to_string(d.join_comparisons);
+    }
+    if (d.shuffled_tuples != 0) {
+      out += "  shuffled=" + std::to_string(d.shuffled_tuples);
+    }
+    out += "\n";
+  }
+  if (!profile.tasks.empty()) {
+    out += "parallel tasks: " + std::to_string(profile.tasks.size()) + "\n";
+  }
+  out += "totals: " + profile.totals.ToString() + "\n";
+  return out;
+}
+
+std::string RenderTraceJson(const QueryProfile& profile,
+                            const std::string& name) {
+  std::string events;
+  // Stage lanes first. Offsets are cumulative: the three stages run
+  // back-to-back on the query thread.
+  double ts = 0.0;
+  AppendEvent(&events, "parse", ts, profile.parse_ms * 1000.0, 0,
+              "\"query\":\"" + JsonEscape(name) + "\"");
+  ts += profile.parse_ms * 1000.0;
+  AppendEvent(&events, "compile", ts, profile.compile_ms * 1000.0, 0, "");
+  for (const OperatorProfile& op : profile.operators) {
+    std::string args = "\"rows\":" + std::to_string(op.output_rows) +
+                       ",\"depth\":" + std::to_string(op.depth);
+    if (!op.table.empty()) {
+      args += ",\"table\":\"" + JsonEscape(op.table) + "\",\"layout\":\"" +
+              JsonEscape(op.layout) + "\",\"sf\":" + Fmt("%.6g", op.sf);
+      if (op.degraded) args += ",\"degraded\":true";
+    }
+    std::string metrics = MetricsArgs(op.delta);
+    if (!metrics.empty()) args += "," + metrics;
+    AppendEvent(&events, op.label, op.start_ms * 1000.0, op.millis * 1000.0,
+                0, args);
+  }
+  // Parallel tasks on per-partition lanes (tid = partition index + 1):
+  // the lane shows the plan's partition of work, not pool scheduling.
+  for (const TaskSpan& task : profile.tasks) {
+    AppendEvent(&events, task.label, task.start_ms * 1000.0,
+                task.millis * 1000.0, static_cast<int>(task.index) + 1,
+                "\"index\":" + std::to_string(task.index));
+  }
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" + events + "\n]}\n";
+}
+
+}  // namespace s2rdf::engine

@@ -5,16 +5,36 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "common/strings.h"
 #include "common/task_pool.h"
+#include "engine/profile.h"
 #include "sparql/results_io.h"
 
 namespace s2rdf::server {
 
 namespace {
+
+// Query text is truncated to this many characters in the in-flight map,
+// the ring buffer and log lines (display only; execution sees it all).
+constexpr size_t kQueryDisplayChars = 160;
+
+// Completed queries kept for /debug/queries.
+constexpr size_t kRecentQueryCapacity = 64;
+
+// Bytes a shuffled tuple is accounted as in s2rdf_shuffle_bytes: one
+// 64-bit term id per column, three columns as the working-set estimate
+// (the repartition model counts tuples, not encoded widths).
+constexpr uint64_t kShuffleBytesPerTuple = 24;
+
+std::string TruncateForDisplay(const std::string& text) {
+  if (text.size() <= kQueryDisplayChars) return text;
+  return text.substr(0, kQueryDisplayChars) + "...";
+}
 
 // Picks a result serialization from the Accept header.
 enum class ResultFormat { kJson, kXml, kCsv, kTsv };
@@ -92,7 +112,169 @@ bool ParseParam(const std::map<std::string, std::string>& params,
   return true;
 }
 
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
 }  // namespace
+
+SparqlEndpoint::SparqlEndpoint(core::S2Rdf* db, EndpointOptions options)
+    : db_(*db), options_(std::move(options)) {
+  RegisterMetrics();
+}
+
+void SparqlEndpoint::RegisterMetrics() {
+  queries_total_ = registry_.AddCounter(
+      "s2rdf_queries_total", "Queries admitted to execution.");
+  query_errors_total_ = registry_.AddCounter(
+      "s2rdf_query_errors_total",
+      "Admitted queries that returned an error (legacy name).");
+  queries_failed_ = registry_.AddCounter(
+      "s2rdf_queries_failed_total",
+      "Admitted queries that returned an error (parse, compile or "
+      "execution failure).");
+  rejected_total_ = registry_.AddCounter(
+      "s2rdf_rejected_total",
+      "Connections rejected by admission control (legacy name).");
+  queries_rejected_ = registry_.AddCounter(
+      "s2rdf_queries_rejected_total",
+      "Connections rejected with 503 by admission control.");
+  slow_queries_ = registry_.AddCounter(
+      "s2rdf_slow_queries_total",
+      "Queries at or above EndpointOptions::slow_query_ms.");
+  registry_.AddGauge("s2rdf_queries_in_flight",
+                     "Queries currently inside Execute.", [this]() {
+                       return in_flight_.load(std::memory_order_relaxed);
+                     });
+  registry_.AddGauge("s2rdf_queue_depth",
+                     "Connections waiting for a worker.", [this]() {
+                       return pool_ != nullptr ? pool_->QueueDepth() : 0;
+                     });
+  exec_input_ = registry_.AddCounter(
+      "s2rdf_exec_input_tuples_total",
+      "Base-table tuples scanned by successful queries.");
+  exec_intermediate_ = registry_.AddCounter(
+      "s2rdf_exec_intermediate_tuples_total",
+      "Intermediate tuples produced by successful queries.");
+  exec_comparisons_ = registry_.AddCounter(
+      "s2rdf_exec_join_comparisons_total",
+      "Pairwise join comparisons performed by successful queries.");
+  exec_shuffled_ = registry_.AddCounter(
+      "s2rdf_exec_shuffled_tuples_total",
+      "Tuples crossing partitions under the repartition model.");
+  exec_output_ = registry_.AddCounter(
+      "s2rdf_exec_output_tuples_total",
+      "Result tuples returned by successful queries.");
+  registry_.AddGauge("s2rdf_catalog_materialized_tables",
+                     "Tables materialized in the catalog.", [this]() {
+                       return db_.catalog().NumMaterializedTables();
+                     });
+  registry_.AddGauge("s2rdf_catalog_cached_bytes",
+                     "Bytes of tables resident in memory.",
+                     [this]() { return db_.catalog().CachedBytes(); });
+  registry_.AddGauge("s2rdf_lazy_extvp_pairs_computed",
+                     "ExtVP reductions built by the lazy path.",
+                     [this]() { return db_.lazy_pairs_computed(); });
+  registry_.AddGauge("s2rdf_storage_corruptions_detected",
+                     "Checksum failures detected by the catalog.", [this]() {
+                       return db_.catalog().corruptions_detected();
+                     });
+  registry_.AddGauge("s2rdf_queries_degraded",
+                     "Queries that fell back to superset tables.",
+                     [this]() { return db_.catalog().queries_degraded(); });
+  registry_.AddGauge("s2rdf_recovery_quarantined_tables",
+                     "Tables quarantined by startup recovery.",
+                     [this]() { return db_.catalog().quarantined_tables(); });
+  // Helper threads of the process-wide morsel pool. Fixed at first use
+  // and shared by every in-flight query, so total execution threads
+  // stay at num_workers + this, independent of load.
+  registry_.AddGauge("s2rdf_task_pool_threads",
+                     "Helper threads in the shared morsel pool.", []() {
+                       return static_cast<uint64_t>(
+                           TaskPool::Shared()->num_threads());
+                     });
+  latency_seconds_ = registry_.AddHistogram(
+      "s2rdf_query_latency_seconds",
+      "End-to-end query wall time (parse + compile + execute).",
+      LatencySecondsBuckets());
+  parse_seconds_ = registry_.AddHistogram(
+      "s2rdf_parse_seconds", "Query parse stage wall time.",
+      LatencySecondsBuckets());
+  compile_seconds_ = registry_.AddHistogram(
+      "s2rdf_compile_seconds",
+      "Query compile stage wall time (incl. lazy ExtVP).",
+      LatencySecondsBuckets());
+  exec_seconds_ = registry_.AddHistogram(
+      "s2rdf_exec_seconds", "Plan execution stage wall time.",
+      LatencySecondsBuckets());
+  shuffle_bytes_ = registry_.AddHistogram(
+      "s2rdf_shuffle_bytes",
+      "Estimated shuffle volume per successful query "
+      "(shuffled tuples x 24 bytes).",
+      LogBuckets(64, 4.0, 16));
+  rows_scanned_ = registry_.AddHistogram(
+      "s2rdf_rows_scanned",
+      "Base-table rows scanned per successful query.",
+      LogBuckets(1, 4.0, 16));
+}
+
+uint64_t SparqlEndpoint::BeginQuery(const std::string& query_text) {
+  MutexLock lock(&queries_mu_);
+  uint64_t id = next_query_id_++;
+  InFlightQuery entry;
+  entry.query = TruncateForDisplay(query_text);
+  entry.start = MonotonicNow();
+  in_flight_queries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void SparqlEndpoint::FinishQuery(QueryRecord record) {
+  MutexLock lock(&queries_mu_);
+  in_flight_queries_.erase(record.id);
+  recent_.push_back(std::move(record));
+  while (recent_.size() > kRecentQueryCapacity) recent_.pop_front();
+}
+
+std::vector<QueryRecord> SparqlEndpoint::RecentQueries() const {
+  MutexLock lock(&queries_mu_);
+  return {recent_.rbegin(), recent_.rend()};
+}
+
+HttpResponse SparqlEndpoint::DebugQueriesResponse() const {
+  std::string out;
+  {
+    MutexLock lock(&queries_mu_);
+    out += "in-flight (" + std::to_string(in_flight_queries_.size()) + "):\n";
+    for (const auto& [id, q] : in_flight_queries_) {
+      out += "  #" + std::to_string(id) +
+             "  elapsed=" + FormatMs(MillisSince(q.start)) + " ms  " +
+             q.query + "\n";
+    }
+    out += "recent (" + std::to_string(recent_.size()) + "):\n";
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+      const QueryRecord& r = *it;
+      out += "  #" + std::to_string(r.id) +
+             "  status=" + std::to_string(r.http_status);
+      if (r.error.empty()) {
+        out += "  rows=" + std::to_string(r.rows) +
+               "  parse=" + FormatMs(r.parse_ms) +
+               " compile=" + FormatMs(r.compile_ms) +
+               " exec=" + FormatMs(r.exec_ms) +
+               " total=" + FormatMs(r.total_ms) + " ms";
+      } else {
+        out += "  total=" + FormatMs(r.total_ms) + " ms  error=" + r.error;
+      }
+      if (r.slow) out += "  SLOW";
+      out += "  " + r.query + "\n";
+    }
+  }
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = out;
+  return response;
+}
 
 HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   HttpResponse response;
@@ -101,8 +283,10 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     response.body =
         "<html><body><h1>S2RDF SPARQL endpoint</h1>"
         "<p>POST or GET /sparql with a <code>query</code> parameter "
-        "(optional <code>timeout</code> ms and <code>limit</code> "
-        "rows).</p>"
+        "(optional <code>timeout</code> ms, <code>limit</code> rows, "
+        "<code>explain=analyze</code>, <code>trace=1</code>).</p>"
+        "<p>Introspection: <a href=\"/metrics\">/metrics</a>, "
+        "<a href=\"/debug/queries\">/debug/queries</a>.</p>"
         "<p>Tables: " +
         std::to_string(db_.catalog().NumMaterializedTables()) +
         ", tuples: " + std::to_string(db_.catalog().TotalTuples()) +
@@ -114,41 +298,12 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     return response;
   }
   if (request.path == "/metrics" && request.method == "GET") {
-    EndpointStats stats = Stats();
-    std::string out;
-    auto counter = [&out](const char* name, uint64_t value) {
-      out += std::string(name) + " " + std::to_string(value) + "\n";
-    };
-    counter("s2rdf_queries_total", stats.queries_total);
-    counter("s2rdf_query_errors_total", stats.query_errors_total);
-    counter("s2rdf_rejected_total", stats.rejected_total);
-    counter("s2rdf_queries_in_flight", stats.in_flight);
-    counter("s2rdf_queue_depth", stats.queue_depth);
-    counter("s2rdf_exec_input_tuples_total", stats.cumulative.input_tuples);
-    counter("s2rdf_exec_intermediate_tuples_total",
-            stats.cumulative.intermediate_tuples);
-    counter("s2rdf_exec_join_comparisons_total",
-            stats.cumulative.join_comparisons);
-    counter("s2rdf_exec_shuffled_tuples_total",
-            stats.cumulative.shuffled_tuples);
-    counter("s2rdf_exec_output_tuples_total", stats.cumulative.output_tuples);
-    counter("s2rdf_catalog_materialized_tables",
-            db_.catalog().NumMaterializedTables());
-    counter("s2rdf_catalog_cached_bytes", db_.catalog().CachedBytes());
-    counter("s2rdf_lazy_extvp_pairs_computed", db_.lazy_pairs_computed());
-    counter("s2rdf_storage_corruptions_detected",
-            db_.catalog().corruptions_detected());
-    counter("s2rdf_queries_degraded", db_.catalog().queries_degraded());
-    counter("s2rdf_recovery_quarantined_tables",
-            db_.catalog().quarantined_tables());
-    // Helper threads of the process-wide morsel pool. Fixed at first
-    // use and shared by every in-flight query, so total execution
-    // threads stay at num_workers + this, independent of load.
-    counter("s2rdf_task_pool_threads",
-            static_cast<uint64_t>(TaskPool::Shared()->num_threads()));
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = out;
+    response.body = registry_.RenderPrometheus();
     return response;
+  }
+  if (request.path == "/debug/queries" && request.method == "GET") {
+    return DebugQueriesResponse();
   }
   if (request.path != "/sparql") {
     return ErrorResponse(NotFoundError("no such resource: " + request.path));
@@ -206,17 +361,104 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   }
   if (present) query_request.options.max_result_rows = value;
 
-  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  bool explain_analyze = false;
+  auto explain_it = params.find("explain");
+  if (explain_it != params.end()) {
+    if (explain_it->second != "analyze") {
+      return ErrorResponse(
+          InvalidArgumentError("'explain' must be 'analyze'"));
+    }
+    explain_analyze = true;
+  }
+  bool want_trace = false;
+  auto trace_it = params.find("trace");
+  if (trace_it != params.end()) {
+    if (trace_it->second != "1" && trace_it->second != "0") {
+      return ErrorResponse(InvalidArgumentError("'trace' must be 0 or 1"));
+    }
+    want_trace = trace_it->second == "1";
+  }
+  query_request.options.collect_profile = explain_analyze || want_trace;
+
+  return RunQuery(request, query_request, explain_analyze, want_trace);
+}
+
+HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
+                                      const core::QueryRequest& query_request,
+                                      bool explain_analyze, bool want_trace) {
+  queries_total_->Increment();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = BeginQuery(query_request.query);
+  auto start = MonotonicNow();
   auto result = db_.Execute(query_request);
+  const double total_ms = MillisSince(start);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  latency_seconds_->Observe(total_ms / 1000.0);
+
+  QueryRecord record;
+  record.id = id;
+  record.query = TruncateForDisplay(query_request.query);
+  record.total_ms = total_ms;
+  const bool slow =
+      options_.slow_query_ms > 0 &&
+      total_ms >= static_cast<double>(options_.slow_query_ms);
+  record.slow = slow;
+
   if (!result.ok()) {
-    query_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    // A failed query leaves no engine metrics behind, but it must not
+    // vanish from the counters: reconciliation needs
+    // queries_total == successes + queries_failed_total.
+    query_errors_total_->Increment();
+    queries_failed_->Increment();
+    record.http_status = HttpStatusForCode(result.status().code());
+    record.error = result.status().ToString();
+    FinishQuery(std::move(record));
     return ErrorResponse(result.status());
   }
-  {
-    MutexLock lock(&metrics_mu_);
-    cumulative_ += result->metrics;
+
+  exec_input_->Increment(result->metrics.input_tuples);
+  exec_intermediate_->Increment(result->metrics.intermediate_tuples);
+  exec_comparisons_->Increment(result->metrics.join_comparisons);
+  exec_shuffled_->Increment(result->metrics.shuffled_tuples);
+  exec_output_->Increment(result->metrics.output_tuples);
+  parse_seconds_->Observe(result->parse_ms / 1000.0);
+  compile_seconds_->Observe(result->compile_ms / 1000.0);
+  exec_seconds_->Observe(result->exec_ms / 1000.0);
+  shuffle_bytes_->Observe(static_cast<double>(
+      result->metrics.shuffled_tuples * kShuffleBytesPerTuple));
+  rows_scanned_->Observe(static_cast<double>(result->metrics.input_tuples));
+
+  record.http_status = 200;
+  record.rows = result->metrics.output_tuples;
+  record.parse_ms = result->parse_ms;
+  record.compile_ms = result->compile_ms;
+  record.exec_ms = result->exec_ms;
+  FinishQuery(std::move(record));
+
+  if (slow) {
+    slow_queries_->Increment();
+    std::string line = "[s2rdf] slow query #" + std::to_string(id) + " (" +
+                       FormatMs(total_ms) + " ms >= " +
+                       std::to_string(options_.slow_query_ms) + " ms): " +
+                       TruncateForDisplay(query_request.query);
+    if (options_.slow_query_log) {
+      options_.slow_query_log(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  HttpResponse response;
+  if (explain_analyze) {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = result->profile;
+    return response;
+  }
+  if (want_trace) {
+    response.content_type = "application/json; charset=utf-8";
+    response.body =
+        engine::RenderTraceJson(result->profile_data, query_request.query);
+    return response;
   }
 
   ResultFormat format = NegotiateFormat(request.Header("accept"));
@@ -353,7 +595,8 @@ void SparqlEndpoint::AcceptLoop() {
       // Admission control: every worker busy and the queue full. Read
       // the request before answering so the close doesn't RST the
       // client's receive buffer, then reject with 503.
-      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      rejected_total_->Increment();
+      queries_rejected_->Increment();
       (void)ReadRequest(client);
       WriteResponse(client,
                     ErrorResponse(ResourceExhaustedError(
@@ -365,16 +608,17 @@ void SparqlEndpoint::AcceptLoop() {
 
 EndpointStats SparqlEndpoint::Stats() const {
   EndpointStats stats;
-  stats.queries_total = queries_total_.load(std::memory_order_relaxed);
-  stats.query_errors_total =
-      query_errors_total_.load(std::memory_order_relaxed);
-  stats.rejected_total = rejected_total_.load(std::memory_order_relaxed);
+  stats.queries_total = queries_total_->Value();
+  stats.query_errors_total = query_errors_total_->Value();
+  stats.rejected_total = rejected_total_->Value();
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.queue_depth = pool_ != nullptr ? pool_->QueueDepth() : 0;
-  {
-    MutexLock lock(&metrics_mu_);
-    stats.cumulative = cumulative_;
-  }
+  stats.slow_queries_total = slow_queries_->Value();
+  stats.cumulative.input_tuples = exec_input_->Value();
+  stats.cumulative.intermediate_tuples = exec_intermediate_->Value();
+  stats.cumulative.join_comparisons = exec_comparisons_->Value();
+  stats.cumulative.shuffled_tuples = exec_shuffled_->Value();
+  stats.cumulative.output_tuples = exec_output_->Value();
   return stats;
 }
 

@@ -3,10 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -19,10 +24,17 @@
 // W3C SPARQL 1.1 Protocol:
 //
 //   GET  /sparql?query=<urlencoded>[&timeout=<ms>][&limit=<rows>]
+//                [&explain=analyze][&trace=1]
 //   POST /sparql   (application/x-www-form-urlencoded: query=...)
 //   POST /sparql   (application/sparql-query: raw query body)
 //   GET  /health   liveness probe ("ok")
-//   GET  /metrics  text exposition of server counters
+//   GET  /metrics  Prometheus text exposition of server metrics
+//   GET  /debug/queries  in-flight and recently completed queries
+//
+// `explain=analyze` returns the EXPLAIN ANALYZE profile tree (operator
+// rows/timings, chosen tables with layout + selectivity factor) as
+// text/plain instead of the solutions; `trace=1` returns Chrome
+// trace_event JSON for chrome://tracing / Perfetto.
 //
 // Result format is chosen from the Accept header (JSON by default;
 // XML, CSV, TSV supported). GET / serves a small status page.
@@ -33,6 +45,14 @@
 // statuses: kInvalidArgument -> 400, kNotFound -> 404,
 // kDeadlineExceeded -> 408, kCancelled/kResourceExhausted -> 503,
 // kUnimplemented -> 501, everything else -> 500.
+//
+// Observability: every metric lives in a per-endpoint MetricsRegistry
+// (common/metrics.h) — counters for query outcomes (including
+// admission-rejected and failed queries, which never reach the
+// cumulative engine metrics), gauges sampled at render time, and
+// log-bucketed histograms for query/stage latencies, scanned rows and
+// shuffle volume. A ring buffer of recent queries powers /debug/queries
+// and the slow-query log.
 
 namespace s2rdf::server {
 
@@ -53,6 +73,12 @@ struct EndpointOptions {
   uint64_t default_timeout_ms = 0;
   // Upper bound on client-requested timeouts (0 = unbounded).
   uint64_t max_timeout_ms = 0;
+  // Queries whose total wall time reaches this are counted in
+  // s2rdf_slow_queries_total, flagged in /debug/queries and logged via
+  // `slow_query_log` (0 = disabled).
+  uint64_t slow_query_ms = 0;
+  // Sink for slow-query log lines; stderr when unset.
+  std::function<void(const std::string&)> slow_query_log;
   // Test hook, run by the worker before handling each connection.
   std::function<void()> worker_hook;
 };
@@ -65,16 +91,30 @@ struct EndpointStats {
   uint64_t rejected_total = 0;
   uint64_t in_flight = 0;
   uint64_t queue_depth = 0;
+  uint64_t slow_queries_total = 0;
   // Sum of per-query engine metrics over all successful queries.
   engine::ExecMetrics cumulative;
+};
+
+// One completed query in the /debug/queries ring buffer.
+struct QueryRecord {
+  uint64_t id = 0;
+  std::string query;  // Truncated for display.
+  int http_status = 0;
+  uint64_t rows = 0;
+  double parse_ms = 0.0;
+  double compile_ms = 0.0;
+  double exec_ms = 0.0;
+  double total_ms = 0.0;
+  bool slow = false;
+  std::string error;  // Status message for failed queries.
 };
 
 class SparqlEndpoint {
  public:
   // `db` must outlive the endpoint.
   explicit SparqlEndpoint(core::S2Rdf* db,
-                          EndpointOptions options = EndpointOptions())
-      : db_(*db), options_(std::move(options)) {}
+                          EndpointOptions options = EndpointOptions());
 
   // Pure request -> response mapping (transport-independent; this is
   // what the tests exercise and what the worker threads call).
@@ -89,15 +129,44 @@ class SparqlEndpoint {
 
   EndpointStats Stats() const;
 
+  // Snapshot of the completed-query ring buffer, most recent first.
+  std::vector<QueryRecord> RecentQueries() const;
+
+  // The endpoint's metric registry (tests and embedders may add their
+  // own metrics; they render on /metrics alongside the built-ins).
+  MetricsRegistry& registry() { return registry_; }
+
   ~SparqlEndpoint();
 
  private:
+  // A query currently inside db_.Execute.
+  struct InFlightQuery {
+    std::string query;  // Truncated for display.
+    MonotonicTime start{};
+  };
+
   void AcceptLoop();
   // Reads one request from `client`, handles it, writes the response.
   void HandleConnection(int client);
   // Reads head + Content-Length body; empty string on read failure.
   std::string ReadRequest(int client);
   void WriteResponse(int client, const HttpResponse& response);
+
+  // /sparql behind parameter validation: runs the query with full
+  // bookkeeping (in-flight tracking, counters, histograms, ring buffer,
+  // slow-query log).
+  HttpResponse RunQuery(const HttpRequest& request,
+                        const core::QueryRequest& query_request,
+                        bool explain_analyze, bool want_trace);
+
+  // Registers every built-in metric on registry_.
+  void RegisterMetrics();
+
+  uint64_t BeginQuery(const std::string& query_text)
+      S2RDF_EXCLUDES(queries_mu_);
+  void FinishQuery(QueryRecord record) S2RDF_EXCLUDES(queries_mu_);
+
+  HttpResponse DebugQueriesResponse() const;
 
   core::S2Rdf& db_;
   EndpointOptions options_;
@@ -107,13 +176,37 @@ class SparqlEndpoint {
   std::thread accept_thread_;
   std::unique_ptr<WorkerPool> pool_;
 
-  std::atomic<uint64_t> queries_total_{0};
-  std::atomic<uint64_t> query_errors_total_{0};
-  std::atomic<uint64_t> rejected_total_{0};
+  // --- Metrics (owned by registry_; raw pointers are stable) -------------
+  MetricsRegistry registry_;
+  Counter* queries_total_ = nullptr;
+  Counter* query_errors_total_ = nullptr;  // Legacy name, same increments
+  Counter* queries_failed_ = nullptr;      // as s2rdf_queries_failed_total.
+  Counter* rejected_total_ = nullptr;      // Legacy name, same increments
+  Counter* queries_rejected_ = nullptr;    // as s2rdf_queries_rejected_total.
+  Counter* slow_queries_ = nullptr;
+  // Cumulative engine metrics over successful queries. Five independent
+  // atomics (the old mutex-guarded ExecMetrics copy could tear between
+  // fields under concurrent /metrics renders).
+  Counter* exec_input_ = nullptr;
+  Counter* exec_intermediate_ = nullptr;
+  Counter* exec_comparisons_ = nullptr;
+  Counter* exec_shuffled_ = nullptr;
+  Counter* exec_output_ = nullptr;
+  Histogram* latency_seconds_ = nullptr;
+  Histogram* parse_seconds_ = nullptr;
+  Histogram* compile_seconds_ = nullptr;
+  Histogram* exec_seconds_ = nullptr;
+  Histogram* shuffle_bytes_ = nullptr;
+  Histogram* rows_scanned_ = nullptr;
   std::atomic<uint64_t> in_flight_{0};
-  // Guards cumulative_ (ExecMetrics is a plain struct).
-  mutable Mutex metrics_mu_;
-  engine::ExecMetrics cumulative_ S2RDF_GUARDED_BY(metrics_mu_);
+
+  // --- Query introspection ----------------------------------------------
+  mutable Mutex queries_mu_;
+  uint64_t next_query_id_ S2RDF_GUARDED_BY(queries_mu_) = 1;
+  std::map<uint64_t, InFlightQuery> in_flight_queries_
+      S2RDF_GUARDED_BY(queries_mu_);
+  // Most recent completions, newest at the back; bounded.
+  std::deque<QueryRecord> recent_ S2RDF_GUARDED_BY(queries_mu_);
 };
 
 }  // namespace s2rdf::server

@@ -46,15 +46,29 @@ bool FaultInjectionEnv::crashed() const {
   return crashed_;
 }
 
+void FaultInjectionEnv::AttachMetrics(MetricsRegistry* registry) {
+  reads_total_ = registry->AddCounter(
+      "s2rdf_faultenv_reads_total", "ReadFile calls through the fault env.");
+  mutations_total_ = registry->AddCounter(
+      "s2rdf_faultenv_mutations_total",
+      "Mutating ops (write/rename/remove/sync) that succeeded.");
+  faults_injected_ = registry->AddCounter(
+      "s2rdf_faultenv_faults_injected_total",
+      "Faults actually delivered: crash-point failures, bit flips, "
+      "transient read errors.");
+}
+
 bool FaultInjectionEnv::ShouldFailMutation(bool* torn_out) {
   *torn_out = false;
   if (crashed_) return true;
   if (crash_armed_ && mutations_ >= crash_after_) {
     crashed_ = true;  // This op is the crash point.
     *torn_out = style_ == CrashStyle::kTorn;
+    if (faults_injected_ != nullptr) faults_injected_->Increment();
     return true;
   }
   ++mutations_;
+  if (mutations_total_ != nullptr) mutations_total_->Increment();
   return false;
 }
 
@@ -69,6 +83,7 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
     flip = !fail && flip_bit_next_write_;
     if (flip) flip_bit_next_write_ = false;
   }
+  if (flip && faults_injected_ != nullptr) faults_injected_->Increment();
   if (fail) {
     if (torn && !data.empty()) {
       // The crash interrupted the write mid-stream: a prefix landed.
@@ -86,10 +101,12 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
 
 Status FaultInjectionEnv::ReadFile(const std::string& path,
                                    std::string* data) {
+  if (reads_total_ != nullptr) reads_total_->Increment();
   {
     MutexLock lock(&mu_);
     if (transient_read_failures_ > 0) {
       --transient_read_failures_;
+      if (faults_injected_ != nullptr) faults_injected_->Increment();
       return IoError("injected transient read error: " + path);
     }
   }

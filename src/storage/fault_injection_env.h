@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "storage/env.h"
@@ -58,6 +59,12 @@ class FaultInjectionEnv : public Env {
   uint64_t mutation_count() const;
   bool crashed() const;
 
+  // Optional observability hookup: registers this env's counters
+  // (reads, successful mutations, faults actually injected) on
+  // `registry`, rendered on its /metrics alongside everything else.
+  // `registry` must outlive the env; call before serving traffic.
+  void AttachMetrics(MetricsRegistry* registry);
+
   Status WriteFile(const std::string& path, const std::string& data) override;
   Status ReadFile(const std::string& path, std::string* data) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
@@ -81,6 +88,10 @@ class FaultInjectionEnv : public Env {
   CrashStyle style_ S2RDF_GUARDED_BY(mu_) = CrashStyle::kClean;
   bool flip_bit_next_write_ S2RDF_GUARDED_BY(mu_) = false;
   int transient_read_failures_ S2RDF_GUARDED_BY(mu_) = 0;
+  // Null until AttachMetrics; owned by the attached registry.
+  Counter* reads_total_ = nullptr;
+  Counter* mutations_total_ = nullptr;
+  Counter* faults_injected_ = nullptr;
 };
 
 }  // namespace s2rdf::storage

@@ -1,0 +1,562 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "core/s2rdf.h"
+#include "engine/profile.h"
+#include "server/sparql_endpoint.h"
+#include "storage/fault_injection_env.h"
+#include "watdiv/generator.h"
+#include "watdiv/queries.h"
+
+// The observability layer end to end (`ctest -L observability`): the
+// metrics registry and its Prometheus rendering, the injectable clock,
+// EXPLAIN ANALYZE profile correctness against the compiler's table
+// choices and the engine's ExecMetrics, Chrome trace export, and the
+// endpoint's introspection surfaces (/metrics, /debug/queries,
+// slow-query log, failure counters) including their thread safety.
+
+namespace s2rdf {
+namespace {
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndGaugesRender) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("t_total", "things");
+  c->Increment();
+  c->Increment(2);
+  EXPECT_EQ(c->Value(), 3u);
+  registry.AddGauge("g", "a gauge", [] { return uint64_t{42}; });
+
+  std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("# HELP t_total things\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE t_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("t_total 3\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE g gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("g 42\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RegistrationDedupesByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("dup_total", "first");
+  Counter* b = registry.AddCounter("dup_total", "second");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreInclusiveLe) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);    // Exactly on a bound: le="1" is inclusive.
+  h.Observe(3.0);    // Between bounds: lands in le="4".
+  h.Observe(100.0);  // Above all bounds: +Inf only.
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 104.0);
+  EXPECT_EQ(h.CumulativeCounts(), (std::vector<uint64_t>{1, 1, 2, 3}));
+}
+
+TEST(MetricsRegistryTest, HistogramRendersPrometheusExposition) {
+  MetricsRegistry registry;
+  Histogram* h = registry.AddHistogram("lat", "latency", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(2.0);
+  std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"0.5\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_sum 2.25\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LogBucketsAreGeometric) {
+  EXPECT_EQ(LogBuckets(1.0, 4.0, 3), (std::vector<double>{1.0, 4.0, 16.0}));
+  EXPECT_EQ(LatencySecondsBuckets().size(), 21u);
+  EXPECT_DOUBLE_EQ(LatencySecondsBuckets().front(), 1e-4);
+}
+
+// --- Clock seam -------------------------------------------------------------
+
+// Advances 10 ms on every read; installed via SetClockForTest.
+MonotonicTime SteppingClock() {
+  static std::atomic<int64_t> ticks{0};
+  return MonotonicTime{} +
+         std::chrono::milliseconds(10 * ticks.fetch_add(1));
+}
+
+TEST(ClockTest, TestClockOverridesAndRestores) {
+  SetClockForTest(&SteppingClock);
+  MonotonicTime t0 = MonotonicNow();
+  MonotonicTime t1 = MonotonicNow();
+  EXPECT_EQ((std::chrono::duration<double, std::milli>(t1 - t0).count()),
+            10.0);
+  SetClockForTest(nullptr);
+  // Real clock again: two reads are (sub-)millisecond apart, not 10 ms.
+  MonotonicTime r0 = MonotonicNow();
+  EXPECT_LT(MillisSince(r0), 10.0);
+}
+
+// --- Profile correctness ----------------------------------------------------
+
+bool SameTable(const engine::Table& a, const engine::Table& b) {
+  if (a.column_names() != b.column_names() || a.NumRows() != b.NumRows()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    if (a.Column(c) != b.Column(c)) return false;
+  }
+  return true;
+}
+
+bool SameMetrics(const engine::ExecMetrics& a, const engine::ExecMetrics& b) {
+  return a.input_tuples == b.input_tuples &&
+         a.intermediate_tuples == b.intermediate_tuples &&
+         a.join_comparisons == b.join_comparisons &&
+         a.shuffled_tuples == b.shuffled_tuples &&
+         a.output_tuples == b.output_tuples;
+}
+
+// The fixed micro-workload: a WatDiv snapshot at scale 0.1 and a star
+// query (S3) instantiated with a pinned seed.
+rdf::Graph MicroGraph() {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = 0.1;
+  return watdiv::Generate(gen);
+}
+
+std::string MicroQuery() {
+  const watdiv::QueryTemplate* tmpl = watdiv::FindQuery("S3");
+  SplitMix64 rng(7);
+  return watdiv::InstantiateQuery(*tmpl, 0.1, &rng);
+}
+
+// EXPLAIN ANALYZE must describe exactly what ran: the tables the
+// compiler chose (with the catalog's SF behind each choice), metric
+// deltas that add up to the query's ExecMetrics, and results that are
+// byte-identical to an unprofiled run — serially and in parallel.
+void CheckProfiledExecution(bool parallel) {
+  core::S2RdfOptions options;
+  options.parallel_execution = parallel;
+  auto db = core::S2Rdf::Create(MicroGraph(), options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  core::QueryRequest request;
+  request.query = MicroQuery();
+  auto plain = (*db)->Execute(request);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_TRUE(plain->profile.empty());
+
+  request.options.collect_profile = true;
+  auto profiled = (*db)->Execute(request);
+  ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+
+  // Profiling must not change what the query computes.
+  EXPECT_TRUE(SameTable(plain->table, profiled->table));
+  EXPECT_TRUE(SameMetrics(plain->metrics, profiled->metrics));
+
+  const engine::QueryProfile& profile = profiled->profile_data;
+  ASSERT_FALSE(profile.operators.empty());
+
+  // The profile's totals are the query's ExecMetrics, and the root
+  // operator (pre-order, depth 0) saw all the plan-side work as its
+  // inclusive delta. output_tuples is stamped by the core layer after
+  // the plan returns, so the root reports it as output_rows instead.
+  EXPECT_TRUE(SameMetrics(profile.totals, profiled->metrics));
+  const engine::OperatorProfile& root = profile.operators.front();
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.delta.input_tuples, plain->metrics.input_tuples);
+  EXPECT_EQ(root.delta.intermediate_tuples,
+            plain->metrics.intermediate_tuples);
+  EXPECT_EQ(root.delta.join_comparisons, plain->metrics.join_comparisons);
+  EXPECT_EQ(root.delta.shuffled_tuples, plain->metrics.shuffled_tuples);
+  EXPECT_EQ(root.output_rows, plain->metrics.output_tuples);
+
+  // Stage timings are populated and consistent.
+  EXPECT_GT(profile.total_ms, 0.0);
+  EXPECT_GE(profile.total_ms,
+            profile.parse_ms + profile.compile_ms + profile.exec_ms - 1e-6);
+
+  // Every scan reports the compiler-chosen table, a known layout
+  // family, and the catalog's selectivity factor for that table.
+  const std::set<std::string> kLayouts = {"ExtVP", "ExtVP-bitmap", "VP",
+                                          "TT"};
+  size_t scans = 0;
+  for (const engine::OperatorProfile& op : profile.operators) {
+    if (op.table.empty()) continue;
+    ++scans;
+    EXPECT_TRUE(kLayouts.contains(op.layout)) << op.layout;
+    EXPECT_NE(profiled->sql.find(op.table), std::string::npos)
+        << op.table << " not in compiled SQL";
+    const storage::TableStats* stats = (*db)->catalog().GetStats(op.table);
+    ASSERT_NE(stats, nullptr) << op.table;
+    EXPECT_DOUBLE_EQ(op.sf, stats->selectivity) << op.table;
+  }
+  EXPECT_GT(scans, 0u);
+
+  // The rendered tree mentions the stage header and the scans.
+  EXPECT_NE(profiled->profile.find("stages: parse="), std::string::npos);
+  EXPECT_NE(profiled->profile.find("Scan("), std::string::npos);
+  EXPECT_NE(profiled->profile.find("[layout="), std::string::npos);
+  EXPECT_NE(profiled->profile.find("totals: "), std::string::npos);
+}
+
+TEST(ProfileCorrectnessTest, SerialProfileMatchesEngineAndCatalog) {
+  CheckProfiledExecution(/*parallel=*/false);
+}
+
+TEST(ProfileCorrectnessTest, ParallelProfileMatchesEngineAndCatalog) {
+  CheckProfiledExecution(/*parallel=*/true);
+}
+
+TEST(ProfileCorrectnessTest, ParallelMetricsEqualSerialMetrics) {
+  // The paper-metric meters are execution-strategy invariants; the
+  // profile totals of a parallel run must equal a serial run's.
+  auto serial = core::S2Rdf::Create(MicroGraph(), {});
+  ASSERT_TRUE(serial.ok());
+  core::S2RdfOptions parallel_options;
+  parallel_options.parallel_execution = true;
+  auto parallel = core::S2Rdf::Create(MicroGraph(), parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  core::QueryRequest request;
+  request.query = MicroQuery();
+  request.options.collect_profile = true;
+  auto serial_result = (*serial)->Execute(request);
+  auto parallel_result = (*parallel)->Execute(request);
+  ASSERT_TRUE(serial_result.ok());
+  ASSERT_TRUE(parallel_result.ok());
+  EXPECT_TRUE(SameTable(serial_result->table, parallel_result->table));
+  EXPECT_TRUE(SameMetrics(serial_result->profile_data.totals,
+                          parallel_result->profile_data.totals));
+}
+
+// A join far above the parallel thresholds records per-partition task
+// spans that land on their own trace lanes.
+TEST(ProfileCorrectnessTest, ParallelTasksRecordSpans) {
+  rdf::Graph g;
+  for (int i = 0; i < 3000; ++i) {
+    g.AddIris("N" + std::to_string(i), "p",
+              "N" + std::to_string((i + 1) % 3000));
+    g.AddIris("N" + std::to_string(i), "p",
+              "N" + std::to_string((i + 37) % 3000));
+  }
+  core::S2RdfOptions options;
+  options.parallel_execution = true;
+  auto db = core::S2Rdf::Create(std::move(g), options);
+  ASSERT_TRUE(db.ok());
+
+  core::QueryRequest request;
+  request.query = "SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . }";
+  request.options.collect_profile = true;
+  auto result = (*db)->Execute(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const engine::QueryProfile& profile = result->profile_data;
+  ASSERT_FALSE(profile.tasks.empty());
+  for (const engine::TaskSpan& task : profile.tasks) {
+    EXPECT_FALSE(task.label.empty());
+    EXPECT_GE(task.start_ms, 0.0);
+    EXPECT_GE(task.millis, 0.0);
+  }
+  EXPECT_NE(result->profile.find("parallel tasks: "), std::string::npos);
+
+  // Task lanes appear in the trace as tids above the main lane.
+  std::string trace = engine::RenderTraceJson(profile, request.query);
+  EXPECT_NE(trace.find("\"tid\":1"), std::string::npos);
+}
+
+// --- Trace export -----------------------------------------------------------
+
+// Minimal structural JSON check: braces/brackets balance outside string
+// literals and never go negative.
+bool JsonStructureBalanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceExportTest, RendersStructurallyValidTraceEventJson) {
+  auto db = core::S2Rdf::Create(MicroGraph(), {});
+  ASSERT_TRUE(db.ok());
+  core::QueryRequest request;
+  request.query = MicroQuery();
+  request.options.collect_profile = true;
+  auto result = (*db)->Execute(request);
+  ASSERT_TRUE(result.ok());
+
+  // A hostile display name must be escaped, not break the JSON.
+  std::string trace =
+      engine::RenderTraceJson(result->profile_data, "q\"\\\nname");
+  EXPECT_TRUE(JsonStructureBalanced(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"compile\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(trace.find("q\\\"\\\\\\nname"), std::string::npos);
+}
+
+TEST(TraceExportTest, TraceDirDumpsSequencedFiles) {
+  ScopedTempDir dir;
+  core::S2RdfOptions options;
+  options.trace_dir = dir.path() + "/traces";
+  auto db = core::S2Rdf::Create(MicroGraph(), options);
+  ASSERT_TRUE(db.ok());
+
+  core::QueryRequest request;
+  request.query = MicroQuery();
+  auto unprofiled = (*db)->Execute(request);
+  ASSERT_TRUE(unprofiled.ok());  // No profile -> no trace file.
+
+  request.options.collect_profile = true;
+  ASSERT_TRUE((*db)->Execute(request).ok());
+  ASSERT_TRUE((*db)->Execute(request).ok());
+
+  for (const char* name : {"trace-000000.json", "trace-000001.json"}) {
+    std::ifstream in(options.trace_dir + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_TRUE(JsonStructureBalanced(content)) << name;
+    EXPECT_NE(content.find("\"traceEvents\":["), std::string::npos);
+  }
+  EXPECT_FALSE(
+      std::ifstream(options.trace_dir + "/trace-000002.json").good());
+}
+
+// --- Endpoint introspection -------------------------------------------------
+
+class ObservabilityEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Recreate(server::EndpointOptions()); }
+
+  void Recreate(server::EndpointOptions options) {
+    rdf::Graph g;
+    g.AddIris("A", "follows", "B");
+    g.AddIris("B", "follows", "C");
+    auto db = core::S2Rdf::Create(std::move(g), core::S2RdfOptions());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    endpoint_ =
+        std::make_unique<server::SparqlEndpoint>(db_.get(), std::move(options));
+  }
+
+  server::HttpResponse Get(const std::string& target) {
+    server::HttpRequest request;
+    request.method = "GET";
+    size_t question = target.find('?');
+    request.path = target.substr(0, question);
+    if (question != std::string::npos) {
+      request.query_string = target.substr(question + 1);
+    }
+    return endpoint_->Handle(request);
+  }
+
+  static std::string FollowsQuery() {
+    return "query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20"
+           "%3Fo%20%7D";
+  }
+
+  std::unique_ptr<core::S2Rdf> db_;
+  std::unique_ptr<server::SparqlEndpoint> endpoint_;
+};
+
+TEST_F(ObservabilityEndpointTest, ExplainAnalyzeReturnsProfileTree) {
+  server::HttpResponse response =
+      Get("/sparql?" + FollowsQuery() + "&explain=analyze");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.body.find("stages: parse="), std::string::npos);
+  EXPECT_NE(response.body.find("Scan("), std::string::npos);
+  EXPECT_NE(response.body.find("totals: "), std::string::npos);
+
+  // Only 'analyze' is a valid explain mode.
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery() + "&explain=full").status_code,
+            400);
+}
+
+TEST_F(ObservabilityEndpointTest, TraceParamReturnsTraceEventJson) {
+  server::HttpResponse response =
+      Get("/sparql?" + FollowsQuery() + "&trace=1");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_TRUE(JsonStructureBalanced(response.body)) << response.body;
+  EXPECT_NE(response.body.find("\"traceEvents\":["), std::string::npos);
+
+  // trace=0 is a normal query; garbage is rejected.
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery() + "&trace=0").content_type,
+            "application/sparql-results+json");
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery() + "&trace=yes").status_code, 400);
+}
+
+TEST_F(ObservabilityEndpointTest, MetricsExposeHistogramsAndStageTimings) {
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery()).status_code, 200);
+  EXPECT_EQ(Get("/sparql?query=NOT%20SPARQL").status_code, 400);
+
+  std::string body = Get("/metrics").body;
+  // One success + one failure: latency observed for both, stage
+  // histograms only for the success.
+  EXPECT_NE(body.find("s2rdf_query_latency_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("s2rdf_parse_seconds_count 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_compile_seconds_count 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_exec_seconds_count 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_shuffle_bytes_count 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_rows_scanned_count 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_query_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  // New failure-accounting names alongside the legacy ones.
+  EXPECT_NE(body.find("s2rdf_queries_failed_total 1"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_queries_rejected_total 0"), std::string::npos);
+  EXPECT_NE(body.find("s2rdf_query_errors_total 1"), std::string::npos);
+}
+
+TEST_F(ObservabilityEndpointTest, DebugQueriesListsRecentWork) {
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery()).status_code, 200);
+  EXPECT_EQ(Get("/sparql?query=NOT%20SPARQL").status_code, 400);
+
+  server::HttpResponse response = Get("/debug/queries");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("in-flight (0):"), std::string::npos);
+  EXPECT_NE(response.body.find("recent (2):"), std::string::npos);
+  EXPECT_NE(response.body.find("status=200"), std::string::npos);
+  EXPECT_NE(response.body.find("status=400"), std::string::npos);
+  EXPECT_NE(response.body.find("NOT SPARQL"), std::string::npos);
+
+  // Structured access mirrors the page, newest first with rising ids.
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].http_status, 400);
+  EXPECT_EQ(recent[1].http_status, 200);
+  EXPECT_GT(recent[0].id, recent[1].id);
+  EXPECT_FALSE(recent[0].error.empty());
+  EXPECT_TRUE(recent[1].error.empty());
+  EXPECT_EQ(recent[1].rows, 2u);
+}
+
+TEST_F(ObservabilityEndpointTest, SlowQueryLogFiresAboveThreshold) {
+  std::vector<std::string> log_lines;
+  server::EndpointOptions options;
+  options.slow_query_ms = 1;
+  options.slow_query_log = [&log_lines](const std::string& line) {
+    log_lines.push_back(line);
+  };
+  Recreate(std::move(options));
+
+  // A stepping clock makes every query "take" tens of milliseconds
+  // deterministically, without sleeping.
+  SetClockForTest(&SteppingClock);
+  server::HttpResponse response = Get("/sparql?" + FollowsQuery());
+  SetClockForTest(nullptr);
+  EXPECT_EQ(response.status_code, 200);
+
+  ASSERT_EQ(log_lines.size(), 1u);
+  EXPECT_NE(log_lines[0].find("slow query"), std::string::npos);
+  EXPECT_NE(log_lines[0].find("SELECT"), std::string::npos);
+
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_TRUE(recent[0].slow);
+  EXPECT_NE(Get("/metrics").body.find("s2rdf_slow_queries_total 1"),
+            std::string::npos);
+}
+
+// The tsan regression for the old torn-copy /metrics bug: hammer the
+// introspection endpoints from several threads while queries (half of
+// them failing) run concurrently, then reconcile the final counters.
+TEST_F(ObservabilityEndpointTest, MetricsHammerConcurrentWithQueries) {
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 10;
+  constexpr int kReaderThreads = 4;
+  constexpr int kReadsPerThread = 25;
+
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([this, &ok, &failed] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        int status = Get(i % 2 == 0 ? "/sparql?" + FollowsQuery()
+                                    : "/sparql?query=NOT%20SPARQL")
+                         .status_code;
+        (status == 200 ? ok : failed)++;
+      }
+    });
+  }
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([this] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        EXPECT_EQ(Get("/metrics").status_code, 200);
+        EXPECT_EQ(Get("/debug/queries").status_code, 200);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load(), kQueryThreads * kQueriesPerThread / 2);
+  EXPECT_EQ(failed.load(), kQueryThreads * kQueriesPerThread / 2);
+  std::string body = Get("/metrics").body;
+  const int total = kQueryThreads * kQueriesPerThread;
+  EXPECT_NE(body.find("s2rdf_queries_total " + std::to_string(total)),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("s2rdf_queries_failed_total " + std::to_string(total / 2)),
+      std::string::npos);
+  EXPECT_NE(body.find("s2rdf_query_latency_seconds_count " +
+                      std::to_string(total)),
+            std::string::npos);
+}
+
+// --- Fault-injection env metrics -------------------------------------------
+
+TEST(FaultEnvMetricsTest, CountsOpsAndInjectedFaults) {
+  ScopedTempDir dir;
+  MetricsRegistry registry;
+  storage::FaultInjectionEnv env;
+  env.AttachMetrics(&registry);
+
+  ASSERT_TRUE(env.WriteFile(dir.path() + "/a", "data").ok());
+  std::string data;
+  ASSERT_TRUE(env.ReadFile(dir.path() + "/a", &data).ok());
+  env.FailNextReads(1);
+  EXPECT_FALSE(env.ReadFile(dir.path() + "/a", &data).ok());
+  ASSERT_TRUE(env.ReadFile(dir.path() + "/a", &data).ok());
+
+  std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("s2rdf_faultenv_reads_total 3"), std::string::npos);
+  EXPECT_NE(out.find("s2rdf_faultenv_mutations_total 1"), std::string::npos);
+  EXPECT_NE(out.find("s2rdf_faultenv_faults_injected_total 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2rdf

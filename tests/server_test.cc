@@ -502,6 +502,16 @@ TEST(EndpointSaturationTest, ConcurrentClientsAllGetResponses) {
   EXPECT_EQ(other.load(), 0);
   EXPECT_EQ(ok.load() + rejected.load(), 64);
   EXPECT_GT(ok.load(), 0);
+
+  // Counter reconciliation: every connection is accounted exactly once
+  // — admitted queries in queries_total (all of which succeeded here),
+  // admission rejections in rejected_total — and the two sides match
+  // what the clients observed on the wire.
+  EndpointStats stats = endpoint.Stats();
+  EXPECT_EQ(stats.queries_total, static_cast<uint64_t>(ok.load()));
+  EXPECT_EQ(stats.rejected_total, static_cast<uint64_t>(rejected.load()));
+  EXPECT_EQ(stats.query_errors_total, 0u);
+  EXPECT_EQ(stats.queries_total + stats.rejected_total, 64u);
 }
 
 // --- Shared task-pool stress ------------------------------------------------

@@ -185,6 +185,37 @@ bool LineHasWallClockTime(const std::string& line) {
   return false;
 }
 
+// Direct reads of the C++ chrono clocks ("steady_clock::now()" and
+// friends). A plain BannedToken cannot express this: the clock name is
+// always namespace-qualified (std::chrono::steady_clock), which the
+// preceding-':' boundary check would reject, and the mere mention of a
+// clock type (e.g. the MonotonicTime alias in common/clock.h) is fine —
+// only the ::now() call bypasses the injectable seam.
+bool LineHasDirectClockRead(const std::string& line, std::string* which) {
+  static const char* kClocks[] = {"steady_clock", "system_clock",
+                                  "high_resolution_clock"};
+  for (const char* clock : kClocks) {
+    const std::string token(clock);
+    size_t pos = line.find(token);
+    while (pos != std::string::npos) {
+      if (pos == 0 || !IsIdentChar(line[pos - 1])) {
+        size_t p = pos + token.size();
+        while (p < line.size() && line[p] == ' ') ++p;
+        if (line.compare(p, 5, "::now") == 0) {
+          p += 5;
+          while (p < line.size() && line[p] == ' ') ++p;
+          if (p < line.size() && line[p] == '(') {
+            *which = token;
+            return true;
+          }
+        }
+      }
+      pos = line.find(token, pos + 1);
+    }
+  }
+  return false;
+}
+
 std::string NormalizePath(const std::string& path) {
   std::string p = path;
   std::replace(p.begin(), p.end(), '\\', '/');
@@ -346,6 +377,22 @@ std::vector<Violation> LintContent(const std::string& path,
         out.push_back({path, lineno, "nondeterminism",
                        "'time(nullptr)' seeds from the wall clock (use the "
                        "seeded SplitMix64 from common/random.h)"});
+      }
+    }
+  }
+
+  // clock: only common/ may read the OS clocks directly; everything
+  // else goes through MonotonicNow() so tests can freeze time.
+  if (npath.find("common/") == std::string::npos) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      int lineno = static_cast<int>(i) + 1;
+      std::string which;
+      if (LineHasDirectClockRead(lines[i], &which) &&
+          !supp.Allows("clock", lineno)) {
+        out.push_back({path, lineno, "clock",
+                       "'" + which +
+                           "::now()' bypasses the injectable clock seam "
+                           "(use s2rdf::MonotonicNow() from common/clock.h)"});
       }
     }
   }

@@ -95,6 +95,33 @@ TEST(LintNondeterminismTest, DoesNotFireOnOperandsOrSubstrings) {
   EXPECT_TRUE(LintContent("src/engine/x.cc", snippet).empty());
 }
 
+TEST(LintClockTest, FiresOnSteadyAndSystemClockNow) {
+  auto vs = LintFile(Testdata("clock_violation.cc"));
+  EXPECT_EQ(RulesIn(vs), std::set<std::string>{"clock"});
+  // steady_clock::now (x2) + system_clock::now -> at least 3 hits.
+  EXPECT_GE(vs.size(), 3u);
+}
+
+TEST(LintClockTest, SuppressionsAndBareTypeMentionsDoNotFire) {
+  EXPECT_TRUE(LintFile(Testdata("clock_suppressed.cc")).empty());
+}
+
+TEST(LintClockTest, AllowedInsideCommon) {
+  const std::string snippet =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_FALSE(LintContent("src/engine/plan.cc", snippet).empty());
+  EXPECT_TRUE(LintContent("src/common/clock.cc", snippet).empty());
+}
+
+TEST(LintClockTest, RequiresTheNowCall) {
+  // Mentioning the clock type (time_point aliases, template args) is
+  // legal everywhere; only the ::now() read is the violation.
+  const std::string snippet =
+      "using T = std::chrono::steady_clock::time_point;\n"
+      "std::chrono::time_point<std::chrono::steady_clock> deadline;\n";
+  EXPECT_TRUE(LintContent("src/engine/x.cc", snippet).empty());
+}
+
 TEST(LintIncludeGuardTest, FiresOnPragmaOnce) {
   auto vs = LintFile(Testdata("missing_guard.h"));
   ASSERT_EQ(vs.size(), 1u);

@@ -1,0 +1,12 @@
+// Fixture: line suppressions silence the clock rule; clock types
+// without ::now() never fire in the first place.
+#include <chrono>
+
+using Clock = std::chrono::steady_clock;  // Type mention alone: fine.
+
+double Fine() {
+  auto t0 = std::chrono::steady_clock::now();  // s2rdf-lint: allow(clock)
+  // s2rdf-lint: allow(clock)
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,10 @@
+// Fixture: direct chrono-clock reads outside common/ must be flagged.
+#include <chrono>
+
+double Bad() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
