@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/task_pool.h"
 #include "core/s2rdf.h"
 #include "watdiv/generator.h"
 #include "watdiv/queries.h"
@@ -102,6 +103,8 @@ int Run() {
   printer.Print(stderr);
 
   std::printf("{\n");
+  std::printf("  \"task_pool_parallelism\": %zu,\n",
+              TaskPool::Shared()->ParallelismWidth());
   std::printf("  \"rounds\": %d,\n", reps);
   std::printf("  \"budget\": \"profiled <= unprofiled * %.2f + %.1f ms\",\n",
               kRelativeBudget, kAbsoluteSlackMs);

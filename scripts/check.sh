@@ -22,7 +22,7 @@ ctest --preset default
 note "repo linter (ctest -L lint)"
 ctest --preset lint
 
-note "benchmark gates (BENCH_parallel.json, BENCH_profile.json)"
+note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json)"
 scripts/bench_json.sh build
 
 if [[ "${1:-}" == "quick" ]]; then

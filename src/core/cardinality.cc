@@ -1,0 +1,111 @@
+#include "core/cardinality.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <optional>
+
+#include "core/layout_names.h"
+
+namespace s2rdf::core {
+
+namespace {
+
+using sparql::PatternTerm;
+using sparql::TriplePattern;
+
+bool SameVar(const PatternTerm& a, const PatternTerm& b) {
+  return a.is_variable() && b.is_variable() && a.value == b.value;
+}
+
+struct CorrelationCase {
+  bool applies;
+  Correlation corr;
+};
+
+// Mirrors table_selection.cc: the correlations of `tp` to `other` in the
+// fixed SS/SO/OS order Algorithm 1 examines them.
+std::array<CorrelationCase, 3> CorrelationsTo(const TriplePattern& tp,
+                                              const TriplePattern& other) {
+  return {{{SameVar(tp.subject, other.subject), Correlation::kSS},
+           {SameVar(tp.subject, other.object), Correlation::kSO},
+           {SameVar(tp.object, other.subject), Correlation::kOS}}};
+}
+
+}  // namespace
+
+double CardinalityEstimator::ScanRows(const TriplePattern& tp,
+                                      const TableChoice& choice) const {
+  if (choice.empty_result) return 0.0;
+  double rows = static_cast<double>(choice.rows);
+
+  // A bound predicate scanned out of the triples table keeps exactly the
+  // predicate's VP rows — the catalog records them even for quarantined
+  // VP tables, so the degraded TT scan still estimates correctly.
+  if (choice.is_triples_table && !tp.predicate.is_variable()) {
+    std::optional<rdf::TermId> p = dict_.Find(tp.predicate.value);
+    if (p.has_value()) {
+      const storage::TableStats* vp = catalog_.GetStats(VpTableName(dict_, *p));
+      if (vp != nullptr) rows = static_cast<double>(vp->rows);
+    }
+  }
+
+  // Residual equalities the scan applies on top of the stored table:
+  // each bound subject/object term, and each repeated variable inside
+  // the pattern, keeps ~1/sqrt(base) of the rows (the square-root rule
+  // for unknown-frequency point selections).
+  const double base = std::max(rows, 2.0);
+  int residuals = 0;
+  if (!tp.subject.is_variable()) ++residuals;
+  if (!tp.object.is_variable()) ++residuals;
+  if (SameVar(tp.subject, tp.object) || SameVar(tp.subject, tp.predicate) ||
+      SameVar(tp.predicate, tp.object)) {
+    ++residuals;
+  }
+  for (int i = 0; i < residuals; ++i) rows /= std::sqrt(base);
+  return std::max(rows, 0.0);
+}
+
+double CardinalityEstimator::KeepFraction(const TriplePattern& tp,
+                                          const TableChoice& choice,
+                                          const TriplePattern& other) const {
+  if (tp.predicate.is_variable() || other.predicate.is_variable()) return 1.0;
+  std::optional<rdf::TermId> p1 = dict_.Find(tp.predicate.value);
+  std::optional<rdf::TermId> p2 = dict_.Find(other.predicate.value);
+  if (!p1.has_value() || !p2.has_value()) return 1.0;
+
+  const double denom = std::max(static_cast<double>(choice.rows), 1.0);
+  double keep = 1.0;
+  for (const CorrelationCase& cand : CorrelationsTo(tp, other)) {
+    if (!cand.applies) continue;
+    if (cand.corr == Correlation::kSS && *p1 == *p2) continue;
+    const storage::TableStats* stats =
+        catalog_.GetStats(ExtVpTableName(dict_, cand.corr, *p1, *p2));
+    if (stats == nullptr) continue;  // Direction not precomputed.
+    // |ExtVP| rows are recorded whether or not the reduction was
+    // materialized; against the chosen table they bound the surviving
+    // fraction (clamped: the choice may itself be a smaller reduction).
+    keep = std::min(keep, std::clamp(static_cast<double>(stats->rows) / denom,
+                                     0.0, 1.0));
+  }
+  return keep;
+}
+
+double CardinalityEstimator::JoinRows(const TriplePattern& a,
+                                      const TableChoice& ca,
+                                      double scan_rows_a,
+                                      const TriplePattern& b,
+                                      const TableChoice& cb,
+                                      double scan_rows_b) const {
+  // Every surviving row matches at least one partner row (that is what
+  // |ExtVP| counts), so max(surviving) is a guaranteed lower bound on
+  // the join size — and it is exact whenever the smaller surviving
+  // side's join column is key-like, the common case along WatDiv-style
+  // chains. min(surviving) underestimates chains to ~0, which makes
+  // every downstream plan look free.
+  const double surviving_a = scan_rows_a * KeepFraction(a, ca, b);
+  const double surviving_b = scan_rows_b * KeepFraction(b, cb, a);
+  return std::max(std::max(surviving_a, surviving_b), 0.0);
+}
+
+}  // namespace s2rdf::core

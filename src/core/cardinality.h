@@ -1,0 +1,63 @@
+#ifndef S2RDF_CORE_CARDINALITY_H_
+#define S2RDF_CORE_CARDINALITY_H_
+
+#include "core/table_selection.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "storage/catalog.h"
+
+// Cardinality estimation over the catalog's statistics. The inputs are
+// exactly what the ExtVP precomputation already pays for: per-table row
+// counts and selectivity factors SF = |ExtVP| / |VP| (Sec. 5.2). SF
+// entries exist even for reductions the store never materialized (empty
+// tables, SF-threshold-pruned tables, quarantined tables), so the
+// estimator keeps working across the ExtVP -> VP -> TT degradation
+// path — the statistics survive even when the data does not.
+//
+// Shared variables between patterns combine under the textbook
+// independence assumption; the estimates feed the cost-based join
+// enumeration in core/optimizer.{h,cc}.
+
+namespace s2rdf::core {
+
+class CardinalityEstimator {
+ public:
+  // `catalog` and `dict` must outlive the estimator.
+  CardinalityEstimator(const storage::Catalog& catalog,
+                       const rdf::Dictionary& dict)
+      : catalog_(catalog), dict_(dict) {}
+
+  // Estimated output rows of scanning `choice` for `tp`: the chosen
+  // table's row count, discounted by sqrt(rows) per residual equality
+  // the scan applies on top of the stored table (bound subject/object
+  // terms, repeated variables). A bound predicate over the triples
+  // table uses the predicate's exact VP row count instead (the catalog
+  // knows it even when the VP table is quarantined).
+  double ScanRows(const sparql::TriplePattern& tp,
+                  const TableChoice& choice) const;
+
+  // Fraction of `tp`'s scan output expected to survive a join with
+  // `other`, derived from the ExtVP statistics of their correlations:
+  // |ExtVP_corr(p_tp | p_other)| / rows(choice). 1.0 when no statistic
+  // applies (unbound predicates, VP-only layouts, shared predicate
+  // variables); the minimum over correlations when several apply.
+  double KeepFraction(const sparql::TriplePattern& tp,
+                      const TableChoice& choice,
+                      const sparql::TriplePattern& other) const;
+
+  // Estimated rows of joining the two patterns' scans on their shared
+  // variables: max over both directions of rows * keep — a lower bound
+  // (every ExtVP-surviving row matches at least one partner), exact
+  // when the smaller side's join column is key-like.
+  double JoinRows(const sparql::TriplePattern& a, const TableChoice& ca,
+                  double scan_rows_a, const sparql::TriplePattern& b,
+                  const TableChoice& cb, double scan_rows_b) const;
+
+ private:
+  const storage::Catalog& catalog_;
+  const rdf::Dictionary& dict_;
+};
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_CARDINALITY_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "core/cardinality.h"
+#include "core/cost_model.h"
 
 namespace s2rdf::core {
 
@@ -25,15 +28,63 @@ int BoundCount(const TriplePattern& tp) {
   return n;
 }
 
-bool SharesVariable(const TriplePattern& tp,
-                    const std::unordered_set<std::string>& vars) {
+// The pattern's variables in s/p/o order, deduplicated.
+std::vector<std::string> PatternVariables(const TriplePattern& tp) {
+  std::vector<std::string> vars;
   for (const std::string& v : tp.Variables()) {
-    if (vars.contains(v)) return true;
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
   }
-  return false;
+  return vars;
+}
+
+// Applies every pending filter whose variables are all bound AND
+// available as columns of `plan` (the two differ under bushy trees:
+// a variable may be bound by a sibling subtree this plan cannot see).
+PlanPtr ApplyReadyFilters(PlanPtr plan,
+                          const std::unordered_set<std::string>& available,
+                          std::vector<const engine::Expr*>* pending) {
+  for (auto it = pending->begin(); it != pending->end();) {
+    bool ready = true;
+    for (const std::string& v : (*it)->ReferencedVariables()) {
+      if (!available.contains(v)) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) {
+      plan = PlanNode::FilterNode(std::move(plan), (*it)->Clone());
+      it = pending->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return plan;
 }
 
 }  // namespace
+
+OptimizerOptions EffectiveOptimizerOptions(const CompilerOptions& options) {
+  OptimizerOptions opt = options.optimizer;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // The legacy ablation switch still works: false forces Algorithm 3
+  // ordering whatever the new options say.
+  // s2rdf-lint: allow(deprecated-api)
+  if (!options.optimize_join_order) opt.reorder_joins = false;
+#pragma GCC diagnostic pop
+  return opt;
+}
+
+QueryCompiler::QueryCompiler(const storage::Catalog* catalog,
+                             const rdf::Dictionary* dict,
+                             CompilerOptions options)
+    : catalog_(*catalog),
+      dict_(*dict),
+      options_(std::move(options)),
+      optimizer_options_(EffectiveOptimizerOptions(options_)),
+      optimizer_(Optimizer::Create(optimizer_options_)) {}
 
 StatusOr<PlanPtr> QueryCompiler::ScanForPattern(
     const TriplePattern& tp, const TableChoice& choice) const {
@@ -90,16 +141,19 @@ StatusOr<PlanPtr> QueryCompiler::ScanForPattern(
   return scan;
 }
 
-StatusOr<PlanPtr> QueryCompiler::CompileBgp(
-    const std::vector<TriplePattern>& bgp,
-    const std::vector<const engine::Expr*>& filters) const {
+StatusOr<BgpAnalysis> QueryCompiler::Analyze(
+    const std::vector<TriplePattern>& bgp) const {
   if (bgp.empty()) {
     return InvalidArgumentError("empty basic graph pattern");
   }
+  BgpAnalysis analysis;
+  analysis.bgp = bgp;
+  analysis.patterns.reserve(bgp.size());
 
-  // Algorithm 1 per pattern.
-  std::vector<TableChoice> choices;
-  choices.reserve(bgp.size());
+  CardinalityEstimator estimator(catalog_, dict_);
+  CostModel cost_model;
+
+  // Algorithm 1 per pattern, plus the estimator's view of the scan.
   for (size_t i = 0; i < bgp.size(); ++i) {
     S2RDF_ASSIGN_OR_RETURN(
         TableChoice choice,
@@ -110,88 +164,124 @@ StatusOr<PlanPtr> QueryCompiler::CompileBgp(
       catalog_.NoteDegradedQuery();
     }
     if (choice.empty_result) {
-      // Statistics prove emptiness: return an empty relation with the
-      // BGP's variables as schema (Algorithm 3, line 4).
-      std::unordered_set<std::string> seen;
-      std::vector<std::string> columns;
-      for (const TriplePattern& tp : bgp) {
-        for (const std::string& v : tp.Variables()) {
-          if (seen.insert(v).second) columns.push_back(v);
-        }
-      }
-      return PlanNode::Empty(std::move(columns));
+      // Statistics prove emptiness (Algorithm 3, line 4); the remaining
+      // patterns are left unanalyzed.
+      analysis.empty_result = true;
+      return analysis;
     }
-    choices.push_back(std::move(choice));
+    PatternInfo info;
+    info.scan_rows = estimator.ScanRows(bgp[i], choice);
+    info.scan_cost = cost_model.ScanCost(info.scan_rows);
+    info.bound_count = BoundCount(bgp[i]);
+    info.variables = PatternVariables(bgp[i]);
+    info.choice = std::move(choice);
+    analysis.patterns.push_back(std::move(info));
   }
 
-  // Join order: Algorithm 3 keeps the pattern order; Algorithm 4 orders
-  // by bound values, then by selected-table size, avoiding cross joins.
-  std::vector<size_t> order;
-  if (!options_.optimize_join_order) {
-    for (size_t i = 0; i < bgp.size(); ++i) order.push_back(i);
-  } else {
-    std::vector<size_t> remaining;
-    for (size_t i = 0; i < bgp.size(); ++i) remaining.push_back(i);
-    std::unordered_set<std::string> bound_vars;
-    while (!remaining.empty()) {
-      // Candidates: patterns connected to the joined prefix (all
-      // patterns for the first pick or if none connects).
-      std::vector<size_t> connected;
-      for (size_t idx : remaining) {
-        if (bound_vars.empty() || SharesVariable(bgp[idx], bound_vars)) {
-          connected.push_back(idx);
+  // Join graph: one edge per pattern pair sharing >= 1 variable, with
+  // SF-derived selectivity and per-side survival fractions.
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    for (size_t j = i + 1; j < bgp.size(); ++j) {
+      JoinEdge edge;
+      edge.a = i;
+      edge.b = j;
+      for (const std::string& v : analysis.patterns[i].variables) {
+        const auto& jv = analysis.patterns[j].variables;
+        if (std::find(jv.begin(), jv.end(), v) != jv.end()) {
+          if (edge.shared_vars == 0) edge.shared_var = v;
+          ++edge.shared_vars;
         }
       }
-      if (connected.empty()) connected = remaining;  // Forced cross join.
-      size_t best = connected[0];
-      for (size_t idx : connected) {
-        int bc_best = BoundCount(bgp[best]);
-        int bc_idx = BoundCount(bgp[idx]);
-        if (bc_idx > bc_best ||
-            (bc_idx == bc_best && choices[idx].rows < choices[best].rows)) {
-          best = idx;
-        }
-      }
-      order.push_back(best);
-      remaining.erase(std::find(remaining.begin(), remaining.end(), best));
-      for (const std::string& v : bgp[best].Variables()) {
-        bound_vars.insert(v);
-      }
+      if (edge.shared_vars == 0) continue;
+      const PatternInfo& pa = analysis.patterns[i];
+      const PatternInfo& pb = analysis.patterns[j];
+      edge.keep_a = estimator.KeepFraction(bgp[i], pa.choice, bgp[j]);
+      edge.keep_b = estimator.KeepFraction(bgp[j], pb.choice, bgp[i]);
+      const double out = estimator.JoinRows(bgp[i], pa.choice, pa.scan_rows,
+                                            bgp[j], pb.choice, pb.scan_rows);
+      const double denom =
+          std::max(pa.scan_rows, 1e-6) * std::max(pb.scan_rows, 1e-6);
+      edge.selectivity = std::clamp(out / denom, 1e-12, 1.0);
+      analysis.edges.push_back(std::move(edge));
     }
   }
+  return analysis;
+}
 
-  // Fold the joins, pushing each FILTER down to the first point where
-  // all of its variables are bound.
-  std::vector<const engine::Expr*> pending(filters.begin(), filters.end());
-  std::unordered_set<std::string> bound;
-  auto apply_ready_filters = [&](PlanPtr plan) {
-    for (auto it = pending.begin(); it != pending.end();) {
-      bool ready = true;
-      for (const std::string& v : (*it)->ReferencedVariables()) {
-        if (!bound.contains(v)) {
-          ready = false;
-          break;
-        }
+StatusOr<PlanPtr> QueryCompiler::LowerTree(
+    const BgpAnalysis& analysis, const JoinTree& tree, bool is_right_leaf,
+    std::vector<const engine::Expr*>* pending,
+    std::unordered_set<std::string>* available) const {
+  // Filter placement rule: ready filters are applied after every
+  // lowered node EXCEPT leaves that are right children of joins. For
+  // the left-deep trees paper mode produces this is exactly the old
+  // fold — filters after the first scan and after each join — so paper
+  // plans stay byte-identical to the pre-pipeline compiler. For bushy
+  // trees it additionally lets subtree-local filters run early.
+  if (tree.is_leaf()) {
+    const size_t i = static_cast<size_t>(tree.pattern);
+    const PatternInfo& info = analysis.patterns[i];
+    S2RDF_ASSIGN_OR_RETURN(PlanPtr plan,
+                           ScanForPattern(analysis.bgp[i], info.choice));
+    plan->estimated_rows = info.scan_rows;
+    plan->estimated_cost = info.scan_cost;
+    // Semi-join reducers: cut the scan down by the projected join
+    // column of selective neighbors before the scan meets a real join.
+    double rows = info.scan_rows;
+    for (int r : tree.reducers) {
+      const size_t j = static_cast<size_t>(r);
+      const JoinEdge* edge = FindEdge(analysis, i, j);
+      if (edge == nullptr) {
+        return InternalError("semi-join reducer without a join edge");
       }
-      if (ready) {
-        plan = PlanNode::FilterNode(std::move(plan), (*it)->Clone());
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
+      S2RDF_ASSIGN_OR_RETURN(
+          PlanPtr reducer,
+          ScanForPattern(analysis.bgp[j], analysis.patterns[j].choice));
+      reducer->estimated_rows = analysis.patterns[j].scan_rows;
+      reducer->estimated_cost = analysis.patterns[j].scan_cost;
+      PlanPtr projected = PlanNode::ProjectNode(
+          std::move(reducer), std::vector<std::string>{edge->shared_var});
+      rows *= edge->a == i ? edge->keep_a : edge->keep_b;
+      plan = PlanNode::SemiJoinNode(std::move(plan), std::move(projected));
+      plan->estimated_rows = rows;
+    }
+    for (const std::string& v : info.variables) available->insert(v);
+    if (!is_right_leaf) {
+      plan = ApplyReadyFilters(std::move(plan), *available, pending);
     }
     return plan;
-  };
-
-  PlanPtr plan;
-  for (size_t idx : order) {
-    S2RDF_ASSIGN_OR_RETURN(PlanPtr scan,
-                           ScanForPattern(bgp[idx], choices[idx]));
-    plan = plan == nullptr ? std::move(scan)
-                           : PlanNode::Join(std::move(plan), std::move(scan));
-    for (const std::string& v : bgp[idx].Variables()) bound.insert(v);
-    plan = apply_ready_filters(std::move(plan));
   }
+
+  std::unordered_set<std::string> left_vars;
+  std::unordered_set<std::string> right_vars;
+  S2RDF_ASSIGN_OR_RETURN(
+      PlanPtr left,
+      LowerTree(analysis, *tree.left, /*is_right_leaf=*/false, pending,
+                &left_vars));
+  S2RDF_ASSIGN_OR_RETURN(
+      PlanPtr right,
+      LowerTree(analysis, *tree.right, tree.right->is_leaf(), pending,
+                &right_vars));
+  available->insert(left_vars.begin(), left_vars.end());
+  available->insert(right_vars.begin(), right_vars.end());
+  PlanPtr plan = PlanNode::Join(std::move(left), std::move(right));
+  plan->join_algo = tree.algo == JoinAlgoChoice::kSortMerge
+                        ? PlanNode::JoinAlgo::kSortMerge
+                        : PlanNode::JoinAlgo::kHash;
+  plan->estimated_rows = tree.est_rows;
+  plan->estimated_cost = tree.est_cost;
+  return ApplyReadyFilters(std::move(plan), *available, pending);
+}
+
+StatusOr<PlanPtr> QueryCompiler::Plan(
+    const BgpAnalysis& analysis, const JoinTree& tree,
+    const std::vector<const engine::Expr*>& filters) const {
+  std::vector<const engine::Expr*> pending(filters.begin(), filters.end());
+  std::unordered_set<std::string> available;
+  S2RDF_ASSIGN_OR_RETURN(
+      PlanPtr plan,
+      LowerTree(analysis, tree, /*is_right_leaf=*/false, &pending,
+                &available));
   // Filters that never became ready (variables not bound by this BGP)
   // still apply — on rows where they evaluate to error they drop the
   // row, matching FILTER semantics over the group.
@@ -199,6 +289,25 @@ StatusOr<PlanPtr> QueryCompiler::CompileBgp(
     plan = PlanNode::FilterNode(std::move(plan), filter->Clone());
   }
   return plan;
+}
+
+StatusOr<PlanPtr> QueryCompiler::CompileBgp(
+    const std::vector<TriplePattern>& bgp,
+    const std::vector<const engine::Expr*>& filters) const {
+  S2RDF_ASSIGN_OR_RETURN(BgpAnalysis analysis, Analyze(bgp));
+  if (analysis.empty_result) {
+    // Empty relation with the BGP's variables as schema.
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> columns;
+    for (const TriplePattern& tp : bgp) {
+      for (const std::string& v : tp.Variables()) {
+        if (seen.insert(v).second) columns.push_back(v);
+      }
+    }
+    return PlanNode::Empty(std::move(columns));
+  }
+  S2RDF_ASSIGN_OR_RETURN(JoinTreePtr tree, optimizer_->Optimize(analysis));
+  return Plan(analysis, *tree, filters);
 }
 
 StatusOr<PlanPtr> QueryCompiler::CompileGroup(

@@ -1,27 +1,42 @@
 #ifndef S2RDF_CORE_COMPILER_H_
 #define S2RDF_CORE_COMPILER_H_
 
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "core/optimizer.h"
 #include "core/table_selection.h"
 #include "engine/plan.h"
 #include "rdf/dictionary.h"
 #include "sparql/ast.h"
 #include "storage/catalog.h"
 
-// SPARQL -> relational plan compiler (Sec. 6 of the paper):
-//   Algorithm 2 (TP2SQL)      — a triple pattern over its selected table
-//   Algorithm 3 (BGP2SQL)     — join in pattern order
-//   Algorithm 4 (BGP2SQL_opt) — statistics-driven join ordering
-// plus the mapping of FILTER / OPTIONAL / UNION / DISTINCT / ORDER BY /
-// LIMIT / OFFSET onto the engine's operators.
+// SPARQL -> relational plan compiler. BGP compilation is an explicit
+// three-stage pipeline:
+//
+//   Analyze   Algorithm 1 per pattern (table selection) plus the
+//             cardinality estimator's view: per-scan row estimates and
+//             the join graph with SF-derived selectivities.
+//   Optimize  A pluggable core::Optimizer picks the join tree — the
+//             paper's heuristic (Algorithms 3/4) or the cost-based
+//             enumerator, selected by OptimizerOptions::mode.
+//   Plan      Lowers the tree to engine::PlanNodes, interleaving FILTER
+//             pushdown (Sec. 6) and semi-join reducers, and annotating
+//             nodes with the optimizer's estimates for EXPLAIN.
+//
+// The query-level mapping of FILTER / OPTIONAL / UNION / DISTINCT /
+// ORDER BY / LIMIT / OFFSET onto the engine's operators sits on top.
 
 namespace s2rdf::core {
 
 struct CompilerOptions {
   Layout layout = Layout::kExtVp;
-  // Algorithm 4 (true) vs Algorithm 3 (false).
+  // Deprecated alias for optimizer.reorder_joins (Algorithm 4 vs 3).
+  // Still honored: setting it false disables reordering whatever the
+  // OptimizerOptions say. New code should use `optimizer`.
+  [[deprecated("use CompilerOptions::optimizer.reorder_joins")]]
   bool optimize_join_order = true;
   // Allow the statistics-only empty-result shortcut (SF = 0 tables).
   bool use_statistics_shortcut = true;
@@ -34,19 +49,25 @@ struct CompilerOptions {
   bool collect_profile = false;
   // Required for Layout::kExtVpBitmap; must outlive the compiler.
   const ExtVpBitmapStore* bitmap_store = nullptr;
+  // Optimizer selection and knobs for the Optimize stage.
+  OptimizerOptions optimizer;
 };
+
+// The OptimizerOptions a compiler will actually run with: `optimizer`
+// merged with the deprecated legacy switches above.
+OptimizerOptions EffectiveOptimizerOptions(const CompilerOptions& options);
 
 class QueryCompiler {
  public:
   // `catalog` and `dict` must outlive the compiler.
   QueryCompiler(const storage::Catalog* catalog, const rdf::Dictionary* dict,
-                CompilerOptions options)
-      : catalog_(*catalog), dict_(*dict), options_(options) {}
+                CompilerOptions options);
 
   // Compiles a parsed query to an executable plan.
   StatusOr<engine::PlanPtr> Compile(const sparql::Query& query) const;
 
-  // Compiles a bare BGP (used by tests and baseline engines). `filters`
+  // Compiles a bare BGP (used by tests and baseline engines): Analyze,
+  // then Optimize via the configured optimizer, then Plan. `filters`
   // are FILTER expressions to interleave into the join pipeline as soon
   // as their variables are bound (pushdown); any filter whose variables
   // are never fully bound is applied last.
@@ -54,15 +75,41 @@ class QueryCompiler {
       const std::vector<sparql::TriplePattern>& bgp,
       const std::vector<const engine::Expr*>& filters = {}) const;
 
+  // Stage 1: table selection + cardinality estimation + join graph.
+  // When the statistics prove the BGP empty, the returned analysis has
+  // empty_result set and no further stage applies.
+  StatusOr<BgpAnalysis> Analyze(
+      const std::vector<sparql::TriplePattern>& bgp) const;
+
+  // Stage 3: lowers an optimized join tree over `analysis` to a plan.
+  StatusOr<engine::PlanPtr> Plan(
+      const BgpAnalysis& analysis, const JoinTree& tree,
+      const std::vector<const engine::Expr*>& filters = {}) const;
+
+  // The resolved Optimize stage (paper or cost).
+  const Optimizer& optimizer() const { return *optimizer_; }
+  const OptimizerOptions& optimizer_options() const {
+    return optimizer_options_;
+  }
+
  private:
   StatusOr<engine::PlanPtr> CompileGroup(
       const sparql::GraphPattern& pattern) const;
   StatusOr<engine::PlanPtr> ScanForPattern(const sparql::TriplePattern& tp,
                                            const TableChoice& choice) const;
+  // Recursive Plan-stage worker; see compiler.cc for the filter
+  // placement rule that keeps paper-mode plans byte-identical to the
+  // pre-pipeline compiler.
+  StatusOr<engine::PlanPtr> LowerTree(
+      const BgpAnalysis& analysis, const JoinTree& tree, bool is_right_leaf,
+      std::vector<const engine::Expr*>* pending,
+      std::unordered_set<std::string>* available) const;
 
   const storage::Catalog& catalog_;
   const rdf::Dictionary& dict_;
   CompilerOptions options_;
+  OptimizerOptions optimizer_options_;
+  std::unique_ptr<Optimizer> optimizer_;
   // One queries_degraded tick per compiled query, however many patterns
   // had to substitute tables. Compilers are per-query, so this does not
   // need synchronization; mutable because Compile is const.

@@ -1,0 +1,54 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s2rdf::core {
+
+namespace {
+
+// Hash-build work degrades once the table outgrows cache; one work unit
+// per 2^20 build rows of extra charge per probe keeps the model linear
+// for small tables and super-linear for huge ones.
+constexpr double kCacheRows = 1048576.0;
+
+double Log2Work(double rows) {
+  return rows * std::log2(std::max(rows, 2.0));
+}
+
+}  // namespace
+
+double CostModel::ScanCost(double rows) const { return std::max(rows, 0.0); }
+
+double CostModel::HashJoinCost(double left_rows, double right_rows,
+                               double out_rows) const {
+  // engine::HashJoin builds on the right and probes with the left.
+  return 2.0 * right_rows * (1.0 + right_rows / kCacheRows) + left_rows +
+         std::max(out_rows, 0.0);
+}
+
+double CostModel::SortMergeJoinCost(double left_rows, double right_rows,
+                                    double out_rows) const {
+  return 0.5 * (Log2Work(left_rows) + Log2Work(right_rows)) + left_rows +
+         right_rows + std::max(out_rows, 0.0);
+}
+
+double CostModel::SemiJoinCost(double left_rows, double right_rows) const {
+  return std::max(left_rows, 0.0) + std::max(right_rows, 0.0);
+}
+
+JoinAlgoChoice CostModel::ChooseJoinAlgo(double left_rows, double right_rows,
+                                         double out_rows) const {
+  const double hash = HashJoinCost(left_rows, right_rows, out_rows);
+  const double merge = SortMergeJoinCost(left_rows, right_rows, out_rows);
+  return merge < hash ? JoinAlgoChoice::kSortMerge : JoinAlgoChoice::kHash;
+}
+
+double CostModel::JoinCost(JoinAlgoChoice algo, double left_rows,
+                           double right_rows, double out_rows) const {
+  return algo == JoinAlgoChoice::kSortMerge
+             ? SortMergeJoinCost(left_rows, right_rows, out_rows)
+             : HashJoinCost(left_rows, right_rows, out_rows);
+}
+
+}  // namespace s2rdf::core

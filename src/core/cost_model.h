@@ -1,0 +1,43 @@
+#ifndef S2RDF_CORE_COST_MODEL_H_
+#define S2RDF_CORE_COST_MODEL_H_
+
+// Cost model behind the cost-based optimizer: abstract work units per
+// operator, calibrated against the engine's actual implementations in
+// engine/operators.cc. The absolute scale is irrelevant — the DP in
+// core/optimizer.cc only compares plans — but the *shape* matters:
+//
+//   scan            rows                 (one pass over the table)
+//   hash join       2R(1 + R/2^20) + L + out
+//                   (build on the RIGHT input, matching engine::HashJoin;
+//                   the quadratic-ish tail charges for cache misses on
+//                   huge build tables)
+//   sort-merge join (L log L + R log R)/2 + L + R + out
+//   semi join       L + R                (hash build on the right column)
+//
+// Hash wins for all but very large build sides; the crossover is what
+// ChooseJoinAlgo encodes, deterministically, from estimated rows alone.
+
+namespace s2rdf::core {
+
+enum class JoinAlgoChoice { kHash, kSortMerge };
+
+class CostModel {
+ public:
+  double ScanCost(double rows) const;
+  double HashJoinCost(double left_rows, double right_rows,
+                      double out_rows) const;
+  double SortMergeJoinCost(double left_rows, double right_rows,
+                           double out_rows) const;
+  double SemiJoinCost(double left_rows, double right_rows) const;
+
+  // The cheaper of the two join implementations for these estimates.
+  // Ties break to hash join (the engine's canonical-order default).
+  JoinAlgoChoice ChooseJoinAlgo(double left_rows, double right_rows,
+                                double out_rows) const;
+  double JoinCost(JoinAlgoChoice algo, double left_rows, double right_rows,
+                  double out_rows) const;
+};
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_COST_MODEL_H_

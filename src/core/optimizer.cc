@@ -1,0 +1,382 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <unordered_set>
+
+namespace s2rdf::core {
+
+namespace {
+
+constexpr double kMaxRows = 1e30;
+constexpr double kMinSelectivity = 1e-12;
+// Subset DP state is O(2^n); beyond this the greedy path takes over
+// regardless of dp_pattern_cap.
+constexpr int kDpHardCap = 16;
+
+JoinTreePtr MakeLeaf(const BgpAnalysis& analysis, int i) {
+  auto t = std::make_unique<JoinTree>();
+  t->pattern = i;
+  t->est_rows = analysis.patterns[static_cast<size_t>(i)].scan_rows;
+  t->est_cost = analysis.patterns[static_cast<size_t>(i)].scan_cost;
+  return t;
+}
+
+JoinTreePtr MakeJoin(JoinTreePtr left, JoinTreePtr right, JoinAlgoChoice algo,
+                     double est_rows, double est_cost) {
+  auto t = std::make_unique<JoinTree>();
+  t->left = std::move(left);
+  t->right = std::move(right);
+  t->algo = algo;
+  t->est_rows = est_rows;
+  t->est_cost = est_cost;
+  return t;
+}
+
+uint64_t SubtreeMask(const JoinTree& t) {
+  if (t.is_leaf()) return uint64_t{1} << t.pattern;
+  return SubtreeMask(*t.left) | SubtreeMask(*t.right);
+}
+
+// Per-pattern bitmask of join-graph neighbors.
+std::vector<uint64_t> NeighborMasks(const BgpAnalysis& analysis) {
+  std::vector<uint64_t> nbr(analysis.patterns.size(), 0);
+  for (const JoinEdge& e : analysis.edges) {
+    nbr[e.a] |= uint64_t{1} << e.b;
+    nbr[e.b] |= uint64_t{1} << e.a;
+  }
+  return nbr;
+}
+
+// connected[mask] == 1 iff the patterns in `mask` form a connected
+// subgraph of the join graph: a BFS over join edges from the lowest
+// member reaches every member.
+std::vector<char> ConnectedMasks(const std::vector<uint64_t>& nbr, size_t n) {
+  std::vector<char> connected(uint64_t{1} << n, 0);
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    uint64_t reach = mask & (~mask + 1);
+    for (;;) {
+      uint64_t next = reach;
+      for (uint64_t m = reach; m != 0; m &= m - 1) {
+        next |= nbr[static_cast<size_t>(std::countr_zero(m))] & mask;
+      }
+      if (next == reach) break;
+      reach = next;
+    }
+    connected[mask] = reach == mask ? 1 : 0;
+  }
+  return connected;
+}
+
+}  // namespace
+
+const char* OptimizerModeName(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kPaper:
+      return "paper";
+    case OptimizerMode::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
+StatusOr<OptimizerMode> ParseOptimizerMode(std::string_view name) {
+  if (name == "paper") return OptimizerMode::kPaper;
+  if (name == "cost") return OptimizerMode::kCost;
+  return InvalidArgumentError("unknown optimizer mode: '" + std::string(name) +
+                              "' (expected 'paper' or 'cost')");
+}
+
+const JoinEdge* FindEdge(const BgpAnalysis& analysis, size_t a, size_t b) {
+  for (const JoinEdge& e : analysis.edges) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return &e;
+  }
+  return nullptr;
+}
+
+double EstimateSubsetRows(const BgpAnalysis& analysis, uint64_t mask) {
+  double rows = 1.0;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    rows *= analysis.patterns[static_cast<size_t>(std::countr_zero(m))]
+                .scan_rows;
+    rows = std::min(rows, kMaxRows);
+  }
+  for (const JoinEdge& e : analysis.edges) {
+    if ((mask >> e.a & 1) != 0 && (mask >> e.b & 1) != 0) {
+      rows *= std::max(e.selectivity, kMinSelectivity);
+    }
+  }
+  return std::clamp(rows, 0.0, kMaxRows);
+}
+
+std::unique_ptr<Optimizer> Optimizer::Create(const OptimizerOptions& options) {
+  if (options.mode == OptimizerMode::kCost) {
+    return std::make_unique<CostBasedOptimizer>(options);
+  }
+  return std::make_unique<PaperOptimizer>(options);
+}
+
+StatusOr<JoinTreePtr> PaperOptimizer::Optimize(
+    const BgpAnalysis& analysis) const {
+  const size_t n = analysis.patterns.size();
+  if (n == 0) return InvalidArgumentError("empty basic graph pattern");
+
+  // Algorithm 3 keeps the pattern order; Algorithm 4 orders by bound
+  // values, then by selected-table size, avoiding cross joins. This is
+  // the exact greedy loop of the pre-redesign compiler.
+  std::vector<size_t> order;
+  if (!options_.reorder_joins) {
+    for (size_t i = 0; i < n; ++i) order.push_back(i);
+  } else {
+    std::vector<size_t> remaining;
+    for (size_t i = 0; i < n; ++i) remaining.push_back(i);
+    std::unordered_set<std::string> bound_vars;
+    auto shares = [&](size_t idx) {
+      for (const std::string& v : analysis.patterns[idx].variables) {
+        if (bound_vars.contains(v)) return true;
+      }
+      return false;
+    };
+    while (!remaining.empty()) {
+      std::vector<size_t> connected;
+      for (size_t idx : remaining) {
+        if (bound_vars.empty() || shares(idx)) connected.push_back(idx);
+      }
+      if (connected.empty()) connected = remaining;  // Forced cross join.
+      size_t best = connected[0];
+      for (size_t idx : connected) {
+        const int bc_best = analysis.patterns[best].bound_count;
+        const int bc_idx = analysis.patterns[idx].bound_count;
+        if (bc_idx > bc_best ||
+            (bc_idx == bc_best && analysis.patterns[idx].choice.rows <
+                                      analysis.patterns[best].choice.rows)) {
+          best = idx;
+        }
+      }
+      order.push_back(best);
+      remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+      for (const std::string& v : analysis.patterns[best].variables) {
+        bound_vars.insert(v);
+      }
+    }
+  }
+
+  // Left-deep hash joins in that order, annotated with subset estimates.
+  CostModel cost_model;
+  JoinTreePtr tree = MakeLeaf(analysis, static_cast<int>(order[0]));
+  uint64_t mask = uint64_t{1} << order[0];
+  double cost = tree->est_cost;
+  for (size_t k = 1; k < order.size(); ++k) {
+    JoinTreePtr leaf = MakeLeaf(analysis, static_cast<int>(order[k]));
+    mask |= uint64_t{1} << order[k];
+    const double out =
+        order.size() <= 63 ? EstimateSubsetRows(analysis, mask) : kMaxRows;
+    cost += leaf->est_cost +
+            cost_model.HashJoinCost(tree->est_rows, leaf->est_rows, out);
+    tree = MakeJoin(std::move(tree), std::move(leaf), JoinAlgoChoice::kHash,
+                    out, cost);
+  }
+  return tree;
+}
+
+namespace {
+
+// Leaf-level semi-join selection: reduce a large scan by the projected
+// join column of a smaller neighbor when the statistics promise a big
+// cut. This is exactly the ExtVP reduction computed at query time — it
+// fires where the precomputed table is unavailable (pruned by the SF
+// threshold, quarantined, or a layout without reductions) but the SF
+// statistics still exist.
+void AddReducers(JoinTree* node, const BgpAnalysis& analysis,
+                 const OptimizerOptions& options, uint64_t sibling_mask) {
+  if (!node->is_leaf()) {
+    const uint64_t left_mask = SubtreeMask(*node->left);
+    const uint64_t right_mask = SubtreeMask(*node->right);
+    AddReducers(node->left.get(), analysis, options, right_mask);
+    AddReducers(node->right.get(), analysis, options, left_mask);
+    return;
+  }
+  const size_t i = static_cast<size_t>(node->pattern);
+  const PatternInfo& info = analysis.patterns[i];
+  if (info.scan_rows <
+      static_cast<double>(options.semi_join_min_rows)) {
+    return;
+  }
+  struct Candidate {
+    double keep;
+    size_t j;
+  };
+  std::vector<Candidate> candidates;
+  for (const JoinEdge& e : analysis.edges) {
+    if (e.a != i && e.b != i) continue;
+    if (e.shared_vars != 1) continue;  // SemiJoin is single-column.
+    const size_t j = e.a == i ? e.b : e.a;
+    const double keep = e.a == i ? e.keep_a : e.keep_b;
+    // Reducing by a pattern already on the other side of this leaf's
+    // join is nearly pure overhead: the join enforces that variable
+    // anyway, so the reducer saves only failed probe lookups while
+    // paying a scan plus a materialized copy of the survivors. Only
+    // reductions by patterns joined *later* cut emitted rows.
+    if ((sibling_mask >> j & 1) != 0) continue;
+    // Worthwhile only for a substantial cut by a smaller input.
+    if (keep > 0.5) continue;
+    if (analysis.patterns[j].scan_rows > info.scan_rows) continue;
+    candidates.push_back({keep, j});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.keep != b.keep ? a.keep < b.keep : a.j < b.j;
+            });
+  if (candidates.size() > 2) candidates.resize(2);  // Diminishing returns.
+  for (const Candidate& c : candidates) {
+    node->reducers.push_back(static_cast<int>(c.j));
+  }
+}
+
+}  // namespace
+
+StatusOr<JoinTreePtr> CostBasedOptimizer::Optimize(
+    const BgpAnalysis& analysis) const {
+  const size_t n = analysis.patterns.size();
+  if (n == 0) return InvalidArgumentError("empty basic graph pattern");
+  if (n > 63) {
+    // Subset masks cap out; such BGPs are degenerate anyway.
+    return PaperOptimizer(options_).Optimize(analysis);
+  }
+
+  const std::vector<uint64_t> nbr = NeighborMasks(analysis);
+  JoinTreePtr tree;
+
+  const int dp_cap =
+      std::min(options_.dp_pattern_cap, kDpHardCap);
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  std::vector<char> connected;
+  if (static_cast<int>(n) <= dp_cap && n >= 2) {
+    connected = ConnectedMasks(nbr, n);
+  }
+  if (!connected.empty() && connected[full] != 0) {
+    // Exact enumeration over *connected* pattern subsets: for each, the
+    // cheapest way to split it into two connected joined halves (bushy
+    // trees allowed — any connected subgraph has such a split). Both
+    // split orders are tried — hash join builds on the right, so sides
+    // are not symmetric. Disconnected BGPs (cross joins) take the
+    // greedy path below instead.
+    struct DpEntry {
+      double cost = std::numeric_limits<double>::infinity();
+      double rows = 0.0;
+      uint64_t left_mask = 0;  // 0 marks singletons.
+      JoinAlgoChoice algo = JoinAlgoChoice::kHash;
+    };
+    std::vector<DpEntry> dp(uint64_t{1} << n);
+    for (size_t i = 0; i < n; ++i) {
+      DpEntry& e = dp[uint64_t{1} << i];
+      e.cost = analysis.patterns[i].scan_cost;
+      e.rows = analysis.patterns[i].scan_rows;
+    }
+    for (uint64_t mask = 1; mask <= full; ++mask) {
+      if (std::popcount(mask) < 2 || connected[mask] == 0) continue;
+      DpEntry best;
+      best.rows = EstimateSubsetRows(analysis, mask);
+      const auto consider = [&](uint64_t l, uint64_t r) {
+        const double hash =
+            cost_model_.HashJoinCost(dp[l].rows, dp[r].rows, best.rows);
+        const double merge =
+            cost_model_.SortMergeJoinCost(dp[l].rows, dp[r].rows, best.rows);
+        const double join = std::min(hash, merge);
+        const double cost = dp[l].cost + dp[r].cost + join;
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.left_mask = l;
+          best.algo = merge < hash ? JoinAlgoChoice::kSortMerge
+                                   : JoinAlgoChoice::kHash;
+        }
+      };
+      // Enumerate each unordered split once (the half holding the
+      // lowest pattern), trying both orientations.
+      const uint64_t low = mask & (~mask + 1);
+      const uint64_t rest = mask ^ low;
+      uint64_t s = rest;
+      do {
+        s = (s - 1) & rest;
+        const uint64_t sub = s | low;
+        const uint64_t other = mask ^ sub;
+        if (connected[sub] == 0 || connected[other] == 0) continue;
+        // Bound: the join itself cannot cost less than zero, so a
+        // split whose halves already exceed the incumbent loses in
+        // either orientation.
+        if (dp[sub].cost + dp[other].cost >= best.cost) continue;
+        consider(sub, other);
+        consider(other, sub);
+      } while (s != 0);
+      dp[mask] = best;
+    }
+    // Reconstruct the winning tree.
+    auto build = [&](auto&& self, uint64_t mask) -> JoinTreePtr {
+      if (std::popcount(mask) == 1) {
+        return MakeLeaf(analysis, std::countr_zero(mask));
+      }
+      const DpEntry& e = dp[mask];
+      return MakeJoin(self(self, e.left_mask), self(self, mask ^ e.left_mask),
+                      e.algo, e.rows, e.cost);
+    };
+    tree = build(build, full);
+  } else if (n == 1) {
+    tree = MakeLeaf(analysis, 0);
+  } else {
+    // Greedy fallback for very wide BGPs and for disconnected join
+    // graphs (cross joins): start from the smallest scan, repeatedly
+    // absorb the connected pattern minimizing the estimated
+    // intermediate result (left-deep).
+    size_t seed = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (analysis.patterns[i].scan_rows <
+          analysis.patterns[seed].scan_rows) {
+        seed = i;
+      }
+    }
+    tree = MakeLeaf(analysis, static_cast<int>(seed));
+    uint64_t mask = uint64_t{1} << seed;
+    double cost = tree->est_cost;
+    std::vector<size_t> remaining;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != seed) remaining.push_back(i);
+    }
+    while (!remaining.empty()) {
+      size_t best = remaining.size();  // Index into `remaining`.
+      double best_rows = std::numeric_limits<double>::infinity();
+      bool best_connected = false;
+      for (size_t k = 0; k < remaining.size(); ++k) {
+        const size_t idx = remaining[k];
+        const bool connected = (nbr[idx] & mask) != 0;
+        if (best_connected && !connected) continue;
+        const double rows =
+            EstimateSubsetRows(analysis, mask | uint64_t{1} << idx);
+        if (best == remaining.size() || (connected && !best_connected) ||
+            rows < best_rows) {
+          best = k;
+          best_rows = rows;
+          best_connected = connected;
+        }
+      }
+      const size_t idx = remaining[best];
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+      JoinTreePtr leaf = MakeLeaf(analysis, static_cast<int>(idx));
+      const JoinAlgoChoice algo = cost_model_.ChooseJoinAlgo(
+          tree->est_rows, leaf->est_rows, best_rows);
+      cost += leaf->est_cost + cost_model_.JoinCost(algo, tree->est_rows,
+                                                    leaf->est_rows, best_rows);
+      mask |= uint64_t{1} << idx;
+      tree = MakeJoin(std::move(tree), std::move(leaf), algo, best_rows, cost);
+    }
+  }
+
+  if (options_.enable_semi_join && n >= 2) {
+    AddReducers(tree.get(), analysis, options_, 0);
+  }
+  return tree;
+}
+
+}  // namespace s2rdf::core

@@ -1,0 +1,165 @@
+#ifndef S2RDF_CORE_OPTIMIZER_H_
+#define S2RDF_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/table_selection.h"
+#include "sparql/ast.h"
+
+// The Optimize stage of the compile pipeline (Analyze -> Optimize ->
+// Plan, see core/compiler.h). The compiler's Analyze produces a
+// BgpAnalysis — per-pattern table choices with cardinality estimates
+// plus the join graph — and a pluggable Optimizer turns it into a
+// JoinTree the Plan stage lowers to engine::PlanNodes.
+//
+// Two implementations behind the one interface:
+//
+//   PaperOptimizer      Algorithm 4 of the paper verbatim: order by
+//                       bound-term count, then by selected-table size,
+//                       never cross-joining when avoidable; left-deep
+//                       hash joins. This is the default and reproduces
+//                       the pre-redesign planner exactly.
+//   CostBasedOptimizer  Dynamic-programming join enumeration (bushy
+//                       trees allowed) over the SF-derived cardinality
+//                       estimates for BGPs up to dp_pattern_cap
+//                       patterns, greedy min-cardinality construction
+//                       above that; per-join hash vs sort-merge choice;
+//                       semi-join reduction of large scans ahead of
+//                       expensive joins.
+//
+// Both are deterministic: the same analysis always yields the same
+// tree. Both respect the ExtVP -> VP -> TT degradation path because
+// they consume whatever TableChoice Analyze made — and the cost-based
+// semi-join pass effectively rebuilds quarantined or unmaterialized
+// ExtVP reductions at runtime.
+
+namespace s2rdf::core {
+
+enum class OptimizerMode {
+  kPaper,  // The paper's heuristic (Algorithms 3/4).
+  kCost,   // Cost-based over SF statistics.
+};
+
+const char* OptimizerModeName(OptimizerMode mode);
+StatusOr<OptimizerMode> ParseOptimizerMode(std::string_view name);
+
+struct OptimizerOptions {
+  OptimizerMode mode = OptimizerMode::kPaper;
+  // Paper mode: Algorithm 4 ordering (true) vs Algorithm 3 pattern
+  // order (false).
+  bool reorder_joins = true;
+  // Cost mode: exact DP join enumeration for BGPs up to this many
+  // patterns; greedy construction above. Capped at 16 internally.
+  int dp_pattern_cap = 10;
+  // Cost mode: allow semi-join reduction of large, poorly-reduced scans
+  // ahead of expensive joins.
+  bool enable_semi_join = true;
+  // Scans below this estimated size are never semi-join-reduced (the
+  // reduction would cost more than it saves). Tests lower this to 0.
+  uint64_t semi_join_min_rows = 1024;
+};
+
+// One triple pattern after Analyze: its Algorithm-1 table choice plus
+// the estimator's view of the scan.
+struct PatternInfo {
+  TableChoice choice;
+  double scan_rows = 0.0;  // Estimated scan output rows.
+  double scan_cost = 0.0;
+  int bound_count = 0;     // Non-variable positions (Algorithm 4 key).
+  std::vector<std::string> variables;  // In s/p/o order, deduplicated.
+};
+
+// One edge of the join graph: patterns a < b share >= 1 variable.
+struct JoinEdge {
+  size_t a = 0;
+  size_t b = 0;
+  int shared_vars = 0;
+  std::string shared_var;  // First shared variable, in a's s/p/o order.
+  // est(a JOIN b) / (rows_a * rows_b), clamped to (0, 1].
+  double selectivity = 1.0;
+  // Fraction of each side's scan surviving the join (semi-join sizing).
+  double keep_a = 1.0;
+  double keep_b = 1.0;
+};
+
+struct BgpAnalysis {
+  std::vector<sparql::TriplePattern> bgp;
+  std::vector<PatternInfo> patterns;  // Parallel to `bgp`.
+  std::vector<JoinEdge> edges;        // a < b, lexicographically sorted.
+  // Statistics proved the BGP empty (some pattern's table has zero
+  // rows); `patterns` stops at the pattern that proved it.
+  bool empty_result = false;
+};
+
+// Binary join tree over the analyzed patterns. Leaves reference a
+// pattern index; inner nodes join their children. Estimates are
+// advisory annotations carried into the plan for EXPLAIN.
+struct JoinTree {
+  int pattern = -1;  // >= 0 for leaves.
+  std::unique_ptr<JoinTree> left;
+  std::unique_ptr<JoinTree> right;
+  JoinAlgoChoice algo = JoinAlgoChoice::kHash;
+  // Leaf only: pattern indices whose single-column semi-join should
+  // reduce this scan before it joins (smallest keep fraction first).
+  std::vector<int> reducers;
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+
+  bool is_leaf() const { return pattern >= 0; }
+};
+using JoinTreePtr = std::unique_ptr<JoinTree>;
+
+// The edge between patterns a and b, if they share a variable; nullptr
+// otherwise. Order-insensitive.
+const JoinEdge* FindEdge(const BgpAnalysis& analysis, size_t a, size_t b);
+
+// Estimated rows of joining the patterns in `mask` (bit i = pattern i):
+// product of member scan estimates times the selectivity of every
+// internal edge — the independence assumption. Plan-shape-invariant,
+// which is what makes the DP's subproblem sharing sound.
+double EstimateSubsetRows(const BgpAnalysis& analysis, uint64_t mask);
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // "paper" or "cost"; recorded in query results and /debug/queries.
+  virtual const char* name() const = 0;
+  // Deterministically picks a join tree for the analyzed BGP. The
+  // analysis must have >= 1 pattern and no empty_result choices.
+  virtual StatusOr<JoinTreePtr> Optimize(const BgpAnalysis& analysis) const = 0;
+
+  static std::unique_ptr<Optimizer> Create(const OptimizerOptions& options);
+};
+
+class PaperOptimizer : public Optimizer {
+ public:
+  explicit PaperOptimizer(const OptimizerOptions& options)
+      : options_(options) {}
+  const char* name() const override { return "paper"; }
+  StatusOr<JoinTreePtr> Optimize(const BgpAnalysis& analysis) const override;
+
+ private:
+  OptimizerOptions options_;
+};
+
+class CostBasedOptimizer : public Optimizer {
+ public:
+  explicit CostBasedOptimizer(const OptimizerOptions& options)
+      : options_(options) {}
+  const char* name() const override { return "cost"; }
+  StatusOr<JoinTreePtr> Optimize(const BgpAnalysis& analysis) const override;
+
+ private:
+  OptimizerOptions options_;
+  CostModel cost_model_;
+};
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_OPTIMIZER_H_

@@ -115,6 +115,7 @@ StatusOr<QueryResult> S2Rdf::Execute(const QueryRequest& request) {
   CompilerOptions compiler_options;
   compiler_options.layout = request.options.layout;
   compiler_options.collect_profile = request.options.collect_profile;
+  compiler_options.optimizer = request.options.optimizer;
   return ExecuteInternal(request.query, compiler_options, request.options);
 }
 
@@ -163,12 +164,31 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
   }
   if (query.form == sparql::QueryForm::kConstruct ||
       query.form == sparql::QueryForm::kDescribe) {
+    if (query_options.explain_plan) {
+      return InvalidArgumentError(
+          "explain=plan is not supported for CONSTRUCT/DESCRIBE queries");
+    }
     return ExecuteGraphForm(query, effective, query_options);
   }
   QueryCompiler compiler(&catalog_, &graph_.dictionary(), effective);
   S2RDF_ASSIGN_OR_RETURN(engine::PlanPtr plan, compiler.Compile(query));
   const double compile_ms = MillisSince(start) - parse_ms;
   if (ctx.CheckInterrupt()) return ctx.interrupt_status;
+
+  if (query_options.explain_plan) {
+    // EXPLAIN: stop after the compile stage; the plan with its
+    // estimates is the result.
+    QueryResult result;
+    result.millis = MillisSince(start);
+    result.parse_ms = parse_ms;
+    result.compile_ms = compile_ms;
+    result.is_ask = query.is_ask;
+    result.sql = plan->ToSql();
+    result.plan = plan->ToString();
+    result.optimizer_mode = compiler.optimizer().name();
+    result.plan_fingerprint = engine::PlanFingerprint(*plan);
+    return result;
+  }
 
   // The provider pins every table it resolves until `provider` is
   // destroyed, so concurrent eviction cannot free a table mid-scan.
@@ -207,6 +227,8 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
   }
   result.sql = plan->ToSql();
   result.plan = plan->ToString();
+  result.optimizer_mode = compiler.optimizer().name();
+  result.plan_fingerprint = engine::PlanFingerprint(*plan);
   result.table = std::move(table);
   result.metrics = ctx.metrics;
   // Enforce the memory budget between queries; in-flight queries keep

@@ -94,6 +94,12 @@ struct QueryOptions {
   Layout layout = Layout::kExtVp;
   // EXPLAIN ANALYZE: record per-operator rows and timings.
   bool collect_profile = false;
+  // EXPLAIN: parse and compile only; QueryResult carries the plan,
+  // SQL, optimizer mode/estimates and fingerprint, but no rows. Not
+  // supported for CONSTRUCT/DESCRIBE.
+  bool explain_plan = false;
+  // Optimizer selection and knobs (paper heuristic vs cost-based).
+  OptimizerOptions optimizer;
   // Optional external cancellation: while *cancel is true the query
   // returns kCancelled at the next operator boundary. The flag must
   // outlive the Execute call.
@@ -130,6 +136,12 @@ struct QueryResult {
   std::string sql;
   // The physical plan, for inspection.
   std::string plan;
+  // Which Optimize stage compiled the plan ("paper" or "cost"); empty
+  // for graph forms, which bypass the SELECT pipeline.
+  std::string optimizer_mode;
+  // FNV-1a hash of `plan` — tells plan shapes apart cheaply in
+  // /debug/queries and logs. 0 for graph forms.
+  uint64_t plan_fingerprint = 0;
   // EXPLAIN ANALYZE rendering (per-operator rows and inclusive times);
   // empty unless profiling was requested.
   std::string profile;

@@ -90,6 +90,9 @@ struct OperatorProfile {
   ExecMetrics delta;
   // Start offset relative to ExecContext::profile_origin, milliseconds.
   double start_ms = 0.0;
+  // The optimizer's row estimate for this operator; < 0 means "not
+  // annotated" (e.g. operators above the BGP pipeline).
+  double estimated_rows = -1.0;
 };
 
 // One morsel/partition task executed while profiling a parallel

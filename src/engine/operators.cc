@@ -568,19 +568,20 @@ Table Slice(const Table& t, uint64_t offset, uint64_t limit) {
 }
 
 Table Project(const Table& t, const std::vector<std::string>& columns) {
-  Table out(columns);
-  out.Reserve(t.NumRows());
-  std::vector<int> src;
-  src.reserve(columns.size());
-  for (const std::string& name : columns) src.push_back(t.ColumnIndex(name));
-  for (size_t r = 0; r < t.NumRows(); ++r) {
-    std::vector<TermId> row;
-    row.reserve(columns.size());
-    for (int c : src) {
-      row.push_back(c < 0 ? kNullTermId : t.At(r, static_cast<size_t>(c)));
+  // Column store: projection is column selection, so copy whole
+  // columns rather than assembling rows one at a time.
+  std::vector<std::vector<TermId>> cols;
+  cols.reserve(columns.size());
+  for (const std::string& name : columns) {
+    const int c = t.ColumnIndex(name);
+    if (c < 0) {
+      cols.emplace_back(t.NumRows(), kNullTermId);
+    } else {
+      cols.push_back(t.Column(static_cast<size_t>(c)));
     }
-    out.AppendRow(row);
   }
+  Table out(columns);
+  out.AdoptColumns(std::move(cols));
   return out;
 }
 

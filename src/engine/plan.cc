@@ -1,8 +1,10 @@
 #include "engine/plan.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "engine/parallel.h"
 #include "engine/parallel_join.h"
 
@@ -25,6 +27,14 @@ PlanPtr PlanNode::Scan(
 PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right) {
   auto n = std::make_unique<PlanNode>();
   n->kind = Kind::kJoin;
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+PlanPtr PlanNode::SemiJoinNode(PlanPtr left, PlanPtr right) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = Kind::kSemiJoin;
   n->left = std::move(left);
   n->right = std::move(right);
   return n;
@@ -117,6 +127,14 @@ PlanPtr PlanNode::Empty(std::vector<std::string> columns) {
 
 namespace {
 std::string Indent(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+// Renders the optimizer's row estimate compactly; "" when unset.
+std::string EstSuffix(double estimated_rows) {
+  if (estimated_rows < 0.0) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "  est=%.6g", estimated_rows);
+  return buf;
+}
 }  // namespace
 
 std::string PlanNode::ToString(int indent) const {
@@ -133,11 +151,15 @@ std::string PlanNode::ToString(int indent) const {
         if (i > 0) out += ", ";
         out += projections[i].first + " AS " + projections[i].second;
       }
-      out += "]\n";
+      out += "]" + EstSuffix(estimated_rows) + "\n";
       return out;
     }
     case Kind::kJoin:
-      out += "Join\n";
+      out += (join_algo == JoinAlgo::kSortMerge ? "MergeJoin" : "Join") +
+             EstSuffix(estimated_rows) + "\n";
+      break;
+    case Kind::kSemiJoin:
+      out += "SemiJoinReduce" + EstSuffix(estimated_rows) + "\n";
       break;
     case Kind::kLeftJoin:
       out += "LeftJoin";
@@ -230,6 +252,9 @@ std::string PlanNode::ToSql() const {
     case Kind::kJoin:
       return "(" + left->ToSql() + ")\n  NATURAL JOIN\n(" + right->ToSql() +
              ")";
+    case Kind::kSemiJoin:
+      return "(" + left->ToSql() + ")\n  LEFT SEMI JOIN\n(" +
+             right->ToSql() + ")";
     case Kind::kLeftJoin:
       return "(" + left->ToSql() + ")\n  NATURAL LEFT OUTER JOIN\n(" +
              right->ToSql() + ")" +
@@ -336,7 +361,10 @@ std::string NodeLabel(const PlanNode& plan) {
                   : "") +
              ")";
     case PlanNode::Kind::kJoin:
-      return "Join";
+      return plan.join_algo == PlanNode::JoinAlgo::kSortMerge ? "MergeJoin"
+                                                              : "Join";
+    case PlanNode::Kind::kSemiJoin:
+      return "SemiJoinReduce";
     case PlanNode::Kind::kLeftJoin:
       return "LeftJoin";
     case PlanNode::Kind::kUnion:
@@ -391,6 +419,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     OperatorProfile op;
     op.label = NodeLabel(plan);
     op.depth = depth;
+    op.estimated_rows = plan.estimated_rows;
     if (plan.kind == PlanNode::Kind::kScan) {
       op.table = plan.table_name;
       op.layout = plan.scan_layout;
@@ -462,10 +491,33 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
       S2RDF_ASSIGN_OR_RETURN(Table r,
                              ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      if (plan.join_algo == PlanNode::JoinAlgo::kSortMerge) {
+        // Sort-merge keeps the serial implementation either way; its
+        // output is the same bag as HashJoin in a different order.
+        return SortMergeJoin(l, r, ctx);
+      }
       if (ctx != nullptr && ctx->parallel_execution) {
         return ParallelHashJoin(l, r, ctx);
       }
       return HashJoin(l, r, ctx);
+    }
+    case PlanNode::Kind::kSemiJoin: {
+      S2RDF_ASSIGN_OR_RETURN(Table l,
+                             ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      S2RDF_ASSIGN_OR_RETURN(Table r,
+                             ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      std::vector<int> left_keys;
+      std::vector<int> right_keys;
+      std::vector<int> right_only;
+      JoinSharedColumns(l, r, &left_keys, &right_keys, &right_only);
+      if (left_keys.size() != 1) {
+        return InternalError(
+            "semi-join reducer requires exactly one shared column, got " +
+            std::to_string(left_keys.size()));
+      }
+      // Preserves left row order, so wrapping a scan in a reducer never
+      // changes the downstream hash-join output sequence.
+      return SemiJoin(l, left_keys[0], r, right_keys[0], ctx);
     }
     case PlanNode::Kind::kLeftJoin: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
@@ -567,6 +619,10 @@ StatusOr<Table> ExecutePlan(const PlanNode& plan, const TableProvider& tables,
     return ctx->interrupt_status;
   }
   return result;
+}
+
+uint64_t PlanFingerprint(const PlanNode& plan) {
+  return Fnv1a64(plan.ToString());
 }
 
 }  // namespace s2rdf::engine

@@ -37,6 +37,13 @@ struct PlanNode {
     kAggregate, // GROUP BY + aggregates of left (SPARQL 1.1).
     kInlineData,// VALUES block: literal solution rows.
     kEmpty,     // Statically-empty result (SF = 0 shortcut).
+    kSemiJoin,  // Left semi join: left rows with a match in right.
+  };
+
+  // Physical algorithm for a kJoin node; the optimizer picks per join.
+  enum class JoinAlgo {
+    kHash,       // Build on right, probe with left (the default).
+    kSortMerge,  // Sort both sides on the shared columns, merge.
   };
 
   Kind kind;
@@ -61,6 +68,14 @@ struct PlanNode {
   std::string scan_layout;
   double scan_sf = 1.0;
   bool scan_degraded = false;
+
+  // kJoin: physical algorithm.
+  JoinAlgo join_algo = JoinAlgo::kHash;
+
+  // Optimizer estimates, carried for EXPLAIN; < 0 means "not set".
+  // Purely observational — execution ignores these.
+  double estimated_rows = -1.0;
+  double estimated_cost = -1.0;
 
   // kFilter / kLeftJoin condition.
   ExprPtr filter;
@@ -94,6 +109,7 @@ struct PlanNode {
       std::vector<std::pair<std::string, std::string>> projs,
       std::vector<std::pair<std::string, std::string>> equal_sels = {});
   static PlanPtr Join(PlanPtr left, PlanPtr right);
+  static PlanPtr SemiJoinNode(PlanPtr left, PlanPtr right);
   static PlanPtr LeftJoin(PlanPtr left, PlanPtr right, ExprPtr condition);
   static PlanPtr Union(PlanPtr left, PlanPtr right);
   static PlanPtr FilterNode(PlanPtr input, ExprPtr condition);
@@ -124,6 +140,10 @@ using TableProvider =
 // aggregates mint new literals (counts, sums).
 StatusOr<Table> ExecutePlan(const PlanNode& plan, const TableProvider& tables,
                             rdf::Dictionary* dict, ExecContext* ctx);
+
+// FNV-1a hash of the rendered plan tree — a stable fingerprint for
+// telling plans apart in /debug/queries and traces.
+uint64_t PlanFingerprint(const PlanNode& plan);
 
 }  // namespace s2rdf::engine
 

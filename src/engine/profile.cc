@@ -84,6 +84,16 @@ std::string RenderProfileText(const QueryProfile& profile) {
                   op.depth * 2, "", op.label.c_str(),
                   static_cast<unsigned long long>(op.output_rows), op.millis);
     out += line;
+    if (op.estimated_rows >= 0.0) {
+      // q-error = max(est/actual, actual/est) with both clamped to >= 1;
+      // the standard symmetric estimation-quality measure.
+      const double est = op.estimated_rows < 1.0 ? 1.0 : op.estimated_rows;
+      const double act =
+          op.output_rows < 1 ? 1.0 : static_cast<double>(op.output_rows);
+      const double q = est > act ? est / act : act / est;
+      out += "  est=" + Fmt("%.4g", op.estimated_rows) +
+             " q=" + Fmt("%.3g", q);
+    }
     if (!op.table.empty()) {
       out += "  [layout=" + (op.layout.empty() ? "?" : op.layout) +
              " sf=" + Fmt("%.4g", op.sf);
@@ -120,6 +130,9 @@ std::string RenderTraceJson(const QueryProfile& profile,
   for (const OperatorProfile& op : profile.operators) {
     std::string args = "\"rows\":" + std::to_string(op.output_rows) +
                        ",\"depth\":" + std::to_string(op.depth);
+    if (op.estimated_rows >= 0.0) {
+      args += ",\"est_rows\":" + Fmt("%.6g", op.estimated_rows);
+    }
     if (!op.table.empty()) {
       args += ",\"table\":\"" + JsonEscape(op.table) + "\",\"layout\":\"" +
               JsonEscape(op.layout) + "\",\"sf\":" + Fmt("%.6g", op.sf);

@@ -18,6 +18,15 @@ int Table::ColumnIndex(std::string_view name) const {
   return -1;
 }
 
+void Table::AdoptColumns(std::vector<std::vector<TermId>> columns) {
+  S2RDF_DCHECK(columns.size() == column_names_.size());
+  num_rows_ = columns.empty() ? 0 : columns[0].size();
+  for ([[maybe_unused]] const auto& col : columns) {
+    S2RDF_DCHECK(col.size() == num_rows_);
+  }
+  columns_ = std::move(columns);
+}
+
 void Table::AppendRow(const std::vector<TermId>& values) {
   S2RDF_DCHECK(values.size() == columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {

@@ -46,6 +46,12 @@ class Table {
 
   TermId At(size_t row, size_t col) const { return columns_[col][row]; }
 
+  // Replaces the table's data wholesale with `columns` (one vector per
+  // column, all the same length). The column-store fast path for
+  // operators that produce whole columns — Project — instead of
+  // assembling rows.
+  void AdoptColumns(std::vector<std::vector<TermId>> columns);
+
   // Appends one row; `values.size()` must equal NumColumns().
   void AppendRow(const std::vector<TermId>& values);
   void AppendRow(std::initializer_list<TermId> values);

@@ -263,6 +263,12 @@ HttpResponse SparqlEndpoint::DebugQueriesResponse() const {
                " compile=" + FormatMs(r.compile_ms) +
                " exec=" + FormatMs(r.exec_ms) +
                " total=" + FormatMs(r.total_ms) + " ms";
+        if (!r.optimizer_mode.empty()) {
+          char fp[24];
+          std::snprintf(fp, sizeof(fp), "%016llx",
+                        static_cast<unsigned long long>(r.plan_fingerprint));
+          out += "  opt=" + r.optimizer_mode + " plan=" + fp;
+        }
       } else {
         out += "  total=" + FormatMs(r.total_ms) + " ms  error=" + r.error;
       }
@@ -284,7 +290,8 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
         "<html><body><h1>S2RDF SPARQL endpoint</h1>"
         "<p>POST or GET /sparql with a <code>query</code> parameter "
         "(optional <code>timeout</code> ms, <code>limit</code> rows, "
-        "<code>explain=analyze</code>, <code>trace=1</code>).</p>"
+        "<code>explain=plan|analyze</code>, <code>trace=1</code>, "
+        "<code>optimizer=paper|cost</code>).</p>"
         "<p>Introspection: <a href=\"/metrics\">/metrics</a>, "
         "<a href=\"/debug/queries\">/debug/queries</a>.</p>"
         "<p>Tables: " +
@@ -361,14 +368,18 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   }
   if (present) query_request.options.max_result_rows = value;
 
+  bool explain_plan = false;
   bool explain_analyze = false;
   auto explain_it = params.find("explain");
   if (explain_it != params.end()) {
-    if (explain_it->second != "analyze") {
+    if (explain_it->second == "plan") {
+      explain_plan = true;
+    } else if (explain_it->second == "analyze") {
+      explain_analyze = true;
+    } else {
       return ErrorResponse(
-          InvalidArgumentError("'explain' must be 'analyze'"));
+          InvalidArgumentError("'explain' must be 'plan' or 'analyze'"));
     }
-    explain_analyze = true;
   }
   bool want_trace = false;
   auto trace_it = params.find("trace");
@@ -378,14 +389,23 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     }
     want_trace = trace_it->second == "1";
   }
+  auto optimizer_it = params.find("optimizer");
+  if (optimizer_it != params.end()) {
+    auto mode = core::ParseOptimizerMode(optimizer_it->second);
+    if (!mode.ok()) return ErrorResponse(mode.status());
+    query_request.options.optimizer.mode = *mode;
+  }
   query_request.options.collect_profile = explain_analyze || want_trace;
+  query_request.options.explain_plan = explain_plan;
 
-  return RunQuery(request, query_request, explain_analyze, want_trace);
+  return RunQuery(request, query_request, explain_plan, explain_analyze,
+                  want_trace);
 }
 
 HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
                                       const core::QueryRequest& query_request,
-                                      bool explain_analyze, bool want_trace) {
+                                      bool explain_plan, bool explain_analyze,
+                                      bool want_trace) {
   queries_total_->Increment();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   uint64_t id = BeginQuery(query_request.query);
@@ -433,6 +453,8 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
   record.parse_ms = result->parse_ms;
   record.compile_ms = result->compile_ms;
   record.exec_ms = result->exec_ms;
+  record.optimizer_mode = result->optimizer_mode;
+  record.plan_fingerprint = result->plan_fingerprint;
   FinishQuery(std::move(record));
 
   if (slow) {
@@ -449,6 +471,16 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
   }
 
   HttpResponse response;
+  if (explain_plan) {
+    // Compile-only: report the chosen plan with its estimates.
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(result->plan_fingerprint));
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "optimizer: " + result->optimizer_mode +
+                    "\nfingerprint: " + fp + "\n" + result->plan;
+    return response;
+  }
   if (explain_analyze) {
     response.content_type = "text/plain; charset=utf-8";
     response.body = result->profile;

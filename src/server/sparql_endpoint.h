@@ -24,7 +24,7 @@
 // W3C SPARQL 1.1 Protocol:
 //
 //   GET  /sparql?query=<urlencoded>[&timeout=<ms>][&limit=<rows>]
-//                [&explain=analyze][&trace=1]
+//                [&explain=plan|analyze][&trace=1][&optimizer=paper|cost]
 //   POST /sparql   (application/x-www-form-urlencoded: query=...)
 //   POST /sparql   (application/sparql-query: raw query body)
 //   GET  /health   liveness probe ("ok")
@@ -32,9 +32,12 @@
 //   GET  /debug/queries  in-flight and recently completed queries
 //
 // `explain=analyze` returns the EXPLAIN ANALYZE profile tree (operator
-// rows/timings, chosen tables with layout + selectivity factor) as
-// text/plain instead of the solutions; `trace=1` returns Chrome
-// trace_event JSON for chrome://tracing / Perfetto.
+// rows/timings with estimated-vs-actual, chosen tables with layout +
+// selectivity factor) as text/plain instead of the solutions;
+// `explain=plan` compiles but does not execute, returning the plan with
+// its cost estimates; `trace=1` returns Chrome trace_event JSON for
+// chrome://tracing / Perfetto. `optimizer=paper|cost` selects the
+// Optimize stage (paper heuristic vs cost-based, default paper).
 //
 // Result format is chosen from the Accept header (JSON by default;
 // XML, CSV, TSV supported). GET / serves a small status page.
@@ -108,6 +111,12 @@ struct QueryRecord {
   double total_ms = 0.0;
   bool slow = false;
   std::string error;  // Status message for failed queries.
+  // Which Optimize stage planned the query ("paper" or "cost"; empty
+  // for graph forms and failures) and the plan's fingerprint hash —
+  // two /debug/queries entries with the same fingerprint ran the same
+  // plan shape.
+  std::string optimizer_mode;
+  uint64_t plan_fingerprint = 0;
 };
 
 class SparqlEndpoint {
@@ -157,7 +166,8 @@ class SparqlEndpoint {
   // slow-query log).
   HttpResponse RunQuery(const HttpRequest& request,
                         const core::QueryRequest& query_request,
-                        bool explain_analyze, bool want_trace);
+                        bool explain_plan, bool explain_analyze,
+                        bool want_trace);
 
   // Registers every built-in metric on registry_.
   void RegisterMetrics();

@@ -318,6 +318,32 @@ TEST_F(EndpointTest, MalformedParamsReturn400) {
   EXPECT_EQ(Get("/sparql?" + query + "&timeout=soon").status_code, 400);
   EXPECT_EQ(Get("/sparql?" + query + "&timeout=-5").status_code, 400);
   EXPECT_EQ(Get("/sparql?" + query + "&limit=many").status_code, 400);
+  EXPECT_EQ(Get("/sparql?" + query + "&optimizer=magic").status_code, 400);
+}
+
+TEST_F(EndpointTest, OptimizerParamSelectsOptimizeStage) {
+  std::string query =
+      "query=SELECT%20%2A%20WHERE%20%7B%20%3Fs%20%3Cfollows%3E%20%3Fo%20%7D";
+  // explain=plan: compile only, report the Optimize stage and plan.
+  HttpResponse paper = Get("/sparql?" + query + "&explain=plan");
+  EXPECT_EQ(paper.status_code, 200);
+  EXPECT_NE(paper.body.find("optimizer: paper"), std::string::npos)
+      << paper.body;
+  EXPECT_NE(paper.body.find("fingerprint:"), std::string::npos);
+
+  HttpResponse cost = Get("/sparql?" + query + "&explain=plan&optimizer=cost");
+  EXPECT_EQ(cost.status_code, 200);
+  EXPECT_NE(cost.body.find("optimizer: cost"), std::string::npos) << cost.body;
+
+  // Both modes answer the actual query identically.
+  EXPECT_EQ(Get("/sparql?" + query + "&optimizer=cost", "text/csv").body,
+            Get("/sparql?" + query + "&optimizer=paper", "text/csv").body);
+
+  // /debug/queries records the mode and plan fingerprint.
+  HttpResponse debug = Get("/debug/queries");
+  EXPECT_EQ(debug.status_code, 200);
+  EXPECT_NE(debug.body.find("opt=cost"), std::string::npos) << debug.body;
+  EXPECT_NE(debug.body.find("plan="), std::string::npos);
 }
 
 TEST(EndpointTimeoutTest, TimeoutParamReturns408) {

@@ -264,6 +264,14 @@ const std::vector<BannedToken>& BareMutexTokens() {
   return kTokens;
 }
 
+// Deprecated back-compat aliases; the message names the replacement.
+const std::vector<BannedToken>& DeprecatedApiTokens() {
+  static const std::vector<BannedToken> kTokens = {
+      {"optimize_join_order", TokenKind::kType},
+  };
+  return kTokens;
+}
+
 const std::vector<BannedToken>& NondeterminismTokens() {
   static const std::vector<BannedToken> kTokens = {
       {"rand", TokenKind::kCall},
@@ -361,6 +369,15 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "bare-mutex", BareMutexTokens(),
                 "evades Clang thread-safety analysis (use s2rdf::Mutex / "
                 "MutexLock / CondVar from common/mutex.h)",
+                supp, &out);
+  }
+
+  // deprecated-api: back-compat aliases stay contained. The declaring
+  // header keeps the field; everything else uses the replacement.
+  if (!EndsWithAny(npath, {"core/compiler.h"})) {
+    CheckTokens(path, lines, "deprecated-api", DeprecatedApiTokens(),
+                "is a deprecated alias (use "
+                "CompilerOptions::optimizer.reorder_joins)",
                 supp, &out);
   }
 

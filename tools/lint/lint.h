@@ -21,6 +21,10 @@
 //                   common/random.* (the seeded SplitMix64 home).
 //   include-guard   Headers must open with an #ifndef S2RDF_...
 //                   include guard (no #pragma once, no missing guard).
+//   deprecated-api  Identifiers kept only as [[deprecated]] back-compat
+//                   aliases (e.g. CompilerOptions::optimize_join_order)
+//                   must not spread to new code; the declaring header
+//                   is allowlisted, intentional shims suppress inline.
 //
 // Suppressions:
 //   // s2rdf-lint: allow(<rule>)       same line or the line above

@@ -122,6 +122,27 @@ TEST(LintClockTest, RequiresTheNowCall) {
   EXPECT_TRUE(LintContent("src/engine/x.cc", snippet).empty());
 }
 
+TEST(LintDeprecatedApiTest, FiresOutsideDeclaringHeader) {
+  const std::string snippet = "options.optimize_join_order = false;\n";
+  EXPECT_EQ(RulesIn(LintContent("src/core/s2rdf.cc", snippet)),
+            std::set<std::string>{"deprecated-api"});
+  // The declaring header keeps the field without tripping the rule.
+  EXPECT_FALSE(RulesIn(LintContent("src/core/compiler.h", snippet))
+                   .contains("deprecated-api"));
+}
+
+TEST(LintDeprecatedApiTest, InlineSuppressionMarksIntentionalShims) {
+  const std::string snippet =
+      "// s2rdf-lint: allow(deprecated-api)\n"
+      "if (!options.optimize_join_order) opt.reorder_joins = false;\n";
+  EXPECT_TRUE(LintContent("src/core/compiler.cc", snippet).empty());
+}
+
+TEST(LintDeprecatedApiTest, DoesNotFireOnSubstrings) {
+  const std::string snippet = "bool my_optimize_join_order_flag = true;\n";
+  EXPECT_TRUE(LintContent("src/core/x.cc", snippet).empty());
+}
+
 TEST(LintIncludeGuardTest, FiresOnPragmaOnce) {
   auto vs = LintFile(Testdata("missing_guard.h"));
   ASSERT_EQ(vs.size(), 1u);
