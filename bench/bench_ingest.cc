@@ -1,0 +1,196 @@
+// Incremental-ingest throughput: delta maintenance vs full rebuild.
+//
+// The point of the ingest subsystem is that appending a batch and
+// delta-maintaining the dependent ExtVP reductions and SF statistics is
+// much cheaper than rebuilding every layout from scratch — while
+// producing an IDENTICAL store. This harness splits a WatDiv dataset
+// into a base and a small append batch (2% by default — same
+// distribution as the base, the IL incremental-load shape), then
+// measures
+//
+//   delta_ms   — Ingest(batch) into a store built over the base
+//   rebuild_ms — Create over base + batch from scratch
+//
+// and gates on both properties:
+//   1. identity: the delta-maintained store's statistics (entry set,
+//      rows, SF, materialization decisions) match the rebuild exactly;
+//   2. speedup: rebuild_ms / delta_ms >= 3 (min over rounds).
+//
+// Output: human-readable table on stderr, JSON on stdout
+// (scripts/bench_json.sh captures it as BENCH_ingest.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/task_pool.h"
+#include "core/ingest.h"
+#include "core/s2rdf.h"
+#include "storage/ingest.h"
+#include "watdiv/generator.h"
+
+namespace s2rdf::bench {
+namespace {
+
+constexpr double kMinSpeedup = 3.0;
+
+// Decodes a slice of `graph`'s triples back to canonical term strings.
+std::vector<storage::IngestTriple> DecodeSlice(const rdf::Graph& graph,
+                                               size_t begin, size_t end) {
+  std::vector<storage::IngestTriple> out;
+  out.reserve(end - begin);
+  const rdf::Dictionary& dict = graph.dictionary();
+  for (size_t i = begin; i < end; ++i) {
+    const rdf::Triple& t = graph.triples()[i];
+    out.push_back({dict.Decode(t.subject), dict.Decode(t.predicate),
+                   dict.Decode(t.object)});
+  }
+  return out;
+}
+
+// Statistics-level identity: same entry set with same rows, SF and
+// materialization decision. Table contents are covered by the unit
+// suite (tests/ingest_test.cc); stats identity is the cheap whole-store
+// fingerprint appropriate for a benchmark gate.
+bool StatsIdentical(core::S2Rdf* a, core::S2Rdf* b) {
+  std::map<std::string, const storage::TableStats*> as, bs;
+  for (const storage::TableStats* s : a->catalog().AllStats()) as[s->name] = s;
+  for (const storage::TableStats* s : b->catalog().AllStats()) bs[s->name] = s;
+  if (as.size() != bs.size()) return false;
+  for (const auto& [name, sa] : as) {
+    auto it = bs.find(name);
+    if (it == bs.end()) return false;
+    const storage::TableStats* sb = it->second;
+    if (sa->rows != sb->rows || sa->selectivity != sb->selectivity ||
+        sa->materialized != sb->materialized) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run() {
+  const int reps = EnvInt("S2RDF_BENCH_ROUNDS", 3);
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = EnvDouble("S2RDF_BENCH_SF", 1.0);
+  rdf::Graph full = watdiv::Generate(gen);
+
+  // Batch size: 2% of the store by default (S2RDF_BENCH_DELTA_FRAC to
+  // override). An incremental batch is small relative to the store by
+  // definition — the delta path's advantage shrinks as the batch's
+  // predicate footprint approaches the whole schema, because every
+  // affected ExtVP pair must re-filter its full old VP source.
+  const double frac = EnvDouble("S2RDF_BENCH_DELTA_FRAC", 0.02);
+  const size_t total = full.NumTriples();
+  const size_t base_count =
+      total - std::max<size_t>(1, static_cast<size_t>(total * frac));
+  std::vector<storage::IngestTriple> base_terms =
+      DecodeSlice(full, 0, base_count);
+  std::vector<storage::IngestTriple> delta_terms =
+      DecodeSlice(full, base_count, total);
+
+  auto build_graph = [](const std::vector<storage::IngestTriple>& terms) {
+    rdf::Graph g;
+    for (const storage::IngestTriple& t : terms) {
+      g.AddCanonical(t.subject, t.predicate, t.object);
+    }
+    return g;
+  };
+  storage::IngestBatch batch;
+  batch.triples = delta_terms;
+
+  double delta_ms = 0.0;
+  double rebuild_ms = 0.0;
+  bool identical = true;
+  for (int r = 0; r < reps; ++r) {
+    // Fresh base store per round: re-ingesting the same batch would
+    // dedup to a no-op.
+    auto base_db = core::S2Rdf::Create(build_graph(base_terms), {});
+    if (!base_db.ok()) {
+      std::fprintf(stderr, "base store build failed: %s\n",
+                   base_db.status().ToString().c_str());
+      return 1;
+    }
+    double d = TimeMs([&] {
+      auto result = (*base_db)->Ingest(batch);
+      if (!result.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     result.status().ToString().c_str());
+        identical = false;
+      }
+    });
+
+    // Rebuild the store over the concatenated stream, timed (graph
+    // construction excluded — the fair comparison is layout building).
+    std::unique_ptr<core::S2Rdf> rebuilt;
+    rdf::Graph concat = build_graph(base_terms);
+    for (const storage::IngestTriple& t : delta_terms) {
+      concat.AddCanonical(t.subject, t.predicate, t.object);
+    }
+    double f = TimeMs([&] {
+      auto db = core::S2Rdf::Create(std::move(concat), {});
+      if (!db.ok()) {
+        std::fprintf(stderr, "rebuild failed: %s\n",
+                     db.status().ToString().c_str());
+        identical = false;
+        return;
+      }
+      rebuilt = std::move(db).value();
+    });
+
+    if (rebuilt == nullptr || !StatsIdentical(base_db->get(), rebuilt.get())) {
+      identical = false;
+    }
+    delta_ms = r == 0 ? d : std::min(delta_ms, d);
+    rebuild_ms = r == 0 ? f : std::min(rebuild_ms, f);
+  }
+
+  const double speedup = delta_ms > 0.0 ? rebuild_ms / delta_ms : 0.0;
+  const bool fast_enough = speedup >= kMinSpeedup;
+
+  TablePrinter printer({"metric", "value"});
+  printer.AddRow({"base triples", FormatCount(base_count)});
+  printer.AddRow({"delta triples", FormatCount(total - base_count)});
+  printer.AddRow({"delta ingest (min ms)", FormatMs(delta_ms)});
+  printer.AddRow({"full rebuild (min ms)", FormatMs(rebuild_ms)});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+  printer.AddRow({"speedup", buf});
+  printer.AddRow({"stores identical", identical ? "yes" : "NO"});
+  std::fprintf(stderr, "Incremental ingest vs rebuild (min of %d rounds):\n",
+               reps);
+  printer.Print(stderr);
+
+  std::printf("{\n");
+  std::printf("  \"task_pool_parallelism\": %zu,\n",
+              TaskPool::Shared()->ParallelismWidth());
+  std::printf("  \"rounds\": %d,\n", reps);
+  std::printf("  \"base_triples\": %zu,\n", base_count);
+  std::printf("  \"delta_triples\": %zu,\n", total - base_count);
+  std::printf("  \"delta_ingest_ms\": %.3f,\n", delta_ms);
+  std::printf("  \"full_rebuild_ms\": %.3f,\n", rebuild_ms);
+  std::printf("  \"speedup\": %.2f,\n", speedup);
+  std::printf("  \"min_speedup_gate\": %.1f,\n", kMinSpeedup);
+  std::printf("  \"stores_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"gate_passed\": %s\n}\n",
+              identical && fast_enough ? "true" : "false");
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: delta-maintained store != rebuild\n");
+    return 1;
+  }
+  if (!fast_enough) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx gate\n",
+                 speedup, kMinSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s2rdf::bench
+
+int main() { return s2rdf::bench::Run(); }

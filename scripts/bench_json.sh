@@ -9,6 +9,9 @@
 #   BENCH_profile.json   — EXPLAIN ANALYZE overhead vs the <5% budget
 #   BENCH_optimizer.json — paper vs cost-based optimizer on the WatDiv
 #                          suite + the IL unbound-query set
+#   BENCH_ingest.json    — incremental ingest (ExtVP delta maintenance)
+#                          vs full rebuild; gates on store identity and
+#                          a >= 3x speedup
 #
 # Each harness prints its human-readable table on stderr (passed
 # through) and JSON on stdout (captured), and exits non-zero when its
@@ -59,3 +62,4 @@ run() {
 run bench_parallel BENCH_parallel.json
 run bench_profile BENCH_profile.json
 run bench_optimizer BENCH_optimizer.json
+run bench_ingest BENCH_ingest.json

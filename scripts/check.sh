@@ -22,7 +22,7 @@ ctest --preset default
 note "repo linter (ctest -L lint)"
 ctest --preset lint
 
-note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json)"
+note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json, BENCH_ingest.json)"
 scripts/bench_json.sh build
 
 if [[ "${1:-}" == "quick" ]]; then
@@ -47,6 +47,14 @@ for san in asan tsan ubsan; do
   cmake --build --preset "${san}" -j"$(nproc)"
   ctest --preset "${san}"
   ctest --preset "${san}-faults"
+done
+
+# The crash-point-matrix ingest suite, explicitly, under the two
+# sanitizers that catch its failure modes (use-after-free of pinned
+# tables under asan, commit/read races under tsan).
+for san in asan tsan; do
+  note "${san} ingest crash-matrix suite (-L ingest)"
+  ctest --preset "${san}-ingest"
 done
 
 note "all checks passed"

@@ -11,7 +11,15 @@ Status Env::WriteFileAtomic(const std::string& path,
   const std::string tmp = path + kTempSuffix;
   S2RDF_RETURN_IF_ERROR(WriteFile(tmp, data));
   S2RDF_RETURN_IF_ERROR(SyncFile(tmp));
-  return RenameFile(tmp, path);
+  S2RDF_RETURN_IF_ERROR(RenameFile(tmp, path));
+  // The rename only becomes durable once the parent directory's entry
+  // table reaches stable storage.
+  return SyncDir(ParentDir(path));
+}
+
+std::string Env::ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
 }
 
 Env* Env::Default() {

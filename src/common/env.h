@@ -50,6 +50,12 @@ class Env {
   // Flushes file contents to stable storage.
   virtual Status SyncFile(const std::string& path) = 0;
 
+  // Flushes directory metadata (entries created/renamed within `dir`)
+  // to stable storage. A rename is not durable until the parent
+  // directory is synced; WriteFileAtomic calls this after its rename so
+  // the manifest-flip step is itself a crash-injectable site.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
   virtual Status MakeDirs(const std::string& path) = 0;
   virtual bool PathExists(const std::string& path) = 0;
   virtual StatusOr<std::vector<std::string>> ListDir(
@@ -58,6 +64,10 @@ class Env {
   // The crash-safe write: temp file + fsync + rename, composed from the
   // virtual primitives so fault injection sees every step.
   Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+  // Parent directory of `path` ("." when it has no slash) — the
+  // directory SyncDir must flush for a rename of `path` to be durable.
+  static std::string ParentDir(const std::string& path);
 
   // Suffix of staging files produced by WriteFileAtomic; recovery treats
   // any file ending in it as deletable debris.
@@ -76,6 +86,7 @@ class PosixEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
   Status MakeDirs(const std::string& path) override;
   bool PathExists(const std::string& path) override;
   StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;

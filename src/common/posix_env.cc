@@ -60,14 +60,15 @@ Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
     return IoError("rename failed: " + from + " -> " + to + ": " +
                    std::strerror(errno));
   }
-  // fsync the parent directory so the rename itself is durable.
-  size_t slash = to.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : to.substr(0, slash);
+  return Status::Ok();
+}
+
+Status PosixEnv::SyncDir(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    (void)::fsync(fd);  // Best effort; some filesystems reject dir fsync.
-    ::close(fd);
-  }
+  // Best effort; some filesystems reject directory fsync entirely.
+  if (fd < 0) return Status::Ok();
+  (void)::fsync(fd);
+  ::close(fd);
   return Status::Ok();
 }
 

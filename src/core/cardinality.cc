@@ -79,6 +79,15 @@ double CardinalityEstimator::KeepFraction(const TriplePattern& tp,
   for (const CorrelationCase& cand : CorrelationsTo(tp, other)) {
     if (!cand.applies) continue;
     if (cand.corr == Correlation::kSS && *p1 == *p2) continue;
+    if (catalog_.IsStaleSource(VpTableName(dict_, *p1)) ||
+        catalog_.IsStaleSource(VpTableName(dict_, *p2))) {
+      // The reduction's count predates a deferred ingest and
+      // undercounts; using it would make the optimizer confidently
+      // wrong, so fall back to the conservative keep = 1 (and surface
+      // the degradation on /metrics).
+      catalog_.NoteStaleSfFallback();
+      continue;
+    }
     const storage::TableStats* stats =
         catalog_.GetStats(ExtVpTableName(dict_, cand.corr, *p1, *p2));
     if (stats == nullptr) continue;  // Direction not precomputed.

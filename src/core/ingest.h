@@ -1,0 +1,70 @@
+#ifndef S2RDF_CORE_INGEST_H_
+#define S2RDF_CORE_INGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "storage/catalog.h"
+#include "storage/ingest.h"
+
+// Incremental ingest with ExtVP delta maintenance (ROADMAP: "incremental
+// ExtVP maintenance under updates"). S2RDF's batch build computes every
+// reduction from scratch; this module appends a batch of triples and
+// repairs only the reductions the batch can actually change, via delta
+// semi-joins:
+//
+//   - the new triples of predicate p1 are probed against the (updated)
+//     VP_p2 key sets — rows the batch adds to ExtVP_corr_p1|p2;
+//   - the existing VP_p1 rows are re-probed only where the batch added
+//     *new* join keys to VP_p2 — rows old data gains retroactively;
+//   - every pair whose left VP grew has its SF denominator re-evaluated,
+//     which can demote a reduction to stats-only (SF hit 1.0) or
+//     materialize a previously pruned one (SF dropped below the
+//     threshold).
+//
+// Rows are emitted in the updated VP_p1's row order — existing rows
+// first, batch rows in arrival order — which is exactly the order a
+// from-scratch rebuild over the concatenated triple stream produces, so
+// every generation's tables are byte-identical to a full rebuild (the
+// crash-matrix test's oracle). All changed tables commit through one
+// Catalog::CommitBatch, i.e. one atomic manifest flip.
+
+namespace s2rdf::core {
+
+struct IngestConfig {
+  // ExtVP materialization threshold; must match the store's build-time
+  // threshold or delta decisions diverge from a rebuild's.
+  double sf_threshold = 1.0;
+  // "Pay as you go" stores: maintain only reductions that already have
+  // stats entries; pairs never requested stay uncomputed and are built
+  // from the updated VP tables on first use.
+  bool lazy_extvp = false;
+};
+
+// Encodes, deduplicates and applies `batch` to the catalog's triples
+// table, VP tables and (unless deferred) dependent ExtVP reductions,
+// committing atomically. New terms are interned into `dict`; the caller
+// persists the dictionary *before* calling (a crash between the two
+// must leave the dictionary a superset of what the manifest references,
+// never a subset). Requires the triples table ("triples") to exist.
+StatusOr<storage::IngestResult> ApplyIngestBatch(
+    const storage::IngestBatch& batch, const IngestConfig& config,
+    rdf::Dictionary* dict, storage::Catalog* catalog);
+
+// Recomputes every ExtVP reduction that depends on a stale source VP
+// table (deferred batches) from the current VP tables and commits the
+// repairs plus the stale-set clear in one batch. Returns the number of
+// reductions recomputed. No-op when nothing is stale.
+StatusOr<uint64_t> RefreshStaleExtVp(const IngestConfig& config,
+                                     const rdf::Dictionary& dict,
+                                     storage::Catalog* catalog);
+
+// Parses N-Triples text into an IngestBatch (the HTTP and CLI entry
+// points accept raw N-Triples bodies).
+StatusOr<storage::IngestBatch> MakeBatchFromNTriples(std::string_view text);
+
+}  // namespace s2rdf::core
+
+#endif  // S2RDF_CORE_INGEST_H_

@@ -1,11 +1,15 @@
 #include "core/s2rdf.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <set>
 
 #include "common/file_util.h"
+#include "common/strings.h"
+#include "core/ingest.h"
 #include "engine/operators.h"
 #include "sparql/parser.h"
 
@@ -28,6 +32,124 @@ void InitContext(const QueryOptions& options, int num_partitions,
     ctx->has_deadline = true;
     ctx->deadline = start + std::chrono::milliseconds(options.timeout_ms);
   }
+}
+
+// --- Checksummed dictionary persistence ---------------------------------
+//
+// The dictionary is the one artifact the tables cannot reconstruct (they
+// store term ids only), so its file gets the same protection a table
+// file has: a checksummed envelope, a generation-suffixed name written
+// BEFORE the manifest flip, and a read-back verification so a silently
+// corrupted write can never be referenced by a committed generation.
+
+constexpr char kDictMagic[] = "S2DICT1\n";
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string WrapDictionaryBlob(const std::string& payload) {
+  char header[32];
+  std::snprintf(header, sizeof(header), "%016llx\n",
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  return std::string(kDictMagic) + header + payload;
+}
+
+StatusOr<std::string> UnwrapDictionaryBlob(const std::string& blob) {
+  constexpr size_t kMagicLen = sizeof(kDictMagic) - 1;
+  if (blob.size() < kMagicLen + 17 ||
+      blob.compare(0, kMagicLen, kDictMagic) != 0) {
+    // Legacy (pre-checksum) dictionary file: the blob is the payload.
+    return blob;
+  }
+  if (blob[kMagicLen + 16] != '\n') {
+    return InvalidArgumentError("dictionary header malformed");
+  }
+  std::string payload = blob.substr(kMagicLen + 17);
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  if (blob.compare(kMagicLen, 16, expected) != 0) {
+    return InvalidArgumentError("dictionary checksum mismatch");
+  }
+  return payload;
+}
+
+// "dictionary.bin" for the initial build, "dictionary@<g>.bin" for the
+// copy an ingest batch persisted just before committing generation g.
+std::string DictionaryFileName(uint64_t gen) {
+  if (gen <= 1) return "dictionary.bin";
+  return "dictionary@" + std::to_string(gen) + ".bin";
+}
+
+// True (and sets *gen) for "dictionary@<g>.bin" names.
+bool ParseDictionaryFileName(const std::string& file, uint64_t* gen) {
+  if (!StartsWith(file, "dictionary@") || !EndsWith(file, ".bin")) {
+    return false;
+  }
+  const std::string digits = file.substr(11, file.size() - 11 - 4);
+  if (digits.empty()) return false;
+  uint64_t g = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    g = g * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *gen = g;
+  return true;
+}
+
+// Loads the newest dictionary at or below `generation` — exact match
+// first, then older suffixed copies, then the base "dictionary.bin".
+// Generations with no suffixed file (refresh-only commits, the initial
+// build) add no terms, so an older copy is the correct content. Files
+// ABOVE the recovered generation are debris of an ingest that never
+// committed (harmless supersets); they are swept here.
+Status LoadDictionaryForGeneration(storage::Env* env, const std::string& dir,
+                                   uint64_t generation,
+                                   rdf::Dictionary* dict) {
+  std::vector<uint64_t> gens;
+  if (StatusOr<std::vector<std::string>> files = env->ListDir(dir);
+      files.ok()) {
+    for (const std::string& file : *files) {
+      uint64_t g = 0;
+      if (!ParseDictionaryFileName(file, &g)) continue;
+      if (g > generation) {
+        env->RemoveFile(dir + "/" + file);  // Uncommitted-batch debris.
+      } else {
+        gens.push_back(g);
+      }
+    }
+  }
+  std::sort(gens.begin(), gens.end(), std::greater<uint64_t>());
+  std::vector<std::string> candidates;
+  for (uint64_t g : gens) candidates.push_back(DictionaryFileName(g));
+  candidates.push_back("dictionary.bin");
+  Status last = NotFoundError("no dictionary file in " + dir);
+  for (const std::string& file : candidates) {
+    std::string blob;
+    if (Status s = env->ReadFile(dir + "/" + file, &blob); !s.ok()) {
+      last = std::move(s);
+      continue;
+    }
+    StatusOr<std::string> payload = UnwrapDictionaryBlob(blob);
+    if (!payload.ok()) {
+      last = payload.status();
+      continue;
+    }
+    StatusOr<rdf::Dictionary> parsed = rdf::Dictionary::Deserialize(*payload);
+    if (!parsed.ok()) {
+      last = parsed.status();
+      continue;
+    }
+    *dict = std::move(*parsed);
+    return Status::Ok();
+  }
+  return last;
 }
 
 }  // namespace
@@ -74,13 +196,20 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Create(rdf::Graph graph,
     S2RDF_ASSIGN_OR_RETURN(db->bitmap_store_,
                            ExtVpBitmapStore::Build(db->graph_, extvp));
   }
+  // Persist the build parameters ingest needs to reproduce the eager
+  // builder's materialization decisions on a reopened store. The SF
+  // threshold rides in the entry's selectivity field.
+  db->catalog_.PutStatsOnly("meta_sf_threshold", 1, options.sf_threshold);
+  if (options.lazy_extvp) {
+    db->catalog_.PutStatsOnly("meta_lazy_extvp", 1, 1.0);
+  }
   if (!options.storage_dir.empty()) {
     S2RDF_RETURN_IF_ERROR(db->catalog_.SaveManifest());
     storage::Env* env =
         options.env != nullptr ? options.env : storage::Env::Default();
-    S2RDF_RETURN_IF_ERROR(
-        env->WriteFileAtomic(options.storage_dir + "/dictionary.bin",
-                             db->graph_.dictionary().Serialize()));
+    S2RDF_RETURN_IF_ERROR(env->WriteFileAtomic(
+        options.storage_dir + "/dictionary.bin",
+        WrapDictionaryBlob(db->graph_.dictionary().Serialize())));
   }
   db->catalog_.SetMemoryBudget(options.memory_budget_bytes);
   db->catalog_.EvictToBudget();
@@ -94,21 +223,89 @@ StatusOr<std::unique_ptr<S2Rdf>> S2Rdf::Open(const std::string& storage_dir,
     return InvalidArgumentError("Open requires a storage directory");
   }
   if (env == nullptr) env = storage::Env::Default();
-  std::string blob;
-  S2RDF_RETURN_IF_ERROR(env->ReadFile(storage_dir + "/dictionary.bin", &blob));
-  S2RDF_ASSIGN_OR_RETURN(rdf::Dictionary dict,
-                         rdf::Dictionary::Deserialize(blob));
   // The reopened instance carries the dictionary but no triple list;
   // queries execute against the persisted tables.
-  rdf::Graph graph;
-  graph.dictionary() = std::move(dict);
   auto db = std::unique_ptr<S2Rdf>(new S2Rdf(
-      std::move(graph), storage_dir, num_partitions, false, env));
+      rdf::Graph(), storage_dir, num_partitions, false, env));
   // Startup recovery: verify the manifest chain and every table's
-  // checksums, quarantine corruption, sweep crash debris.
+  // checksums, quarantine corruption, sweep crash debris. The
+  // dictionary loads afterwards — which copy is current depends on the
+  // generation recovery landed on.
   S2RDF_ASSIGN_OR_RETURN(db->recovery_report_, db->catalog_.Recover());
+  S2RDF_RETURN_IF_ERROR(LoadDictionaryForGeneration(
+      env, storage_dir, db->recovery_report_.generation,
+      &db->graph_.dictionary()));
   db->catalog_.SetDegradedFallback(VpTableNameForExtVp);
+  if (const storage::TableStats* meta =
+          db->catalog_.GetStats("meta_sf_threshold")) {
+    db->sf_threshold_ = meta->selectivity;
+  }
+  db->lazy_extvp_ = db->catalog_.Has("meta_lazy_extvp");
   return db;
+}
+
+StatusOr<storage::IngestResult> S2Rdf::Ingest(
+    const storage::IngestBatch& batch) {
+  MutexLock lock(&ingest_mu_);
+  rdf::Dictionary& dict = graph_.dictionary();
+  if (!catalog_.dir().empty()) {
+    // Persist the dictionary (with the batch's new terms interned)
+    // BEFORE the table commit, under the next generation's name: a
+    // crash between the two leaves the current generation's dictionary
+    // untouched and the new file as harmless superset debris that Open
+    // sweeps.
+    for (const storage::IngestTriple& t : batch.triples) {
+      dict.Encode(t.subject);
+      dict.Encode(t.predicate);
+      dict.Encode(t.object);
+    }
+    const uint64_t next_gen = catalog_.generation() + 1;
+    const std::string path =
+        catalog_.dir() + "/" + DictionaryFileName(next_gen);
+    const std::string payload = dict.Serialize();
+    S2RDF_RETURN_IF_ERROR(
+        env_->WriteFileAtomic(path, WrapDictionaryBlob(payload)));
+    // Read back and verify before anything can reference the file: a
+    // silently corrupted write (bit rot) must fail the batch while the
+    // previous generation — and its dictionary — is still intact.
+    std::string readback;
+    S2RDF_RETURN_IF_ERROR(catalog_.ReadFileRetrying(path, &readback));
+    StatusOr<std::string> verified = UnwrapDictionaryBlob(readback);
+    if (!verified.ok() || *verified != payload) {
+      env_->RemoveFile(path);
+      return InvalidArgumentError(
+          "dictionary write failed read-back verification: " + path);
+    }
+  }
+  IngestConfig config;
+  config.sf_threshold = sf_threshold_;
+  config.lazy_extvp = lazy_extvp_;
+  StatusOr<storage::IngestResult> result =
+      ApplyIngestBatch(batch, config, &dict, &catalog_);
+  if (result.ok() && result->triples_added > 0 && !catalog_.dir().empty()) {
+    // Prune dictionary copies older than the previous generation
+    // (mirrors manifest pruning; the base "dictionary.bin" stays as the
+    // legacy anchor).
+    if (StatusOr<std::vector<std::string>> files =
+            env_->ListDir(catalog_.dir());
+        files.ok()) {
+      for (const std::string& file : *files) {
+        uint64_t g = 0;
+        if (ParseDictionaryFileName(file, &g) && g + 1 < result->generation) {
+          env_->RemoveFile(catalog_.dir() + "/" + file);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<uint64_t> S2Rdf::RefreshStaleExtVp() {
+  MutexLock lock(&ingest_mu_);
+  IngestConfig config;
+  config.sf_threshold = sf_threshold_;
+  config.lazy_extvp = lazy_extvp_;
+  return core::RefreshStaleExtVp(config, graph_.dictionary(), &catalog_);
 }
 
 StatusOr<QueryResult> S2Rdf::Execute(const QueryRequest& request) {

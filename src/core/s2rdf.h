@@ -19,6 +19,7 @@
 #include "engine/table.h"
 #include "rdf/graph.h"
 #include "storage/catalog.h"
+#include "storage/ingest.h"
 
 // The S2RDF system facade: loads an RDF graph, builds the relational
 // layouts (triples table, VP, ExtVP with an optional SF threshold), and
@@ -188,6 +189,20 @@ class S2Rdf {
   StatusOr<QueryResult> ExecuteWithOptions(std::string_view sparql_text,
                                            const CompilerOptions& options);
 
+  // Applies one batch of new triples: appends to the triples table and
+  // VP tables and delta-maintains dependent ExtVP reductions and SF
+  // statistics (or defers that, marking sources stale — see
+  // storage::IngestBatch). The whole batch commits as one atomic
+  // manifest flip; in-flight queries keep reading the prior generation
+  // via their pinned tables. Thread-safe; concurrent Ingest calls are
+  // serialized. Not reflected: the in-memory bitmap ExtVP store and
+  // property tables (rebuild for those layouts).
+  StatusOr<storage::IngestResult> Ingest(const storage::IngestBatch& batch);
+
+  // Recomputes every reduction deferred batches left stale and clears
+  // the stale set; returns the number of reductions recomputed.
+  StatusOr<uint64_t> RefreshStaleExtVp();
+
   // Decodes a result table's ids back to canonical term strings.
   std::vector<std::vector<std::string>> DecodeRows(
       const engine::Table& table) const;
@@ -216,6 +231,7 @@ class S2Rdf {
         bool parallel_execution = false, storage::Env* env = nullptr)
       : graph_(std::move(graph)),
         catalog_(std::move(storage_dir), env),
+        env_(env != nullptr ? env : storage::Env::Default()),
         num_partitions_(num_partitions),
         parallel_execution_(parallel_execution) {}
 
@@ -250,6 +266,7 @@ class S2Rdf {
   // bookkeeping). Per-query state lives in local ExecContexts.
   rdf::Graph graph_;
   storage::Catalog catalog_;
+  storage::Env* env_;
   int num_partitions_;
   bool parallel_execution_ = false;
   bool lazy_extvp_ = false;
@@ -263,6 +280,10 @@ class S2Rdf {
   LoadStats load_stats_;
   storage::RecoveryReport recovery_report_;
   std::unique_ptr<ExtVpBitmapStore> bitmap_store_;
+
+  // Serializes Ingest/RefreshStaleExtVp calls (queries run unlocked —
+  // they pin the prior generation's tables).
+  Mutex ingest_mu_;
 
   // Guards the lazy-ExtVP in-flight set; lazy_cv_ wakes waiters when a
   // build completes.

@@ -194,6 +194,15 @@ StatusOr<TableChoice> SelectTable(size_t tp_index,
           "meta_extvp_" + std::string(CorrelationName(cand.corr));
       if (!catalog.Has(meta)) continue;
       std::string name = ExtVpTableName(dict, cand.corr, *p1, *p2);
+      if (catalog.IsStaleSource(vp_name) ||
+          catalog.IsStaleSource(VpTableName(dict, *p2))) {
+        // A deferred ingest appended to one of the pair's VP tables:
+        // the reduction misses those triples (it is no longer a
+        // superset of a fresh semi-join) and its statistics
+        // undercount, so neither the empty-result shortcut nor a scan
+        // may use it until RefreshStaleExtVp catches up.
+        continue;
+      }
       const storage::TableStats* stats = catalog.GetStats(name);
       if (stats == nullptr) {
         // No stats entry for a built direction means the semi-join was

@@ -12,6 +12,7 @@
 
 #include "common/strings.h"
 #include "common/task_pool.h"
+#include "core/ingest.h"
 #include "engine/profile.h"
 #include "sparql/results_io.h"
 
@@ -187,6 +188,25 @@ void SparqlEndpoint::RegisterMetrics() {
   registry_.AddGauge("s2rdf_recovery_quarantined_tables",
                      "Tables quarantined by startup recovery.",
                      [this]() { return db_.catalog().quarantined_tables(); });
+  registry_.AddGauge("s2rdf_read_retries_total",
+                     "Transient-read retry attempts by the catalog.",
+                     [this]() { return db_.catalog().read_retries(); });
+  registry_.AddGauge(
+      "s2rdf_stale_sf_fallbacks_total",
+      "Optimizer estimates that ignored a stale ExtVP statistic.",
+      [this]() { return db_.catalog().stale_sf_fallbacks(); });
+  registry_.AddGauge(
+      "s2rdf_stale_extvp_sources",
+      "VP tables whose ExtVP dependents await a deferred refresh.",
+      [this]() { return db_.catalog().stale_source_count(); });
+  ingest_batches_ = registry_.AddCounter(
+      "s2rdf_ingest_batches_total", "Batches committed via POST /ingest.");
+  ingest_triples_ = registry_.AddCounter(
+      "s2rdf_ingest_triples_total",
+      "New triples added by POST /ingest (post-dedup).");
+  ingest_failures_ = registry_.AddCounter(
+      "s2rdf_ingest_failures_total",
+      "POST /ingest requests that failed to parse or commit.");
   // Helper threads of the process-wide morsel pool. Fixed at first use
   // and shared by every in-flight query, so total execution threads
   // stay at num_workers + this, independent of load.
@@ -312,6 +332,14 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   if (request.path == "/debug/queries" && request.method == "GET") {
     return DebugQueriesResponse();
   }
+  if (request.path == "/ingest") {
+    if (request.method != "POST") {
+      response.status_code = 405;
+      response.body = "POST an N-Triples body to /ingest\n";
+      return response;
+    }
+    return RunIngest(request);
+  }
   if (request.path != "/sparql") {
     return ErrorResponse(NotFoundError("no such resource: " + request.path));
   }
@@ -400,6 +428,54 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
 
   return RunQuery(request, query_request, explain_plan, explain_analyze,
                   want_trace);
+}
+
+HttpResponse SparqlEndpoint::RunIngest(const HttpRequest& request) {
+  std::map<std::string, std::string> params =
+      ParseQueryString(request.query_string);
+  HttpResponse response;
+  response.content_type = "application/json; charset=utf-8";
+  if (params["refresh"] == "1") {
+    auto refreshed = db_.RefreshStaleExtVp();
+    if (!refreshed.ok()) {
+      ingest_failures_->Increment();
+      return ErrorResponse(refreshed.status());
+    }
+    response.body =
+        "{\"extvp_refreshed\":" + std::to_string(*refreshed) +
+        ",\"stale_sources\":" +
+        std::to_string(db_.catalog().stale_source_count()) + "}\n";
+    return response;
+  }
+  auto batch = core::MakeBatchFromNTriples(request.body);
+  if (!batch.ok()) {
+    ingest_failures_->Increment();
+    return ErrorResponse(batch.status());
+  }
+  batch->defer_extvp_maintenance = params["defer"] == "1";
+  auto result = db_.Ingest(*batch);
+  if (!result.ok()) {
+    ingest_failures_->Increment();
+    return ErrorResponse(result.status());
+  }
+  ingest_batches_->Increment();
+  ingest_triples_->Increment(result->triples_added);
+  char body[320];
+  std::snprintf(
+      body, sizeof(body),
+      "{\"triples_in_batch\":%llu,\"triples_added\":%llu,"
+      "\"generation\":%llu,\"vp_tables_updated\":%llu,"
+      "\"extvp_tables_updated\":%llu,\"stale_sources_marked\":%llu,"
+      "\"millis\":%.3f}\n",
+      static_cast<unsigned long long>(result->triples_in_batch),
+      static_cast<unsigned long long>(result->triples_added),
+      static_cast<unsigned long long>(result->generation),
+      static_cast<unsigned long long>(result->vp_tables_updated),
+      static_cast<unsigned long long>(result->extvp_tables_updated),
+      static_cast<unsigned long long>(result->stale_sources_marked),
+      result->millis);
+  response.body = body;
+  return response;
 }
 
 HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,

@@ -169,6 +169,11 @@ class SparqlEndpoint {
                         bool explain_plan, bool explain_analyze,
                         bool want_trace);
 
+  // POST /ingest: N-Triples body appended as one atomic batch
+  // (?defer=1 skips ExtVP maintenance, marking sources stale;
+  // ?refresh=1 instead recomputes everything stale).
+  HttpResponse RunIngest(const HttpRequest& request);
+
   // Registers every built-in metric on registry_.
   void RegisterMetrics();
 
@@ -194,6 +199,10 @@ class SparqlEndpoint {
   Counter* rejected_total_ = nullptr;      // Legacy name, same increments
   Counter* queries_rejected_ = nullptr;    // as s2rdf_queries_rejected_total.
   Counter* slow_queries_ = nullptr;
+  // POST /ingest bookkeeping.
+  Counter* ingest_batches_ = nullptr;
+  Counter* ingest_triples_ = nullptr;
+  Counter* ingest_failures_ = nullptr;
   // Cumulative engine metrics over successful queries. Five independent
   // atomics (the old mutex-guarded ExecMetrics copy could tear between
   // fields under concurrent /metrics renders).

@@ -2,11 +2,13 @@
 #define S2RDF_STORAGE_CATALOG_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -55,6 +57,12 @@ struct TableStats {
   // On-disk footprint; 0 when not materialized.
   uint64_t bytes = 0;
   bool materialized = false;
+  // Manifest generation whose CommitBatch last rewrote the table file:
+  // 0 = the base "<name>.s2tb" path (initial build / Put), g > 0 = the
+  // generation-suffixed "<name>@<g>.s2tb" path. Old and new files
+  // coexist until the manifest flip, which is what makes a multi-table
+  // ingest batch atomic.
+  uint64_t file_gen = 0;
 };
 
 // What startup recovery found and repaired.
@@ -69,6 +77,34 @@ struct RecoveryReport {
   size_t temp_files_removed = 0;
   // Superseded manifest generations pruned.
   size_t old_manifests_removed = 0;
+  // Table files no manifest generation references — debris of a torn
+  // ingest batch, rolled back by deletion.
+  size_t orphan_tables_removed = 0;
+};
+
+// One table's new state within an atomic CommitBatch: a materialized
+// replacement (`table` set) or a statistics-only entry (`table` empty —
+// SF = 0/1 or pruned by the SF threshold; any previously materialized
+// file is superseded).
+struct TableUpdate {
+  std::string name;
+  std::optional<engine::Table> table;
+  uint64_t rows = 0;          // Used when `table` is empty.
+  double selectivity = 1.0;
+  // When set (and `table` is empty), the existing materialized file is
+  // kept and only rows/selectivity change — the SF-denominator update
+  // for reductions whose row set is untouched by a batch. Ignored when
+  // the table was not materialized.
+  bool retain_table = false;
+};
+
+// Staleness bookkeeping attached to a CommitBatch (see MarkStaleSource).
+struct CommitOptions {
+  // Base VP tables whose dependent ExtVP reductions/SF stats were NOT
+  // delta-maintained by this batch (deferred mode).
+  std::vector<std::string> mark_stale;
+  // Sources whose dependents this batch brought back up to date.
+  std::vector<std::string> clear_stale;
 };
 
 class Catalog {
@@ -94,6 +130,20 @@ class Catalog {
   // materialized (SF = 0, SF = 1, or above the SF threshold).
   void PutStatsOnly(const std::string& name, uint64_t rows,
                     double selectivity);
+
+  // Atomically applies a multi-table batch (the ingest commit path).
+  // Protocol: every replacement table file lands first under a
+  // generation-suffixed name ("<name>@<g>.s2tb", temp+fsync+rename),
+  // then one manifest generation referencing the new files is written
+  // and CURRENT flips to it, then the in-memory state (stats, cache,
+  // quarantine/stale sets) swaps under a single lock hold. A crash
+  // before the CURRENT flip leaves the previous generation fully intact
+  // — Recover() deletes the unreferenced "@<g>" files — and readers
+  // that pinned tables via GetTableShared keep their generation until
+  // they release the pins. Superseded table files are removed best
+  // effort after the flip.
+  Status CommitBatch(std::vector<TableUpdate> updates,
+                     const CommitOptions& options = {});
 
   bool Has(const std::string& name) const;
   const TableStats* GetStats(const std::string& name) const;
@@ -177,10 +227,47 @@ class Catalog {
   // compiler only holds a const catalog reference.
   void NoteDegradedQuery() const;
 
+  // --- Staleness (deferred ExtVP/SF maintenance) --------------------------
+  //
+  // A deferred ingest batch appends to a VP table without delta-
+  // maintaining its dependent ExtVP reductions; until a refresh catches
+  // up, those reductions MISS the new triples (they are no longer
+  // supersets of a fresh semi-join), so table selection must not scan
+  // them and the optimizer falls back to conservative estimates. The
+  // stale set is keyed by the *source* VP table name and persisted in
+  // the manifest, so staleness survives restarts.
+
+  // Marks dependents of `vp_name` stale (persisted at the next manifest
+  // write; CommitBatch does both in one atomic flip).
+  void MarkStaleSource(const std::string& vp_name);
+  bool IsStaleSource(const std::string& vp_name) const;
+  std::vector<std::string> StaleSources() const;
+  size_t stale_source_count() const;
+
+  // Incremented by the cardinality estimator when a statistic was
+  // ignored because its source is stale (conservative fallback).
+  void NoteStaleSfFallback() const;
+  uint64_t stale_sf_fallbacks() const;
+
   // Monitoring counters (exposed via the endpoint's /metrics).
   uint64_t corruptions_detected() const;
   uint64_t queries_degraded() const;
   uint64_t quarantined_tables() const;
+
+  // Transient-read retry attempts performed (s2rdf_read_retries_total).
+  uint64_t read_retries() const;
+
+  // Reads `path` through the catalog's Env with bounded retry and
+  // jittered exponential backoff on transient kIoError, counted in
+  // read_retries(). For sibling artifacts on the ingest path (e.g. the
+  // dictionary read-back verification) that need the same transient-
+  // fault tolerance as table loads.
+  Status ReadFileRetrying(const std::string& path, std::string* data) const;
+
+  // Test seam for the jittered retry backoff: replaces the real
+  // sleep-for with `fn` (nullptr restores sleeping). Process-wide.
+  static void SetRetrySleepFnForTest(
+      void (*fn)(std::chrono::milliseconds delay));
 
   // Generation of the manifest currently loaded / last saved.
   uint64_t generation() const;
@@ -196,11 +283,28 @@ class Catalog {
 
   const std::string& dir() const { return dir_; }
 
+  // On-disk file name of a table at file generation `file_gen`:
+  // "<name>.s2tb" for 0, "<name>@<g>.s2tb" otherwise.
+  static std::string TableFileName(const std::string& name,
+                                   uint64_t file_gen);
+
  private:
-  std::string TablePath(const std::string& name) const;
-  // Reads with bounded retry + backoff on transient kIoError.
-  Status ReadFileRetrying(const std::string& path, std::string* data) const;
+  std::string TablePath(const std::string& name, uint64_t file_gen) const;
+  // Path for the table's current file generation per stats_ (0 when
+  // unknown).
+  std::string CurrentTablePath(const std::string& name) const
+      S2RDF_EXCLUDES(mu_);
   StatusOr<engine::Table> LoadTableRetrying(const std::string& path) const;
+  // Renders the checksummed manifest content for generation `gen` from
+  // the given stats + stale snapshot.
+  static std::string RenderManifest(
+      uint64_t gen, const std::map<std::string, TableStats>& stats,
+      const std::set<std::string>& stale_sources);
+  // Writes "manifest-<gen>.tsv" and flips CURRENT to it (both atomic).
+  Status WriteManifestGeneration(uint64_t gen, const std::string& content)
+      const;
+  // Best-effort prune of manifest generations older than `gen` - 1.
+  void PruneOldManifests(uint64_t gen) const;
   // Parses + verifies one manifest blob and swaps it in. mu_ NOT held.
   Status AdoptManifest(const std::string& content, bool require_checksum)
       S2RDF_EXCLUDES(mu_);
@@ -225,6 +329,9 @@ class Catalog {
   std::list<std::string> lru_ S2RDF_GUARDED_BY(mu_);
   // Tables that failed verification; never loaded again this run.
   std::set<std::string> quarantined_ S2RDF_GUARDED_BY(mu_);
+  // Base VP tables whose ExtVP dependents are pending a deferred
+  // refresh (see MarkStaleSource).
+  std::set<std::string> stale_sources_ S2RDF_GUARDED_BY(mu_);
   std::function<std::string(const std::string&)> degraded_fallback_
       S2RDF_GUARDED_BY(mu_);
   // SaveManifest is logically const (it persists, not mutates, the
@@ -233,6 +340,8 @@ class Catalog {
   mutable std::atomic<uint64_t> corruptions_detected_{0};
   mutable std::atomic<uint64_t> queries_degraded_{0};
   mutable std::atomic<uint64_t> quarantined_count_{0};
+  mutable std::atomic<uint64_t> read_retries_{0};
+  mutable std::atomic<uint64_t> stale_sf_fallbacks_{0};
 };
 
 }  // namespace s2rdf::storage

@@ -23,6 +23,18 @@ void FaultInjectionEnv::FlipBitInNextWrite() {
   flip_bit_next_write_ = true;
 }
 
+void FaultInjectionEnv::FlipBitInWrite(uint64_t k) {
+  MutexLock lock(&mu_);
+  flip_bit_at_write_armed_ = true;
+  flip_bit_at_write_ = k;
+  writes_ = 0;
+}
+
+uint64_t FaultInjectionEnv::write_count() const {
+  MutexLock lock(&mu_);
+  return writes_;
+}
+
 void FaultInjectionEnv::FailNextReads(int k) {
   MutexLock lock(&mu_);
   transient_read_failures_ = k;
@@ -33,6 +45,7 @@ void FaultInjectionEnv::ClearFaults() {
   crash_armed_ = false;
   crashed_ = false;
   flip_bit_next_write_ = false;
+  flip_bit_at_write_armed_ = false;
   transient_read_failures_ = 0;
 }
 
@@ -82,6 +95,11 @@ Status FaultInjectionEnv::WriteFile(const std::string& path,
     fail = ShouldFailMutation(&torn);
     flip = !fail && flip_bit_next_write_;
     if (flip) flip_bit_next_write_ = false;
+    if (!fail && flip_bit_at_write_armed_ && writes_ == flip_bit_at_write_) {
+      flip = true;
+      flip_bit_at_write_armed_ = false;
+    }
+    ++writes_;
   }
   if (flip && faults_injected_ != nullptr) faults_injected_->Increment();
   if (fail) {
@@ -145,6 +163,17 @@ Status FaultInjectionEnv::SyncFile(const std::string& path) {
     }
   }
   return base_->SyncFile(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  bool torn;
+  {
+    MutexLock lock(&mu_);
+    if (ShouldFailMutation(&torn)) {
+      return IoError("injected crash: syncdir " + dir);
+    }
+  }
+  return base_->SyncDir(dir);
 }
 
 Status FaultInjectionEnv::MakeDirs(const std::string& path) {

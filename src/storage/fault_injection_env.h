@@ -13,8 +13,8 @@
 // Deterministic fault injection for the storage layer. Wraps a base Env
 // and can
 //   - crash after the N-th mutating operation (write/rename/remove/
-//     sync): the triggering op and everything after it fail with
-//     kIoError, simulating process death mid-protocol;
+//     file-sync/dir-sync): the triggering op and everything after it
+//     fail with kIoError, simulating process death mid-protocol;
 //   - tear the write at the crash point (persist only a prefix), the
 //     failure mode atomic rename must mask;
 //   - silently flip one bit in the next write (media corruption the
@@ -49,6 +49,15 @@ class FaultInjectionEnv : public Env {
   // itself reports success).
   void FlipBitInNextWrite();
 
+  // Silently flips one bit in the data of the k-th WriteFile from now
+  // (0-based) — the bit-flip leg of the crash-point matrix, which walks
+  // the flip across every write site of a workload.
+  void FlipBitInWrite(uint64_t k);
+
+  // WriteFile calls attempted so far (counts faulted ones too); the
+  // matrix uses this to size the FlipBitInWrite sweep.
+  uint64_t write_count() const;
+
   // The next `k` ReadFile calls fail with kIoError, then reads recover.
   void FailNextReads(int k);
 
@@ -70,6 +79,7 @@ class FaultInjectionEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
   Status MakeDirs(const std::string& path) override;
   bool PathExists(const std::string& path) override;
   StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
@@ -87,6 +97,9 @@ class FaultInjectionEnv : public Env {
   bool crashed_ S2RDF_GUARDED_BY(mu_) = false;
   CrashStyle style_ S2RDF_GUARDED_BY(mu_) = CrashStyle::kClean;
   bool flip_bit_next_write_ S2RDF_GUARDED_BY(mu_) = false;
+  uint64_t writes_ S2RDF_GUARDED_BY(mu_) = 0;
+  bool flip_bit_at_write_armed_ S2RDF_GUARDED_BY(mu_) = false;
+  uint64_t flip_bit_at_write_ S2RDF_GUARDED_BY(mu_) = 0;
   int transient_read_failures_ S2RDF_GUARDED_BY(mu_) = 0;
   // Null until AttachMetrics; owned by the attached registry.
   Counter* reads_total_ = nullptr;

@@ -1,0 +1,60 @@
+#ifndef S2RDF_STORAGE_INGEST_H_
+#define S2RDF_STORAGE_INGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Batched incremental ingest — the unit of the crash-safe append path.
+// A batch carries canonical-term triples; core::ApplyIngestBatch encodes
+// them, appends to the triples table and the per-predicate VP tables,
+// delta-maintains the dependent ExtVP reductions and their SF statistics
+// (or defers that work, marking the sources stale), and commits
+// everything through one atomic Catalog::CommitBatch. The batch either
+// becomes fully visible at the manifest flip or — after a crash at any
+// point — is rolled back by Catalog::Recover's orphan sweep.
+
+namespace s2rdf::storage {
+
+// One triple in canonical N-Triples term syntax ("<iri>", "_:bnode",
+// "\"literal\"...").
+struct IngestTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+struct IngestBatch {
+  std::vector<IngestTriple> triples;
+  // When set, ExtVP/SF delta maintenance is skipped: the batch commits
+  // only the triples-table and VP appends and marks the touched VP
+  // tables as stale sources. Queries stay correct (stale reductions are
+  // never scanned; the optimizer ignores their statistics) but slower
+  // until RefreshStaleExtVp catches up. The fast path for latency-
+  // sensitive writers.
+  bool defer_extvp_maintenance = false;
+};
+
+struct IngestResult {
+  // Triples in the submitted batch, before deduplication.
+  uint64_t triples_in_batch = 0;
+  // Triples actually new (not already in the store, not duplicated
+  // within the batch). 0 means the batch was a no-op: no generation was
+  // committed.
+  uint64_t triples_added = 0;
+  // Manifest generation the batch committed as (unchanged on no-op).
+  uint64_t generation = 0;
+  // VP tables appended to (including newly created predicates).
+  uint64_t vp_tables_updated = 0;
+  // ExtVP stats entries delta-maintained (materialized, amended or
+  // demoted) by this batch.
+  uint64_t extvp_tables_updated = 0;
+  // Source VP tables marked stale by a deferred batch.
+  uint64_t stale_sources_marked = 0;
+  // Wall-clock time of the whole apply+commit, milliseconds.
+  double millis = 0.0;
+};
+
+}  // namespace s2rdf::storage
+
+#endif  // S2RDF_STORAGE_INGEST_H_

@@ -1,0 +1,616 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/ingest.h"
+#include "core/layout_names.h"
+#include "core/s2rdf.h"
+#include "server/sparql_endpoint.h"
+#include "storage/catalog.h"
+#include "storage/fault_injection_env.h"
+#include "storage/ingest.h"
+
+// Incremental-ingest suite: delta-maintained ExtVP reductions and SF
+// statistics must be indistinguishable from a from-scratch rebuild over
+// the concatenated triple stream — same stats entries, same row
+// contents, same row ORDER — at every generation; every crash point and
+// bit-flip in the ingest path must roll back or commit atomically; and
+// deferred (stale) maintenance must degrade queries safely until a
+// refresh converges back to the rebuild state.
+
+namespace s2rdf::core {
+namespace {
+
+using storage::Catalog;
+using storage::FaultInjectionEnv;
+using storage::IngestBatch;
+using storage::IngestResult;
+using storage::IngestTriple;
+
+// Bare-IRI triple; the canonical term is "<name>".
+struct T {
+  std::string s, p, o;
+};
+
+// The paper's running example graph G1 (Fig. 1).
+std::vector<T> G1() {
+  return {{"A", "follows", "B"}, {"B", "follows", "C"}, {"B", "follows", "D"},
+          {"C", "follows", "D"}, {"A", "likes", "I1"},  {"A", "likes", "I2"},
+          {"C", "likes", "I2"}};
+}
+
+// Q1 (Fig. 2) plus simpler probes; together they exercise ExtVP, VP and
+// TT scans.
+constexpr char kQ1[] =
+    "SELECT * WHERE { ?x <likes> ?w . ?x <follows> ?y . "
+    "?y <follows> ?z . ?z <likes> ?w }";
+constexpr char kLikes[] = "SELECT * WHERE { ?s <likes> ?o }";
+constexpr char kSpo[] = "SELECT * WHERE { ?s ?p ?o }";
+
+rdf::Graph GraphFrom(const std::vector<T>& triples) {
+  rdf::Graph g;
+  for (const T& t : triples) g.AddIris(t.s, t.p, t.o);
+  return g;
+}
+
+IngestBatch MakeBatch(const std::vector<T>& triples) {
+  IngestBatch batch;
+  for (const T& t : triples) {
+    batch.triples.push_back(
+        IngestTriple{"<" + t.s + ">", "<" + t.p + ">", "<" + t.o + ">"});
+  }
+  return batch;
+}
+
+std::vector<std::vector<std::string>> SortedRows(S2Rdf* db,
+                                                 const std::string& query) {
+  auto result = db->Execute(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return {};
+  std::vector<std::vector<std::string>> rows = db->DecodeRows(result->table);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// A from-scratch in-memory reference store over the full stream.
+std::unique_ptr<S2Rdf> Rebuild(const std::vector<T>& stream,
+                               double sf_threshold = 1.0) {
+  S2RdfOptions options;
+  options.sf_threshold = sf_threshold;
+  auto db = S2Rdf::Create(GraphFrom(stream), options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+// The oracle: the delta-maintained store and the rebuild must have the
+// same statistics entries (rows, SF, materialization decision) and, for
+// every materialized table, byte-identical contents in identical row
+// order. bytes/file_gen are storage-representation details and ignored.
+void ExpectStoresIdentical(S2Rdf* delta, S2Rdf* rebuild) {
+  std::map<std::string, const storage::TableStats*> ds, rs;
+  for (const storage::TableStats* s : delta->catalog().AllStats()) {
+    ds[s->name] = s;
+  }
+  for (const storage::TableStats* s : rebuild->catalog().AllStats()) {
+    rs[s->name] = s;
+  }
+  for (const auto& [name, stats] : rs) {
+    ASSERT_TRUE(ds.contains(name)) << "delta store missing " << name;
+  }
+  for (const auto& [name, stats] : ds) {
+    auto it = rs.find(name);
+    ASSERT_TRUE(it != rs.end()) << "delta store has extra entry " << name;
+    const storage::TableStats* ref = it->second;
+    EXPECT_EQ(stats->rows, ref->rows) << name;
+    EXPECT_DOUBLE_EQ(stats->selectivity, ref->selectivity) << name;
+    EXPECT_EQ(stats->materialized, ref->materialized) << name;
+    if (!stats->materialized || !ref->materialized) continue;
+    auto dt = delta->catalog().GetTable(name);
+    auto rt = rebuild->catalog().GetTable(name);
+    ASSERT_TRUE(dt.ok()) << name << ": " << dt.status().ToString();
+    ASSERT_TRUE(rt.ok()) << name << ": " << rt.status().ToString();
+    ASSERT_EQ((*dt)->NumRows(), (*rt)->NumRows()) << name;
+    ASSERT_EQ((*dt)->NumColumns(), (*rt)->NumColumns()) << name;
+    for (size_t r = 0; r < (*dt)->NumRows(); ++r) {
+      for (size_t c = 0; c < (*dt)->NumColumns(); ++c) {
+        ASSERT_EQ((*dt)->At(r, c), (*rt)->At(r, c))
+            << name << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+void ExpectSameAnswers(S2Rdf* a, S2Rdf* b) {
+  for (const char* q : {kQ1, kLikes, kSpo}) {
+    EXPECT_EQ(SortedRows(a, q), SortedRows(b, q)) << q;
+  }
+}
+
+// --- Delta maintenance == full rebuild -----------------------------------
+
+TEST(IngestDeltaTest, MatchesFullRebuildAtEveryGeneration) {
+  ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  std::vector<T> stream = G1();
+  // Batch 1: growth among existing terms (part-2 delta rows) plus a row
+  // that makes old VP rows newly match (part-1 retro-gain).
+  // Batch 2: a brand-new predicate and brand-new terms.
+  // Batch 3: a subject that demotes an SF=1 pair and retro-connects the
+  // new predicate.
+  const std::vector<std::vector<T>> batches = {
+      {{"D", "follows", "A"}, {"B", "likes", "I1"}},
+      {{"A", "knows", "C"}, {"E", "follows", "A"}, {"E", "likes", "I3"}},
+      {{"D", "likes", "I2"}, {"C", "knows", "E"}},
+  };
+  uint64_t expect_gen = 1;
+  for (const std::vector<T>& batch : batches) {
+    auto result = (*db)->Ingest(MakeBatch(batch));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->triples_in_batch, batch.size());
+    EXPECT_EQ(result->triples_added, batch.size());
+    EXPECT_EQ(result->generation, ++expect_gen);
+    EXPECT_GT(result->vp_tables_updated, 0u);
+    stream.insert(stream.end(), batch.begin(), batch.end());
+    std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+    ExpectStoresIdentical(db->get(), reference.get());
+    ExpectSameAnswers(db->get(), reference.get());
+  }
+
+  // The final state also survives a reopen (tables page in from disk).
+  db->reset();
+  auto reopened = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_report().tables_quarantined, 0u);
+  std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+  ExpectStoresIdentical(reopened->get(), reference.get());
+  ExpectSameAnswers(reopened->get(), reference.get());
+}
+
+TEST(IngestDeltaTest, DuplicatesDropAndFullyDuplicateBatchCommitsNothing) {
+  ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok());
+
+  // One new triple, one duplicate of stored data, one internal repeat.
+  auto result = (*db)->Ingest(MakeBatch(
+      {{"D", "follows", "A"}, {"A", "likes", "I1"}, {"D", "follows", "A"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->triples_in_batch, 3u);
+  EXPECT_EQ(result->triples_added, 1u);
+  EXPECT_EQ(result->generation, 2u);
+
+  // A fully-duplicate batch is a no-op: no manifest flip.
+  auto noop = (*db)->Ingest(MakeBatch({{"D", "follows", "A"}}));
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->triples_added, 0u);
+  EXPECT_EQ((*db)->catalog().generation(), 2u);
+
+  std::vector<T> stream = G1();
+  stream.push_back({"D", "follows", "A"});
+  std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+  ExpectStoresIdentical(db->get(), reference.get());
+  ExpectSameAnswers(db->get(), reference.get());
+}
+
+TEST(IngestDeltaTest, ThresholdStoreMatchesRebuild) {
+  // SF threshold below 1 exercises both decision flips: a reduction
+  // crossing under the threshold materializes; one pinned at SF = 1
+  // stays stats-only until a batch breaks the full match.
+  ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  options.sf_threshold = 0.9;
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<T> stream = G1();
+  for (const std::vector<T>& batch : std::vector<std::vector<T>>{
+           {{"D", "likes", "I2"}},          // breaks SS likes|follows SF=1
+           {{"F", "follows", "D"}, {"F", "likes", "I9"}},
+       }) {
+    auto result = (*db)->Ingest(MakeBatch(batch));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    stream.insert(stream.end(), batch.begin(), batch.end());
+    std::unique_ptr<S2Rdf> reference = Rebuild(stream, options.sf_threshold);
+    ExpectStoresIdentical(db->get(), reference.get());
+    ExpectSameAnswers(db->get(), reference.get());
+  }
+}
+
+TEST(IngestDeltaTest, LazyStoreMaintainsOnlyComputedPairs) {
+  ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  options.lazy_extvp = true;
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok());
+  // Materialize the pairs Q1 needs, then ingest.
+  auto before = SortedRows(db->get(), kQ1);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_GT((*db)->lazy_pairs_computed(), 0u);
+
+  auto result = (*db)->Ingest(MakeBatch({{"D", "follows", "A"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Answers match a lazy rebuild over the full stream.
+  std::vector<T> stream = G1();
+  stream.push_back({"D", "follows", "A"});
+  S2RdfOptions ref_options = options;
+  ref_options.storage_dir.clear();
+  auto reference = S2Rdf::Create(GraphFrom(stream), ref_options);
+  ASSERT_TRUE(reference.ok());
+  ExpectSameAnswers(db->get(), reference->get());
+}
+
+// --- Crash-point matrix over the ingest path -----------------------------
+
+// One deterministic ingest workload: open the pre-built store through
+// the fault env and apply the batch.
+const std::vector<T>& CrashBatch() {
+  static const std::vector<T> batch = {
+      {"D", "follows", "A"}, {"E", "likes", "I1"}, {"A", "knows", "C"}};
+  return batch;
+}
+
+void BuildCrashBaseStore(const std::string& dir) {
+  S2RdfOptions options;
+  options.storage_dir = dir;
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+}
+
+TEST(IngestCrashMatrixTest, EveryCrashPointRollsBackOrCommits) {
+  // References for the two legal post-recovery states.
+  std::unique_ptr<S2Rdf> pre_ref = Rebuild(G1());
+  std::vector<T> post_stream = G1();
+  post_stream.insert(post_stream.end(), CrashBatch().begin(),
+                     CrashBatch().end());
+  std::unique_ptr<S2Rdf> post_ref = Rebuild(post_stream);
+
+  // Pass 1: count the ingest path's mutating ops on a healthy run.
+  uint64_t total_mutations = 0;
+  {
+    ScopedTempDir dir;
+    BuildCrashBaseStore(dir.path());
+    FaultInjectionEnv env;
+    auto db = S2Rdf::Open(dir.path(), 9, &env);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto result = (*db)->Ingest(MakeBatch(CrashBatch()));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    total_mutations = env.mutation_count();
+    ASSERT_GT(total_mutations, 5u);  // Dictionary + tables + manifest.
+  }
+
+  // Pass 2: crash at every point, in both styles, and reboot.
+  for (FaultInjectionEnv::CrashStyle style :
+       {FaultInjectionEnv::CrashStyle::kClean,
+        FaultInjectionEnv::CrashStyle::kTorn}) {
+    for (uint64_t k = 0; k < total_mutations; ++k) {
+      SCOPED_TRACE("style=" + std::to_string(static_cast<int>(style)) +
+                   " crash_after=" + std::to_string(k));
+      ScopedTempDir dir;
+      BuildCrashBaseStore(dir.path());
+      bool committed = false;
+      {
+        FaultInjectionEnv env;
+        env.set_crash_style(style);
+        auto db = S2Rdf::Open(dir.path(), 9, &env);
+        ASSERT_TRUE(db.ok()) << db.status().ToString();
+        env.CrashAfterMutations(k);
+        // Crash points past the manifest flip still report success —
+        // only best-effort cleanup remains at that point.
+        committed = (*db)->Ingest(MakeBatch(CrashBatch())).ok();
+      }
+      // "Reboot" with a healthy environment: the store must recover to
+      // exactly generation 1 (rolled back) or generation 2 (committed),
+      // with no quarantine, no staging debris, and tables byte-identical
+      // to the corresponding rebuild.
+      auto db = S2Rdf::Open(dir.path());
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      const storage::RecoveryReport& report = (*db)->recovery_report();
+      EXPECT_EQ(report.tables_quarantined, 0u);
+      ASSERT_TRUE(report.generation == 1u || report.generation == 2u)
+          << report.generation;
+      if (committed) EXPECT_EQ(report.generation, 2u);
+      auto files = ListDir(dir.path());
+      ASSERT_TRUE(files.ok());
+      for (const std::string& file : *files) {
+        EXPECT_FALSE(EndsWith(file, ".tmp")) << file;
+      }
+      S2Rdf* expected =
+          report.generation == 2u ? post_ref.get() : pre_ref.get();
+      ExpectStoresIdentical(db->get(), expected);
+      ExpectSameAnswers(db->get(), expected);
+    }
+  }
+}
+
+TEST(IngestCrashMatrixTest, BitFlipAtEveryWriteSiteIsNeverSilent) {
+  std::unique_ptr<S2Rdf> pre_ref = Rebuild(G1());
+  std::vector<T> post_stream = G1();
+  post_stream.insert(post_stream.end(), CrashBatch().begin(),
+                     CrashBatch().end());
+  std::unique_ptr<S2Rdf> post_ref = Rebuild(post_stream);
+
+  uint64_t total_writes = 0;
+  {
+    ScopedTempDir dir;
+    BuildCrashBaseStore(dir.path());
+    FaultInjectionEnv env;
+    auto db = S2Rdf::Open(dir.path(), 9, &env);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Ingest(MakeBatch(CrashBatch())).ok());
+    total_writes = env.write_count();
+    ASSERT_GT(total_writes, 3u);
+  }
+
+  for (uint64_t k = 0; k < total_writes; ++k) {
+    SCOPED_TRACE("flip_write=" + std::to_string(k));
+    ScopedTempDir dir;
+    BuildCrashBaseStore(dir.path());
+    {
+      FaultInjectionEnv env;
+      auto db = S2Rdf::Open(dir.path(), 9, &env);
+      ASSERT_TRUE(db.ok());
+      env.FlipBitInWrite(k);
+      // The write itself reports success; the batch may commit, abort
+      // on a later verification, or leave damage for recovery. All are
+      // legal — silence about wrong DATA is not.
+      (void)(*db)->Ingest(MakeBatch(CrashBatch()));
+    }
+    // Reboot: the flip must never produce silently wrong data. Either
+    // the damage was caught before commit (rollback — answers match the
+    // pre reference), or the flip landed in a committed file and
+    // recovery's checksum pass detected it (quarantine; queries then
+    // degrade to a superset scan or fail loudly, never answer from the
+    // corrupt bytes). A clean reopen with nothing quarantined MUST match
+    // one of the two references exactly.
+    auto db = S2Rdf::Open(dir.path());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    const storage::RecoveryReport& report = (*db)->recovery_report();
+    ASSERT_TRUE(report.generation == 1u || report.generation == 2u)
+        << report.generation;
+    if (report.tables_quarantined == 0u) {
+      S2Rdf* expected =
+          report.generation == 2u ? post_ref.get() : pre_ref.get();
+      ExpectSameAnswers(db->get(), expected);
+    } else {
+      // Detected corruption: any query that still succeeds (degraded
+      // superset scan) must agree with the committed generation.
+      S2Rdf* expected =
+          report.generation == 2u ? post_ref.get() : pre_ref.get();
+      for (const char* q : {kQ1, kLikes, kSpo}) {
+        auto result = (*db)->Execute(q);
+        if (!result.ok()) continue;  // Loud failure is acceptable.
+        std::vector<std::vector<std::string>> rows =
+            (*db)->DecodeRows(result->table);
+        std::sort(rows.begin(), rows.end());
+        EXPECT_EQ(rows, SortedRows(expected, q)) << q;
+      }
+    }
+  }
+}
+
+// --- Deferred maintenance (staleness) ------------------------------------
+
+TEST(IngestDeferredTest, StaleDegradationThenRefreshConverges) {
+  ScopedTempDir dir;
+  S2RdfOptions options;
+  options.storage_dir = dir.path();
+  auto db = S2Rdf::Create(GraphFrom(G1()), options);
+  ASSERT_TRUE(db.ok());
+
+  IngestBatch batch = MakeBatch({{"D", "follows", "A"}, {"D", "likes", "I1"}});
+  batch.defer_extvp_maintenance = true;
+  auto result = (*db)->Ingest(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->triples_added, 2u);
+  EXPECT_EQ(result->extvp_tables_updated, 0u);
+  EXPECT_EQ(result->stale_sources_marked, 2u);
+  EXPECT_EQ((*db)->catalog().stale_source_count(), 2u);
+
+  // Queries stay correct: stale reductions are never scanned.
+  std::vector<T> stream = G1();
+  stream.push_back({"D", "follows", "A"});
+  stream.push_back({"D", "likes", "I1"});
+  std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+  ExpectSameAnswers(db->get(), reference.get());
+
+  // The cost optimizer ignores stale statistics and counts the
+  // conservative fallback.
+  QueryRequest request;
+  request.query = kQ1;
+  request.options.optimizer.mode = OptimizerMode::kCost;
+  ASSERT_TRUE((*db)->Execute(request).ok());
+  EXPECT_GT((*db)->catalog().stale_sf_fallbacks(), 0u);
+
+  // Staleness is durable: it survives a reopen via the manifest.
+  db->reset();
+  auto reopened = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->catalog().stale_source_count(), 2u);
+  ExpectSameAnswers(reopened->get(), reference.get());
+
+  // A further non-deferred batch must not delta-maintain pairs whose
+  // sources are stale (their reductions already miss rows).
+  auto more = (*reopened)->Ingest(MakeBatch({{"E", "follows", "D"}}));
+  ASSERT_TRUE(more.ok()) << more.status().ToString();
+  stream.push_back({"E", "follows", "D"});
+  reference = Rebuild(stream);
+  ExpectSameAnswers(reopened->get(), reference.get());
+  EXPECT_EQ((*reopened)->catalog().stale_source_count(), 2u);
+
+  // Refresh recomputes everything stale and converges to the rebuild.
+  auto refreshed = (*reopened)->RefreshStaleExtVp();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_GT(*refreshed, 0u);
+  EXPECT_EQ((*reopened)->catalog().stale_source_count(), 0u);
+  ExpectStoresIdentical(reopened->get(), reference.get());
+  ExpectSameAnswers(reopened->get(), reference.get());
+
+  // Idempotent when nothing is stale.
+  auto again = (*reopened)->RefreshStaleExtVp();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+// --- Quarantine interaction (recovery races) -----------------------------
+
+// Flips one bit in the middle of every matching table file.
+int CorruptTables(const std::string& dir, const std::string& prefix) {
+  auto files = ListDir(dir);
+  EXPECT_TRUE(files.ok());
+  int corrupted = 0;
+  for (const std::string& file : *files) {
+    if (!StartsWith(file, prefix) || !EndsWith(file, ".s2tb")) continue;
+    std::string blob;
+    EXPECT_TRUE(ReadFile(dir + "/" + file, &blob).ok());
+    blob[blob.size() / 2] ^= 0x01;
+    EXPECT_TRUE(WriteFile(dir + "/" + file, blob).ok());
+    ++corrupted;
+  }
+  return corrupted;
+}
+
+TEST(IngestRecoveryTest, QuarantinedVpReingestedUnderSameName) {
+  ScopedTempDir dir;
+  {
+    S2RdfOptions options;
+    options.storage_dir = dir.path();
+    auto created = S2Rdf::Create(GraphFrom(G1()), options);
+    ASSERT_TRUE(created.ok());
+  }
+  ASSERT_GT(CorruptTables(dir.path(), "vp_likes"), 0);
+
+  auto db = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_GE((*db)->recovery_report().tables_quarantined, 1u);
+  const std::string vp_likes = VpTableName(
+      (*db)->graph().dictionary(),
+      *(*db)->graph().dictionary().Find("<likes>"));
+  ASSERT_TRUE((*db)->catalog().IsQuarantined(vp_likes));
+
+  // Ingest a batch under the quarantined predicate: the pre-batch VP
+  // rows are reconstructed from the triples table (byte-identical), so
+  // the commit rewrites the table whole — self-healing the quarantine.
+  auto result = (*db)->Ingest(MakeBatch({{"D", "likes", "I1"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE((*db)->catalog().IsQuarantined(vp_likes));
+
+  std::vector<T> stream = G1();
+  stream.push_back({"D", "likes", "I1"});
+  std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+  ExpectSameAnswers(db->get(), reference.get());
+
+  // A fresh Recover must verify the re-ingested table (no re-quarantine
+  // under the same name) and sweep the superseded corrupt file.
+  db->reset();
+  auto reopened = S2Rdf::Open(dir.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_report().tables_quarantined, 0u);
+  EXPECT_FALSE((*reopened)->catalog().IsQuarantined(vp_likes));
+  ExpectStoresIdentical(reopened->get(), reference.get());
+  ExpectSameAnswers(reopened->get(), reference.get());
+}
+
+// --- Transient reads during ingest ---------------------------------------
+
+TEST(IngestRetryTest, TransientReadFailuresAreRetriedAndCounted) {
+  ScopedTempDir dir;
+  BuildCrashBaseStore(dir.path());
+  FaultInjectionEnv env;
+  auto db = S2Rdf::Open(dir.path(), 9, &env);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // No sleeping in tests: the retry path's backoff is injectable.
+  Catalog::SetRetrySleepFnForTest([](std::chrono::milliseconds) {});
+  env.FailNextReads(2);
+  auto result = (*db)->Ingest(MakeBatch({{"D", "follows", "A"}}));
+  Catalog::SetRetrySleepFnForTest(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE((*db)->catalog().read_retries(), 2u);
+
+  std::vector<T> stream = G1();
+  stream.push_back({"D", "follows", "A"});
+  std::unique_ptr<S2Rdf> reference = Rebuild(stream);
+  ExpectStoresIdentical(db->get(), reference.get());
+}
+
+// --- HTTP surface ---------------------------------------------------------
+
+TEST(IngestHttpTest, PostIngestDeferAndRefreshEndToEnd) {
+  auto db = S2Rdf::Create(GraphFrom(G1()), S2RdfOptions());
+  ASSERT_TRUE(db.ok());
+  server::SparqlEndpoint endpoint(db->get());
+
+  server::HttpRequest request;
+  request.method = "GET";
+  request.path = "/ingest";
+  EXPECT_EQ(endpoint.Handle(request).status_code, 405);
+
+  request.method = "POST";
+  request.body = "<D> <follows> <A> .\n<A> <likes> <I1> .\n";
+  server::HttpResponse response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"triples_in_batch\":2"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"triples_added\":1"), std::string::npos)
+      << response.body;  // <A> <likes> <I1> is already stored.
+  EXPECT_EQ(SortedRows(db->get(), "SELECT * WHERE { <D> <follows> ?o }")
+                .size(),
+            1u);
+
+  // Deferred batch, then refresh.
+  request.query_string = "defer=1";
+  request.body = "<E> <likes> <I2> .\n";
+  response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"stale_sources_marked\":1"),
+            std::string::npos)
+      << response.body;
+  EXPECT_EQ((*db)->catalog().stale_source_count(), 1u);
+
+  request.query_string = "refresh=1";
+  request.body.clear();
+  response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"extvp_refreshed\""), std::string::npos);
+  EXPECT_EQ((*db)->catalog().stale_source_count(), 0u);
+
+  // A malformed body fails loudly and is counted.
+  request.query_string.clear();
+  request.body = "this is not n-triples";
+  EXPECT_EQ(endpoint.Handle(request).status_code, 400);
+
+  request.method = "GET";
+  request.path = "/metrics";
+  request.body.clear();
+  response = endpoint.Handle(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("s2rdf_ingest_batches_total 2"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("s2rdf_ingest_failures_total 1"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("s2rdf_read_retries_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("s2rdf_stale_extvp_sources 0"),
+            std::string::npos)
+      << response.body;
+}
+
+}  // namespace
+}  // namespace s2rdf::core

@@ -272,6 +272,23 @@ const std::vector<BannedToken>& DeprecatedApiTokens() {
   return kTokens;
 }
 
+// Filesystem mutations that bypass the Env seam. Renames and unlinks
+// are the commit-protocol primitives (atomic manifest flips, orphan
+// sweeps); issued directly they evade fault injection AND can break
+// crash-atomicity invariants, so they are confined to common/ (the Env
+// implementations) and storage/ (which always goes through an Env —
+// belt and suspenders for the layer that owns the protocol).
+const std::vector<BannedToken>& RawFileMutationTokens() {
+  static const std::vector<BannedToken> kTokens = {
+      {"std::rename", TokenKind::kCall},
+      {"::rename", TokenKind::kCall},
+      {"rename", TokenKind::kCall},
+      {"::unlink", TokenKind::kCall},
+      {"unlink", TokenKind::kCall},
+  };
+  return kTokens;
+}
+
 const std::vector<BannedToken>& NondeterminismTokens() {
   static const std::vector<BannedToken> kTokens = {
       {"rand", TokenKind::kCall},
@@ -378,6 +395,18 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "deprecated-api", DeprecatedApiTokens(),
                 "is a deprecated alias (use "
                 "CompilerOptions::optimizer.reorder_joins)",
+                supp, &out);
+  }
+
+  // raw-file-mutation: rename/unlink are commit-protocol primitives
+  // (atomic flips, orphan sweeps); only common/ and storage/ may issue
+  // them.
+  if (npath.find("common/") == std::string::npos &&
+      npath.find("storage/") == std::string::npos) {
+    CheckTokens(path, lines, "raw-file-mutation", RawFileMutationTokens(),
+                "mutates the filesystem behind the Env seam (use "
+                "Env::RenameFile / Env::RemoveFile so crash-injection "
+                "tests cover it)",
                 supp, &out);
   }
 

@@ -12,6 +12,13 @@
 //                   primitives (fopen, std::ofstream, ::open, ...) are
 //                   permitted only in the Env implementation itself
 //                   (common/posix_env.cc, common/env.cc).
+//   raw-file-mutation
+//                   rename/unlink are the commit-protocol primitives
+//                   (atomic manifest flips, orphan sweeps); called
+//                   directly they evade fault injection and can break
+//                   crash atomicity, so they are permitted only under
+//                   common/ (Env implementations) and storage/ (the
+//                   layer owning the commit protocol).
 //   bare-mutex      Locking must use the annotated common::Mutex
 //                   wrappers so Clang thread-safety analysis sees every
 //                   acquisition. std::mutex & friends are permitted

@@ -47,6 +47,38 @@ TEST(LintRawIoTest, AllowedInsideEnvImplementation) {
   EXPECT_TRUE(LintContent("src/common/env.cc", snippet).empty());
 }
 
+TEST(LintRawFileMutationTest, FiresOnRenameAndUnlink) {
+  auto vs = LintFile(Testdata("raw_file_mutation_violation.cc"));
+  ASSERT_GE(vs.size(), 2u);
+  EXPECT_EQ(RulesIn(vs), std::set<std::string>{"raw-file-mutation"});
+  // std::rename on line 6, ::unlink on line 7.
+  EXPECT_TRUE(std::any_of(vs.begin(), vs.end(),
+                          [](const Violation& v) { return v.line == 6; }));
+  EXPECT_TRUE(std::any_of(vs.begin(), vs.end(),
+                          [](const Violation& v) { return v.line == 7; }));
+}
+
+TEST(LintRawFileMutationTest, SuppressionsWork) {
+  EXPECT_TRUE(LintFile(Testdata("raw_file_mutation_suppressed.cc")).empty());
+}
+
+TEST(LintRawFileMutationTest, AllowedInsideCommonAndStorage) {
+  const std::string snippet = "int rc = ::rename(tmp, dst);\n";
+  EXPECT_FALSE(LintContent("src/core/ingest.cc", snippet).empty());
+  EXPECT_TRUE(LintContent("src/common/posix_env.cc", snippet).empty());
+  EXPECT_TRUE(LintContent("src/storage/catalog.cc", snippet).empty());
+}
+
+TEST(LintRawFileMutationTest, DoesNotFireOnIdentifiersOrMembers) {
+  // Identifier substrings ("renamed", "unlink_count") and CamelCase
+  // member functions are not the banned libc calls.
+  const std::string snippet =
+      "void RenameColumn(int);\n"
+      "bool renamed = unlink_count > 0;\n"
+      "env->RenameFile(a, b);\n";
+  EXPECT_TRUE(LintContent("src/engine/x.cc", snippet).empty());
+}
+
 TEST(LintBareMutexTest, FiresOnStdMutexAndLockGuard) {
   auto vs = LintFile(Testdata("bare_mutex_violation.cc"));
   ASSERT_GE(vs.size(), 2u);

@@ -1,0 +1,8 @@
+// Fixture: suppression markers silence the raw-file-mutation rule.
+#include <cstdio>
+
+void DeliberateRename(const char* tmp, const char* final_path) {
+  std::rename(tmp, final_path);  // s2rdf-lint: allow(raw-file-mutation)
+  // s2rdf-lint: allow(raw-file-mutation)
+  ::unlink(tmp);
+}

@@ -1,0 +1,8 @@
+// Fixture: raw rename/unlink outside common/ and storage/ must be
+// flagged (they bypass the Env seam the crash tests inject into).
+#include <cstdio>
+
+void BadCommit(const char* tmp, const char* final_path) {
+  std::rename(tmp, final_path);
+  ::unlink(tmp);
+}
