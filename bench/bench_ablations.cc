@@ -107,7 +107,7 @@ int Main() {
     std::string query = InstantiateFor(tmpl, sf, 0);
     core::CompilerOptions opt;
     core::CompilerOptions unopt;
-    unopt.optimize_join_order = false;
+    unopt.optimizer.reorder_joins = false;
     double opt_ms = 0;
     double unopt_ms = 0;
     engine::ExecMetrics opt_metrics;

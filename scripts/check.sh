@@ -22,12 +22,31 @@ ctest --preset default
 note "repo linter (ctest -L lint)"
 ctest --preset lint
 
+note "whole-program analysis (layering, lock-order, interrupt-coverage, status-discipline)"
+./build/tools/lint/s2rdf_lint --root=. --baseline=tools/lint/lint_baseline.txt \
+  src tests bench tools
+
 note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json, BENCH_ingest.json)"
 scripts/bench_json.sh build
 
 if [[ "${1:-}" == "quick" ]]; then
   note "quick mode: skipping analyze + sanitizer legs"
   exit 0
+fi
+
+note "clang-tidy (bugprone / performance / concurrency; config in .clang-tidy)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Needs a compile database; the default preset exports one.
+  if [[ -f build/compile_commands.json ]]; then
+    find src tools/lint -name '*.cc' -not -path '*/testdata/*' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet
+  else
+    echo "build/compile_commands.json missing: configure the default preset"
+    echo "with CMAKE_EXPORT_COMPILE_COMMANDS=ON to enable the tidy leg."
+  fi
+else
+  echo "clang-tidy not found: skipping (s2rdf_lint still covers the"
+  echo "repo-invariant and cross-file checks; see .clang-tidy for the delta)."
 fi
 
 note "static analysis preset (clang thread-safety + nodiscard as errors)"

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace s2rdf {
 

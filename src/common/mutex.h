@@ -1,9 +1,9 @@
 #ifndef S2RDF_COMMON_MUTEX_H_
 #define S2RDF_COMMON_MUTEX_H_
 
-#include <condition_variable>  // s2rdf-lint: allow(bare-mutex)
-#include <mutex>               // s2rdf-lint: allow(bare-mutex)
-#include <shared_mutex>        // s2rdf-lint: allow(bare-mutex)
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -46,7 +46,7 @@ class S2RDF_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
-  std::mutex mu_;  // s2rdf-lint: allow(bare-mutex)
+  std::mutex mu_;
 };
 
 // Reader/writer mutex (wraps std::shared_mutex).
@@ -62,7 +62,7 @@ class S2RDF_CAPABILITY("shared_mutex") SharedMutex {
   void UnlockShared() S2RDF_RELEASE_SHARED() { mu_.unlock_shared(); }
 
  private:
-  std::shared_mutex mu_;  // s2rdf-lint: allow(bare-mutex)
+  std::shared_mutex mu_;
 };
 
 // Scoped exclusive hold of a Mutex.
@@ -122,7 +122,7 @@ class CondVar {
     // The analysis cannot model "released during the call, reacquired
     // before return"; REQUIRES on the caller side is the accepted
     // approximation (same as absl::CondVar).
-    std::unique_lock<std::mutex> ul(mu->mu_,  // s2rdf-lint: allow(bare-mutex)
+    std::unique_lock<std::mutex> ul(mu->mu_,
                                     std::adopt_lock);
     cv_.wait(ul);
     ul.release();
@@ -137,7 +137,7 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
  private:
-  std::condition_variable cv_;  // s2rdf-lint: allow(bare-mutex)
+  std::condition_variable cv_;
 };
 
 }  // namespace s2rdf

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/mutex.h"
+
 namespace s2rdf {
 
 TaskPool::TaskPool(int num_threads) {

@@ -76,6 +76,18 @@
 #define S2RDF_ASSERT_CAPABILITY(x) \
   S2RDF_THREAD_ANNOTATION_(assert_capability(x))
 
+// Declares the global acquisition order between two mutexes: the
+// annotated mutex must be acquired BEFORE (resp. AFTER) the argument.
+// Clang only diagnoses these within one translation unit; the
+// s2rdf_lint lock-order pass merges the declared edges into its global
+// acquired-before graph, so a cross-TU nesting that contradicts a
+// declaration is caught as a cycle. Arguments may be a sibling member
+// (`lazy_mu_`) or qualified (`Catalog::mu_`).
+#define S2RDF_ACQUIRED_BEFORE(...) \
+  S2RDF_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define S2RDF_ACQUIRED_AFTER(...) \
+  S2RDF_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
 // Escape hatch: turns the analysis off for one function. Every use must
 // explain why the analysis cannot see the invariant.
 #define S2RDF_NO_THREAD_SAFETY_ANALYSIS \

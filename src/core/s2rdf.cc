@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/file_util.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "core/ingest.h"
 #include "engine/operators.h"

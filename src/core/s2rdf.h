@@ -282,8 +282,10 @@ class S2Rdf {
   std::unique_ptr<ExtVpBitmapStore> bitmap_store_;
 
   // Serializes Ingest/RefreshStaleExtVp calls (queries run unlocked —
-  // they pin the prior generation's tables).
-  Mutex ingest_mu_;
+  // they pin the prior generation's tables). Ordered before lazy_mu_:
+  // ingest-side refresh may trigger lazy materialization, never the
+  // reverse (enforced globally by the s2rdf_lint lock-order pass).
+  Mutex ingest_mu_ S2RDF_ACQUIRED_BEFORE(lazy_mu_);
 
   // Guards the lazy-ExtVP in-flight set; lazy_cv_ wakes waiters when a
   // build completes.

@@ -177,6 +177,10 @@ Table HashJoin(const Table& left, const Table& right, ExecContext* ctx) {
   std::unordered_map<uint64_t, std::vector<size_t>> build;
   build.reserve(right.NumRows());
   for (size_t rr = 0; rr < right.NumRows(); ++rr) {
+    if ((rr % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial build; the probe loop's check fires immediately.
+    }
     if (RowKeyHasNull(right, rr, right_keys)) continue;
     build[RowKeyHash(right, rr, right_keys)].push_back(rr);
   }
@@ -590,6 +594,10 @@ Table Filter(const Table& t, const Expr& expr, const rdf::Dictionary& dict,
   ExprEvaluator eval(expr, t, dict);
   Table out(t.column_names());
   for (size_t r = 0; r < t.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;  // Partial output; ExecutePlan reports the interrupt.
+    }
     if (eval.Keep(r)) out.AppendRowFrom(t, r);
   }
   if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();

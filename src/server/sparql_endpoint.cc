@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "common/task_pool.h"
 #include "core/ingest.h"

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace s2rdf::server {
 
 WorkerPool::WorkerPool(int num_workers, size_t queue_capacity)

@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "storage/table_file.h"

@@ -1,5 +1,7 @@
 #include "storage/fault_injection_env.h"
 
+#include "common/mutex.h"
+
 namespace s2rdf::storage {
 
 FaultInjectionEnv::FaultInjectionEnv(Env* base)

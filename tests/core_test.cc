@@ -242,9 +242,10 @@ TEST_F(ExtVpG1Test, JoinOrderOptimizationReducesIntermediates) {
   ASSERT_TRUE(db.ok());
   CompilerOptions opt;
   opt.layout = Layout::kExtVp;
-  opt.optimize_join_order = true;
+  // Exercises the deprecated alias on purpose (back-compat coverage).
+  opt.optimize_join_order = true;  // s2rdf-lint: allow(deprecated-api)
   CompilerOptions unopt = opt;
-  unopt.optimize_join_order = false;
+  unopt.optimize_join_order = false;  // s2rdf-lint: allow(deprecated-api)
   auto with = (*db)->ExecuteWithOptions(kQ1, opt);
   auto without = (*db)->ExecuteWithOptions(kQ1, unopt);
   ASSERT_TRUE(with.ok());

@@ -412,7 +412,7 @@ TEST(ParallelJoinTest, InterruptedJoinSkipsGatherAndReturnsEmpty) {
   }
   ExecContext ctx;
   ctx.has_deadline = true;
-  ctx.deadline =
+  ctx.deadline =  // s2rdf-lint: allow(clock)
       std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
   Table out = ParallelHashJoin(left, right, &ctx);
   EXPECT_EQ(out.NumRows(), 0u);
@@ -729,7 +729,7 @@ TEST(PlanTest, ParallelPlanReportsExpiredDeadline) {
   ExecContext ctx;
   ctx.parallel_execution = true;
   ctx.has_deadline = true;
-  ctx.deadline =
+  ctx.deadline =  // s2rdf-lint: allow(clock)
       std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
   auto result = ExecutePlan(*JoinDistinctOrderPlan(), f.Provider(), &f.dict,
                             &ctx);

@@ -299,7 +299,8 @@ TEST(OptimizerKnobsTest, DeprecatedJoinOrderAliasStillHonored) {
   CompilerOptions legacy;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  legacy.optimize_join_order = false;
+  // Exercises the deprecated alias on purpose (back-compat coverage).
+  legacy.optimize_join_order = false;  // s2rdf-lint: allow(deprecated-api)
 #pragma GCC diagnostic pop
   CompilerOptions modern;
   modern.optimizer.reorder_joins = false;

@@ -544,7 +544,7 @@ TEST(EndpointSaturationTest, ConcurrentClientsAllGetResponses) {
 
 // Current thread count of this process (Linux).
 int CountProcThreads() {
-  std::ifstream status("/proc/self/status");
+  std::ifstream status("/proc/self/status");  // s2rdf-lint: allow(raw-io)
   std::string line;
   while (std::getline(status, line)) {
     if (line.rfind("Threads:", 0) == 0) {

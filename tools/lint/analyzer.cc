@@ -1,0 +1,179 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "model.h"
+
+namespace s2rdf::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const std::string& path) {
+  for (const char* ext : {".h", ".cc", ".cpp"}) {
+    std::string e(ext);
+    if (path.size() >= e.size() &&
+        path.compare(path.size() - e.size(), e.size(), e) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFixturePath(const std::string& rel) {
+  return rel.find("/testdata/") != std::string::npos ||
+         rel.find("/compile_fail/") != std::string::npos;
+}
+
+std::string TopDir(const std::string& rel) {
+  size_t slash = rel.find('/');
+  return slash == std::string::npos ? rel : rel.substr(0, slash);
+}
+
+struct ScannedFile {
+  std::string rel;
+  FileScanResult scan;   // unfiltered line-rule findings + markers
+  FileModel model;
+};
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+bool RuleEnabledFor(const std::string& rule, const std::string& rel_path) {
+  std::string top = TopDir(rel_path);
+  if (top == "tests") {
+    return rule != "bare-mutex" && rule != "status-discipline";
+  }
+  if (top == "bench") {
+    return rule != "nondeterminism" && rule != "clock" &&
+           rule != "status-discipline";
+  }
+  if (top == "tools") {
+    return rule != "raw-io";
+  }
+  return true;  // src/ and anything else: full rule set
+}
+
+AnalysisResult AnalyzeTree(const AnalyzerOptions& options) {
+  AnalysisResult result;
+  fs::path root(options.root);
+
+  // --- Walk + phase 1: per-file scan and model build. ---
+  std::vector<std::string> rel_paths;
+  for (const std::string& sub : options.subdirs) {
+    fs::path dir = root / sub;
+    std::error_code ec;
+    if (fs::is_regular_file(dir, ec)) {
+      rel_paths.push_back(sub);
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string rel =
+          fs::relative(it->path(), root, ec).generic_string();
+      if (ec || rel.empty()) continue;
+      if (!HasSourceExtension(rel) || IsFixturePath(rel)) continue;
+      rel_paths.push_back(rel);
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()),
+                  rel_paths.end());
+
+  std::vector<ScannedFile> files;
+  std::vector<Violation> unfiltered;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::string content;
+    if (!ReadFile(root / rel, &content)) {
+      unfiltered.push_back({rel, 0, "io", "cannot read file"});
+      continue;
+    }
+    ScannedFile f;
+    f.rel = rel;
+    f.scan = ScanContent(rel, content);
+    f.model = BuildFileModel(rel, content);
+    files.push_back(std::move(f));
+  }
+  result.files_scanned = files.size();
+
+  // Line-rule findings, profile-filtered.
+  for (const ScannedFile& f : files) {
+    for (const Violation& v : f.scan.violations) {
+      if (RuleEnabledFor(v.rule, f.rel)) unfiltered.push_back(v);
+    }
+  }
+
+  // --- Phase 2: cross-file passes over the merged model. ---
+  ProgramModel program;
+  program.files.reserve(files.size());
+  for (const ScannedFile& f : files) program.files.push_back(f.model);
+  for (auto* pass : {CheckLayering, CheckLockOrder, CheckInterruptCoverage,
+                     CheckStatusDiscipline}) {
+    for (Violation& v : pass(program)) {
+      if (RuleEnabledFor(v.rule, v.file)) unfiltered.push_back(std::move(v));
+    }
+  }
+
+  // --- Central suppression filter with usage tracking. ---
+  struct PerFile {
+    const ScannedFile* file;
+    Suppressions supp;
+    std::vector<bool> used;
+  };
+  std::map<std::string, PerFile> by_path;
+  for (const ScannedFile& f : files) {
+    by_path.emplace(f.rel,
+                    PerFile{&f, Suppressions(f.scan.markers),
+                            std::vector<bool>(f.scan.markers.size(), false)});
+  }
+  for (Violation& v : unfiltered) {
+    auto it = by_path.find(v.file);
+    if (it != by_path.end()) {
+      size_t used = 0;
+      if (it->second.supp.Allows(v.rule, v.line, &used)) {
+        it->second.used[used] = true;
+        continue;
+      }
+    }
+    result.findings.push_back(std::move(v));
+  }
+
+  // --- Suppression census + hygiene findings. Only markers naming a
+  // known rule are tracked: documentation placeholders like
+  // `allow(<rule>)` are inert, not stale. ---
+  for (const auto& [rel, pf] : by_path) {
+    for (size_t i = 0; i < pf.file->scan.markers.size(); ++i) {
+      if (!IsKnownRule(pf.file->scan.markers[i].rule)) continue;
+      result.markers.push_back(
+          {rel, pf.file->scan.markers[i], pf.used[i]});
+    }
+  }
+  for (Violation& v : CheckSuppressionHygiene(result.markers)) {
+    result.findings.push_back(std::move(v));
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+}  // namespace s2rdf::lint

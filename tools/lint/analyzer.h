@@ -1,0 +1,58 @@
+#ifndef S2RDF_TOOLS_LINT_ANALYZER_H_
+#define S2RDF_TOOLS_LINT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "passes/passes.h"
+
+// The whole-program analyzer driver: walks the tree, runs phase 1
+// (per-file line rules + syntactic model) and phase 2 (cross-file
+// passes), applies per-directory rule profiles and the central
+// suppression filter, and reports stale suppressions.
+//
+// Rule profiles — each analyzed top-level directory gets the full rule
+// set minus documented relaxations:
+//
+//   src/     everything
+//   tests/   no bare-mutex (tests exercise raw primitives to provoke
+//            races on purpose) and no status-discipline (tests
+//            construct Status values purely to assert on shapes)
+//   bench/   additionally no nondeterminism / clock (benchmarks time
+//            with the real clock and shuffle with real entropy) and no
+//            status-discipline
+//   tools/   no raw-io (offline CLIs write real files; there is no Env
+//            seam to inject faults through)
+//
+// Paths containing /testdata/ or /compile_fail/ are never analyzed —
+// they are fixtures, many intentionally broken.
+//
+// Suppressions are applied centrally across BOTH phases, tracking
+// which marker matched what; an unused marker is a finding of its own
+// (stale-suppression, itself unsuppressible).
+
+namespace s2rdf::lint {
+
+struct AnalyzerOptions {
+  std::string root;                  // repo root (absolute or relative)
+  std::vector<std::string> subdirs;  // e.g. {"src","tests","bench","tools"}
+};
+
+struct AnalysisResult {
+  std::vector<Violation> findings;  // filtered, sorted by (file,line,rule)
+  std::vector<MarkerUsage> markers;  // suppression census (all markers)
+  size_t files_scanned = 0;
+};
+
+// Runs the full two-phase analysis. All reported paths are
+// root-relative with forward slashes ("src/engine/plan.cc").
+AnalysisResult AnalyzeTree(const AnalyzerOptions& options);
+
+// True when `rule` is enforced for a root-relative path under the
+// profile table above. Exposed for tests.
+bool RuleEnabledFor(const std::string& rule, const std::string& rel_path);
+
+}  // namespace s2rdf::lint
+
+#endif  // S2RDF_TOOLS_LINT_ANALYZER_H_

@@ -4,7 +4,6 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 
@@ -62,6 +61,62 @@ std::string StripCommentsAndStrings(const std::string& in) {
   return out;
 }
 
+// The inverse view of StripCommentsAndStrings: keeps // and /* */
+// comment text, blanks code and string literals (newlines preserved).
+// Suppression markers are parsed from this view so a marker spelled
+// inside a string literal (e.g. a linter test fixture) is not a real
+// marker, while apostrophes in comments never derail the scan.
+std::string CommentsOnlyView(const std::string& in) {
+  std::string out(in.size(), ' ');
+  size_t i = 0;
+  const size_t n = in.size();
+  auto keep_newlines = [&](size_t from, size_t to) {
+    for (size_t j = from; j < to && j < n; ++j) {
+      if (in[j] == '\n') out[j] = '\n';
+    }
+  };
+  while (i < n) {
+    char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      while (i < n && in[i] != '\n') {
+        out[i] = in[i];
+        ++i;
+      }
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      while (i < n && !(in[i] == '*' && i + 1 < n && in[i + 1] == '/')) {
+        out[i] = in[i];
+        ++i;
+      }
+      if (i < n) out[i] = in[i], ++i;
+      if (i < n) out[i] = in[i], ++i;
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || !IsIdentChar(in[i - 1]))) {
+      size_t open = in.find('(', i + 2);
+      if (open == std::string::npos) {
+        keep_newlines(i, n);
+        break;
+      }
+      std::string close = ")" + in.substr(i + 2, open - i - 2) + "\"";
+      size_t end = in.find(close, open + 1);
+      size_t stop = end == std::string::npos ? n : end + close.size();
+      keep_newlines(i, stop);
+      i = stop;
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && in[i] != quote && in[i] != '\n') {
+        if (in[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n && in[i] == quote) ++i;
+    } else {
+      if (c == '\n') out[i] = '\n';
+      ++i;
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> SplitLines(const std::string& s) {
   std::vector<std::string> lines;
   std::string cur;
@@ -75,58 +130,6 @@ std::vector<std::string> SplitLines(const std::string& s) {
   }
   lines.push_back(cur);
   return lines;
-}
-
-// --- Suppressions ----------------------------------------------------------
-
-struct Suppressions {
-  // line (1-based) -> rules allowed on that line.
-  std::map<int, std::set<std::string>> per_line;
-  // Rules allowed for the whole file (allow-file within first 20 lines).
-  std::set<std::string> per_file;
-
-  bool Allows(const std::string& rule, int line) const {
-    if (per_file.contains(rule)) return true;
-    for (int l : {line, line - 1}) {
-      auto it = per_line.find(l);
-      if (it != per_line.end() && it->second.contains(rule)) return true;
-    }
-    return false;
-  }
-};
-
-void ParseMarkersOnLine(const std::string& line, int lineno,
-                        Suppressions* supp) {
-  const std::string kTag = "s2rdf-lint:";
-  size_t pos = line.find(kTag);
-  while (pos != std::string::npos) {
-    size_t p = pos + kTag.size();
-    while (p < line.size() && line[p] == ' ') ++p;
-    bool file_scope = false;
-    if (line.compare(p, 11, "allow-file(") == 0) {
-      file_scope = true;
-      p += 11;
-    } else if (line.compare(p, 6, "allow(") == 0) {
-      p += 6;
-    } else {
-      pos = line.find(kTag, pos + 1);
-      continue;
-    }
-    size_t close = line.find(')', p);
-    if (close == std::string::npos) break;
-    std::stringstream rules(line.substr(p, close - p));
-    std::string rule;
-    while (std::getline(rules, rule, ',')) {
-      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
-      if (rule.empty()) continue;
-      if (file_scope && lineno <= 20) {
-        supp->per_file.insert(rule);
-      } else if (!file_scope) {
-        supp->per_line[lineno].insert(rule);
-      }
-    }
-    pos = line.find(kTag, close);
-  }
 }
 
 // --- Token matching --------------------------------------------------------
@@ -302,13 +305,11 @@ const std::vector<BannedToken>& NondeterminismTokens() {
 
 void CheckTokens(const std::string& path, const std::vector<std::string>& lines,
                  const std::string& rule, const std::vector<BannedToken>& bans,
-                 const std::string& why, const Suppressions& supp,
-                 std::vector<Violation>* out) {
+                 const std::string& why, std::vector<Violation>* out) {
   for (size_t i = 0; i < lines.size(); ++i) {
     int lineno = static_cast<int>(i) + 1;
     for (const BannedToken& t : bans) {
       if (FindToken(lines[i], t).empty()) continue;
-      if (supp.Allows(rule, lineno)) continue;
       out->push_back({path, lineno, rule, "'" + t.token + "' " + why});
     }
   }
@@ -316,7 +317,7 @@ void CheckTokens(const std::string& path, const std::vector<std::string>& lines,
 
 void CheckIncludeGuard(const std::string& path,
                        const std::vector<std::string>& lines,
-                       const Suppressions& supp, std::vector<Violation>* out) {
+                       std::vector<Violation>* out) {
   if (!EndsWithAny(NormalizePath(path), {".h"})) return;
   int first_line = 0;
   std::string first;
@@ -331,7 +332,6 @@ void CheckIncludeGuard(const std::string& path,
   }
   const std::string kRule = "include-guard";
   if (first_line == 0) return;  // Empty header: nothing to protect.
-  if (supp.Allows(kRule, first_line)) return;
   if (first.rfind("#ifndef S2RDF_", 0) != 0) {
     out->push_back({path, first_line, kRule,
                     "header must open with an '#ifndef S2RDF_...' include "
@@ -356,20 +356,79 @@ void CheckIncludeGuard(const std::string& path,
 
 }  // namespace
 
-std::vector<Violation> LintContent(const std::string& path,
-                                   const std::string& content) {
-  std::vector<Violation> out;
-  std::string npath = NormalizePath(path);
+Suppressions::Suppressions(const std::vector<SuppressionMarker>& markers)
+    : markers_(markers) {}
 
-  // Suppressions are parsed from the *original* text (they live in
-  // comments), matching runs on the stripped text.
-  Suppressions supp;
-  {
-    std::vector<std::string> raw_lines = SplitLines(content);
-    for (size_t i = 0; i < raw_lines.size(); ++i) {
-      ParseMarkersOnLine(raw_lines[i], static_cast<int>(i) + 1, &supp);
+bool Suppressions::Allows(const std::string& rule, int line,
+                          size_t* used_marker) const {
+  for (size_t i = 0; i < markers_.size(); ++i) {
+    const SuppressionMarker& m = markers_[i];
+    if (m.rule != rule) continue;
+    bool matches = m.file_scope
+                       ? m.line <= 20  // allow-file only near the top
+                       : (line == m.line || line == m.line + 1);
+    if (matches) {
+      if (used_marker != nullptr) *used_marker = i;
+      return true;
     }
   }
+  return false;
+}
+
+bool IsKnownRule(const std::string& rule) {
+  static const std::set<std::string> kRules = {
+      "raw-io",         "raw-file-mutation", "bare-mutex",
+      "nondeterminism", "clock",             "include-guard",
+      "deprecated-api", "layering",          "transitive-include",
+      "lock-order",     "interrupt-coverage", "status-discipline",
+      "io",
+  };
+  return kRules.count(rule) > 0;
+}
+
+std::vector<SuppressionMarker> ParseSuppressionMarkers(
+    const std::string& content) {
+  std::vector<SuppressionMarker> out;
+  std::vector<std::string> raw_lines = SplitLines(CommentsOnlyView(content));
+  const std::string kTag = "s2rdf-lint:";
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    int lineno = static_cast<int>(i) + 1;
+    size_t pos = line.find(kTag);
+    while (pos != std::string::npos) {
+      size_t p = pos + kTag.size();
+      while (p < line.size() && line[p] == ' ') ++p;
+      bool file_scope = false;
+      if (line.compare(p, 11, "allow-file(") == 0) {
+        file_scope = true;
+        p += 11;
+      } else if (line.compare(p, 6, "allow(") == 0) {
+        p += 6;
+      } else {
+        pos = line.find(kTag, pos + 1);
+        continue;
+      }
+      size_t close = line.find(')', p);
+      if (close == std::string::npos) break;
+      std::stringstream rules(line.substr(p, close - p));
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+        if (rule.empty()) continue;
+        out.push_back({lineno, rule, file_scope});
+      }
+      pos = line.find(kTag, close);
+    }
+  }
+  return out;
+}
+
+FileScanResult ScanContent(const std::string& path,
+                           const std::string& content) {
+  FileScanResult result;
+  result.markers = ParseSuppressionMarkers(content);
+  std::vector<Violation>& out = result.violations;
+  std::string npath = NormalizePath(path);
   std::vector<std::string> lines =
       SplitLines(StripCommentsAndStrings(content));
 
@@ -378,7 +437,7 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "raw-io", RawIoTokens(),
                 "bypasses the injectable storage Env (route I/O through "
                 "s2rdf::Env so fault-injection tests cover it)",
-                supp, &out);
+                &out);
   }
 
   // bare-mutex: only the annotated wrapper may use std primitives.
@@ -386,7 +445,7 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "bare-mutex", BareMutexTokens(),
                 "evades Clang thread-safety analysis (use s2rdf::Mutex / "
                 "MutexLock / CondVar from common/mutex.h)",
-                supp, &out);
+                &out);
   }
 
   // deprecated-api: back-compat aliases stay contained. The declaring
@@ -395,7 +454,7 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "deprecated-api", DeprecatedApiTokens(),
                 "is a deprecated alias (use "
                 "CompilerOptions::optimizer.reorder_joins)",
-                supp, &out);
+                &out);
   }
 
   // raw-file-mutation: rename/unlink are commit-protocol primitives
@@ -407,7 +466,7 @@ std::vector<Violation> LintContent(const std::string& path,
                 "mutates the filesystem behind the Env seam (use "
                 "Env::RenameFile / Env::RemoveFile so crash-injection "
                 "tests cover it)",
-                supp, &out);
+                &out);
   }
 
   // nondeterminism: only common/random.* may draw entropy.
@@ -415,11 +474,10 @@ std::vector<Violation> LintContent(const std::string& path,
     CheckTokens(path, lines, "nondeterminism", NondeterminismTokens(),
                 "makes runs unreproducible (use the seeded SplitMix64 from "
                 "common/random.h)",
-                supp, &out);
+                &out);
     for (size_t i = 0; i < lines.size(); ++i) {
       int lineno = static_cast<int>(i) + 1;
-      if (LineHasWallClockTime(lines[i]) &&
-          !supp.Allows("nondeterminism", lineno)) {
+      if (LineHasWallClockTime(lines[i])) {
         out.push_back({path, lineno, "nondeterminism",
                        "'time(nullptr)' seeds from the wall clock (use the "
                        "seeded SplitMix64 from common/random.h)"});
@@ -433,8 +491,7 @@ std::vector<Violation> LintContent(const std::string& path,
     for (size_t i = 0; i < lines.size(); ++i) {
       int lineno = static_cast<int>(i) + 1;
       std::string which;
-      if (LineHasDirectClockRead(lines[i], &which) &&
-          !supp.Allows("clock", lineno)) {
+      if (LineHasDirectClockRead(lines[i], &which)) {
         out.push_back({path, lineno, "clock",
                        "'" + which +
                            "::now()' bypasses the injectable clock seam "
@@ -443,11 +500,22 @@ std::vector<Violation> LintContent(const std::string& path,
     }
   }
 
-  CheckIncludeGuard(path, lines, supp, &out);
+  CheckIncludeGuard(path, lines, &out);
 
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });
+  return result;
+}
+
+std::vector<Violation> LintContent(const std::string& path,
+                                   const std::string& content) {
+  FileScanResult scan = ScanContent(path, content);
+  Suppressions supp(scan.markers);
+  std::vector<Violation> out;
+  for (Violation& v : scan.violations) {
+    if (!supp.Allows(v.rule, v.line)) out.push_back(std::move(v));
+  }
   return out;
 }
 

@@ -49,9 +49,59 @@ struct Violation {
   std::string message;
 };
 
-// Lints one file's contents. `path` is used for reporting and for the
-// per-rule allowlists (posix_env.cc etc.), so pass repo-relative or
-// absolute paths, not bare basenames, where possible.
+// One `// s2rdf-lint: allow(rule)` / `allow-file(rule)` marker as
+// written in the source. The whole-program analyzer tracks which
+// markers actually suppress something; a marker that suppresses
+// nothing is itself an error (rule `stale-suppression`).
+struct SuppressionMarker {
+  int line = 0;         // 1-based line the marker sits on
+  std::string rule;
+  bool file_scope = false;  // allow-file(...) within the first 20 lines
+};
+
+// Suppression lookup built from markers. `Allows` matches a finding on
+// the marker's line or the line below it (i.e. markers suppress their
+// own line and the next), or anywhere for file-scope markers.
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<SuppressionMarker>& markers);
+  // True when a finding of `rule` at `line` is suppressed. When
+  // `used_marker` is non-null it receives the index (into the marker
+  // vector passed to the constructor) of the marker that matched.
+  bool Allows(const std::string& rule, int line,
+              size_t* used_marker = nullptr) const;
+
+ private:
+  std::vector<SuppressionMarker> markers_;
+};
+
+// Parses every suppression marker in `content`. Markers are only
+// recognized inside comments — one spelled in a string literal (e.g. a
+// linter test fixture) is not a marker.
+std::vector<SuppressionMarker> ParseSuppressionMarkers(
+    const std::string& content);
+
+// True for rule names the linter can emit (line rules, whole-program
+// passes, and "io"). The suppression-hygiene census only tracks
+// markers naming a known rule, so documentation placeholders like
+// `allow(<rule>)` are inert rather than "stale".
+bool IsKnownRule(const std::string& rule);
+
+// Per-file scan WITHOUT suppression filtering: returns every violation
+// the line rules find plus the parsed markers. The whole-program
+// analyzer uses this so it can apply suppressions centrally (across
+// line rules and cross-file passes) and detect stale markers.
+struct FileScanResult {
+  std::vector<Violation> violations;        // unfiltered
+  std::vector<SuppressionMarker> markers;   // parsed from comments
+};
+FileScanResult ScanContent(const std::string& path,
+                           const std::string& content);
+
+// Lints one file's contents (suppressions applied). `path` is used for
+// reporting and for the per-rule allowlists (posix_env.cc etc.), so
+// pass repo-relative or absolute paths, not bare basenames, where
+// possible.
 std::vector<Violation> LintContent(const std::string& path,
                                    const std::string& content);
 

@@ -1,0 +1,653 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace s2rdf::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Keywords that look like `ident (` but never start a function
+// definition or a call we care about.
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",     "while",        "switch",  "return",
+      "sizeof",   "alignof", "decltype",     "catch",   "new",
+      "delete",   "throw",   "static_cast",  "const_cast",
+      "dynamic_cast",        "reinterpret_cast",        "static_assert",
+      "alignas",  "noexcept","co_return",    "co_await","co_yield",
+  };
+  return kSet;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& content) {
+  std::vector<Token> out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+  while (i < n) {
+    char c = content[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      while (i < n && content[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        advance(1);
+      }
+      advance(2);
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consumed whole (with continuations);
+      // includes are captured by BuildFileModel from the raw text.
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (content[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(content[i - 1]))) {
+      size_t open = content.find('(', i + 2);
+      if (open == std::string::npos) {
+        advance(n - i);
+        continue;
+      }
+      std::string close = ")" + content.substr(i + 2, open - i - 2) + "\"";
+      size_t end = content.find(close, open + 1);
+      size_t stop = end == std::string::npos ? n : end + close.size();
+      out.push_back({TokenKind::kString, content.substr(i, stop - i), line});
+      advance(stop - i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      size_t start = i;
+      int start_line = line;
+      advance(1);
+      while (i < n && content[i] != c && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      if (i < n && content[i] == c) advance(1);
+      out.push_back(
+          {TokenKind::kString, content.substr(start, i - start), start_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(content[i])) advance(1);
+      out.push_back(
+          {TokenKind::kIdentifier, content.substr(start, i - start), line});
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(content[i]) || content[i] == '.' ||
+                       content[i] == '\'' ||
+                       ((content[i] == '+' || content[i] == '-') && i > start &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E')))) {
+        advance(1);
+      }
+      out.push_back(
+          {TokenKind::kNumber, content.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation; `::` and `->` are kept whole (the model needs them
+    // to read qualified names and member accesses).
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      out.push_back({TokenKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      out.push_back({TokenKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.push_back({TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+bool FileModel::RangeMentions(size_t begin, size_t end,
+                              const std::string& name) const {
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Index of the token matching tokens[open_index] (which must be `open`),
+// or tokens.size() when unbalanced.
+size_t FindMatching(const std::vector<Token>& toks, size_t open_index,
+                    const std::string& open, const std::string& close) {
+  int depth = 0;
+  for (size_t i = open_index; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == open) ++depth;
+    if (toks[i].text == close && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+bool IsIdent(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].kind == TokenKind::kIdentifier &&
+         toks[i].text == text;
+}
+
+bool IsPunct(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].kind == TokenKind::kPunct &&
+         toks[i].text == text;
+}
+
+std::string JoinTokens(const std::vector<Token>& toks, size_t begin,
+                       size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    out += toks[i].text;
+  }
+  return out;
+}
+
+// Parses the captured includes from the raw text (the tokenizer skips
+// preprocessor lines).
+void ParseIncludes(const std::string& content, FileModel* model) {
+  int line = 1;
+  size_t pos = 0;
+  const size_t n = content.size();
+  while (pos < n) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = n;
+    std::string_view l(content.data() + pos, eol - pos);
+    size_t s = l.find_first_not_of(" \t");
+    if (s != std::string_view::npos && l[s] == '#') {
+      size_t p = l.find_first_not_of(" \t", s + 1);
+      if (p != std::string_view::npos && l.substr(p, 7) == "include") {
+        size_t q = l.find_first_of("\"<", p + 7);
+        if (q != std::string_view::npos) {
+          char closer = l[q] == '<' ? '>' : '"';
+          size_t e = l.find(closer, q + 1);
+          if (e != std::string_view::npos) {
+            model->includes.push_back({std::string(l.substr(q + 1, e - q - 1)),
+                                       line, l[q] == '<'});
+          }
+        }
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+// The model builder proper: a single forward walk over the token
+// stream, tracking namespace/class/function scope with a brace stack.
+class ModelBuilder {
+ public:
+  ModelBuilder(const std::vector<Token>& toks, FileModel* model)
+      : toks_(toks), model_(model) {}
+
+  void Run() {
+    for (size_t i = 0; i < toks_.size();) {
+      i = Step(i);
+    }
+    // Unterminated scopes (truncated file): close functions at EOF.
+    for (FunctionModel& f : model_->functions) {
+      if (f.body_end == 0) f.body_end = toks_.size();
+      for (LockSite& l : f.locks) {
+        if (l.scope_end == 0) l.scope_end = f.body_end;
+      }
+    }
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunctionBody, kBlock } kind;
+    std::string name;            // class/namespace name
+    int function_index = -1;     // for kFunctionBody
+    std::vector<size_t> locks;   // lock indices opened in this scope
+  };
+
+  const std::vector<Token>& toks_;
+  FileModel* model_;
+  std::vector<Scope> scopes_;
+  // Pending classification for the next `{`.
+  enum class Pending { kNone, kNamespace, kClass, kSkip } pending_ =
+      Pending::kNone;
+  std::string pending_name_;
+  int pending_function_ = -1;
+
+  int FunctionIndex() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunctionBody) return it->function_index;
+    }
+    return -1;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return "";
+  }
+
+  size_t Step(size_t i) {
+    const Token& t = toks_[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "{") return OpenBrace(i);
+      if (t.text == "}") return CloseBrace(i);
+      return i + 1;
+    }
+    if (t.kind != TokenKind::kIdentifier) return i + 1;
+
+    const int fn = pending_function_ >= 0 ? -1 : FunctionIndex();
+    if (fn >= 0) return StepInFunction(i, fn);
+
+    if (t.text == "namespace") {
+      pending_ = Pending::kNamespace;
+      pending_name_.clear();
+      if (i + 1 < toks_.size() &&
+          toks_[i + 1].kind == TokenKind::kIdentifier) {
+        pending_name_ = toks_[i + 1].text;
+      }
+      return i + 1;
+    }
+    if ((t.text == "class" || t.text == "struct") &&
+        !(i > 0 && IsIdent(toks_, i - 1, "enum"))) {
+      return ScanClassHead(i);
+    }
+    if (t.text == "enum" || t.text == "union") {
+      pending_ = Pending::kSkip;  // enum/union bodies hold no functions
+      return i + 1;
+    }
+    if (t.text == "Mutex" || t.text == "SharedMutex") {
+      size_t next = ScanMutexDecl(i);
+      if (next != i) return next;
+    }
+    if (t.text == "S2RDF_GUARDED_BY" || t.text == "S2RDF_PT_GUARDED_BY") {
+      ScanGuard(i);
+      return i + 1;
+    }
+    // Function definition?
+    size_t next = TryFunctionDef(i);
+    if (next != i) return next;
+    return i + 1;
+  }
+
+  size_t OpenBrace(size_t i) {
+    Scope s;
+    switch (pending_) {
+      case Pending::kNamespace:
+        s.kind = Scope::kNamespace;
+        s.name = pending_name_;
+        break;
+      case Pending::kClass:
+        s.kind = Scope::kClass;
+        s.name = pending_name_;
+        break;
+      case Pending::kSkip:
+      case Pending::kNone:
+        s.kind = Scope::kBlock;
+        break;
+    }
+    if (pending_function_ >= 0) {
+      s.kind = Scope::kFunctionBody;
+      s.function_index = pending_function_;
+      model_->functions[static_cast<size_t>(pending_function_)].body_begin = i;
+    }
+    pending_ = Pending::kNone;
+    pending_function_ = -1;
+    scopes_.push_back(std::move(s));
+    return i + 1;
+  }
+
+  size_t CloseBrace(size_t i) {
+    if (scopes_.empty()) return i + 1;
+    Scope s = std::move(scopes_.back());
+    scopes_.pop_back();
+    int fn = -1;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunctionBody) {
+        fn = it->function_index;
+        break;
+      }
+    }
+    if (s.kind == Scope::kFunctionBody) fn = s.function_index;
+    if (fn >= 0) {
+      FunctionModel& f = model_->functions[static_cast<size_t>(fn)];
+      for (size_t lock_index : s.locks) f.locks[lock_index].scope_end = i;
+    }
+    if (s.kind == Scope::kFunctionBody && s.function_index >= 0) {
+      FunctionModel& f =
+          model_->functions[static_cast<size_t>(s.function_index)];
+      f.body_end = i;
+      for (LockSite& l : f.locks) {
+        if (l.scope_end == 0) l.scope_end = i;
+      }
+    }
+    return i + 1;
+  }
+
+  // `class X ... {` / `struct X : Base {` — records the name and flags
+  // the next `{` as a class body. Returns the index to resume at.
+  size_t ScanClassHead(size_t i) {
+    std::string name;
+    size_t j = i + 1;
+    for (; j < toks_.size(); ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        name = t.text;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(") {  // attribute macro args, e.g. S2RDF_CAPABILITY("x")
+          j = FindMatching(toks_, j, "(", ")");
+          // The macro was captured as `name`; forget it.
+          continue;
+        }
+        if (t.text == ":" || t.text == "{") break;
+        if (t.text == ";") return j + 1;  // forward declaration
+        if (t.text == "<") {  // template args in specializations: skip
+          j = FindMatching(toks_, j, "<", ">");
+          continue;
+        }
+      }
+    }
+    pending_ = Pending::kClass;
+    pending_name_ = name;
+    // Resume just before the `{` (skip the base clause quickly).
+    for (; j < toks_.size(); ++j) {
+      if (IsPunct(toks_, j, "{") || IsPunct(toks_, j, ";")) return j;
+    }
+    return j;
+  }
+
+  // `Mutex name_ <annotations>;` as a class/namespace member.
+  size_t ScanMutexDecl(size_t i) {
+    if (i + 1 >= toks_.size() ||
+        toks_[i + 1].kind != TokenKind::kIdentifier) {
+      return i;
+    }
+    std::string name = toks_[i + 1].text;
+    std::string class_name = EnclosingClass();
+    // Validate the declaration shape: annotations/macros until `;` or
+    // `=` (default member init) — anything else (e.g. `(`: a function
+    // returning Mutex, a constructor param) is not a member decl.
+    size_t j = i + 2;
+    while (j < toks_.size()) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "S2RDF_ACQUIRED_BEFORE" ||
+            t.text == "S2RDF_ACQUIRED_AFTER") {
+          bool before = t.text == "S2RDF_ACQUIRED_BEFORE";
+          if (IsPunct(toks_, j + 1, "(")) {
+            size_t close = FindMatching(toks_, j + 1, "(", ")");
+            std::string self = Label(class_name, name);
+            std::string arg = JoinTokens(toks_, j + 2, close);
+            std::string other = arg.find("::") != std::string::npos
+                                    ? arg
+                                    : Label(class_name, arg);
+            if (before) {
+              model_->order_annotations.push_back(
+                  {self, other, toks_[j].line});
+            } else {
+              model_->order_annotations.push_back(
+                  {other, self, toks_[j].line});
+            }
+            j = close + 1;
+            continue;
+          }
+        }
+        ++j;
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct && t.text == "(") {
+        // Could be another annotation macro's args; skip balanced.
+        // A bare `Mutex name(...)` constructor-style local is fine too.
+        j = FindMatching(toks_, j, "(", ")") + 1;
+        continue;
+      }
+      break;
+    }
+    if (j < toks_.size() && IsPunct(toks_, j, ";")) {
+      model_->mutex_decls.push_back({class_name, name, toks_[i].line});
+      return j + 1;
+    }
+    return i;
+  }
+
+  void ScanGuard(size_t i) {
+    // `<type> member_ S2RDF_GUARDED_BY(mu_);` — the member is the
+    // identifier immediately before the macro.
+    if (i == 0 || toks_[i - 1].kind != TokenKind::kIdentifier) return;
+    if (!IsPunct(toks_, i + 1, "(")) return;
+    size_t close = FindMatching(toks_, i + 1, "(", ")");
+    model_->guards.push_back({EnclosingClass(), toks_[i - 1].text,
+                              JoinTokens(toks_, i + 2, close),
+                              toks_[i].line});
+  }
+
+  static std::string Label(const std::string& class_name,
+                           const std::string& member) {
+    return class_name.empty() ? member : class_name + "::" + member;
+  }
+
+  // Attempts to read a function definition whose name token is at or
+  // after `i`. Returns `i` unchanged when this is not one.
+  size_t TryFunctionDef(size_t i) {
+    const Token& t = toks_[i];
+    if (ControlKeywords().contains(t.text)) return i;
+    std::string name = t.text;
+    size_t after_name = i + 1;
+    if (t.text == "operator") {
+      // operator=, operator==, operator(), operator[] ...
+      while (after_name < toks_.size() &&
+             toks_[after_name].kind == TokenKind::kPunct &&
+             toks_[after_name].text != "(") {
+        name += toks_[after_name].text;
+        ++after_name;
+      }
+      if (name == "operator" && IsPunct(toks_, after_name, "(") &&
+          IsPunct(toks_, after_name + 1, ")")) {
+        name = "operator()";
+        after_name += 2;
+      }
+    }
+    if (!IsPunct(toks_, after_name, "(")) return i;
+    size_t close = FindMatching(toks_, after_name, "(", ")");
+    if (close >= toks_.size()) return i;
+
+    // Signature trailer: `const noexcept override S2RDF_REQUIRES(x)
+    // -> T` then `{` (definition), `;`/`=`/`,` (not a definition).
+    bool no_tsa = false;
+    bool in_init_list = false;
+    size_t j = close + 1;
+    while (j < toks_.size()) {
+      const Token& tok = toks_[j];
+      if (tok.kind == TokenKind::kIdentifier) {
+        if (tok.text == "S2RDF_NO_THREAD_SAFETY_ANALYSIS") no_tsa = true;
+        ++j;
+        continue;
+      }
+      if (tok.kind == TokenKind::kPunct) {
+        if (tok.text == "(") {
+          j = FindMatching(toks_, j, "(", ")") + 1;
+          continue;
+        }
+        if (tok.text == "{") {
+          if (in_init_list && j > 0 &&
+              (toks_[j - 1].kind == TokenKind::kIdentifier ||
+               toks_[j - 1].text == ">")) {
+            // Member brace-init: `: mem_{x}` — skip it.
+            j = FindMatching(toks_, j, "{", "}") + 1;
+            continue;
+          }
+          break;  // function body
+        }
+        if (tok.text == ";" || tok.text == "=") return i;  // declaration
+        if (tok.text == ":") {
+          in_init_list = true;
+          ++j;
+          continue;
+        }
+        if (tok.text == "<") {
+          j = FindMatching(toks_, j, "<", ">") + 1;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      ++j;
+    }
+    if (j >= toks_.size()) return i;
+
+    FunctionModel f;
+    f.name = name;
+    f.line = t.line;
+    f.sig_begin = i;
+    f.no_thread_safety_analysis = no_tsa;
+    if (i >= 2 && IsPunct(toks_, i - 1, "::") &&
+        toks_[i - 2].kind == TokenKind::kIdentifier) {
+      f.qualifier = toks_[i - 2].text;
+    } else {
+      f.qualifier = EnclosingClass();
+    }
+    model_->functions.push_back(std::move(f));
+    pending_function_ = static_cast<int>(model_->functions.size()) - 1;
+    return j;  // the `{` itself is handled by OpenBrace
+  }
+
+  size_t StepInFunction(size_t i, int fn) {
+    FunctionModel& f = model_->functions[static_cast<size_t>(fn)];
+    const Token& t = toks_[i];
+    if (t.text == "MutexLock" || t.text == "ReaderLock" ||
+        t.text == "WriterLock") {
+      // `MutexLock lock(&mu_);` or `MutexLock lock(&other.mu_);`
+      size_t open = i + 1;
+      if (open < toks_.size() &&
+          toks_[open].kind == TokenKind::kIdentifier) {
+        ++open;
+      }
+      if (IsPunct(toks_, open, "(")) {
+        size_t close = FindMatching(toks_, open, "(", ")");
+        size_t expr_begin = open + 1;
+        if (IsPunct(toks_, expr_begin, "&")) ++expr_begin;
+        LockSite lock;
+        lock.holder = t.text;
+        lock.expr = JoinTokens(toks_, expr_begin, close);
+        lock.line = t.line;
+        lock.token_index = i;
+        f.locks.push_back(lock);
+        if (!scopes_.empty()) {
+          scopes_.back().locks.push_back(f.locks.size() - 1);
+        }
+        return close + 1;
+      }
+    }
+    if (t.text == "for" || t.text == "while") {
+      if (IsPunct(toks_, i + 1, "(")) {
+        size_t close = FindMatching(toks_, i + 1, "(", ")");
+        LoopSite loop;
+        loop.header_line = t.line;
+        loop.header_begin = i + 1;
+        loop.header_end = close + 1;
+        int depth = 0;
+        for (size_t k = i + 2; k < close; ++k) {
+          if (IsPunct(toks_, k, "(")) ++depth;
+          if (IsPunct(toks_, k, ")")) --depth;
+          if (depth == 0 && IsPunct(toks_, k, ":")) {
+            loop.range_for = t.text == "for";
+            break;
+          }
+        }
+        size_t body = close + 1;
+        if (IsPunct(toks_, body, "{")) {
+          loop.body_begin = body;
+          loop.body_end = FindMatching(toks_, body, "{", "}") + 1;
+        } else {
+          loop.body_begin = body;
+          int d = 0;
+          size_t k = body;
+          for (; k < toks_.size(); ++k) {
+            if (toks_[k].kind != TokenKind::kPunct) continue;
+            const std::string& p = toks_[k].text;
+            if (p == "(" || p == "{") ++d;
+            if (p == ")" || p == "}") --d;
+            if (p == ";" && d <= 0) break;
+          }
+          loop.body_end = std::min(k + 1, toks_.size());
+        }
+        f.loops.push_back(loop);
+        return i + 1;  // keep scanning inside the header/body normally
+      }
+    }
+    if (t.kind == TokenKind::kIdentifier && IsPunct(toks_, i + 1, "(") &&
+        !ControlKeywords().contains(t.text)) {
+      CallSite call;
+      call.name = t.text;
+      call.line = t.line;
+      call.token_index = i;
+      if (i >= 2 && IsPunct(toks_, i - 1, "::") &&
+          toks_[i - 2].kind == TokenKind::kIdentifier) {
+        call.qualifier = toks_[i - 2].text;
+      } else if (i >= 1 &&
+                 (IsPunct(toks_, i - 1, ".") || IsPunct(toks_, i - 1, "->")) &&
+                 !(i >= 2 && IsIdent(toks_, i - 2, "this"))) {
+        call.member_access = true;
+      }
+      f.calls.push_back(call);
+    }
+    return i + 1;
+  }
+};
+
+}  // namespace
+
+FileModel BuildFileModel(const std::string& path, const std::string& content) {
+  FileModel model;
+  model.path = path;
+  std::replace(model.path.begin(), model.path.end(), '\\', '/');
+  ParseIncludes(content, &model);
+  model.tokens = Tokenize(content);
+  ModelBuilder(model.tokens, &model).Run();
+  return model;
+}
+
+}  // namespace s2rdf::lint

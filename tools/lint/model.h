@@ -1,0 +1,138 @@
+#ifndef S2RDF_TOOLS_LINT_MODEL_H_
+#define S2RDF_TOOLS_LINT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+// Phase 1 of the whole-program analyzer: a real tokenizer (replacing
+// the regex-style stripping that per-line rules use) and a lightweight
+// syntactic model of one translation unit. The model captures exactly
+// what the cross-file passes (tools/lint/passes/) need:
+//
+//   - includes            the project include graph (layering pass)
+//   - functions           name, enclosing class, body token range
+//   - lock acquisitions   MutexLock/ReaderLock/WriterLock sites with
+//                         their scope extent (lock-order pass)
+//   - mutex declarations  Mutex/SharedMutex members per class, plus
+//                         S2RDF_ACQUIRED_BEFORE / _AFTER annotations
+//   - guarded members     S2RDF_GUARDED_BY / PT_GUARDED_BY declarations
+//   - loops               for/while headers with body extents
+//                         (interrupt-coverage pass)
+//   - calls               call sites for one-level lock propagation
+//
+// The model is deliberately token-level, not a full C++ parse: it must
+// stay fast (<5s over the whole tree, see EXPERIMENTS.md) and robust to
+// code it has never seen. Heuristics err conservative; see each pass
+// for the invariant it enforces and DESIGN.md §13 for the architecture.
+
+namespace s2rdf::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,   // string or char literal (text is the raw literal)
+  kPunct,    // single punctuation char, or one of :: -> . & * etc.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+// Tokenizes C++ source. Comments and preprocessor directives are not
+// emitted (includes are captured separately by BuildFileModel); string
+// and char literals come out as single kString tokens. `::` and `->`
+// are single tokens, all other punctuation is one char per token.
+std::vector<Token> Tokenize(const std::string& content);
+
+struct Include {
+  std::string target;  // e.g. "common/mutex.h" or "vector"
+  int line = 0;
+  bool angled = false;  // <...> (system) vs "..." (project)
+};
+
+// One MutexLock/ReaderLock/WriterLock acquisition inside a function.
+struct LockSite {
+  std::string holder;  // "MutexLock" | "ReaderLock" | "WriterLock"
+  std::string expr;    // argument text, '&' stripped: "mu_", "other.mu_"
+  int line = 0;
+  size_t token_index = 0;  // position of the holder token
+  size_t scope_end = 0;    // token index where the enclosing scope closes
+};
+
+struct CallSite {
+  std::string name;       // unqualified callee name
+  std::string qualifier;  // "Catalog" for Catalog::Fn(, "" otherwise
+  bool member_access = false;  // `recv.name(` / `recv->name(`, recv != this
+  int line = 0;
+  size_t token_index = 0;
+};
+
+struct LoopSite {
+  int header_line = 0;
+  bool range_for = false;
+  size_t header_begin = 0, header_end = 0;  // token range of (...) incl parens
+  size_t body_begin = 0, body_end = 0;      // token range of body (inclusive)
+};
+
+struct FunctionModel {
+  std::string name;       // unqualified: "Execute", "operator="
+  std::string qualifier;  // "Catalog" for Catalog::Execute or inline methods
+  int line = 0;
+  size_t sig_begin = 0;            // token index of the name token
+  size_t body_begin = 0, body_end = 0;  // token range incl. braces
+  bool no_thread_safety_analysis = false;
+  std::vector<LockSite> locks;    // in source order
+  std::vector<CallSite> calls;    // in source order
+  std::vector<LoopSite> loops;    // in source order (outer before inner)
+};
+
+// `Mutex name_;` / `SharedMutex name_;` declared as a class member.
+struct MutexDecl {
+  std::string class_name;  // "" for a namespace-scope mutex
+  std::string name;
+  int line = 0;
+};
+
+// S2RDF_ACQUIRED_BEFORE(x) / S2RDF_ACQUIRED_AFTER(x) on a mutex member:
+// a declared edge in the acquired-before graph. `first` must be taken
+// before `second`; labels are "Class::member" (or the raw argument when
+// it is already qualified).
+struct OrderAnnotation {
+  std::string first;
+  std::string second;
+  int line = 0;
+};
+
+// S2RDF_GUARDED_BY(mu) / S2RDF_PT_GUARDED_BY(mu) on a member.
+struct GuardDecl {
+  std::string class_name;
+  std::string member;
+  std::string mutex_expr;
+  int line = 0;
+};
+
+struct FileModel {
+  std::string path;  // as given (repo-relative under the analyzer)
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<FunctionModel> functions;
+  std::vector<MutexDecl> mutex_decls;
+  std::vector<OrderAnnotation> order_annotations;
+  std::vector<GuardDecl> guards;
+
+  // True when any token in [begin, end) is an identifier `name`.
+  bool RangeMentions(size_t begin, size_t end, const std::string& name) const;
+};
+
+FileModel BuildFileModel(const std::string& path, const std::string& content);
+
+// Phase-1 output for the whole program: every parsed file.
+struct ProgramModel {
+  std::vector<FileModel> files;
+};
+
+}  // namespace s2rdf::lint
+
+#endif  // S2RDF_TOOLS_LINT_MODEL_H_

@@ -1,0 +1,131 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes/passes.h"
+
+// Interrupt-coverage pass: every row loop in src/engine/ must honor the
+// per-query deadline/cancellation seam (ExecContext) at least every
+// kInterruptCheckRows iterations. PR 4 fixed this bug class by hand in
+// Distinct/OrderBy; this pass makes the omission structurally
+// impossible for every future operator.
+//
+// Scope:   functions in src/engine/ whose signature or body mentions
+//          ExecContext or `ctx` (operators without a context cannot
+//          check it — adding the seam is an API change this linter does
+//          not force).
+// Row loop: a for/while whose header mentions NumRows() (directly or
+//          via a local assigned from NumRows — one step of forward
+//          taint), or whose body emits rows (AppendRow*/EmitJoined*).
+// Covered: the loop's extent — or any enclosing loop's extent — has a
+//          kInterruptCheckRows / CheckInterrupt / InterruptRequested
+//          token. Checking in the outer loop of a nest is the
+//          canonical idiom (the inner per-match loop is bounded by the
+//          outer row cadence).
+
+namespace s2rdf::lint {
+namespace {
+
+bool MentionsAny(const FileModel& file, size_t begin, size_t end,
+                 const std::set<std::string>& names) {
+  for (size_t i = begin; i < end && i < file.tokens.size(); ++i) {
+    const Token& t = file.tokens[i];
+    if (t.kind == TokenKind::kIdentifier && names.count(t.text)) return true;
+  }
+  return false;
+}
+
+bool MentionsPrefix(const FileModel& file, size_t begin, size_t end,
+                    const std::vector<std::string>& prefixes) {
+  for (size_t i = begin; i < end && i < file.tokens.size(); ++i) {
+    const Token& t = file.tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    for (const std::string& p : prefixes) {
+      if (t.text.compare(0, p.size(), p) == 0) return true;
+    }
+  }
+  return false;
+}
+
+// Locals assigned from NumRows() inside [begin, end): for each NumRows
+// token, walk back to the statement start and record the identifier
+// left of the nearest `=` (handles `const size_t n = t.NumRows();` and
+// init-statements in for headers).
+std::set<std::string> TaintedFromNumRows(const FileModel& file, size_t begin,
+                                         size_t end) {
+  std::set<std::string> tainted;
+  for (size_t i = begin; i < end && i < file.tokens.size(); ++i) {
+    const Token& t = file.tokens[i];
+    if (t.kind != TokenKind::kIdentifier || t.text != "NumRows") continue;
+    for (size_t j = i; j > begin; --j) {
+      const Token& b = file.tokens[j - 1];
+      if (b.kind == TokenKind::kPunct &&
+          (b.text == ";" || b.text == "{" || b.text == "}")) {
+        break;
+      }
+      if (b.kind == TokenKind::kPunct && b.text == "=" && j >= 2) {
+        const Token& lhs = file.tokens[j - 2];
+        if (lhs.kind == TokenKind::kIdentifier) tainted.insert(lhs.text);
+        break;
+      }
+    }
+  }
+  return tainted;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckInterruptCoverage(const ProgramModel& program) {
+  static const std::set<std::string> kSeam = {
+      "kInterruptCheckRows", "CheckInterrupt", "InterruptRequested"};
+  static const std::vector<std::string> kEmitPrefixes = {"AppendRow",
+                                                         "EmitJoined"};
+  std::vector<Violation> out;
+  for (const FileModel& file : program.files) {
+    if (file.path.rfind("src/engine/", 0) != 0) continue;
+    for (const FunctionModel& fn : file.functions) {
+      if (fn.body_end <= fn.body_begin) continue;
+      bool has_ctx =
+          MentionsAny(file, fn.sig_begin, fn.body_end, {"ExecContext"}) ||
+          MentionsAny(file, fn.sig_begin, fn.body_end, {"ctx"});
+      if (!has_ctx) continue;
+      std::set<std::string> tainted =
+          TaintedFromNumRows(file, fn.sig_begin, fn.body_end);
+      // Direct coverage per loop, then escalate through enclosing loops.
+      std::vector<bool> covered(fn.loops.size());
+      for (size_t i = 0; i < fn.loops.size(); ++i) {
+        const LoopSite& loop = fn.loops[i];
+        covered[i] =
+            MentionsAny(file, loop.header_begin, loop.body_end, kSeam);
+      }
+      for (size_t i = 0; i < fn.loops.size(); ++i) {
+        const LoopSite& loop = fn.loops[i];
+        bool row_loop =
+            MentionsAny(file, loop.header_begin, loop.header_end,
+                        {"NumRows"}) ||
+            MentionsAny(file, loop.header_begin, loop.header_end, tainted) ||
+            MentionsPrefix(file, loop.body_begin, loop.body_end,
+                           kEmitPrefixes);
+        if (!row_loop || covered[i]) continue;
+        bool enclosed_covered = false;
+        for (size_t j = 0; j < fn.loops.size(); ++j) {
+          if (j == i) continue;
+          if (fn.loops[j].body_begin <= loop.header_begin &&
+              fn.loops[j].body_end >= loop.body_end && covered[j]) {
+            enclosed_covered = true;
+            break;
+          }
+        }
+        if (enclosed_covered) continue;
+        out.push_back(
+            {file.path, loop.header_line, "interrupt-coverage",
+             "row loop never checks the interrupt seam; check "
+             "ctx->CheckInterrupt() every kInterruptCheckRows rows (see "
+             "src/engine/exec_context.h)"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace s2rdf::lint

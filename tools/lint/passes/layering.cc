@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes/passes.h"
+
+// Layering pass: the module dependency DAG, derived from the include
+// graph. Layer ranks (lower may never include higher):
+//
+//   0  common
+//   1  rdf, sparql, storage, mapreduce, watdiv
+//   2  core, engine
+//   3  server, baselines
+//   4  tools
+//   5  tests, bench
+//
+// Same-rank cross-module edges are legal (e.g. sparql → rdf) but must
+// stay acyclic; the pass reports any same-rank include cycle. It also
+// enforces include-what-you-use for the locking seam: any file using
+// common::Mutex types must include common/mutex.h directly rather than
+// relying on a transitive include (rule `transitive-include`).
+
+namespace s2rdf::lint {
+namespace {
+
+int RankOfModule(const std::string& m) {
+  if (m == "common") return 0;
+  if (m == "rdf" || m == "sparql" || m == "storage" || m == "mapreduce" ||
+      m == "watdiv") {
+    return 1;
+  }
+  if (m == "core" || m == "engine") return 2;
+  if (m == "server" || m == "baselines") return 3;
+  if (m == "tools") return 4;
+  if (m == "tests" || m == "bench") return 5;
+  return -1;
+}
+
+std::string FirstComponent(const std::string& path) {
+  size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Module of a repo-relative file path: "src/engine/plan.cc" → "engine",
+// "tests/engine_test.cc" → "tests". "" when outside the layered tree.
+std::string ModuleOfPath(const std::string& path) {
+  std::string top = FirstComponent(path);
+  if (top == "src") {
+    std::string rest = path.substr(4);
+    std::string mod = FirstComponent(rest);
+    return RankOfModule(mod) >= 0 ? mod : std::string();
+  }
+  if (RankOfModule(top) >= 0) return top;
+  return "";
+}
+
+// Module of an include target. Project includes are rooted at src/
+// ("common/mutex.h" → "common"); angled and unrecognized includes are
+// not part of the layered graph.
+std::string ModuleOfInclude(const Include& inc) {
+  if (inc.angled) return "";
+  std::string mod = FirstComponent(inc.target);
+  return RankOfModule(mod) >= 0 ? mod : std::string();
+}
+
+struct Edge {
+  std::string file;
+  int line = 0;
+  std::string target;
+};
+
+void CheckBackEdges(const ProgramModel& program, std::vector<Violation>* out,
+                    std::map<std::string, std::map<std::string, Edge>>* graph) {
+  for (const FileModel& file : program.files) {
+    std::string from = ModuleOfPath(file.path);
+    if (from.empty()) continue;
+    int from_rank = RankOfModule(from);
+    for (const Include& inc : file.includes) {
+      std::string to = ModuleOfInclude(inc);
+      if (to.empty() || to == from) continue;
+      int to_rank = RankOfModule(to);
+      if (to_rank > from_rank) {
+        out->push_back(
+            {file.path, inc.line, "layering",
+             "include of '" + inc.target + "' crosses layering: " + from +
+                 " (layer " + std::to_string(from_rank) +
+                 ") must not depend on " + to + " (layer " +
+                 std::to_string(to_rank) + ")"});
+        continue;  // illegal edges stay out of the cycle graph
+      }
+      auto& slot = (*graph)[from];
+      if (!slot.count(to)) slot[to] = {file.path, inc.line, inc.target};
+    }
+  }
+}
+
+// Reports same-rank module cycles among the rank-legal edges. (A cycle
+// through differing ranks is impossible: every legal edge goes to an
+// equal-or-lower rank, so a cycle's members all share one rank.)
+void CheckCycles(const std::map<std::string, std::map<std::string, Edge>>& graph,
+                 std::vector<Violation>* out) {
+  std::set<std::string> reported;  // canonical cycle keys
+  for (const auto& [start, _] : graph) {
+    // DFS from `start`; a path back to `start` is a cycle.
+    std::vector<std::string> path = {start};
+    std::set<std::string> on_path = {start};
+    // Iterative DFS with explicit stack of (node, next-neighbor iterator).
+    struct Frame {
+      std::string node;
+      std::map<std::string, Edge>::const_iterator it, end;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](const std::string& node) {
+      auto g = graph.find(node);
+      if (g == graph.end()) {
+        stack.push_back({node, {}, {}});
+        stack.back().it = stack.back().end;
+      } else {
+        stack.push_back({node, g->second.begin(), g->second.end()});
+      }
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.it == f.end) {
+        on_path.erase(f.node);
+        if (!path.empty()) path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string& next = f.it->first;
+      const Edge& edge = f.it->second;
+      ++f.it;
+      if (next == start) {
+        // Canonicalize: cycles are reported once, keyed by member set.
+        std::vector<std::string> members = path;
+        std::sort(members.begin(), members.end());
+        std::string key;
+        for (const std::string& m : members) key += m + "|";
+        if (reported.insert(key).second) {
+          std::string cycle;
+          for (const std::string& m : path) cycle += m + " -> ";
+          cycle += start;
+          out->push_back({edge.file, edge.line, "layering",
+                          "module dependency cycle: " + cycle});
+        }
+        continue;
+      }
+      if (on_path.count(next)) continue;
+      on_path.insert(next);
+      path.push_back(next);
+      push(next);
+    }
+  }
+}
+
+void CheckTransitiveIncludes(const ProgramModel& program,
+                             std::vector<Violation>* out) {
+  static const std::set<std::string> kMutexTypes = {
+      "MutexLock", "ReaderLock", "WriterLock", "SharedMutex", "CondVar"};
+  for (const FileModel& file : program.files) {
+    if (ModuleOfPath(file.path).empty()) continue;
+    if (file.path == "src/common/mutex.h" ||
+        file.path == "src/common/thread_annotations.h") {
+      continue;
+    }
+    bool includes_mutex_h = false;
+    for (const Include& inc : file.includes) {
+      if (!inc.angled && inc.target == "common/mutex.h") {
+        includes_mutex_h = true;
+        break;
+      }
+    }
+    if (includes_mutex_h) continue;
+    for (const Token& tok : file.tokens) {
+      if (tok.kind != TokenKind::kIdentifier) continue;
+      bool uses = kMutexTypes.count(tok.text) > 0;
+      if (!uses && tok.text == "Mutex") {
+        // `Mutex` alone only counts as a type use, not e.g. a name
+        // fragment: require it to start a declaration (`Mutex mu_;`,
+        // `Mutex* mu`, `common::Mutex& m`).
+        size_t idx = static_cast<size_t>(&tok - file.tokens.data());
+        if (idx + 1 < file.tokens.size()) {
+          const Token& next = file.tokens[idx + 1];
+          uses = next.kind == TokenKind::kIdentifier ||
+                 (next.kind == TokenKind::kPunct &&
+                  (next.text == "*" || next.text == "&"));
+        }
+      }
+      if (uses) {
+        out->push_back({file.path, tok.line, "transitive-include",
+                        "uses common::Mutex types but does not include "
+                        "common/mutex.h directly"});
+        break;  // one finding per file
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int LayerRank(const std::string& path) {
+  std::string mod = ModuleOfPath(path);
+  return mod.empty() ? -1 : RankOfModule(mod);
+}
+
+std::vector<Violation> CheckLayering(const ProgramModel& program) {
+  std::vector<Violation> out;
+  std::map<std::string, std::map<std::string, Edge>> graph;
+  CheckBackEdges(program, &out, &graph);
+  CheckCycles(graph, &out);
+  CheckTransitiveIncludes(program, &out);
+  return out;
+}
+
+}  // namespace s2rdf::lint

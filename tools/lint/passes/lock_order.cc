@@ -1,0 +1,308 @@
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes/passes.h"
+
+// Lock-order pass: builds the global acquired-before digraph and fails
+// on cycles — the cross-TU deadlock class Clang's per-function
+// thread-safety analysis cannot see.
+//
+// Nodes are mutex labels `Class::member` (or a bare name for
+// namespace-scope mutexes), resolved from the MutexDecl table: a lock
+// expression `mu_` inside a `Catalog` method resolves to
+// `Catalog::mu_`; failing that, a member name unique across all
+// classes resolves to its only declaration; ambiguous names are
+// skipped (conservative).
+//
+// Edges come from three sources:
+//   1. Lexical nesting: `MutexLock a(&x); ... MutexLock b(&y);` with b
+//      inside a's scope extent adds x → y.
+//   2. May-acquire call propagation: if f() is called while x is held
+//      and f may (transitively) acquire y, add x → y. Callees resolve
+//      by explicit qualifier (`Catalog::Fn`) or globally unique name.
+//   3. Declared S2RDF_ACQUIRED_BEFORE / _AFTER annotation edges.
+//
+// Functions marked S2RDF_NO_THREAD_SAFETY_ANALYSIS are skipped whole —
+// they are the documented escape hatch (e.g. move operations locking
+// both `this` and `other`, whose self-edge is instance-distinct).
+// Acquiring the same label twice in one extent (a self-edge) is
+// reported directly as a self-deadlock on the non-reentrant wrappers.
+
+namespace s2rdf::lint {
+namespace {
+
+struct FunctionRef {
+  const FileModel* file = nullptr;
+  const FunctionModel* fn = nullptr;
+};
+
+std::string LastComponent(const std::string& expr) {
+  size_t dot = expr.rfind('.');
+  size_t arrow = expr.rfind("->");
+  size_t cut = std::string::npos;
+  if (dot != std::string::npos) cut = dot + 1;
+  if (arrow != std::string::npos &&
+      (cut == std::string::npos || arrow + 2 > cut)) {
+    cut = arrow + 2;
+  }
+  return cut == std::string::npos ? expr : expr.substr(cut);
+}
+
+class LockOrderAnalysis {
+ public:
+  explicit LockOrderAnalysis(const ProgramModel& program)
+      : program_(program) {}
+
+  std::vector<Violation> Run() {
+    IndexDecls();
+    IndexFunctions();
+    ComputeMayAcquire();
+    CollectEdges();
+    for (const FileModel& file : program_.files) {
+      for (const OrderAnnotation& ann : file.order_annotations) {
+        AddEdge(ann.first, ann.second, file.path, ann.line,
+                "declared by S2RDF_ACQUIRED_BEFORE/_AFTER");
+      }
+    }
+    ReportCycles();
+    return std::move(out_);
+  }
+
+ private:
+  struct EdgeSite {
+    std::string file;
+    int line = 0;
+    std::string why;
+  };
+
+  void IndexDecls() {
+    for (const FileModel& file : program_.files) {
+      for (const MutexDecl& decl : file.mutex_decls) {
+        std::string label = decl.class_name.empty()
+                                ? decl.name
+                                : decl.class_name + "::" + decl.name;
+        by_member_[decl.name].insert(label);
+        declared_.insert(label);
+      }
+    }
+  }
+
+  void IndexFunctions() {
+    for (const FileModel& file : program_.files) {
+      for (const FunctionModel& fn : file.functions) {
+        by_name_[fn.name].push_back({&file, &fn});
+      }
+    }
+  }
+
+  // Resolves a lock expression to a mutex label, or "" when ambiguous.
+  std::string Resolve(const FunctionModel& fn, const std::string& expr) const {
+    std::string member = LastComponent(expr);
+    if (member.empty()) return "";
+    if (!fn.qualifier.empty() &&
+        declared_.count(fn.qualifier + "::" + member)) {
+      return fn.qualifier + "::" + member;
+    }
+    auto it = by_member_.find(member);
+    if (it != by_member_.end() && it->second.size() == 1) {
+      return *it->second.begin();
+    }
+    return "";
+  }
+
+  // Callee resolution: explicit qualifier wins; otherwise a globally
+  // unique function name. Returns nullptr when ambiguous/unknown.
+  // Member-access calls with STL-style lowercase names (`by_id_.size()`)
+  // never resolve: the receiver is almost always a container/smart
+  // pointer, and a same-name project method (house style: PascalCase)
+  // would make every such call a false self-deadlock.
+  const FunctionRef* ResolveCall(const CallSite& call) const {
+    if (call.member_access && call.qualifier.empty() && !call.name.empty() &&
+        std::islower(static_cast<unsigned char>(call.name[0])) != 0) {
+      return nullptr;
+    }
+    auto it = by_name_.find(call.name);
+    if (it == by_name_.end()) return nullptr;
+    const std::vector<FunctionRef>& candidates = it->second;
+    if (!call.qualifier.empty()) {
+      const FunctionRef* match = nullptr;
+      for (const FunctionRef& ref : candidates) {
+        if (ref.fn->qualifier == call.qualifier) {
+          if (match != nullptr) return nullptr;  // overload set: skip
+          match = &ref;
+        }
+      }
+      return match;
+    }
+    return candidates.size() == 1 ? &candidates[0] : nullptr;
+  }
+
+  // Fixpoint over the call graph: the set of labels each function may
+  // acquire, directly or through resolvable callees.
+  void ComputeMayAcquire() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const FileModel& file : program_.files) {
+        for (const FunctionModel& fn : file.functions) {
+          if (fn.no_thread_safety_analysis) continue;
+          std::set<std::string>& mine = may_acquire_[&fn];
+          size_t before = mine.size();
+          for (const LockSite& lock : fn.locks) {
+            std::string label = Resolve(fn, lock.expr);
+            if (!label.empty()) mine.insert(label);
+          }
+          for (const CallSite& call : fn.calls) {
+            const FunctionRef* callee = ResolveCall(call);
+            if (callee == nullptr || callee->fn == &fn) continue;
+            auto it = may_acquire_.find(callee->fn);
+            if (it == may_acquire_.end()) continue;
+            mine.insert(it->second.begin(), it->second.end());
+          }
+          if (mine.size() != before) changed = true;
+        }
+      }
+    }
+  }
+
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& file, int line, const std::string& why) {
+    auto& slot = graph_[from];
+    if (!slot.count(to)) slot[to] = {file, line, why};
+  }
+
+  void CollectEdges() {
+    for (const FileModel& file : program_.files) {
+      for (const FunctionModel& fn : file.functions) {
+        if (fn.no_thread_safety_analysis) continue;
+        for (size_t i = 0; i < fn.locks.size(); ++i) {
+          const LockSite& held = fn.locks[i];
+          std::string held_label = Resolve(fn, held.expr);
+          if (held_label.empty()) continue;
+          // 1. Later acquisitions inside this one's scope extent.
+          for (size_t j = i + 1; j < fn.locks.size(); ++j) {
+            const LockSite& inner = fn.locks[j];
+            if (inner.token_index <= held.token_index ||
+                inner.token_index >= held.scope_end) {
+              continue;
+            }
+            std::string inner_label = Resolve(fn, inner.expr);
+            if (inner_label.empty()) continue;
+            if (inner_label == held_label) {
+              out_.push_back(
+                  {file.path, inner.line, "lock-order",
+                   "'" + held_label + "' acquired while already held "
+                   "(self-deadlock on non-reentrant lock)"});
+              continue;
+            }
+            AddEdge(held_label, inner_label, file.path, inner.line,
+                    "nested acquisition in " + fn.name);
+          }
+          // 2. Calls made while held, through their may-acquire sets.
+          for (const CallSite& call : fn.calls) {
+            if (call.token_index <= held.token_index ||
+                call.token_index >= held.scope_end) {
+              continue;
+            }
+            const FunctionRef* callee = ResolveCall(call);
+            if (callee == nullptr || callee->fn == &fn) continue;
+            auto it = may_acquire_.find(callee->fn);
+            if (it == may_acquire_.end()) continue;
+            for (const std::string& acquired : it->second) {
+              if (acquired == held_label) {
+                out_.push_back(
+                    {file.path, call.line, "lock-order",
+                     "call to " + call.name + "() while holding '" +
+                         held_label + "', which " + call.name +
+                         "() may acquire (self-deadlock)"});
+                continue;
+              }
+              AddEdge(held_label, acquired, file.path, call.line,
+                      "call to " + call.name + "() while held");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Reports each acquired-before cycle once (keyed by its label set).
+  void ReportCycles() {
+    std::set<std::string> reported;
+    for (const auto& [start, _] : graph_) {
+      std::vector<std::string> path = {start};
+      std::set<std::string> on_path = {start};
+      struct Frame {
+        std::string node;
+        std::map<std::string, EdgeSite>::const_iterator it, end;
+      };
+      std::vector<Frame> stack;
+      auto push = [&](const std::string& node) {
+        auto g = graph_.find(node);
+        Frame f;
+        f.node = node;
+        if (g != graph_.end()) {
+          f.it = g->second.begin();
+          f.end = g->second.end();
+        } else {
+          f.it = empty_.begin();
+          f.end = empty_.end();
+        }
+        stack.push_back(f);
+      };
+      push(start);
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.it == f.end) {
+          on_path.erase(f.node);
+          if (!path.empty()) path.pop_back();
+          stack.pop_back();
+          continue;
+        }
+        const std::string& next = f.it->first;
+        const EdgeSite& site = f.it->second;
+        ++f.it;
+        if (next == start) {
+          std::vector<std::string> members = path;
+          std::sort(members.begin(), members.end());
+          std::string key;
+          for (const std::string& m : members) key += m + "|";
+          if (reported.insert(key).second) {
+            std::string cycle;
+            for (const std::string& m : path) cycle += m + " -> ";
+            cycle += start;
+            out_.push_back({site.file, site.line, "lock-order",
+                            "acquired-before cycle: " + cycle + " (" +
+                                site.why + ")"});
+          }
+          continue;
+        }
+        if (on_path.count(next)) continue;
+        on_path.insert(next);
+        path.push_back(next);
+        push(next);
+      }
+    }
+  }
+
+  const ProgramModel& program_;
+  std::map<std::string, std::set<std::string>> by_member_;
+  std::set<std::string> declared_;
+  std::map<std::string, std::vector<FunctionRef>> by_name_;
+  std::map<const FunctionModel*, std::set<std::string>> may_acquire_;
+  std::map<std::string, std::map<std::string, EdgeSite>> graph_;
+  std::map<std::string, EdgeSite> empty_;
+  std::vector<Violation> out_;
+};
+
+}  // namespace
+
+std::vector<Violation> CheckLockOrder(const ProgramModel& program) {
+  return LockOrderAnalysis(program).Run();
+}
+
+}  // namespace s2rdf::lint

@@ -1,0 +1,173 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes/passes.h"
+
+// Status-discipline pass, two rules over function-local Status /
+// StatusOr values:
+//
+//   1. A StatusOr local whose value is accessed (.value(), ->, or
+//      unary *) before any .ok() / .status() consultation. The check
+//      is a linear-order dominance approximation: the first value
+//      access must come after the first ok()/status() mention of the
+//      same local. (Token-level: branches are not modeled; code that
+//      checks in one branch and accesses in another is accepted as
+//      long as the check appears first in source order, which matches
+//      the house early-return style.)
+//
+//   2. A Status local that is initialized and then never mentioned
+//      again — a constructed-and-dropped error. Passing the local
+//      anywhere (return, macro, &s out-param, EXPECT_...) counts as a
+//      mention, so only genuinely dead error objects fire.
+//
+// Rule name: status-discipline.
+
+namespace s2rdf::lint {
+namespace {
+
+bool IsPunct(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].kind == TokenKind::kPunct &&
+         toks[i].text == text;
+}
+
+bool IsIdentTok(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() && toks[i].kind == TokenKind::kIdentifier;
+}
+
+// Token index one past the matching closer, or toks.size().
+size_t SkipBalanced(const std::vector<Token>& toks, size_t open_index,
+                    const char* open, const char* close) {
+  int depth = 0;
+  for (size_t i = open_index; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == open) ++depth;
+    if (toks[i].text == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+struct Local {
+  std::string name;
+  bool statusor = false;
+  size_t decl_index = 0;  // index of the name token
+  int line = 0;
+};
+
+// Finds `Status name` / `StatusOr<...> name` declarations in a body.
+std::vector<Local> FindLocals(const std::vector<Token>& toks, size_t begin,
+                              size_t end) {
+  std::vector<Local> out;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "Status" && t.text != "StatusOr") continue;
+    bool statusor = t.text == "StatusOr";
+    size_t name_index = i + 1;
+    if (statusor) {
+      if (!IsPunct(toks, i + 1, "<")) continue;
+      name_index = SkipBalanced(toks, i + 1, "<", ">");
+    }
+    if (!IsIdentTok(toks, name_index)) continue;
+    // Declaration shapes: `= init`, `(args)`, `{args}`, or plain `;`.
+    size_t after = name_index + 1;
+    bool is_decl = IsPunct(toks, after, "=") || IsPunct(toks, after, "(") ||
+                   IsPunct(toks, after, "{") || IsPunct(toks, after, ";");
+    if (!is_decl) continue;
+    out.push_back({toks[name_index].text, statusor, name_index,
+                   toks[name_index].line});
+    i = name_index;
+  }
+  return out;
+}
+
+// Index just past the declaration's terminating `;` (depth-aware).
+size_t DeclEnd(const std::vector<Token>& toks, size_t decl_index,
+               size_t end) {
+  int depth = 0;
+  for (size_t i = decl_index; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    const std::string& p = toks[i].text;
+    if (p == "(" || p == "{" || p == "[") ++depth;
+    if (p == ")" || p == "}" || p == "]") --depth;
+    if (p == ";" && depth <= 0) return i + 1;
+  }
+  return end;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckStatusDiscipline(const ProgramModel& program) {
+  std::vector<Violation> out;
+  for (const FileModel& file : program.files) {
+    const std::vector<Token>& toks = file.tokens;
+    for (const FunctionModel& fn : file.functions) {
+      if (fn.body_end <= fn.body_begin) continue;
+      std::vector<Local> locals =
+          FindLocals(toks, fn.body_begin, fn.body_end);
+      for (const Local& local : locals) {
+        size_t first_check = 0, first_value = 0;  // 0 = none found
+        size_t last_mention = 0;
+        for (size_t i = local.decl_index + 1; i < fn.body_end; ++i) {
+          if (!(toks[i].kind == TokenKind::kIdentifier &&
+                toks[i].text == local.name)) {
+            continue;
+          }
+          last_mention = i;
+          if (!local.statusor) continue;
+          // `v.ok(` / `v.status(` vs `v.value(` / `v->` / `*v`.
+          if (IsPunct(toks, i + 1, ".") && IsIdentTok(toks, i + 2)) {
+            const std::string& member = toks[i + 2].text;
+            if (member == "ok" || member == "status") {
+              if (first_check == 0) first_check = i;
+            } else if (member == "value") {
+              if (first_value == 0) first_value = i;
+            }
+          } else if (IsPunct(toks, i + 1, "->")) {
+            if (first_value == 0) first_value = i;
+          } else if (i > 0 && IsPunct(toks, i - 1, "*") &&
+                     !(i >= 2 && (IsIdentTok(toks, i - 2) ||
+                                  IsPunct(toks, i - 2, ")")))) {
+            if (first_value == 0) first_value = i;
+          }
+        }
+        if (local.statusor && first_value != 0 &&
+            (first_check == 0 || first_value < first_check)) {
+          out.push_back(
+              {file.path, toks[first_value].line, "status-discipline",
+               "StatusOr '" + local.name +
+                   "' value accessed before ok() check"});
+        }
+        if (!local.statusor) {
+          size_t decl_end = DeclEnd(toks, local.decl_index, fn.body_end);
+          if (last_mention < decl_end) {
+            out.push_back({file.path, local.line, "status-discipline",
+                           "Status '" + local.name +
+                               "' constructed and never consulted "
+                               "(dropped error)"});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckSuppressionHygiene(
+    const std::vector<MarkerUsage>& markers) {
+  std::vector<Violation> out;
+  for (const MarkerUsage& m : markers) {
+    if (m.used) continue;
+    std::string kind = m.marker.file_scope ? "allow-file" : "allow";
+    std::string extra =
+        m.marker.file_scope && m.marker.line > 20
+            ? " (allow-file is only honored in the first 20 lines)"
+            : "";
+    out.push_back({m.path, m.marker.line, "stale-suppression",
+                   "suppression '" + kind + "(" + m.marker.rule +
+                       ")' matches no finding; remove it" + extra});
+  }
+  return out;
+}
+
+}  // namespace s2rdf::lint

@@ -1,0 +1,14 @@
+#include "engine/exec_context.h"
+namespace s2rdf::engine {
+Table Select(const Table& t, ExecContext* ctx) {
+  Table out;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      break;
+    }
+    out.AppendRowFrom(t, r);
+  }
+  return out;
+}
+}  // namespace s2rdf::engine

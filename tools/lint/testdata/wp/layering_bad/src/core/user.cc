@@ -1,0 +1,6 @@
+#include "common/base.h"
+namespace s2rdf::core {
+void User() {
+  MutexLock lock(&gate);
+}
+}  // namespace s2rdf::core

@@ -1,0 +1,6 @@
+#ifndef S2RDF_ENGINE_TABLE_H_
+#define S2RDF_ENGINE_TABLE_H_
+namespace s2rdf::engine {
+struct Table {};
+}  // namespace s2rdf::engine
+#endif  // S2RDF_ENGINE_TABLE_H_

@@ -1,0 +1,7 @@
+#ifndef S2RDF_RDF_TERM_H_
+#define S2RDF_RDF_TERM_H_
+#include "sparql/ast.h"
+namespace s2rdf::rdf {
+struct Term {};
+}  // namespace s2rdf::rdf
+#endif  // S2RDF_RDF_TERM_H_

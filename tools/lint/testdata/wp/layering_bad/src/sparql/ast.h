@@ -1,0 +1,7 @@
+#ifndef S2RDF_SPARQL_AST_H_
+#define S2RDF_SPARQL_AST_H_
+#include "rdf/term.h"
+namespace s2rdf::sparql {
+struct Ast {};
+}  // namespace s2rdf::sparql
+#endif  // S2RDF_SPARQL_AST_H_

@@ -1,0 +1,7 @@
+#ifndef S2RDF_STORAGE_STORE_H_
+#define S2RDF_STORAGE_STORE_H_
+#include "engine/table.h"
+namespace s2rdf::storage {
+struct Store { engine::Table t; };
+}  // namespace s2rdf::storage
+#endif  // S2RDF_STORAGE_STORE_H_

@@ -1,0 +1,6 @@
+#ifndef S2RDF_COMMON_BASE_H_
+#define S2RDF_COMMON_BASE_H_
+namespace s2rdf {
+inline int Base() { return 1; }
+}  // namespace s2rdf
+#endif  // S2RDF_COMMON_BASE_H_

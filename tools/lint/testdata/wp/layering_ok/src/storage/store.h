@@ -1,0 +1,7 @@
+#ifndef S2RDF_STORAGE_STORE_H_
+#define S2RDF_STORAGE_STORE_H_
+#include "common/base.h"
+namespace s2rdf::storage {
+inline int Store() { return Base(); }
+}  // namespace s2rdf::storage
+#endif  // S2RDF_STORAGE_STORE_H_

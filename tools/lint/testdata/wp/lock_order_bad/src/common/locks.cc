@@ -1,0 +1,13 @@
+#include "common/mutex.h"
+namespace s2rdf {
+Mutex g_first;
+Mutex g_second;
+void Forward() {
+  MutexLock a(&g_first);
+  MutexLock b(&g_second);
+}
+void Backward() {
+  MutexLock b(&g_second);
+  MutexLock a(&g_first);
+}
+}  // namespace s2rdf

@@ -1,0 +1,12 @@
+#include "common/mutex.h"
+namespace s2rdf {
+Mutex g_first S2RDF_ACQUIRED_BEFORE(g_second);
+Mutex g_second;
+void TakeBoth() {
+  MutexLock a(&g_first);
+  MutexLock b(&g_second);
+}
+void TakeSecondAlone() {
+  MutexLock b(&g_second);
+}
+}  // namespace s2rdf

@@ -1,0 +1,10 @@
+#include "common/status.h"
+namespace s2rdf::core {
+int Use() {
+  StatusOr<int> result = Compute();
+  int v = result.value();
+  if (!result.ok()) return -1;
+  Status dropped = Persist(v);
+  return v;
+}
+}  // namespace s2rdf::core

@@ -1,0 +1,11 @@
+#include "common/status.h"
+namespace s2rdf::core {
+int Use() {
+  StatusOr<int> result = Compute();
+  if (!result.ok()) return -1;
+  int v = result.value();
+  Status s = Persist(v);
+  if (!s.ok()) return -2;
+  return v;
+}
+}  // namespace s2rdf::core

@@ -1,0 +1,8 @@
+#include <cstdio>
+namespace s2rdf::core {
+void Dump() {
+  // s2rdf-lint: allow(raw-io)
+  int x = 0;
+  (void)x;
+}
+}  // namespace s2rdf::core

@@ -1,0 +1,8 @@
+#include <cstdio>
+namespace s2rdf::core {
+void Dump() {
+  // Crash-dump path: must not depend on the Env it is reporting on.
+  FILE* f = fopen("/tmp/dump", "w");  // s2rdf-lint: allow(raw-io)
+  if (f) { fclose(f); }
+}
+}  // namespace s2rdf::core
