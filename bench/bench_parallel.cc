@@ -1,18 +1,34 @@
 // Serial vs. morsel-parallel execution: wall-clock and metered work for
-// the operators that take the shared-TaskPool path (scan, hash join,
-// distinct, order-by, group-by) plus the predicate-parallel ExtVP build.
+// the operators that take the shared-TaskPool path (scan, filter, hash
+// join, distinct, order-by, group-by) plus the predicate-parallel ExtVP
+// build.
 //
 // The reproduction claim (DESIGN.md §8): parallelism changes wall-clock
 // only — every parallel entry must report the same ExecMetrics and the
-// same output as its serial twin, and on a multi-core host the large
-// join and the ExtVP build speed up.
+// same output as its serial twin — and the data-parallel operators
+// (scan, filter, hash join) beat their serial twins on the big WatDiv
+// inputs. The scan, filter and join inputs are derived from a WatDiv
+// graph (S2RDF_BENCH_OP_SF scale units, default 4.0 ~ 300 K triples) so
+// the gated speedups are measured on the paper's workload shape, not on
+// synthetic uniform data.
 //
 // Output: a human-readable table on stderr and machine-readable JSON on
 // stdout (scripts/bench_json.sh captures it as BENCH_parallel.json).
+//
+// Exit codes (scripts/check.sh depends on these):
+//   0  all gates passed
+//   1  identity failure: a parallel entry's output or metrics diverged
+//      from its serial twin (a correctness bug, not a slow result)
+//   2  the shared TaskPool reports parallelism 1: the run measured
+//      nothing (set S2RDF_TASK_POOL_THREADS to pin a real width)
+//   3  a gated entry (scan/filter/join) missed the speedup floor
+//      (S2RDF_BENCH_SPEEDUP_FLOOR, default 1.5; enforced only when the
+//      pool width is >= 4)
 
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -21,6 +37,7 @@
 #include "common/task_pool.h"
 #include "core/layouts.h"
 #include "engine/aggregate.h"
+#include "engine/expression.h"
 #include "engine/operators.h"
 #include "engine/parallel.h"
 #include "engine/parallel_join.h"
@@ -37,12 +54,18 @@ using engine::ExecMetrics;
 using engine::Table;
 using rdf::TermId;
 
+constexpr char kFriendOf[] = "<http://db.uwaterloo.ca/~galuc/wsdbm/friendOf>";
+constexpr char kFollows[] = "<http://db.uwaterloo.ca/~galuc/wsdbm/follows>";
+
 struct Entry {
   std::string name;
   double serial_ms = 0.0;
   double parallel_ms = 0.0;
   bool metrics_identical = false;
   bool output_identical = false;
+  // Gated entries must meet the speedup floor (scan/filter/join — the
+  // operators the paper's parallel-execution claim is about).
+  bool gated = false;
 
   double Speedup() const {
     return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
@@ -69,11 +92,12 @@ bool SameTable(const Table& a, const Table& b) {
 
 // Times one serial/parallel operator pair. Each variant runs `reps`
 // times; the last run's output and metrics feed the identity checks.
-Entry MeasureOperator(const std::string& name, int reps,
+Entry MeasureOperator(const std::string& name, int reps, bool gated,
                       const std::function<Table(ExecContext*)>& serial,
                       const std::function<Table(ExecContext*)>& parallel) {
   Entry entry;
   entry.name = name;
+  entry.gated = gated;
   ExecMetrics serial_metrics;
   Table serial_out;
   entry.serial_ms = MeanMs(reps, [&] {
@@ -103,6 +127,41 @@ Table RandomPairs(uint64_t seed, size_t rows, uint64_t card0, uint64_t card1,
                  static_cast<TermId>(rng.Uniform(card1) + 1)});
   }
   return t;
+}
+
+// The gated operator inputs, carved out of one WatDiv graph: the full
+// dictionary-encoded triple table (scan + filter input) and the two
+// giant social predicates as VP-style (s, o) tables (join input).
+struct WatDivInputs {
+  rdf::Graph graph;  // Owns the dictionary the filter expression needs.
+  Table triples;     // (s, p, o), every triple.
+  Table friend_of;   // (x, y): wsdbm:friendOf pairs.
+  Table follows;     // (y, z): wsdbm:follows pairs.
+  TermId friend_of_id = 0;
+};
+
+WatDivInputs BuildWatDivInputs() {
+  watdiv::GeneratorOptions gen;
+  gen.scale_factor = EnvDouble("S2RDF_BENCH_OP_SF", 4.0);
+  WatDivInputs in;
+  in.graph = watdiv::Generate(gen);
+  const rdf::Dictionary& dict = in.graph.dictionary();
+  in.friend_of_id = dict.Find(kFriendOf).value_or(0);
+  const TermId follows_id = dict.Find(kFollows).value_or(0);
+
+  in.triples = Table({"s", "p", "o"});
+  in.triples.Reserve(in.graph.NumTriples());
+  in.friend_of = Table({"x", "y"});
+  in.follows = Table({"y", "z"});
+  for (const rdf::Triple& t : in.graph.triples()) {
+    in.triples.AppendRow({t.subject, t.predicate, t.object});
+    if (t.predicate == in.friend_of_id) {
+      in.friend_of.AppendRow({t.subject, t.object});
+    } else if (t.predicate == follows_id) {
+      in.follows.AppendRow({t.subject, t.object});
+    }
+  }
+  return in;
 }
 
 // Stage split (parse / compile / execute) of full end-to-end queries,
@@ -199,38 +258,65 @@ Entry MeasureExtVpBuild(int reps) {
 
 int Run() {
   const int reps = EnvInt("S2RDF_BENCH_ROUNDS", 3);
+  const size_t width = TaskPool::Shared()->ParallelismWidth();
+  const double floor = EnvDouble("S2RDF_BENCH_SPEEDUP_FLOOR", 1.5);
+  const bool enforce_floor = width >= 4;
   std::vector<Entry> entries;
 
+  WatDivInputs watdiv_in = BuildWatDivInputs();
+  std::fprintf(stderr,
+               "WatDiv operator inputs: %zu triples, friendOf %zu, "
+               "follows %zu\n",
+               watdiv_in.triples.NumRows(), watdiv_in.friend_of.NumRows(),
+               watdiv_in.follows.NumRows());
+
   {
-    Table base = RandomPairs(7, 2000000, 5, 100000, "s", "o");
     engine::ScanSpec spec;
-    spec.conditions.emplace_back(0, 3);
-    spec.projections.emplace_back(1, "o");
+    spec.conditions.emplace_back(1, watdiv_in.friend_of_id);
+    spec.projections.emplace_back(0, "s");
+    spec.projections.emplace_back(2, "o");
     entries.push_back(MeasureOperator(
-        "scan_select_project", reps,
+        "scan_select_project", reps, /*gated=*/true,
         [&](ExecContext* ctx) {
-          return engine::ScanSelectProject(base, spec, ctx);
+          return engine::ScanSelectProject(watdiv_in.triples, spec, ctx);
         },
         [&](ExecContext* ctx) {
-          return engine::ParallelScanSelectProject(base, spec, ctx);
+          return engine::ParallelScanSelectProject(watdiv_in.triples, spec,
+                                                  ctx);
         }));
   }
 
   {
-    Table left = RandomPairs(11, 150000, 50000, 15000, "x", "y");
-    Table right = RandomPairs(13, 150000, 15000, 50000, "y", "z");
+    engine::ExprPtr expr = engine::Expr::Compare(engine::CompareOp::kEq,
+                                                 engine::Expr::Var("p"),
+                                                 engine::Expr::Const(kFriendOf));
+    const rdf::Dictionary& dict = watdiv_in.graph.dictionary();
     entries.push_back(MeasureOperator(
-        "hash_join", reps,
-        [&](ExecContext* ctx) { return engine::HashJoin(left, right, ctx); },
+        "filter", reps, /*gated=*/true,
         [&](ExecContext* ctx) {
-          return engine::ParallelHashJoin(left, right, ctx);
+          return engine::Filter(watdiv_in.triples, *expr, dict, ctx);
+        },
+        [&](ExecContext* ctx) {
+          return engine::ParallelFilter(watdiv_in.triples, *expr, dict, ctx);
+        }));
+  }
+
+  {
+    entries.push_back(MeasureOperator(
+        "hash_join", reps, /*gated=*/true,
+        [&](ExecContext* ctx) {
+          return engine::HashJoin(watdiv_in.friend_of, watdiv_in.follows, ctx);
+        },
+        [&](ExecContext* ctx) {
+          return engine::ParallelHashJoin(watdiv_in.friend_of,
+                                          watdiv_in.follows, ctx);
         }));
   }
 
   {
     Table t = RandomPairs(17, 500000, 200, 200, "a", "b");
     entries.push_back(MeasureOperator(
-        "distinct", reps,
+        "distinct", reps, /*gated=*/false,
         [&](ExecContext* ctx) { return engine::Distinct(t, ctx); },
         [&](ExecContext* ctx) { return engine::ParallelDistinct(t, ctx); }));
   }
@@ -252,7 +338,7 @@ int Run() {
     }
     std::vector<engine::SortKey> keys = {{"n", true}, {"m", false}};
     entries.push_back(MeasureOperator(
-        "order_by", reps,
+        "order_by", reps, /*gated=*/false,
         [&](ExecContext* ctx) { return engine::OrderBy(t, keys, dict, ctx); },
         [&](ExecContext* ctx) {
           return engine::ParallelOrderBy(t, keys, dict, ctx);
@@ -281,7 +367,7 @@ int Run() {
         {engine::AggregateSpec::Fn::kCount, "v", "dv", true},
     };
     entries.push_back(MeasureOperator(
-        "group_by_aggregate", reps,
+        "group_by_aggregate", reps, /*gated=*/false,
         [&](ExecContext* ctx) {
           auto result = engine::GroupByAggregate(t, keys, specs, &dict, ctx);
           return result.ok() ? std::move(*result) : Table();
@@ -300,13 +386,17 @@ int Run() {
       {"benchmark", "serial", "parallel", "speedup", "identical"});
   for (const Entry& e : entries) {
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx", e.Speedup());
+    std::snprintf(speedup, sizeof(speedup), "%.2fx%s", e.Speedup(),
+                  e.gated ? " *" : "");
     printer.AddRow({e.name, FormatMs(e.serial_ms), FormatMs(e.parallel_ms),
                     speedup,
                     e.metrics_identical && e.output_identical ? "yes" : "NO"});
   }
-  std::fprintf(stderr, "Parallel execution (task pool width %zu):\n",
-               TaskPool::Shared()->ParallelismWidth());
+  std::fprintf(stderr,
+               "Parallel execution (task pool width %zu, hardware "
+               "concurrency %u; * = gated at %.2fx%s):\n",
+               width, std::thread::hardware_concurrency(), floor,
+               enforce_floor ? "" : ", not enforced below width 4");
   printer.Print(stderr);
 
   TablePrinter stage_printer(
@@ -321,16 +411,20 @@ int Run() {
 
   // Machine-readable twin on stdout.
   std::printf("{\n");
-  std::printf("  \"task_pool_parallelism\": %zu,\n",
-              TaskPool::Shared()->ParallelismWidth());
+  std::printf("  \"task_pool_parallelism\": %zu,\n", width);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
   std::printf("  \"rounds\": %d,\n", reps);
+  std::printf("  \"speedup_floor\": %.2f,\n", floor);
+  std::printf("  \"floor_enforced\": %s,\n", enforce_floor ? "true" : "false");
   std::printf("  \"entries\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::printf("    {\"name\": \"%s\", \"serial_ms\": %.3f, "
-                "\"parallel_ms\": %.3f, \"speedup\": %.3f, "
+                "\"parallel_ms\": %.3f, \"speedup\": %.3f, \"gated\": %s, "
                 "\"metrics_identical\": %s, \"output_identical\": %s}%s\n",
                 e.name.c_str(), e.serial_ms, e.parallel_ms, e.Speedup(),
+                e.gated ? "true" : "false",
                 e.metrics_identical ? "true" : "false",
                 e.output_identical ? "true" : "false",
                 i + 1 < entries.size() ? "," : "");
@@ -355,6 +449,31 @@ int Run() {
   }
   for (const StageEntry& e : stages) {
     if (!e.output_identical) return 1;
+  }
+
+  // A width-1 run measured nothing: every parallel operator falls back
+  // to (or degenerates into) its single-threaded path, so the timings
+  // say nothing about the paper's parallel-execution claim. Fail loudly
+  // instead of producing a plausible-looking JSON.
+  if (width <= 1) {
+    std::fprintf(stderr,
+                 "\nerror: task pool parallelism is 1 — this run measured "
+                 "no parallelism.\nSet S2RDF_TASK_POOL_THREADS=<width> (or "
+                 "run on a multi-core host) and rerun.\n");
+    return 2;
+  }
+
+  if (enforce_floor) {
+    bool missed = false;
+    for (const Entry& e : entries) {
+      if (e.gated && e.Speedup() < floor) {
+        std::fprintf(stderr,
+                     "\nerror: %s speedup %.2fx is below the %.2fx floor\n",
+                     e.name.c_str(), e.Speedup(), floor);
+        missed = true;
+      }
+    }
+    if (missed) return 3;
   }
   return 0;
 }

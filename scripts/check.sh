@@ -26,6 +26,46 @@ note "whole-program analysis (layering, lock-order, interrupt-coverage, status-d
 ./build/tools/lint/s2rdf_lint --root=. --baseline=tools/lint/lint_baseline.txt \
   src tests bench tools
 
+note "recorded benchmark consistency (committed BENCH_*.json)"
+# Every BENCH_*.json the bench leg below maintains must be present in
+# the repo root: a missing file means a harness's recorded baseline was
+# never committed (or was deleted), and downstream comparisons silently
+# have nothing to compare against.
+for bench_json in BENCH_parallel.json BENCH_profile.json \
+                  BENCH_optimizer.json BENCH_ingest.json; do
+  if [[ ! -f "${bench_json}" ]]; then
+    echo "error: ${bench_json} is missing from the repo root; record it" >&2
+    echo "  with scripts/bench_json.sh and commit it" >&2
+    exit 1
+  fi
+done
+# The committed parallel baseline must come from a real multi-way pool
+# (width >= 4) and must have met its speedup floor when recorded — a
+# width-1 or floor-failing JSON would make the paper's parallel claim
+# unreproducible from the repo.
+width="$(sed -n 's/.*"task_pool_parallelism": *\([0-9]*\).*/\1/p' BENCH_parallel.json | head -n1)"
+if [[ "${width:-0}" -lt 4 ]]; then
+  echo "error: BENCH_parallel.json was recorded at task_pool_parallelism=${width:-unknown}" >&2
+  echo "  (need >= 4); rerun scripts/bench_json.sh with S2RDF_TASK_POOL_THREADS=4" >&2
+  exit 1
+fi
+if grep -q '"gated": true' BENCH_parallel.json; then
+  floor="$(sed -n 's/.*"speedup_floor": *\([0-9.]*\).*/\1/p' BENCH_parallel.json | head -n1)"
+  bad="$(awk -v floor="${floor:-1.5}" '
+    /"gated": true/ {
+      if (match($0, /"speedup": *[0-9.]+/)) {
+        s = substr($0, RSTART + 11, RLENGTH - 11)
+        if (s + 0 < floor + 0) bad = 1
+      }
+    }
+    END { exit bad ? 0 : 1 }' BENCH_parallel.json && echo yes || true)"
+  if [[ "${bad}" == "yes" ]]; then
+    echo "error: BENCH_parallel.json has a gated entry below its recorded" >&2
+    echo "  speedup floor (${floor:-1.5}x); re-record with scripts/bench_json.sh" >&2
+    exit 1
+  fi
+fi
+
 note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json, BENCH_ingest.json)"
 scripts/bench_json.sh build
 

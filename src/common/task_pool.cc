@@ -1,6 +1,7 @@
 #include "common/task_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 
 #include "common/mutex.h"
@@ -27,8 +28,22 @@ TaskPool* TaskPool::Shared() {
   // Leaked on purpose: helper threads may still be parked in WorkerLoop
   // when static destructors run, and the pool must survive them.
   static TaskPool* pool = [] {
-    unsigned hw = std::thread::hardware_concurrency();
-    int helpers = hw > 1 ? static_cast<int>(hw - 1) : 0;
+    // S2RDF_TASK_POOL_THREADS pins the pool's total width (helpers +
+    // caller) regardless of what the container advertises — benchmarks
+    // use it to exercise real multi-way morsel scheduling on hosts
+    // whose affinity mask under-reports, and tests to force width 1.
+    int helpers = -1;
+    if (const char* env = std::getenv("S2RDF_TASK_POOL_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        helpers = static_cast<int>(v) - 1;
+      }
+    }
+    if (helpers < 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      helpers = hw > 1 ? static_cast<int>(hw - 1) : 0;
+    }
     return new TaskPool(helpers);
   }();
   return pool;

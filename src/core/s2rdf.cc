@@ -26,6 +26,7 @@ void InitContext(const QueryOptions& options, int num_partitions,
                  engine::ExecContext* ctx) {
   ctx->num_partitions = num_partitions;
   ctx->parallel_execution = parallel_execution;
+  ctx->morsel_rows = static_cast<size_t>(options.morsel_rows);
   ctx->collect_profile = options.collect_profile;
   ctx->profile_origin = start;
   ctx->cancel_flag = options.cancel;

@@ -101,6 +101,10 @@ struct QueryOptions {
   bool explain_plan = false;
   // Optimizer selection and knobs (paper heuristic vs cost-based).
   OptimizerOptions optimizer;
+  // Rows per morsel for the parallel operators (HTTP ?morsel=). 0 (the
+  // default) auto-tunes from input width x rows; see MorselRowsFor in
+  // engine/parallel.h. Ignored unless parallel execution is on.
+  uint64_t morsel_rows = 0;
   // Optional external cancellation: while *cancel is true the query
   // returns kCancelled at the next operator boundary. The flag must
   // outlive the Execute call.

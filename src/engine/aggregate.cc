@@ -272,7 +272,7 @@ StatusOr<Table> ParallelGroupByAggregate(const Table& input,
                                          ExecContext* ctx) {
   // The implicit single group cannot be split group-exclusively, and
   // small inputs don't amortize the extra key-hash pass.
-  if (keys.empty() || input.NumRows() < kParallelRowThreshold) {
+  if (keys.empty() || input.NumRows() < ParallelThreshold(ctx)) {
     return GroupByAggregate(input, keys, specs, dict, ctx);
   }
   std::vector<int> key_cols;

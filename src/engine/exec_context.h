@@ -146,6 +146,14 @@ struct ExecContext {
   // When set, large joins execute partition-parallel on num_partitions
   // worker threads (see parallel_join.h) instead of the serial join.
   bool parallel_execution = false;
+  // Rows per morsel for the parallel operators. 0 (the default) auto-
+  // tunes from input width x rows (see MorselRowsFor in
+  // engine/parallel.h); a positive value forces that many rows per
+  // morsel (QueryOptions::morsel_rows / HTTP ?morsel=).
+  size_t morsel_rows = 0;
+  // Rows below which operators stay serial even under
+  // parallel_execution. 0 = kParallelRowThreshold.
+  size_t parallel_threshold_rows = 0;
   // EXPLAIN ANALYZE: record per-operator rows and timings.
   bool collect_profile = false;
   std::vector<OperatorProfile> profile;

@@ -113,6 +113,70 @@ bool ScanSelectProjectRange(const Table& base, const ScanSpec& spec,
   return true;
 }
 
+bool ScanSelectProjectChunk(const Table& base, const ScanSpec& spec,
+                            size_t begin, size_t end, const ExecContext* ctx,
+                            Table* out) {
+  std::vector<int> proj_cols;
+  proj_cols.reserve(spec.projections.size());
+  for (const auto& [col, name] : spec.projections) proj_cols.push_back(col);
+
+  std::vector<uint32_t> sel;
+  sel.reserve(kVectorChunkRows);
+  for (size_t b = begin; b < end; b += kVectorChunkRows) {
+    if (ctx != nullptr && ctx->InterruptRequested()) {
+      return false;  // Caller discards/records; workers must not record.
+    }
+    const size_t e = std::min(b + kVectorChunkRows, end);
+    sel.clear();
+    if (spec.row_filter != nullptr) {
+      for (size_t r = b; r < e; ++r) {
+        if (spec.row_filter->Test(r)) sel.push_back(static_cast<uint32_t>(r));
+      }
+    } else {
+      for (size_t r = b; r < e; ++r) sel.push_back(static_cast<uint32_t>(r));
+    }
+    // Predicates prune the selection vector one column at a time: each
+    // pass is a tight compare-and-compact loop over a single column's
+    // contiguous ids. The surviving set (an AND of all predicates) and
+    // its ascending order are exactly the row-at-a-time result.
+    for (const auto& [col, id] : spec.conditions) {
+      if (sel.empty()) break;
+      const TermId* v = base.ColumnData(static_cast<size_t>(col));
+      size_t kept = 0;
+      for (uint32_t r : sel) {
+        sel[kept] = r;
+        kept += v[r] == id;
+      }
+      sel.resize(kept);
+    }
+    for (int col : spec.not_null_columns) {
+      if (sel.empty()) break;
+      const TermId* v = base.ColumnData(static_cast<size_t>(col));
+      size_t kept = 0;
+      for (uint32_t r : sel) {
+        sel[kept] = r;
+        kept += v[r] != kNullTermId;
+      }
+      sel.resize(kept);
+    }
+    for (const auto& [col_a, col_b] : spec.equal_columns) {
+      if (sel.empty()) break;
+      const TermId* va = base.ColumnData(static_cast<size_t>(col_a));
+      const TermId* vb = base.ColumnData(static_cast<size_t>(col_b));
+      size_t kept = 0;
+      for (uint32_t r : sel) {
+        sel[kept] = r;
+        kept += va[r] == vb[r];
+      }
+      sel.resize(kept);
+    }
+    if (!sel.empty()) {
+      out->AppendGather(base, proj_cols, sel.data(), sel.size());
+    }
+  }
+  return true;
+}
+
 Table ScanSelectProject(const Table& base, const ScanSpec& spec,
                         ExecContext* ctx) {
   if (spec.row_filter != nullptr) {

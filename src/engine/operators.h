@@ -53,6 +53,22 @@ bool ScanSelectProjectRange(const Table& base, const ScanSpec& spec,
                             size_t begin, size_t end, const ExecContext* ctx,
                             Table* out);
 
+// Rows per vectorized sub-chunk. At most kInterruptCheckRows, so a
+// per-chunk interrupt poll keeps the serial check cadence; small enough
+// that a chunk's selection vector stays cache-resident.
+inline constexpr size_t kVectorChunkRows = 2048;
+
+// Vectorized twin of ScanSelectProjectRange with identical output and
+// interrupt semantics: instead of testing every predicate row-at-a-time
+// it builds a selection vector per kVectorChunkRows sub-chunk and prunes
+// it one *column* at a time, then gathers the projected columns with one
+// batched append (Table::AppendGather). Safe from task-pool workers;
+// returns false when it bailed on an interrupt. Does not touch
+// ctx->metrics.
+bool ScanSelectProjectChunk(const Table& base, const ScanSpec& spec,
+                            size_t begin, size_t end, const ExecContext* ctx,
+                            Table* out);
+
 // Natural hash join on all shared column names. Degenerates to a cross
 // product when no names are shared. Rows with a null (kNullTermId) join
 // key never match. Meters |L|x|R| join comparisons and repartition

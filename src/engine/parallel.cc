@@ -7,21 +7,59 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/task_pool.h"
 
 namespace s2rdf::engine {
 
 namespace {
 
-// Morsel count for an n-row input.
-size_t MorselCount(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
+// Morsel count for an n-row input at `morsel` rows per morsel.
+size_t MorselCount(size_t n, size_t morsel) {
+  return (n + morsel - 1) / morsel;
+}
+
+// Owner-thread gather of one partial table: contiguous column-wise
+// appends in kInterruptCheckRows strides, with a CheckInterrupt between
+// strides (the serial row loop's cadence). Returns false when
+// interrupted — partial output; ExecutePlan reports why.
+bool AppendAllStrided(const Table& p, ExecContext* ctx, Table* out) {
+  size_t r = 0;
+  const size_t n = p.NumRows();
+  while (r < n) {
+    if (ctx != nullptr && ctx->CheckInterrupt()) return false;
+    size_t take = std::min(n - r, kInterruptCheckRows);
+    out->AppendRange(p, r, r + take);
+    r += take;
+  }
+  return true;
+}
 
 }  // namespace
+
+size_t MorselRowsFor(size_t rows, size_t columns, const ExecContext* ctx) {
+  if (ctx != nullptr && ctx->morsel_rows > 0) {
+    return std::max<size_t>(1, ctx->morsel_rows);
+  }
+  const size_t width = columns > 0 ? columns : 1;
+  size_t m = kMorselTargetBytes / (width * sizeof(TermId));
+  // Several morsels per worker so dynamic claiming can balance skew.
+  const size_t workers = TaskPool::Shared()->ParallelismWidth();
+  const size_t per_worker = rows / (4 * workers);
+  if (per_worker > 0) m = std::min(m, per_worker);
+  return std::clamp(m, kMinMorselRows, kMaxMorselRows);
+}
+
+size_t ParallelThreshold(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->parallel_threshold_rows > 0
+             ? ctx->parallel_threshold_rows
+             : kParallelRowThreshold;
+}
 
 Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
                                 ExecContext* ctx) {
   const size_t n = base.NumRows();
-  if (n < kParallelRowThreshold) return ScanSelectProject(base, spec, ctx);
+  if (n < ParallelThreshold(ctx)) return ScanSelectProject(base, spec, ctx);
   if (spec.row_filter != nullptr) {
     S2RDF_CHECK(spec.row_filter->size_bits() == n);
   }
@@ -34,16 +72,17 @@ Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
   names.reserve(spec.projections.size());
   for (const auto& [col, name] : spec.projections) names.push_back(name);
 
-  const size_t morsels = MorselCount(n);
+  const size_t morsel = MorselRowsFor(n, base.NumColumns(), ctx);
+  const size_t morsels = MorselCount(n, morsel);
   std::vector<Table> partial(morsels, Table(names));
   std::atomic<bool> interrupted{false};
   const bool spans = ctx != nullptr && ctx->ProfileTasks();
   TaskPool::Shared()->ParallelFor(morsels, [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
     MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
-    size_t begin = m * kMorselRows;
-    size_t end = std::min(begin + kMorselRows, n);
-    if (!ScanSelectProjectRange(base, spec, begin, end, ctx, &partial[m])) {
+    size_t begin = m * morsel;
+    size_t end = std::min(begin + morsel, n);
+    if (!ScanSelectProjectChunk(base, spec, begin, end, ctx, &partial[m])) {
       interrupted.store(true, std::memory_order_relaxed);
     }
     if (spans) {
@@ -66,18 +105,113 @@ Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
   out.Reserve(total);
   // Morsel order is row order: the gathered table is byte-identical to
   // the serial scan's output.
-  size_t since_check = 0;
   for (const Table& p : partial) {
-    for (size_t r = 0; r < p.NumRows(); ++r) {
-      if (++since_check >= kInterruptCheckRows) {
-        since_check = 0;
-        if (ctx != nullptr && ctx->CheckInterrupt()) {
-          ctx->metrics.intermediate_tuples += out.NumRows();
-          return out;  // Partial; ExecutePlan reports the interrupt.
+    if (!AppendAllStrided(p, ctx, &out)) break;
+  }
+  if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
+  return out;
+}
+
+Table ParallelFilter(const Table& t, const Expr& expr,
+                     const rdf::Dictionary& dict, ExecContext* ctx) {
+  const size_t n = t.NumRows();
+  if (n < ParallelThreshold(ctx)) return Filter(t, expr, dict, ctx);
+  const size_t morsel = MorselRowsFor(n, t.NumColumns(), ctx);
+  const size_t morsels = MorselCount(n, morsel);
+
+  // When every variable the expression references resolves to the same
+  // table column, the verdict is a pure function of that column's id:
+  // morsels can memoize verdicts per distinct id instead of re-decoding
+  // and re-parsing the term for every row (the dominant filter cost).
+  // Unprojected variables contribute a constant (unbound) and do not
+  // break the purity argument.
+  int memo_col = -1;
+  for (const std::string& var : expr.ReferencedVariables()) {
+    int c = t.ColumnIndex(var);
+    if (c < 0) continue;
+    if (memo_col >= 0 && c != memo_col) {
+      memo_col = -1;
+      break;
+    }
+    memo_col = c;
+  }
+  // Dictionary reads below take a shared lock; nothing encodes during a
+  // filter, so the size is stable for the whole operator.
+  const size_t memo_size = memo_col >= 0 ? dict.size() : 0;
+
+  std::vector<std::vector<uint32_t>> keep(morsels);
+  std::atomic<bool> interrupted{false};
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
+  TaskPool::Shared()->ParallelFor(morsels, [&](size_t m) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
+    size_t begin = m * morsel;
+    size_t end = std::min(begin + morsel, n);
+    // The evaluator is bound per morsel (cheap: it only resolves column
+    // indices); Eval itself is const and dictionary reads take a shared
+    // lock, so morsels evaluate concurrently.
+    ExprEvaluator eval(expr, t, dict);
+    std::vector<uint32_t>& rows = keep[m];
+    if (memo_col >= 0) {
+      const TermId* v = t.ColumnData(static_cast<size_t>(memo_col));
+      // 0 = unseen, 1 = keep, 2 = drop; kNullTermId is out of dictionary
+      // range and gets its own slot.
+      std::vector<uint8_t> memo(memo_size, 0);
+      uint8_t null_verdict = 0;
+      for (size_t cb = begin; cb < end; cb += kInterruptCheckRows) {
+        if (ctx != nullptr && ctx->InterruptRequested()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const size_t ce = std::min(cb + kInterruptCheckRows, end);
+        for (size_t r = cb; r < ce; ++r) {
+          uint8_t* slot = v[r] < memo_size ? &memo[v[r]] : &null_verdict;
+          if (*slot == 0) *slot = eval.Keep(r) ? 1 : 2;
+          if (*slot == 1) rows.push_back(static_cast<uint32_t>(r));
         }
       }
-      out.AppendRowFrom(p, r);
+    } else {
+      for (size_t r = begin; r < end; ++r) {
+        if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
+            ctx->InterruptRequested()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (eval.Keep(r)) rows.push_back(static_cast<uint32_t>(r));
+      }
     }
+    if (spans) {
+      ctx->task_spans->Record("filter morsel", m, ctx->profile_origin, t0,
+                              MonotonicNow());
+    }
+  });
+
+  Table out(t.column_names());
+  if (interrupted.load(std::memory_order_relaxed)) {
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->metrics.intermediate_tuples += out.NumRows();
+    }
+    return out;
+  }
+  size_t total = 0;
+  for (const auto& rows : keep) total += rows.size();
+  out.Reserve(total);
+  // Morsel order is row order; survivors batch-append in ascending row
+  // order — the serial Filter's exact output.
+  bool gather_interrupted = false;
+  for (const auto& rows : keep) {
+    size_t i = 0;
+    while (i < rows.size()) {
+      if (ctx != nullptr && ctx->CheckInterrupt()) {
+        gather_interrupted = true;
+        break;
+      }
+      size_t take = std::min(rows.size() - i, kInterruptCheckRows);
+      out.AppendGather(t, rows.data() + i, take);
+      i += take;
+    }
+    if (gather_interrupted) break;
   }
   if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
   return out;
@@ -85,27 +219,37 @@ Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
 
 Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   const size_t n = t.NumRows();
-  if (n < kParallelRowThreshold) return Distinct(t, ctx);
+  if (n < ParallelThreshold(ctx)) return Distinct(t, ctx);
   TaskPool* pool = TaskPool::Shared();
   std::vector<int> all_cols(t.NumColumns());
   for (size_t i = 0; i < t.NumColumns(); ++i) all_cols[i] = static_cast<int>(i);
 
-  // Pass 1: row hashes, morsel-parallel.
+  // Pass 1: row hashes, morsel-parallel and column-at-a-time — the hash
+  // lane is seeded for the whole sub-chunk, then each column folds in
+  // with one tight pass over its contiguous ids (same per-row value as
+  // RowKeyHash).
+  const size_t morsel = MorselRowsFor(n, t.NumColumns(), ctx);
   std::vector<uint64_t> hashes(n);
   std::atomic<bool> interrupted{false};
   const bool spans = ctx != nullptr && ctx->ProfileTasks();
-  pool->ParallelFor(MorselCount(n), [&](size_t m) {
+  pool->ParallelFor(MorselCount(n, morsel), [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
     MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
-    size_t begin = m * kMorselRows;
-    size_t end = std::min(begin + kMorselRows, n);
-    for (size_t r = begin; r < end; ++r) {
-      if (((r - begin) % kInterruptCheckRows) == 0 && ctx != nullptr &&
-          ctx->InterruptRequested()) {
+    size_t begin = m * morsel;
+    size_t end = std::min(begin + morsel, n);
+    for (size_t cb = begin; cb < end; cb += kInterruptCheckRows) {
+      if (ctx != nullptr && ctx->InterruptRequested()) {
         interrupted.store(true, std::memory_order_relaxed);
         break;
       }
-      hashes[r] = RowKeyHash(t, r, all_cols);
+      const size_t ce = std::min(cb + kInterruptCheckRows, end);
+      for (size_t r = cb; r < ce; ++r) hashes[r] = 0x9e3779b97f4a7c15ULL;
+      for (size_t c = 0; c < t.NumColumns(); ++c) {
+        const TermId* v = t.ColumnData(c);
+        for (size_t r = cb; r < ce; ++r) {
+          hashes[r] = HashCombine(hashes[r], v[r]);
+        }
+      }
     }
     if (spans) {
       ctx->task_spans->Record("distinct hash morsel", m, ctx->profile_origin,
@@ -127,7 +271,7 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   // duplicate set lives wholly inside one partition; each worker keeps
   // the first occurrence (ascending row scan) of its partition's rows.
   const size_t parts = pool->ParallelismWidth();
-  std::vector<std::vector<size_t>> keep(parts);
+  std::vector<std::vector<uint32_t>> keep(parts);
   pool->ParallelFor(parts, [&](size_t w) {
     MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
     std::unordered_map<uint64_t, std::vector<size_t>> seen;
@@ -151,7 +295,7 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
       }
       if (!duplicate) {
         bucket.push_back(r);
-        keep[w].push_back(r);
+        keep[w].push_back(static_cast<uint32_t>(r));
       }
     }
     if (spans) {
@@ -171,7 +315,7 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   // Merge ascending: the union of partition-local first occurrences is
   // exactly the serial first-occurrence set, and ascending row order is
   // the serial emission order.
-  std::vector<size_t> rows;
+  std::vector<uint32_t> rows;
   size_t total = 0;
   for (const auto& k : keep) total += k.size();
   rows.reserve(total);
@@ -179,12 +323,14 @@ Table ParallelDistinct(const Table& t, ExecContext* ctx) {
   std::sort(rows.begin(), rows.end());
 
   out.Reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if ((i % kInterruptCheckRows) == 0 && ctx != nullptr &&
-        ctx->CheckInterrupt()) {
+  size_t i = 0;
+  while (i < rows.size()) {
+    if (ctx != nullptr && ctx->CheckInterrupt()) {
       break;  // Partial; ExecutePlan reports the interrupt.
     }
-    out.AppendRowFrom(t, rows[i]);
+    size_t take = std::min(rows.size() - i, kInterruptCheckRows);
+    out.AppendGather(t, rows.data() + i, take);
+    i += take;
   }
   if (ctx != nullptr) {
     ctx->AccountShuffle(n);
@@ -201,7 +347,7 @@ Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
     int c = t.ColumnIndex(key.column);
     if (c >= 0) key_cols.emplace_back(c, key.ascending);
   }
-  if (n < kParallelRowThreshold || key_cols.empty()) {
+  if (n < ParallelThreshold(ctx) || key_cols.empty()) {
     return OrderBy(t, keys, dict, ctx);
   }
   TaskPool* pool = TaskPool::Shared();
@@ -210,15 +356,16 @@ Table ParallelOrderBy(const Table& t, const std::vector<SortKey>& keys,
   // parallel into per-morsel caches (Dictionary::Decode is
   // shared-lock-safe), merged into one map that is read-only from here
   // on — the chunk sorts below can then share it without locking.
-  const size_t morsels = MorselCount(n);
+  const size_t morsel = MorselRowsFor(n, key_cols.size(), ctx);
+  const size_t morsels = MorselCount(n, morsel);
   std::vector<std::unordered_map<TermId, Value>> partial_cache(morsels);
   std::atomic<bool> interrupted{false};
   const bool spans = ctx != nullptr && ctx->ProfileTasks();
   pool->ParallelFor(morsels, [&](size_t m) {
     if (interrupted.load(std::memory_order_relaxed)) return;
     MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
-    size_t begin = m * kMorselRows;
-    size_t end = std::min(begin + kMorselRows, n);
+    size_t begin = m * morsel;
+    size_t end = std::min(begin + morsel, n);
     std::unordered_map<TermId, Value>& cache = partial_cache[m];
     for (size_t r = begin; r < end && !interrupted.load(
                                           std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/exec_context.h"
+#include "engine/expression.h"
 #include "engine/operators.h"
 #include "engine/table.h"
 #include "rdf/dictionary.h"
@@ -21,6 +22,12 @@
 //     by the calling thread using the same formulas as the serial path;
 //     workers never touch the context's metrics.
 //
+// The serial operators are the row-at-a-time *reference*; the morsel
+// bodies here run the vectorized kernels (selection vectors over
+// columnar chunks, batched column gathers — see ScanSelectProjectChunk
+// in operators.h), so the parallel path wins even before thread count
+// multiplies it.
+//
 // Interrupt discipline: workers poll ctx->InterruptRequested() (read
 // only) every kInterruptCheckRows rows and bail; the calling thread
 // records the reason via CheckInterrupt() after the ParallelFor
@@ -28,26 +35,47 @@
 // helper skips the gather and returns an empty table — ExecutePlan
 // discards partial results anyway.
 //
-// Small inputs fall through to the serial operator: below
-// kParallelRowThreshold rows the task hand-off costs more than it
-// saves.
+// Small inputs fall through to the serial operator: below the parallel
+// threshold the task hand-off costs more than it saves.
 
 namespace s2rdf::engine {
 
-// Rows per morsel. Large enough that a morsel amortizes the queue
-// hand-off, small enough that a deadline aborts promptly and morsel
-// counts exceed worker counts (dynamic load balancing).
-inline constexpr size_t kMorselRows = 16384;
+// Morsel-size auto-tune bounds. A morsel targets kMorselTargetBytes of
+// ids (≈ the private L2 slice a worker can keep hot), clamped so tiny
+// rows never make morsels outnumber the interrupt cadence usefully and
+// wide rows never degenerate to per-row tasks.
+inline constexpr size_t kMinMorselRows = 1024;
+inline constexpr size_t kMaxMorselRows = 65536;
+inline constexpr size_t kMorselTargetBytes = 256 * 1024;
 
-// Inputs below this row count run serially.
+// Default rows below which operators run serially.
 inline constexpr size_t kParallelRowThreshold = 4096;
 
-// ScanSelectProject over row-range morsels.
+// Rows per morsel for an input of `rows` x `columns` ids. Honors the
+// per-query override (ctx->morsel_rows, from QueryOptions::morsel_rows)
+// when positive; otherwise tunes to the byte target above and caps at
+// rows / (4 x pool width) so dynamic load balancing always has several
+// morsels per worker.
+size_t MorselRowsFor(size_t rows, size_t columns, const ExecContext* ctx);
+
+// Serial-fallback row threshold: ctx->parallel_threshold_rows when
+// positive, else kParallelRowThreshold.
+size_t ParallelThreshold(const ExecContext* ctx);
+
+// ScanSelectProject over row-range morsels running the vectorized
+// chunk kernel.
 Table ParallelScanSelectProject(const Table& base, const ScanSpec& spec,
                                 ExecContext* ctx);
 
-// Distinct via parallel row hashing, hash-partitioned per-worker dedup,
-// and an input-order merge of the surviving row indices.
+// FILTER over row-range morsels: each morsel evaluates the expression
+// into a selection vector, the gather batch-appends survivors in input
+// order — byte-identical to the serial Filter.
+Table ParallelFilter(const Table& t, const Expr& expr,
+                     const rdf::Dictionary& dict, ExecContext* ctx);
+
+// Distinct via parallel row hashing (column-at-a-time), hash-partitioned
+// per-worker dedup, and an input-order merge of the surviving row
+// indices.
 Table ParallelDistinct(const Table& t, ExecContext* ctx);
 
 // OrderBy via parallel decode-cache warmup, parallel chunk sorts, and a

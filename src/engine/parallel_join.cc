@@ -1,14 +1,105 @@
 #include "engine/parallel_join.h"
 
+#include <algorithm>
 #include <atomic>
-#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/task_pool.h"
 #include "engine/operators.h"
+#include "engine/parallel.h"
 
 namespace s2rdf::engine {
+
+namespace {
+
+inline constexpr uint32_t kNoEntry = 0xffffffffu;
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// One radix-partitioned join input: per-row key hashes (RowKeyHash's
+// exact value, computed column-at-a-time) plus, per partition, the
+// non-null-key row indices in ascending order.
+struct RadixSide {
+  std::vector<uint64_t> hashes;
+  std::vector<std::vector<uint32_t>> parts;
+};
+
+// Parallel shuffle write for one side: morsels hash and scatter their
+// rows into per-morsel partition stripes, then one task per partition
+// concatenates its stripes in morsel order — morsels are contiguous
+// ascending row ranges, so the concatenation is ascending and the merge
+// needs no locks and no sort. Returns false when a worker observed an
+// interrupt (the caller records the reason).
+bool RadixPartition(const Table& t, const std::vector<int>& keys, size_t p,
+                    ExecContext* ctx, const char* span_label,
+                    RadixSide* side) {
+  const size_t n = t.NumRows();
+  side->hashes.resize(n);
+  const size_t morsel = MorselRowsFor(n, keys.size(), ctx);
+  const size_t morsels = (n + morsel - 1) / morsel;
+  std::vector<std::vector<std::vector<uint32_t>>> stripes(morsels);
+  std::atomic<bool> interrupted{false};
+  const bool spans = ctx != nullptr && ctx->ProfileTasks();
+  TaskPool::Shared()->ParallelFor(morsels, [&](size_t m) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, n);
+    std::vector<std::vector<uint32_t>>& local = stripes[m];
+    local.assign(p, {});
+    uint64_t* h = side->hashes.data();
+    std::vector<uint8_t> null_row(kInterruptCheckRows);
+    for (size_t cb = begin; cb < end; cb += kInterruptCheckRows) {
+      if (ctx != nullptr && ctx->InterruptRequested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const size_t ce = std::min(cb + kInterruptCheckRows, end);
+      for (size_t r = cb; r < ce; ++r) h[r] = 0x9e3779b97f4a7c15ULL;
+      std::fill(null_row.begin(), null_row.begin() + (ce - cb), 0);
+      for (int c : keys) {
+        const TermId* v = t.ColumnData(static_cast<size_t>(c));
+        for (size_t r = cb; r < ce; ++r) h[r] = HashCombine(h[r], v[r]);
+        for (size_t r = cb; r < ce; ++r) {
+          null_row[r - cb] |= v[r] == kNullTermId;
+        }
+      }
+      for (size_t r = cb; r < ce; ++r) {
+        if (null_row[r - cb]) continue;
+        local[h[r] % p].push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (spans) {
+      ctx->task_spans->Record(span_label, m, ctx->profile_origin, t0,
+                              MonotonicNow());
+    }
+  });
+  if (interrupted.load(std::memory_order_relaxed)) return false;
+
+  side->parts.assign(p, {});
+  TaskPool::Shared()->ParallelFor(p, [&](size_t part) {
+    if (ctx != nullptr && ctx->InterruptRequested()) {
+      interrupted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    size_t total = 0;
+    for (const auto& stripe : stripes) total += stripe[part].size();
+    std::vector<uint32_t>& dst = side->parts[part];
+    dst.reserve(total);
+    for (const auto& stripe : stripes) {
+      dst.insert(dst.end(), stripe[part].begin(), stripe[part].end());
+    }
+  });
+  return !interrupted.load(std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Table ParallelHashJoin(const Table& left, const Table& right,
                        ExecContext* ctx) {
@@ -17,128 +108,207 @@ Table ParallelHashJoin(const Table& left, const Table& right,
   std::vector<int> right_only;
   JoinSharedColumns(left, right, &left_keys, &right_keys, &right_only);
 
-  const size_t p =
-      ctx != nullptr && ctx->num_partitions > 0
-          ? static_cast<size_t>(ctx->num_partitions)
-          : 1;
-  if (left_keys.empty() || p <= 1 ||
-      (left.NumRows() < kParallelJoinThreshold &&
-       right.NumRows() < kParallelJoinThreshold)) {
+  const size_t threshold = ParallelThreshold(ctx);
+  if (left_keys.empty() ||
+      (ctx != nullptr && ctx->num_partitions <= 1) ||
+      (left.NumRows() < threshold && right.NumRows() < threshold)) {
     return HashJoin(left, right, ctx);
   }
 
+  // Charged exactly as the serial HashJoin charges: the logical
+  // comparison space and the repartition shuffle, before any work (so
+  // an interrupted run reports the same estimate as serial).
   if (ctx != nullptr) {
     ctx->metrics.join_comparisons +=
         static_cast<uint64_t>(left.NumRows()) * right.NumRows();
     ctx->AccountShuffle(left.NumRows() + right.NumRows());
   }
 
-  // Shuffle write: row indices per partition for both sides, ascending
-  // (built by one forward scan), which makes each partition's probe
-  // order the serial left-row order restricted to that partition.
-  std::vector<std::vector<uint32_t>> left_parts(p);
-  std::vector<std::vector<uint32_t>> right_parts(p);
-  for (size_t r = 0; r < left.NumRows(); ++r) {
-    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
-        ctx->CheckInterrupt()) {
-      return JoinOutputSchema(left, right, right_only);  // Empty.
+  // Every interrupted path below funnels through this: record the
+  // reason on the owning thread (the same kCancelled/kDeadlineExceeded
+  // Status serial operators record) and account the (empty) output like
+  // a serial bail-out, so ExecutePlan surfaces an identical error.
+  auto interrupted_result = [&]() {
+    Table out = JoinOutputSchema(left, right, right_only);
+    if (ctx != nullptr) {
+      ctx->CheckInterrupt();
+      ctx->metrics.intermediate_tuples += out.NumRows();
     }
-    if (RowKeyHasNull(left, r, left_keys)) continue;
-    left_parts[RowKeyHash(left, r, left_keys) % p].push_back(
-        static_cast<uint32_t>(r));
-  }
-  for (size_t r = 0; r < right.NumRows(); ++r) {
-    if ((r % kInterruptCheckRows) == 0 && ctx != nullptr &&
-        ctx->CheckInterrupt()) {
-      return JoinOutputSchema(left, right, right_only);
-    }
-    if (RowKeyHasNull(right, r, right_keys)) continue;
-    right_parts[RowKeyHash(right, r, right_keys) % p].push_back(
-        static_cast<uint32_t>(r));
+    return out;
+  };
+
+  TaskPool* pool = TaskPool::Shared();
+  // Partition count is an execution knob (cache-sized build tables,
+  // enough tasks to balance skew), decoupled from the simulated cluster
+  // width ctx->num_partitions that the shuffle meter models.
+  const size_t p =
+      std::clamp<size_t>(pool->ParallelismWidth() * 4, 8, 64);
+
+  // Phase 1: parallel radix shuffle of both sides.
+  RadixSide left_side;
+  RadixSide right_side;
+  if (!RadixPartition(left, left_keys, p, ctx, "shuffle morsel (left)",
+                      &left_side) ||
+      !RadixPartition(right, right_keys, p, ctx, "shuffle morsel (right)",
+                      &right_side)) {
+    return interrupted_result();
   }
 
-  // Per-partition build + probe, one TaskPool task per partition. Each
-  // partial table is sorted by original left-row index (ascending probe
-  // order, ascending matches per probe — exactly HashJoin's canonical
-  // order within the partition).
-  std::vector<Table> partial(p, JoinOutputSchema(left, right, right_only));
-  std::vector<std::vector<uint32_t>> partial_lrow(p);
+  // Phase 2: per-partition build + probe, building on the smaller
+  // input. The build table is a flat open-addressing chain table over
+  // the partition's rows: heads[bucket] / next[i] indices into the
+  // ascending partition row list, inserted in descending order so every
+  // chain ends up ascending — the serial bucket order.
+  const bool build_left = left.NumRows() < right.NumRows();
+  const Table& build_t = build_left ? left : right;
+  const Table& probe_t = build_left ? right : left;
+  const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
+  const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
+  const RadixSide& build_s = build_left ? left_side : right_side;
+  const RadixSide& probe_s = build_left ? right_side : left_side;
 
+  std::vector<std::vector<uint64_t>> matches(p);
+  std::atomic<bool> interrupted{false};
   const bool spans = ctx != nullptr && ctx->ProfileTasks();
-  auto join_partition_body = [&](size_t part) {
-    Table& out = partial[part];
-    std::vector<uint32_t>& lrow_of = partial_lrow[part];
-    const std::vector<uint32_t>& build_rows = right_parts[part];
-    const std::vector<uint32_t>& probe_rows = left_parts[part];
-    if (build_rows.empty() || probe_rows.empty()) return;
-    // Ascending insertion keeps each bucket in ascending right-row
-    // order, matching the serial join's match order.
-    std::unordered_map<uint64_t, std::vector<uint32_t>> build;
-    build.reserve(build_rows.size());
-    for (uint32_t rr : build_rows) {
-      build[RowKeyHash(right, rr, right_keys)].push_back(rr);
-    }
-    // Workers may only *read* the interrupt state (InterruptRequested);
-    // recording the reason is left to the query's owning thread.
-    size_t since_check = 0;
-    for (uint32_t lr : probe_rows) {
-      if (++since_check >= kInterruptCheckRows) {
-        since_check = 0;
-        if (ctx != nullptr && ctx->InterruptRequested()) return;
+  pool->ParallelFor(p, [&](size_t part) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
+    const std::vector<uint32_t>& brows = build_s.parts[part];
+    const std::vector<uint32_t>& prows = probe_s.parts[part];
+    if (!brows.empty() && !prows.empty()) {
+      const size_t cap = NextPow2(brows.size() * 2);
+      const uint64_t mask = cap - 1;
+      std::vector<uint32_t> heads(cap, kNoEntry);
+      std::vector<uint32_t> next(brows.size());
+      for (size_t i = brows.size(); i-- > 0;) {
+        const size_t b = build_s.hashes[brows[i]] & mask;
+        next[i] = heads[b];
+        heads[b] = static_cast<uint32_t>(i);
       }
-      auto it = build.find(RowKeyHash(left, lr, left_keys));
-      if (it == build.end()) continue;
-      for (uint32_t rr : it->second) {
-        if (RowKeysEqual(left, lr, left_keys, right, rr, right_keys)) {
-          EmitJoinedRow(left, lr, right, rr, right_only, &out);
-          lrow_of.push_back(lr);
+      // Single shared join variable is the common case; compare the two
+      // key columns' raw ids directly instead of the generic row walk.
+      const bool single = build_keys.size() == 1;
+      const TermId* bcol =
+          single ? build_t.ColumnData(static_cast<size_t>(build_keys[0]))
+                 : nullptr;
+      const TermId* pcol =
+          single ? probe_t.ColumnData(static_cast<size_t>(probe_keys[0]))
+                 : nullptr;
+      std::vector<uint64_t>& out = matches[part];
+      size_t since_check = 0;
+      for (uint32_t pr : prows) {
+        if (++since_check >= kInterruptCheckRows) {
+          since_check = 0;
+          if (ctx != nullptr && ctx->InterruptRequested()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+        const uint64_t bucket = probe_s.hashes[pr] & mask;
+        for (uint32_t idx = heads[bucket]; idx != kNoEntry;
+             idx = next[idx]) {
+          const uint32_t br = brows[idx];
+          const bool eq = single
+                              ? bcol[br] == pcol[pr]
+                              : RowKeysEqual(build_t, br, build_keys,
+                                             probe_t, pr, probe_keys);
+          if (!eq) continue;
+          const uint64_t lr = build_left ? br : pr;
+          const uint64_t rr = build_left ? pr : br;
+          out.push_back(lr << 32 | rr);
         }
       }
+      // Probe order is ascending probe rows with ascending chain
+      // matches. With build=right that is already canonical
+      // (left asc, right asc per left row); with build=left the pairs
+      // arrived (right asc, left asc) — the packed sort restores the
+      // canonical order.
+      if (build_left) std::sort(out.begin(), out.end());
     }
-  };
-  auto join_partition = [&](size_t part) {
-    MonotonicTime t0 = spans ? MonotonicNow() : MonotonicTime{};
-    join_partition_body(part);
     if (spans) {
       ctx->task_spans->Record("join partition", part, ctx->profile_origin,
                               t0, MonotonicNow());
     }
-  };
-
-  TaskPool::Shared()->ParallelFor(p, join_partition);
-  // Record any interrupt the workers bailed on (single-threaded again).
-  if (ctx != nullptr && ctx->CheckInterrupt()) {
-    // Skip the gather — ExecutePlan discards partial results anyway.
-    Table out = JoinOutputSchema(left, right, right_only);
-    ctx->metrics.intermediate_tuples += out.NumRows();
-    return out;
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return interrupted_result();
   }
 
-  // Canonical gather: k-way merge of the partitions by original
-  // left-row index. Partitions are disjoint in left rows and each is
-  // sorted, so the merged sequence is HashJoin's output exactly.
+  // Phase 3: canonical merge. A left row's hash pins it to exactly one
+  // partition, so runs of equal left-row live wholly inside one
+  // partition and merging by packed value k-way-merges the partitions
+  // back into HashJoin's exact output sequence.
   size_t total = 0;
-  for (const Table& t : partial) total += t.NumRows();
-  Table out = JoinOutputSchema(left, right, right_only);
-  out.Reserve(total);
+  for (const auto& m : matches) total += m.size();
+  std::vector<uint64_t> ordered;
+  ordered.reserve(total);
   std::vector<size_t> pos(p, 0);
   size_t since_check = 0;
-  for (size_t emitted = 0; emitted < total; ++emitted) {
-    if (++since_check >= kInterruptCheckRows) {
-      since_check = 0;
-      if (ctx != nullptr && ctx->CheckInterrupt()) break;
-    }
+  bool gather_interrupted = false;
+  while (!gather_interrupted && ordered.size() < total) {
     size_t best = p;
     for (size_t part = 0; part < p; ++part) {
-      if (pos[part] >= partial_lrow[part].size()) continue;
-      if (best == p ||
-          partial_lrow[part][pos[part]] < partial_lrow[best][pos[best]]) {
+      if (pos[part] >= matches[part].size()) continue;
+      if (best == p || matches[part][pos[part]] < matches[best][pos[best]]) {
         best = part;
       }
     }
-    out.AppendRowFrom(partial[best], pos[best]);
-    ++pos[best];
+    const std::vector<uint64_t>& vec = matches[best];
+    size_t i = pos[best];
+    const uint64_t lr_key = vec[i] & 0xffffffff00000000ull;
+    while (i < vec.size() && (vec[i] & 0xffffffff00000000ull) == lr_key) {
+      if (++since_check >= kInterruptCheckRows) {
+        since_check = 0;
+        if (ctx != nullptr && ctx->CheckInterrupt()) {
+          gather_interrupted = true;
+          break;
+        }
+      }
+      ordered.push_back(vec[i++]);
+    }
+    pos[best] = i;
   }
+  if (gather_interrupted) return interrupted_result();
+
+  // Phase 4: columnar materialization — one gather task per output
+  // column instead of row-at-a-time appends.
+  std::vector<uint32_t> lrows(total);
+  std::vector<uint32_t> rrows(total);
+  for (size_t i = 0; i < total; ++i) {
+    if ((i % kInterruptCheckRows) == 0 && ctx != nullptr &&
+        ctx->CheckInterrupt()) {
+      return interrupted_result();
+    }
+    lrows[i] = static_cast<uint32_t>(ordered[i] >> 32);
+    rrows[i] = static_cast<uint32_t>(ordered[i]);
+  }
+  const size_t left_w = left.NumColumns();
+  const size_t out_w = left_w + right_only.size();
+  std::vector<std::vector<TermId>> cols(out_w);
+  pool->ParallelFor(out_w, [&](size_t c) {
+    if (interrupted.load(std::memory_order_relaxed)) return;
+    const bool from_left = c < left_w;
+    const Table& src_t = from_left ? left : right;
+    const size_t src_c =
+        from_left ? c : static_cast<size_t>(right_only[c - left_w]);
+    const TermId* src = src_t.ColumnData(src_c);
+    const uint32_t* rows = from_left ? lrows.data() : rrows.data();
+    std::vector<TermId>& dst = cols[c];
+    dst.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+      if ((i % kInterruptCheckRows) == 0 && ctx != nullptr &&
+          ctx->InterruptRequested()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      dst[i] = src[rows[i]];
+    }
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return interrupted_result();
+  }
+  Table out = JoinOutputSchema(left, right, right_only);
+  out.AdoptColumns(std::move(cols));
   if (ctx != nullptr) ctx->metrics.intermediate_tuples += out.NumRows();
   return out;
 }

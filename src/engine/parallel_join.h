@@ -4,29 +4,39 @@
 #include "engine/exec_context.h"
 #include "engine/table.h"
 
-// Partitioned parallel hash join: the executable counterpart of the
-// ExecContext shuffle model. Both inputs are hash-partitioned on the
-// shared join columns into `ctx->num_partitions` buckets (the
-// "repartitioning" whose volume AccountShuffle meters), and the buckets
-// are joined concurrently as tasks on the shared TaskPool — the same
-// dataflow Spark SQL runs across executors, but with total thread count
-// fixed process-wide instead of num_partitions threads per join.
+// Radix-partitioned parallel hash join: the executable counterpart of
+// the ExecContext shuffle model. The shuffle-write phase is itself
+// parallel — each morsel hashes its rows column-at-a-time and scatters
+// them into per-morsel (striped) partition buffers, which merge into
+// per-partition row lists by ordered concatenation, without locks.
+// Partitions then build-and-probe concurrently on the shared TaskPool,
+// building on the smaller input, with a flat open-addressing chain
+// table instead of unordered_map. Matches travel as packed
+// (left_row << 32 | right_row) pairs; the gather k-way-merges the
+// partitions back into HashJoin's canonical order and materializes the
+// output column-wise.
 //
-// Output is byte-identical to engine::HashJoin: each partition joins
-// its left rows in input order with matches in ascending right-row
-// order, and the gather k-way-merges the partitions back by original
-// left-row index. On an interrupt the gather is skipped entirely (an
-// empty table returns; ExecutePlan discards partial results anyway).
+// Output and ExecMetrics are byte-identical to engine::HashJoin: left
+// rows in input order, each left row's matches in ascending right-row
+// order; |L|x|R| comparisons and repartition shuffle charged exactly as
+// the serial operator charges them. On an interrupt every path records
+// the reason (CheckInterrupt on the owning thread) and returns an empty
+// table with the same intermediate-tuple accounting as the serial
+// operator's bail-out — ExecutePlan then surfaces the cancelled/expired
+// Status exactly as it does for serial operators.
 
 namespace s2rdf::engine {
 
 // Natural parallel join on all shared column names. Falls back to the
-// serial HashJoin when either input is small (partitioning overhead
-// would dominate) or when no columns are shared (cross product).
+// serial HashJoin when both inputs are small (partitioning overhead
+// would dominate; see ParallelThreshold in parallel.h), when no columns
+// are shared (cross product), or when the context models a single
+// partition.
 Table ParallelHashJoin(const Table& left, const Table& right,
                        ExecContext* ctx);
 
-// Rows below which the serial join is used.
+// Default rows below which the serial join is used (overridable via
+// ExecContext::parallel_threshold_rows).
 inline constexpr size_t kParallelJoinThreshold = 4096;
 
 }  // namespace s2rdf::engine

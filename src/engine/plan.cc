@@ -395,6 +395,27 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                                 rdf::Dictionary* dict, ExecContext* ctx,
                                 int depth);
 
+// Serial-vs-parallel choice for one operator. The exact runtime input
+// size gates first (below the threshold the task hand-off costs more
+// than it saves); on top of that, the optimizer's row estimate (PR 6
+// cost pipeline, carried on the plan node) vetoes the narrow band where
+// the input barely clears the threshold but the estimated output is
+// tiny — there the partition + gather overhead has nothing to amortize
+// against. The choice never affects results: parallel operators are
+// byte-identical to their serial twins.
+bool UseParallel(const PlanNode& plan, const ExecContext* ctx,
+                 size_t input_rows) {
+  if (ctx == nullptr || !ctx->parallel_execution) return false;
+  const size_t threshold = ParallelThreshold(ctx);
+  if (input_rows < threshold) return false;
+  if (plan.estimated_rows >= 0.0 &&
+      plan.estimated_rows < static_cast<double>(threshold) &&
+      input_rows < 2 * threshold) {
+    return false;
+  }
+  return true;
+}
+
 // Wraps one child execution with profiling bookkeeping.
 StatusOr<Table> ExecuteChild(const PlanNode& plan, const TableProvider& tables,
                              rdf::Dictionary* dict, ExecContext* ctx,
@@ -481,7 +502,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
         }
         spec.row_filter = plan.row_filter.get();
       }
-      if (ctx != nullptr && ctx->parallel_execution) {
+      if (UseParallel(plan, ctx, base->NumRows())) {
         return ParallelScanSelectProject(*base, spec, ctx);
       }
       return ScanSelectProject(*base, spec, ctx);
@@ -496,7 +517,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
         // output is the same bag as HashJoin in a different order.
         return SortMergeJoin(l, r, ctx);
       }
-      if (ctx != nullptr && ctx->parallel_execution) {
+      if (UseParallel(plan, ctx, l.NumRows() + r.NumRows())) {
         return ParallelHashJoin(l, r, ctx);
       }
       return HashJoin(l, r, ctx);
@@ -536,6 +557,9 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kFilter: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      if (UseParallel(plan, ctx, l.NumRows())) {
+        return ParallelFilter(l, *plan.filter, *dict, ctx);
+      }
       return Filter(l, *plan.filter, *dict, ctx);
     }
     case PlanNode::Kind::kProject: {
@@ -546,7 +570,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kDistinct: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
-      if (ctx != nullptr && ctx->parallel_execution) {
+      if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelDistinct(l, ctx);
       }
       return Distinct(l, ctx);
@@ -554,7 +578,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kOrderBy: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
-      if (ctx != nullptr && ctx->parallel_execution) {
+      if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelOrderBy(l, plan.sort_keys, *dict, ctx);
       }
       return OrderBy(l, plan.sort_keys, *dict, ctx);
@@ -567,7 +591,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kAggregate: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
-      if (ctx != nullptr && ctx->parallel_execution) {
+      if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelGroupByAggregate(l, plan.group_keys, plan.aggregates,
                                         dict, ctx);
       }

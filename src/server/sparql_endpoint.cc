@@ -396,6 +396,11 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
         InvalidArgumentError("'limit' must be a non-negative integer"));
   }
   if (present) query_request.options.max_result_rows = value;
+  if (!ParseParam(params, "morsel", &value, &present)) {
+    return ErrorResponse(
+        InvalidArgumentError("'morsel' must be a non-negative integer"));
+  }
+  if (present) query_request.options.morsel_rows = value;
 
   bool explain_plan = false;
   bool explain_analyze = false;

@@ -25,6 +25,7 @@
 //
 //   GET  /sparql?query=<urlencoded>[&timeout=<ms>][&limit=<rows>]
 //                [&explain=plan|analyze][&trace=1][&optimizer=paper|cost]
+//                [&morsel=<rows>]
 //   POST /sparql   (application/x-www-form-urlencoded: query=...)
 //   POST /sparql   (application/sparql-query: raw query body)
 //   GET  /health   liveness probe ("ok")
@@ -38,6 +39,8 @@
 // its cost estimates; `trace=1` returns Chrome trace_event JSON for
 // chrome://tracing / Perfetto. `optimizer=paper|cost` selects the
 // Optimize stage (paper heuristic vs cost-based, default paper).
+// `morsel=<rows>` pins the parallel operators' rows-per-morsel (default
+// 0 = auto-tuned from input width x rows).
 //
 // Result format is chosen from the Accept header (JSON by default;
 // XML, CSV, TSV supported). GET / serves a small status page.
