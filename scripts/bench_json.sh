@@ -12,6 +12,10 @@
 #   BENCH_ingest.json    — incremental ingest (ExtVP delta maintenance)
 #                          vs full rebuild; gates on store identity and
 #                          a >= 3x speedup
+#   BENCH_serving.json   — open-loop HTTP serving tail latency
+#                          (p50/p99/p999 + error rate per arrival rate);
+#                          gates on error rate, trace-header presence
+#                          and the committed baseline's p999 floor
 #
 # Each harness prints its human-readable table on stderr (passed
 # through) and JSON on stdout (captured), and exits non-zero when its
@@ -63,3 +67,4 @@ run bench_parallel BENCH_parallel.json
 run bench_profile BENCH_profile.json
 run bench_optimizer BENCH_optimizer.json
 run bench_ingest BENCH_ingest.json
+run bench_serving BENCH_serving.json

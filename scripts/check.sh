@@ -32,7 +32,8 @@ note "recorded benchmark consistency (committed BENCH_*.json)"
 # never committed (or was deleted), and downstream comparisons silently
 # have nothing to compare against.
 for bench_json in BENCH_parallel.json BENCH_profile.json \
-                  BENCH_optimizer.json BENCH_ingest.json; do
+                  BENCH_optimizer.json BENCH_ingest.json \
+                  BENCH_serving.json; do
   if [[ ! -f "${bench_json}" ]]; then
     echo "error: ${bench_json} is missing from the repo root; record it" >&2
     echo "  with scripts/bench_json.sh and commit it" >&2
@@ -66,7 +67,17 @@ if grep -q '"gated": true' BENCH_parallel.json; then
   fi
 fi
 
-note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json, BENCH_ingest.json)"
+# The committed serving baseline must itself have passed its gates when
+# recorded — a floor-violating or error-ridden JSON would gate future
+# runs against a known-bad tail.
+if grep -q '"within_floor": false' BENCH_serving.json ||
+   grep -q '"all_within_floor": false' BENCH_serving.json; then
+  echo "error: BENCH_serving.json was recorded with a floor/error-rate" >&2
+  echo "  violation; re-record with scripts/bench_json.sh and commit" >&2
+  exit 1
+fi
+
+note "benchmark gates (BENCH_parallel.json, BENCH_profile.json, BENCH_optimizer.json, BENCH_ingest.json, BENCH_serving.json)"
 scripts/bench_json.sh build
 
 if [[ "${1:-}" == "quick" ]]; then

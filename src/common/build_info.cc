@@ -1,0 +1,24 @@
+#include "common/build_info.h"
+
+// The definitions come from set_source_files_properties in
+// common/CMakeLists.txt; fall back to placeholders so the file still
+// compiles standalone (e.g. under tooling that ignores the defines).
+#ifndef S2RDF_GIT_SHA
+#define S2RDF_GIT_SHA "unknown"
+#endif
+#ifndef S2RDF_BUILD_TYPE
+#define S2RDF_BUILD_TYPE "unspecified"
+#endif
+#ifndef S2RDF_COMPILER_ID
+#define S2RDF_COMPILER_ID "unknown"
+#endif
+
+namespace s2rdf {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {S2RDF_GIT_SHA, S2RDF_BUILD_TYPE,
+                                 S2RDF_COMPILER_ID};
+  return info;
+}
+
+}  // namespace s2rdf

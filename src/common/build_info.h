@@ -1,0 +1,22 @@
+#ifndef S2RDF_COMMON_BUILD_INFO_H_
+#define S2RDF_COMMON_BUILD_INFO_H_
+
+// Identity of the running binary, captured at configure time (git sha)
+// and compile time (build type, compiler). Surfaced on /metrics as the
+// s2rdf_build_info gauge and echoed by /health and /statusz so a
+// scraped fleet can always be mapped back to the exact build.
+
+namespace s2rdf {
+
+struct BuildInfo {
+  const char* git_sha;     // short sha, "unknown" outside a git checkout
+  const char* build_type;  // CMAKE_BUILD_TYPE, "unspecified" when empty
+  const char* compiler;    // "<id> <version>"
+};
+
+// The values baked into this binary. Static storage; never changes.
+const BuildInfo& GetBuildInfo();
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_BUILD_INFO_H_

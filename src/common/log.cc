@@ -1,0 +1,168 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "common/mutex.h"
+
+namespace s2rdf {
+namespace {
+
+// Process-start anchor for ts_ms. Captured on first log call so fake
+// clocks installed before any logging define the origin.
+MonotonicTime ProcessLogEpoch() {
+  static const MonotonicTime epoch = MonotonicNow();
+  return epoch;
+}
+
+struct SinkState {
+  Mutex mu;
+  LogSink sink S2RDF_GUARDED_BY(mu);
+};
+
+SinkState* GlobalSink() {
+  static SinkState* state = new SinkState();  // leaked: outlives exit paths
+  return state;
+}
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogField::LogField(std::string k, double v)
+    : key(std::move(k)), value(FormatDouble(v)), numeric(true) {}
+
+LogField::LogField(std::string k, uint64_t v)
+    : key(std::move(k)), value(std::to_string(v)), numeric(true) {}
+
+LogField::LogField(std::string k, int v)
+    : key(std::move(k)), value(std::to_string(v)), numeric(true) {}
+
+void SetLogSinkForTest(LogSink sink) {
+  SinkState* state = GlobalSink();
+  MutexLock lock(&state->mu);
+  state->sink = std::move(sink);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string RenderLogLine(LogLevel level, const std::string& event,
+                          std::initializer_list<LogField> fields) {
+  std::string line = "{\"ts_ms\":";
+  line += FormatDouble(MillisSince(ProcessLogEpoch()));
+  line += ",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"event\":\"";
+  line += JsonEscape(event);
+  line += "\"";
+  for (const LogField& f : fields) {
+    line += ",\"";
+    line += JsonEscape(f.key);
+    line += "\":";
+    if (f.numeric) {
+      line += f.value;
+    } else {
+      line += "\"";
+      line += JsonEscape(f.value);
+      line += "\"";
+    }
+  }
+  line += "}";
+  return line;
+}
+
+void LogEvent(LogLevel level, const std::string& event,
+              std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::string line = RenderLogLine(level, event, fields);
+  SinkState* state = GlobalSink();
+  LogSink sink;
+  {
+    MutexLock lock(&state->mu);
+    sink = state->sink;
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+bool LogRateLimiter::Allow(const std::string& key, uint64_t* suppressed) {
+  if (interval_seconds_ <= 0) {
+    if (suppressed != nullptr) *suppressed = 0;
+    return true;
+  }
+  const MonotonicTime now = MonotonicNow();
+  MutexLock lock(&mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    keys_.emplace(key, KeyState{now, 0});
+    if (suppressed != nullptr) *suppressed = 0;
+    return true;
+  }
+  KeyState& state = it->second;
+  const double elapsed =
+      std::chrono::duration<double>(now - state.last_allowed).count();
+  if (elapsed >= interval_seconds_) {
+    if (suppressed != nullptr) *suppressed = state.suppressed;
+    state.suppressed = 0;
+    state.last_allowed = now;
+    return true;
+  }
+  ++state.suppressed;
+  return false;
+}
+
+uint64_t LogRateLimiter::SuppressedFor(const std::string& key) const {
+  MutexLock lock(&mu_);
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.suppressed;
+}
+
+}  // namespace s2rdf

@@ -1,0 +1,111 @@
+#ifndef S2RDF_COMMON_LOG_H_
+#define S2RDF_COMMON_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+// The structured event log. Every diagnostic line outside common/ must
+// flow through LogEvent (enforced by the s2rdf_lint rule `raw-log`):
+// one JSON object per line on a single injectable sink, so server,
+// storage and core events share a machine-parseable schema, tests can
+// capture lines instead of scraping stderr, and a hot failure path can
+// be rate-limited instead of flooding the sink.
+//
+// Schema (stable keys, see DESIGN.md §14):
+//   {"ts_ms":<ms since process start>,"level":"info","event":"<name>",
+//    <caller fields...>}
+//
+// Timestamps come from the MonotonicNow() clock seam — never wall
+// clock — so log output stays deterministic under the fake clocks the
+// tests install.
+
+namespace s2rdf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+// One key/value pair in a log line. Strings are JSON-escaped at render
+// time; numeric fields are emitted bare so consumers get real numbers.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), numeric(false) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(v), numeric(false) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, uint64_t v);
+  LogField(std::string k, int v);
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), numeric(true) {}
+
+  std::string key;
+  std::string value;   // pre-rendered for numerics, raw for strings
+  bool numeric;        // emit without quotes
+};
+
+// The destination for rendered lines. The default sink writes to
+// stderr; tests install a capturing sink.
+using LogSink = std::function<void(const std::string& line)>;
+
+// Installs `sink` as the process-wide log destination (an empty
+// function restores stderr). Like SetClockForTest, this is a test
+// seam: the swap is mutex-guarded but global.
+void SetLogSinkForTest(LogSink sink);
+
+// Lines below `level` are dropped before rendering.
+void SetMinLogLevel(LogLevel level);
+
+// Renders one event as a JSON line and hands it to the sink.
+void LogEvent(LogLevel level, const std::string& event,
+              std::initializer_list<LogField> fields = {});
+
+// Builds the JSON line LogEvent would emit, without sending it.
+// Exposed so callers with their own delivery path (e.g. the endpoint's
+// pluggable slow-query callback) reuse the exact schema.
+std::string RenderLogLine(LogLevel level, const std::string& event,
+                          std::initializer_list<LogField> fields);
+
+// Token-bucket limiter for per-key event streams: at most one allowed
+// line per key per interval. Between allowed lines the caller learns
+// nothing; the next allowed line carries the count of suppressed
+// events so no information is silently lost. Time comes from
+// MonotonicNow(), so fake clocks step it deterministically.
+class LogRateLimiter {
+ public:
+  // `interval_seconds` <= 0 disables limiting (everything allowed).
+  explicit LogRateLimiter(double interval_seconds)
+      : interval_seconds_(interval_seconds) {}
+
+  LogRateLimiter(const LogRateLimiter&) = delete;
+  LogRateLimiter& operator=(const LogRateLimiter&) = delete;
+
+  // True when an event for `key` may be emitted now. When true,
+  // `*suppressed` (if non-null) receives the number of events dropped
+  // for this key since the last allowed one, and the window restarts.
+  bool Allow(const std::string& key, uint64_t* suppressed = nullptr);
+
+  // Events dropped for `key` since its last allowed event.
+  uint64_t SuppressedFor(const std::string& key) const;
+
+ private:
+  struct KeyState {
+    MonotonicTime last_allowed;
+    uint64_t suppressed = 0;
+  };
+
+  const double interval_seconds_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, KeyState> keys_ S2RDF_GUARDED_BY(mu_);
+};
+
+}  // namespace s2rdf
+
+#endif  // S2RDF_COMMON_LOG_H_

@@ -132,6 +132,24 @@ void MetricsRegistry::AddGauge(const std::string& name,
   entries_.push_back(std::move(e));
 }
 
+void MetricsRegistry::AddInfo(const std::string& name,
+                              const std::string& help, std::string labels) {
+  MutexLock lock(&mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      S2RDF_CHECK(e.kind == Kind::kInfo);
+      e.info_labels = std::move(labels);
+      return;
+    }
+  }
+  Entry e;
+  e.name = name;
+  e.help = help;
+  e.kind = Kind::kInfo;
+  e.info_labels = std::move(labels);
+  entries_.push_back(std::move(e));
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
   MutexLock lock(&mu_);
   std::string out;
@@ -145,6 +163,10 @@ std::string MetricsRegistry::RenderPrometheus() const {
       case Kind::kGauge:
         out += "# TYPE " + e.name + " gauge\n";
         out += e.name + " " + std::to_string(e.gauge ? e.gauge() : 0) + "\n";
+        break;
+      case Kind::kInfo:
+        out += "# TYPE " + e.name + " gauge\n";
+        out += e.name + "{" + e.info_labels + "} 1\n";
         break;
       case Kind::kHistogram: {
         out += "# TYPE " + e.name + " histogram\n";

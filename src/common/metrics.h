@@ -93,12 +93,21 @@ class MetricsRegistry {
   void AddGauge(const std::string& name, const std::string& help,
                 std::function<uint64_t()> fn);
 
+  // An info-style metric: a constant-1 gauge whose payload rides in its
+  // labels, Prometheus convention for build/version identity, e.g.
+  //   s2rdf_build_info{sha="1a2b3c",build="Release"} 1
+  // `labels` is the pre-rendered label body (no braces); values must be
+  // already quoted/escaped by the caller. Re-adding a name replaces its
+  // labels.
+  void AddInfo(const std::string& name, const std::string& help,
+               std::string labels);
+
   // Prometheus text exposition (HELP/TYPE lines plus samples), metrics
   // in registration order. Gauge callbacks are evaluated here.
   std::string RenderPrometheus() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kInfo };
   struct Entry {
     std::string name;
     std::string help;
@@ -106,6 +115,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Histogram> histogram;
     std::function<uint64_t()> gauge;
+    std::string info_labels;
   };
 
   mutable Mutex mu_;

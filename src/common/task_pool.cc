@@ -49,9 +49,27 @@ TaskPool* TaskPool::Shared() {
   return pool;
 }
 
+size_t TaskPool::QueueDepth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
+void TaskPool::AttachMetrics(MetricsRegistry* registry) {
+  registry->AddGauge(
+      "s2rdf_task_pool_queue_depth",
+      "Helper tasks parked in the shared morsel pool queue.",
+      [this] { return static_cast<uint64_t>(QueueDepth()); });
+  Histogram* hist = registry->AddHistogram(
+      "s2rdf_task_pool_queue_wait_seconds",
+      "Time helper tasks wait in the shared pool queue before a thread "
+      "claims them.",
+      LogBuckets(1e-5, 4.0, 12));
+  queue_wait_hist_.store(hist, std::memory_order_release);
+}
+
 void TaskPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(&mu_);
       while (queue_.empty() && !stopping_) cv_.Wait(&mu_);
@@ -59,7 +77,10 @@ void TaskPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (Histogram* hist = queue_wait_hist_.load(std::memory_order_acquire)) {
+      hist->Observe(SecondsSince(task.enqueued));
+    }
+    task.fn();
   }
 }
 
@@ -105,9 +126,12 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
   // cost one atomic increment and exit.
   size_t helpers = threads_.size() < n - 1 ? threads_.size() : n - 1;
   {
+    const MonotonicTime enqueued = MonotonicNow();
     MutexLock lock(&mu_);
     if (!stopping_) {
-      for (size_t i = 0; i < helpers; ++i) queue_.push_back(run);
+      for (size_t i = 0; i < helpers; ++i) {
+        queue_.push_back(QueuedTask{run, enqueued});
+      }
     }
   }
   cv_.NotifyAll();

@@ -1,12 +1,15 @@
 #ifndef S2RDF_COMMON_TASK_POOL_H_
 #define S2RDF_COMMON_TASK_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -58,13 +61,33 @@ class TaskPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& body)
       S2RDF_EXCLUDES(mu_);
 
+  // Helper tasks currently parked in the queue (not yet claimed by a
+  // thread). A sustained nonzero depth means every helper is busy and
+  // new morsel fan-outs are degrading toward caller-only execution.
+  size_t QueueDepth() const S2RDF_EXCLUDES(mu_);
+
+  // Registers this pool's saturation metrics on `registry`:
+  //   s2rdf_task_pool_queue_depth        gauge, sampled at render time
+  //   s2rdf_task_pool_queue_wait_seconds histogram of enqueue->dequeue
+  // `registry` must outlive the pool's last ParallelFor. Idempotent per
+  // registry (names dedupe); the wait histogram swaps to the most
+  // recently attached registry.
+  void AttachMetrics(MetricsRegistry* registry) S2RDF_EXCLUDES(mu_);
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    MonotonicTime enqueued;
+  };
+
   void WorkerLoop() S2RDF_EXCLUDES(mu_);
 
   mutable Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ S2RDF_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ S2RDF_GUARDED_BY(mu_);
   bool stopping_ S2RDF_GUARDED_BY(mu_) = false;
+  // Observed lock-free on the dequeue path; null until AttachMetrics.
+  std::atomic<Histogram*> queue_wait_hist_{nullptr};
   // Written only during construction/destruction.
   std::vector<std::thread> threads_;
 };

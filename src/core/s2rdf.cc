@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/file_util.h"
+#include "common/log.h"
 #include "common/mutex.h"
 #include "common/strings.h"
 #include "core/ingest.h"
@@ -30,6 +31,7 @@ void InitContext(const QueryOptions& options, int num_partitions,
   ctx->collect_profile = options.collect_profile;
   ctx->profile_origin = start;
   ctx->cancel_flag = options.cancel;
+  ctx->trace_id = options.trace_id;
   if (options.timeout_ms > 0) {
     ctx->has_deadline = true;
     ctx->deadline = start + std::chrono::milliseconds(options.timeout_ms);
@@ -299,6 +301,19 @@ StatusOr<storage::IngestResult> S2Rdf::Ingest(
       }
     }
   }
+  if (result.ok()) {
+    LogEvent(LogLevel::kInfo, "ingest_commit",
+             {{"triples_in_batch", result->triples_in_batch},
+              {"triples_added", result->triples_added},
+              {"generation", result->generation},
+              {"vp_tables_updated", result->vp_tables_updated},
+              {"extvp_tables_updated", result->extvp_tables_updated},
+              {"stale_sources_marked", result->stale_sources_marked},
+              {"millis", result->millis}});
+  } else {
+    LogEvent(LogLevel::kError, "ingest_failed",
+             {{"status", result.status().ToString()}});
+  }
   return result;
 }
 
@@ -386,6 +401,7 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
     result.plan = plan->ToString();
     result.optimizer_mode = compiler.optimizer().name();
     result.plan_fingerprint = engine::PlanFingerprint(*plan);
+    result.trace_id = query_options.trace_id;
     return result;
   }
 
@@ -413,7 +429,9 @@ StatusOr<QueryResult> S2Rdf::ExecuteInternal(
     table = engine::Slice(table, 0, query_options.max_result_rows);
     result.truncated = true;
   }
+  result.trace_id = query_options.trace_id;
   if (effective.collect_profile) {
+    result.profile_data.trace_id = query_options.trace_id;
     result.profile_data.operators = std::move(ctx.profile);
     result.profile_data.tasks = task_spans.Take();
     result.profile_data.parse_ms = parse_ms;
@@ -558,6 +576,7 @@ StatusOr<QueryResult> S2Rdf::ExecuteGraphForm(
   ctx.metrics.output_tuples = statements.size();
   result.metrics = ctx.metrics;
   result.millis = MillisSince(start);
+  result.trace_id = query_options.trace_id;
   catalog_.EvictToBudget();
   return result;
 }

@@ -109,6 +109,11 @@ struct QueryOptions {
   // returns kCancelled at the next operator boundary. The flag must
   // outlive the Execute call.
   const std::atomic<bool>* cancel = nullptr;
+  // Request-scoped trace id, assigned at admission (the HTTP endpoint
+  // generates one per request) or by an embedding caller. Carried into
+  // the ExecContext, the profile/Chrome trace, and QueryResult so every
+  // artifact of one request shares one id. Empty = untraced.
+  std::string trace_id;
 };
 
 // The primary query-submission unit: SPARQL text plus its options.
@@ -147,6 +152,8 @@ struct QueryResult {
   // FNV-1a hash of `plan` — tells plan shapes apart cheaply in
   // /debug/queries and logs. 0 for graph forms.
   uint64_t plan_fingerprint = 0;
+  // Echo of QueryOptions::trace_id.
+  std::string trace_id;
   // EXPLAIN ANALYZE rendering (per-operator rows and inclusive times);
   // empty unless profiling was requested.
   std::string profile;

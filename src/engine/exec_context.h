@@ -36,6 +36,11 @@ struct ExecMetrics {
   uint64_t shuffled_tuples = 0;
   // Result tuples of the final operator.
   uint64_t output_tuples = 0;
+  // High-water mark of simultaneously-live materialized Table bytes
+  // (operator inputs + output at each operator boundary). A resource
+  // gauge, not a flow counter: identical between serial and parallel
+  // execution because both materialize the same operator results.
+  uint64_t peak_table_bytes = 0;
 
   void Clear() { *this = ExecMetrics(); }
 
@@ -49,6 +54,9 @@ struct ExecMetrics {
     d.join_comparisons = join_comparisons - before.join_comparisons;
     d.shuffled_tuples = shuffled_tuples - before.shuffled_tuples;
     d.output_tuples = output_tuples - before.output_tuples;
+    // Peak is a high-water mark: the delta is how much this subtree
+    // raised it (0 when it stayed under the prior peak).
+    d.peak_table_bytes = peak_table_bytes - before.peak_table_bytes;
     return d;
   }
 
@@ -58,6 +66,10 @@ struct ExecMetrics {
     join_comparisons += other.join_comparisons;
     shuffled_tuples += other.shuffled_tuples;
     output_tuples += other.output_tuples;
+    // Merging two queries' metrics keeps the larger high-water mark.
+    if (other.peak_table_bytes > peak_table_bytes) {
+      peak_table_bytes = other.peak_table_bytes;
+    }
     return *this;
   }
 
@@ -66,7 +78,8 @@ struct ExecMetrics {
            " intermediate=" + std::to_string(intermediate_tuples) +
            " comparisons=" + std::to_string(join_comparisons) +
            " shuffled=" + std::to_string(shuffled_tuples) +
-           " output=" + std::to_string(output_tuples);
+           " output=" + std::to_string(output_tuples) +
+           " peak_bytes=" + std::to_string(peak_table_bytes);
   }
 };
 
@@ -163,6 +176,10 @@ struct ExecContext {
   // Optional sink for parallel-operator task spans; only consulted when
   // collect_profile is set. Owned by the caller.
   TaskSpanSink* task_spans = nullptr;
+  // Request-scoped trace id assigned at admission (HTTP endpoint) or by
+  // the embedding caller; empty when untraced. Carried here so operator
+  // spans, slow-query lines and Chrome traces all share one id.
+  std::string trace_id;
   ExecMetrics metrics;
 
   // True when parallel operators should record per-morsel TaskSpans.
@@ -212,6 +229,12 @@ struct ExecContext {
       return true;
     }
     return false;
+  }
+
+  // Raises the materialized-bytes high-water mark to `bytes` (the
+  // simultaneously-live Table bytes at an operator boundary).
+  void AccountTableBytes(uint64_t bytes) {
+    if (bytes > metrics.peak_table_bytes) metrics.peak_table_bytes = bytes;
   }
 
   // Adds the repartition-shuffle cost of moving `tuples` rows.

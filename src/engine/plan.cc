@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/task_pool.h"
 #include "engine/parallel.h"
 #include "engine/parallel_join.h"
 
@@ -395,14 +396,42 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                                 rdf::Dictionary* dict, ExecContext* ctx,
                                 int depth);
 
+// Speedup over serial measured at pool width 4 (bench_parallel, PR 9
+// baseline), per operator kind. Scan/filter/join cleared the 1.5x
+// floor; the partition passes of distinct/order-by/aggregate pay more
+// in merge cost than width-4 parallelism returns, so their fan-out only
+// wins on wider pools.
+// Measured width-4 speedup of the merge-heavy operators' parallel
+// twins (BENCH_parallel.json, PR 9): distinct LOSES at width 4, order
+// by and group by roughly break even — their merge step is a serial
+// tail that Amdahl charges against the fan-out. Scan/filter/join have
+// no comparable tail and keep the seed gating (threshold + estimate
+// veto only), so returns 0 here, meaning "not speedup-gated".
+double WidthFourSpeedup(PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kDistinct:
+      return 0.65;
+    case PlanNode::Kind::kOrderBy:
+      return 1.0;
+    case PlanNode::Kind::kAggregate:
+      return 0.9;
+    default:
+      return 0.0;
+  }
+}
+
 // Serial-vs-parallel choice for one operator. The exact runtime input
 // size gates first (below the threshold the task hand-off costs more
 // than it saves); on top of that, the optimizer's row estimate (PR 6
 // cost pipeline, carried on the plan node) vetoes the narrow band where
 // the input barely clears the threshold but the estimated output is
 // tiny — there the partition + gather overhead has nothing to amortize
-// against. The choice never affects results: parallel operators are
-// byte-identical to their serial twins.
+// against. Finally, for the merge-heavy kinds (distinct, order by,
+// group by) a cost gate projects the kind's measured width-4 speedup
+// linearly to the actual pool width and refuses the fan-out unless the
+// projection clears a 1.1x margin — this is what keeps those operators
+// serial on few-core hosts where they measurably lose. The choice never affects
+// results: parallel operators are byte-identical to their serial twins.
 bool UseParallel(const PlanNode& plan, const ExecContext* ctx,
                  size_t input_rows) {
   if (ctx == nullptr || !ctx->parallel_execution) return false;
@@ -412,6 +441,13 @@ bool UseParallel(const PlanNode& plan, const ExecContext* ctx,
       plan.estimated_rows < static_cast<double>(threshold) &&
       input_rows < 2 * threshold) {
     return false;
+  }
+  const double speedup_at_four = WidthFourSpeedup(plan.kind);
+  if (speedup_at_four > 0.0) {
+    const double width =
+        static_cast<double>(TaskPool::Shared()->ParallelismWidth());
+    const double projected = speedup_at_four * width / 4.0;
+    if (projected <= 1.1) return false;
   }
   return true;
 }
@@ -454,6 +490,12 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                       .count();
     ctx->profile.push_back(std::move(op));
   }
+  // Materialized input bytes still live while this operator produces its
+  // output; each case sets it after executing children. Together with
+  // the result's own bytes it feeds the peak_table_bytes high-water
+  // mark. Base (stored) tables are store-resident, not query
+  // allocations, so scans account only their output.
+  uint64_t live_input_bytes = 0;
   StatusOr<Table> result = [&]() -> StatusOr<Table> {
   switch (plan.kind) {
     case PlanNode::Kind::kEmpty:
@@ -512,6 +554,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
       S2RDF_ASSIGN_OR_RETURN(Table r,
                              ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes() + r.ApproxBytes();
       if (plan.join_algo == PlanNode::JoinAlgo::kSortMerge) {
         // Sort-merge keeps the serial implementation either way; its
         // output is the same bag as HashJoin in a different order.
@@ -527,6 +570,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
       S2RDF_ASSIGN_OR_RETURN(Table r,
                              ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes() + r.ApproxBytes();
       std::vector<int> left_keys;
       std::vector<int> right_keys;
       std::vector<int> right_only;
@@ -545,6 +589,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
       S2RDF_ASSIGN_OR_RETURN(Table r,
                              ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes() + r.ApproxBytes();
       return LeftOuterJoin(l, r, plan.filter.get(), *dict, ctx);
     }
     case PlanNode::Kind::kUnion: {
@@ -552,11 +597,13 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
       S2RDF_ASSIGN_OR_RETURN(Table r,
                              ExecuteChild(*plan.right, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes() + r.ApproxBytes();
       return UnionAll(l, r, ctx);
     }
     case PlanNode::Kind::kFilter: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelFilter(l, *plan.filter, *dict, ctx);
       }
@@ -565,11 +612,13 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kProject: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       return Project(l, plan.columns);
     }
     case PlanNode::Kind::kDistinct: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelDistinct(l, ctx);
       }
@@ -578,6 +627,7 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kOrderBy: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelOrderBy(l, plan.sort_keys, *dict, ctx);
       }
@@ -586,11 +636,13 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
     case PlanNode::Kind::kSlice: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       return Slice(l, plan.offset, plan.limit);
     }
     case PlanNode::Kind::kAggregate: {
       S2RDF_ASSIGN_OR_RETURN(Table l,
                              ExecuteChild(*plan.left, tables, dict, ctx, depth + 1));
+      live_input_bytes = l.ApproxBytes();
       if (UseParallel(plan, ctx, l.NumRows())) {
         return ParallelGroupByAggregate(l, plan.group_keys, plan.aggregates,
                                         dict, ctx);
@@ -619,6 +671,9 @@ StatusOr<Table> ExecutePlanImpl(const PlanNode& plan,
   }
   return InternalError("unreachable plan kind");
   }();
+  if (result.ok() && ctx != nullptr) {
+    ctx->AccountTableBytes(live_input_bytes + result->ApproxBytes());
+  }
   if (profiling) {
     OperatorProfile& op = ctx->profile[profile_slot];
     op.millis = MillisSince(start);

@@ -67,6 +67,7 @@ std::string MetricsArgs(const ExecMetrics& m) {
   add("join_comparisons", m.join_comparisons);
   add("shuffled_tuples", m.shuffled_tuples);
   add("output_tuples", m.output_tuples);
+  add("peak_table_bytes", m.peak_table_bytes);
   return out;
 }
 
@@ -74,6 +75,9 @@ std::string MetricsArgs(const ExecMetrics& m) {
 
 std::string RenderProfileText(const QueryProfile& profile) {
   std::string out;
+  if (!profile.trace_id.empty()) {
+    out += "trace: " + profile.trace_id + "\n";
+  }
   out += "stages: parse=" + Fmt("%.3f", profile.parse_ms) +
          " ms  compile=" + Fmt("%.3f", profile.compile_ms) +
          " ms  exec=" + Fmt("%.3f", profile.exec_ms) +
@@ -123,8 +127,11 @@ std::string RenderTraceJson(const QueryProfile& profile,
   // Stage lanes first. Offsets are cumulative: the three stages run
   // back-to-back on the query thread.
   double ts = 0.0;
-  AppendEvent(&events, "parse", ts, profile.parse_ms * 1000.0, 0,
-              "\"query\":\"" + JsonEscape(name) + "\"");
+  std::string parse_args = "\"query\":\"" + JsonEscape(name) + "\"";
+  if (!profile.trace_id.empty()) {
+    parse_args += ",\"trace_id\":\"" + JsonEscape(profile.trace_id) + "\"";
+  }
+  AppendEvent(&events, "parse", ts, profile.parse_ms * 1000.0, 0, parse_args);
   ts += profile.parse_ms * 1000.0;
   AppendEvent(&events, "compile", ts, profile.compile_ms * 1000.0, 0, "");
   for (const OperatorProfile& op : profile.operators) {

@@ -23,6 +23,11 @@
 namespace s2rdf::engine {
 
 struct QueryProfile {
+  // Request-scoped trace id (empty when the caller did not assign one).
+  // Rendered in the EXPLAIN ANALYZE header and as Chrome trace metadata
+  // so a /sparql response, a slow-query line and a dumped trace file
+  // can be joined on it.
+  std::string trace_id;
   // Pre-order operator tree (depth reconstructs the shape).
   std::vector<OperatorProfile> operators;
   // Morsel/partition spans of parallel operators (empty when serial).

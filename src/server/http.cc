@@ -41,6 +41,13 @@ std::string HttpResponse::Serialize() const {
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    if (name == "Content-Type" || name == "Content-Length" ||
+        name == "Connection") {
+      continue;
+    }
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += body;
   return out;

@@ -28,6 +28,10 @@ struct HttpRequest {
 struct HttpResponse {
   int status_code = 200;
   std::string content_type = "text/plain; charset=utf-8";
+  // Extra response headers (e.g. X-S2RDF-Trace-Id), emitted verbatim
+  // after the built-in Content-Type/Content-Length/Connection trio.
+  // Names that collide with the built-ins are skipped.
+  std::map<std::string, std::string> headers;
   std::string body;
 
   // Serializes status line + headers + body.

@@ -10,7 +10,9 @@
 #include <cstring>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/mutex.h"
+#include "common/random.h"
 #include "common/strings.h"
 #include "common/task_pool.h"
 #include "core/ingest.h"
@@ -120,10 +122,32 @@ std::string FormatMs(double ms) {
   return buf;
 }
 
+std::string FormatHex64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Instance salt for trace ids: the monotonic clock reading at
+// construction, dispersed through splitmix64. Unique enough that two
+// endpoints (or two runs) never mint colliding ids, while staying off
+// the banned nondeterminism primitives (clock seam, seeded generator).
+uint64_t MakeTraceSalt() {
+  uint64_t seed = static_cast<uint64_t>(
+      MonotonicNow().time_since_epoch().count());
+  return SplitMix64(seed).Next();
+}
+
 }  // namespace
 
 SparqlEndpoint::SparqlEndpoint(core::S2Rdf* db, EndpointOptions options)
-    : db_(*db), options_(std::move(options)) {
+    : db_(*db),
+      options_(std::move(options)),
+      slow_query_limiter_(
+          static_cast<double>(options_.slow_query_log_interval_ms) / 1000.0),
+      started_at_(MonotonicNow()),
+      trace_salt_(MakeTraceSalt()) {
   RegisterMetrics();
 }
 
@@ -146,6 +170,15 @@ void SparqlEndpoint::RegisterMetrics() {
   slow_queries_ = registry_.AddCounter(
       "s2rdf_slow_queries_total",
       "Queries at or above EndpointOptions::slow_query_ms.");
+  slow_queries_suppressed_ = registry_.AddCounter(
+      "s2rdf_slow_query_log_suppressed_total",
+      "Slow-query log lines dropped by the per-query-text rate limit.");
+  const BuildInfo& build = GetBuildInfo();
+  registry_.AddInfo(
+      "s2rdf_build_info",
+      "Identity of the running binary (constant 1; payload in labels).",
+      std::string("sha=\"") + build.git_sha + "\",build=\"" +
+          build.build_type + "\",compiler=\"" + build.compiler + "\"");
   registry_.AddGauge("s2rdf_queries_in_flight",
                      "Queries currently inside Execute.", [this]() {
                        return in_flight_.load(std::memory_order_relaxed);
@@ -216,6 +249,10 @@ void SparqlEndpoint::RegisterMetrics() {
                        return static_cast<uint64_t>(
                            TaskPool::Shared()->num_threads());
                      });
+  // Shared-pool saturation: queue depth gauge + queue-wait histogram
+  // (registered by the pool itself so the instrumentation lives next to
+  // the queue it measures).
+  TaskPool::Shared()->AttachMetrics(&registry_);
   latency_seconds_ = registry_.AddHistogram(
       "s2rdf_query_latency_seconds",
       "End-to-end query wall time (parse + compile + execute).",
@@ -239,16 +276,27 @@ void SparqlEndpoint::RegisterMetrics() {
       "s2rdf_rows_scanned",
       "Base-table rows scanned per successful query.",
       LogBuckets(1, 4.0, 16));
+  peak_table_bytes_ = registry_.AddHistogram(
+      "s2rdf_query_peak_table_bytes",
+      "Per-query high-water mark of simultaneously-live materialized "
+      "Table bytes.",
+      LogBuckets(1024, 4.0, 16));
 }
 
-uint64_t SparqlEndpoint::BeginQuery(const std::string& query_text) {
+SparqlEndpoint::QueryTicket SparqlEndpoint::BeginQuery(
+    const std::string& query_text) {
   MutexLock lock(&queries_mu_);
-  uint64_t id = next_query_id_++;
+  QueryTicket ticket;
+  ticket.id = next_query_id_++;
+  // Deterministically derived from (instance salt, sequence id):
+  // collision-free within an endpoint, salted across endpoints.
+  ticket.trace_id = FormatHex64(SplitMix64(trace_salt_ ^ ticket.id).Next());
   InFlightQuery entry;
+  entry.trace_id = ticket.trace_id;
   entry.query = TruncateForDisplay(query_text);
   entry.start = MonotonicNow();
-  in_flight_queries_.emplace(id, std::move(entry));
-  return id;
+  in_flight_queries_.emplace(ticket.id, std::move(entry));
+  return ticket;
 }
 
 void SparqlEndpoint::FinishQuery(QueryRecord record) {
@@ -269,14 +317,14 @@ HttpResponse SparqlEndpoint::DebugQueriesResponse() const {
     MutexLock lock(&queries_mu_);
     out += "in-flight (" + std::to_string(in_flight_queries_.size()) + "):\n";
     for (const auto& [id, q] : in_flight_queries_) {
-      out += "  #" + std::to_string(id) +
+      out += "  #" + std::to_string(id) + "  trace=" + q.trace_id +
              "  elapsed=" + FormatMs(MillisSince(q.start)) + " ms  " +
              q.query + "\n";
     }
     out += "recent (" + std::to_string(recent_.size()) + "):\n";
     for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
       const QueryRecord& r = *it;
-      out += "  #" + std::to_string(r.id) +
+      out += "  #" + std::to_string(r.id) + "  trace=" + r.trace_id +
              "  status=" + std::to_string(r.http_status);
       if (r.error.empty()) {
         out += "  rows=" + std::to_string(r.rows) +
@@ -303,6 +351,53 @@ HttpResponse SparqlEndpoint::DebugQueriesResponse() const {
   return response;
 }
 
+HttpResponse SparqlEndpoint::StatuszResponse() const {
+  const BuildInfo& build = GetBuildInfo();
+  const storage::Catalog& catalog = db_.catalog();
+  std::string out = "s2rdf statusz\n";
+  out += std::string("build: sha=") + build.git_sha +
+         " type=" + build.build_type + " compiler=" + build.compiler + "\n";
+  out += "uptime_ms: " + FormatMs(MillisSince(started_at_)) + "\n";
+  out += "store: tables=" +
+         std::to_string(catalog.NumMaterializedTables()) +
+         " tuples=" + std::to_string(catalog.TotalTuples()) +
+         " cached_bytes=" + std::to_string(catalog.CachedBytes()) +
+         " stale_sources=" + std::to_string(catalog.stale_source_count()) +
+         " quarantined=" + std::to_string(catalog.quarantined_tables()) +
+         " corruptions=" + std::to_string(catalog.corruptions_detected()) +
+         "\n";
+  uint64_t in_flight;
+  size_t recent;
+  {
+    MutexLock lock(&queries_mu_);
+    in_flight = in_flight_queries_.size();
+    recent = recent_.size();
+  }
+  out += "queries: total=" + std::to_string(queries_total_->Value()) +
+         " failed=" + std::to_string(queries_failed_->Value()) +
+         " rejected=" + std::to_string(queries_rejected_->Value()) +
+         " slow=" + std::to_string(slow_queries_->Value()) +
+         " in_flight=" + std::to_string(in_flight) +
+         " recent=" + std::to_string(recent) + "\n";
+  if (pool_ != nullptr) {
+    out += "workers: total=" + std::to_string(pool_->num_workers()) +
+           " busy=" + std::to_string(pool_->BusyWorkers()) +
+           " queue_depth=" + std::to_string(pool_->QueueDepth()) +
+           " queue_capacity=" + std::to_string(options_.queue_capacity) +
+           "\n";
+  } else {
+    out += "workers: not started\n";
+  }
+  TaskPool* task_pool = TaskPool::Shared();
+  out += "task_pool: width=" +
+         std::to_string(task_pool->ParallelismWidth()) +
+         " queue_depth=" + std::to_string(task_pool->QueueDepth()) + "\n";
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = out;
+  return response;
+}
+
 HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   HttpResponse response;
   if (request.path == "/" && request.method == "GET") {
@@ -314,7 +409,8 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
         "<code>explain=plan|analyze</code>, <code>trace=1</code>, "
         "<code>optimizer=paper|cost</code>).</p>"
         "<p>Introspection: <a href=\"/metrics\">/metrics</a>, "
-        "<a href=\"/debug/queries\">/debug/queries</a>.</p>"
+        "<a href=\"/debug/queries\">/debug/queries</a>, "
+        "<a href=\"/statusz\">/statusz</a>.</p>"
         "<p>Tables: " +
         std::to_string(db_.catalog().NumMaterializedTables()) +
         ", tuples: " + std::to_string(db_.catalog().TotalTuples()) +
@@ -322,7 +418,7 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
     return response;
   }
   if (request.path == "/health" && request.method == "GET") {
-    response.body = "ok\n";
+    response.body = std::string("ok ") + GetBuildInfo().git_sha + "\n";
     return response;
   }
   if (request.path == "/metrics" && request.method == "GET") {
@@ -332,6 +428,9 @@ HttpResponse SparqlEndpoint::Handle(const HttpRequest& request) {
   }
   if (request.path == "/debug/queries" && request.method == "GET") {
     return DebugQueriesResponse();
+  }
+  if (request.path == "/statusz" && request.method == "GET") {
+    return StatuszResponse();
   }
   if (request.path == "/ingest") {
     if (request.method != "POST") {
@@ -484,13 +583,43 @@ HttpResponse SparqlEndpoint::RunIngest(const HttpRequest& request) {
   return response;
 }
 
+void SparqlEndpoint::LogSlowQuery(const QueryTicket& ticket, double total_ms,
+                                  const std::string& query_text) {
+  const std::string display = TruncateForDisplay(query_text);
+  uint64_t suppressed = 0;
+  // Keyed by the (truncated) query text: one hot pathological query
+  // cannot flood the sink, distinct queries do not contend.
+  if (!slow_query_limiter_.Allow(display, &suppressed)) {
+    slow_queries_suppressed_->Increment();
+    return;
+  }
+  if (options_.slow_query_log) {
+    std::string line = "[s2rdf] slow query #" + std::to_string(ticket.id) +
+                       " trace=" + ticket.trace_id + " (" + FormatMs(total_ms) +
+                       " ms >= " + std::to_string(options_.slow_query_ms) +
+                       " ms): " + display;
+    if (suppressed > 0) {
+      line += " suppressed=" + std::to_string(suppressed);
+    }
+    options_.slow_query_log(line);
+    return;
+  }
+  LogEvent(LogLevel::kWarn, "slow_query",
+           {{"trace_id", ticket.trace_id}, {"query_id", ticket.id},
+            {"total_ms", total_ms},
+            {"threshold_ms", options_.slow_query_ms},
+            {"suppressed", suppressed},
+            {"query", display}});
+}
+
 HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
-                                      const core::QueryRequest& query_request,
+                                      core::QueryRequest query_request,
                                       bool explain_plan, bool explain_analyze,
                                       bool want_trace) {
   queries_total_->Increment();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t id = BeginQuery(query_request.query);
+  QueryTicket ticket = BeginQuery(query_request.query);
+  query_request.options.trace_id = ticket.trace_id;
   auto start = MonotonicNow();
   auto result = db_.Execute(query_request);
   const double total_ms = MillisSince(start);
@@ -498,7 +627,8 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
   latency_seconds_->Observe(total_ms / 1000.0);
 
   QueryRecord record;
-  record.id = id;
+  record.id = ticket.id;
+  record.trace_id = ticket.trace_id;
   record.query = TruncateForDisplay(query_request.query);
   record.total_ms = total_ms;
   const bool slow =
@@ -515,7 +645,9 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
     record.http_status = HttpStatusForCode(result.status().code());
     record.error = result.status().ToString();
     FinishQuery(std::move(record));
-    return ErrorResponse(result.status());
+    HttpResponse error = ErrorResponse(result.status());
+    error.headers["X-S2RDF-Trace-Id"] = ticket.trace_id;
+    return error;
   }
 
   exec_input_->Increment(result->metrics.input_tuples);
@@ -529,6 +661,8 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
   shuffle_bytes_->Observe(static_cast<double>(
       result->metrics.shuffled_tuples * kShuffleBytesPerTuple));
   rows_scanned_->Observe(static_cast<double>(result->metrics.input_tuples));
+  peak_table_bytes_->Observe(
+      static_cast<double>(result->metrics.peak_table_bytes));
 
   record.http_status = 200;
   record.rows = result->metrics.output_tuples;
@@ -541,18 +675,11 @@ HttpResponse SparqlEndpoint::RunQuery(const HttpRequest& request,
 
   if (slow) {
     slow_queries_->Increment();
-    std::string line = "[s2rdf] slow query #" + std::to_string(id) + " (" +
-                       FormatMs(total_ms) + " ms >= " +
-                       std::to_string(options_.slow_query_ms) + " ms): " +
-                       TruncateForDisplay(query_request.query);
-    if (options_.slow_query_log) {
-      options_.slow_query_log(line);
-    } else {
-      std::fprintf(stderr, "%s\n", line.c_str());
-    }
+    LogSlowQuery(ticket, total_ms, query_request.query);
   }
 
   HttpResponse response;
+  response.headers["X-S2RDF-Trace-Id"] = ticket.trace_id;
   if (explain_plan) {
     // Compile-only: report the chosen plan with its estimates.
     char fp[24];
@@ -638,8 +765,14 @@ StatusOr<int> SparqlEndpoint::Start(int port) {
   pool_ = std::make_unique<WorkerPool>(options_.num_workers,
                                        options_.queue_capacity);
   pool_->Start();
+  pool_->AttachMetrics(&registry_);
   running_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LogEvent(LogLevel::kInfo, "server_start",
+           {{"port", bound_port},
+            {"workers", options_.num_workers},
+            {"queue_capacity", static_cast<uint64_t>(options_.queue_capacity)},
+            {"build_sha", GetBuildInfo().git_sha}});
   return bound_port;
 }
 
@@ -748,6 +881,10 @@ void SparqlEndpoint::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   // Drain admitted connections, then join the workers.
   if (pool_ != nullptr) pool_->Stop();
+  LogEvent(LogLevel::kInfo, "server_stop",
+           {{"queries_total", queries_total_->Value()},
+            {"queries_failed", queries_failed_->Value()},
+            {"queries_rejected", queries_rejected_->Value()}});
 }
 
 SparqlEndpoint::~SparqlEndpoint() { Stop(); }

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
@@ -28,9 +29,11 @@
 //                [&morsel=<rows>]
 //   POST /sparql   (application/x-www-form-urlencoded: query=...)
 //   POST /sparql   (application/sparql-query: raw query body)
-//   GET  /health   liveness probe ("ok")
+//   GET  /health   liveness probe ("ok <git-sha>")
 //   GET  /metrics  Prometheus text exposition of server metrics
 //   GET  /debug/queries  in-flight and recently completed queries
+//   GET  /statusz  one-page operational summary (store, cache, pools,
+//                  build info, uptime)
 //
 // `explain=analyze` returns the EXPLAIN ANALYZE profile tree (operator
 // rows/timings with estimated-vs-actual, chosen tables with layout +
@@ -83,8 +86,13 @@ struct EndpointOptions {
   // s2rdf_slow_queries_total, flagged in /debug/queries and logged via
   // `slow_query_log` (0 = disabled).
   uint64_t slow_query_ms = 0;
-  // Sink for slow-query log lines; stderr when unset.
+  // Sink for slow-query log lines; the structured event log when unset.
   std::function<void(const std::string&)> slow_query_log;
+  // Rate limit for the slow-query log: at most one line per query text
+  // per this interval; further hits only bump a suppressed count that
+  // the next emitted line carries (`suppressed=N`). 0 = log every slow
+  // query. Protects the sink from a hot pathological query.
+  uint64_t slow_query_log_interval_ms = 5000;
   // Test hook, run by the worker before handling each connection.
   std::function<void()> worker_hook;
 };
@@ -105,6 +113,9 @@ struct EndpointStats {
 // One completed query in the /debug/queries ring buffer.
 struct QueryRecord {
   uint64_t id = 0;
+  // Request-scoped trace id (16 hex chars), also returned to the client
+  // as the X-S2RDF-Trace-Id response header.
+  std::string trace_id;
   std::string query;  // Truncated for display.
   int http_status = 0;
   uint64_t rows = 0;
@@ -153,8 +164,16 @@ class SparqlEndpoint {
  private:
   // A query currently inside db_.Execute.
   struct InFlightQuery {
+    std::string trace_id;
     std::string query;  // Truncated for display.
     MonotonicTime start{};
+  };
+
+  // Admission ticket of one query: the /debug/queries sequence id plus
+  // the request-scoped trace id every downstream artifact carries.
+  struct QueryTicket {
+    uint64_t id = 0;
+    std::string trace_id;
   };
 
   void AcceptLoop();
@@ -167,10 +186,11 @@ class SparqlEndpoint {
   // /sparql behind parameter validation: runs the query with full
   // bookkeeping (in-flight tracking, counters, histograms, ring buffer,
   // slow-query log).
+  // `query_request` is taken by value: RunQuery stamps the minted trace
+  // id into its options before execution.
   HttpResponse RunQuery(const HttpRequest& request,
-                        const core::QueryRequest& query_request,
-                        bool explain_plan, bool explain_analyze,
-                        bool want_trace);
+                        core::QueryRequest query_request, bool explain_plan,
+                        bool explain_analyze, bool want_trace);
 
   // POST /ingest: N-Triples body appended as one atomic batch
   // (?defer=1 skips ExtVP maintenance, marking sources stale;
@@ -180,11 +200,16 @@ class SparqlEndpoint {
   // Registers every built-in metric on registry_.
   void RegisterMetrics();
 
-  uint64_t BeginQuery(const std::string& query_text)
+  QueryTicket BeginQuery(const std::string& query_text)
       S2RDF_EXCLUDES(queries_mu_);
   void FinishQuery(QueryRecord record) S2RDF_EXCLUDES(queries_mu_);
 
+  // Emits (or rate-limit-suppresses) one slow-query log line.
+  void LogSlowQuery(const QueryTicket& ticket, double total_ms,
+                    const std::string& query_text);
+
   HttpResponse DebugQueriesResponse() const;
+  HttpResponse StatuszResponse() const;
 
   core::S2Rdf& db_;
   EndpointOptions options_;
@@ -220,7 +245,18 @@ class SparqlEndpoint {
   Histogram* exec_seconds_ = nullptr;
   Histogram* shuffle_bytes_ = nullptr;
   Histogram* rows_scanned_ = nullptr;
+  // Per-query high-water mark of materialized Table bytes.
+  Histogram* peak_table_bytes_ = nullptr;
+  Counter* slow_queries_suppressed_ = nullptr;
   std::atomic<uint64_t> in_flight_{0};
+
+  // Slow-query log rate limiting (keyed by truncated query text).
+  LogRateLimiter slow_query_limiter_;
+  // Endpoint start time, for /statusz uptime.
+  const MonotonicTime started_at_;
+  // Instance salt mixed into trace ids so two endpoints in one process
+  // (or across restarts) never mint colliding ids.
+  const uint64_t trace_salt_;
 
   // --- Query introspection ----------------------------------------------
   mutable Mutex queries_mu_;

@@ -26,14 +26,27 @@ void WorkerPool::Start() {
 
 bool WorkerPool::Submit(std::function<void()> task) {
   {
+    const MonotonicTime enqueued = MonotonicNow();
     MutexLock lock(&mu_);
     if (!started_ || stopping_ || queue_.size() >= queue_capacity_) {
       return false;
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueued});
   }
   cv_.NotifyOne();
   return true;
+}
+
+void WorkerPool::AttachMetrics(MetricsRegistry* registry) {
+  registry->AddGauge(
+      "s2rdf_workers_busy", "Endpoint workers currently running a task.",
+      [this] { return static_cast<uint64_t>(BusyWorkers()); });
+  Histogram* hist = registry->AddHistogram(
+      "s2rdf_admission_wait_seconds",
+      "Time admitted connections wait in the bounded queue before a "
+      "worker picks them up.",
+      LogBuckets(1e-5, 4.0, 12));
+  admission_wait_hist_.store(hist, std::memory_order_release);
 }
 
 void WorkerPool::Stop() {
@@ -56,7 +69,7 @@ size_t WorkerPool::QueueDepth() const {
 
 void WorkerPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(&mu_);
       while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
@@ -66,7 +79,13 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (Histogram* hist =
+            admission_wait_hist_.load(std::memory_order_acquire)) {
+      hist->Observe(SecondsSince(task.enqueued));
+    }
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    task.fn();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,12 +1,15 @@
 #ifndef S2RDF_SERVER_WORKER_POOL_H_
 #define S2RDF_SERVER_WORKER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -40,15 +43,34 @@ class WorkerPool {
   // Tasks waiting in the queue (excludes tasks currently running).
   size_t QueueDepth() const S2RDF_EXCLUDES(mu_);
 
+  // Workers currently running a task — together with num_workers() the
+  // pool's saturation: busy == num_workers means new admissions queue.
+  size_t BusyWorkers() const { return busy_.load(std::memory_order_relaxed); }
+  int num_workers() const { return num_workers_; }
+
+  // Registers this pool's admission metrics on `registry`:
+  //   s2rdf_workers_busy            gauge, workers mid-task
+  //   s2rdf_admission_wait_seconds  histogram, Submit -> worker pickup
+  // `registry` must outlive the pool. Idempotent per registry.
+  void AttachMetrics(MetricsRegistry* registry) S2RDF_EXCLUDES(mu_);
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    MonotonicTime enqueued;
+  };
+
   void WorkerLoop() S2RDF_EXCLUDES(mu_);
 
   const int num_workers_;
   const size_t queue_capacity_;
+  std::atomic<size_t> busy_{0};
+  // Observed lock-free on the dequeue path; null until AttachMetrics.
+  std::atomic<Histogram*> admission_wait_hist_{nullptr};
 
   mutable Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ S2RDF_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ S2RDF_GUARDED_BY(mu_);
   bool started_ S2RDF_GUARDED_BY(mu_) = false;
   bool stopping_ S2RDF_GUARDED_BY(mu_) = false;
   // Written by Start/Stop only, which external callers must not

@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/log.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -349,6 +350,9 @@ void Catalog::QuarantineLocked(const std::string& name) {
   quarantined_count_.fetch_add(1, std::memory_order_relaxed);
   corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
   EvictFromMemoryLocked(name);
+  // Corruption is rare and operator-facing: worth a line even though we
+  // hold mu_ (the sink must not call back into the catalog).
+  LogEvent(LogLevel::kError, "table_quarantined", {{"table", name}});
 }
 
 StatusOr<std::shared_ptr<const engine::Table>> Catalog::GetTableShared(
@@ -869,6 +873,13 @@ StatusOr<RecoveryReport> Catalog::Recover() {
       }
     }
   }
+  LogEvent(LogLevel::kInfo, "catalog_recovered",
+           {{"generation", report.generation},
+            {"tables_verified", report.tables_verified},
+            {"tables_quarantined", report.tables_quarantined},
+            {"temp_files_removed", report.temp_files_removed},
+            {"old_manifests_removed", report.old_manifests_removed},
+            {"orphan_tables_removed", report.orphan_tables_removed}});
   return report;
 }
 

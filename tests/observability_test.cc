@@ -10,7 +10,9 @@
 
 #include "common/clock.h"
 #include "common/file_util.h"
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/task_pool.h"
 #include "common/random.h"
 #include "core/s2rdf.h"
 #include "engine/profile.h"
@@ -556,6 +558,275 @@ TEST(FaultEnvMetricsTest, CountsOpsAndInjectedFaults) {
   EXPECT_NE(out.find("s2rdf_faultenv_reads_total 3"), std::string::npos);
   EXPECT_NE(out.find("s2rdf_faultenv_mutations_total 1"), std::string::npos);
   EXPECT_NE(out.find("s2rdf_faultenv_faults_injected_total 1"),
+            std::string::npos);
+}
+
+// --- Structured event log ---------------------------------------------------
+
+TEST(StructuredLogTest, RenderLogLineEmitsOneJsonObjectPerEvent) {
+  std::string line = RenderLogLine(
+      LogLevel::kWarn, "unit \"test\"",
+      {{"s", "a\"b\nc"}, {"n", uint64_t{42}}, {"f", 1.5}, {"ok", true}});
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_TRUE(JsonStructureBalanced(line)) << line;
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  // Strings are escaped; the event name is a string like any other.
+  EXPECT_NE(line.find("\"event\":\"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"s\":\"a\\\"b\\nc\""), std::string::npos);
+  // Numerics render bare so consumers get real numbers, not strings.
+  EXPECT_NE(line.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"f\":1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(StructuredLogTest, SinkSeamCapturesAndMinLevelFilters) {
+  std::vector<std::string> lines;
+  SetLogSinkForTest(
+      [&lines](const std::string& line) { lines.push_back(line); });
+  SetMinLogLevel(LogLevel::kWarn);
+  LogEvent(LogLevel::kInfo, "dropped_below_min_level");
+  LogEvent(LogLevel::kError, "kept", {{"k", "v"}});
+  SetMinLogLevel(LogLevel::kInfo);
+  SetLogSinkForTest({});  // restore the stderr default
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"event\":\"kept\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"k\":\"v\""), std::string::npos);
+  EXPECT_EQ(lines[0].find("dropped_below_min_level"), std::string::npos);
+}
+
+TEST(StructuredLogTest, RateLimiterSuppressesWithinWindowAndReportsCount) {
+  SetClockForTest(&SteppingClock);  // 10 ms per Allow() call
+  LogRateLimiter limiter(0.025);
+  uint64_t suppressed = 99;
+  EXPECT_TRUE(limiter.Allow("k", &suppressed));  // first event always fires
+  EXPECT_EQ(suppressed, 0u);
+  EXPECT_FALSE(limiter.Allow("k"));  // +10 ms, inside the window
+  EXPECT_FALSE(limiter.Allow("k"));  // +20 ms, still inside
+  EXPECT_EQ(limiter.SuppressedFor("k"), 2u);
+  // +30 ms >= 25 ms: allowed again, carrying the suppressed count so
+  // nothing is silently lost, and the window restarts.
+  EXPECT_TRUE(limiter.Allow("k", &suppressed));
+  EXPECT_EQ(suppressed, 2u);
+  EXPECT_EQ(limiter.SuppressedFor("k"), 0u);
+  // Keys rate-limit independently.
+  EXPECT_TRUE(limiter.Allow("other"));
+  SetClockForTest(nullptr);
+
+  // interval <= 0 disables limiting entirely.
+  LogRateLimiter open(0.0);
+  EXPECT_TRUE(open.Allow("k"));
+  EXPECT_TRUE(open.Allow("k"));
+}
+
+// --- Task-pool queue instrumentation ----------------------------------------
+
+TEST(TaskPoolMetricsTest, QueueWaitHistogramObservesEveryHelperHandoff) {
+  MetricsRegistry registry;
+  TaskPool pool(2);
+  pool.AttachMetrics(&registry);
+
+  // Force both helpers to actually dequeue their parked task: each of
+  // the three bodies (caller + 2 helpers) blocks until all three have
+  // entered, so the caller cannot drain the loop alone. The queue-wait
+  // observation happens at dequeue, before the body runs, so by the
+  // time ParallelFor returns both handoffs are recorded.
+  std::atomic<int> entered{0};
+  pool.ParallelFor(3, [&entered](size_t) {
+    entered.fetch_add(1);
+    while (entered.load() < 3) std::this_thread::yield();
+  });
+
+  std::string out = registry.RenderPrometheus();
+  EXPECT_NE(out.find("s2rdf_task_pool_queue_wait_seconds_count 2"),
+            std::string::npos)
+      << out;
+  // Drained: depth samples back to zero at render time.
+  EXPECT_NE(out.find("s2rdf_task_pool_queue_depth 0"), std::string::npos);
+}
+
+// --- Trace-id propagation and resource accounting ---------------------------
+
+TEST_F(ObservabilityEndpointTest, TraceIdThreadsFromHeaderToDebugAndProfile) {
+  server::HttpResponse response = Get("/sparql?" + FollowsQuery());
+  ASSERT_EQ(response.status_code, 200);
+  auto header = response.headers.find("X-S2RDF-Trace-Id");
+  ASSERT_NE(header, response.headers.end());
+  const std::string trace = header->second;
+  EXPECT_EQ(trace.size(), 16u);
+
+  // The same id indexes the structured record and the debug page.
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].trace_id, trace);
+  EXPECT_NE(Get("/debug/queries").body.find("trace=" + trace),
+            std::string::npos);
+
+  // EXPLAIN ANALYZE prints its own request's id in the profile header,
+  // matching the response header of that request.
+  server::HttpResponse analyzed =
+      Get("/sparql?" + FollowsQuery() + "&explain=analyze");
+  ASSERT_EQ(analyzed.status_code, 200);
+  auto analyzed_header = analyzed.headers.find("X-S2RDF-Trace-Id");
+  ASSERT_NE(analyzed_header, analyzed.headers.end());
+  EXPECT_NE(analyzed.body.find("trace: " + analyzed_header->second),
+            std::string::npos)
+      << analyzed.body;
+  EXPECT_NE(analyzed_header->second, trace);
+
+  // Failing requests stay traceable too.
+  server::HttpResponse failed = Get("/sparql?query=NOT%20SPARQL");
+  ASSERT_EQ(failed.status_code, 400);
+  auto failed_header = failed.headers.find("X-S2RDF-Trace-Id");
+  ASSERT_NE(failed_header, failed.headers.end());
+  EXPECT_EQ(failed_header->second.size(), 16u);
+}
+
+TEST_F(ObservabilityEndpointTest, PeakTableBytesAccountedDeterministically) {
+  // Extracts the peak_bytes value from an EXPLAIN ANALYZE totals line.
+  auto peak_of = [](const std::string& body) -> long {
+    size_t pos = body.find("peak_bytes=");
+    if (pos == std::string::npos) return -1;
+    return std::atol(body.c_str() + pos + sizeof("peak_bytes=") - 1);
+  };
+
+  std::string first = Get("/sparql?" + FollowsQuery() + "&explain=analyze").body;
+  std::string second =
+      Get("/sparql?" + FollowsQuery() + "&explain=analyze").body;
+  const long peak = peak_of(first);
+  EXPECT_GT(peak, 0) << first;
+  // The high-water mark is a property of the plan, not the run.
+  EXPECT_EQ(peak, peak_of(second));
+
+  // Every completed query feeds the per-query peak histogram.
+  std::string metrics = Get("/metrics").body;
+  EXPECT_NE(metrics.find("s2rdf_query_peak_table_bytes_count 2"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityEndpointTest, SlowQueryLogCarriesTraceIdAndRateLimits) {
+  std::vector<std::string> log_lines;
+  server::EndpointOptions options;
+  options.slow_query_ms = 1;
+  options.slow_query_log = [&log_lines](const std::string& line) {
+    log_lines.push_back(line);
+  };
+  Recreate(std::move(options));  // default 5000 ms log interval
+
+  SetClockForTest(&SteppingClock);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Get("/sparql?" + FollowsQuery()).status_code, 200);
+  }
+  SetClockForTest(nullptr);
+
+  // Identical query texts share a rate-limit key: the first slow event
+  // logs (with its trace id), the repeats are suppressed but counted.
+  ASSERT_EQ(log_lines.size(), 1u);
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), 3u);
+  // recent is newest-first, so the logged (first) query is recent[2].
+  EXPECT_NE(log_lines[0].find("trace=" + recent[2].trace_id),
+            std::string::npos)
+      << log_lines[0];
+  std::string metrics = Get("/metrics").body;
+  EXPECT_NE(metrics.find("s2rdf_slow_queries_total 3"), std::string::npos);
+  EXPECT_NE(metrics.find("s2rdf_slow_query_log_suppressed_total 2"),
+            std::string::npos);
+
+  // interval 0 disables suppression: every slow query logs.
+  log_lines.clear();
+  server::EndpointOptions open;
+  open.slow_query_ms = 1;
+  open.slow_query_log_interval_ms = 0;
+  open.slow_query_log = [&log_lines](const std::string& line) {
+    log_lines.push_back(line);
+  };
+  Recreate(std::move(open));
+  SetClockForTest(&SteppingClock);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Get("/sparql?" + FollowsQuery()).status_code, 200);
+  }
+  SetClockForTest(nullptr);
+  EXPECT_EQ(log_lines.size(), 3u);
+}
+
+TEST_F(ObservabilityEndpointTest, SlowQueryFallsBackToStructuredLog) {
+  // Without a slow_query_log callback the event goes to the structured
+  // log, same schema as every other event.
+  server::EndpointOptions options;
+  options.slow_query_ms = 1;
+  Recreate(std::move(options));
+
+  std::vector<std::string> lines;
+  SetLogSinkForTest(
+      [&lines](const std::string& line) { lines.push_back(line); });
+  SetClockForTest(&SteppingClock);
+  EXPECT_EQ(Get("/sparql?" + FollowsQuery()).status_code, 200);
+  SetClockForTest(nullptr);
+  SetLogSinkForTest({});
+
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), 1u);
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"event\":\"slow_query\"") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("\"trace_id\":\"" + recent[0].trace_id + "\""),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"query\":"), std::string::npos);
+    EXPECT_TRUE(JsonStructureBalanced(line)) << line;
+  }
+  EXPECT_TRUE(found) << "no slow_query event reached the structured log";
+}
+
+TEST_F(ObservabilityEndpointTest, RecentQueryRingStaysBoundedUnderChurn) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 40;  // 160 completions >> the 64-slot ring
+  static constexpr size_t kRingCapacity = 64;
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Get((t + i) % 2 == 0 ? "/sparql?" + FollowsQuery()
+                             : "/sparql?query=NOT%20SPARQL");
+      }
+    });
+  }
+  // Readers race ring eviction: snapshots must stay bounded and
+  // well-formed at every point, never exposing a torn record.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([this, &done] {
+      while (!done.load()) {
+        std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+        EXPECT_LE(recent.size(), kRingCapacity);
+        for (const server::QueryRecord& r : recent) {
+          EXPECT_EQ(r.trace_id.size(), 16u);
+          EXPECT_GT(r.id, 0u);
+        }
+        EXPECT_EQ(Get("/debug/queries").status_code, 200);
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<size_t>(t)].join();
+  done.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Steady state: the ring holds exactly its capacity. Completion
+  // order under concurrency is arbitrary, but ids never repeat.
+  std::vector<server::QueryRecord> recent = endpoint_->RecentQueries();
+  ASSERT_EQ(recent.size(), kRingCapacity);
+  std::set<uint64_t> ids;
+  for (const server::QueryRecord& r : recent) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), recent.size());
+  EXPECT_NE(Get("/debug/queries").body.find("recent (64):"),
+            std::string::npos);
+  EXPECT_NE(Get("/metrics").body.find(
+                "s2rdf_queries_total " + std::to_string(kWriters * kPerWriter)),
             std::string::npos);
 }
 

@@ -23,6 +23,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "engine/aggregate.h"
 #include "engine/expression.h"
 #include "engine/operators.h"
 #include "engine/parallel.h"
@@ -254,6 +255,110 @@ TEST(ParallelJoinInterruptTest, CancelReportsCancelledLikeSerial) {
   EXPECT_EQ(parallel_ctx.interrupt_status.code(),
             serial_ctx.interrupt_status.code());
   EXPECT_EQ(parallel.NumRows(), 0u);
+}
+
+// --- Cost-gated merge-heavy operators ----------------------------------------
+//
+// DISTINCT / ORDER BY / GROUP BY are the operators the planner's cost
+// gate can keep serial at narrow pool widths (their measured width-4
+// speedups sit near 1x). The byte-identity contract must hold anyway
+// whenever the parallel twin does run, including under unbound values
+// and ragged morsel overrides the engine_test cases do not cover.
+
+TEST(ParallelDistinctTest, UnboundValuesAndMorselOverrideMatchSerial) {
+  // Heavy duplication with nulls mixed into both columns: unbound cells
+  // must dedup like any other value, and first-occurrence order must
+  // survive ragged morsel boundaries.
+  SplitMix64 rng(17);
+  Table t({"a", "b"});
+  for (size_t i = 0; i < 15000; ++i) {
+    rdf::TermId a = rng.Uniform(8) == 0
+                        ? kNullTermId
+                        : static_cast<rdf::TermId>(rng.Uniform(30) + 1);
+    rdf::TermId b = rng.Uniform(8) == 0
+                        ? kNullTermId
+                        : static_cast<rdf::TermId>(rng.Uniform(30) + 1);
+    t.AppendRow({a, b});
+  }
+  ExecContext serial_ctx;
+  Table serial = Distinct(t, &serial_ctx);
+  ExecContext parallel_ctx;
+  parallel_ctx.morsel_rows = 97;  // Deliberately odd: ragged last morsels.
+  Table parallel = ParallelDistinct(t, &parallel_ctx);
+  EXPECT_GT(serial.NumRows(), 0u);
+  EXPECT_LT(serial.NumRows(), t.NumRows());
+  ExpectIdenticalTables(serial, parallel);
+  ExpectIdenticalMetrics(serial_ctx.metrics, parallel_ctx.metrics);
+}
+
+TEST(ParallelOrderByTest, NullsAndMixedTypesMatchSerial) {
+  // Sort keys mixing numeric literals, IRIs and unbound cells under an
+  // asc/desc key pair: the k-way merge's earliest-chunk tie-break must
+  // reproduce the serial stable_sort across every value class.
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < 25; ++i) {
+    terms.push_back(dict.Encode(
+        "\"" + std::to_string(i * 7 % 50) +
+        "\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    terms.push_back(dict.Encode("<I" + std::to_string(i) + ">"));
+  }
+  terms.push_back(kNullTermId);
+  SplitMix64 rng(19);
+  Table t({"n", "m"});
+  for (size_t i = 0; i < 15000; ++i) {
+    t.AppendRow({terms[rng.Uniform(terms.size())],
+                 terms[rng.Uniform(terms.size())]});
+  }
+  std::vector<SortKey> keys = {{"n", true}, {"m", false}};
+  ExecContext serial_ctx;
+  Table serial = OrderBy(t, keys, dict, &serial_ctx);
+  ExecContext parallel_ctx;
+  parallel_ctx.morsel_rows = 193;
+  Table parallel = ParallelOrderBy(t, keys, dict, &parallel_ctx);
+  ExpectIdenticalTables(serial, parallel);
+  ExpectIdenticalMetrics(serial_ctx.metrics, parallel_ctx.metrics);
+}
+
+TEST(ParallelGroupByAggregateTest, UnboundInputsAndDistinctCountsMatchSerial) {
+  // Unbound aggregate inputs (skipped by COUNT/SUM/MIN), an unbound
+  // group key (its own group), and a DISTINCT count whose state cannot
+  // be merged across workers: group-exclusive partitioning must still
+  // be byte-identical, minted literals included.
+  rdf::Dictionary dict;
+  std::vector<rdf::TermId> group_keys;
+  for (int i = 0; i < 30; ++i) {
+    group_keys.push_back(dict.Encode("<G" + std::to_string(i) + ">"));
+  }
+  group_keys.push_back(kNullTermId);
+  std::vector<rdf::TermId> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(dict.Encode(
+        "\"" + std::to_string(i) + ".5" +
+        "\"^^<http://www.w3.org/2001/XMLSchema#double>"));
+  }
+  values.push_back(kNullTermId);
+  SplitMix64 rng(23);
+  Table t({"k", "v"});
+  for (size_t i = 0; i < 15000; ++i) {
+    t.AppendRow({group_keys[rng.Uniform(group_keys.size())],
+                 values[rng.Uniform(values.size())]});
+  }
+  std::vector<AggregateSpec> specs = {
+      {AggregateSpec::Fn::kCountStar, "", "n", false},
+      {AggregateSpec::Fn::kCount, "v", "dv", true},
+      {AggregateSpec::Fn::kSum, "v", "total", false},
+      {AggregateSpec::Fn::kMax, "v", "mx", false},
+  };
+  ExecContext serial_ctx;
+  auto serial = GroupByAggregate(t, {"k"}, specs, &dict, &serial_ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ExecContext parallel_ctx;
+  auto parallel =
+      ParallelGroupByAggregate(t, {"k"}, specs, &dict, &parallel_ctx);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectIdenticalTables(*serial, *parallel);
+  ExpectIdenticalMetrics(serial_ctx.metrics, parallel_ctx.metrics);
 }
 
 // --- Morsel auto-tune --------------------------------------------------------

@@ -278,7 +278,9 @@ TEST_F(EndpointTest, SocketRoundTrip) {
 TEST_F(EndpointTest, HealthEndpoint) {
   HttpResponse response = Get("/health");
   EXPECT_EQ(response.status_code, 200);
-  EXPECT_EQ(response.body, "ok\n");
+  // "ok <git-sha>": liveness plus which build is answering.
+  EXPECT_EQ(response.body.rfind("ok ", 0), 0u);
+  EXPECT_NE(response.body, "ok \n") << "missing build sha";
 }
 
 TEST_F(EndpointTest, MetricsEndpoint) {

@@ -55,14 +55,16 @@ bool ReadFile(const fs::path& p, std::string* out) {
 bool RuleEnabledFor(const std::string& rule, const std::string& rel_path) {
   std::string top = TopDir(rel_path);
   if (top == "tests") {
-    return rule != "bare-mutex" && rule != "status-discipline";
+    return rule != "bare-mutex" && rule != "status-discipline" &&
+           rule != "raw-log";
   }
   if (top == "bench") {
+    // Benches print human tables to stderr by design (JSON owns stdout).
     return rule != "nondeterminism" && rule != "clock" &&
-           rule != "status-discipline";
+           rule != "status-discipline" && rule != "raw-log";
   }
   if (top == "tools") {
-    return rule != "raw-io";
+    return rule != "raw-io" && rule != "raw-log";
   }
   return true;  // src/ and anything else: full rule set
 }

@@ -188,6 +188,40 @@ bool LineHasWallClockTime(const std::string& line) {
   return false;
 }
 
+// Raw diagnostics to stderr: fprintf/fputs whose stream argument is
+// stderr, or the std::cerr / std::clog streams. fprintf(stdout, ...)
+// stays legal — benches emit machine-readable JSON there — so a plain
+// BannedToken on fprintf would be too broad; the stream argument is
+// what distinguishes a diagnostic from an output channel.
+bool LineHasRawStderrWrite(const std::string& line, std::string* which) {
+  static const BannedToken kCerr{"std::cerr", TokenKind::kType};
+  static const BannedToken kClog{"std::clog", TokenKind::kType};
+  if (!FindToken(line, kCerr).empty()) {
+    *which = "std::cerr";
+    return true;
+  }
+  if (!FindToken(line, kClog).empty()) {
+    *which = "std::clog";
+    return true;
+  }
+  // Both spellings: the plain-token boundary check rejects matches
+  // preceded by ':', so "std::fprintf" needs its own qualified token.
+  static const BannedToken kFprintf{"fprintf", TokenKind::kCall};
+  static const BannedToken kStdFprintf{"std::fprintf", TokenKind::kCall};
+  static const BannedToken kFputs{"fputs", TokenKind::kCall};
+  static const BannedToken kStdFputs{"std::fputs", TokenKind::kCall};
+  static const BannedToken kStderr{"stderr", TokenKind::kType};
+  for (const BannedToken* call :
+       {&kFprintf, &kStdFprintf, &kFputs, &kStdFputs}) {
+    if (FindToken(line, *call).empty()) continue;
+    if (!FindToken(line, kStderr).empty()) {
+      *which = call->token + "(stderr, ...)";
+      return true;
+    }
+  }
+  return false;
+}
+
 // Direct reads of the C++ chrono clocks ("steady_clock::now()" and
 // friends). A plain BannedToken cannot express this: the clock name is
 // always namespace-qualified (std::chrono::steady_clock), which the
@@ -381,7 +415,7 @@ bool IsKnownRule(const std::string& rule) {
       "nondeterminism", "clock",             "include-guard",
       "deprecated-api", "layering",          "transitive-include",
       "lock-order",     "interrupt-coverage", "status-discipline",
-      "io",
+      "raw-log",        "io",
   };
   return kRules.count(rule) > 0;
 }
@@ -496,6 +530,22 @@ FileScanResult ScanContent(const std::string& path,
                        "'" + which +
                            "::now()' bypasses the injectable clock seam "
                            "(use s2rdf::MonotonicNow() from common/clock.h)"});
+      }
+    }
+  }
+
+  // raw-log: diagnostics go through the structured event log; only
+  // common/ (the sink itself, crash paths) may write stderr raw.
+  if (npath.find("common/") == std::string::npos) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      int lineno = static_cast<int>(i) + 1;
+      std::string which;
+      if (LineHasRawStderrWrite(lines[i], &which)) {
+        out.push_back({path, lineno, "raw-log",
+                       "'" + which +
+                           "' bypasses the structured event log (use "
+                           "s2rdf::LogEvent from common/log.h so lines "
+                           "share one schema, sink and rate limit)"});
       }
     }
   }

@@ -32,6 +32,13 @@
 //                   aliases (e.g. CompilerOptions::optimize_join_order)
 //                   must not spread to new code; the declaring header
 //                   is allowlisted, intentional shims suppress inline.
+//   raw-log         Diagnostics must flow through the structured event
+//                   log (common/log.h) so every line shares one JSON
+//                   schema, one injectable sink, and rate limiting.
+//                   fprintf(stderr, ...) / std::cerr are permitted only
+//                   under common/ (the sink implementation and crash
+//                   paths); bench, tools and tests are exempt tree-wide
+//                   (human-facing CLIs).
 //
 // Suppressions:
 //   // s2rdf-lint: allow(<rule>)       same line or the line above

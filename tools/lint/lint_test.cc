@@ -154,6 +154,33 @@ TEST(LintClockTest, RequiresTheNowCall) {
   EXPECT_TRUE(LintContent("src/engine/x.cc", snippet).empty());
 }
 
+TEST(LintRawLogTest, FiresOnStderrWritesAndCerr) {
+  const std::string snippet =
+      "std::fprintf(stderr, \"%s\", line.c_str());\n"
+      "std::cerr << \"oops\";\n"
+      "fputs(line.c_str(), stderr);\n";
+  auto vs = LintContent("src/server/x.cc", snippet);
+  EXPECT_EQ(RulesIn(vs), std::set<std::string>{"raw-log"});
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(LintRawLogTest, StdoutAndCommonAreExempt) {
+  // fprintf(stdout) is an output channel (bench JSON), not a
+  // diagnostic; common/ hosts the sink itself.
+  EXPECT_TRUE(
+      LintContent("src/server/x.cc", "std::fprintf(stdout, \"%s\", s);\n")
+          .empty());
+  EXPECT_TRUE(
+      LintContent("src/common/log.cc", "std::fprintf(stderr, \"%s\", s);\n")
+          .empty());
+}
+
+TEST(LintRawLogTest, SuppressionsWork) {
+  const std::string snippet =
+      "std::fprintf(stderr, \"%s\", s);  // s2rdf-lint: allow(raw-log)\n";
+  EXPECT_TRUE(LintContent("src/server/x.cc", snippet).empty());
+}
+
 TEST(LintDeprecatedApiTest, FiresOutsideDeclaringHeader) {
   const std::string snippet = "options.optimize_join_order = false;\n";
   EXPECT_EQ(RulesIn(LintContent("src/core/s2rdf.cc", snippet)),
